@@ -1,0 +1,58 @@
+package oak_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"oak"
+)
+
+// newEngineBenchFixture builds a 10-rule engine and a 25-object report with
+// one clear violator, for the micro-benchmarks.
+func newEngineBenchFixture(b *testing.B) (*oak.Engine, *oak.Report) {
+	b.Helper()
+	var ruleSet []*oak.Rule
+	for i := 0; i < 10; i++ {
+		ruleSet = append(ruleSet, &oak.Rule{
+			ID:           fmt.Sprintf("swap-%d", i),
+			Type:         oak.TypeReplaceSame,
+			Default:      fmt.Sprintf("<img src=%q>", objURL(i)),
+			Alternatives: []string{fmt.Sprintf("<img src=%q>", altURL(i))},
+			Scope:        "*",
+		})
+	}
+	engine, err := oak.NewEngine(ruleSet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := &oak.Report{UserID: "u", Page: "/index.html"}
+	for i := 0; i < 25; i++ {
+		host := i % 10
+		ms := 80 + float64(i%7)*10
+		if host == 3 {
+			ms = 2500 // the violator
+		}
+		rep.Entries = append(rep.Entries, oak.Entry{
+			URL:            objURL(host),
+			ServerAddr:     fmt.Sprintf("10.0.0.%d", host),
+			SizeBytes:      4096,
+			DurationMillis: ms,
+		})
+	}
+	return engine, rep
+}
+
+func objURL(i int) string { return fmt.Sprintf("http://host-%d.example/obj.bin", i) }
+func altURL(i int) string { return fmt.Sprintf("http://alt-%d.example/obj.bin", i) }
+
+// benchPage is a page containing every fixture rule's default text.
+func benchPage() string {
+	var b strings.Builder
+	b.WriteString("<html><body>\n")
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&b, "<img src=%q>\n", objURL(i))
+	}
+	b.WriteString("</body></html>")
+	return b.String()
+}

@@ -1,0 +1,249 @@
+package oak_test
+
+// One benchmark per table and figure of the paper, plus one per ablation of
+// DESIGN.md. Each benchmark regenerates its experiment end-to-end (catalog
+// generation, simulated loads, detection, rule activation, analysis) and
+// logs the headline paper-vs-measured comparison once.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks run at reduced ("quick") scale so a full sweep stays in CPU
+// minutes; cmd/oakbench runs any experiment at paper scale.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"oak/internal/experiment"
+)
+
+// benchCfg is the shared benchmark configuration. A fixed seed keeps every
+// run reproducible.
+var benchCfg = experiment.Config{Seed: 1, Quick: true}
+
+// logOnce logs each experiment's summary a single time per process so
+// repeated b.N iterations don't flood the output.
+var logOnce sync.Map
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Run(id, benchCfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if _, loaded := logOnce.LoadOrStore(id, true); !loaded {
+			for _, tab := range res.Tables {
+				b.Logf("\n%s", tab.Render())
+			}
+			for _, note := range res.Notes {
+				b.Logf("note: %s", note)
+			}
+		}
+	}
+}
+
+// --- Section 2: the measurement study ---
+
+// BenchmarkFig1ExternalFraction regenerates Figure 1: the CDF of the
+// fraction of page objects served from non-origin hosts (paper median 75%).
+func BenchmarkFig1ExternalFraction(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig2OutlierCounts regenerates Figure 2: outliers per site from
+// 25 vantage points (paper: >60% of sites with at least one, ~20% with 4+).
+func BenchmarkFig2OutlierCounts(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkTable1TopOutliers regenerates Table 1: the most frequently seen
+// outlier domains (paper: ads/analytics/social dominate).
+func BenchmarkTable1TopOutliers(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig3OutlierChurn regenerates Figure 3: the fraction of outliers
+// that vanish after 1/2/5 days (paper: ~52% churn, then stable).
+func BenchmarkFig3OutlierChurn(b *testing.B) { benchExperiment(b, "fig3") }
+
+// --- Section 4: rule matching coverage ---
+
+// BenchmarkFig8MatchRates regenerates Figure 8: the fraction of contacted
+// servers a whole-index rule matches per tier (paper medians 42/60/81%).
+func BenchmarkFig8MatchRates(b *testing.B) { benchExperiment(b, "fig8") }
+
+// --- Section 5: the evaluation ---
+
+// BenchmarkFig9Sensitivity regenerates Figure 9: PLT ratio vs injected
+// delay for NA/EU/AS clients (paper thresholds ~0.75s / >2s / ~5s).
+func BenchmarkFig9Sensitivity(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10MinMedian regenerates Figure 10: min/median set-download
+// ratios, Oak vs default (paper medians ~0.7 vs ~0.3).
+func BenchmarkFig10MinMedian(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11Diurnal regenerates Figure 11: the average PLT ratio over a
+// multi-day run (paper: >10x daytime gains, ~1x at night).
+func BenchmarkFig11Diurnal(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkTable2SiteSelection regenerates Table 2: the H1/H2 site sets.
+func BenchmarkTable2SiteSelection(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkFig12CorrectChoices regenerates Figure 12: the fraction of
+// correct rule choices per condition (paper: ~80% H1, ~74% H2 fully
+// correct).
+func BenchmarkFig12CorrectChoices(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFig13ObjectRatios regenerates Figure 13: default/Oak object-time
+// ratios for protected objects (paper improvement: 57/66/80/77%).
+func BenchmarkFig13ObjectRatios(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14ActivationSpread regenerates Figure 14: the CDF of rules by
+// the fraction of users activating them (paper: 80% of rules <=18%).
+func BenchmarkFig14ActivationSpread(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkTable3IndividualVsCommon regenerates Table 3: example individual
+// vs common problem providers.
+func BenchmarkTable3IndividualVsCommon(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkFig15ReportSizes regenerates Figure 15: the report-size CDF
+// (paper: median <10 KB, max ~345 KB).
+func BenchmarkFig15ReportSizes(b *testing.B) { benchExperiment(b, "fig15") }
+
+// --- Ablations (DESIGN.md) ---
+
+// BenchmarkAblationMADMultiplier sweeps the violator criterion's k.
+func BenchmarkAblationMADMultiplier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.AblationMADMultiplier(1, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, loaded := logOnce.LoadOrStore("abl-mad", true); !loaded {
+			for _, r := range rows {
+				b.Logf("k=%.1f detection=%.2f false-flags/load=%.2f", r.K, r.DetectionRate, r.FalseFlagsPerLoad)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationAbsoluteThreshold contrasts relative (MAD) and absolute
+// thresholds on a uniformly slow client.
+func BenchmarkAblationAbsoluteThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.AblationAbsoluteThreshold(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, loaded := logOnce.LoadOrStore("abl-abs", true); !loaded {
+			b.Logf("narrow-link flags: relative=%d absolute=%d", res.RelativeFlags, res.AbsoluteFlags)
+		}
+	}
+}
+
+// BenchmarkAblationSizeSplit sweeps the 50 KB small/large split point.
+func BenchmarkAblationSizeSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.AblationSizeSplit(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, loaded := logOnce.LoadOrStore("abl-split", true); !loaded {
+			for _, r := range rows {
+				b.Logf("split=%dKB small-signal servers=%d large-signal servers=%d",
+					r.ThresholdKB, r.SmallServers, r.LargeServers)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMatchDepth sweeps the external-JS expansion depth.
+func BenchmarkAblationMatchDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.AblationMatchDepth(1, 15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, loaded := logOnce.LoadOrStore("abl-depth", true); !loaded {
+			for _, r := range rows {
+				b.Logf("depth=%d median match rate=%.2f", r.Depth, r.MedianMatchRate)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationHistory compares the distance-minimising rule history
+// against never-revert and no-Oak baselines.
+func BenchmarkAblationHistory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.AblationHistory(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, loaded := logOnce.LoadOrStore("abl-history", true); !loaded {
+			b.Logf("mean PLT: oak=%.0fms never-revert=%.0fms no-rules=%.0fms",
+				res.MeanPLTOak, res.MeanPLTNeverRevert, res.MeanPLTNoRules)
+		}
+	}
+}
+
+// BenchmarkAblationMinViolations sweeps the activation threshold under a
+// transient burst plus a persistent degradation.
+func BenchmarkAblationMinViolations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.AblationMinViolations(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, loaded := logOnce.LoadOrStore("abl-minviol", true); !loaded {
+			for _, r := range rows {
+				b.Logf("minViolations=%d false-activations=%d true-activation-load=%d",
+					r.MinViolations, r.FalseActivations, r.TrueActivationDelay)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationResourceTiming quantifies the paper's Section 6
+// argument: a Resource-Timing-API client misses most degraded providers at
+// realistic Timing-Allow-Origin opt-in rates.
+func BenchmarkAblationResourceTiming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.AblationResourceTimingAPI(1, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, loaded := logOnce.LoadOrStore("abl-rt", true); !loaded {
+			for _, r := range rows {
+				b.Logf("opt-in=%.1f full-coverage=%.2f api-coverage=%.2f",
+					r.OptInFraction, r.FullCoverage, r.APICoverage)
+			}
+		}
+	}
+}
+
+// BenchmarkEngineHandleReport measures the core ingestion path in
+// isolation: one report of 25 objects against a 10-rule engine.
+func BenchmarkEngineHandleReport(b *testing.B) {
+	engine, rep := newEngineBenchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep.UserID = fmt.Sprintf("user-%d", i%64)
+		if _, err := engine.HandleReport(rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineModifyPage measures the page-rewrite path for a user with
+// active rules.
+func BenchmarkEngineModifyPage(b *testing.B) {
+	engine, rep := newEngineBenchFixture(b)
+	rep.UserID = "bench-user"
+	if _, err := engine.HandleReport(rep); err != nil {
+		b.Fatal(err)
+	}
+	page := benchPage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.ModifyPage("bench-user", "/index.html", page)
+	}
+}

@@ -1,0 +1,61 @@
+// Command oakbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	oakbench -list
+//	oakbench [-seed N] [-sites N] [-clients N] [-quick] <experiment-id>...
+//	oakbench all
+//
+// Each experiment prints its series as "x<TAB>y" pairs plus a summary table
+// comparing the measured shape against the paper's reported numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"oak/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "oakbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("oakbench", flag.ContinueOnError)
+	var (
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		seed    = fs.Int64("seed", 1, "random seed (runs are reproducible per seed)")
+		sites   = fs.Int("sites", 0, "catalog size (0 = paper scale, 500)")
+		clients = fs.Int("clients", 0, "vantage points (0 = paper scale, 25)")
+		quick   = fs.Bool("quick", false, "reduced scale for a fast smoke run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println(strings.Join(experiment.IDs(), "\n"))
+		return nil
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("no experiment given; try -list or 'all'")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiment.IDs()
+	}
+	cfg := experiment.Config{Seed: *seed, Sites: *sites, Clients: *clients, Quick: *quick}
+	for _, id := range ids {
+		res, err := experiment.Run(id, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(res.Render())
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Errorf("run(-list) = %v", err)
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("run() without experiments: want error")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-quick", "fig99"}); err == nil {
+		t.Error("run(fig99): want error")
+	}
+}
+
+func TestRunQuickExperiment(t *testing.T) {
+	if err := run([]string{"-quick", "-sites", "15", "-clients", "5", "fig1"}); err != nil {
+		t.Errorf("run(fig1) = %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("run(-nope): want error")
+	}
+}

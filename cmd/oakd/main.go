@@ -1,0 +1,205 @@
+// Command oakd runs an Oak-fronted origin web server over a directory of
+// HTML pages and an operator rule file.
+//
+// Usage:
+//
+//	oakd -root ./site -rules ./rules.oak [-addr :8080] [-v]
+//
+// Every *.html file under -root is served at its relative path (index.html
+// also at the directory path). Clients receive identifying cookies, pages
+// are rewritten per user according to activated rules, and performance
+// reports are accepted at POST /oak/report. The rule file uses the DSL of
+// internal/rules.ParseDSL (heredoc blocks; see the repository README), or
+// JSON when it ends in .json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"oak"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "oakd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs2 := flag.NewFlagSet("oakd", flag.ContinueOnError)
+	var (
+		root      = fs2.String("root", ".", "directory of HTML pages to serve")
+		ruleFile  = fs2.String("rules", "", "rule file (DSL, or JSON if *.json)")
+		addr      = fs2.String("addr", ":8080", "listen address")
+		verbose   = fs2.Bool("v", false, "log engine decisions")
+		stateFile = fs2.String("state", "", "persist per-user state to this file (loaded at boot, saved periodically and on shutdown)")
+		saveEvery = fs2.Duration("save-interval", 5*time.Minute, "how often to persist state (with -state)")
+	)
+	if err := fs2.Parse(args); err != nil {
+		return err
+	}
+
+	server, pages, nRules, err := buildServer(*root, *ruleFile, *verbose)
+	if err != nil {
+		return err
+	}
+	if *stateFile != "" {
+		if err := loadState(server.Engine(), *stateFile); err != nil {
+			return err
+		}
+		stop := persistPeriodically(server.Engine(), *stateFile, *saveEvery)
+		defer stop()
+	}
+	log.Printf("oakd: serving %d pages from %s with %d rules on %s", pages, *root, nRules, *addr)
+	return http.ListenAndServe(*addr, server)
+}
+
+// loadState restores engine state from the file if it exists; a missing
+// file is a fresh deployment, not an error.
+func loadState(engine *oak.Engine, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("read state: %w", err)
+	}
+	if err := engine.ImportState(data); err != nil {
+		return fmt.Errorf("import state: %w", err)
+	}
+	log.Printf("oakd: restored state for %d users from %s", engine.Users(), path)
+	return nil
+}
+
+// saveState atomically persists engine state.
+func saveState(engine *oak.Engine, path string) error {
+	data, err := engine.ExportState()
+	if err != nil {
+		return fmt.Errorf("export state: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return fmt.Errorf("write state: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// persistPeriodically saves the state on an interval and on SIGINT/SIGTERM;
+// the returned stop function halts the loop (used by tests).
+func persistPeriodically(engine *oak.Engine, path string, every time.Duration) (stop func()) {
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if err := saveState(engine, path); err != nil {
+					log.Printf("oakd: periodic save: %v", err)
+				}
+			case <-sig:
+				if err := saveState(engine, path); err != nil {
+					log.Printf("oakd: shutdown save: %v", err)
+				}
+				os.Exit(0)
+			case <-stopCh:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(sig)
+		close(stopCh)
+		<-done
+	}
+}
+
+// buildServer assembles the Oak server from a page directory and a rule
+// file. Split from run so it is testable without binding a listener.
+func buildServer(root, ruleFile string, verbose bool) (*oak.Server, int, int, error) {
+	var ruleSet []*oak.Rule
+	if ruleFile != "" {
+		data, err := os.ReadFile(ruleFile)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("read rules: %w", err)
+		}
+		if strings.HasSuffix(ruleFile, ".json") {
+			ruleSet, err = oak.ParseRulesJSON(data)
+		} else {
+			ruleSet, err = oak.ParseRules(string(data))
+		}
+		if err != nil {
+			return nil, 0, 0, err
+		}
+	}
+
+	for _, w := range oak.LintRules(ruleSet) {
+		log.Printf("oakd: lint: %s", w)
+	}
+
+	var opts []oak.EngineOption
+	if verbose {
+		opts = append(opts, oak.WithLogf(log.Printf))
+	}
+	engine, err := oak.NewEngine(ruleSet, opts...)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	server := oak.NewServer(engine)
+	pages, err := loadPages(root, server)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return server, pages, len(ruleSet), nil
+}
+
+// loadPages registers every *.html under root with the server and returns
+// how many were loaded.
+func loadPages(root string, server *oak.Server) (int, error) {
+	count := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".html") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		urlPath := "/" + filepath.ToSlash(rel)
+		server.SetPage(urlPath, string(data))
+		if strings.HasSuffix(urlPath, "/index.html") {
+			server.SetPage(strings.TrimSuffix(urlPath, "index.html"), string(data))
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("load pages: %w", err)
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("no *.html pages under %s", root)
+	}
+	return count, nil
+}

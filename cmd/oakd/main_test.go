@@ -1,0 +1,204 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"oak"
+)
+
+// oakUnmarshal aliases the facade helper for test brevity.
+var oakUnmarshal = oak.UnmarshalReport
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newSiteDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "index.html"), "<html>home</html>")
+	writeFile(t, filepath.Join(dir, "blog", "post.html"), "<html>post</html>")
+	writeFile(t, filepath.Join(dir, "notes.txt"), "not a page")
+	return dir
+}
+
+func TestBuildServerServesPages(t *testing.T) {
+	dir := newSiteDir(t)
+	server, pages, nRules, err := buildServer(dir, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages != 2 || nRules != 0 {
+		t.Errorf("pages=%d rules=%d, want 2/0", pages, nRules)
+	}
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+
+	for _, path := range []string{"/index.html", "/", "/blog/post.html"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "<html>") {
+			t.Errorf("GET %s body = %q", path, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/notes.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("non-HTML file served: %d", resp.StatusCode)
+	}
+}
+
+func TestBuildServerWithDSLRules(t *testing.T) {
+	dir := newSiteDir(t)
+	ruleFile := filepath.Join(dir, "rules.oak")
+	writeFile(t, ruleFile, `
+rule r1 {
+  type 1
+  default "<div>ad</div>"
+  ttl 0
+  scope *
+}
+`)
+	_, _, nRules, err := buildServer(dir, ruleFile, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nRules != 1 {
+		t.Errorf("rules = %d, want 1", nRules)
+	}
+}
+
+func TestBuildServerWithJSONRules(t *testing.T) {
+	dir := newSiteDir(t)
+	ruleFile := filepath.Join(dir, "rules.json")
+	writeFile(t, ruleFile, `[{"id":"r1","type":1,"default":"<div>ad</div>","scope":"*","ttlMillis":0}]`)
+	_, _, nRules, err := buildServer(dir, ruleFile, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nRules != 1 {
+		t.Errorf("rules = %d, want 1", nRules)
+	}
+}
+
+func TestBuildServerErrors(t *testing.T) {
+	dir := newSiteDir(t)
+	if _, _, _, err := buildServer(dir, filepath.Join(dir, "missing.oak"), false); err == nil {
+		t.Error("missing rule file: want error")
+	}
+	bad := filepath.Join(dir, "bad.oak")
+	writeFile(t, bad, "rule broken {")
+	if _, _, _, err := buildServer(dir, bad, false); err == nil {
+		t.Error("bad rule file: want error")
+	}
+	empty := t.TempDir()
+	if _, _, _, err := buildServer(empty, "", false); err == nil {
+		t.Error("empty page dir: want error")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag: want error")
+	}
+}
+
+func TestStatePersistence(t *testing.T) {
+	dir := newSiteDir(t)
+	ruleFile := filepath.Join(dir, "rules.oak")
+	writeFile(t, ruleFile, `
+rule swap {
+  type 2
+  default "<img src=\"http://slow.example/x.png\">"
+  alt "<img src=\"http://fast.example/x.png\">"
+  ttl 0
+  scope *
+}
+`)
+	server, _, _, err := buildServer(dir, ruleFile, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate learned state: one report that activates the rule.
+	rep := `{"userId":"u1","page":"/index.html","entries":[
+	  {"url":"http://slow.example/x.png","serverAddr":"9.9.9.9","sizeBytes":1000,"durationMillis":3000},
+	  {"url":"http://a.example/a.png","serverAddr":"1.1.1.1","sizeBytes":1000,"durationMillis":100},
+	  {"url":"http://b.example/b.png","serverAddr":"2.2.2.2","sizeBytes":1000,"durationMillis":110},
+	  {"url":"http://c.example/c.png","serverAddr":"3.3.3.3","sizeBytes":1000,"durationMillis":95}
+	]}`
+	parsed, err := oakUnmarshal([]byte(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Engine().HandleReport(parsed); err != nil {
+		t.Fatal(err)
+	}
+
+	statePath := filepath.Join(dir, "state.json")
+	if err := saveState(server.Engine(), statePath); err != nil {
+		t.Fatal(err)
+	}
+
+	// A restarted server restores the activation.
+	server2, _, _, err := buildServer(dir, ruleFile, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loadState(server2.Engine(), statePath); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := server2.Engine().Snapshot("u1")
+	if !ok || len(snap.ActiveRules) != 1 {
+		t.Errorf("restored snapshot = %+v", snap)
+	}
+}
+
+func TestLoadStateMissingFileOK(t *testing.T) {
+	dir := newSiteDir(t)
+	server, _, _, err := buildServer(dir, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loadState(server.Engine(), filepath.Join(dir, "absent.json")); err != nil {
+		t.Errorf("missing state file should be fresh start, got %v", err)
+	}
+}
+
+func TestPersistPeriodicallyStops(t *testing.T) {
+	dir := newSiteDir(t)
+	server, _, _, err := buildServer(dir, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statePath := filepath.Join(dir, "state.json")
+	stop := persistPeriodically(server.Engine(), statePath, 10*time.Millisecond)
+	time.Sleep(35 * time.Millisecond)
+	stop()
+	if _, err := os.Stat(statePath); err != nil {
+		t.Errorf("periodic save never wrote %s: %v", statePath, err)
+	}
+}

@@ -1,0 +1,65 @@
+// Command oakgen generates a synthetic site catalog (the Alexa-Top-500
+// stand-in used by the experiments) and writes it as JSON for inspection,
+// or emits the generated rule set for one site.
+//
+// Usage:
+//
+//	oakgen -sites 20 -seed 7 > catalog.json
+//	oakgen -site 3 -rules > site3-rules.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"oak"
+	"oak/internal/webgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "oakgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("oakgen", flag.ContinueOnError)
+	var (
+		seed     = fs.Int64("seed", 1, "generation seed")
+		sites    = fs.Int("sites", 10, "number of sites to generate")
+		siteIdx  = fs.Int("site", -1, "emit only this site index")
+		genRules = fs.Bool("rules", false, "emit the site's generated Type 2 rule set instead of the site")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	n := *sites
+	if *siteIdx >= 0 && *siteIdx >= n {
+		n = *siteIdx + 1
+	}
+	g := webgen.NewGenerator(webgen.Config{Seed: *seed, NumSites: n})
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+
+	if *siteIdx >= 0 {
+		site := g.Site(*siteIdx)
+		if *genRules {
+			rs := webgen.BuildRules(site, []string{"na", "eu", "as"})
+			data, err := oak.MarshalRules(rs)
+			if err != nil {
+				return err
+			}
+			_, err = os.Stdout.Write(append(data, '\n'))
+			return err
+		}
+		return enc.Encode(site)
+	}
+	if *genRules {
+		return fmt.Errorf("-rules requires -site")
+	}
+	return enc.Encode(g.Catalog())
+}

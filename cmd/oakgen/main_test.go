@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunCatalog(t *testing.T) {
+	if err := run([]string{"-sites", "2"}); err != nil {
+		t.Errorf("run(-sites 2) = %v", err)
+	}
+}
+
+func TestRunSingleSite(t *testing.T) {
+	if err := run([]string{"-site", "1", "-sites", "3"}); err != nil {
+		t.Errorf("run(-site 1) = %v", err)
+	}
+}
+
+func TestRunSiteRules(t *testing.T) {
+	if err := run([]string{"-site", "0", "-rules"}); err != nil {
+		t.Errorf("run(-site 0 -rules) = %v", err)
+	}
+}
+
+func TestRunRulesRequiresSite(t *testing.T) {
+	if err := run([]string{"-rules"}); err == nil {
+		t.Error("run(-rules) without -site: want error")
+	}
+}
+
+func TestRunSiteBeyondCatalog(t *testing.T) {
+	// -site larger than -sites grows the catalog rather than failing.
+	if err := run([]string{"-site", "5", "-sites", "2"}); err != nil {
+		t.Errorf("run(-site 5 -sites 2) = %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("run(-nope): want error")
+	}
+}

@@ -1,0 +1,135 @@
+// Command oakreport analyses Oak performance reports offline: it reads one
+// or more report JSON files (the bodies clients POST to /oak/report),
+// prints the per-server grouping the engine derives, and flags violators
+// with the paper's MAD criterion — the same analysis the live server runs,
+// available for debugging and auditing captured reports.
+//
+// Usage:
+//
+//	oakreport report1.json report2.json ...
+//	oakreport -k 3 report.json        # stricter criterion
+//	oakreport session.har             # browser-devtools HAR export
+//	cat report.json | oakreport -     # read from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"oak/internal/core"
+	"oak/internal/report"
+	"oak/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "oakreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("oakreport", flag.ContinueOnError)
+	k := fs.Float64("k", 2, "MAD multiplier for the violator criterion")
+	har := fs.Bool("har", false, "treat inputs as HAR files (implied by a .har extension)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("no report files given (use - for stdin)")
+	}
+	for _, f := range files {
+		data, err := readInput(f)
+		if err != nil {
+			return err
+		}
+		var rep *report.Report
+		if *har || strings.HasSuffix(f, ".har") {
+			rep, err = report.FromHAR(data, "har-session")
+		} else {
+			rep, err = report.Unmarshal(data)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		if err := rep.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		if err := analyse(out, f, rep, *k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readInput(name string) ([]byte, error) {
+	if name == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(name)
+}
+
+// analyse prints one report's per-server view and violator flags.
+func analyse(out io.Writer, name string, rep *report.Report, k float64) error {
+	fmt.Fprintf(out, "== %s: user %s page %s (%d objects, %s) ==\n",
+		name, rep.UserID, rep.Page, len(rep.Entries), byteSize(rep.TotalBytes()))
+
+	servers := report.GroupByServer(rep)
+	violations := core.DetectViolators(servers, k)
+	violating := make(map[string]core.Violation, len(violations))
+	for _, v := range violations {
+		violating[v.Server.Addr] = v
+	}
+
+	sort.Slice(servers, func(i, j int) bool {
+		return serverBadness(servers[i]) > serverBadness(servers[j])
+	})
+	fmt.Fprintf(out, "%-24s %-30s %10s %12s %s\n",
+		"server", "hosts", "small(ms)", "large(KB/s)", "verdict")
+	for _, s := range servers {
+		verdict := "ok"
+		if v, bad := violating[s.Addr]; bad {
+			verdict = fmt.Sprintf("VIOLATOR (%s, %.0f beyond median)", v.Metric, v.Distance)
+		}
+		small, large := "-", "-"
+		if s.SmallCount > 0 {
+			small = fmt.Sprintf("%.1f", s.SmallMeanTimeMs)
+		}
+		if s.LargeCount > 0 {
+			large = fmt.Sprintf("%.1f", s.LargeMeanTputBps/1024)
+		}
+		fmt.Fprintf(out, "%-24s %-30s %10s %12s %s\n",
+			s.Addr, strings.Join(s.Hosts, ","), small, large, verdict)
+	}
+	durations := make([]float64, 0, len(rep.Entries))
+	for _, e := range rep.Entries {
+		durations = append(durations, e.DurationMillis)
+	}
+	if summary, err := stats.Summarize(durations); err == nil {
+		fmt.Fprintf(out, "object download times (ms): %s\n", summary)
+	}
+	fmt.Fprintf(out, "violators: %d of %d servers\n\n", len(violations), len(servers))
+	return nil
+}
+
+// serverBadness orders servers worst-first for display.
+func serverBadness(s *report.ServerPerf) float64 {
+	return s.SmallMeanTimeMs
+}
+
+// byteSize renders a byte count human-readably.
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"oak/internal/report"
+)
+
+func writeReport(t *testing.T, rep *report.Report) string {
+	t.Helper()
+	data, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sampleReport() *report.Report {
+	rep := &report.Report{UserID: "u1", Page: "/index.html"}
+	hosts := []struct {
+		host string
+		ms   float64
+	}{
+		{"slow.example", 2500},
+		{"a.example", 100},
+		{"b.example", 110},
+		{"c.example", 95},
+		{"d.example", 105},
+	}
+	for _, h := range hosts {
+		rep.Entries = append(rep.Entries, report.Entry{
+			URL: "http://" + h.host + "/x.bin", ServerAddr: "ip-" + h.host,
+			SizeBytes: 4096, DurationMillis: h.ms,
+		})
+	}
+	return rep
+}
+
+func TestRunAnalysesReport(t *testing.T) {
+	path := writeReport(t, sampleReport())
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "VIOLATOR") {
+		t.Errorf("no violator flagged:\n%s", s)
+	}
+	if !strings.Contains(s, "ip-slow.example") {
+		t.Errorf("slow server missing:\n%s", s)
+	}
+	if !strings.Contains(s, "violators: 1 of 5") {
+		t.Errorf("summary line wrong:\n%s", s)
+	}
+}
+
+func TestRunStricterK(t *testing.T) {
+	path := writeReport(t, sampleReport())
+	var out bytes.Buffer
+	// An absurd k flags nothing.
+	if err := run([]string{"-k", "500", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "violators: 0 of 5") {
+		t.Errorf("k=500 still flagged:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no files: want error")
+	}
+	if err := run([]string{"/does/not/exist.json"}, &out); err == nil {
+		t.Error("missing file: want error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &out); err == nil {
+		t.Error("bad json: want error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"userId":"u","page":"/","entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}, &out); err == nil {
+		t.Error("invalid report: want error")
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	tests := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.0 KB"},
+		{3 << 20, "3.0 MB"},
+	}
+	for _, tt := range tests {
+		if got := byteSize(tt.n); got != tt.want {
+			t.Errorf("byteSize(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestRunHARInput(t *testing.T) {
+	har := `{"log":{"pages":[{"id":"p","title":"http://site.example/"}],"entries":[
+	  {"time":2500,"request":{"method":"GET","url":"http://slow.example/a.bin"},"response":{"status":200,"content":{"size":4096,"mimeType":"image/png"}},"serverIPAddress":"9.9.9.9"},
+	  {"time":100,"request":{"method":"GET","url":"http://a.example/b.bin"},"response":{"status":200,"content":{"size":4096,"mimeType":"image/png"}},"serverIPAddress":"1.1.1.1"},
+	  {"time":110,"request":{"method":"GET","url":"http://b.example/c.bin"},"response":{"status":200,"content":{"size":4096,"mimeType":"image/png"}},"serverIPAddress":"2.2.2.2"},
+	  {"time":95,"request":{"method":"GET","url":"http://c.example/d.bin"},"response":{"status":200,"content":{"size":4096,"mimeType":"image/png"}},"serverIPAddress":"3.3.3.3"},
+	  {"time":105,"request":{"method":"GET","url":"http://d.example/e.bin"},"response":{"status":200,"content":{"size":4096,"mimeType":"image/png"}},"serverIPAddress":"4.4.4.4"}
+	]}}`
+	path := filepath.Join(t.TempDir(), "session.har")
+	if err := os.WriteFile(path, []byte(har), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "VIOLATOR") || !strings.Contains(out.String(), "9.9.9.9") {
+		t.Errorf("HAR analysis missing violator:\n%s", out.String())
+	}
+}

@@ -1,0 +1,113 @@
+package oak_test
+
+import (
+	"fmt"
+	"time"
+
+	"oak"
+)
+
+// ExampleParseRules shows the operator rule DSL: the paper's running
+// example, jquery served from s1 with an identical copy on s2.
+func ExampleParseRules() {
+	rules, err := oak.ParseRules(`
+rule jquery-cdn {
+  type 2
+  default "<script src=\"http://s1.com/jquery.js\">"
+  alt "<script src=\"http://s2.net/jquery.js\">"
+  ttl 0      # never expire
+  scope *    # site wide
+}`)
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	r := rules[0]
+	fmt.Println(r.ID, r.Type, r.Scope)
+	// Output: jquery-cdn type2-replace-same *
+}
+
+// ExampleNewEngine walks the full decision loop without any HTTP: feed a
+// report in which one server badly under-performs its peers, then watch the
+// user's page get rewritten.
+func ExampleNewEngine() {
+	rules, _ := oak.ParseRules(`
+rule swap-s1 {
+  type 2
+  default "<script src=\"http://s1.com/jquery.js\">"
+  alt "<script src=\"http://s2.net/jquery.js\">"
+  ttl 0
+  scope *
+}`)
+	engine, _ := oak.NewEngine(rules)
+
+	entry := func(host string, ms float64) oak.Entry {
+		return oak.Entry{
+			URL:            "http://" + host + "/jquery.js",
+			ServerAddr:     "ip-" + host,
+			SizeBytes:      8 * 1024,
+			DurationMillis: ms,
+		}
+	}
+	report := &oak.Report{
+		UserID: "alice",
+		Page:   "/index.html",
+		Entries: []oak.Entry{
+			entry("s1.com", 2400), // the violator
+			entry("cdn-a.example", 90),
+			entry("cdn-b.example", 110),
+			entry("cdn-c.example", 100),
+			entry("cdn-d.example", 95),
+		},
+	}
+	res, _ := engine.HandleReport(report)
+	fmt.Println("violators:", len(res.Violations))
+
+	page := `<script src="http://s1.com/jquery.js">`
+	out, _ := engine.ModifyPage("alice", "/index.html", page)
+	fmt.Println(out)
+	// Bob never reported anything, so his page is untouched.
+	bob, _ := engine.ModifyPage("bob", "/index.html", page)
+	fmt.Println(bob == page)
+	// Output:
+	// violators: 1
+	// <script src="http://s2.net/jquery.js">
+	// true
+}
+
+// ExamplePolicy demonstrates the operator policy knobs of Section 4.2.4:
+// require three violations before switching, and expire activations.
+func ExamplePolicy() {
+	rules, _ := oak.ParseRules(`
+rule cautious {
+  type 2
+  default "<img src=\"http://cdn.example/a.png\">"
+  alt "<img src=\"http://backup.example/a.png\">"
+  ttl 1h
+  scope *
+}`)
+	engine, _ := oak.NewEngine(rules,
+		oak.WithPolicy(oak.Policy{MinViolations: 3}),
+		oak.WithClock(func() time.Time {
+			return time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+		}),
+	)
+	rep := &oak.Report{
+		UserID: "carol",
+		Page:   "/",
+		Entries: []oak.Entry{
+			{URL: "http://cdn.example/a.png", ServerAddr: "1.1.1.1", SizeBytes: 1024, DurationMillis: 3000},
+			{URL: "http://h2.example/b.png", ServerAddr: "2.2.2.2", SizeBytes: 1024, DurationMillis: 100},
+			{URL: "http://h3.example/c.png", ServerAddr: "3.3.3.3", SizeBytes: 1024, DurationMillis: 110},
+			{URL: "http://h4.example/d.png", ServerAddr: "4.4.4.4", SizeBytes: 1024, DurationMillis: 95},
+		},
+	}
+	for i := 1; i <= 3; i++ {
+		res, _ := engine.HandleReport(rep)
+		fmt.Printf("report %d: %d rule changes\n", i, len(res.Changes))
+	}
+	// Output:
+	// report 1: 0 rule changes
+	// report 2: 0 rule changes
+	// report 3: 1 rule changes
+}

@@ -1,0 +1,157 @@
+// Ad replacement: Type 3 (non-identical alternative) and Type 1 (removal)
+// rules, sub-rules, and scopes.
+//
+// A news site's article pages embed an ad slot from ad-net-a plus a
+// tracking pixel. When ad-net-a under-performs for a user, a Type 3 rule
+// replaces the whole slot with a house ad served by the origin's own CDN
+// (and a sub-rule flips the page's adsEnabled flag); a Type 1 rule drops
+// the tracker outright on checkout pages only.
+//
+// Run with: go run ./examples/adswap
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"time"
+
+	"oak"
+)
+
+const ruleText = `
+# Replace the external ad slot with a house ad when ad-net-a misbehaves.
+rule house-ad {
+  type 3
+  default <<<
+    <div class="ad-slot">
+      <script src="http://ad-net-a.example/serve.js"></script>
+    </div>
+  >>>
+  alt <<<
+    <div class="ad-slot house">
+      <img src="http://static.news.example/house-ad.png">
+    </div>
+  >>>
+  ttl 30m
+  scope /articles/*
+  sub "var adsEnabled = true" -> "var adsEnabled = false"
+}
+
+# Never let a slow tracker delay checkout.
+rule drop-tracker {
+  type 1
+  default "<img src=\"http://ad-net-a.example/pixel.gif\">"
+  ttl 0
+  scope /checkout/*
+}
+`
+
+const articlePage = `<html><body>
+<script>var adsEnabled = true;</script>
+<div class="ad-slot">
+  <script src="http://ad-net-a.example/serve.js"></script>
+</div>
+<img src="http://img.news.example/photo.jpg">
+<img src="http://static.news.example/style.bin">
+<img src="http://social.example/badge.bin">
+<img src="http://cdn.partner.example/widget.bin">
+</body></html>`
+
+const checkoutPage = `<html><body>
+<img src="http://ad-net-a.example/pixel.gif">
+<img src="http://img.news.example/photo.jpg">
+<img src="http://static.news.example/style.bin">
+<img src="http://social.example/badge.bin">
+<img src="http://cdn.partner.example/widget.bin">
+</body></html>`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	hosts := []string{"ad-net-a.example", "img.news.example", "static.news.example",
+		"social.example", "cdn.partner.example"}
+	backends := make(map[string]*httptest.Server, len(hosts))
+	content := make(map[string]*oak.ContentServer, len(hosts))
+	for _, h := range hosts {
+		cs := oak.NewContentServer()
+		for _, path := range []string{"/serve.js", "/pixel.gif", "/photo.jpg", "/style.bin", "/badge.bin", "/widget.bin", "/house-ad.png"} {
+			cs.AddObject(path, 12*1024)
+		}
+		content[h] = cs
+		ts := httptest.NewServer(cs)
+		defer ts.Close()
+		backends[h] = ts
+	}
+	content["ad-net-a.example"].SetDelay(130 * time.Millisecond)
+
+	rules, err := oak.ParseRules(ruleText)
+	if err != nil {
+		return err
+	}
+	engine, err := oak.NewEngine(rules)
+	if err != nil {
+		return err
+	}
+	server := oak.NewServer(engine)
+	server.SetPage("/articles/today.html", articlePage)
+	server.SetPage("/checkout/pay.html", checkoutPage)
+	origin := httptest.NewServer(server)
+	defer origin.Close()
+
+	client := &oak.Client{Resolve: func(host string) (string, bool) {
+		ts, ok := backends[host]
+		if !ok {
+			return "", false
+		}
+		u, err := url.Parse(ts.URL)
+		if err != nil {
+			return "", false
+		}
+		return u.Host, true
+	}}
+
+	describe := func(label, html string) {
+		var notes []string
+		if strings.Contains(html, "house-ad.png") {
+			notes = append(notes, "house ad")
+		}
+		if strings.Contains(html, "ad-net-a.example/serve.js") {
+			notes = append(notes, "external ad")
+		}
+		if strings.Contains(html, "adsEnabled = false") {
+			notes = append(notes, "adsEnabled flipped")
+		}
+		if strings.Contains(html, "pixel.gif") {
+			notes = append(notes, "tracker present")
+		} else if label == "checkout" {
+			notes = append(notes, "tracker removed")
+		}
+		fmt.Printf("%-10s %s\n", label+":", strings.Join(notes, ", "))
+	}
+
+	// Article load 1 exposes ad-net-a; load 2 shows the Type 3 swap.
+	for i := 0; i < 2; i++ {
+		_, html, err := client.LoadAndReport(origin.URL, "/articles/today.html")
+		if err != nil {
+			return err
+		}
+		describe(fmt.Sprintf("article#%d", i+1), html)
+	}
+	// The checkout rule is scoped separately: a checkout load reports the
+	// same violator and drops the pixel on the next one.
+	for i := 0; i < 2; i++ {
+		_, html, err := client.LoadAndReport(origin.URL, "/checkout/pay.html")
+		if err != nil {
+			return err
+		}
+		describe("checkout", html)
+	}
+	return nil
+}

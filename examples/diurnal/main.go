@@ -1,0 +1,135 @@
+// Diurnal congestion: rule TTLs and re-activation across a simulated day.
+//
+// A metrics provider gets overloaded during business hours and recovers at
+// night — the paper's Figure 11 scenario. Oak's rule carries a 2-hour TTL:
+// during the busy period the user's page keeps re-activating onto the
+// alternate (every report re-observes the violation); once the provider
+// recovers, the activation lapses and the page drifts back to the default
+// without any operator involvement.
+//
+// The simulated day drives both the engine clock (via oak.WithClock) and
+// the provider's artificial delay.
+//
+// Run with: go run ./examples/diurnal
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"time"
+
+	"oak"
+)
+
+const ruleText = `
+rule swap-metrics {
+  type 2
+  default "<script src=\"http://metrics.example/collect.js\"></script>"
+  alt "<script src=\"http://metrics-alt.example/collect.js\"></script>"
+  ttl 2h
+  scope *
+}
+`
+
+// peakDelay returns the provider's artificial delay at a given hour:
+// negligible at night, heavy around 14:00.
+func peakDelay(hour int) time.Duration {
+	shape := (math.Cos((float64(hour)-14)/24*2*math.Pi) + 1) / 2 // 1 at 14:00
+	return time.Duration(shape * shape * 250 * float64(time.Millisecond))
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Each provider has its own realistic base latency; the spread keeps
+	// Oak's MAD criterion from firing on loopback micro-noise, so only the
+	// genuine daytime congestion triggers a switch.
+	baseDelay := map[string]time.Duration{
+		"metrics.example":     9 * time.Millisecond,
+		"metrics-alt.example": 10 * time.Millisecond,
+		"img.example":         8 * time.Millisecond,
+		"css.example":         12 * time.Millisecond,
+		"api.example":         10 * time.Millisecond,
+		"fonts.example":       11 * time.Millisecond,
+	}
+	backends := make(map[string]*httptest.Server, len(baseDelay))
+	content := make(map[string]*oak.ContentServer, len(baseDelay))
+	for h, d := range baseDelay {
+		cs := oak.NewContentServer()
+		cs.AddObject("/collect.js", 10*1024)
+		cs.AddObject("/asset.bin", 10*1024)
+		cs.SetDelay(d)
+		content[h] = cs
+		ts := httptest.NewServer(cs)
+		defer ts.Close()
+		backends[h] = ts
+	}
+
+	rules, err := oak.ParseRules(ruleText)
+	if err != nil {
+		return err
+	}
+	// The engine's clock follows the simulated day so TTL expiry works on
+	// simulated, not wall, time.
+	simNow := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	engine, err := oak.NewEngine(rules, oak.WithClock(func() time.Time { return simNow }))
+	if err != nil {
+		return err
+	}
+	server := oak.NewServer(engine)
+	server.SetPage("/", `<html><body>
+<script src="http://metrics.example/collect.js"></script>
+<img src="http://img.example/asset.bin">
+<link rel="stylesheet" href="http://css.example/asset.bin">
+<img src="http://api.example/asset.bin">
+<img src="http://fonts.example/asset.bin">
+</body></html>`)
+	origin := httptest.NewServer(server)
+	defer origin.Close()
+
+	client := &oak.Client{Resolve: func(host string) (string, bool) {
+		ts, ok := backends[host]
+		if !ok {
+			return "", false
+		}
+		u, err := url.Parse(ts.URL)
+		if err != nil {
+			return "", false
+		}
+		return u.Host, true
+	}}
+
+	fmt.Println("hour  delay(ms)  metrics served by   PLT(ms)")
+	for hour := 0; hour < 24; hour += 2 {
+		simNow = simNow.Truncate(24 * time.Hour).Add(time.Duration(hour) * time.Hour)
+		delay := peakDelay(hour)
+		content["metrics.example"].SetDelay(9*time.Millisecond + delay)
+
+		// Users browse several pages per visit: the first load of the hour
+		// observes (and reports) current conditions, the second reflects
+		// Oak's reaction.
+		if _, _, err := client.LoadAndReport(origin.URL, "/"); err != nil {
+			return err
+		}
+		res, html, err := client.LoadAndReport(origin.URL, "/")
+		if err != nil {
+			return err
+		}
+		serving := "metrics (default)"
+		if strings.Contains(html, "metrics-alt.example") {
+			serving = "metrics-alt (Oak)"
+		}
+		fmt.Printf("%02d:00  %8.0f  %-18s %8.1f\n",
+			hour, float64(delay)/float64(time.Millisecond), serving,
+			float64(res.PLT)/float64(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// Multi-CDN failover: linear progression through a rule's alternatives.
+//
+// A site serves its JavaScript bundle from cdn-1 with replicas on cdn-2 and
+// cdn-3. cdn-1 degrades, Oak switches the user to cdn-2; then cdn-2
+// degrades too and Oak progresses to cdn-3 ("Oak progresses through the
+// list linearly with each activation", Section 4.2.4). When cdn-3 also
+// turns bad — and performs even worse than the original default did — the
+// rule-history mechanism (Section 4.2.3) gives up and reverts to cdn-1.
+//
+// Run with: go run ./examples/multicdn
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"net/url"
+	"regexp"
+	"time"
+
+	"oak"
+)
+
+const ruleText = `
+rule bundle-cdn {
+  type 2
+  default "<script src=\"http://cdn-1.example/app.js\"></script>"
+  alt "<script src=\"http://cdn-2.example/app.js\"></script>"
+  alt "<script src=\"http://cdn-3.example/app.js\"></script>"
+  ttl 0
+  scope *
+}
+`
+
+var cdnRe = regexp.MustCompile(`cdn-\d`)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	hosts := []string{"cdn-1.example", "cdn-2.example", "cdn-3.example",
+		"img.example", "css.example", "api.example", "stats.example"}
+	backends := make(map[string]*httptest.Server, len(hosts))
+	content := make(map[string]*oak.ContentServer, len(hosts))
+	for _, h := range hosts {
+		cs := oak.NewContentServer()
+		cs.AddObject("/app.js", 16*1024)
+		cs.AddObject("/asset.bin", 16*1024)
+		content[h] = cs
+		ts := httptest.NewServer(cs)
+		defer ts.Close()
+		backends[h] = ts
+	}
+
+	rules, err := oak.ParseRules(ruleText)
+	if err != nil {
+		return err
+	}
+	engine, err := oak.NewEngine(rules)
+	if err != nil {
+		return err
+	}
+	server := oak.NewServer(engine)
+	server.SetPage("/", `<html><body>
+<script src="http://cdn-1.example/app.js"></script>
+<img src="http://img.example/asset.bin">
+<link rel="stylesheet" href="http://css.example/asset.bin">
+<img src="http://api.example/asset.bin">
+<img src="http://stats.example/asset.bin">
+</body></html>`)
+	origin := httptest.NewServer(server)
+	defer origin.Close()
+
+	client := &oak.Client{Resolve: func(host string) (string, bool) {
+		ts, ok := backends[host]
+		if !ok {
+			return "", false
+		}
+		u, err := url.Parse(ts.URL)
+		if err != nil {
+			return "", false
+		}
+		return u.Host, true
+	}}
+
+	// The scenario unfolds: each phase degrades the CDN currently in use.
+	phases := []struct {
+		note    string
+		degrade string
+		delay   time.Duration
+	}{
+		{"all healthy", "", 0},
+		{"cdn-1 degrades", "cdn-1.example", 120 * time.Millisecond},
+		{"cdn-2 degrades too", "cdn-2.example", 150 * time.Millisecond},
+		{"cdn-3 degrades worst of all", "cdn-3.example", 400 * time.Millisecond},
+		{"aftermath", "", 0},
+	}
+	for _, ph := range phases {
+		if ph.degrade != "" {
+			content[ph.degrade].SetDelay(ph.delay)
+		}
+		// Two loads per phase: one to observe+report, one to see the effect.
+		var using string
+		for i := 0; i < 2; i++ {
+			res, html, err := client.LoadAndReport(origin.URL, "/")
+			if err != nil {
+				return err
+			}
+			using = cdnRe.FindString(html)
+			_ = res
+		}
+		fmt.Printf("%-28s -> bundle served from %s\n", ph.note, using)
+	}
+	return nil
+}

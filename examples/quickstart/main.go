@@ -1,0 +1,105 @@
+// Quickstart: the smallest complete Oak deployment.
+//
+// One origin page embeds objects from five external providers. One of them
+// is degraded. An Oak-enabled client loads the page, reports its timings,
+// and the very next load is steered to the healthy alternative — for this
+// user only.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"time"
+
+	"oak"
+)
+
+const ruleText = `
+# If cdn-a under-performs for a user, serve the identical bundle from cdn-b.
+rule swap-cdn-a {
+  type 2
+  default "<script src=\"http://cdn-a.example/bundle.js\"></script>"
+  alt "<script src=\"http://cdn-b.example/bundle.js\"></script>"
+  ttl 0      # stay switched until the alternate misbehaves
+  scope *    # site-wide
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Third-party providers (loopback stand-ins). cdn-a is degraded.
+	hosts := []string{"cdn-a.example", "img.example", "fonts.example", "ads.example", "stats.example", "cdn-b.example"}
+	backends := make(map[string]*httptest.Server, len(hosts))
+	content := make(map[string]*oak.ContentServer, len(hosts))
+	for _, h := range hosts {
+		cs := oak.NewContentServer()
+		cs.AddObject("/bundle.js", 16*1024)
+		cs.AddObject("/asset.bin", 8*1024)
+		content[h] = cs
+		ts := httptest.NewServer(cs)
+		defer ts.Close()
+		backends[h] = ts
+	}
+	content["cdn-a.example"].SetDelay(150 * time.Millisecond)
+
+	// 2. The Oak-fronted origin.
+	rules, err := oak.ParseRules(ruleText)
+	if err != nil {
+		return err
+	}
+	engine, err := oak.NewEngine(rules, oak.WithLogf(log.Printf))
+	if err != nil {
+		return err
+	}
+	server := oak.NewServer(engine)
+	server.SetPage("/index.html", `<html><body>
+<script src="http://cdn-a.example/bundle.js"></script>
+<img src="http://img.example/asset.bin">
+<img src="http://fonts.example/asset.bin">
+<img src="http://ads.example/asset.bin">
+<img src="http://stats.example/asset.bin">
+</body></html>`)
+	origin := httptest.NewServer(server)
+	defer origin.Close()
+
+	// 3. An Oak-enabled client (resolves provider names to the loopback
+	// listeners, measures every download, reports back).
+	client := &oak.Client{Resolve: func(host string) (string, bool) {
+		ts, ok := backends[host]
+		if !ok {
+			return "", false
+		}
+		u, err := url.Parse(ts.URL)
+		if err != nil {
+			return "", false
+		}
+		return u.Host, true
+	}}
+
+	for i := 1; i <= 3; i++ {
+		res, html, err := client.LoadAndReport(origin.URL, "/index.html")
+		if err != nil {
+			return err
+		}
+		provider := "cdn-a (default)"
+		if strings.Contains(html, "cdn-b.example") {
+			provider = "cdn-b (Oak-switched)"
+		}
+		fmt.Printf("load %d: PLT %7.1fms  bundle from %s\n",
+			i, float64(res.PLT)/float64(time.Millisecond), provider)
+	}
+
+	snap, _ := server.Engine().Snapshot(client.UserID)
+	fmt.Printf("active rules for this user: %v\n", snap.ActiveRules)
+	return nil
+}

@@ -1,0 +1,3 @@
+module oak
+
+go 1.22

@@ -1,0 +1,195 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"oak/internal/htmlscan"
+	"oak/internal/report"
+)
+
+// HostResolver maps a logical hostname from page markup (e.g.
+// "cdn.example") to a reachable base like "127.0.0.1:43117". Integration
+// tests and examples run providers as loopback servers, so the client
+// resolves names itself rather than through DNS — playing the role the
+// browser's resolver plays for the paper's client.
+type HostResolver func(host string) (string, bool)
+
+// HTTPClient is an Oak-enabled client over real HTTP: it loads pages,
+// measures every object download, and reports the timings back to the Oak
+// origin, exactly like the paper's modified-WebKit client.
+type HTTPClient struct {
+	// UserID is the client's Oak cookie value. Empty means "let the origin
+	// issue one" — the client adopts the Set-Cookie it receives.
+	UserID string
+	// Resolve maps markup hostnames to reachable addresses.
+	Resolve HostResolver
+	// HTTP is the transport; nil means a default client with a sane timeout.
+	HTTP *http.Client
+}
+
+// httpc returns the underlying http.Client.
+func (c *HTTPClient) httpc() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// LoadPage fetches originBase+path from the Oak origin, loads every
+// referenced object, and returns the resulting performance report (without
+// submitting it). originBase is e.g. "http://127.0.0.1:40001".
+func (c *HTTPClient) LoadPage(originBase, path string) (*LoadResult, string, error) {
+	pageURL := strings.TrimSuffix(originBase, "/") + path
+	req, err := http.NewRequest(http.MethodGet, pageURL, nil)
+	if err != nil {
+		return nil, "", fmt.Errorf("client: build request: %w", err)
+	}
+	if c.UserID != "" {
+		req.AddCookie(&http.Cookie{Name: "oak-user", Value: c.UserID})
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return nil, "", fmt.Errorf("client: fetch page: %w", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return nil, "", fmt.Errorf("client: read page: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("client: page status %d", resp.StatusCode)
+	}
+	for _, ck := range resp.Cookies() {
+		if ck.Name == "oak-user" && c.UserID == "" {
+			c.UserID = ck.Value
+		}
+	}
+	html := string(body)
+
+	rep := &report.Report{
+		UserID:            c.UserID,
+		Page:              path,
+		GeneratedAtUnixMs: time.Now().UnixMilli(),
+	}
+	var chains []time.Duration
+	fetched := make(map[string]bool)
+
+	fetch := func(raw string, kind report.ObjectKind, prefix time.Duration, initiator string) (time.Duration, []byte, error) {
+		if fetched[raw] {
+			return 0, nil, nil
+		}
+		host := htmlscan.HostOf(raw)
+		if host == "" {
+			return 0, nil, nil // relative URL: served inline by the origin
+		}
+		addr, ok := c.Resolve(host)
+		if !ok {
+			return 0, nil, fmt.Errorf("client: cannot resolve %q", host)
+		}
+		u, err := url.Parse(raw)
+		if err != nil {
+			return 0, nil, fmt.Errorf("client: bad url %q: %w", raw, err)
+		}
+		real := "http://" + addr + u.RequestURI()
+		start := time.Now()
+		resp, err := c.httpc().Get(real)
+		if err != nil {
+			return 0, nil, fmt.Errorf("client: fetch %q: %w", raw, err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			return 0, nil, fmt.Errorf("client: read %q: %w", raw, err)
+		}
+		dur := time.Since(start)
+		if resp.StatusCode != http.StatusOK {
+			return 0, nil, fmt.Errorf("client: %q status %d", raw, resp.StatusCode)
+		}
+		fetched[raw] = true
+		rep.Entries = append(rep.Entries, report.Entry{
+			URL:            raw,
+			ServerAddr:     addr,
+			SizeBytes:      int64(len(data)),
+			DurationMillis: float64(dur) / float64(time.Millisecond),
+			InitiatorURL:   initiator,
+			Kind:           kind,
+		})
+		chains = append(chains, prefix+dur)
+		return dur, data, nil
+	}
+
+	for _, ref := range htmlscan.ExtractRefs(html) {
+		kind := kindForTag(ref.Tag, "")
+		dur, data, err := fetch(ref.URL, kind, 0, "")
+		if err != nil {
+			return nil, "", err
+		}
+		if ref.Tag == "script" && ref.Attr == "src" && data != nil {
+			for _, u := range htmlscan.URLsInText(string(data)) {
+				if _, _, err := fetch(u, report.KindOther, dur, ref.URL); err != nil {
+					return nil, "", err
+				}
+			}
+		}
+	}
+	for _, inline := range htmlscan.InlineScripts(html) {
+		for _, u := range htmlscan.URLsInText(inline) {
+			if _, _, err := fetch(u, report.KindOther, 0, ""); err != nil {
+				return nil, "", err
+			}
+		}
+	}
+
+	var plt time.Duration
+	for _, d := range chains {
+		if d > plt {
+			plt = d
+		}
+	}
+	return &LoadResult{Report: rep, PLT: plt}, html, nil
+}
+
+// SubmitReport POSTs a report to the Oak origin's report endpoint.
+func (c *HTTPClient) SubmitReport(originBase string, rep *report.Report) error {
+	data, err := rep.Marshal()
+	if err != nil {
+		return fmt.Errorf("client: marshal report: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost,
+		strings.TrimSuffix(originBase, "/")+"/oak/report", bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("client: build report request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.UserID != "" {
+		req.AddCookie(&http.Cookie{Name: "oak-user", Value: c.UserID})
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: post report: %w", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("client: report status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// LoadAndReport performs a full Oak round: load the page, submit the report.
+func (c *HTTPClient) LoadAndReport(originBase, path string) (*LoadResult, string, error) {
+	res, html, err := c.LoadPage(originBase, path)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := c.SubmitReport(originBase, res.Report); err != nil {
+		return nil, "", err
+	}
+	return res, html, nil
+}

@@ -1,0 +1,149 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"oak/internal/report"
+)
+
+// staticResolver maps every host to one test server.
+func staticResolver(ts *httptest.Server) HostResolver {
+	return func(host string) (string, bool) {
+		u, err := url.Parse(ts.URL)
+		if err != nil {
+			return "", false
+		}
+		return u.Host, true
+	}
+}
+
+func TestHTTPClientLoadPage(t *testing.T) {
+	content := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/a.js":
+			w.Header().Set("Content-Type", "application/javascript")
+			_, _ = w.Write([]byte(`oakFetch("http://deep.example/b.bin");`))
+		default:
+			_, _ = w.Write(make([]byte, 2048))
+		}
+	}))
+	defer content.Close()
+
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.SetCookie(w, &http.Cookie{Name: "oak-user", Value: "issued-1"})
+		_, _ = w.Write([]byte(`<html>
+<script src="http://cdn.example/a.js"></script>
+<img src="http://img.example/c.bin">
+<script>var u = "http://inline.example/d.bin"; go(u);</script>
+</html>`))
+	}))
+	defer origin.Close()
+
+	c := &HTTPClient{Resolve: staticResolver(content)}
+	res, html, err := c.LoadPage(origin.URL, "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.UserID != "issued-1" {
+		t.Errorf("client did not adopt issued cookie: %q", c.UserID)
+	}
+	if !strings.Contains(html, "cdn.example") {
+		t.Error("html not returned")
+	}
+	// Four objects: a.js + its loaded b.bin + c.bin + inline d.bin.
+	if len(res.Report.Entries) != 4 {
+		t.Fatalf("entries = %d, want 4: %+v", len(res.Report.Entries), res.Report.Entries)
+	}
+	byURL := make(map[string]report.Entry)
+	for _, e := range res.Report.Entries {
+		byURL[e.URL] = e
+	}
+	dep, ok := byURL["http://deep.example/b.bin"]
+	if !ok {
+		t.Fatal("script-loaded object not fetched")
+	}
+	if dep.InitiatorURL != "http://cdn.example/a.js" {
+		t.Errorf("initiator = %q", dep.InitiatorURL)
+	}
+	if _, ok := byURL["http://inline.example/d.bin"]; !ok {
+		t.Error("inline-script object not fetched")
+	}
+	if res.PLT <= 0 {
+		t.Error("PLT not positive")
+	}
+}
+
+func TestHTTPClientUnresolvableHost(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`<img src="http://ghost.example/x.bin">`))
+	}))
+	defer origin.Close()
+
+	c := &HTTPClient{Resolve: func(string) (string, bool) { return "", false }}
+	if _, _, err := c.LoadPage(origin.URL, "/"); err == nil {
+		t.Error("unresolvable host: want error")
+	}
+}
+
+func TestHTTPClientPageStatusError(t *testing.T) {
+	origin := httptest.NewServer(http.NotFoundHandler())
+	defer origin.Close()
+	c := &HTTPClient{Resolve: func(string) (string, bool) { return "", false }}
+	if _, _, err := c.LoadPage(origin.URL, "/missing"); err == nil {
+		t.Error("404 page: want error")
+	}
+}
+
+func TestHTTPClientObjectStatusError(t *testing.T) {
+	content := httptest.NewServer(http.NotFoundHandler())
+	defer content.Close()
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`<img src="http://broken.example/x.bin">`))
+	}))
+	defer origin.Close()
+
+	c := &HTTPClient{Resolve: staticResolver(content)}
+	if _, _, err := c.LoadPage(origin.URL, "/"); err == nil {
+		t.Error("404 object: want error")
+	}
+}
+
+func TestHTTPClientSubmitReportStatus(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadRequest)
+	}))
+	defer origin.Close()
+	c := &HTTPClient{}
+	rep := &report.Report{UserID: "u", Page: "/", Entries: []report.Entry{
+		{URL: "http://x.example/a", SizeBytes: 1, DurationMillis: 1},
+	}}
+	if err := c.SubmitReport(origin.URL, rep); err == nil {
+		t.Error("rejected report: want error")
+	}
+}
+
+func TestHTTPClientKeepsExplicitUserID(t *testing.T) {
+	var gotCookie string
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if c, err := r.Cookie("oak-user"); err == nil {
+			gotCookie = c.Value
+		}
+		_, _ = w.Write([]byte("<html></html>"))
+	}))
+	defer origin.Close()
+
+	c := &HTTPClient{UserID: "pinned"}
+	if _, _, err := c.LoadPage(origin.URL, "/"); err != nil {
+		t.Fatal(err)
+	}
+	if gotCookie != "pinned" {
+		t.Errorf("sent cookie = %q, want pinned", gotCookie)
+	}
+	if c.UserID != "pinned" {
+		t.Errorf("UserID changed to %q", c.UserID)
+	}
+}

@@ -1,0 +1,142 @@
+// Package core implements the Oak engine (Section 4 of the paper): violator
+// detection over client-reported performance, connection-dependency rule
+// matching, per-user rule activation with history, and page modification.
+package core
+
+import (
+	"fmt"
+
+	"oak/internal/report"
+	"oak/internal/stats"
+)
+
+// MetricKind identifies which performance signal flagged a server.
+type MetricKind int
+
+const (
+	// MetricSmallTime flags mean small-object (<50 KB) download time:
+	// longer is worse.
+	MetricSmallTime MetricKind = iota + 1
+	// MetricLargeTput flags mean large-object throughput: lower is worse.
+	MetricLargeTput
+)
+
+// String names the metric.
+func (m MetricKind) String() string {
+	switch m {
+	case MetricSmallTime:
+		return "small-time"
+	case MetricLargeTput:
+		return "large-throughput"
+	default:
+		return fmt.Sprintf("metric-%d", int(m))
+	}
+}
+
+// Violation is one server flagged as under-performing relative to the other
+// servers the same client contacted during the same load.
+type Violation struct {
+	// Server is the flagged server's per-load summary.
+	Server *report.ServerPerf
+	// Metric says which signal crossed the MAD criterion.
+	Metric MetricKind
+	// Value is the server's metric value (ms or B/s).
+	Value float64
+	// Median and MAD describe the population the server was judged against.
+	Median float64
+	MAD    float64
+	// Distance is how far beyond the median, in the "worse" direction, the
+	// server sits. It feeds the rule-history mechanism (Section 4.2.3).
+	Distance float64
+}
+
+// DetectViolators applies the paper's MAD criterion (Section 4.2.1) to one
+// report's per-server summaries: a server is a violator if its mean
+// small-object time exceeds median + k*MAD of the small-object times, or its
+// mean large-object throughput falls below median - k*MAD of the
+// throughputs. A server with both object classes violates if either signal
+// does; it is reported once, with the first violating metric.
+//
+// The criterion is relative by construction: a client whose every path is
+// slow produces a high median and flags nothing, so Oak "need not waste its
+// time with such cases".
+func DetectViolators(servers []*report.ServerPerf, k float64) []Violation {
+	var out []Violation
+	flagged := make(map[string]bool)
+
+	smallServers, times := report.SmallTimes(servers)
+	if th, err := stats.NewOutlierThreshold(times, k, stats.UpperOutlier); err == nil {
+		for i, s := range smallServers {
+			if th.IsOutlier(times[i]) {
+				flagged[s.Addr] = true
+				out = append(out, Violation{
+					Server:   s,
+					Metric:   MetricSmallTime,
+					Value:    times[i],
+					Median:   th.Median,
+					MAD:      th.MAD,
+					Distance: th.Distance(times[i]),
+				})
+			}
+		}
+	}
+
+	largeServers, tputs := report.LargeTputs(servers)
+	if th, err := stats.NewOutlierThreshold(tputs, k, stats.LowerOutlier); err == nil {
+		for i, s := range largeServers {
+			if flagged[s.Addr] {
+				continue // already a violator via small objects
+			}
+			if th.IsOutlier(tputs[i]) {
+				flagged[s.Addr] = true
+				out = append(out, Violation{
+					Server:   s,
+					Metric:   MetricLargeTput,
+					Value:    tputs[i],
+					Median:   th.Median,
+					MAD:      th.MAD,
+					Distance: th.Distance(tputs[i]),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// AbsoluteThresholds is the naive alternative Oak's design rejects
+// (Section 6): fixed cutoffs instead of per-load relative ones. It exists
+// for the ablation benchmarks that quantify the difference.
+type AbsoluteThresholds struct {
+	// MaxSmallTimeMs flags servers whose mean small-object time exceeds
+	// this many milliseconds. Zero disables the check.
+	MaxSmallTimeMs float64
+	// MinLargeTputBps flags servers whose mean large-object throughput
+	// falls below this many bytes/second. Zero disables the check.
+	MinLargeTputBps float64
+}
+
+// DetectViolatorsAbsolute flags servers against fixed thresholds.
+func DetectViolatorsAbsolute(servers []*report.ServerPerf, th AbsoluteThresholds) []Violation {
+	var out []Violation
+	for _, s := range servers {
+		switch {
+		case th.MaxSmallTimeMs > 0 && s.SmallCount > 0 && s.SmallMeanTimeMs > th.MaxSmallTimeMs:
+			out = append(out, Violation{
+				Server:   s,
+				Metric:   MetricSmallTime,
+				Value:    s.SmallMeanTimeMs,
+				Median:   th.MaxSmallTimeMs,
+				Distance: s.SmallMeanTimeMs - th.MaxSmallTimeMs,
+			})
+		case th.MinLargeTputBps > 0 && s.LargeCount > 0 && s.LargeMeanTputBps < th.MinLargeTputBps:
+			out = append(out, Violation{
+				Server:   s,
+				Metric:   MetricLargeTput,
+				Value:    s.LargeMeanTputBps,
+				Median:   th.MinLargeTputBps,
+				Distance: th.MinLargeTputBps - s.LargeMeanTputBps,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"oak/internal/report"
+)
+
+// mkServers builds per-server summaries with the given mean small times.
+func mkServersSmall(times ...float64) []*report.ServerPerf {
+	out := make([]*report.ServerPerf, len(times))
+	for i, tm := range times {
+		out[i] = &report.ServerPerf{
+			Addr:            fmt.Sprintf("10.0.0.%d", i+1),
+			Hosts:           []string{fmt.Sprintf("h%d.example", i+1)},
+			SmallCount:      1,
+			SmallMeanTimeMs: tm,
+		}
+	}
+	return out
+}
+
+func mkServersLarge(tputs ...float64) []*report.ServerPerf {
+	out := make([]*report.ServerPerf, len(tputs))
+	for i, tp := range tputs {
+		out[i] = &report.ServerPerf{
+			Addr:             fmt.Sprintf("10.0.1.%d", i+1),
+			Hosts:            []string{fmt.Sprintf("l%d.example", i+1)},
+			LargeCount:       1,
+			LargeMeanTputBps: tp,
+		}
+	}
+	return out
+}
+
+func TestDetectViolatorsSmallTime(t *testing.T) {
+	// Times 100,105,110,115,500: median 110, MAD 5, cutoff 120 -> only 500.
+	servers := mkServersSmall(100, 105, 110, 115, 500)
+	vs := DetectViolators(servers, 2)
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1: %+v", len(vs), vs)
+	}
+	v := vs[0]
+	if v.Server.Addr != "10.0.0.5" || v.Metric != MetricSmallTime {
+		t.Errorf("violation = %s/%v, want 10.0.0.5/small-time", v.Server.Addr, v.Metric)
+	}
+	if v.Median != 110 || v.MAD != 5 {
+		t.Errorf("median/MAD = %v/%v, want 110/5", v.Median, v.MAD)
+	}
+	if v.Distance != 390 {
+		t.Errorf("Distance = %v, want 390", v.Distance)
+	}
+}
+
+func TestDetectViolatorsLargeTput(t *testing.T) {
+	// Throughputs 1000,1050,1100,1150,100: median 1050, MAD 50, cutoff 950.
+	servers := mkServersLarge(1000, 1050, 1100, 1150, 100)
+	vs := DetectViolators(servers, 2)
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1: %+v", len(vs), vs)
+	}
+	if vs[0].Server.Addr != "10.0.1.5" || vs[0].Metric != MetricLargeTput {
+		t.Errorf("violation = %s/%v, want 10.0.1.5/large-throughput", vs[0].Server.Addr, vs[0].Metric)
+	}
+	if vs[0].Distance != 950 {
+		t.Errorf("Distance = %v, want 950", vs[0].Distance)
+	}
+}
+
+func TestDetectViolatorsNoFalsePositiveOnUniformSlow(t *testing.T) {
+	// The paper's motivating property: a uniformly slow client (e.g. on a
+	// narrow long-haul link) must not flag anyone.
+	servers := mkServersSmall(2000, 2100, 2050, 2080, 1990)
+	if vs := DetectViolators(servers, 2); len(vs) != 0 {
+		t.Errorf("uniformly slow client produced violations: %+v", vs)
+	}
+}
+
+func TestDetectViolatorsEitherMetricSuffices(t *testing.T) {
+	// One server has fine small-object times but terrible throughput.
+	servers := mkServersSmall(100, 100, 100, 100)
+	mixed := &report.ServerPerf{
+		Addr: "10.0.0.99", Hosts: []string{"mixed.example"},
+		SmallCount: 1, SmallMeanTimeMs: 100,
+		LargeCount: 1, LargeMeanTputBps: 10,
+	}
+	others := mkServersLarge(5000, 5100, 4900, 5050)
+	all := append(append(servers, mixed), others...)
+	vs := DetectViolators(all, 2)
+	if len(vs) != 1 || vs[0].Server.Addr != "10.0.0.99" || vs[0].Metric != MetricLargeTput {
+		t.Errorf("violations = %+v, want mixed server via throughput", vs)
+	}
+}
+
+func TestDetectViolatorsDedupesAcrossMetrics(t *testing.T) {
+	// Server bad on both metrics appears once (small-time wins, reported
+	// first per the implementation's dedupe order).
+	bad := &report.ServerPerf{
+		Addr: "10.0.0.9", Hosts: []string{"bad.example"},
+		SmallCount: 1, SmallMeanTimeMs: 9999,
+		LargeCount: 1, LargeMeanTputBps: 1,
+	}
+	all := append(mkServersSmall(100, 110, 105, 95), bad)
+	all = append(all, mkServersLarge(5000, 5100, 4900, 5050)...)
+	vs := DetectViolators(all, 2)
+	var hits int
+	for _, v := range vs {
+		if v.Server.Addr == "10.0.0.9" {
+			hits++
+			if v.Metric != MetricSmallTime {
+				t.Errorf("dedupe kept %v, want small-time first", v.Metric)
+			}
+		}
+	}
+	if hits != 1 {
+		t.Errorf("bad server flagged %d times, want exactly 1", hits)
+	}
+}
+
+func TestDetectViolatorsEmpty(t *testing.T) {
+	if vs := DetectViolators(nil, 2); vs != nil {
+		t.Errorf("DetectViolators(nil) = %v, want nil", vs)
+	}
+}
+
+func TestDetectViolatorsKSensitivity(t *testing.T) {
+	// 130 is beyond k=2 (cutoff 110+2*5=120) but within k=5 (cutoff 135).
+	servers := mkServersSmall(100, 105, 110, 115, 130)
+	if vs := DetectViolators(servers, 2); len(vs) != 1 {
+		t.Errorf("k=2: got %d violations, want 1", len(vs))
+	}
+	if vs := DetectViolators(servers, 5); len(vs) != 0 {
+		t.Errorf("k=5: got %d violations, want 0", len(vs))
+	}
+}
+
+func TestDetectViolatorsAbsolute(t *testing.T) {
+	servers := append(mkServersSmall(100, 2000), mkServersLarge(500, 9000)...)
+	th := AbsoluteThresholds{MaxSmallTimeMs: 1000, MinLargeTputBps: 1000}
+	vs := DetectViolatorsAbsolute(servers, th)
+	if len(vs) != 2 {
+		t.Fatalf("got %d violations, want 2: %+v", len(vs), vs)
+	}
+	addrs := []string{vs[0].Server.Addr, vs[1].Server.Addr}
+	want := []string{"10.0.0.2", "10.0.1.1"}
+	if !reflect.DeepEqual(addrs, want) {
+		t.Errorf("violators = %v, want %v", addrs, want)
+	}
+}
+
+func TestDetectViolatorsAbsoluteDisabled(t *testing.T) {
+	servers := mkServersSmall(99999)
+	if vs := DetectViolatorsAbsolute(servers, AbsoluteThresholds{}); len(vs) != 0 {
+		t.Errorf("disabled thresholds flagged: %+v", vs)
+	}
+}
+
+func TestMetricKindString(t *testing.T) {
+	if MetricSmallTime.String() != "small-time" || MetricLargeTput.String() != "large-throughput" {
+		t.Error("MetricKind names wrong")
+	}
+	if MetricKind(9).String() != "metric-9" {
+		t.Error("unknown MetricKind name wrong")
+	}
+}
+
+// Property: the detector never flags more than half the servers (the MAD
+// criterion judges against the median, so a majority can't all be outliers
+// on the same side).
+func TestQuickDetectorFlagsMinority(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 3 + int(nRaw%20)
+		rng := rand.New(rand.NewSource(seed))
+		times := make([]float64, n)
+		for i := range times {
+			times[i] = 50 + rng.Float64()*1000
+		}
+		vs := DetectViolators(mkServersSmall(times...), 2)
+		return len(vs) <= n/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every reported violation really crosses the stated cutoff, and
+// Distance is positive.
+func TestQuickViolationsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(15)
+		times := make([]float64, n)
+		for i := range times {
+			times[i] = 50 + rng.Float64()*500
+		}
+		if rng.Intn(2) == 0 {
+			times[rng.Intn(n)] *= 20 // inject an outlier sometimes
+		}
+		for _, v := range DetectViolators(mkServersSmall(times...), 2) {
+			if v.Value <= v.Median+2*v.MAD {
+				return false
+			}
+			if v.Distance <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

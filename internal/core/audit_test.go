@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"oak/internal/rules"
+)
+
+func TestAuditSummarises(t *testing.T) {
+	e, err := NewEngine([]*rules.Rule{jqRule(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"u1", "u2", "u3"} {
+		if _, err := e.HandleReport(slowS1Report(u)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := e.Audit()
+	if a.Users != 3 {
+		t.Errorf("Users = %d, want 3", a.Users)
+	}
+	if a.Metrics.ReportsHandled != 3 || a.Metrics.RuleActivations != 3 {
+		t.Errorf("metrics = %+v", a.Metrics)
+	}
+	if len(a.Rules) != 1 || a.Rules[0].RuleID != "jquery" {
+		t.Fatalf("rules = %+v", a.Rules)
+	}
+	if a.Rules[0].Classification != "common" {
+		t.Errorf("jquery classification = %q, want common (all users activated)", a.Rules[0].Classification)
+	}
+	if len(a.WorstServers) == 0 || a.WorstServers[0].ServerAddr != "ip-s1.com" {
+		t.Errorf("worst servers = %+v", a.WorstServers)
+	}
+	if a.WorstServers[0].Users != 3 || a.WorstServers[0].Violations != 3 {
+		t.Errorf("s1 footprint = %+v", a.WorstServers[0])
+	}
+}
+
+func TestAuditClassifiesIndividual(t *testing.T) {
+	e, _ := NewEngine([]*rules.Rule{jqRule(0)})
+	// Nine healthy users, one with the problem: 10% < 18% -> individual.
+	if _, err := e.HandleReport(slowS1Report("unlucky")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		rep := loadReport("fine-"+string(rune('a'+i)), map[string]float64{
+			"a.example": 100, "b.example": 105, "c.example": 95,
+		})
+		if _, err := e.HandleReport(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := e.Audit()
+	if len(a.Rules) != 1 || a.Rules[0].Classification != "individual" {
+		t.Errorf("rules = %+v, want individual jquery", a.Rules)
+	}
+}
+
+func TestAuditRender(t *testing.T) {
+	e, _ := NewEngine([]*rules.Rule{jqRule(0)})
+	if _, err := e.HandleReport(slowS1Report("u1")); err != nil {
+		t.Fatal(err)
+	}
+	out := e.Audit().Render()
+	for _, want := range []string{"Oak audit", "users: 1", "worst servers", "ip-s1.com", "jquery"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAuditEmptyEngine(t *testing.T) {
+	e, _ := NewEngine(nil)
+	a := e.Audit()
+	if a.Users != 0 || len(a.Rules) != 0 || len(a.WorstServers) != 0 {
+		t.Errorf("empty audit = %+v", a)
+	}
+	if out := a.Render(); !strings.Contains(out, "users: 0") {
+		t.Errorf("empty Render = %q", out)
+	}
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"oak/internal/report"
+	"oak/internal/rules"
+)
+
+// Engine is the Oak server's decision core. It ingests client performance
+// reports, maintains per-user profiles, and rewrites outgoing pages with the
+// rules active for each user. It is safe for concurrent use.
+type Engine struct {
+	mu       sync.RWMutex
+	rules    []*rules.Rule
+	profiles map[string]*Profile
+
+	policy  Policy
+	matcher *Matcher
+	ledger  *Ledger
+	metrics metrics
+	now     func() time.Time
+	logf    func(format string, args ...any)
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithPolicy sets the operator policy (zero fields take defaults).
+func WithPolicy(p Policy) Option {
+	return func(e *Engine) { e.policy = p.normalized() }
+}
+
+// WithScriptFetcher enables the external-JavaScript matching tier using the
+// given fetcher.
+func WithScriptFetcher(f ScriptFetcher) Option {
+	return func(e *Engine) { e.matcher.Fetcher = f }
+}
+
+// WithClock overrides the engine's time source (tests, simulation).
+func WithClock(now func() time.Time) Option {
+	return func(e *Engine) { e.now = now }
+}
+
+// WithLogf directs engine decision logging (rule activations, removals) to
+// a printf-style sink. Logging is off by default.
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(e *Engine) { e.logf = logf }
+}
+
+// NewEngine builds an engine with the given rule set.
+// Rules are compiled; an invalid rule fails construction.
+func NewEngine(ruleSet []*rules.Rule, opts ...Option) (*Engine, error) {
+	e := &Engine{
+		profiles: make(map[string]*Profile),
+		policy:   DefaultPolicy(),
+		matcher:  NewMatcher(nil),
+		ledger:   NewLedger(),
+		now:      time.Now,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	e.matcher.MaxLevel = e.policy.MatchLevel
+	e.matcher.Depth = e.policy.MatchDepth
+	if err := e.SetRules(ruleSet); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// SetRules replaces the engine's rule set. Existing per-user activations of
+// removed rules are dropped lazily (they no longer match any rule ID at
+// page-modification time they remain harmless; profiles keep them until
+// expiry). Each rule is compiled.
+func (e *Engine) SetRules(ruleSet []*rules.Rule) error {
+	seen := make(map[string]bool, len(ruleSet))
+	for _, r := range ruleSet {
+		if err := r.Compile(); err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
+		if seen[r.ID] {
+			return fmt.Errorf("engine: duplicate rule id %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rules = append([]*rules.Rule(nil), ruleSet...)
+	return nil
+}
+
+// Rules returns a copy of the engine's rule set.
+func (e *Engine) Rules() []*rules.Rule {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]*rules.Rule(nil), e.rules...)
+}
+
+// Ledger exposes the activation ledger (auditing, Figure 14 / Table 3).
+func (e *Engine) Ledger() *Ledger { return e.ledger }
+
+// RuleChange describes one activation-state transition made while handling
+// a report.
+type RuleChange struct {
+	RuleID string
+	// Action is "activate", "advance" (next alternative), "keep"
+	// (alternate violated but still beats the default), "deactivate"
+	// (reverted to default) or "expire".
+	Action string
+	// Server is the violating server that triggered the change, if any.
+	Server string
+	// AltIndex is the alternative in effect after the change.
+	AltIndex int
+	// Level is the evidence tier that tied the rule to the server
+	// (activations only).
+	Level MatchLevel
+}
+
+// AnalysisResult is what HandleReport decided.
+type AnalysisResult struct {
+	UserID     string
+	Violations []Violation
+	Changes    []RuleChange
+}
+
+// HandleReport runs the full performance-analysis pipeline of Section 4.2 on
+// one client report: group objects by server, detect violators with the MAD
+// criterion, reconcile the user's existing activations (rule history), and
+// activate any rules with a connection dependency on a violator.
+func (e *Engine) HandleReport(r *report.Report) (*AnalysisResult, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	now := e.now()
+	servers := report.GroupByServer(r)
+	violations := DetectViolators(servers, e.policy.MADMultiplier)
+	e.metrics.reportsHandled.Add(1)
+	e.metrics.entriesProcessed.Add(uint64(len(r.Entries)))
+	e.metrics.violationsDetected.Add(uint64(len(violations)))
+
+	// Script URLs the client actually loaded, for the external-JS tier.
+	var scriptURLs []string
+	for _, s := range servers {
+		scriptURLs = append(scriptURLs, s.ScriptURLs...)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	prof, ok := e.profiles[r.UserID]
+	if !ok {
+		prof = newProfile(r.UserID)
+		e.profiles[r.UserID] = prof
+	}
+	prof.lastReport = now
+	e.ledger.RecordUser(r.UserID)
+
+	res := &AnalysisResult{UserID: r.UserID, Violations: violations}
+
+	for _, id := range prof.pruneExpired(now) {
+		e.metrics.ruleExpirations.Add(1)
+		res.Changes = append(res.Changes, RuleChange{RuleID: id, Action: "expire"})
+		e.logfSafe("user %s: rule %s expired", r.UserID, id)
+	}
+
+	for _, v := range violations {
+		count := prof.recordViolation(v.Server.Addr)
+
+		// Rule history (Section 4.2.3): if the violator is the alternate of
+		// an already-active rule, decide between keeping the alternate,
+		// advancing to the next one, and reverting to the default by
+		// minimising distance from the median.
+		handled := e.reconcileActiveRules(prof, v, now, res)
+		if handled {
+			continue
+		}
+
+		if count < e.policy.MinViolations {
+			continue // policy says not yet
+		}
+
+		// Activation (Section 4.2.2): find rules with a connection
+		// dependency on the violator and activate them for this user.
+		for _, rule := range e.rules {
+			if !rule.InScope(r.Page) {
+				continue
+			}
+			if existing := prof.activeRule(rule.ID); existing != nil && !existing.Expired(now) {
+				continue // already active
+			}
+			level := e.matcher.Match(rule, v.Server, scriptURLs)
+			if level == MatchNone {
+				continue
+			}
+			altIdx := 0
+			if rule.Type != rules.TypeRemove {
+				altIdx = e.policy.SelectAlternative(rule, -1, r.UserID)
+			}
+			prof.activate(rule, altIdx, now, v.Server.Addr, v.Distance)
+			e.metrics.ruleActivations.Add(1)
+			e.ledger.RecordActivation(rule.ID, r.UserID)
+			res.Changes = append(res.Changes, RuleChange{
+				RuleID: rule.ID, Action: "activate", Server: v.Server.Addr,
+				AltIndex: altIdx, Level: level,
+			})
+			e.logfSafe("user %s: rule %s activated (server %s, %s, alt %d)",
+				r.UserID, rule.ID, v.Server.Addr, level, altIdx)
+		}
+	}
+	return res, nil
+}
+
+// reconcileActiveRules implements the rule-history decision for one
+// violation. It returns true if the violator was recognised as the alternate
+// of an active rule (in which case normal activation matching is skipped for
+// this violator).
+func (e *Engine) reconcileActiveRules(prof *Profile, v Violation, now time.Time, res *AnalysisResult) bool {
+	handled := false
+	for _, id := range prof.ActiveRuleIDs(now) {
+		a := prof.activeRule(id)
+		if a == nil || !MatchesAlternate(a.Rule, a.AltIndex, v.Server) {
+			continue
+		}
+		handled = true
+		switch {
+		case v.Distance < a.TriggerDistance:
+			// The alternate under-performs its current population but is
+			// still closer to the median than the original default was:
+			// retain it ("attempting to retain rules which outperform the
+			// default").
+			res.Changes = append(res.Changes, RuleChange{
+				RuleID: id, Action: "keep", Server: v.Server.Addr, AltIndex: a.AltIndex,
+			})
+			e.logfSafe("user %s: rule %s kept (alt dist %.1f < default dist %.1f)",
+				prof.UserID, id, v.Distance, a.TriggerDistance)
+		case a.AltIndex+1 < len(a.Rule.Alternatives):
+			// A fresh alternative remains: progress linearly.
+			next := e.policy.SelectAlternative(a.Rule, a.AltIndex, prof.UserID)
+			if next == a.AltIndex {
+				next = a.AltIndex + 1 // selector refused to move; force progression
+			}
+			prof.activate(a.Rule, next, now, v.Server.Addr, v.Distance)
+			e.metrics.ruleActivations.Add(1)
+			e.ledger.RecordActivation(id, prof.UserID)
+			res.Changes = append(res.Changes, RuleChange{
+				RuleID: id, Action: "advance", Server: v.Server.Addr, AltIndex: next,
+			})
+			e.logfSafe("user %s: rule %s advanced to alt %d", prof.UserID, id, next)
+		default:
+			// The alternate is at least as far from the median as the
+			// default was and nothing fresh remains: revert.
+			prof.deactivate(id)
+			e.metrics.ruleDeactivations.Add(1)
+			res.Changes = append(res.Changes, RuleChange{
+				RuleID: id, Action: "deactivate", Server: v.Server.Addr,
+			})
+			e.logfSafe("user %s: rule %s deactivated (alternate worse than default)",
+				prof.UserID, id)
+		}
+	}
+	return handled
+}
+
+// ActiveRules returns the rule applications live for the user on the given
+// page path, in deterministic order.
+func (e *Engine) ActiveRules(userID, path string) []rules.Activation {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	prof, ok := e.profiles[userID]
+	if !ok {
+		return nil
+	}
+	return prof.activations(path, e.now())
+}
+
+// ModifyPage rewrites an outgoing page for the user (Section 4.3): Type 1
+// rules remove their text, Types 2/3 replace it, sub-rules of applied rules
+// fire, and Type 2 applications yield cache hints for the X-Oak-Alternate
+// header.
+func (e *Engine) ModifyPage(userID, path, page string) (string, []rules.Applied) {
+	out, applied := rules.Apply(page, path, e.ActiveRules(userID, path))
+	if out != page {
+		e.metrics.pagesModified.Add(1)
+	} else {
+		e.metrics.pagesUntouched.Add(1)
+	}
+	return out, applied
+}
+
+// ProfileSnapshot is a read-only view of a user's profile state.
+type ProfileSnapshot struct {
+	UserID      string
+	ActiveRules []string
+	Violations  map[string]int
+	LastReport  time.Time
+}
+
+// Snapshot returns the profile state for a user, or false if unknown.
+func (e *Engine) Snapshot(userID string) (ProfileSnapshot, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	prof, ok := e.profiles[userID]
+	if !ok {
+		return ProfileSnapshot{}, false
+	}
+	snap := ProfileSnapshot{
+		UserID:      userID,
+		ActiveRules: prof.ActiveRuleIDs(e.now()),
+		Violations:  make(map[string]int, len(prof.violations)),
+		LastReport:  prof.lastReport,
+	}
+	for k, n := range prof.violations {
+		snap.Violations[k] = n
+	}
+	return snap, ok
+}
+
+// Users returns the number of profiles the engine holds.
+func (e *Engine) Users() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.profiles)
+}
+
+func (e *Engine) logfSafe(format string, args ...any) {
+	if e.logf != nil {
+		e.logf(format, args...)
+	}
+}

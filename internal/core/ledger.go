@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// Ledger aggregates rule-activation events across all users. It backs the
+// paper's Figure 14 (what fraction of a site's users activate each rule) and
+// Table 3 (individual vs common problem providers), and doubles as the
+// "offline auditing tool" the discussion section describes: operators read
+// it to learn which components of their site perform poorly in the wild.
+type Ledger struct {
+	mu sync.Mutex
+	// activations[ruleID][userID] = count
+	activations map[string]map[string]int
+	users       map[string]bool
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		activations: make(map[string]map[string]int),
+		users:       make(map[string]bool),
+	}
+}
+
+// RecordUser notes that a user interacted with the site (so activation
+// fractions have a denominator even for users who never trigger rules).
+func (l *Ledger) RecordUser(userID string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.users[userID] = true
+}
+
+// RecordActivation notes that userID activated ruleID.
+func (l *Ledger) RecordActivation(ruleID, userID string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.users[userID] = true
+	m, ok := l.activations[ruleID]
+	if !ok {
+		m = make(map[string]int)
+		l.activations[ruleID] = m
+	}
+	m[userID]++
+}
+
+// RuleStat summarises one rule's activation footprint.
+type RuleStat struct {
+	RuleID string
+	// Users is how many distinct users activated the rule.
+	Users int
+	// Activations is the total activation count.
+	Activations int
+	// UserFraction is Users divided by all users seen by the ledger.
+	UserFraction float64
+}
+
+// Stats returns per-rule activation statistics sorted by descending user
+// fraction, then rule ID.
+func (l *Ledger) Stats() []RuleStat {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := len(l.users)
+	out := make([]RuleStat, 0, len(l.activations))
+	for id, byUser := range l.activations {
+		var acts int
+		for _, n := range byUser {
+			acts += n
+		}
+		st := RuleStat{RuleID: id, Users: len(byUser), Activations: acts}
+		if total > 0 {
+			st.UserFraction = float64(len(byUser)) / float64(total)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].UserFraction != out[j].UserFraction {
+			return out[i].UserFraction > out[j].UserFraction
+		}
+		return out[i].RuleID < out[j].RuleID
+	})
+	return out
+}
+
+// TotalUsers returns how many distinct users the ledger has seen.
+func (l *Ledger) TotalUsers() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.users)
+}
+
+// Split partitions rules into "individual" (activated by at most threshold
+// of users) and "common" (more), the paper's Table 3 cut at 18 %.
+func (l *Ledger) Split(threshold float64) (individual, common []RuleStat) {
+	for _, st := range l.Stats() {
+		if st.UserFraction > threshold {
+			common = append(common, st)
+		} else {
+			individual = append(individual, st)
+		}
+	}
+	return individual, common
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"oak/internal/report"
+	"oak/internal/rules"
+)
+
+func srvWithHosts(addr string, hosts ...string) *report.ServerPerf {
+	return &report.ServerPerf{Addr: addr, Hosts: hosts}
+}
+
+// mapFetcher serves scripts from a map and counts fetches.
+type mapFetcher struct {
+	scripts map[string]string
+	fetches int
+}
+
+func (f *mapFetcher) FetchScript(url string) (string, error) {
+	f.fetches++
+	body, ok := f.scripts[url]
+	if !ok {
+		return "", errors.New("not found")
+	}
+	return body, nil
+}
+
+func TestMatchDirect(t *testing.T) {
+	m := NewMatcher(nil)
+	r := &rules.Rule{
+		ID: "r", Type: rules.TypeRemove,
+		Default: `<script src="http://cdn.example/x.js"></script>`,
+	}
+	got := m.Match(r, srvWithHosts("10.0.0.1", "cdn.example"), nil)
+	if got != MatchDirect {
+		t.Errorf("Match = %v, want direct", got)
+	}
+}
+
+func TestMatchTextFallback(t *testing.T) {
+	m := NewMatcher(nil)
+	r := &rules.Rule{
+		ID: "r", Type: rules.TypeRemove,
+		Default: `<script>loadFrom("track.example" + "/p.gif")</script>`,
+	}
+	got := m.Match(r, srvWithHosts("10.0.0.1", "track.example"), nil)
+	if got != MatchText {
+		t.Errorf("Match = %v, want text", got)
+	}
+}
+
+func TestMatchExternalJS(t *testing.T) {
+	// The Figure 6 scenario: page script tag -> s1.com/script1.js, which in
+	// turn loads from deep.example (server 3). A rule containing only the
+	// script tag must still match a deep.example violation.
+	fetcher := &mapFetcher{scripts: map[string]string{
+		"http://s1.com/script1.js": `var img = "http://deep.example/image2.jpg"; load(img);`,
+	}}
+	m := NewMatcher(fetcher)
+	r := &rules.Rule{
+		ID: "r", Type: rules.TypeRemove,
+		Default: `<script src="http://s1.com/script1.js"></script>`,
+	}
+	scripts := []string{"http://s1.com/script1.js"}
+	got := m.Match(r, srvWithHosts("10.0.0.3", "deep.example"), scripts)
+	if got != MatchExternalJS {
+		t.Errorf("Match = %v, want external-js", got)
+	}
+}
+
+func TestMatchExternalJSOnlyLabeledScripts(t *testing.T) {
+	// A loaded script whose domain does NOT appear in the rule must not
+	// extend the rule's surface.
+	fetcher := &mapFetcher{scripts: map[string]string{
+		"http://unrelated.example/u.js": `fetch("http://deep.example/x")`,
+	}}
+	m := NewMatcher(fetcher)
+	r := &rules.Rule{
+		ID: "r", Type: rules.TypeRemove,
+		Default: `<script src="http://s1.com/script1.js"></script>`,
+	}
+	scripts := []string{"http://unrelated.example/u.js"}
+	if got := m.Match(r, srvWithHosts("10.0.0.3", "deep.example"), scripts); got != MatchNone {
+		t.Errorf("Match = %v, want none (script not labeled by rule)", got)
+	}
+	if fetcher.fetches != 0 {
+		t.Errorf("fetched %d unlabeled scripts, want 0", fetcher.fetches)
+	}
+}
+
+func TestMatchDepth2(t *testing.T) {
+	// script1 -> includes script2 -> mentions deep.example.
+	fetcher := &mapFetcher{scripts: map[string]string{
+		"http://s1.com/a.js": `document.write('<script src="http://s2.com/b.js"></script>')`,
+		"http://s2.com/b.js": `ping("http://deep.example/x")`,
+	}}
+	r := &rules.Rule{
+		ID: "r", Type: rules.TypeRemove,
+		Default: `<script src="http://s1.com/a.js"></script>`,
+	}
+	scripts := []string{"http://s1.com/a.js", "http://s2.com/b.js"}
+	violator := srvWithHosts("10.0.0.3", "deep.example")
+
+	m1 := NewMatcher(fetcher) // depth 1: cannot see through b.js
+	if got := m1.Match(r, violator, scripts); got != MatchNone {
+		t.Errorf("depth1 Match = %v, want none", got)
+	}
+	m2 := NewMatcher(fetcher)
+	m2.Depth = 2
+	if got := m2.Match(r, violator, scripts); got != MatchExternalJS {
+		t.Errorf("depth2 Match = %v, want external-js", got)
+	}
+}
+
+func TestMatchLevelCaps(t *testing.T) {
+	r := &rules.Rule{
+		ID: "r", Type: rules.TypeRemove,
+		Default: `<script>go("text.example")</script>`,
+	}
+	violator := srvWithHosts("10.0.0.1", "text.example")
+	m := NewMatcher(nil)
+	m.MaxLevel = MatchDirect
+	if got := m.Match(r, violator, nil); got != MatchNone {
+		t.Errorf("capped Match = %v, want none (text tier disabled)", got)
+	}
+	m.MaxLevel = MatchText
+	if got := m.Match(r, violator, nil); got != MatchText {
+		t.Errorf("Match = %v, want text", got)
+	}
+}
+
+func TestMatchNilInputs(t *testing.T) {
+	m := NewMatcher(nil)
+	if got := m.Match(nil, srvWithHosts("a", "h.example"), nil); got != MatchNone {
+		t.Errorf("nil rule Match = %v", got)
+	}
+	r := &rules.Rule{ID: "r", Type: rules.TypeRemove, Default: "x"}
+	if got := m.Match(r, nil, nil); got != MatchNone {
+		t.Errorf("nil violator Match = %v", got)
+	}
+	if got := m.Match(r, &report.ServerPerf{Addr: "a"}, nil); got != MatchNone {
+		t.Errorf("hostless violator Match = %v", got)
+	}
+}
+
+func TestMatchNoFetcherSkipsJSTier(t *testing.T) {
+	m := NewMatcher(nil) // nil fetcher
+	r := &rules.Rule{
+		ID: "r", Type: rules.TypeRemove,
+		Default: `<script src="http://s1.com/a.js"></script>`,
+	}
+	got := m.Match(r, srvWithHosts("10.0.0.3", "deep.example"), []string{"http://s1.com/a.js"})
+	if got != MatchNone {
+		t.Errorf("Match = %v, want none without fetcher", got)
+	}
+}
+
+func TestFetchCaching(t *testing.T) {
+	fetcher := &mapFetcher{scripts: map[string]string{
+		"http://s1.com/a.js": `x("deep.example")`,
+	}}
+	m := NewMatcher(fetcher)
+	r := &rules.Rule{
+		ID: "r", Type: rules.TypeRemove,
+		Default: `<script src="http://s1.com/a.js"></script>`,
+	}
+	violator := srvWithHosts("10.0.0.3", "deep.example")
+	scripts := []string{"http://s1.com/a.js"}
+	for i := 0; i < 3; i++ {
+		if got := m.Match(r, violator, scripts); got != MatchExternalJS {
+			t.Fatalf("Match #%d = %v", i, got)
+		}
+	}
+	if fetcher.fetches != 1 {
+		t.Errorf("fetches = %d, want 1 (cached)", fetcher.fetches)
+	}
+}
+
+func TestFetchFailureCachedAndHarmless(t *testing.T) {
+	fetcher := &mapFetcher{scripts: map[string]string{}} // everything 404s
+	m := NewMatcher(fetcher)
+	r := &rules.Rule{
+		ID: "r", Type: rules.TypeRemove,
+		Default: `<script src="http://s1.com/gone.js"></script>`,
+	}
+	violator := srvWithHosts("10.0.0.3", "deep.example")
+	scripts := []string{"http://s1.com/gone.js"}
+	for i := 0; i < 2; i++ {
+		if got := m.Match(r, violator, scripts); got != MatchNone {
+			t.Fatalf("Match = %v, want none", got)
+		}
+	}
+	if fetcher.fetches != 1 {
+		t.Errorf("fetches = %d, want 1 (failure cached)", fetcher.fetches)
+	}
+}
+
+func TestMatchesAlternate(t *testing.T) {
+	r := &rules.Rule{
+		ID: "r", Type: rules.TypeReplaceSame,
+		Default:      `<script src="http://s1.com/x.js">`,
+		Alternatives: []string{`<script src="http://s2.net/x.js">`, `<script src="http://s3.org/x.js">`},
+	}
+	if !MatchesAlternate(r, 0, srvWithHosts("a", "s2.net")) {
+		t.Error("alt 0 should match s2.net")
+	}
+	if MatchesAlternate(r, 0, srvWithHosts("a", "s3.org")) {
+		t.Error("alt 0 should not match s3.org (that's alt 1)")
+	}
+	if !MatchesAlternate(r, 1, srvWithHosts("a", "s3.org")) {
+		t.Error("alt 1 should match s3.org")
+	}
+	if MatchesAlternate(r, 0, srvWithHosts("a", "s1.com")) {
+		t.Error("default host must not match as alternate")
+	}
+}
+
+func TestMatchesAlternateType1(t *testing.T) {
+	r := &rules.Rule{ID: "r", Type: rules.TypeRemove, Default: "x"}
+	if MatchesAlternate(r, 0, srvWithHosts("a", "any.example")) {
+		t.Error("type1 rule has no alternate to match")
+	}
+}
+
+func TestMatchLevelString(t *testing.T) {
+	levels := map[MatchLevel]string{
+		MatchNone: "none", MatchDirect: "direct", MatchText: "text",
+		MatchExternalJS: "external-js", MatchLevel(42): "unknown",
+	}
+	for l, want := range levels {
+		if got := l.String(); got != want {
+			t.Errorf("MatchLevel(%d).String() = %q, want %q", int(l), got, want)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import "sync/atomic"
+
+// Metrics are the engine's aggregate counters — the "aggregate site
+// performance" bookkeeping the paper's server maintains alongside per-user
+// state. All counters are monotone and safe to read concurrently.
+type Metrics struct {
+	// ReportsHandled counts successfully processed performance reports.
+	ReportsHandled uint64
+	// EntriesProcessed counts object timings across all reports.
+	EntriesProcessed uint64
+	// ViolationsDetected counts violator flags across all reports.
+	ViolationsDetected uint64
+	// RuleActivations counts activate + advance transitions.
+	RuleActivations uint64
+	// RuleDeactivations counts deactivate transitions (history reverts).
+	RuleDeactivations uint64
+	// RuleExpirations counts TTL lapses observed at report time.
+	RuleExpirations uint64
+	// PagesModified counts ModifyPage calls that changed the page.
+	PagesModified uint64
+	// PagesUntouched counts ModifyPage calls that returned the page as-is.
+	PagesUntouched uint64
+}
+
+// metrics is the engine-internal atomic representation.
+type metrics struct {
+	reportsHandled     atomic.Uint64
+	entriesProcessed   atomic.Uint64
+	violationsDetected atomic.Uint64
+	ruleActivations    atomic.Uint64
+	ruleDeactivations  atomic.Uint64
+	ruleExpirations    atomic.Uint64
+	pagesModified      atomic.Uint64
+	pagesUntouched     atomic.Uint64
+}
+
+// snapshot copies the counters.
+func (m *metrics) snapshot() Metrics {
+	return Metrics{
+		ReportsHandled:     m.reportsHandled.Load(),
+		EntriesProcessed:   m.entriesProcessed.Load(),
+		ViolationsDetected: m.violationsDetected.Load(),
+		RuleActivations:    m.ruleActivations.Load(),
+		RuleDeactivations:  m.ruleDeactivations.Load(),
+		RuleExpirations:    m.ruleExpirations.Load(),
+		PagesModified:      m.pagesModified.Load(),
+		PagesUntouched:     m.pagesUntouched.Load(),
+	}
+}
+
+// Metrics returns a snapshot of the engine's aggregate counters.
+func (e *Engine) Metrics() Metrics {
+	return e.metrics.snapshot()
+}

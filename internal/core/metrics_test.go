@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"oak/internal/rules"
+)
+
+func TestMetricsCountReportsAndActivations(t *testing.T) {
+	e, err := NewEngine([]*rules.Rule{jqRule(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := e.Metrics(); m != (Metrics{}) {
+		t.Errorf("fresh engine metrics = %+v, want zero", m)
+	}
+	if _, err := e.HandleReport(slowS1Report("u1")); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.ReportsHandled != 1 {
+		t.Errorf("ReportsHandled = %d, want 1", m.ReportsHandled)
+	}
+	if m.EntriesProcessed != 5 {
+		t.Errorf("EntriesProcessed = %d, want 5", m.EntriesProcessed)
+	}
+	if m.ViolationsDetected != 1 || m.RuleActivations != 1 {
+		t.Errorf("violations/activations = %d/%d, want 1/1", m.ViolationsDetected, m.RuleActivations)
+	}
+}
+
+func TestMetricsPageCounters(t *testing.T) {
+	e, _ := NewEngine([]*rules.Rule{jqRule(0)})
+	page := `<script src="http://s1.com/jquery.js">`
+
+	// No activations yet: page untouched.
+	e.ModifyPage("u1", "/", page)
+	if m := e.Metrics(); m.PagesUntouched != 1 || m.PagesModified != 0 {
+		t.Errorf("counters = %+v, want 1 untouched", m)
+	}
+	if _, err := e.HandleReport(slowS1Report("u1")); err != nil {
+		t.Fatal(err)
+	}
+	e.ModifyPage("u1", "/", page)
+	if m := e.Metrics(); m.PagesModified != 1 {
+		t.Errorf("PagesModified = %d, want 1", m.PagesModified)
+	}
+}
+
+func TestMetricsDeactivations(t *testing.T) {
+	e, _ := NewEngine([]*rules.Rule{jqRule(0)})
+	if _, err := e.HandleReport(slowS1Report("u1")); err != nil {
+		t.Fatal(err)
+	}
+	// Alternate turns far worse than the default was: history revert.
+	if _, err := e.HandleReport(loadReport("u1", map[string]float64{
+		"s2.net":    5000,
+		"a.example": 100, "b.example": 110, "c.example": 105, "d.example": 95,
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if m := e.Metrics(); m.RuleDeactivations != 1 {
+		t.Errorf("RuleDeactivations = %d, want 1", m.RuleDeactivations)
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"oak/internal/rules"
+)
+
+// State persistence: an Oak deployment restarts without losing what it has
+// learned about its users. ExportState captures every profile's violation
+// counters and live activations; ImportState restores them against the
+// current rule set (activations of rules that no longer exist are dropped,
+// and expired activations are not resurrected).
+
+// persistedState is the on-disk envelope.
+type persistedState struct {
+	Version  int                `json:"version"`
+	SavedAt  time.Time          `json:"savedAt"`
+	Profiles []persistedProfile `json:"profiles"`
+}
+
+type persistedProfile struct {
+	UserID     string                `json:"userId"`
+	Violations map[string]int        `json:"violations,omitempty"`
+	Active     []persistedActivation `json:"active,omitempty"`
+	LastReport time.Time             `json:"lastReport,omitempty"`
+}
+
+type persistedActivation struct {
+	RuleID          string    `json:"ruleId"`
+	AltIndex        int       `json:"altIndex"`
+	ActivatedAt     time.Time `json:"activatedAt"`
+	ExpiresAt       time.Time `json:"expiresAt,omitempty"`
+	TriggerServer   string    `json:"triggerServer,omitempty"`
+	TriggerDistance float64   `json:"triggerDistance,omitempty"`
+	Activations     int       `json:"activations"`
+}
+
+// stateVersion is the current persistence format version.
+const stateVersion = 1
+
+// ExportState serialises all per-user state as JSON.
+func (e *Engine) ExportState() ([]byte, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	st := persistedState{Version: stateVersion, SavedAt: e.now()}
+	ids := make([]string, 0, len(e.profiles))
+	for id := range e.profiles {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		prof := e.profiles[id]
+		pp := persistedProfile{
+			UserID:     prof.UserID,
+			Violations: make(map[string]int, len(prof.violations)),
+			LastReport: prof.lastReport,
+		}
+		for srv, n := range prof.violations {
+			pp.Violations[srv] = n
+		}
+		ruleIDs := make([]string, 0, len(prof.active))
+		for rid := range prof.active {
+			ruleIDs = append(ruleIDs, rid)
+		}
+		sort.Strings(ruleIDs)
+		for _, rid := range ruleIDs {
+			a := prof.active[rid]
+			pp.Active = append(pp.Active, persistedActivation{
+				RuleID:          rid,
+				AltIndex:        a.AltIndex,
+				ActivatedAt:     a.ActivatedAt,
+				ExpiresAt:       a.ExpiresAt,
+				TriggerServer:   a.TriggerServer,
+				TriggerDistance: a.TriggerDistance,
+				Activations:     a.Activations,
+			})
+		}
+		st.Profiles = append(st.Profiles, pp)
+	}
+	return json.MarshalIndent(st, "", "  ")
+}
+
+// ImportState restores per-user state exported by ExportState, replacing
+// any existing profiles. Activations referring to rules absent from the
+// engine's current rule set are dropped silently (the operator changed the
+// configuration); expired activations are dropped too.
+func (e *Engine) ImportState(data []byte) error {
+	var st persistedState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("engine: decode state: %w", err)
+	}
+	if st.Version != stateVersion {
+		return fmt.Errorf("engine: unsupported state version %d", st.Version)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+
+	byID := make(map[string]*rules.Rule, len(e.rules))
+	for _, r := range e.rules {
+		byID[r.ID] = r
+	}
+
+	profiles := make(map[string]*Profile, len(st.Profiles))
+	for _, pp := range st.Profiles {
+		if pp.UserID == "" {
+			return fmt.Errorf("engine: state has profile without user id")
+		}
+		prof := newProfile(pp.UserID)
+		prof.lastReport = pp.LastReport
+		for srv, n := range pp.Violations {
+			if n > 0 {
+				prof.violations[srv] = n
+			}
+		}
+		for _, pa := range pp.Active {
+			rule, ok := byID[pa.RuleID]
+			if !ok {
+				continue // rule removed since export
+			}
+			if !pa.ExpiresAt.IsZero() && now.After(pa.ExpiresAt) {
+				continue // lapsed while the engine was down
+			}
+			prof.active[pa.RuleID] = &ActiveRule{
+				Rule:            rule,
+				AltIndex:        pa.AltIndex,
+				ActivatedAt:     pa.ActivatedAt,
+				ExpiresAt:       pa.ExpiresAt,
+				TriggerServer:   pa.TriggerServer,
+				TriggerDistance: pa.TriggerDistance,
+				Activations:     pa.Activations,
+			}
+		}
+		profiles[pp.UserID] = prof
+	}
+	e.profiles = profiles
+	return nil
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"oak/internal/rules"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	clock := newTestClock()
+	e1, err := NewEngine([]*rules.Rule{jqRule(0)}, WithClock(clock.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.HandleReport(slowS1Report("u1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.HandleReport(slowS1Report("u2")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e1.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine with the same rules imports the state and behaves
+	// identically.
+	e2, err := NewEngine([]*rules.Rule{jqRule(0)}, WithClock(clock.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.ImportState(data); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Users() != 2 {
+		t.Errorf("Users = %d, want 2", e2.Users())
+	}
+	page := `<script src="http://s1.com/jquery.js">`
+	out, _ := e2.ModifyPage("u1", "/index.html", page)
+	if !strings.Contains(out, "s2.net") {
+		t.Error("imported activation not applied")
+	}
+	snap, ok := e2.Snapshot("u2")
+	if !ok || snap.Violations["ip-s1.com"] != 1 {
+		t.Errorf("u2 snapshot = %+v", snap)
+	}
+}
+
+func TestImportDropsUnknownRules(t *testing.T) {
+	e1, _ := NewEngine([]*rules.Rule{jqRule(0)})
+	if _, err := e1.HandleReport(slowS1Report("u1")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e1.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The new deployment no longer has the jquery rule.
+	other := &rules.Rule{ID: "other", Type: rules.TypeRemove, Default: "X", Scope: "*"}
+	e2, _ := NewEngine([]*rules.Rule{other})
+	if err := e2.ImportState(data); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := e2.Snapshot("u1")
+	if !ok {
+		t.Fatal("profile lost")
+	}
+	if len(snap.ActiveRules) != 0 {
+		t.Errorf("activation of removed rule survived: %v", snap.ActiveRules)
+	}
+	if snap.Violations["ip-s1.com"] != 1 {
+		t.Error("violation counters lost")
+	}
+}
+
+func TestImportDropsExpiredActivations(t *testing.T) {
+	clock := newTestClock()
+	e1, _ := NewEngine([]*rules.Rule{jqRule(time.Hour)}, WithClock(clock.Now))
+	if _, err := e1.HandleReport(slowS1Report("u1")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e1.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restart happens two hours later.
+	clock.Advance(2 * time.Hour)
+	e2, _ := NewEngine([]*rules.Rule{jqRule(time.Hour)}, WithClock(clock.Now))
+	if err := e2.ImportState(data); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := e2.Snapshot("u1")
+	if len(snap.ActiveRules) != 0 {
+		t.Errorf("expired activation resurrected: %v", snap.ActiveRules)
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	e, _ := NewEngine(nil)
+	if err := e.ImportState([]byte("{")); err == nil {
+		t.Error("ImportState(bad json) = nil error")
+	}
+	if err := e.ImportState([]byte(`{"version":99}`)); err == nil {
+		t.Error("ImportState(bad version) = nil error")
+	}
+	if err := e.ImportState([]byte(`{"version":1,"profiles":[{"userId":""}]}`)); err == nil {
+		t.Error("ImportState(empty user id) = nil error")
+	}
+}
+
+func TestImportReplacesExistingProfiles(t *testing.T) {
+	e1, _ := NewEngine([]*rules.Rule{jqRule(0)})
+	if _, err := e1.HandleReport(slowS1Report("old-user")); err != nil {
+		t.Fatal(err)
+	}
+	empty := persistedState{Version: stateVersion}
+	data, _ := json.Marshal(empty)
+	if err := e1.ImportState(data); err != nil {
+		t.Fatal(err)
+	}
+	if e1.Users() != 0 {
+		t.Errorf("Users = %d after importing empty state, want 0", e1.Users())
+	}
+}
+
+func TestExportDeterministic(t *testing.T) {
+	clock := newTestClock()
+	e, _ := NewEngine([]*rules.Rule{jqRule(0)}, WithClock(clock.Now))
+	for _, u := range []string{"c", "a", "b"} {
+		if _, err := e.HandleReport(slowS1Report(u)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d1, err := e.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := e.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d1) != string(d2) {
+		t.Error("ExportState not deterministic")
+	}
+	// Profiles sorted by user id in the envelope.
+	var st persistedState
+	if err := json.Unmarshal(d1, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Profiles) != 3 || st.Profiles[0].UserID != "a" || st.Profiles[2].UserID != "c" {
+		t.Errorf("profiles not sorted: %+v", st.Profiles)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"oak/internal/rules"
+)
+
+// ActiveRule is one activated rule in a user's profile.
+type ActiveRule struct {
+	// Rule is the activated rule.
+	Rule *rules.Rule
+	// AltIndex is the currently selected alternative.
+	AltIndex int
+	// ActivatedAt is when the (latest) activation happened.
+	ActivatedAt time.Time
+	// ExpiresAt is when the activation lapses; zero means never (TTL 0).
+	ExpiresAt time.Time
+	// TriggerServer is the violating server that caused the activation.
+	TriggerServer string
+	// TriggerDistance is the violator's distance from the median at
+	// activation time — the yardstick the history mechanism compares the
+	// alternate against later (Section 4.2.3).
+	TriggerDistance float64
+	// Activations counts how many times this rule has (re-)activated for
+	// the user, driving linear alternative progression.
+	Activations int
+}
+
+// Expired reports whether the activation has lapsed at time now.
+func (a *ActiveRule) Expired(now time.Time) bool {
+	return !a.ExpiresAt.IsZero() && now.After(a.ExpiresAt)
+}
+
+// Profile is Oak's per-user state: every decision Oak makes is grounded in
+// this user's own reported performance, never the aggregate.
+type Profile struct {
+	// UserID is the identifying cookie value.
+	UserID string
+	// violations counts, per server address, how many reports flagged the
+	// server as a violator for this user. Drives Policy.MinViolations.
+	violations map[string]int
+	// active maps rule ID to the live activation.
+	active map[string]*ActiveRule
+	// lastReport is when the user last submitted a report.
+	lastReport time.Time
+}
+
+// newProfile creates an empty profile for a user.
+func newProfile(userID string) *Profile {
+	return &Profile{
+		UserID:     userID,
+		violations: make(map[string]int),
+		active:     make(map[string]*ActiveRule),
+	}
+}
+
+// recordViolation bumps the per-server violation counter and returns the
+// new count.
+func (p *Profile) recordViolation(serverAddr string) int {
+	p.violations[serverAddr]++
+	return p.violations[serverAddr]
+}
+
+// violationCount returns how many times the server has violated for this
+// user.
+func (p *Profile) violationCount(serverAddr string) int {
+	return p.violations[serverAddr]
+}
+
+// activeRule returns the live activation for the rule ID, nil if none.
+func (p *Profile) activeRule(id string) *ActiveRule {
+	return p.active[id]
+}
+
+// activate records a (re-)activation of rule with the chosen alternative.
+func (p *Profile) activate(r *rules.Rule, altIndex int, now time.Time, server string, distance float64) *ActiveRule {
+	a := p.active[r.ID]
+	if a == nil {
+		a = &ActiveRule{Rule: r}
+		p.active[r.ID] = a
+	}
+	a.AltIndex = altIndex
+	a.ActivatedAt = now
+	a.ExpiresAt = r.Expires(now)
+	a.TriggerServer = server
+	a.TriggerDistance = distance
+	a.Activations++
+	return a
+}
+
+// deactivate removes the rule's activation.
+func (p *Profile) deactivate(ruleID string) {
+	delete(p.active, ruleID)
+}
+
+// pruneExpired drops lapsed activations and returns the IDs removed.
+func (p *Profile) pruneExpired(now time.Time) []string {
+	var removed []string
+	for id, a := range p.active {
+		if a.Expired(now) {
+			delete(p.active, id)
+			removed = append(removed, id)
+		}
+	}
+	sort.Strings(removed)
+	return removed
+}
+
+// activations returns the user's live activations for a page path as an
+// ordered rule application list (sorted by rule ID for determinism).
+func (p *Profile) activations(path string, now time.Time) []rules.Activation {
+	ids := make([]string, 0, len(p.active))
+	for id, a := range p.active {
+		if a.Expired(now) || !a.Rule.InScope(path) {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	acts := make([]rules.Activation, 0, len(ids))
+	for _, id := range ids {
+		a := p.active[id]
+		acts = append(acts, rules.Activation{Rule: a.Rule, AltIndex: a.AltIndex})
+	}
+	return acts
+}
+
+// ActiveRuleIDs lists the user's live activations (sorted), for inspection.
+func (p *Profile) ActiveRuleIDs(now time.Time) []string {
+	var ids []string
+	for id, a := range p.active {
+		if !a.Expired(now) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}

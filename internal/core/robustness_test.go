@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"oak/internal/report"
+	"oak/internal/rules"
+)
+
+// randomReport generates arbitrary (but structurally valid) reports to
+// hammer the engine with.
+type randomReport struct{ rep *report.Report }
+
+var _ quick.Generator = randomReport{}
+
+func (randomReport) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(size+1)
+	rep := &report.Report{
+		UserID: fmt.Sprintf("user-%d", r.Intn(5)),
+		Page:   []string{"/index.html", "/shop/cart.html", "/blog/a.html"}[r.Intn(3)],
+	}
+	for i := 0; i < n; i++ {
+		host := fmt.Sprintf("h%d.example", r.Intn(8))
+		rep.Entries = append(rep.Entries, report.Entry{
+			URL:            fmt.Sprintf("http://%s/o%d.bin", host, r.Intn(4)),
+			ServerAddr:     fmt.Sprintf("10.0.0.%d", r.Intn(8)),
+			SizeBytes:      int64(r.Intn(600 * 1024)),
+			DurationMillis: r.Float64() * 5000,
+			Kind:           report.KindScript,
+		})
+	}
+	return reflect.ValueOf(randomReport{rep})
+}
+
+// engineInvariants drives the engine with arbitrary reports and checks the
+// invariants that must hold regardless of input:
+//   - HandleReport never errors on a valid report,
+//   - every reported violation really is one of the report's servers,
+//   - active rules are always drawn from the configured rule set,
+//   - ModifyPage output never contains a rule's default text when that
+//     rule is active and in scope.
+func TestQuickEngineInvariants(t *testing.T) {
+	ruleSet := []*rules.Rule{
+		{ID: "r0", Type: rules.TypeReplaceSame,
+			Default:      `<img src="http://h0.example/o0.bin">`,
+			Alternatives: []string{`<img src="http://alt0.example/o0.bin">`}, Scope: "*"},
+		{ID: "r1", Type: rules.TypeRemove,
+			Default: `<img src="http://h1.example/o1.bin">`, Scope: "/shop/*"},
+		{ID: "r2", Type: rules.TypeReplaceAlt,
+			Default:      `<script src="http://h2.example/o2.bin"></script>`,
+			Alternatives: []string{"<!-- gone -->", "<b>alt2</b>"}, Scope: "*"},
+	}
+	e, err := NewEngine(ruleSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{"r0": true, "r1": true, "r2": true}
+
+	f := func(rr randomReport) bool {
+		res, err := e.HandleReport(rr.rep)
+		if err != nil {
+			t.Logf("HandleReport: %v", err)
+			return false
+		}
+		addrs := make(map[string]bool)
+		for _, entry := range rr.rep.Entries {
+			addrs[entry.ServerAddr] = true
+		}
+		for _, v := range res.Violations {
+			if !addrs[v.Server.Addr] {
+				t.Logf("violation names unknown server %q", v.Server.Addr)
+				return false
+			}
+		}
+		for _, ch := range res.Changes {
+			if !known[ch.RuleID] {
+				t.Logf("change names unknown rule %q", ch.RuleID)
+				return false
+			}
+		}
+		for _, a := range e.ActiveRules(rr.rep.UserID, rr.rep.Page) {
+			if !known[a.Rule.ID] {
+				return false
+			}
+		}
+		page := `<img src="http://h0.example/o0.bin"> <img src="http://h1.example/o1.bin">`
+		out, _ := e.ModifyPage(rr.rep.UserID, rr.rep.Page, page)
+		for _, a := range e.ActiveRules(rr.rep.UserID, rr.rep.Page) {
+			if strings.Contains(out, a.Rule.Default) {
+				t.Logf("active rule %s default text survived rewrite", a.Rule.ID)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEngineConcurrentRandom hammers one engine from parallel random
+// workers; the race detector plus the absence of panics is the assertion.
+func TestQuickEngineConcurrentRandom(t *testing.T) {
+	e, err := NewEngine([]*rules.Rule{jqRule(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				rep := randomReport{}.Generate(rng, 10).Interface().(randomReport).rep
+				if _, err := e.HandleReport(rep); err != nil {
+					done <- err
+					return
+				}
+				e.ModifyPage(rep.UserID, rep.Page, `<script src="http://s1.com/jquery.js">`)
+				if _, err := e.ExportState(); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

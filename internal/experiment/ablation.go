@@ -1,0 +1,394 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"oak/internal/client"
+	"oak/internal/core"
+	"oak/internal/netsim"
+	"oak/internal/report"
+	"oak/internal/rules"
+	"oak/internal/stats"
+	"oak/internal/webgen"
+)
+
+// Ablations of the design decisions DESIGN.md calls out. Each returns a
+// small result the benchmarks and tests print/assert; none is a paper
+// figure, so they live outside the figure registry.
+
+// MADSweepResult is one row of the MAD-multiplier ablation.
+type MADSweepResult struct {
+	K float64
+	// DetectionRate is how often the genuinely degraded server was flagged.
+	DetectionRate float64
+	// FalseFlagsPerLoad is the mean count of healthy servers flagged.
+	FalseFlagsPerLoad float64
+}
+
+// AblationMADMultiplier sweeps the violator criterion's k over the fig9
+// world with a fixed 2 s injected delay: small k over-flags healthy
+// servers, large k misses the degraded one. The paper's k=2 sits at the
+// knee.
+func AblationMADMultiplier(seed int64, iterations int) ([]MADSweepResult, error) {
+	var out []MADSweepResult
+	for _, k := range []float64{1, 1.5, 2, 3, 4} {
+		var detected int
+		var falseFlags int
+		for it := 0; it < iterations; it++ {
+			w, err := fig9World()
+			if err != nil {
+				return nil, err
+			}
+			slowHost := fmt.Sprintf("file-%d.example", fig9Slow+1)
+			w.net.Degrade(netsim.Degradation{ServerAddr: "srv-" + slowHost, ExtraDelay: 2 * time.Second})
+			// A moderately noisy broadband client: the sweep should show
+			// the k trade-off, not drown in path noise.
+			w.net.SetClientProfile("u", netsim.ClientProfile{BandwidthBps: 22e3, JitterFrac: 0.30})
+			clock := netsim.NewVirtualClock(catalogStart.Add(time.Duration(it) * 41 * time.Minute))
+			sc := &client.SimClient{ID: "u", Region: netsim.NorthAmerica, Net: w.net, Assets: w.assets, Clock: clock}
+			res, err := sc.Load(w.site, w.page, w.page.HTML)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range core.DetectViolators(report.GroupByServer(res.Report), k) {
+				if v.Server.HasHost(slowHost) {
+					detected++
+				} else {
+					falseFlags++
+				}
+			}
+		}
+		out = append(out, MADSweepResult{
+			K:                 k,
+			DetectionRate:     float64(detected) / float64(iterations),
+			FalseFlagsPerLoad: float64(falseFlags) / float64(iterations),
+		})
+	}
+	return out, nil
+}
+
+// AbsoluteVsRelativeResult compares threshold styles on a narrow-bandwidth
+// client (the paper's Section 6 argument for relative thresholds).
+type AbsoluteVsRelativeResult struct {
+	// RelativeFlags and AbsoluteFlags count servers flagged for a client
+	// whose every path is slow but uniformly so (nothing is actually wrong).
+	RelativeFlags int
+	AbsoluteFlags int
+}
+
+// AblationAbsoluteThreshold loads the fig9 page (all servers healthy) from
+// a very narrow long-haul link. A fixed absolute threshold tuned for normal
+// clients flags everything; the MAD criterion flags nothing.
+func AblationAbsoluteThreshold(seed int64) (*AbsoluteVsRelativeResult, error) {
+	w, err := fig9World()
+	if err != nil {
+		return nil, err
+	}
+	w.net.SetClientProfile("narrow", netsim.ClientProfile{
+		BandwidthBps: 4e3, LatencyFactor: 5, JitterFrac: 0.2,
+	})
+	clock := netsim.NewVirtualClock(catalogStart)
+	sc := &client.SimClient{ID: "narrow", Region: netsim.Asia, Net: w.net, Assets: w.assets, Clock: clock}
+	res, err := sc.Load(w.site, w.page, w.page.HTML)
+	if err != nil {
+		return nil, err
+	}
+	servers := report.GroupByServer(res.Report)
+	rel := core.DetectViolators(servers, stats.DefaultMADMultiplier)
+	// An absolute policy tuned for a broadband client: small objects within
+	// a second, large transfers above 100 KB/s.
+	abs := core.DetectViolatorsAbsolute(servers, core.AbsoluteThresholds{
+		MaxSmallTimeMs:  1000,
+		MinLargeTputBps: 100e3,
+	})
+	return &AbsoluteVsRelativeResult{RelativeFlags: len(rel), AbsoluteFlags: len(abs)}, nil
+}
+
+// SizeSplitResult is one row of the small/large split ablation.
+type SizeSplitResult struct {
+	ThresholdKB int
+	// SmallServers / LargeServers count how many servers end up with each
+	// signal available on a typical catalog load.
+	SmallServers int
+	LargeServers int
+}
+
+// AblationSizeSplit sweeps the small/large object split point over a
+// catalog load, showing how the 50 KB choice balances the two signal
+// populations.
+func AblationSizeSplit(seed int64) ([]SizeSplitResult, error) {
+	g := webgen.NewGenerator(webgen.Config{Seed: seed, NumSites: 5})
+	site := g.Site(2)
+	net := netsim.NewNetwork()
+	assets, err := registerSiteWorld(net, site, g.Pool(), "")
+	if err != nil {
+		return nil, err
+	}
+	sc := &client.SimClient{
+		ID: "u", Region: netsim.NorthAmerica, Net: net, Assets: assets,
+		Clock: netsim.NewVirtualClock(catalogStart),
+	}
+	page := site.Index()
+	res, err := sc.Load(site, page, page.HTML)
+	if err != nil {
+		return nil, err
+	}
+	var out []SizeSplitResult
+	for _, kb := range []int{10, 25, 50, 100, 200} {
+		threshold := int64(kb * 1024)
+		bySrv := make(map[string][2]bool) // addr -> (hasSmall, hasLarge)
+		for _, e := range res.Report.Entries {
+			v := bySrv[e.ServerAddr]
+			if e.SizeBytes < threshold {
+				v[0] = true
+			} else {
+				v[1] = true
+			}
+			bySrv[e.ServerAddr] = v
+		}
+		row := SizeSplitResult{ThresholdKB: kb}
+		for _, v := range bySrv {
+			if v[0] {
+				row.SmallServers++
+			}
+			if v[1] {
+				row.LargeServers++
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// MatchDepthResult is one row of the script-expansion depth ablation.
+type MatchDepthResult struct {
+	Depth int
+	// MedianMatchRate is the fig8-style median fraction of servers tied to
+	// the whole-index rule.
+	MedianMatchRate float64
+}
+
+// AblationMatchDepth sweeps the external-JavaScript expansion depth,
+// reproducing the paper's observation that one layer captures most of the
+// win and further layers pay off "rapidly diminishing" amounts.
+func AblationMatchDepth(seed int64, sites int) ([]MatchDepthResult, error) {
+	g := webgen.NewGenerator(webgen.Config{Seed: seed, NumSites: sites})
+	pool := g.Pool()
+	catalog := g.Catalog() // one catalog for every depth: Catalog() consumes RNG state
+	clock := netsim.NewVirtualClock(catalogStart)
+	var out []MatchDepthResult
+	for _, depth := range []int{0, 1, 2} {
+		var fracs []float64
+		for _, site := range catalog {
+			net := netsim.NewNetwork()
+			assets, err := registerSiteWorld(net, site, pool, "")
+			if err != nil {
+				return nil, err
+			}
+			sc := &client.SimClient{ID: "u", Region: netsim.NorthAmerica, Net: net, Assets: assets, Clock: clock}
+			page := site.Index()
+			res, err := sc.Load(site, page, page.HTML)
+			if err != nil {
+				return nil, err
+			}
+			servers := report.GroupByServer(res.Report)
+			var scriptURLs []string
+			for _, s := range servers {
+				scriptURLs = append(scriptURLs, s.ScriptURLs...)
+			}
+			m := &core.Matcher{MaxLevel: core.MatchExternalJS, Fetcher: assets, Depth: depth}
+			if depth == 0 {
+				m.MaxLevel = core.MatchText
+			}
+			indexRule := &rules.Rule{ID: "index", Type: rules.TypeRemove, Default: page.HTML, Scope: "*"}
+			var matched int
+			for _, s := range servers {
+				if m.Match(indexRule, s, scriptURLs) != core.MatchNone {
+					matched++
+				}
+			}
+			fracs = append(fracs, float64(matched)/float64(len(servers)))
+		}
+		med, err := stats.Median(fracs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MatchDepthResult{Depth: depth, MedianMatchRate: med})
+	}
+	return out, nil
+}
+
+// HistoryPolicyResult compares rule-history strategies when the alternate
+// itself turns bad mid-run.
+type HistoryPolicyResult struct {
+	// MeanPLTOak / MeanPLTNeverRevert / MeanPLTNoRules are mean PLTs (ms)
+	// over the scenario under Oak's distance-minimising history, a naive
+	// never-revert policy, and no Oak at all.
+	MeanPLTOak         float64
+	MeanPLTNeverRevert float64
+	MeanPLTNoRules     float64
+}
+
+// AblationHistory runs a scenario where the default degrades, Oak switches,
+// and then the alternate degrades even harder. Oak's history mechanism
+// reverts; a never-revert policy stays pinned to the now-terrible
+// alternate.
+func AblationHistory(seed int64) (*HistoryPolicyResult, error) {
+	run := func(mode string) (float64, error) {
+		w, err := fig9World()
+		if err != nil {
+			return 0, err
+		}
+		slowHost := fmt.Sprintf("file-%d.example", fig9Slow+1)
+		altHost := fmt.Sprintf("alt-file-%d.example", fig9Slow+1)
+		start := catalogStart
+		phase2 := start.Add(8 * 30 * time.Minute)
+		// Phase 1 (loads 0-7): default degraded by 2 s, then it recovers.
+		w.net.Degrade(netsim.Degradation{
+			ServerAddr: "srv-" + slowHost, Start: start, End: phase2, ExtraDelay: 2 * time.Second,
+		})
+		// Phase 2 (loads 8+): the alternate degrades by 6 s. Oak's history
+		// mechanism must notice and revert; a never-revert policy stays
+		// pinned to the now-terrible alternate.
+		w.net.Degrade(netsim.Degradation{
+			ServerAddr: "srv-" + altHost, Start: phase2, ExtraDelay: 6 * time.Second,
+		})
+		fc := fig9Clients()[0]
+		w.net.SetClientProfile("u", netsim.ClientProfile{BandwidthBps: 22e3, JitterFrac: 0.15})
+		engine, err := core.NewEngine(w.rules)
+		if err != nil {
+			return 0, err
+		}
+		clock := netsim.NewVirtualClock(start)
+		sc := &client.SimClient{ID: "u", Region: fc.region, Net: w.net, Assets: w.assets, Clock: clock}
+
+		var totalMs float64
+		const loads = 12
+		var pinnedHTML string
+		for li := 0; li < loads; li++ {
+			var html string
+			switch mode {
+			case "none":
+				html = w.page.HTML
+			case "never-revert":
+				if pinnedHTML == "" {
+					pinnedHTML = w.page.HTML
+				}
+				html = pinnedHTML
+			default: // oak
+				html, _ = engine.ModifyPage("u", w.page.Path, w.page.HTML)
+			}
+			res, err := sc.Load(w.site, w.page, html)
+			if err != nil {
+				return 0, err
+			}
+			totalMs += float64(res.PLT) / float64(time.Millisecond)
+			if mode != "none" {
+				if _, err := engine.HandleReport(res.Report); err != nil {
+					return 0, err
+				}
+			}
+			if mode == "never-revert" {
+				// Pin whatever the engine would serve next, but never allow
+				// deactivation: once switched, stay switched.
+				next, _ := engine.ModifyPage("u", w.page.Path, w.page.HTML)
+				if pinnedHTML == w.page.HTML && next != w.page.HTML {
+					pinnedHTML = next
+				}
+			}
+			clock.Advance(30 * time.Minute)
+		}
+		return totalMs / loads, nil
+	}
+
+	oakPLT, err := run("oak")
+	if err != nil {
+		return nil, err
+	}
+	pinned, err := run("never-revert")
+	if err != nil {
+		return nil, err
+	}
+	none, err := run("none")
+	if err != nil {
+		return nil, err
+	}
+	return &HistoryPolicyResult{
+		MeanPLTOak:         oakPLT,
+		MeanPLTNeverRevert: pinned,
+		MeanPLTNoRules:     none,
+	}, nil
+}
+
+// MinViolationsResult is one row of the activation-threshold ablation.
+type MinViolationsResult struct {
+	MinViolations int
+	// FalseActivations counts activations triggered by a single transient
+	// burst; TrueActivationDelay is how many loads the persistent offender
+	// needed before its rule activated (-1 = never).
+	FalseActivations    int
+	TrueActivationDelay int
+}
+
+// AblationMinViolations injects one transient burst on a healthy server and
+// a persistent degradation on another, then sweeps MinViolations: low
+// settings chase the transient, high settings delay the real fix.
+func AblationMinViolations(seed int64) ([]MinViolationsResult, error) {
+	var out []MinViolationsResult
+	for _, mv := range []int{1, 2, 3, 4, 5} {
+		w, err := fig9World()
+		if err != nil {
+			return nil, err
+		}
+		slowHost := fmt.Sprintf("file-%d.example", fig9Slow+1)
+		transientHost := "file-5.example"
+		start := catalogStart
+		w.net.Degrade(netsim.Degradation{
+			ServerAddr: "srv-" + slowHost, Start: start, ExtraDelay: 1500 * time.Millisecond,
+		})
+		// One-load transient burst on an otherwise healthy server.
+		w.net.Degrade(netsim.Degradation{
+			ServerAddr: "srv-" + transientHost,
+			Start:      start, End: start.Add(10 * time.Minute),
+			ExtraDelay: 1500 * time.Millisecond,
+		})
+		fc := fig9Clients()[0]
+		w.net.SetClientProfile("u", fc.profile)
+		engine, err := core.NewEngine(w.rules, core.WithPolicy(core.Policy{MinViolations: mv}))
+		if err != nil {
+			return nil, err
+		}
+		clock := netsim.NewVirtualClock(start)
+		sc := &client.SimClient{ID: "u", Region: fc.region, Net: w.net, Assets: w.assets, Clock: clock}
+
+		row := MinViolationsResult{MinViolations: mv, TrueActivationDelay: -1}
+		for li := 0; li < 10; li++ {
+			html, _ := engine.ModifyPage("u", w.page.Path, w.page.HTML)
+			res, err := sc.Load(w.site, w.page, html)
+			if err != nil {
+				return nil, err
+			}
+			analysis, err := engine.HandleReport(res.Report)
+			if err != nil {
+				return nil, err
+			}
+			for _, ch := range analysis.Changes {
+				if ch.Action != "activate" {
+					continue
+				}
+				switch ch.RuleID {
+				case "swap-" + transientHost:
+					row.FalseActivations++
+				case "swap-" + slowHost:
+					if row.TrueActivationDelay < 0 {
+						row.TrueActivationDelay = li + 1
+					}
+				}
+			}
+			clock.Advance(30 * time.Minute)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

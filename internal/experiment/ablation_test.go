@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"testing"
+)
+
+func TestAblationMADMultiplier(t *testing.T) {
+	rows, err := AblationMADMultiplier(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byK := make(map[float64]MADSweepResult, len(rows))
+	for _, r := range rows {
+		byK[r.K] = r
+	}
+	// k=2 (the paper's choice) must reliably detect the 1s degradation.
+	if byK[2].DetectionRate < 0.75 {
+		t.Errorf("k=2 detection rate = %v, want reliable", byK[2].DetectionRate)
+	}
+	// Smaller k flags at least as many healthy servers as larger k.
+	if byK[1].FalseFlagsPerLoad < byK[4].FalseFlagsPerLoad {
+		t.Errorf("false flags not decreasing in k: k1=%v k4=%v",
+			byK[1].FalseFlagsPerLoad, byK[4].FalseFlagsPerLoad)
+	}
+	// Detection never increases as k grows.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].DetectionRate > rows[i-1].DetectionRate+1e-9 {
+			t.Errorf("detection rate increased with k: %+v -> %+v", rows[i-1], rows[i])
+		}
+	}
+}
+
+func TestAblationAbsoluteThreshold(t *testing.T) {
+	res, err := AblationAbsoluteThreshold(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Section 6 argument: uniformly slow clients trip absolute
+	// thresholds everywhere but the relative criterion stays quiet.
+	if res.AbsoluteFlags < 3 {
+		t.Errorf("absolute policy flagged only %d servers on a narrow link, expected most", res.AbsoluteFlags)
+	}
+	if res.RelativeFlags > 1 {
+		t.Errorf("relative policy flagged %d servers on a uniformly slow link, want ~0", res.RelativeFlags)
+	}
+}
+
+func TestAblationSizeSplit(t *testing.T) {
+	rows, err := AblationSizeSplit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Growing the threshold can only grow the small-signal population and
+	// shrink the large one.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SmallServers < rows[i-1].SmallServers {
+			t.Errorf("small population shrank: %+v -> %+v", rows[i-1], rows[i])
+		}
+		if rows[i].LargeServers > rows[i-1].LargeServers {
+			t.Errorf("large population grew: %+v -> %+v", rows[i-1], rows[i])
+		}
+	}
+}
+
+func TestAblationMatchDepth(t *testing.T) {
+	rows, err := AblationMatchDepth(1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Depth 1 must beat depth 0 substantially; depth 2 adds little (the
+	// paper's "rapidly diminishing payoff").
+	if rows[1].MedianMatchRate <= rows[0].MedianMatchRate {
+		t.Errorf("depth 1 (%v) not above depth 0 (%v)",
+			rows[1].MedianMatchRate, rows[0].MedianMatchRate)
+	}
+	gain1 := rows[1].MedianMatchRate - rows[0].MedianMatchRate
+	gain2 := rows[2].MedianMatchRate - rows[1].MedianMatchRate
+	if gain2 > gain1 {
+		t.Errorf("depth 2 gain (%v) exceeds depth 1 gain (%v): expected diminishing returns", gain2, gain1)
+	}
+}
+
+func TestAblationHistory(t *testing.T) {
+	res, err := AblationHistory(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oak's history must beat both doing nothing and never reverting.
+	if res.MeanPLTOak >= res.MeanPLTNoRules {
+		t.Errorf("oak PLT %v not below no-rules PLT %v", res.MeanPLTOak, res.MeanPLTNoRules)
+	}
+	if res.MeanPLTOak >= res.MeanPLTNeverRevert {
+		t.Errorf("oak PLT %v not below never-revert PLT %v", res.MeanPLTOak, res.MeanPLTNeverRevert)
+	}
+}
+
+func TestAblationMinViolations(t *testing.T) {
+	rows, err := AblationMinViolations(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMV := make(map[int]MinViolationsResult, len(rows))
+	for _, r := range rows {
+		byMV[r.MinViolations] = r
+	}
+	// A single-load transient fools MinViolations=1 but not >=2.
+	if byMV[1].FalseActivations == 0 {
+		t.Error("MinViolations=1 did not chase the transient burst")
+	}
+	if byMV[3].FalseActivations != 0 {
+		t.Errorf("MinViolations=3 chased the transient %d times", byMV[3].FalseActivations)
+	}
+	// The persistent offender is eventually fixed at every setting, later
+	// for stricter policies.
+	for _, r := range rows {
+		if r.TrueActivationDelay < 0 {
+			t.Errorf("MinViolations=%d never activated on the persistent offender", r.MinViolations)
+		}
+	}
+	if byMV[5].TrueActivationDelay < byMV[1].TrueActivationDelay {
+		t.Errorf("stricter policy activated earlier: mv5=%d mv1=%d",
+			byMV[5].TrueActivationDelay, byMV[1].TrueActivationDelay)
+	}
+}

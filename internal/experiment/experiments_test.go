@@ -1,0 +1,315 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickCfg is the reduced scale all experiment tests run at.
+var quickCfg = Config{Seed: 1, Quick: true}
+
+// midCfg is a slightly larger scale for the shape assertions that need
+// statistical stability.
+var midCfg = Config{Seed: 1, Sites: 120, Clients: 15}
+
+// measured extracts the float at the start of the "measured" column of the
+// named row in the result's first summary-style table.
+func measured(t *testing.T, res *FigureResult, rowPrefix string) float64 {
+	t.Helper()
+	for _, tab := range res.Tables {
+		for _, row := range tab.Rows {
+			if len(row) >= 3 && strings.HasPrefix(row[0], rowPrefix) {
+				val := strings.Fields(row[2])[0]
+				val = strings.TrimSuffix(strings.TrimSuffix(val, "%"), "x")
+				val = strings.TrimSuffix(val, "s")
+				val = strings.TrimSuffix(val, " KB")
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					t.Fatalf("row %q: parse %q: %v", rowPrefix, row[2], err)
+				}
+				return f
+			}
+		}
+	}
+	t.Fatalf("row %q not found in %s", rowPrefix, res.ID)
+	return 0
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, quickCfg)
+			if err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			if res.ID != id {
+				t.Errorf("result ID = %q, want %q", res.ID, id)
+			}
+			if len(res.Series) == 0 && len(res.Tables) == 0 {
+				t.Error("experiment produced neither series nor tables")
+			}
+			if out := res.Render(); len(out) == 0 {
+				t.Error("empty render")
+			}
+		})
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	a, err := Run("fig1", quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("fig1", quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Error("fig1 not deterministic across runs with the same seed")
+	}
+}
+
+func TestFig1Calibration(t *testing.T) {
+	res, err := Run("fig1", midCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := measured(t, res, "median external fraction")
+	if med < 0.62 || med > 0.88 {
+		t.Errorf("median external fraction = %v, want ~0.75", med)
+	}
+}
+
+func TestFig2Calibration(t *testing.T) {
+	res, err := Run("fig2", midCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge1 := measured(t, res, "sites with >=1 outlier")
+	ge4 := measured(t, res, "sites with >=4 outliers")
+	if ge1 < 55 || ge1 > 92 {
+		t.Errorf("sites with >=1 outlier = %v%%, want >60%% band", ge1)
+	}
+	if ge4 < 5 || ge4 > 35 {
+		t.Errorf("sites with >=4 outliers = %v%%, want ~20%% band", ge4)
+	}
+	if ge4 >= ge1 {
+		t.Error(">=4 fraction should be below >=1 fraction")
+	}
+}
+
+func TestTable1AdsDominate(t *testing.T) {
+	res, err := Run("table1", midCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adsy, total int
+	for _, row := range res.Tables[0].Rows {
+		total++
+		switch {
+		case strings.Contains(row[1], "Ads"), strings.Contains(row[1], "Analytics"),
+			strings.Contains(row[1], "Social"):
+			adsy++
+		}
+	}
+	if total == 0 {
+		t.Fatal("empty table1")
+	}
+	if adsy*2 < total {
+		t.Errorf("ads/analytics/social = %d of %d top outliers, want majority", adsy, total)
+	}
+}
+
+func TestFig3ChurnBand(t *testing.T) {
+	res, err := Run("fig3", midCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day1 := measured(t, res, "1 day")
+	if day1 < 0.3 || day1 > 0.8 {
+		t.Errorf("1-day vanish fraction = %v, want ~0.5 band", day1)
+	}
+}
+
+func TestFig8TierOrdering(t *testing.T) {
+	res, err := Run("fig8", midCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := measured(t, res, "direct")
+	text := measured(t, res, "text")
+	js := measured(t, res, "external-js")
+	if !(direct < text && text < js) {
+		t.Errorf("tier medians not increasing: %v %v %v", direct, text, js)
+	}
+	if direct < 0.30 || direct > 0.55 {
+		t.Errorf("direct median = %v, want ~0.42", direct)
+	}
+	if js < 0.70 || js > 0.95 {
+		t.Errorf("external-js median = %v, want ~0.81", js)
+	}
+}
+
+func TestFig9ThresholdOrdering(t *testing.T) {
+	res, err := Run("fig9", quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na := measured(t, res, "NA")
+	eu := measured(t, res, "EU")
+	as := measured(t, res, "AS")
+	if !(na < eu && eu < as) {
+		t.Errorf("thresholds not ordered NA<EU<AS: %v %v %v", na, eu, as)
+	}
+	if na > 1.1 {
+		t.Errorf("NA threshold = %vs, want <= ~1s", na)
+	}
+	if as < 3 {
+		t.Errorf("AS threshold = %vs, want ~5s", as)
+	}
+}
+
+func TestFig10OakBeatsDefault(t *testing.T) {
+	res, err := Run("fig10", quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := measured(t, res, "median ratio, default")
+	oak := measured(t, res, "median ratio, oak")
+	if oak <= def {
+		t.Errorf("oak median ratio %v not above default %v", oak, def)
+	}
+	if def > 0.7 {
+		t.Errorf("default ratio = %v, want degraded (~0.3-0.6)", def)
+	}
+	if oak < 0.6 {
+		t.Errorf("oak ratio = %v, want consistent (>0.6)", oak)
+	}
+}
+
+func TestFig11DiurnalShape(t *testing.T) {
+	res, err := Run("fig11", quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := measured(t, res, "peak daytime ratio")
+	trough := measured(t, res, "night-time ratio")
+	if peak < 5 {
+		t.Errorf("peak ratio = %vx, want large daytime gains (>10x in paper)", peak)
+	}
+	if trough > 2 {
+		t.Errorf("night ratio = %vx, want ~1x", trough)
+	}
+}
+
+func TestFig12MostChoicesCorrect(t *testing.T) {
+	res, err := Run("fig12", midCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables[0].Rows) != 4 {
+		t.Fatalf("fig12 rows = %d, want 4 conditions", len(res.Tables[0].Rows))
+	}
+	for _, row := range res.Tables[0].Rows {
+		frac := measured(t, res, row[0])
+		if frac < 0.45 {
+			t.Errorf("%s fully-correct = %v, want majority-correct", row[0], frac)
+		}
+	}
+}
+
+func TestFig13ImprovementOrdering(t *testing.T) {
+	res, err := Run("fig13", midCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1c := measured(t, res, "H1-Close")
+	h2c := measured(t, res, "H2-Close")
+	if h1c < 0.4 || h1c > 0.85 {
+		t.Errorf("H1-Close improved = %v, want ~0.57 band", h1c)
+	}
+	if h2c <= h1c-0.05 {
+		t.Errorf("H2-Close (%v) should improve at least as much as H1-Close (%v)", h2c, h1c)
+	}
+	for _, row := range res.Tables[0].Rows {
+		frac := measured(t, res, row[0])
+		if frac < 0.5 {
+			t.Errorf("%s improved = %v, want majority improved", row[0], frac)
+		}
+	}
+}
+
+func TestFig14IndividualRulesExist(t *testing.T) {
+	res, err := Run("fig14", midCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at18 := measured(t, res, "rules with <=18%")
+	if at18 <= 0.05 {
+		t.Errorf("individual-rule fraction = %v, want a visible individual tail", at18)
+	}
+}
+
+func TestTable3HasBothColumns(t *testing.T) {
+	res, err := Run("table3", midCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables[0].Rows) == 0 {
+		t.Fatal("empty table3")
+	}
+	var haveIndividual, haveCommon bool
+	for _, row := range res.Tables[0].Rows {
+		if row[0] != "" {
+			haveIndividual = true
+		}
+		if row[1] != "" {
+			haveCommon = true
+		}
+	}
+	if !haveIndividual || !haveCommon {
+		t.Errorf("table3 missing a column: individual=%v common=%v", haveIndividual, haveCommon)
+	}
+}
+
+func TestFig15ReportSizes(t *testing.T) {
+	res, err := Run("fig15", midCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := measured(t, res, "median report size")
+	if med <= 0 || med >= 20 {
+		t.Errorf("median report size = %v KB, want < 10 KB scale", med)
+	}
+}
+
+func TestTable2Selection(t *testing.T) {
+	res, err := Run("table2", midCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h1, h2 int
+	for _, row := range res.Tables[0].Rows {
+		n, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatalf("bad ext host count %q", row[2])
+		}
+		switch row[1] {
+		case "H1":
+			h1++
+			if n <= 5 || n >= 15 {
+				t.Errorf("H1 site %s has %d external hosts, want 5<n<15", row[0], n)
+			}
+		case "H2":
+			h2++
+			if n <= 15 {
+				t.Errorf("H2 site %s has %d external hosts, want >15", row[0], n)
+			}
+		}
+	}
+	if h1 != 5 || h2 != 5 {
+		t.Errorf("selected %d H1 / %d H2 sites, want 5/5", h1, h2)
+	}
+}

@@ -1,0 +1,263 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"oak/internal/client"
+	"oak/internal/core"
+	"oak/internal/netsim"
+	"oak/internal/report"
+	"oak/internal/rules"
+	"oak/internal/stats"
+	"oak/internal/webgen"
+)
+
+func init() {
+	register("fig9", runFig9)
+}
+
+// fig9Delays are the injected delays of Section 5.1 (250 ms – 5 s).
+var fig9Delays = []time.Duration{
+	250 * time.Millisecond, 500 * time.Millisecond, 750 * time.Millisecond,
+	1 * time.Second, 1500 * time.Millisecond, 2 * time.Second,
+	2500 * time.Millisecond, 3 * time.Second, 3500 * time.Millisecond,
+	4 * time.Second, 5 * time.Second,
+}
+
+// fig9Client describes one vantage point. The paper's three clients differ
+// in how spread their observed timings are: the campus NA node sees tight
+// timings, the Europe node spread ones, the cross-global Asia node very
+// spread ones — which is what moves Oak's relative detection threshold.
+type fig9Client struct {
+	name    string
+	region  netsim.Region
+	profile netsim.ClientProfile
+}
+
+func fig9Clients() []fig9Client {
+	return []fig9Client{
+		{name: "NA", region: netsim.NorthAmerica,
+			profile: netsim.ClientProfile{BandwidthBps: 22e3, JitterFrac: 0.95}},
+		{name: "EU", region: netsim.Europe,
+			profile: netsim.ClientProfile{BandwidthBps: 5.8e3, LatencyFactor: 3, JitterFrac: 1.0}},
+		{name: "AS", region: netsim.Asia,
+			profile: netsim.ClientProfile{BandwidthBps: 7.0e3, LatencyFactor: 4, JitterFrac: 0.55}},
+	}
+}
+
+// fig9Sizes are the "objects of varying sizes" each external server hosts.
+var fig9Sizes = []int64{20 * 1024, 40 * 1024, 80 * 1024}
+
+const (
+	fig9Servers = 5
+	fig9Slow    = 2 // index of the server that receives injected delay
+)
+
+// fig9World builds the experiment world: an origin, five North-American
+// file servers with distinct base performance, and one healthy alternate
+// per file server, plus the page, assets, and Type 2 rules.
+type fig9WorldT struct {
+	net    *netsim.Network
+	site   *webgen.Site
+	page   *webgen.Page
+	assets *webgen.Assets
+	rules  []*rules.Rule
+}
+
+func fig9World() (*fig9WorldT, error) {
+	net := netsim.NewNetwork()
+	site := &webgen.Site{
+		Domain:    "fig9-origin.example",
+		Scripts:   map[string]string{},
+		Fragments: map[string]string{},
+	}
+	assets := &webgen.Assets{
+		Sizes:   map[string]int64{},
+		Kinds:   map[string]report.ObjectKind{},
+		Scripts: map[string]string{},
+	}
+
+	addServer := func(host string, bw float64, proc time.Duration) error {
+		return net.AddServer(&netsim.Server{
+			Addr: "srv-" + host, Hosts: []string{host},
+			Region: netsim.NorthAmerica, ProcLatency: proc,
+			BandwidthBps: bw, JitterFrac: 0.05,
+		})
+	}
+	if err := addServer(site.Domain, 400e3, 10*time.Millisecond); err != nil {
+		return nil, err
+	}
+
+	var (
+		html    string
+		objects []webgen.Object
+		ruleSet []*rules.Rule
+	)
+	html = "<html><body>\n"
+	// Two origin objects.
+	for k, size := range []int64{8 * 1024, 30 * 1024} {
+		u := fmt.Sprintf("http://%s/o%d.bin", site.Domain, k)
+		assets.Sizes[u] = size
+		assets.Kinds[u] = report.KindOther
+		html += fmt.Sprintf("<img src=%q>\n", u)
+		objects = append(objects, webgen.Object{URL: u, Host: site.Domain, SizeBytes: size, Kind: report.KindImage, Tier: webgen.TierDirect})
+	}
+	for i := 0; i < fig9Servers; i++ {
+		host := fmt.Sprintf("file-%d.example", i+1)
+		alt := fmt.Sprintf("alt-file-%d.example", i+1)
+		// Identically provisioned file servers: the observed spread comes
+		// from the client's own path, mirroring the paper's setup where the
+		// same delay is visible or invisible purely by client location.
+		bw := 300e3
+		proc := 20 * time.Millisecond
+		if err := addServer(host, bw, proc); err != nil {
+			return nil, err
+		}
+		// Alternates mirror the middle server's healthy profile.
+		if err := addServer(alt, 300e3, 20*time.Millisecond); err != nil {
+			return nil, err
+		}
+		var frag, altFrag string
+		for k, size := range fig9Sizes {
+			u := fmt.Sprintf("http://%s/f%d.bin", host, k)
+			au := fmt.Sprintf("http://%s/f%d.bin", alt, k)
+			assets.Sizes[u] = size
+			assets.Sizes[au] = size
+			assets.Kinds[u] = report.KindOther
+			assets.Kinds[au] = report.KindOther
+			frag += fmt.Sprintf("<img src=%q>\n", u)
+			altFrag += fmt.Sprintf("<img src=%q>\n", au)
+			objects = append(objects, webgen.Object{URL: u, Host: host, SizeBytes: size, Kind: report.KindImage, Tier: webgen.TierDirect})
+		}
+		site.Fragments[host] = frag
+		html += frag
+		ruleSet = append(ruleSet, &rules.Rule{
+			ID: "swap-" + host, Type: rules.TypeReplaceSame,
+			Default: frag, Alternatives: []string{altFrag}, Scope: "*",
+		})
+	}
+	html += "</body></html>\n"
+	page := &webgen.Page{Path: "/index.html", HTML: html, Objects: objects}
+	site.Pages = []*webgen.Page{page}
+	return &fig9WorldT{net: net, site: site, page: page, assets: assets, rules: ruleSet}, nil
+}
+
+// runFig9 — PLT ratio between default and Oak for increasing injected
+// delays, per client region. Paper: NA reacts from ~0.75 s, EU above ~2 s,
+// AS only at ~5 s.
+func runFig9(cfg Config) (*FigureResult, error) {
+	cfg = cfg.normalized()
+	// 20 iterations per (client, delay) point, as in the paper; the run is
+	// cheap enough that Quick mode keeps full fidelity.
+	iterations := 20
+
+	result := &FigureResult{
+		ID:    "fig9",
+		Title: "PLT ratio (default/Oak) vs injected delay, by client region",
+	}
+	detect := Table{
+		Title:  "detection threshold (first delay Oak flags the degraded server in a majority of runs)",
+		Header: []string{"client", "paper", "measured"},
+	}
+	paperThresholds := map[string]string{"NA": "~0.75s", "EU": ">2s", "AS": "~5s"}
+
+	for _, fc := range fig9Clients() {
+		var pts, errBars []stats.Point
+		threshold := "none"
+		for _, delay := range fig9Delays {
+			ratios := make([]float64, 0, iterations)
+			var detections int
+			for it := 0; it < iterations; it++ {
+				r, det, err := fig9Iteration(fc, delay, it)
+				if err != nil {
+					return nil, err
+				}
+				ratios = append(ratios, r)
+				if det {
+					detections++
+				}
+			}
+			mean, err := stats.Mean(ratios)
+			if err != nil {
+				return nil, err
+			}
+			sd, err := stats.StdDev(ratios)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, stats.Point{X: delay.Seconds(), Y: mean})
+			errBars = append(errBars, stats.Point{X: delay.Seconds(), Y: sd})
+			if threshold == "none" && float64(detections) >= 0.55*float64(iterations) {
+				threshold = fmt.Sprintf("%.2fs", delay.Seconds())
+			}
+		}
+		// The paper's Figure 9 plots the mean with standard-deviation error
+		// bars; the stddev series carries the bars.
+		result.Series = append(result.Series,
+			Series{Name: "plt-ratio-" + fc.name, Points: pts},
+			Series{Name: "plt-ratio-" + fc.name + "-stddev", Points: errBars})
+		detect.Rows = append(detect.Rows, []string{fc.name, paperThresholds[fc.name], threshold})
+	}
+	result.Tables = []Table{detect}
+	return result, nil
+}
+
+// fig9Iteration runs one default-vs-Oak comparison for a client and delay,
+// returning PLT(default)/PLT(Oak) for the post-report load.
+func fig9Iteration(fc fig9Client, delay time.Duration, iteration int) (ratio float64, detected bool, err error) {
+	w, err := fig9World()
+	if err != nil {
+		return 0, false, err
+	}
+	w.net.SetClientProfile("u-"+fc.name, fc.profile)
+	slowHost := fmt.Sprintf("file-%d.example", fig9Slow+1)
+	w.net.Degrade(netsim.Degradation{ServerAddr: "srv-" + slowHost, ExtraDelay: delay})
+
+	start := catalogStart.Add(time.Duration(iteration) * 37 * time.Minute)
+	clock := netsim.NewVirtualClock(start)
+	sc := &client.SimClient{
+		ID: "u-" + fc.name, Region: fc.region, Net: w.net, Assets: w.assets, Clock: clock,
+	}
+
+	engine, err := core.NewEngine(w.rules)
+	if err != nil {
+		return 0, false, err
+	}
+	// Load 1: default page; report feeds Oak.
+	res1, err := sc.Load(w.site, w.page, w.page.HTML)
+	if err != nil {
+		return 0, false, err
+	}
+	analysis, err := engine.HandleReport(res1.Report)
+	if err != nil {
+		return 0, false, err
+	}
+	for _, ch := range analysis.Changes {
+		if ch.Action == "activate" && ch.RuleID == "swap-"+slowHost {
+			detected = true
+		}
+	}
+	clock.Advance(30 * time.Minute)
+
+	// Load 2, Oak: whatever rules activated now apply.
+	oakHTML, _ := engine.ModifyPage(sc.ID, w.page.Path, w.page.HTML)
+	oakRes, err := sc.Load(w.site, w.page, oakHTML)
+	if err != nil {
+		return 0, false, err
+	}
+	// Load 2, default: same instant, unmodified page.
+	defRes, err := sc.Load(w.site, w.page, w.page.HTML)
+	if err != nil {
+		return 0, false, err
+	}
+	if oakRes.PLT <= 0 {
+		return 0, false, fmt.Errorf("fig9: zero Oak PLT")
+	}
+	ratio = float64(defRes.PLT) / float64(oakRes.PLT)
+	if math.IsNaN(ratio) || math.IsInf(ratio, 0) {
+		return 0, false, fmt.Errorf("fig9: bad ratio")
+	}
+	return ratio, detected, nil
+}

@@ -1,0 +1,332 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"oak/internal/client"
+	"oak/internal/core"
+	"oak/internal/netsim"
+	"oak/internal/report"
+	"oak/internal/rules"
+	"oak/internal/stats"
+	"oak/internal/webgen"
+)
+
+func init() {
+	register("fig10", runFig10)
+	register("fig11", runFig11)
+}
+
+// The benchmark-detection experiment of Section 5.2: a page of six object
+// sets (30/50/100/500 KB each), one on the origin and five on external
+// servers, each paired with an identical alternative set behind a Type 2
+// rule. Clients worldwide reload the page every 30 minutes for 72 hours,
+// once Oak-enabled and once with rules disabled. Two of the default servers
+// are (as the paper discovered mid-experiment) badly behaved, with strongly
+// diurnal load.
+
+// fig10Sizes are the per-set object sizes of Section 5.2.
+var fig10Sizes = []int64{30 * 1024, 50 * 1024, 100 * 1024, 500 * 1024}
+
+const (
+	fig10Sets     = 5 // external sets; set 0 lives on the origin
+	fig10Interval = 30 * time.Minute
+	fig10Duration = 72 * time.Hour
+)
+
+// fig10Data is the shared outcome both figure runners consume.
+type fig10Data struct {
+	// ratios[cond] lists min/median set-download ratios over all
+	// (client, set) pairs; cond 0 = default, 1 = Oak.
+	ratios [2][]float64
+	// timeline is the per-load-slot mean PLT ratio default/Oak.
+	timeline []stats.Point
+}
+
+var (
+	fig10Mu    sync.Mutex
+	fig10Cache = map[string]*fig10Data{}
+)
+
+// fig10Run executes (or returns the cached) benchmark-detection run.
+func fig10Run(cfg Config) (*fig10Data, error) {
+	cfg = cfg.normalized()
+	key := fmt.Sprintf("%d/%d/%v", cfg.Seed, cfg.Clients, cfg.Quick)
+	fig10Mu.Lock()
+	defer fig10Mu.Unlock()
+	if d, ok := fig10Cache[key]; ok {
+		return d, nil
+	}
+
+	duration := fig10Duration
+	if cfg.Quick {
+		duration = 24 * time.Hour
+	}
+	loads := int(duration / fig10Interval)
+
+	// --- world ---
+	net := netsim.NewNetwork()
+	site := &webgen.Site{
+		Domain:    "bench-origin.example",
+		Scripts:   map[string]string{},
+		Fragments: map[string]string{},
+	}
+	assets := &webgen.Assets{
+		Sizes:   map[string]int64{},
+		Kinds:   map[string]report.ObjectKind{},
+		Scripts: map[string]string{},
+	}
+	addServer := func(host string, load netsim.LoadModel) error {
+		return net.AddServer(&netsim.Server{
+			Addr: "srv-" + host, Hosts: []string{host},
+			Region: netsim.NorthAmerica, ProcLatency: 20 * time.Millisecond,
+			BandwidthBps: 300e3, JitterFrac: 0.10, Load: load,
+		})
+	}
+	// Origin: modest steady noise.
+	if err := addServer(site.Domain, netsim.NoisyLoad{Salt: "origin", Mu: 0.2, Sigma: 0.2}); err != nil {
+		return nil, err
+	}
+
+	var (
+		html    string
+		objects []webgen.Object
+		ruleSet []*rules.Rule
+	)
+	html = "<html><body>\n"
+	addSet := func(host string) (frag string) {
+		for k, size := range fig10Sizes {
+			u := fmt.Sprintf("http://%s/set%d.bin", host, k)
+			assets.Sizes[u] = size
+			assets.Kinds[u] = report.KindOther
+			frag += fmt.Sprintf("<img src=%q>\n", u)
+			objects = append(objects, webgen.Object{
+				URL: u, Host: host, SizeBytes: size,
+				Kind: report.KindImage, Tier: webgen.TierDirect,
+			})
+		}
+		return frag
+	}
+	html += addSet(site.Domain)
+
+	for i := 0; i < fig10Sets; i++ {
+		host := fmt.Sprintf("bench-%d.example", i+1)
+		alt := fmt.Sprintf("alt-bench-%d.example", i+1)
+		// All default servers carry PlanetLab-like load noise; two of them
+		// (2 and 4) additionally swell badly during the day.
+		var load netsim.LoadModel = netsim.NoisyLoad{Salt: host, Mu: 1.4, Sigma: 0.7}
+		switch i {
+		case 1:
+			load = netsim.CombinedLoad{
+				netsim.NoisyLoad{Salt: host, Mu: 1.4, Sigma: 0.7},
+				netsim.DiurnalLoad{Peak: 6, PeakHour: 14},
+			}
+		case 3:
+			load = netsim.CombinedLoad{
+				netsim.NoisyLoad{Salt: host, Mu: 1.4, Sigma: 0.7},
+				netsim.DiurnalLoad{Peak: 4, PeakHour: 17},
+			}
+		}
+		if err := addServer(host, load); err != nil {
+			return nil, err
+		}
+		// Alternates were "selected randomly" and happened to be healthy:
+		// light steady noise only.
+		if err := addServer(alt, netsim.NoisyLoad{Salt: alt, Mu: 0.2, Sigma: 0.2}); err != nil {
+			return nil, err
+		}
+		frag := addSet(host)
+		var altFrag string
+		for k, size := range fig10Sizes {
+			au := fmt.Sprintf("http://%s/set%d.bin", alt, k)
+			assets.Sizes[au] = size
+			assets.Kinds[au] = report.KindOther
+			altFrag += fmt.Sprintf("<img src=%q>\n", au)
+		}
+		site.Fragments[host] = frag
+		html += frag
+		ruleSet = append(ruleSet, &rules.Rule{
+			ID: "swap-" + host, Type: rules.TypeReplaceSame,
+			Default: frag, Alternatives: []string{altFrag}, Scope: "*",
+		})
+	}
+	html += "</body></html>\n"
+	page := &webgen.Page{Path: "/index.html", HTML: html, Objects: objects}
+	site.Pages = []*webgen.Page{page}
+
+	engine, err := core.NewEngine(ruleSet)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- run ---
+	start := time.Date(2026, 3, 2, 0, 0, 0, 0, time.UTC)
+	// setTimes[cond][client][setHost] accumulates per-load set times (ms).
+	type setKey struct {
+		client int
+		host   string
+	}
+	setTimes := [2]map[setKey][]float64{make(map[setKey][]float64), make(map[setKey][]float64)}
+	timeline := make([]stats.Point, 0, loads)
+
+	hostsBySet := append([]string{site.Domain}, func() []string {
+		var hs []string
+		for i := 0; i < fig10Sets; i++ {
+			hs = append(hs, fmt.Sprintf("bench-%d.example", i+1))
+		}
+		return hs
+	}()...)
+
+	for li := 0; li < loads; li++ {
+		at := start.Add(time.Duration(li) * fig10Interval)
+		clock := netsim.NewVirtualClock(at)
+		var ratioSum float64
+		var ratioN int
+		for ci := 0; ci < cfg.Clients; ci++ {
+			sc := &client.SimClient{
+				ID:     clientID(ci, cfg.Clients),
+				Region: clientRegion(ci, cfg.Clients),
+				Net:    net, Assets: assets, Clock: clock,
+			}
+			// Default condition.
+			defRes, err := sc.Load(site, page, page.HTML)
+			if err != nil {
+				return nil, err
+			}
+			// Oak condition: serve the user's modified page, then report.
+			oakHTML, _ := engine.ModifyPage(sc.ID, page.Path, page.HTML)
+			oakRes, err := sc.Load(site, page, oakHTML)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := engine.HandleReport(oakRes.Report); err != nil {
+				return nil, err
+			}
+
+			accumulate := func(cond int, rep *report.Report) {
+				perHost := make(map[string]float64)
+				for _, e := range rep.Entries {
+					perHost[defaultHostOf(e.Host())] += e.DurationMillis
+				}
+				for _, h := range hostsBySet {
+					if total, ok := perHost[h]; ok {
+						k := setKey{client: ci, host: h}
+						setTimes[cond][k] = append(setTimes[cond][k], total)
+					}
+				}
+			}
+			accumulate(0, defRes.Report)
+			accumulate(1, oakRes.Report)
+
+			if oakRes.PLT > 0 {
+				ratioSum += float64(defRes.PLT) / float64(oakRes.PLT)
+				ratioN++
+			}
+		}
+		hours := at.Sub(start).Hours()
+		if ratioN > 0 {
+			timeline = append(timeline, stats.Point{X: hours, Y: ratioSum / float64(ratioN)})
+		}
+	}
+
+	data := &fig10Data{timeline: timeline}
+	for cond := 0; cond < 2; cond++ {
+		for _, times := range setTimes[cond] {
+			if len(times) < 4 {
+				continue
+			}
+			r, err := stats.MinMedianRatio(times)
+			if err != nil {
+				continue
+			}
+			data.ratios[cond] = append(data.ratios[cond], r)
+		}
+	}
+	fig10Cache[key] = data
+	return data, nil
+}
+
+// defaultHostOf maps an alternate host back to the default set it serves
+// ("alt-bench-2.example" -> "bench-2.example"), so Oak-condition loads
+// attribute alternate downloads to the set they replaced.
+func defaultHostOf(host string) string {
+	const altPrefix = "alt-"
+	if len(host) > len(altPrefix) && host[:len(altPrefix)] == altPrefix {
+		return host[len(altPrefix):]
+	}
+	return host
+}
+
+// runFig10 — Min/Median set-download ratio CDFs for default and Oak loads.
+// Paper: Oak lifts the median ratio from ~0.3 to ~0.7 and pushes 90 % of
+// loads above 0.5.
+func runFig10(cfg Config) (*FigureResult, error) {
+	data, err := fig10Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defMed, err := stats.Median(data.ratios[0])
+	if err != nil {
+		return nil, err
+	}
+	oakMed, err := stats.Median(data.ratios[1])
+	if err != nil {
+		return nil, err
+	}
+	oakP10, err := stats.Percentile(data.ratios[1], 0.10)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID:    "fig10",
+		Title: "Min/Median set-download ratio, Oak vs default",
+		Series: []Series{
+			CDFSeries("default", data.ratios[0], 21),
+			CDFSeries("oak", data.ratios[1], 21),
+		},
+		Tables: []Table{{
+			Title:  "summary",
+			Header: []string{"metric", "paper", "measured"},
+			Rows: [][]string{
+				{"median ratio, default", "~0.3", fmt.Sprintf("%.2f", defMed)},
+				{"median ratio, oak", "~0.7", fmt.Sprintf("%.2f", oakMed)},
+				{"oak 10th percentile (90% above)", ">0.5", fmt.Sprintf("%.2f", oakP10)},
+			},
+		}},
+	}, nil
+}
+
+// runFig11 — average PLT ratio (default/Oak) over the 72-hour run. Paper:
+// near 1 at night, rising past 10x when the bad default providers get busy
+// during the day.
+func runFig11(cfg Config) (*FigureResult, error) {
+	data, err := fig10Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var peak, trough float64
+	trough = 1e18
+	for _, p := range data.timeline {
+		if p.Y > peak {
+			peak = p.Y
+		}
+		if p.Y < trough {
+			trough = p.Y
+		}
+	}
+	return &FigureResult{
+		ID:     "fig11",
+		Title:  "Average PLT ratio (default/Oak) over the multi-day run",
+		Series: []Series{{Name: "plt-ratio", Points: data.timeline}},
+		Tables: []Table{{
+			Title:  "summary",
+			Header: []string{"metric", "paper", "measured"},
+			Rows: [][]string{
+				{"peak daytime ratio", ">10x", fmt.Sprintf("%.1fx", peak)},
+				{"night-time ratio", "~1x", fmt.Sprintf("%.1fx", trough)},
+			},
+		}},
+	}, nil
+}

@@ -1,0 +1,164 @@
+// Package experiment regenerates every table and figure of the paper's
+// measurement study (Section 2) and evaluation (Section 5) against the
+// simulated substrate. Each runner returns a FigureResult whose series and
+// tables mirror the rows the paper reports; cmd/oakbench prints them and
+// the repository-root benchmarks regenerate them under `go test -bench`.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oak/internal/stats"
+)
+
+// Config scales an experiment run. Zero values take paper-scale defaults;
+// tests use smaller numbers via Quick.
+type Config struct {
+	// Seed drives all randomness; a fixed seed reproduces a run exactly.
+	Seed int64
+	// Sites is the catalog size for catalog-wide studies (default 500).
+	Sites int
+	// Clients is the number of vantage points (default 25, the paper's).
+	Clients int
+	// Loads is per-client load count where the paper fixes one (default
+	// depends on the experiment).
+	Loads int
+	// Quick shrinks everything for unit tests and smoke runs.
+	Quick bool
+}
+
+// normalized applies defaults (and Quick scaling).
+func (c Config) normalized() Config {
+	if c.Sites <= 0 {
+		c.Sites = 500
+	}
+	if c.Clients <= 0 {
+		c.Clients = 25
+	}
+	if c.Quick {
+		if c.Sites > 40 {
+			c.Sites = 40
+		}
+		if c.Clients > 9 {
+			c.Clients = 9
+		}
+	}
+	return c
+}
+
+// Series is one plotted line: a name plus (x, y) points.
+type Series struct {
+	Name   string
+	Points []stats.Point
+}
+
+// CDFSeries renders a sample as an n-point CDF series.
+func CDFSeries(name string, sample []float64, n int) Series {
+	return Series{Name: name, Points: stats.NewCDF(sample).Points(n)}
+}
+
+// Table is a titled text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// FigureResult is the output of one experiment runner.
+type FigureResult struct {
+	// ID is the experiment identifier ("fig9", "table1", ...).
+	ID string
+	// Title describes what the paper's figure/table shows.
+	Title string
+	// Series are plotted lines (for figures).
+	Series []Series
+	// Tables are text tables (for tables, and summary stats of figures).
+	Tables []Table
+	// Notes carry headline comparisons against the paper's reported shape.
+	Notes []string
+}
+
+// Render formats the whole result as text.
+func (f *FigureResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "\n-- series: %s --\n", s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%.4f\t%.4f\n", p.X, p.Y)
+		}
+	}
+	for i := range f.Tables {
+		b.WriteString("\n")
+		b.WriteString(f.Tables[i].Render())
+	}
+	if len(f.Notes) > 0 {
+		b.WriteString("\n")
+		for _, n := range f.Notes {
+			fmt.Fprintf(&b, "note: %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// Runner executes one experiment.
+type Runner func(Config) (*FigureResult, error)
+
+// registry maps experiment IDs to runners; see register calls across files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) { registry[id] = r }
+
+// Run executes the experiment with the given ID.
+func Run(id string, cfg Config) (*FigureResult, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(cfg)
+}
+
+// IDs lists registered experiment IDs, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "table1", "table2", "table3",
+	}
+	have := make(map[string]bool)
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", Config{}); err == nil {
+		t.Error("Run(fig99) = nil error, want error listing known ids")
+	}
+}
+
+func TestConfigNormalized(t *testing.T) {
+	c := Config{}.normalized()
+	if c.Sites != 500 || c.Clients != 25 {
+		t.Errorf("defaults = %+v, want 500 sites / 25 clients", c)
+	}
+	q := Config{Quick: true}.normalized()
+	if q.Sites > 40 || q.Clients > 9 {
+		t.Errorf("quick config too large: %+v", q)
+	}
+	explicit := Config{Sites: 7, Clients: 3}.normalized()
+	if explicit.Sites != 7 || explicit.Clients != 3 {
+		t.Errorf("explicit config overridden: %+v", explicit)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		Title:  "t",
+		Header: []string{"a", "longer"},
+		Rows:   [][]string{{"xxxxx", "y"}},
+	}
+	out := tab.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("Render produced %d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "t") {
+		t.Errorf("title missing: %q", lines[0])
+	}
+	// Columns aligned: header and row share the second-column offset.
+	if strings.Index(lines[1], "longer") != strings.Index(lines[2], "y") {
+		t.Errorf("columns misaligned:\n%q\n%q", lines[1], lines[2])
+	}
+}
+
+func TestFigureResultRender(t *testing.T) {
+	f := &FigureResult{
+		ID:     "figX",
+		Title:  "demo",
+		Series: []Series{CDFSeries("s", []float64{1, 2, 3}, 3)},
+		Tables: []Table{{Title: "tab", Header: []string{"h"}, Rows: [][]string{{"v"}}}},
+		Notes:  []string{"shape matches"},
+	}
+	out := f.Render()
+	for _, want := range []string{"figX", "demo", "series: s", "tab", "note: shape matches"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	s := CDFSeries("x", []float64{0, 10}, 5)
+	if s.Name != "x" || len(s.Points) != 5 {
+		t.Errorf("CDFSeries = %+v", s)
+	}
+	if s.Points[4].Y != 1 {
+		t.Errorf("last CDF point = %v, want 1", s.Points[4].Y)
+	}
+}

@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"oak/internal/client"
+	"oak/internal/core"
+	"oak/internal/netsim"
+	"oak/internal/report"
+	"oak/internal/stats"
+	"oak/internal/webgen"
+)
+
+// The paper's Section 6 weighs an alternative to browser modification: the
+// JavaScript Resource Timing API. Its flaw is that cross-origin timing
+// detail requires the provider to opt in with a Timing-Allow-Origin header,
+// and most third parties don't — "this opt-in behavior means many providers
+// are not visible with the API, rendering Oak less effective". This
+// experiment quantifies that argument on the simulated catalog.
+
+// ResourceTimingResult compares detection coverage under full client
+// instrumentation vs an API-restricted client.
+type ResourceTimingResult struct {
+	// OptInFraction is the share of providers exposing timing headers.
+	OptInFraction float64
+	// FullCoverage / APICoverage are the fractions of truly-misbehaving
+	// servers detected across the catalog by each client flavour.
+	FullCoverage float64
+	APICoverage  float64
+}
+
+// timingOptIn reports whether a provider would send Timing-Allow-Origin.
+// Large CDN-class providers tend to; ad/analytics long tail does not.
+func timingOptIn(host string, pool []webgen.Provider, optInFraction float64) bool {
+	return pick(host, "timing-allow-origin") < optInFraction
+}
+
+// AblationResourceTimingAPI measures what fraction of genuinely degraded
+// providers each reporting mechanism can flag, per opt-in rate.
+func AblationResourceTimingAPI(seed int64, sites int) ([]ResourceTimingResult, error) {
+	g := webgen.NewGenerator(webgen.Config{Seed: seed, NumSites: sites})
+	pool := g.Pool()
+	catalog := g.Catalog() // fixed catalog: every opt-in rate sees the same sites
+	clock := netsim.NewVirtualClock(catalogStart)
+
+	var out []ResourceTimingResult
+	for _, optIn := range []float64{0.1, 0.3, 0.5, 0.8} {
+		var truth, fullHit, apiHit int
+		for _, site := range catalog {
+			net := netsim.NewNetwork()
+			assets, err := registerSiteWorld(net, site, pool, "")
+			if err != nil {
+				return nil, err
+			}
+			sc := &client.SimClient{
+				ID: "u", Region: netsim.NorthAmerica, Net: net, Assets: assets, Clock: clock,
+			}
+			page := site.Index()
+			res, err := sc.Load(site, page, page.HTML)
+			if err != nil {
+				return nil, err
+			}
+
+			// Ground truth: the persistently degraded providers on this page.
+			degraded := make(map[string]bool)
+			for _, h := range site.ExternalHosts() {
+				if healthOf(h, pool) == healthDegraded {
+					degraded[h] = true
+				}
+			}
+			truth += len(degraded)
+
+			// Full instrumentation sees every entry.
+			fullServers := report.GroupByServer(res.Report)
+			for _, v := range core.DetectViolators(fullServers, stats.DefaultMADMultiplier) {
+				for _, h := range v.Server.Hosts {
+					if degraded[h] {
+						fullHit++
+					}
+				}
+			}
+
+			// The API-restricted client only sees timing detail for opt-in
+			// providers (and the origin, which is same-origin).
+			restricted := &report.Report{UserID: res.Report.UserID, Page: res.Report.Page}
+			for _, e := range res.Report.Entries {
+				host := e.Host()
+				if host == site.Domain || timingOptIn(host, pool, optIn) {
+					restricted.Entries = append(restricted.Entries, e)
+				}
+			}
+			if len(restricted.Entries) > 0 {
+				apiServers := report.GroupByServer(restricted)
+				for _, v := range core.DetectViolators(apiServers, stats.DefaultMADMultiplier) {
+					for _, h := range v.Server.Hosts {
+						if degraded[h] {
+							apiHit++
+						}
+					}
+				}
+			}
+		}
+		row := ResourceTimingResult{OptInFraction: optIn}
+		if truth > 0 {
+			row.FullCoverage = float64(fullHit) / float64(truth)
+			row.APICoverage = float64(apiHit) / float64(truth)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,35 @@
+package experiment
+
+import "testing"
+
+func TestAblationResourceTimingAPI(t *testing.T) {
+	rows, err := AblationResourceTimingAPI(1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The restricted client can never beat full instrumentation.
+		if r.APICoverage > r.FullCoverage+1e-9 {
+			t.Errorf("optIn=%.1f: API coverage %v exceeds full coverage %v",
+				r.OptInFraction, r.APICoverage, r.FullCoverage)
+		}
+	}
+	// At realistic opt-in rates the API client misses a large share of the
+	// genuinely degraded providers — the paper's Section 6 argument.
+	low := rows[0]
+	if low.FullCoverage <= 0 {
+		t.Fatal("full instrumentation detected nothing; world misconfigured")
+	}
+	if low.APICoverage > 0.6*low.FullCoverage {
+		t.Errorf("optIn=0.1: API coverage %v not clearly below full %v",
+			low.APICoverage, low.FullCoverage)
+	}
+	// Coverage improves as more providers opt in.
+	if rows[3].APICoverage <= rows[0].APICoverage {
+		t.Errorf("API coverage not improving with opt-in: %v -> %v",
+			rows[0].APICoverage, rows[3].APICoverage)
+	}
+}

@@ -1,0 +1,231 @@
+// Package htmlscan is a minimal, dependency-free HTML and script scanner.
+//
+// Oak's rule matcher does not need a browser-grade DOM: per Section 4.2.2 of
+// the paper it only needs to know whether a block of page text could have
+// caused a connection to a given server ("connection dependency"). That
+// requires three capabilities, all provided here:
+//
+//  1. extracting src/href attribute URLs from tags (direct inclusion),
+//  2. extracting inline script bodies (programmatic URL construction), and
+//  3. finding hostnames mentioned anywhere in free text (text match).
+package htmlscan
+
+import (
+	"net/url"
+	"regexp"
+	"strings"
+)
+
+// TagRef is one resource reference found in markup.
+type TagRef struct {
+	// Tag is the lower-cased element name ("script", "img", "link", ...).
+	Tag string
+	// Attr is the attribute the URL came from ("src" or "href").
+	Attr string
+	// URL is the raw attribute value.
+	URL string
+}
+
+// Host returns the hostname of the reference URL, or "" if not parseable or
+// relative.
+func (t TagRef) Host() string { return HostOf(t.URL) }
+
+// HostOf extracts the lower-cased hostname from a URL string, tolerating
+// scheme-relative ("//cdn.example/x") forms. It returns "" for relative or
+// unparseable URLs.
+func HostOf(raw string) string {
+	raw = strings.TrimSpace(raw)
+	if strings.HasPrefix(raw, "//") {
+		raw = "http:" + raw
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return ""
+	}
+	return strings.ToLower(u.Hostname())
+}
+
+var (
+	// tagRe captures element name and attribute blob of each start tag.
+	tagRe = regexp.MustCompile(`(?is)<([a-z][a-z0-9]*)\b([^>]*)>`)
+	// attrRe captures src= and href= attribute values (quoted or bare).
+	attrRe = regexp.MustCompile(`(?is)\b(src|href)\s*=\s*(?:"([^"]*)"|'([^']*)'|([^\s>]+))`)
+	// inlineScriptRe captures the body of <script>...</script> elements
+	// that have no src attribute (checked by the caller).
+	scriptRe = regexp.MustCompile(`(?is)<script\b([^>]*)>(.*?)</script>`)
+)
+
+// ExtractRefs returns every src/href resource reference in the document, in
+// document order. Multiple URLs inside one tag (unusual but legal in broken
+// markup) are all returned.
+func ExtractRefs(html string) []TagRef {
+	var refs []TagRef
+	for _, m := range tagRe.FindAllStringSubmatch(html, -1) {
+		tag := strings.ToLower(m[1])
+		attrs := m[2]
+		for _, am := range attrRe.FindAllStringSubmatch(attrs, -1) {
+			val := am[2]
+			if val == "" {
+				val = am[3]
+			}
+			if val == "" {
+				val = am[4]
+			}
+			if val == "" {
+				continue
+			}
+			refs = append(refs, TagRef{Tag: tag, Attr: strings.ToLower(am[1]), URL: val})
+		}
+	}
+	return refs
+}
+
+// ExtractSrcHosts returns the set of distinct external-reference hostnames
+// found in src/href attributes, lower-cased, in first-seen order.
+func ExtractSrcHosts(html string) []string {
+	seen := make(map[string]bool)
+	var hosts []string
+	for _, ref := range ExtractRefs(html) {
+		h := ref.Host()
+		if h == "" || seen[h] {
+			continue
+		}
+		seen[h] = true
+		hosts = append(hosts, h)
+	}
+	return hosts
+}
+
+// InlineScripts returns the bodies of all <script> elements without a src
+// attribute — the scripts that may construct URLs programmatically.
+func InlineScripts(html string) []string {
+	var bodies []string
+	for _, m := range scriptRe.FindAllStringSubmatch(html, -1) {
+		attrs := m[1]
+		if attrRe.MatchString(attrs) {
+			continue // external script; body (if any) is inert
+		}
+		body := strings.TrimSpace(m[2])
+		if body != "" {
+			bodies = append(bodies, body)
+		}
+	}
+	return bodies
+}
+
+// ScriptSrcs returns the src URLs of all external <script> elements.
+func ScriptSrcs(html string) []string {
+	var srcs []string
+	for _, ref := range ExtractRefs(html) {
+		if ref.Tag == "script" && ref.Attr == "src" {
+			srcs = append(srcs, ref.URL)
+		}
+	}
+	return srcs
+}
+
+// hostInTextRe matches dotted hostnames in free text: dot-separated labels
+// ending in an alphabetic TLD, so bare words and decimal numbers don't match.
+var hostInTextRe = regexp.MustCompile(`(?i)\b(?:[a-z0-9](?:[a-z0-9-]{0,61}[a-z0-9])?\.)+[a-z]{2,}\b`)
+
+// ContainsHost reports whether text mentions the given hostname anywhere —
+// in markup, quoted strings, or concatenation fragments. This is the paper's
+// second rule-activation condition: "Did traffic from the violating server
+// include any domain names which appear in the default object text of the
+// rule?". The match is case-insensitive and must fall on label boundaries so
+// "cdn.example" does not match "badcdn.example".
+func ContainsHost(text, host string) bool {
+	if host == "" {
+		return false
+	}
+	lower := strings.ToLower(text)
+	host = strings.ToLower(host)
+	idx := 0
+	for {
+		i := strings.Index(lower[idx:], host)
+		if i < 0 {
+			return false
+		}
+		start := idx + i
+		end := start + len(host)
+		beforeOK := start == 0 || !isHostChar(lower[start-1])
+		afterOK := end == len(lower) || !isHostChar(lower[end])
+		if beforeOK && afterOK {
+			return true
+		}
+		idx = start + 1
+	}
+}
+
+func isHostChar(c byte) bool {
+	return c == '-' || c == '.' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// URLsInText extracts absolute http/https URLs from free text, in order of
+// appearance, with trailing sentence punctuation trimmed. It is how the
+// simulated client and the cache-hint builder discover the URLs a script
+// body or rule fragment references.
+func URLsInText(text string) []string {
+	var urls []string
+	i := 0
+	for i < len(text) {
+		j := indexURLStart(text[i:])
+		if j < 0 {
+			break
+		}
+		start := i + j
+		end := start
+		for end < len(text) && isURLChar(text[end]) {
+			end++
+		}
+		urls = append(urls, strings.TrimRight(text[start:end], ".,;"))
+		i = end
+	}
+	return urls
+}
+
+func indexURLStart(s string) int {
+	h := strings.Index(s, "http://")
+	hs := strings.Index(s, "https://")
+	switch {
+	case h < 0:
+		return hs
+	case hs < 0:
+		return h
+	case h < hs:
+		return h
+	default:
+		return hs
+	}
+}
+
+func isURLChar(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	}
+	return strings.IndexByte("-._~:/?#[]@!$&()*+,;=%", c) >= 0
+}
+
+// HostsInText returns all distinct hostnames mentioned in free text, in
+// first-seen order, lower-cased. Dotted names inside URL paths (e.g. the
+// "x.js" of "http://host/x.js") are excluded: a match directly preceded by a
+// single "/" is a path component, while "//" marks an authority and is kept.
+func HostsInText(text string) []string {
+	seen := make(map[string]bool)
+	var hosts []string
+	for _, loc := range hostInTextRe.FindAllStringIndex(text, -1) {
+		start, end := loc[0], loc[1]
+		if start >= 1 && text[start-1] == '/' && (start < 2 || text[start-2] != '/') {
+			continue // path component, not an authority
+		}
+		h := strings.ToLower(text[start:end])
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		hosts = append(hosts, h)
+	}
+	return hosts
+}

@@ -1,0 +1,248 @@
+package htmlscan
+
+import (
+	"reflect"
+	"testing"
+)
+
+const samplePage = `<!DOCTYPE html>
+<html>
+<head>
+  <link rel="stylesheet" href="http://static.example/site.css">
+  <script src="http://s1.com/jquery.js"></script>
+  <script>
+    var base = "http://tracker.example";
+    load(base + "/pixel.gif");
+  </script>
+</head>
+<body>
+  <IMG SRC='http://img.example/hero.jpg'>
+  <img src=//proto.example/rel.png>
+  <a href="/local/page.html">local</a>
+  <script src="https://ads.example/ad.js" async></script>
+</body>
+</html>`
+
+func TestExtractRefs(t *testing.T) {
+	refs := ExtractRefs(samplePage)
+	var urls []string
+	for _, r := range refs {
+		urls = append(urls, r.URL)
+	}
+	want := []string{
+		"http://static.example/site.css",
+		"http://s1.com/jquery.js",
+		"http://img.example/hero.jpg",
+		"//proto.example/rel.png",
+		"/local/page.html",
+		"https://ads.example/ad.js",
+	}
+	if !reflect.DeepEqual(urls, want) {
+		t.Errorf("ExtractRefs urls = %v, want %v", urls, want)
+	}
+}
+
+func TestExtractRefsTagsAndAttrs(t *testing.T) {
+	refs := ExtractRefs(`<SCRIPT SRC="http://a.example/x.js"></SCRIPT>`)
+	if len(refs) != 1 {
+		t.Fatalf("got %d refs, want 1", len(refs))
+	}
+	if refs[0].Tag != "script" || refs[0].Attr != "src" {
+		t.Errorf("ref = %+v, want lowercase script/src", refs[0])
+	}
+}
+
+func TestExtractSrcHosts(t *testing.T) {
+	hosts := ExtractSrcHosts(samplePage)
+	want := []string{"static.example", "s1.com", "img.example", "proto.example", "ads.example"}
+	if !reflect.DeepEqual(hosts, want) {
+		t.Errorf("ExtractSrcHosts = %v, want %v", hosts, want)
+	}
+}
+
+func TestExtractSrcHostsDedupes(t *testing.T) {
+	html := `<img src="http://a.example/1.png"><img src="http://a.example/2.png">`
+	hosts := ExtractSrcHosts(html)
+	if !reflect.DeepEqual(hosts, []string{"a.example"}) {
+		t.Errorf("hosts = %v, want [a.example]", hosts)
+	}
+}
+
+func TestInlineScripts(t *testing.T) {
+	bodies := InlineScripts(samplePage)
+	if len(bodies) != 1 {
+		t.Fatalf("got %d inline scripts, want 1: %v", len(bodies), bodies)
+	}
+	if !ContainsHost(bodies[0], "tracker.example") {
+		t.Errorf("inline script body missing tracker.example: %q", bodies[0])
+	}
+}
+
+func TestInlineScriptsSkipsExternal(t *testing.T) {
+	html := `<script src="http://x.example/a.js">leftover body</script>`
+	if got := InlineScripts(html); len(got) != 0 {
+		t.Errorf("InlineScripts = %v, want none for external script", got)
+	}
+}
+
+func TestScriptSrcs(t *testing.T) {
+	srcs := ScriptSrcs(samplePage)
+	want := []string{"http://s1.com/jquery.js", "https://ads.example/ad.js"}
+	if !reflect.DeepEqual(srcs, want) {
+		t.Errorf("ScriptSrcs = %v, want %v", srcs, want)
+	}
+}
+
+func TestHostOf(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{"http://CDN.Example:8080/x", "cdn.example"},
+		{"//proto.example/y", "proto.example"},
+		{"/relative/path", ""},
+		{"not a url at all \x00", ""},
+		{"https://a.b.c.example/z?q=1", "a.b.c.example"},
+	}
+	for _, tt := range tests {
+		if got := HostOf(tt.in); got != tt.want {
+			t.Errorf("HostOf(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestContainsHost(t *testing.T) {
+	tests := []struct {
+		name string
+		text string
+		host string
+		want bool
+	}{
+		{"in tag", `<script src="http://s1.com/jquery.js">`, "s1.com", true},
+		{"in js string concat", `var u = "http://" + "track.example" + "/p.gif"`, "track.example", true},
+		{"case insensitive", `SRC="HTTP://CDN.EXAMPLE/x"`, "cdn.example", true},
+		{"absent", `<img src="http://other.example/x">`, "cdn.example", false},
+		{"no partial-label match", `http://badcdn.example/x`, "cdn.example", false},
+		{"no prefix match", `http://cdn.example.evil.com/x`, "cdn.example", false},
+		{"boundary at punctuation ok", `load('cdn.example')`, "cdn.example", true},
+		{"empty host", "anything", "", false},
+		{"second occurrence matches", `xcdn.example then cdn.example`, "cdn.example", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ContainsHost(tt.text, tt.host); got != tt.want {
+				t.Errorf("ContainsHost(%q, %q) = %v, want %v", tt.text, tt.host, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestHostsInText(t *testing.T) {
+	text := `fetch("http://a.example/x"); var h = 'b.example'; // a.example again; 3.14 not a host`
+	hosts := HostsInText(text)
+	want := []string{"a.example", "b.example"}
+	if !reflect.DeepEqual(hosts, want) {
+		t.Errorf("HostsInText = %v, want %v", hosts, want)
+	}
+}
+
+func TestHostsInTextIgnoresNumbers(t *testing.T) {
+	if got := HostsInText("version 1.2 costs 3.50"); len(got) != 0 {
+		t.Errorf("HostsInText(numbers) = %v, want none", got)
+	}
+}
+
+func TestURLsInText(t *testing.T) {
+	text := `a http://one.example/x.js b https://two.example/y?q=1 c`
+	got := URLsInText(text)
+	want := []string{"http://one.example/x.js", "https://two.example/y?q=1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("URLsInText = %v, want %v", got, want)
+	}
+}
+
+func TestURLsInTextTrailingPunctuation(t *testing.T) {
+	got := URLsInText(`see http://a.example/p.`)
+	if !reflect.DeepEqual(got, []string{"http://a.example/p"}) {
+		t.Errorf("URLsInText = %v", got)
+	}
+}
+
+func TestURLsInTextQuoted(t *testing.T) {
+	got := URLsInText(`oakFetch("http://h.example/a.js");`)
+	if !reflect.DeepEqual(got, []string{"http://h.example/a.js"}) {
+		t.Errorf("URLsInText = %v", got)
+	}
+}
+
+func TestURLsInTextNone(t *testing.T) {
+	if got := URLsInText("no urls here"); got != nil {
+		t.Errorf("URLsInText = %v, want nil", got)
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	if got := ExtractRefs(""); got != nil {
+		t.Errorf("ExtractRefs(\"\") = %v, want nil", got)
+	}
+	if got := InlineScripts(""); got != nil {
+		t.Errorf("InlineScripts(\"\") = %v, want nil", got)
+	}
+	if got := HostsInText(""); got != nil {
+		t.Errorf("HostsInText(\"\") = %v, want nil", got)
+	}
+}
+
+func TestMultilineInlineScript(t *testing.T) {
+	html := "<script>\nline1();\nvar x = 'deep.example';\nline3();\n</script>"
+	bodies := InlineScripts(html)
+	if len(bodies) != 1 {
+		t.Fatalf("got %d bodies, want 1", len(bodies))
+	}
+	if !ContainsHost(bodies[0], "deep.example") {
+		t.Error("multiline script body lost content")
+	}
+}
+
+func TestExtractRefsAcrossNewlines(t *testing.T) {
+	html := "<img\n  class=\"hero\"\n  src=\"http://multi.example/x.png\"\n>"
+	refs := ExtractRefs(html)
+	if len(refs) != 1 || refs[0].URL != "http://multi.example/x.png" {
+		t.Errorf("multiline tag refs = %+v", refs)
+	}
+}
+
+func TestExtractRefsUnquotedAttr(t *testing.T) {
+	refs := ExtractRefs(`<img src=http://bare.example/x.png>`)
+	if len(refs) != 1 || refs[0].URL != "http://bare.example/x.png" {
+		t.Errorf("bare attr refs = %+v", refs)
+	}
+}
+
+func TestExtractRefsSingleQuotes(t *testing.T) {
+	refs := ExtractRefs(`<script src='http://sq.example/a.js'></script>`)
+	if len(refs) != 1 || refs[0].URL != "http://sq.example/a.js" {
+		t.Errorf("single-quote refs = %+v", refs)
+	}
+}
+
+func TestHostOfUppercaseScheme(t *testing.T) {
+	if got := HostOf("HTTP://UPPER.EXAMPLE/x"); got != "upper.example" {
+		t.Errorf("HostOf uppercase = %q", got)
+	}
+}
+
+func TestInlineScriptsMultipleBlocks(t *testing.T) {
+	html := `<script>one("a.example")</script><p></p><script>two("b.example")</script>`
+	bodies := InlineScripts(html)
+	if len(bodies) != 2 {
+		t.Fatalf("got %d bodies, want 2", len(bodies))
+	}
+}
+
+func TestContainsHostUnicodePage(t *testing.T) {
+	text := "日本語テキスト <img src=\"http://jp.example/画像.png\"> 終わり"
+	if !ContainsHost(text, "jp.example") {
+		t.Error("host not found amid unicode text")
+	}
+}

@@ -1,0 +1,62 @@
+// Package netsim is a deterministic network simulator that stands in for
+// the paper's PlanetLab testbed (25 vantage points, production servers).
+//
+// It models what Oak's detector actually consumes: per-object download
+// durations shaped by region-to-region propagation delay, per-server
+// processing latency and bandwidth, deterministic jitter, diurnal load
+// swells, and injectable degradations. Experiments that span simulated days
+// run against a virtual clock.
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time. Production code uses WallClock; the
+// experiment harness uses VirtualClock so 72-hour runs finish in
+// milliseconds.
+type Clock interface {
+	Now() time.Time
+}
+
+// WallClock is the real time.Now.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// VirtualClock is a manually advanced clock. It is safe for concurrent use.
+type VirtualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+var _ Clock = (*VirtualClock)(nil)
+
+// NewVirtualClock returns a virtual clock starting at the given instant.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{t: start}
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *VirtualClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	return c.t
+}
+
+// Set jumps the clock to the given instant.
+func (c *VirtualClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = t
+}

@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"math"
+	"time"
+)
+
+// LoadModel maps an instant to a load factor >= 1. The factor multiplies a
+// server's processing latency and divides its effective bandwidth: a busy
+// server is slower in both regimes. Figure 11 of the paper shows exactly
+// this pattern — default providers fine at night, badly degraded during the
+// day.
+type LoadModel interface {
+	Factor(t time.Time) float64
+}
+
+// ConstantLoad is a time-invariant load factor.
+type ConstantLoad float64
+
+var _ LoadModel = ConstantLoad(0)
+
+// Factor implements LoadModel. Values below 1 are clamped to 1.
+func (c ConstantLoad) Factor(time.Time) float64 {
+	if c < 1 {
+		return 1
+	}
+	return float64(c)
+}
+
+// DiurnalLoad is a sinusoidal daily load curve: factor 1 in the dead of
+// night, rising to Peak at PeakHour (local to the server, expressed via
+// UTCOffset).
+type DiurnalLoad struct {
+	// Peak is the maximum load factor (>= 1), reached once per day.
+	Peak float64
+	// PeakHour is the local hour [0,24) of maximum load.
+	PeakHour float64
+	// UTCOffset shifts the server's local time from UTC.
+	UTCOffset time.Duration
+}
+
+var _ LoadModel = DiurnalLoad{}
+
+// Factor implements LoadModel.
+func (d DiurnalLoad) Factor(t time.Time) float64 {
+	if d.Peak <= 1 {
+		return 1
+	}
+	local := t.UTC().Add(d.UTCOffset)
+	hour := float64(local.Hour()) + float64(local.Minute())/60 + float64(local.Second())/3600
+	// Cosine centred on the peak hour: 1 at the peak, 0 twelve hours away.
+	phase := (hour - d.PeakHour) / 24 * 2 * math.Pi
+	shape := (math.Cos(phase) + 1) / 2 // in [0,1]
+	return 1 + (d.Peak-1)*shape
+}
+
+// StepLoad applies Factor During the [Start, End) window and 1 outside it —
+// a crude "the server got busy/broken for a while" model used for
+// degradation experiments.
+type StepLoad struct {
+	Start, End time.Time
+	During     float64
+}
+
+var _ LoadModel = StepLoad{}
+
+// Factor implements LoadModel.
+func (s StepLoad) Factor(t time.Time) float64 {
+	if s.During > 1 && !t.Before(s.Start) && t.Before(s.End) {
+		return s.During
+	}
+	return 1
+}
+
+// NoisyLoad models a server under fluctuating shared load: the factor is
+// multiplicative lognormal-ish noise, resampled every Period. Unlike
+// symmetric jitter this produces the heavy right tail real shared servers
+// (e.g. PlanetLab nodes) show — mostly somewhat-loaded, occasionally idle,
+// sometimes swamped — which is what drives the paper's Figure 10
+// min/median-ratio separation.
+type NoisyLoad struct {
+	// Salt decorrelates different servers' noise streams.
+	Salt string
+	// Mu is the log of the typical load level: exp(Mu) is the median
+	// factor. A busy shared server has Mu around 1 (median ~2.7x), so its
+	// rare idle moments (the clamp at 1) are ~3x faster than typical —
+	// exactly the paper's Figure 10 default-server behaviour.
+	Mu float64
+	// Sigma is the lognormal shape. Zero disables the noise entirely.
+	Sigma float64
+	// Period is how long one load level persists (default 10 minutes).
+	Period time.Duration
+}
+
+var _ LoadModel = NoisyLoad{}
+
+// Factor implements LoadModel.
+func (n NoisyLoad) Factor(t time.Time) float64 {
+	if n.Sigma <= 0 {
+		return 1
+	}
+	period := n.Period
+	if period <= 0 {
+		period = 10 * time.Minute
+	}
+	bucket := t.UnixNano() / int64(period)
+	// Irwin–Hall(4) approximation of a standard normal from four stable
+	// uniforms, then exponentiate. Clamp below at 1: load never makes a
+	// server faster than idle.
+	var z float64
+	for i := 0; i < 4; i++ {
+		z += loadUniform(n.Salt, bucket, i)
+	}
+	z = (z - 2) * 1.732 // mean 0, sd ~1
+	f := math.Exp(n.Mu + n.Sigma*z)
+	if f < 1 {
+		return 1
+	}
+	return f
+}
+
+// loadUniform hashes (salt, bucket, i) to [0,1).
+func loadUniform(salt string, bucket int64, i int) float64 {
+	h := uint64(1469598103934665603) // FNV offset
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for j := 0; j < len(salt); j++ {
+		mix(salt[j])
+	}
+	for j := 0; j < 8; j++ {
+		mix(byte(bucket >> (8 * j)))
+	}
+	mix(byte(i))
+	return float64(h%1_000_000) / 1_000_000
+}
+
+// CombinedLoad multiplies several load models.
+type CombinedLoad []LoadModel
+
+var _ LoadModel = CombinedLoad(nil)
+
+// Factor implements LoadModel.
+func (c CombinedLoad) Factor(t time.Time) float64 {
+	f := 1.0
+	for _, m := range c {
+		f *= m.Factor(t)
+	}
+	if f < 1 {
+		return 1
+	}
+	return f
+}

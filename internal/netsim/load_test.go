@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestConstantLoad(t *testing.T) {
+	if got := ConstantLoad(3).Factor(t0); got != 3 {
+		t.Errorf("ConstantLoad(3) = %v", got)
+	}
+	if got := ConstantLoad(0.5).Factor(t0); got != 1 {
+		t.Errorf("ConstantLoad(0.5) = %v, want clamped to 1", got)
+	}
+}
+
+func TestDiurnalLoadPeakAndTrough(t *testing.T) {
+	d := DiurnalLoad{Peak: 5, PeakHour: 14}
+	peak := d.Factor(time.Date(2026, 1, 1, 14, 0, 0, 0, time.UTC))
+	trough := d.Factor(time.Date(2026, 1, 1, 2, 0, 0, 0, time.UTC))
+	if math.Abs(peak-5) > 0.01 {
+		t.Errorf("peak factor = %v, want ~5", peak)
+	}
+	if math.Abs(trough-1) > 0.01 {
+		t.Errorf("trough factor = %v, want ~1", trough)
+	}
+	noon := d.Factor(time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC))
+	if noon <= trough || noon >= peak {
+		t.Errorf("mid-morning factor %v not between trough %v and peak %v", noon, trough, peak)
+	}
+}
+
+func TestDiurnalLoadUTCOffset(t *testing.T) {
+	// Peak at 14:00 local, server 8 hours ahead of UTC: peak at 06:00 UTC.
+	d := DiurnalLoad{Peak: 4, PeakHour: 14, UTCOffset: 8 * time.Hour}
+	got := d.Factor(time.Date(2026, 1, 1, 6, 0, 0, 0, time.UTC))
+	if math.Abs(got-4) > 0.01 {
+		t.Errorf("offset peak = %v, want ~4", got)
+	}
+}
+
+func TestDiurnalLoadDegenerate(t *testing.T) {
+	if got := (DiurnalLoad{Peak: 1}).Factor(t0); got != 1 {
+		t.Errorf("Peak=1 factor = %v", got)
+	}
+	if got := (DiurnalLoad{Peak: 0.3}).Factor(t0); got != 1 {
+		t.Errorf("Peak<1 factor = %v", got)
+	}
+}
+
+func TestDiurnalLoadAlwaysAtLeastOne(t *testing.T) {
+	d := DiurnalLoad{Peak: 7, PeakHour: 3.5}
+	for h := 0; h < 48; h++ {
+		f := d.Factor(t0.Add(time.Duration(h) * time.Hour))
+		if f < 1 || f > 7.0001 {
+			t.Errorf("hour %d: factor %v outside [1, 7]", h, f)
+		}
+	}
+}
+
+func TestStepLoad(t *testing.T) {
+	s := StepLoad{Start: t0.Add(time.Hour), End: t0.Add(2 * time.Hour), During: 10}
+	if got := s.Factor(t0); got != 1 {
+		t.Errorf("before window = %v", got)
+	}
+	if got := s.Factor(t0.Add(90 * time.Minute)); got != 10 {
+		t.Errorf("inside window = %v", got)
+	}
+	if got := s.Factor(t0.Add(2 * time.Hour)); got != 1 {
+		t.Errorf("at End (exclusive) = %v", got)
+	}
+}
+
+func TestCombinedLoad(t *testing.T) {
+	c := CombinedLoad{ConstantLoad(2), ConstantLoad(3)}
+	if got := c.Factor(t0); got != 6 {
+		t.Errorf("combined = %v, want 6", got)
+	}
+	if got := (CombinedLoad{}).Factor(t0); got != 1 {
+		t.Errorf("empty combined = %v, want 1", got)
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	c := NewVirtualClock(t0)
+	if !c.Now().Equal(t0) {
+		t.Error("initial time wrong")
+	}
+	got := c.Advance(90 * time.Minute)
+	if !got.Equal(t0.Add(90 * time.Minute)) {
+		t.Errorf("Advance returned %v", got)
+	}
+	if !c.Now().Equal(t0.Add(90 * time.Minute)) {
+		t.Error("Now after Advance wrong")
+	}
+	c.Set(t0)
+	if !c.Now().Equal(t0) {
+		t.Error("Set failed")
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	before := time.Now()
+	got := WallClock{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Errorf("WallClock.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}

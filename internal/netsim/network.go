@@ -1,0 +1,345 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Region is a coarse geographic location, matching the paper's client and
+// server placement (North America, Europe, Asia including Oceania).
+type Region string
+
+// The paper's three regions.
+const (
+	NorthAmerica Region = "NA"
+	Europe       Region = "EU"
+	Asia         Region = "AS"
+)
+
+// DefaultRTT returns a base round-trip time between two regions, roughly
+// calibrated to wide-area Internet paths (intra-region tens of ms,
+// cross-global hundreds).
+func DefaultRTT(a, b Region) time.Duration {
+	if a == b {
+		return 40 * time.Millisecond
+	}
+	pair := string(a) + string(b)
+	switch pair {
+	case "NAEU", "EUNA":
+		return 120 * time.Millisecond
+	case "NAAS", "ASNA":
+		return 200 * time.Millisecond
+	case "EUAS", "ASEU":
+		return 260 * time.Millisecond
+	default:
+		return 150 * time.Millisecond
+	}
+}
+
+// Server is one simulated HTTP server.
+type Server struct {
+	// Addr identifies the server (stands in for its IP).
+	Addr string
+	// Hosts are the domain names that resolve to this server.
+	Hosts []string
+	// Region places the server for propagation delay.
+	Region Region
+	// Anycast marks a CDN-fronted service reachable at intra-region
+	// latency from every client region (the norm for large third-party
+	// providers). Region is ignored for propagation when set.
+	Anycast bool
+	// ProcLatency is per-request processing time at load factor 1.
+	ProcLatency time.Duration
+	// BandwidthBps is the serving bandwidth at load factor 1.
+	BandwidthBps float64
+	// JitterFrac is the +/- fraction of deterministic pseudo-jitter applied
+	// to each download (e.g. 0.1 = up to 10% either way).
+	JitterFrac float64
+	// Load is the server's time-varying load model (nil = unloaded).
+	Load LoadModel
+}
+
+// Degradation is an injectable performance fault on one server.
+type Degradation struct {
+	// ServerAddr is the afflicted server.
+	ServerAddr string
+	// Start and End bound the fault window; a zero End means forever.
+	Start, End time.Time
+	// ExtraDelay is added to every request during the window (the paper's
+	// Section 5.1 injects 250 ms – 5 s steps this way).
+	ExtraDelay time.Duration
+	// TputFactor divides effective bandwidth during the window (>= 1).
+	TputFactor float64
+}
+
+// active reports whether the degradation applies at time t.
+func (d Degradation) active(t time.Time) bool {
+	if t.Before(d.Start) {
+		return false
+	}
+	return d.End.IsZero() || t.Before(d.End)
+}
+
+// ClientProfile models a client's access link: the paper's clients range
+// from well-connected campus nodes to "users on narrow-bandwidth long-haul
+// links" whose every path is slow. A profile widens or narrows the client's
+// observed performance spread, which directly sets Oak's detection
+// threshold (Section 5.1).
+type ClientProfile struct {
+	// BandwidthBps caps transfer throughput at the client's access link.
+	// Zero means uncapped.
+	BandwidthBps float64
+	// LatencyFactor multiplies path RTT (>= 1; zero means 1).
+	LatencyFactor float64
+	// JitterFrac adds client-side jitter on top of the server's.
+	JitterFrac float64
+}
+
+// Network is a deterministic wide-area network model. All methods are safe
+// for concurrent use, and — because jitter is hash-derived rather than drawn
+// from a shared RNG stream — results do not depend on call order.
+type Network struct {
+	mu           sync.RWMutex
+	servers      map[string]*Server
+	hostToAddr   map[string]string
+	degradations []Degradation
+	clients      map[string]ClientProfile
+	pathVar      float64
+}
+
+// Errors returned by Network lookups.
+var (
+	ErrUnknownServer = errors.New("netsim: unknown server")
+	ErrUnknownHost   = errors.New("netsim: unknown host")
+)
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{
+		servers:    make(map[string]*Server),
+		hostToAddr: make(map[string]string),
+		clients:    make(map[string]ClientProfile),
+	}
+}
+
+// SetPathVariation makes path quality differ per (client, server) pair: a
+// value v stretches each pair's latency by up to +v and shrinks its
+// bandwidth by up to 1/(1+v), deterministically per pair. Distinct vantage
+// points then see distinct server orderings — the reason the paper's
+// per-client detection matters at all ("performance challenges which may be
+// unique to that user, for example network blind-spots"). Zero disables.
+func (n *Network) SetPathVariation(v float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if v < 0 {
+		v = 0
+	}
+	n.pathVar = v
+}
+
+// SetClientProfile attaches an access-link profile to a client ID. Clients
+// without a profile have an ideal link.
+func (n *Network) SetClientProfile(clientID string, p ClientProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.clients[clientID] = p
+}
+
+// AddServer registers a server and its hostnames. Re-adding an address
+// replaces the server; its hostnames accumulate.
+func (n *Network) AddServer(s *Server) error {
+	if s == nil || s.Addr == "" {
+		return errors.New("netsim: server needs an address")
+	}
+	if s.BandwidthBps <= 0 {
+		return fmt.Errorf("netsim: server %s needs positive bandwidth", s.Addr)
+	}
+	cp := *s
+	cp.Hosts = append([]string(nil), s.Hosts...)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.servers[cp.Addr] = &cp
+	for _, h := range cp.Hosts {
+		n.hostToAddr[h] = cp.Addr
+	}
+	return nil
+}
+
+// Resolve maps a hostname to the server address it currently points at.
+func (n *Network) Resolve(host string) (string, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	addr, ok := n.hostToAddr[host]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownHost, host)
+	}
+	return addr, nil
+}
+
+// Server returns the registered server for an address.
+func (n *Network) Server(addr string) (*Server, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	s, ok := n.servers[addr]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownServer, addr)
+	}
+	cp := *s
+	return &cp, nil
+}
+
+// Servers lists registered server addresses, sorted.
+func (n *Network) Servers() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	addrs := make([]string, 0, len(n.servers))
+	for a := range n.servers {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	return addrs
+}
+
+// Degrade injects a fault.
+func (n *Network) Degrade(d Degradation) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.degradations = append(n.degradations, d)
+}
+
+// ClearDegradations removes all injected faults (new loads see a healthy
+// network; historical results are unaffected).
+func (n *Network) ClearDegradations() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.degradations = nil
+}
+
+// DownloadSpec describes one simulated object fetch.
+type DownloadSpec struct {
+	// ClientID seeds deterministic jitter (stand-in for the client's
+	// network micro-conditions).
+	ClientID string
+	// ClientRegion places the client.
+	ClientRegion Region
+	// Host is the server hostname being fetched from.
+	Host string
+	// SizeBytes is the object size.
+	SizeBytes int64
+	// At is the simulated instant of the request.
+	At time.Time
+}
+
+// Download simulates fetching an object and returns the download duration
+// and the address served from. The model is:
+//
+//	duration = 2*RTT (connect + request)
+//	         + procLatency*load + extraDelay
+//	         + size / (bandwidth / (load*tputFactor))
+//	         all * (1 + jitter)
+//
+// Jitter is a deterministic hash of (client, host, at, size), so identical
+// scenarios reproduce bit-for-bit regardless of goroutine interleaving.
+func (n *Network) Download(spec DownloadSpec) (time.Duration, string, error) {
+	addr, err := n.Resolve(spec.Host)
+	if err != nil {
+		return 0, "", err
+	}
+	n.mu.RLock()
+	srv := n.servers[addr]
+	degs := n.degradations
+	prof := n.clients[spec.ClientID]
+	pathVar := n.pathVar
+	n.mu.RUnlock()
+	if srv == nil {
+		return 0, "", fmt.Errorf("%w: %q", ErrUnknownServer, addr)
+	}
+
+	load := 1.0
+	if srv.Load != nil {
+		load = srv.Load.Factor(spec.At)
+	}
+	var extraDelay time.Duration
+	tputFactor := 1.0
+	for _, d := range degs {
+		if d.ServerAddr == addr && d.active(spec.At) {
+			extraDelay += d.ExtraDelay
+			if d.TputFactor > 1 {
+				tputFactor *= d.TputFactor
+			}
+		}
+	}
+
+	rtt := DefaultRTT(spec.ClientRegion, srv.Region)
+	if srv.Anycast {
+		rtt = DefaultRTT(spec.ClientRegion, spec.ClientRegion)
+	}
+	if prof.LatencyFactor > 1 {
+		rtt = time.Duration(float64(rtt) * prof.LatencyFactor)
+	}
+	base := 2*rtt + time.Duration(float64(srv.ProcLatency)*load) + extraDelay
+	effBW := srv.BandwidthBps / (load * tputFactor)
+	if prof.BandwidthBps > 0 && prof.BandwidthBps < effBW {
+		effBW = prof.BandwidthBps
+	}
+	if pathVar > 0 {
+		// Cubing the pair uniform gives path quality a thin bad tail: most
+		// (client, server) pairs are near-nominal, a few are badly off —
+		// the paper's "network blind-spots by third party providers".
+		lu := pairUniform(spec.ClientID, addr, "lat")
+		bu := pairUniform(spec.ClientID, addr, "bw")
+		latStretch := 1 + pathVar*lu*lu*lu
+		bwShrink := 1 + pathVar*bu*bu*bu
+		base = time.Duration(float64(base) * latStretch)
+		effBW /= bwShrink
+	}
+	transfer := time.Duration(float64(spec.SizeBytes) / effBW * float64(time.Second))
+	total := base + transfer
+
+	j := jitter(spec, addr) * (srv.JitterFrac + prof.JitterFrac)
+	total = time.Duration(float64(total) * (1 + j))
+	if total < time.Millisecond {
+		total = time.Millisecond
+	}
+	return total, addr, nil
+}
+
+// pairUniform maps a (client, server, salt) triple to a stable uniform
+// value in [0, 1) — the per-path component of the network model.
+func pairUniform(clientID, addr, salt string) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(clientID))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(addr))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(salt))
+	return float64(h.Sum64()%1_000_000) / 1_000_000
+}
+
+// jitter maps a download spec to a deterministic value in [-1, 1).
+func jitter(spec DownloadSpec, addr string) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(spec.ClientID))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(spec.Host))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(addr))
+	_, _ = h.Write([]byte{0})
+	var buf [16]byte
+	putInt64(buf[:8], spec.At.UnixNano())
+	putInt64(buf[8:], spec.SizeBytes)
+	_, _ = h.Write(buf[:])
+	v := h.Sum64()
+	return float64(v)/math.MaxUint64*2 - 1
+}
+
+func putInt64(b []byte, v int64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

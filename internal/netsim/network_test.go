@@ -1,0 +1,267 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func testNetwork(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork()
+	servers := []*Server{
+		{Addr: "na-1", Hosts: []string{"cdn.example", "alt.example"}, Region: NorthAmerica,
+			ProcLatency: 10 * time.Millisecond, BandwidthBps: 1e6},
+		{Addr: "eu-1", Hosts: []string{"eu.example"}, Region: Europe,
+			ProcLatency: 10 * time.Millisecond, BandwidthBps: 1e6},
+		{Addr: "as-1", Hosts: []string{"as.example"}, Region: Asia,
+			ProcLatency: 10 * time.Millisecond, BandwidthBps: 1e6},
+	}
+	for _, s := range servers {
+		if err := n.AddServer(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func dl(t *testing.T, n *Network, client string, region Region, host string, size int64, at time.Time) time.Duration {
+	t.Helper()
+	d, _, err := n.Download(DownloadSpec{
+		ClientID: client, ClientRegion: region, Host: host, SizeBytes: size, At: at,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestResolve(t *testing.T) {
+	n := testNetwork(t)
+	addr, err := n.Resolve("cdn.example")
+	if err != nil || addr != "na-1" {
+		t.Errorf("Resolve = (%q, %v), want (na-1, nil)", addr, err)
+	}
+	if _, err := n.Resolve("nowhere.example"); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("Resolve(unknown) err = %v, want ErrUnknownHost", err)
+	}
+	// Two hostnames on one server resolve to the same address.
+	addr2, _ := n.Resolve("alt.example")
+	if addr2 != "na-1" {
+		t.Errorf("alt.example resolved to %q, want na-1", addr2)
+	}
+}
+
+func TestServerLookup(t *testing.T) {
+	n := testNetwork(t)
+	s, err := n.Server("eu-1")
+	if err != nil || s.Region != Europe {
+		t.Errorf("Server(eu-1) = (%+v, %v)", s, err)
+	}
+	if _, err := n.Server("missing"); !errors.Is(err, ErrUnknownServer) {
+		t.Errorf("Server(missing) err = %v", err)
+	}
+	want := []string{"as-1", "eu-1", "na-1"}
+	got := n.Servers()
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("Servers() = %v, want %v", got, want)
+	}
+}
+
+func TestAddServerValidation(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddServer(nil); err == nil {
+		t.Error("AddServer(nil): want error")
+	}
+	if err := n.AddServer(&Server{Addr: ""}); err == nil {
+		t.Error("AddServer(no addr): want error")
+	}
+	if err := n.AddServer(&Server{Addr: "x", BandwidthBps: 0}); err == nil {
+		t.Error("AddServer(no bandwidth): want error")
+	}
+}
+
+func TestDownloadDeterministic(t *testing.T) {
+	n := testNetwork(t)
+	a := dl(t, n, "c1", NorthAmerica, "cdn.example", 10240, t0)
+	b := dl(t, n, "c1", NorthAmerica, "cdn.example", 10240, t0)
+	if a != b {
+		t.Errorf("identical downloads differ: %v vs %v", a, b)
+	}
+}
+
+func TestDownloadRegionOrdering(t *testing.T) {
+	n := testNetwork(t)
+	near := dl(t, n, "c1", NorthAmerica, "cdn.example", 1024, t0)
+	farEU := dl(t, n, "c1", Europe, "cdn.example", 1024, t0)
+	farAS := dl(t, n, "c1", Asia, "cdn.example", 1024, t0)
+	if !(near < farEU && farEU < farAS) {
+		t.Errorf("distance ordering violated: NA=%v EU=%v AS=%v", near, farEU, farAS)
+	}
+}
+
+func TestDownloadSizeMonotone(t *testing.T) {
+	n := testNetwork(t)
+	small := dl(t, n, "c1", NorthAmerica, "cdn.example", 1024, t0)
+	large := dl(t, n, "c1", NorthAmerica, "cdn.example", 1024*1024, t0)
+	if large <= small {
+		t.Errorf("1 MB (%v) not slower than 1 KB (%v)", large, small)
+	}
+	// 1 MB at 1 MB/s must take at least ~1 s.
+	if large < 900*time.Millisecond {
+		t.Errorf("1 MB at 1 MB/s took %v, want >= ~1 s", large)
+	}
+}
+
+func TestDownloadUnknownHost(t *testing.T) {
+	n := testNetwork(t)
+	_, _, err := n.Download(DownloadSpec{ClientID: "c", ClientRegion: NorthAmerica,
+		Host: "ghost.example", SizeBytes: 10, At: t0})
+	if !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("err = %v, want ErrUnknownHost", err)
+	}
+}
+
+func TestDegradationExtraDelay(t *testing.T) {
+	n := testNetwork(t)
+	before := dl(t, n, "c1", NorthAmerica, "cdn.example", 1024, t0)
+	n.Degrade(Degradation{ServerAddr: "na-1", Start: t0, ExtraDelay: 2 * time.Second})
+	after := dl(t, n, "c1", NorthAmerica, "cdn.example", 1024, t0)
+	if after-before < 1500*time.Millisecond {
+		t.Errorf("degradation added %v, want ~2s", after-before)
+	}
+	// Other servers unaffected.
+	eu := dl(t, n, "c1", Europe, "eu.example", 1024, t0)
+	n.ClearDegradations()
+	eu2 := dl(t, n, "c1", Europe, "eu.example", 1024, t0)
+	if eu != eu2 {
+		t.Errorf("unrelated server changed by degradation: %v vs %v", eu, eu2)
+	}
+}
+
+func TestDegradationWindow(t *testing.T) {
+	n := testNetwork(t)
+	n.Degrade(Degradation{
+		ServerAddr: "na-1",
+		Start:      t0.Add(time.Hour),
+		End:        t0.Add(2 * time.Hour),
+		ExtraDelay: 5 * time.Second,
+	})
+	during := dl(t, n, "c1", NorthAmerica, "cdn.example", 1024, t0.Add(90*time.Minute))
+	outside := dl(t, n, "c1", NorthAmerica, "cdn.example", 1024, t0.Add(3*time.Hour))
+	if during < 4*time.Second {
+		t.Errorf("inside window: %v, want >= ~5s", during)
+	}
+	if outside > time.Second {
+		t.Errorf("outside window: %v, want fast", outside)
+	}
+}
+
+func TestDegradationTputFactor(t *testing.T) {
+	n := testNetwork(t)
+	fast := dl(t, n, "c1", NorthAmerica, "cdn.example", 1024*1024, t0)
+	n.Degrade(Degradation{ServerAddr: "na-1", Start: t0, TputFactor: 10})
+	slow := dl(t, n, "c1", NorthAmerica, "cdn.example", 1024*1024, t0)
+	ratio := float64(slow) / float64(fast)
+	if ratio < 5 {
+		t.Errorf("tput degradation ratio %v, want ~10x on a transfer-dominated load", ratio)
+	}
+}
+
+func TestClearDegradations(t *testing.T) {
+	n := testNetwork(t)
+	n.Degrade(Degradation{ServerAddr: "na-1", Start: t0, ExtraDelay: 5 * time.Second})
+	n.ClearDegradations()
+	d := dl(t, n, "c1", NorthAmerica, "cdn.example", 1024, t0)
+	if d > time.Second {
+		t.Errorf("degradation survived Clear: %v", d)
+	}
+}
+
+func TestJitterBoundedAndVaries(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddServer(&Server{
+		Addr: "j-1", Hosts: []string{"j.example"}, Region: NorthAmerica,
+		ProcLatency: 10 * time.Millisecond, BandwidthBps: 1e6, JitterFrac: 0.2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	base := dl(t, n, "c1", NorthAmerica, "j.example", 1024, t0)
+	varied := false
+	for i := 1; i <= 20; i++ {
+		d := dl(t, n, "c1", NorthAmerica, "j.example", 1024, t0.Add(time.Duration(i)*time.Minute))
+		if d != base {
+			varied = true
+		}
+		lo := float64(base) * 0.6
+		hi := float64(base) * 1.5
+		if float64(d) < lo || float64(d) > hi {
+			t.Errorf("jittered duration %v outside [%v, %v]", d, time.Duration(lo), time.Duration(hi))
+		}
+	}
+	if !varied {
+		t.Error("jitter produced identical durations across instants")
+	}
+}
+
+func TestDownloadMinimumDuration(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddServer(&Server{
+		Addr: "fast", Hosts: []string{"f.example"}, Region: NorthAmerica, BandwidthBps: 1e12,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d := dl(t, n, "c", NorthAmerica, "f.example", 1, t0)
+	if d < time.Millisecond {
+		t.Errorf("duration %v below the 1ms floor", d)
+	}
+}
+
+func TestClientProfileSlowsDownloads(t *testing.T) {
+	n := testNetwork(t)
+	fast := dl(t, n, "wired", NorthAmerica, "cdn.example", 500*1024, t0)
+	n.SetClientProfile("narrow", ClientProfile{BandwidthBps: 50e3, LatencyFactor: 3})
+	slow := dl(t, n, "narrow", NorthAmerica, "cdn.example", 500*1024, t0)
+	if float64(slow) < 4*float64(fast) {
+		t.Errorf("narrow link %v not much slower than wired %v", slow, fast)
+	}
+	// Profile applies only to the named client.
+	other := dl(t, n, "wired", NorthAmerica, "cdn.example", 500*1024, t0)
+	if other != fast {
+		t.Error("profile leaked across clients")
+	}
+}
+
+func TestClientProfileJitterAdds(t *testing.T) {
+	n := testNetwork(t)
+	n.SetClientProfile("jittery", ClientProfile{JitterFrac: 0.5})
+	base := dl(t, n, "calm", NorthAmerica, "cdn.example", 1024, t0)
+	var spread bool
+	for i := 0; i < 10; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		a := dl(t, n, "calm", NorthAmerica, "cdn.example", 1024, at)
+		b := dl(t, n, "jittery", NorthAmerica, "cdn.example", 1024, at)
+		if a != b {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Errorf("client jitter had no effect around base %v", base)
+	}
+}
+
+func TestDefaultRTTSymmetric(t *testing.T) {
+	regions := []Region{NorthAmerica, Europe, Asia}
+	for _, a := range regions {
+		for _, b := range regions {
+			if DefaultRTT(a, b) != DefaultRTT(b, a) {
+				t.Errorf("RTT(%s,%s) != RTT(%s,%s)", a, b, b, a)
+			}
+		}
+	}
+	if DefaultRTT(NorthAmerica, NorthAmerica) >= DefaultRTT(NorthAmerica, Asia) {
+		t.Error("intra-region RTT should be below cross-global RTT")
+	}
+}

@@ -1,0 +1,151 @@
+package netsim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestNoisyLoadDisabled(t *testing.T) {
+	if got := (NoisyLoad{}).Factor(t0); got != 1 {
+		t.Errorf("zero NoisyLoad factor = %v, want 1", got)
+	}
+}
+
+func TestNoisyLoadNeverBelowOne(t *testing.T) {
+	n := NoisyLoad{Salt: "s", Mu: 0.5, Sigma: 0.8}
+	for i := 0; i < 500; i++ {
+		f := n.Factor(t0.Add(time.Duration(i) * 10 * time.Minute))
+		if f < 1 {
+			t.Fatalf("factor %v below 1 at sample %d", f, i)
+		}
+	}
+}
+
+func TestNoisyLoadStableWithinPeriod(t *testing.T) {
+	n := NoisyLoad{Salt: "s", Mu: 1, Sigma: 0.5, Period: time.Hour}
+	base := t0.Truncate(time.Hour).Add(time.Minute)
+	a := n.Factor(base)
+	b := n.Factor(base.Add(30 * time.Minute))
+	if a != b {
+		t.Errorf("factor changed within one period: %v vs %v", a, b)
+	}
+}
+
+func TestNoisyLoadVariesAcrossPeriods(t *testing.T) {
+	n := NoisyLoad{Salt: "s", Mu: 1, Sigma: 0.5, Period: 10 * time.Minute}
+	seen := make(map[float64]bool)
+	for i := 0; i < 20; i++ {
+		seen[n.Factor(t0.Add(time.Duration(i)*10*time.Minute))] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("only %d distinct load levels across 20 periods", len(seen))
+	}
+}
+
+func TestNoisyLoadSaltDecorrelates(t *testing.T) {
+	a := NoisyLoad{Salt: "a", Mu: 1, Sigma: 0.5}
+	b := NoisyLoad{Salt: "b", Mu: 1, Sigma: 0.5}
+	var same int
+	for i := 0; i < 30; i++ {
+		at := t0.Add(time.Duration(i) * 10 * time.Minute)
+		if a.Factor(at) == b.Factor(at) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("different salts matched %d/30 times", same)
+	}
+}
+
+func TestNoisyLoadMedianTracksMu(t *testing.T) {
+	// With sigma small, the median factor should sit near exp(Mu).
+	n := NoisyLoad{Salt: "med", Mu: 1.0, Sigma: 0.3}
+	var fs []float64
+	for i := 0; i < 400; i++ {
+		fs = append(fs, n.Factor(t0.Add(time.Duration(i)*10*time.Minute)))
+	}
+	sort.Float64s(fs)
+	med := fs[len(fs)/2]
+	want := math.Exp(1.0)
+	if med < want*0.8 || med > want*1.25 {
+		t.Errorf("median factor = %v, want ~%v", med, want)
+	}
+}
+
+func TestNoisyLoadMinMedianShape(t *testing.T) {
+	// The property fig10 relies on: a busy server's idle moments are much
+	// faster than its typical state.
+	n := NoisyLoad{Salt: "shape", Mu: 1.4, Sigma: 0.7}
+	var fs []float64
+	for i := 0; i < 144; i++ {
+		fs = append(fs, n.Factor(t0.Add(time.Duration(i)*30*time.Minute)))
+	}
+	sort.Float64s(fs)
+	min, med := fs[0], fs[len(fs)/2]
+	if ratio := min / med; ratio > 0.6 {
+		t.Errorf("min/median load = %v, want a pronounced idle-vs-typical gap", ratio)
+	}
+}
+
+func TestAnycastLatency(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddServer(&Server{
+		Addr: "any", Hosts: []string{"any.example"}, Region: NorthAmerica,
+		Anycast: true, ProcLatency: 5 * time.Millisecond, BandwidthBps: 1e6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddServer(&Server{
+		Addr: "uni", Hosts: []string{"uni.example"}, Region: NorthAmerica,
+		ProcLatency: 5 * time.Millisecond, BandwidthBps: 1e6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// From Asia, the anycast server answers at intra-region latency while
+	// the unicast one pays the cross-global path.
+	anyDur := dl(t, n, "c", Asia, "any.example", 1024, t0)
+	uniDur := dl(t, n, "c", Asia, "uni.example", 1024, t0)
+	if anyDur >= uniDur {
+		t.Errorf("anycast (%v) not faster than unicast (%v) from a far region", anyDur, uniDur)
+	}
+	// From the server's own region they are equivalent.
+	anyNear := dl(t, n, "c", NorthAmerica, "any.example", 1024, t0)
+	uniNear := dl(t, n, "c", NorthAmerica, "uni.example", 1024, t0)
+	diff := math.Abs(float64(anyNear) - float64(uniNear))
+	if diff > float64(5*time.Millisecond) {
+		t.Errorf("near-region anycast/unicast differ by %v", time.Duration(diff))
+	}
+}
+
+func TestPathVariationPerPair(t *testing.T) {
+	n := testNetwork(t)
+	n.SetPathVariation(2.0)
+	// Same client+server: deterministic. Different clients: can differ.
+	a1 := dl(t, n, "client-a", NorthAmerica, "cdn.example", 100*1024, t0)
+	a2 := dl(t, n, "client-a", NorthAmerica, "cdn.example", 100*1024, t0)
+	if a1 != a2 {
+		t.Error("path variation broke per-pair determinism")
+	}
+	var differs bool
+	for i := 0; i < 10; i++ {
+		b := dl(t, n, string(rune('b'+i))+"-client", NorthAmerica, "cdn.example", 100*1024, t0)
+		if b != a1 {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("path variation identical across 10 clients")
+	}
+}
+
+func TestPathVariationNegativeClamped(t *testing.T) {
+	n := testNetwork(t)
+	before := dl(t, n, "c", NorthAmerica, "cdn.example", 1024, t0)
+	n.SetPathVariation(-5)
+	after := dl(t, n, "c", NorthAmerica, "cdn.example", 1024, t0)
+	if before != after {
+		t.Error("negative path variation not treated as zero")
+	}
+}

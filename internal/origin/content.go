@@ -1,0 +1,83 @@
+package origin
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ContentServer is a configurable external content server: it serves
+// fixed-size binary objects and script bodies, with an adjustable artificial
+// response delay so tests and examples can degrade a provider on demand —
+// the loopback equivalent of the paper's delay-injection experiments.
+type ContentServer struct {
+	mu      sync.RWMutex
+	objects map[string]int    // path -> size in bytes
+	scripts map[string]string // path -> body
+	delay   time.Duration
+}
+
+var _ http.Handler = (*ContentServer)(nil)
+
+// NewContentServer returns an empty content server.
+func NewContentServer() *ContentServer {
+	return &ContentServer{
+		objects: make(map[string]int),
+		scripts: make(map[string]string),
+	}
+}
+
+// AddObject registers a binary object of the given size.
+func (s *ContentServer) AddObject(path string, size int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects[path] = size
+}
+
+// AddScript registers a JavaScript body.
+func (s *ContentServer) AddScript(path, body string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.scripts[path] = body
+}
+
+// SetDelay sets the artificial per-request delay.
+func (s *ContentServer) SetDelay(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.delay = d
+}
+
+// Delay returns the current artificial delay.
+func (s *ContentServer) Delay() time.Duration {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.delay
+}
+
+// ServeHTTP serves the object or script at the request path after the
+// configured delay.
+func (s *ContentServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	delay := s.delay
+	body, isScript := s.scripts[r.URL.Path]
+	size, isObject := s.objects[r.URL.Path]
+	s.mu.RUnlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	switch {
+	case isScript:
+		w.Header().Set("Content-Type", "application/javascript")
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		_, _ = w.Write([]byte(body))
+	case isObject:
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(size))
+		_, _ = w.Write(make([]byte, size))
+	default:
+		http.NotFound(w, r)
+	}
+}

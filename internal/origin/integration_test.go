@@ -1,0 +1,211 @@
+package origin
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"oak/internal/client"
+	"oak/internal/core"
+	"oak/internal/rules"
+)
+
+// integrationWorld wires a full loopback Oak deployment: an Oak-fronted
+// origin, N external content servers (one per logical host), and a resolver
+// that maps logical hostnames to the loopback listeners.
+type integrationWorld struct {
+	origin   *httptest.Server
+	oak      *Server
+	content  map[string]*ContentServer   // logical host -> handler
+	backends map[string]*httptest.Server // logical host -> listener
+}
+
+func (w *integrationWorld) resolve(host string) (string, bool) {
+	ts, ok := w.backends[host]
+	if !ok {
+		return "", false
+	}
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		return "", false
+	}
+	return u.Host, true
+}
+
+func (w *integrationWorld) close() {
+	w.origin.Close()
+	for _, ts := range w.backends {
+		ts.Close()
+	}
+}
+
+// newIntegrationWorld builds a page with one object per logical host, plus
+// an alternate host mirroring the first host's object, and a Type 2 rule
+// switching between them.
+func newIntegrationWorld(t *testing.T, hosts []string, altHost string, policy core.Policy) *integrationWorld {
+	t.Helper()
+	w := &integrationWorld{
+		content:  make(map[string]*ContentServer),
+		backends: make(map[string]*httptest.Server),
+	}
+	var tags []string
+	for _, h := range append(append([]string(nil), hosts...), altHost) {
+		cs := NewContentServer()
+		cs.AddObject("/obj.bin", 8*1024)
+		w.content[h] = cs
+		w.backends[h] = httptest.NewServer(cs)
+	}
+	for _, h := range hosts {
+		tags = append(tags, fmt.Sprintf("<img src=%q>", "http://"+h+"/obj.bin"))
+	}
+	html := "<html><body>\n" + strings.Join(tags, "\n") + "\n</body></html>"
+
+	rule := &rules.Rule{
+		ID:           "swap-" + hosts[0],
+		Type:         rules.TypeReplaceSame,
+		Default:      fmt.Sprintf("<img src=%q>", "http://"+hosts[0]+"/obj.bin"),
+		Alternatives: []string{fmt.Sprintf("<img src=%q>", "http://"+altHost+"/obj.bin")},
+		Scope:        "*",
+	}
+	engine, err := core.NewEngine([]*rules.Rule{rule}, core.WithPolicy(policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.oak = NewServer(engine)
+	w.oak.SetPage("/index.html", html)
+	w.origin = httptest.NewServer(w.oak)
+	return w
+}
+
+// TestEndToEndSwitchover reproduces the core Oak loop over real HTTP: a
+// degraded provider is detected from the client's own report and the next
+// page load is steered to the alternate.
+func TestEndToEndSwitchover(t *testing.T) {
+	hosts := []string{"slow.example", "h2.example", "h3.example", "h4.example", "h5.example"}
+	w := newIntegrationWorld(t, hosts, "alt.example", core.Policy{})
+	defer w.close()
+
+	// Degrade the first provider hard (loopback baseline is ~sub-ms).
+	w.content["slow.example"].SetDelay(150 * time.Millisecond)
+
+	c := &client.HTTPClient{Resolve: w.resolve}
+
+	// Load 1: default page; the report exposes the violator.
+	res1, html1, err := c.LoadAndReport(w.origin.URL, "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(html1, "slow.example") {
+		t.Fatal("first load should serve the default page")
+	}
+	if res1.PLT < 100*time.Millisecond {
+		t.Fatalf("PLT %v does not reflect the injected delay", res1.PLT)
+	}
+
+	// Load 2: Oak must have activated the rule for this user.
+	res2, html2, err := c.LoadAndReport(w.origin.URL, "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(html2, "slow.example") {
+		t.Error("second load still references the degraded provider")
+	}
+	if !strings.Contains(html2, "alt.example") {
+		t.Error("second load does not reference the alternate")
+	}
+	if res2.PLT > res1.PLT {
+		t.Errorf("PLT got worse after switch: %v -> %v", res1.PLT, res2.PLT)
+	}
+
+	snap, ok := w.oak.Engine().Snapshot(c.UserID)
+	if !ok || len(snap.ActiveRules) != 1 {
+		t.Errorf("engine snapshot = %+v, want one active rule", snap)
+	}
+}
+
+// TestEndToEndCacheHintHeader checks the Type 2 cache hint of Section 4.3
+// arrives on the rewritten page response.
+func TestEndToEndCacheHintHeader(t *testing.T) {
+	hosts := []string{"slow.example", "h2.example", "h3.example", "h4.example", "h5.example"}
+	w := newIntegrationWorld(t, hosts, "alt.example", core.Policy{})
+	defer w.close()
+	w.content["slow.example"].SetDelay(150 * time.Millisecond)
+
+	c := &client.HTTPClient{Resolve: w.resolve}
+	if _, _, err := c.LoadAndReport(w.origin.URL, "/index.html"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fetch the page directly to inspect headers.
+	req, err := http.NewRequest(http.MethodGet, w.origin.URL+"/index.html", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.AddCookie(&http.Cookie{Name: CookieName, Value: c.UserID})
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	hint := resp.Header.Get(rules.CacheHintHeader)
+	if !strings.Contains(hint, "http://slow.example/obj.bin=http://alt.example/obj.bin") {
+		t.Errorf("cache hint = %q, want old=new mapping", hint)
+	}
+}
+
+// TestEndToEndPerUser confirms a second, fresh user still gets the default
+// page after the first user's switchover.
+func TestEndToEndPerUser(t *testing.T) {
+	hosts := []string{"slow.example", "h2.example", "h3.example", "h4.example", "h5.example"}
+	w := newIntegrationWorld(t, hosts, "alt.example", core.Policy{})
+	defer w.close()
+	w.content["slow.example"].SetDelay(150 * time.Millisecond)
+
+	c1 := &client.HTTPClient{Resolve: w.resolve}
+	if _, _, err := c1.LoadAndReport(w.origin.URL, "/index.html"); err != nil {
+		t.Fatal(err)
+	}
+	if _, html, err := c1.LoadAndReport(w.origin.URL, "/index.html"); err != nil {
+		t.Fatal(err)
+	} else if strings.Contains(html, "slow.example") {
+		t.Error("user 1 not switched")
+	}
+
+	c2 := &client.HTTPClient{Resolve: w.resolve}
+	_, html2, err := c2.LoadPage(w.origin.URL, "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(html2, "slow.example") {
+		t.Error("fresh user got a modified page (cross-user leakage)")
+	}
+}
+
+// TestEndToEndHealthyNoSwitch: with no degradation the page stays default.
+func TestEndToEndHealthyNoSwitch(t *testing.T) {
+	hosts := []string{"h1.example", "h2.example", "h3.example", "h4.example", "h5.example"}
+	w := newIntegrationWorld(t, hosts, "alt.example", core.Policy{})
+	defer w.close()
+
+	// Realistic, spread base latencies: loopback responses complete in
+	// tens of microseconds, so without them the MAD criterion would be
+	// judging scheduler noise rather than provider behaviour.
+	for i, h := range hosts {
+		w.content[h].SetDelay(time.Duration(5+3*i) * time.Millisecond)
+	}
+
+	c := &client.HTTPClient{Resolve: w.resolve}
+	for i := 0; i < 3; i++ {
+		_, html, err := c.LoadAndReport(w.origin.URL, "/index.html")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(html, "alt.example") {
+			t.Fatalf("load %d: healthy deployment switched providers", i+1)
+		}
+	}
+}

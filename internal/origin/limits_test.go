@@ -1,0 +1,143 @@
+package origin
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestReportTooLargeRejected(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	huge := strings.Repeat("x", maxReportBytes+10)
+	resp, err := http.Post(ts.URL+ReportPath, "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d, want 413", resp.StatusCode)
+	}
+	if s.Engine().Users() != 0 {
+		t.Error("oversized report reached the engine")
+	}
+}
+
+func TestHeadRequestNoBody(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.SetPage("/", "<html>body here</html>")
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Head(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("HEAD status = %d", resp.StatusCode)
+	}
+	if len(body) != 0 {
+		t.Errorf("HEAD returned %d body bytes", len(body))
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != "22" {
+		t.Errorf("Content-Length = %q, want 22", cl)
+	}
+}
+
+func TestContentTypeHTML(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.SetPage("/", "<html></html>")
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+}
+
+func TestSetPageReplaces(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.SetPage("/", "<html>v1</html>")
+	s.SetPage("/", "<html>v2</html>")
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "v2") {
+		t.Errorf("page not replaced: %q", body)
+	}
+}
+
+func TestDistinctUsersGetDistinctCookies(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.SetPage("/", "<html></html>")
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	get := func() string {
+		resp, err := http.Get(ts.URL + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		for _, c := range resp.Cookies() {
+			if c.Name == CookieName {
+				return c.Value
+			}
+		}
+		return ""
+	}
+	a, b := get(), get()
+	if a == "" || b == "" || a == b {
+		t.Errorf("cookies not distinct: %q vs %q", a, b)
+	}
+}
+
+func TestAuditEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + AuditPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("audit status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "Oak audit") {
+		t.Errorf("audit body = %q", body)
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+AuditPath, nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST audit status = %d, want 405", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,159 @@
+// Package origin provides the HTTP half of the Oak server (Section 4 of the
+// paper): an origin web server that issues identifying cookies, rewrites
+// outgoing pages through the Oak engine on a per-user basis, and accepts
+// client performance reports via HTTP POST — plus configurable external
+// content servers to stand in for third-party providers in integration
+// tests and examples.
+package origin
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"oak/internal/core"
+	"oak/internal/report"
+	"oak/internal/rules"
+)
+
+// CookieName is the identifying cookie Oak issues to each client.
+const CookieName = "oak-user"
+
+// ReportPath is the endpoint performance reports are POSTed to.
+const ReportPath = "/oak/report"
+
+// AuditPath serves the operator audit summary (the paper's "offline
+// auditing tool"): which components of the site under-perform in the wild,
+// per rule and per server. Deployments should restrict access to it (it is
+// operator-facing, not client-facing).
+const AuditPath = "/oak/audit"
+
+// maxReportBytes bounds report bodies; the paper measures a worst case of
+// ~345 KB on the Alexa 500, so 4 MB is a generous ceiling.
+const maxReportBytes = 4 << 20
+
+// Server is an Oak-fronted origin web server.
+type Server struct {
+	engine *core.Engine
+
+	mu     sync.RWMutex
+	pages  map[string]string
+	nextID atomic.Uint64
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer wraps an engine. Pages are registered with SetPage.
+func NewServer(engine *core.Engine) *Server {
+	return &Server{
+		engine: engine,
+		pages:  make(map[string]string),
+	}
+}
+
+// Engine returns the underlying Oak engine.
+func (s *Server) Engine() *core.Engine { return s.engine }
+
+// SetPage registers (or replaces) the default markup for a path.
+func (s *Server) SetPage(path, html string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pages[path] = html
+}
+
+// ServeHTTP implements the two server-side interactions of Figure 4/5:
+// page delivery with per-user modification, and report ingestion.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case ReportPath:
+		s.handleReport(w, r)
+	case AuditPath:
+		s.handleAudit(w, r)
+	default:
+		s.handlePage(w, r)
+	}
+}
+
+// handleAudit serves the operator audit summary as plain text.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, s.engine.Audit().Render())
+}
+
+// handlePage serves a page, issuing a cookie if the client lacks one and
+// applying the user's active rules before delivery.
+func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.RLock()
+	html, ok := s.pages[r.URL.Path]
+	s.mu.RUnlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+
+	userID := s.userID(w, r)
+	modified, applied := s.engine.ModifyPage(userID, r.URL.Path, html)
+	if hints := rules.CacheHintValue(applied); hints != "" {
+		w.Header().Set(rules.CacheHintHeader, hints)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(modified)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	_, _ = io.WriteString(w, modified)
+}
+
+// handleReport ingests one performance report.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxReportBytes+1))
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxReportBytes {
+		http.Error(w, "report too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	rep, err := report.Unmarshal(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The cookie is authoritative for identity when present: a report must
+	// not mutate another user's profile.
+	if c, err := r.Cookie(CookieName); err == nil && c.Value != "" {
+		rep.UserID = c.Value
+	}
+	if _, err := s.engine.HandleReport(rep); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// userID returns the request's Oak user id, issuing a fresh cookie when the
+// client has none.
+func (s *Server) userID(w http.ResponseWriter, r *http.Request) string {
+	if c, err := r.Cookie(CookieName); err == nil && c.Value != "" {
+		return c.Value
+	}
+	id := fmt.Sprintf("oak-%d", s.nextID.Add(1))
+	http.SetCookie(w, &http.Cookie{Name: CookieName, Value: id, Path: "/"})
+	return id
+}

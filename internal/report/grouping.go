@@ -1,0 +1,115 @@
+package report
+
+import (
+	"sort"
+)
+
+// ServerPerf is the server-oriented view Oak derives from a report: all
+// objects fetched from one server address, summarised per the paper's
+// small/large split. "These reports make no decisions on what objects may
+// need to be acted on, but instead store the raw information about the
+// observed performance" — decisions happen later, in core.
+type ServerPerf struct {
+	// Addr is the server address (paper: IP) the client connected to.
+	Addr string
+	// Hosts are all domain names that resolved to this server during the
+	// load, sorted. Rule matching works on these names.
+	Hosts []string
+	// SmallCount and SmallMeanTimeMs summarise objects under the 50 KB
+	// threshold: the count and the mean download time (milliseconds).
+	SmallCount      int
+	SmallMeanTimeMs float64
+	// LargeCount and LargeMeanTputBps summarise objects at or over the
+	// threshold: the count and mean achieved throughput (bytes/second).
+	LargeCount       int
+	LargeMeanTputBps float64
+	// URLs are the object URLs fetched from this server, in report order.
+	URLs []string
+	// ScriptURLs are the subset of URLs that are external scripts; the
+	// rule matcher's external-JavaScript pass walks these.
+	ScriptURLs []string
+}
+
+// HasHost reports whether the given hostname resolved to this server.
+func (s *ServerPerf) HasHost(host string) bool {
+	for _, h := range s.Hosts {
+		if h == host {
+			return true
+		}
+	}
+	return false
+}
+
+// GroupByServer folds a report into per-server performance summaries,
+// implementing Section 4.2's grouping: objects are grouped by the address
+// the client ultimately connected to, keeping track of all related domain
+// names; small objects contribute their mean time, large objects their mean
+// throughput. The result is sorted by address for determinism.
+func GroupByServer(r *Report) []*ServerPerf {
+	byAddr := make(map[string]*ServerPerf)
+	var order []string
+	for _, e := range r.Entries {
+		addr := e.ServerAddr
+		if addr == "" {
+			// Fall back to the hostname when the client did not record an
+			// address (pure-simulation clients identify servers by name).
+			addr = e.Host()
+		}
+		if addr == "" {
+			continue
+		}
+		sp, ok := byAddr[addr]
+		if !ok {
+			sp = &ServerPerf{Addr: addr}
+			byAddr[addr] = sp
+			order = append(order, addr)
+		}
+		if host := e.Host(); host != "" && !sp.HasHost(host) {
+			sp.Hosts = append(sp.Hosts, host)
+		}
+		sp.URLs = append(sp.URLs, e.URL)
+		if e.Kind == KindScript {
+			sp.ScriptURLs = append(sp.ScriptURLs, e.URL)
+		}
+		if e.IsSmall() {
+			// Incremental mean keeps this single-pass.
+			sp.SmallCount++
+			sp.SmallMeanTimeMs += (e.DurationMillis - sp.SmallMeanTimeMs) / float64(sp.SmallCount)
+		} else {
+			sp.LargeCount++
+			sp.LargeMeanTputBps += (e.ThroughputBps() - sp.LargeMeanTputBps) / float64(sp.LargeCount)
+		}
+	}
+	out := make([]*ServerPerf, 0, len(byAddr))
+	for _, addr := range order {
+		sp := byAddr[addr]
+		sort.Strings(sp.Hosts)
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// SmallTimes extracts the small-object mean times (ms) of servers that have
+// small objects, parallel to the returned server subset.
+func SmallTimes(servers []*ServerPerf) (subset []*ServerPerf, times []float64) {
+	for _, s := range servers {
+		if s.SmallCount > 0 {
+			subset = append(subset, s)
+			times = append(times, s.SmallMeanTimeMs)
+		}
+	}
+	return subset, times
+}
+
+// LargeTputs extracts the large-object mean throughputs (B/s) of servers
+// that have large objects, parallel to the returned server subset.
+func LargeTputs(servers []*ServerPerf) (subset []*ServerPerf, tputs []float64) {
+	for _, s := range servers {
+		if s.LargeCount > 0 {
+			subset = append(subset, s)
+			tputs = append(tputs, s.LargeMeanTputBps)
+		}
+	}
+	return subset, tputs
+}

@@ -1,0 +1,128 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// HAR import. The paper's client is built on infrastructure "designed for
+// use with outputting HAR files", and Oak's report format is a HAR subset.
+// FromHAR converts a standard HTTP Archive (exported by any browser's
+// devtools) into an Oak report, so captured real-world sessions can be
+// replayed through the engine or analysed with cmd/oakreport.
+
+// harFile mirrors the parts of the HAR 1.2 schema Oak consumes.
+type harFile struct {
+	Log struct {
+		Pages []struct {
+			ID    string `json:"id"`
+			Title string `json:"title"`
+		} `json:"pages"`
+		Entries []harEntry `json:"entries"`
+	} `json:"log"`
+}
+
+type harEntry struct {
+	Pageref string  `json:"pageref"`
+	Time    float64 `json:"time"` // total elapsed ms
+	Request struct {
+		Method string `json:"method"`
+		URL    string `json:"url"`
+	} `json:"request"`
+	Response struct {
+		Status  int `json:"status"`
+		Content struct {
+			Size     int64  `json:"size"`
+			MimeType string `json:"mimeType"`
+		} `json:"content"`
+		BodySize int64 `json:"bodySize"`
+	} `json:"response"`
+	ServerIPAddress string `json:"serverIPAddress"`
+	Initiator       struct {
+		URL string `json:"url"`
+	} `json:"_initiator"`
+}
+
+// FromHAR converts HAR data into an Oak report for the given user. Only
+// successful GET responses become entries (Oak measures object downloads);
+// entries without a server address fall back to hostname grouping, exactly
+// like simulated clients.
+func FromHAR(data []byte, userID string) (*Report, error) {
+	var har harFile
+	if err := json.Unmarshal(data, &har); err != nil {
+		return nil, fmt.Errorf("report: decode har: %w", err)
+	}
+	rep := &Report{
+		UserID:            userID,
+		GeneratedAtUnixMs: time.Now().UnixMilli(),
+	}
+	if len(har.Log.Pages) > 0 {
+		rep.Page = pagePath(har.Log.Pages[0].Title, har.Log.Pages[0].ID)
+	}
+	for _, e := range har.Log.Entries {
+		if e.Request.Method != "" && e.Request.Method != "GET" {
+			continue
+		}
+		if e.Response.Status >= 400 || e.Response.Status == 0 && e.Time <= 0 {
+			continue
+		}
+		size := e.Response.Content.Size
+		if size <= 0 {
+			size = e.Response.BodySize
+		}
+		if size < 0 {
+			size = 0
+		}
+		rep.Entries = append(rep.Entries, Entry{
+			URL:            e.Request.URL,
+			ServerAddr:     e.ServerIPAddress,
+			SizeBytes:      size,
+			DurationMillis: e.Time,
+			InitiatorURL:   e.Initiator.URL,
+			Kind:           kindForMime(e.Response.Content.MimeType),
+		})
+	}
+	if len(rep.Entries) == 0 {
+		return nil, fmt.Errorf("report: har contains no usable entries")
+	}
+	return rep, nil
+}
+
+// pagePath derives a site-relative page path from HAR page metadata: page
+// titles in HARs are usually the full URL.
+func pagePath(title, id string) string {
+	for _, candidate := range []string{title, id} {
+		if i := strings.Index(candidate, "://"); i >= 0 {
+			rest := candidate[i+3:]
+			if j := strings.IndexByte(rest, '/'); j >= 0 {
+				return rest[j:]
+			}
+			return "/"
+		}
+		if strings.HasPrefix(candidate, "/") {
+			return candidate
+		}
+	}
+	return "/"
+}
+
+// kindForMime maps a MIME type to Oak's coarse object kinds.
+func kindForMime(mime string) ObjectKind {
+	mime = strings.ToLower(mime)
+	switch {
+	case strings.Contains(mime, "javascript"), strings.Contains(mime, "ecmascript"):
+		return KindScript
+	case strings.HasPrefix(mime, "image/"):
+		return KindImage
+	case strings.Contains(mime, "css"):
+		return KindCSS
+	case strings.Contains(mime, "html"):
+		return KindHTML
+	case mime == "":
+		return ""
+	default:
+		return KindOther
+	}
+}

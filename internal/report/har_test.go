@@ -1,0 +1,176 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleHAR = `{
+  "log": {
+    "version": "1.2",
+    "pages": [{"id": "page_1", "title": "http://news.example/world/index.html"}],
+    "entries": [
+      {
+        "pageref": "page_1",
+        "time": 123.4,
+        "request": {"method": "GET", "url": "http://news.example/world/index.html"},
+        "response": {"status": 200, "content": {"size": 20480, "mimeType": "text/html"}},
+        "serverIPAddress": "93.184.216.34"
+      },
+      {
+        "pageref": "page_1",
+        "time": 88.0,
+        "request": {"method": "GET", "url": "http://cdn.example/app.js"},
+        "response": {"status": 200, "content": {"size": 51200, "mimeType": "application/javascript"}},
+        "serverIPAddress": "151.101.1.1",
+        "_initiator": {"url": "http://news.example/world/index.html"}
+      },
+      {
+        "pageref": "page_1",
+        "time": 45.5,
+        "request": {"method": "GET", "url": "http://img.example/logo.png"},
+        "response": {"status": 200, "content": {"size": -1, "mimeType": "image/png"}, "bodySize": 4096},
+        "serverIPAddress": "151.101.2.2"
+      },
+      {
+        "pageref": "page_1",
+        "time": 30.0,
+        "request": {"method": "POST", "url": "http://api.example/beacon"},
+        "response": {"status": 204, "content": {"size": 0, "mimeType": ""}}
+      },
+      {
+        "pageref": "page_1",
+        "time": 10.0,
+        "request": {"method": "GET", "url": "http://gone.example/missing.css"},
+        "response": {"status": 404, "content": {"size": 100, "mimeType": "text/css"}}
+      }
+    ]
+  }
+}`
+
+func TestFromHAR(t *testing.T) {
+	rep, err := FromHAR([]byte(sampleHAR), "har-user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UserID != "har-user" {
+		t.Errorf("UserID = %q", rep.UserID)
+	}
+	if rep.Page != "/world/index.html" {
+		t.Errorf("Page = %q, want /world/index.html", rep.Page)
+	}
+	// POST and 404 entries excluded.
+	if len(rep.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3: %+v", len(rep.Entries), rep.Entries)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("converted report invalid: %v", err)
+	}
+
+	byURL := make(map[string]Entry)
+	for _, e := range rep.Entries {
+		byURL[e.URL] = e
+	}
+	js := byURL["http://cdn.example/app.js"]
+	if js.Kind != KindScript || js.SizeBytes != 51200 || js.ServerAddr != "151.101.1.1" {
+		t.Errorf("js entry = %+v", js)
+	}
+	if js.InitiatorURL != "http://news.example/world/index.html" {
+		t.Errorf("initiator = %q", js.InitiatorURL)
+	}
+	// Negative content size falls back to bodySize.
+	img := byURL["http://img.example/logo.png"]
+	if img.SizeBytes != 4096 || img.Kind != KindImage {
+		t.Errorf("img entry = %+v", img)
+	}
+	html := byURL["http://news.example/world/index.html"]
+	if html.Kind != KindHTML {
+		t.Errorf("html kind = %q", html.Kind)
+	}
+}
+
+func TestFromHARGrouping(t *testing.T) {
+	rep, err := FromHAR([]byte(sampleHAR), "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := GroupByServer(rep)
+	if len(servers) != 3 {
+		t.Errorf("servers = %d, want 3", len(servers))
+	}
+}
+
+func TestFromHARErrors(t *testing.T) {
+	if _, err := FromHAR([]byte("{oops"), "u"); err == nil {
+		t.Error("bad json: want error")
+	}
+	if _, err := FromHAR([]byte(`{"log":{"entries":[]}}`), "u"); err == nil {
+		t.Error("empty har: want error")
+	}
+	onlyPost := `{"log":{"entries":[{"request":{"method":"POST","url":"http://x/y"},"response":{"status":200,"content":{}},"time":5}]}}`
+	if _, err := FromHAR([]byte(onlyPost), "u"); err == nil {
+		t.Error("no GET entries: want error")
+	}
+}
+
+func TestPagePath(t *testing.T) {
+	tests := []struct {
+		title, id, want string
+	}{
+		{"http://a.example/x/y.html", "p1", "/x/y.html"},
+		{"https://a.example", "p1", "/"},
+		{"Some Title", "/direct/path.html", "/direct/path.html"},
+		{"Some Title", "page_1", "/"},
+	}
+	for _, tt := range tests {
+		if got := pagePath(tt.title, tt.id); got != tt.want {
+			t.Errorf("pagePath(%q, %q) = %q, want %q", tt.title, tt.id, got, tt.want)
+		}
+	}
+}
+
+func TestKindForMime(t *testing.T) {
+	tests := []struct {
+		mime string
+		want ObjectKind
+	}{
+		{"application/javascript", KindScript},
+		{"text/javascript; charset=utf-8", KindScript},
+		{"image/webp", KindImage},
+		{"text/css", KindCSS},
+		{"text/html", KindHTML},
+		{"font/woff2", KindOther},
+		{"", ""},
+	}
+	for _, tt := range tests {
+		if got := kindForMime(tt.mime); got != tt.want {
+			t.Errorf("kindForMime(%q) = %q, want %q", tt.mime, got, tt.want)
+		}
+	}
+}
+
+func TestFromHARLargeSample(t *testing.T) {
+	// A HAR with many entries round-trips through validation and grouping.
+	var b strings.Builder
+	b.WriteString(`{"log":{"pages":[{"id":"p","title":"http://site.example/"}],"entries":[`)
+	for i := 0; i < 60; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		host := []string{"a.example", "b.example", "c.example"}[i%3]
+		b.WriteString(`{"time":50,"request":{"method":"GET","url":"http://` + host + `/o` +
+			string(rune('0'+i%10)) + `.bin"},"response":{"status":200,"content":{"size":1000,"mimeType":"image/png"}},"serverIPAddress":"1.1.1.` +
+			string(rune('1'+i%3)) + `"}`)
+	}
+	b.WriteString("]}}")
+	rep, err := FromHAR([]byte(b.String()), "bulk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(GroupByServer(rep)) != 3 {
+		t.Errorf("grouping = %d servers, want 3", len(GroupByServer(rep)))
+	}
+}

@@ -1,0 +1,184 @@
+package rules
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const applyPage = `<html><body>
+<script src="http://s1.com/jquery.js"></script>
+<img src="http://tracker.example/pixel.gif">
+<div id="ad"><script src="http://ads-a.example/serve.js"></script></div>
+</body></html>`
+
+func TestApplyType2(t *testing.T) {
+	r := &Rule{
+		ID:           "jq",
+		Type:         TypeReplaceSame,
+		Default:      `<script src="http://s1.com/jquery.js">`,
+		Alternatives: []string{`<script src="http://s2.net/jquery.js">`},
+		Scope:        "*",
+	}
+	out, applied := Apply(applyPage, "/index.html", []Activation{{Rule: r}})
+	if strings.Contains(out, "s1.com") {
+		t.Error("default text still present after type2 apply")
+	}
+	if !strings.Contains(out, "s2.net") {
+		t.Error("alternative text missing after type2 apply")
+	}
+	if len(applied) != 1 || applied[0].Replacements != 1 {
+		t.Fatalf("applied = %+v, want 1 rule with 1 replacement", applied)
+	}
+	wantHint := []string{"http://s1.com/jquery.js=http://s2.net/jquery.js"}
+	if !reflect.DeepEqual(applied[0].CacheHints, wantHint) {
+		t.Errorf("CacheHints = %v, want %v", applied[0].CacheHints, wantHint)
+	}
+}
+
+func TestApplyType1Removes(t *testing.T) {
+	r := &Rule{
+		ID:      "kill",
+		Type:    TypeRemove,
+		Default: `<img src="http://tracker.example/pixel.gif">`,
+		Scope:   "*",
+	}
+	out, applied := Apply(applyPage, "/", []Activation{{Rule: r}})
+	if strings.Contains(out, "tracker.example") {
+		t.Error("tracker still present after type1 apply")
+	}
+	if applied[0].Replacements != 1 {
+		t.Errorf("Replacements = %d, want 1", applied[0].Replacements)
+	}
+	if len(applied[0].CacheHints) != 0 {
+		t.Errorf("type1 emitted cache hints: %v", applied[0].CacheHints)
+	}
+}
+
+func TestApplyType3NoHints(t *testing.T) {
+	r := &Rule{
+		ID:           "ads",
+		Type:         TypeReplaceAlt,
+		Default:      `<div id="ad"><script src="http://ads-a.example/serve.js"></script></div>`,
+		Alternatives: []string{`<div id="ad"><!-- house --></div>`},
+		Scope:        "*",
+	}
+	out, applied := Apply(applyPage, "/", []Activation{{Rule: r}})
+	if strings.Contains(out, "ads-a.example") {
+		t.Error("type3 default still present")
+	}
+	if len(applied[0].CacheHints) != 0 {
+		t.Errorf("type3 emitted cache hints: %v (only type2 objects are identical)", applied[0].CacheHints)
+	}
+}
+
+func TestApplyOutOfScopeSkipped(t *testing.T) {
+	r := &Rule{
+		ID:      "scoped",
+		Type:    TypeRemove,
+		Default: "tracker.example",
+		Scope:   "/checkout/*",
+	}
+	out, applied := Apply(applyPage, "/index.html", []Activation{{Rule: r}})
+	if out != applyPage {
+		t.Error("out-of-scope rule modified the page")
+	}
+	if len(applied) != 0 {
+		t.Errorf("applied = %+v, want none", applied)
+	}
+}
+
+func TestApplyNoMatchRecordsZero(t *testing.T) {
+	r := &Rule{ID: "ghost", Type: TypeRemove, Default: "not on this page", Scope: "*"}
+	out, applied := Apply(applyPage, "/", []Activation{{Rule: r}})
+	if out != applyPage {
+		t.Error("no-match rule modified the page")
+	}
+	if len(applied) != 1 || applied[0].Replacements != 0 {
+		t.Errorf("applied = %+v, want 1 record with 0 replacements", applied)
+	}
+}
+
+func TestApplyAltIndexSelectsAlternative(t *testing.T) {
+	r := &Rule{
+		ID:           "multi",
+		Type:         TypeReplaceSame,
+		Default:      "AAA",
+		Alternatives: []string{"BBB", "CCC"},
+		Scope:        "*",
+	}
+	out, _ := Apply("xAAAx", "/", []Activation{{Rule: r, AltIndex: 1}})
+	if out != "xCCCx" {
+		t.Errorf("AltIndex 1 produced %q, want xCCCx", out)
+	}
+}
+
+func TestApplySubRulesOnlyWithParent(t *testing.T) {
+	r := &Rule{
+		ID:           "parent",
+		Type:         TypeReplaceSame,
+		Default:      "MAIN",
+		Alternatives: []string{"ALT"},
+		SubRules:     []SubRule{{Find: "flag=1", Replace: "flag=0"}},
+		Scope:        "*",
+	}
+	// Parent matches: sub-rule applies too.
+	out, _ := Apply("MAIN flag=1", "/", []Activation{{Rule: r}})
+	if out != "ALT flag=0" {
+		t.Errorf("got %q, want 'ALT flag=0'", out)
+	}
+	// Parent doesn't match: sub-rule must not fire.
+	out, _ = Apply("OTHER flag=1", "/", []Activation{{Rule: r}})
+	if out != "OTHER flag=1" {
+		t.Errorf("got %q, want unchanged (sub-rules fire only with parent)", out)
+	}
+}
+
+func TestApplyMultipleOccurrences(t *testing.T) {
+	r := &Rule{ID: "m", Type: TypeRemove, Default: "X", Scope: "*"}
+	out, applied := Apply("aXbXc", "/", []Activation{{Rule: r}})
+	if out != "abc" {
+		t.Errorf("got %q, want abc", out)
+	}
+	if applied[0].Replacements != 2 {
+		t.Errorf("Replacements = %d, want 2", applied[0].Replacements)
+	}
+}
+
+func TestApplyOrderMatters(t *testing.T) {
+	r1 := &Rule{ID: "1", Type: TypeReplaceSame, Default: "A", Alternatives: []string{"B"}, Scope: "*"}
+	r2 := &Rule{ID: "2", Type: TypeReplaceSame, Default: "B", Alternatives: []string{"C"}, Scope: "*"}
+	out, _ := Apply("A", "/", []Activation{{Rule: r1}, {Rule: r2}})
+	if out != "C" {
+		t.Errorf("sequential application got %q, want C", out)
+	}
+}
+
+func TestApplyNilRuleSkipped(t *testing.T) {
+	out, applied := Apply("page", "/", []Activation{{Rule: nil}})
+	if out != "page" || len(applied) != 0 {
+		t.Errorf("nil rule: out=%q applied=%v", out, applied)
+	}
+}
+
+func TestCacheHintValue(t *testing.T) {
+	results := []Applied{
+		{RuleID: "a", CacheHints: []string{"u1=v1"}},
+		{RuleID: "b"},
+		{RuleID: "c", CacheHints: []string{"u2=v2", "u3=v3"}},
+	}
+	got := CacheHintValue(results)
+	if got != "u1=v1,u2=v2,u3=v3" {
+		t.Errorf("CacheHintValue = %q", got)
+	}
+	if got := CacheHintValue(nil); got != "" {
+		t.Errorf("CacheHintValue(nil) = %q, want empty", got)
+	}
+}
+
+func TestCacheHintsIdenticalURLsElided(t *testing.T) {
+	hints := cacheHints(`<script src="http://same.example/x.js">`, `<script src="http://same.example/x.js" defer>`)
+	if len(hints) != 0 {
+		t.Errorf("identical URL pair produced hints: %v", hints)
+	}
+}

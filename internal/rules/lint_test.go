@@ -1,0 +1,140 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+// codes extracts the set of warning codes from a lint run.
+func codes(ws []LintWarning) map[string]int {
+	out := make(map[string]int)
+	for _, w := range ws {
+		out[w.Code]++
+	}
+	return out
+}
+
+func TestLintCleanRuleSet(t *testing.T) {
+	rs := []*Rule{
+		{ID: "a", Type: TypeReplaceSame,
+			Default:      `<img src="http://one.example/x.png">`,
+			Alternatives: []string{`<img src="http://alt.example/x.png">`}, Scope: "*"},
+		{ID: "b", Type: TypeRemove,
+			Default: `<script src="http://two.example/t.js"></script>`, Scope: "*"},
+	}
+	if ws := Lint(rs); len(ws) != 0 {
+		t.Errorf("clean set produced warnings: %v", ws)
+	}
+}
+
+func TestLintAltKeepsDefaultHost(t *testing.T) {
+	rs := []*Rule{{
+		ID: "r", Type: TypeReplaceSame,
+		Default:      `<img src="http://bad.example/x.png">`,
+		Alternatives: []string{`<img src="http://bad.example/y.png">`},
+		Scope:        "*",
+	}}
+	ws := Lint(rs)
+	if codes(ws)["alt-keeps-default-host"] != 1 {
+		t.Errorf("warnings = %v, want alt-keeps-default-host", ws)
+	}
+}
+
+func TestLintAltEqualsDefault(t *testing.T) {
+	rs := []*Rule{{
+		ID: "r", Type: TypeReplaceSame,
+		Default:      `<img src="http://h.example/x.png">`,
+		Alternatives: []string{`<img src="http://h.example/x.png">`},
+		Scope:        "*",
+	}}
+	c := codes(Lint(rs))
+	if c["alt-equals-default"] != 1 {
+		t.Errorf("codes = %v, want alt-equals-default", c)
+	}
+}
+
+func TestLintDuplicateDefault(t *testing.T) {
+	frag := `<img src="http://h.example/x.png">`
+	rs := []*Rule{
+		{ID: "first", Type: TypeRemove, Default: frag, Scope: "*"},
+		{ID: "second", Type: TypeRemove, Default: frag, Scope: "*"},
+	}
+	ws := Lint(rs)
+	c := codes(ws)
+	if c["duplicate-default"] != 1 {
+		t.Fatalf("codes = %v", c)
+	}
+	for _, w := range ws {
+		if w.Code == "duplicate-default" {
+			if w.RuleID != "second" || !strings.Contains(w.Message, "first") {
+				t.Errorf("warning = %+v, want second referencing first", w)
+			}
+		}
+	}
+}
+
+func TestLintNoMatchableHost(t *testing.T) {
+	rs := []*Rule{{ID: "r", Type: TypeRemove, Default: "<div>static banner</div>", Scope: "*"}}
+	if codes(Lint(rs))["no-matchable-host"] != 1 {
+		t.Errorf("warnings = %v", Lint(rs))
+	}
+}
+
+func TestLintSubRuleFindings(t *testing.T) {
+	rs := []*Rule{{
+		ID: "r", Type: TypeReplaceSame,
+		Default:      "BLOCK",
+		Alternatives: []string{"OTHER http://x.example/a"},
+		SubRules: []SubRule{
+			{Find: "flag", Replace: "prefix BLOCK suffix"},
+			{Find: "same", Replace: "same"},
+		},
+		Scope: "*",
+	}}
+	c := codes(Lint(rs))
+	if c["sub-reintroduces-default"] != 1 || c["sub-noop"] != 1 {
+		t.Errorf("codes = %v", c)
+	}
+}
+
+func TestLintDuplicateAlternative(t *testing.T) {
+	rs := []*Rule{{
+		ID: "r", Type: TypeReplaceSame,
+		Default:      `<img src="http://h.example/x.png">`,
+		Alternatives: []string{"A http://a.example/1", "B http://b.example/2", "A http://a.example/1"},
+		Scope:        "*",
+	}}
+	if codes(Lint(rs))["duplicate-alternative"] != 1 {
+		t.Errorf("warnings = %v", Lint(rs))
+	}
+}
+
+func TestLintOverlappingDefaults(t *testing.T) {
+	rs := []*Rule{
+		{ID: "outer", Type: TypeRemove,
+			Default: `<div><img src="http://h.example/x.png"></div>`, Scope: "*"},
+		{ID: "inner", Type: TypeRemove,
+			Default: `<img src="http://h.example/x.png">`, Scope: "*"},
+	}
+	ws := Lint(rs)
+	if codes(ws)["overlapping-defaults"] != 1 {
+		t.Errorf("warnings = %v", ws)
+	}
+}
+
+func TestLintWarningString(t *testing.T) {
+	w := LintWarning{RuleID: "r", Code: "c", Message: "m"}
+	if got := w.String(); got != "rule r: [c] m" {
+		t.Errorf("String = %q", got)
+	}
+	setWide := LintWarning{Code: "c", Message: "m"}
+	if got := setWide.String(); got != "[c] m" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestLintEmpty(t *testing.T) {
+	if ws := Lint(nil); len(ws) != 0 {
+		t.Errorf("Lint(nil) = %v", ws)
+	}
+}

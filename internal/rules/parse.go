@@ -1,0 +1,247 @@
+package rules
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseJSON decodes, normalises and compiles a JSON array of rules — the
+// machine-friendly configuration format used by cmd/oakd.
+func ParseJSON(data []byte) ([]*Rule, error) {
+	var rs []*Rule
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("rules: decode json: %w", err)
+	}
+	for _, r := range rs {
+		r.normalizeTTL()
+		if err := r.Compile(); err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// MarshalJSON encodes a rule set as indented JSON.
+func MarshalJSON(rs []*Rule) ([]byte, error) {
+	for _, r := range rs {
+		r.normalizeTTL()
+	}
+	return json.MarshalIndent(rs, "", "  ")
+}
+
+// ParseDSL parses the operator-facing rule text format, a structured cousin
+// of the paper's parenthesized example that survives embedded quotes in HTML
+// by using heredoc blocks:
+//
+//	# jquery from s1 is replaceable by the identical copy on s2
+//	rule jquery-cdn {
+//	  type 2
+//	  default <<<
+//	    <script src="http://s1.com/jquery.js">
+//	  >>>
+//	  alt <<<
+//	    <script src="http://s2.net/jquery.js">
+//	  >>>
+//	  ttl 0          # never expire
+//	  scope *        # site-wide
+//	  sub "s1.com" -> "s2.net"
+//	}
+//
+// Lines starting with '#' are comments. A rule may have several alt blocks;
+// ttl accepts Go duration syntax ("30m") or "0"; scope accepts "*", a
+// literal path, a "/prefix/*" wildcard, or "re:<regexp>".
+func ParseDSL(text string) ([]*Rule, error) {
+	var (
+		rs      []*Rule
+		cur     *Rule
+		lineNo  int
+		scanner = bufio.NewScanner(strings.NewReader(text))
+	)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	readHeredoc := func() (string, error) {
+		var lines []string
+		for scanner.Scan() {
+			lineNo++
+			line := scanner.Text()
+			if strings.TrimSpace(line) == ">>>" {
+				return dedent(lines), nil
+			}
+			lines = append(lines, line)
+		}
+		return "", fmt.Errorf("rules: line %d: unterminated heredoc", lineNo)
+	}
+
+	for scanner.Scan() {
+		lineNo++
+		line := stripComment(scanner.Text())
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch {
+		case fields[0] == "rule":
+			if cur != nil {
+				return nil, fmt.Errorf("rules: line %d: nested rule", lineNo)
+			}
+			if len(fields) < 3 || fields[len(fields)-1] != "{" {
+				return nil, fmt.Errorf("rules: line %d: want 'rule <id> {'", lineNo)
+			}
+			cur = &Rule{ID: fields[1], Scope: "*"}
+		case fields[0] == "}":
+			if cur == nil {
+				return nil, fmt.Errorf("rules: line %d: '}' outside rule", lineNo)
+			}
+			cur.normalizeTTL()
+			if err := cur.Compile(); err != nil {
+				return nil, fmt.Errorf("rules: line %d: %w", lineNo, err)
+			}
+			rs = append(rs, cur)
+			cur = nil
+		case cur == nil:
+			return nil, fmt.Errorf("rules: line %d: %q outside rule block", lineNo, fields[0])
+		case fields[0] == "type":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("rules: line %d: want 'type <1|2|3>'", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("rules: line %d: bad type %q", lineNo, fields[1])
+			}
+			cur.Type = Type(n)
+		case fields[0] == "default":
+			body, err := parseBlockOrInline(line, "default", readHeredoc)
+			if err != nil {
+				return nil, fmt.Errorf("rules: line %d: %w", lineNo, err)
+			}
+			cur.Default = body
+		case fields[0] == "alt":
+			body, err := parseBlockOrInline(line, "alt", readHeredoc)
+			if err != nil {
+				return nil, fmt.Errorf("rules: line %d: %w", lineNo, err)
+			}
+			cur.Alternatives = append(cur.Alternatives, body)
+		case fields[0] == "ttl":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("rules: line %d: want 'ttl <duration|0>'", lineNo)
+			}
+			if fields[1] == "0" {
+				cur.TTL = 0
+				break
+			}
+			d, err := time.ParseDuration(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("rules: line %d: bad ttl %q: %v", lineNo, fields[1], err)
+			}
+			cur.TTL = d
+		case fields[0] == "scope":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("rules: line %d: want 'scope <pattern>'", lineNo)
+			}
+			cur.Scope = fields[1]
+		case fields[0] == "sub":
+			find, replace, err := parseSub(line)
+			if err != nil {
+				return nil, fmt.Errorf("rules: line %d: %w", lineNo, err)
+			}
+			cur.SubRules = append(cur.SubRules, SubRule{Find: find, Replace: replace})
+		default:
+			return nil, fmt.Errorf("rules: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("rules: scan: %w", err)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("rules: unterminated rule %q", cur.ID)
+	}
+	return rs, nil
+}
+
+// dedent joins heredoc lines after removing their common leading whitespace,
+// so operators can indent rule bodies without the indentation becoming part
+// of the match text.
+func dedent(lines []string) string {
+	common := -1
+	for _, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		indent := len(line) - len(strings.TrimLeft(line, " \t"))
+		if common < 0 || indent < common {
+			common = indent
+		}
+	}
+	if common < 0 {
+		common = 0
+	}
+	out := make([]string, len(lines))
+	for i, line := range lines {
+		if len(line) >= common {
+			out[i] = line[common:]
+		} else {
+			out[i] = strings.TrimLeft(line, " \t")
+		}
+	}
+	joined := strings.TrimRight(strings.Join(out, "\n"), "\n")
+	if strings.TrimSpace(joined) == "" {
+		return ""
+	}
+	return joined
+}
+
+// stripComment removes a trailing '#' comment unless the '#' is inside a
+// double-quoted string.
+func stripComment(line string) string {
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inQuote = !inQuote
+		case '#':
+			if !inQuote {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// parseBlockOrInline handles 'default <<<' heredocs and the inline form
+// 'default "text"'.
+func parseBlockOrInline(line, keyword string, readHeredoc func() (string, error)) (string, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), keyword))
+	if rest == "<<<" {
+		return readHeredoc()
+	}
+	s, err := strconv.Unquote(rest)
+	if err != nil {
+		return "", fmt.Errorf("%s: want '<<<' heredoc or quoted string, got %q", keyword, rest)
+	}
+	return s, nil
+}
+
+// parseSub parses: sub "find" -> "replace"
+func parseSub(line string) (find, replace string, err error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "sub"))
+	parts := strings.SplitN(rest, "->", 2)
+	if len(parts) != 2 {
+		return "", "", fmt.Errorf("sub: want 'sub \"find\" -> \"replace\"'")
+	}
+	find, err = strconv.Unquote(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return "", "", fmt.Errorf("sub: bad find string: %v", err)
+	}
+	replace, err = strconv.Unquote(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return "", "", fmt.Errorf("sub: bad replace string: %v", err)
+	}
+	if find == "" {
+		return "", "", fmt.Errorf("sub: empty find string")
+	}
+	return find, replace, nil
+}

@@ -1,0 +1,203 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const dslSample = `
+# The paper's running example: identical jquery on an alternate server.
+rule jquery-cdn {
+  type 2
+  default <<<
+    <script src="http://s1.com/jquery.js">
+  >>>
+  alt <<<
+    <script src="http://s2.net/jquery.js">
+  >>>
+  ttl 0        # never expire
+  scope *      # site wide
+}
+
+rule kill-tracker {
+  type 1
+  default "<img src=\"http://tracker.example/pixel.gif\">"
+  ttl 30m
+  scope /checkout/*
+  sub "trackerEnabled = true" -> "trackerEnabled = false"
+}
+
+rule swap-ads {
+  type 3
+  default <<<
+    <div id="ad-slot">
+      <script src="http://ads-a.example/serve.js"></script>
+    </div>
+  >>>
+  alt <<<
+    <div id="ad-slot">
+      <script src="http://ads-b.example/serve.js"></script>
+    </div>
+  >>>
+  alt <<<
+    <div id="ad-slot"><!-- house ad --></div>
+  >>>
+  ttl 1h
+  scope re:^/(index|home)\.html$
+}
+`
+
+func TestParseDSL(t *testing.T) {
+	rs, err := ParseDSL(dslSample)
+	if err != nil {
+		t.Fatalf("ParseDSL: %v", err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d rules, want 3", len(rs))
+	}
+
+	jq := rs[0]
+	if jq.ID != "jquery-cdn" || jq.Type != TypeReplaceSame {
+		t.Errorf("rule 0 = %s/%v, want jquery-cdn/type2", jq.ID, jq.Type)
+	}
+	if jq.Default != `<script src="http://s1.com/jquery.js">` {
+		t.Errorf("rule 0 default = %q (dedent failed?)", jq.Default)
+	}
+	if jq.TTL != 0 || jq.Scope != "*" {
+		t.Errorf("rule 0 ttl/scope = %v/%q", jq.TTL, jq.Scope)
+	}
+
+	kt := rs[1]
+	if kt.Type != TypeRemove || kt.TTL != 30*time.Minute {
+		t.Errorf("rule 1 = %v ttl %v, want type1 30m", kt.Type, kt.TTL)
+	}
+	if len(kt.SubRules) != 1 || kt.SubRules[0].Replace != "trackerEnabled = false" {
+		t.Errorf("rule 1 subrules = %+v", kt.SubRules)
+	}
+	if !kt.InScope("/checkout/pay.html") || kt.InScope("/home.html") {
+		t.Error("rule 1 scope wildcard misbehaves")
+	}
+
+	sw := rs[2]
+	if len(sw.Alternatives) != 2 {
+		t.Fatalf("rule 2 has %d alternatives, want 2", len(sw.Alternatives))
+	}
+	if !strings.Contains(sw.Alternatives[0], "ads-b.example") {
+		t.Errorf("rule 2 alt 0 = %q", sw.Alternatives[0])
+	}
+	if !strings.Contains(sw.Default, "\n") {
+		t.Error("rule 2 default lost multi-line structure")
+	}
+	if !sw.InScope("/index.html") || sw.InScope("/other.html") {
+		t.Error("rule 2 regexp scope misbehaves")
+	}
+}
+
+func TestParseDSLErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"nested rule", "rule a {\nrule b {\n}\n}"},
+		{"stray close", "}"},
+		{"directive outside", "type 2"},
+		{"bad type", "rule a {\ntype x\n}"},
+		{"missing heredoc end", "rule a {\ndefault <<<\nbody"},
+		{"bad ttl", "rule a {\nttl banana\n}"},
+		{"bad sub", `rule a {` + "\n" + `sub "x" "y"` + "\n}"},
+		{"empty sub find", `rule a {` + "\n" + `sub "" -> "y"` + "\n}"},
+		{"unterminated rule", "rule a {\ntype 1\n"},
+		{"invalid rule on close", "rule a {\ntype 2\ndefault \"d\"\n}"}, // type2 without alt
+		{"bad inline default", "rule a {\ndefault notquoted\n}"},
+		{"bad rule header", "rule a\n"},
+		{"unknown directive", "rule a {\nfrobnicate 3\n}"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseDSL(tt.in); err == nil {
+				t.Errorf("ParseDSL(%q) = nil error, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestParseDSLEmpty(t *testing.T) {
+	rs, err := ParseDSL("\n# only comments\n\n")
+	if err != nil {
+		t.Fatalf("ParseDSL(comments) = %v", err)
+	}
+	if len(rs) != 0 {
+		t.Errorf("got %d rules, want 0", len(rs))
+	}
+}
+
+func TestParseDSLCommentInsideQuote(t *testing.T) {
+	in := "rule a {\ntype 1\ndefault \"has # hash\"\n}"
+	rs, err := ParseDSL(in)
+	if err != nil {
+		t.Fatalf("ParseDSL: %v", err)
+	}
+	if rs[0].Default != "has # hash" {
+		t.Errorf("Default = %q, want quoted hash preserved", rs[0].Default)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig, err := ParseDSL(dslSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalJSON(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatalf("ParseJSON: %v", err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip count %d != %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i].ID != orig[i].ID || back[i].Type != orig[i].Type ||
+			back[i].Default != orig[i].Default || back[i].TTL != orig[i].TTL ||
+			back[i].Scope != orig[i].Scope {
+			t.Errorf("rule %d mismatch after round trip:\n got %+v\nwant %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	if _, err := ParseJSON([]byte("{")); err == nil {
+		t.Error("ParseJSON(bad json): want error")
+	}
+	// Structurally valid JSON, semantically invalid rule.
+	if _, err := ParseJSON([]byte(`[{"id":"","type":2,"default":"d"}]`)); err == nil {
+		t.Error("ParseJSON(invalid rule): want error")
+	}
+}
+
+func TestParseJSONTTLMillis(t *testing.T) {
+	rs, err := ParseJSON([]byte(`[{"id":"a","type":1,"default":"d","ttlMillis":60000,"scope":"*"}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].TTL != time.Minute {
+		t.Errorf("TTL = %v, want 1m from ttlMillis", rs[0].TTL)
+	}
+}
+
+func TestDedent(t *testing.T) {
+	got := dedent([]string{"    line1", "      line2", "", "    line3"})
+	want := "line1\n  line2\n\nline3"
+	if got != want {
+		t.Errorf("dedent = %q, want %q", got, want)
+	}
+}
+
+func TestDedentAllBlank(t *testing.T) {
+	if got := dedent([]string{"", "  "}); got != "" {
+		t.Errorf("dedent(blank) = %q, want empty", got)
+	}
+}

@@ -1,0 +1,142 @@
+package rules
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// pageGen produces random page-like strings built from a small alphabet of
+// tokens, so rule text has realistic chances of appearing.
+type pageGen string
+
+var _ quick.Generator = pageGen("")
+
+var pageTokens = []string{
+	"<html>", "</html>", "<img src=\"http://a.example/x.png\">",
+	"<script src=\"http://b.example/y.js\"></script>",
+	"TOKEN", "text ", "\n", "<div>ad</div>", "α β", "<p>",
+}
+
+func (pageGen) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size + 1)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(pageTokens[r.Intn(len(pageTokens))])
+	}
+	return reflect.ValueOf(pageGen(b.String()))
+}
+
+var quickCfg = &quick.Config{MaxCount: 250}
+
+// Property: applying a Type 1 rule is idempotent — a second application
+// changes nothing, because the default text is gone.
+func TestQuickType1Idempotent(t *testing.T) {
+	rule := &Rule{ID: "r", Type: TypeRemove, Default: "<div>ad</div>", Scope: "*"}
+	f := func(p pageGen) bool {
+		once, _ := Apply(string(p), "/", []Activation{{Rule: rule}})
+		twice, _ := Apply(once, "/", []Activation{{Rule: rule}})
+		return once == twice && !strings.Contains(once, rule.Default)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a Type 2 replacement whose alternative does not contain the
+// default text is idempotent too.
+func TestQuickType2Idempotent(t *testing.T) {
+	rule := &Rule{
+		ID: "r", Type: TypeReplaceSame,
+		Default:      `<img src="http://a.example/x.png">`,
+		Alternatives: []string{`<img src="http://alt.example/x.png">`},
+		Scope:        "*",
+	}
+	f := func(p pageGen) bool {
+		once, _ := Apply(string(p), "/", []Activation{{Rule: rule}})
+		twice, _ := Apply(once, "/", []Activation{{Rule: rule}})
+		return once == twice
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: application never invents the default text.
+func TestQuickApplyNeverReintroducesDefault(t *testing.T) {
+	rule := &Rule{
+		ID: "r", Type: TypeReplaceSame,
+		Default:      "TOKEN",
+		Alternatives: []string{"SWAPPED"},
+		Scope:        "*",
+	}
+	f := func(p pageGen) bool {
+		out, _ := Apply(string(p), "/", []Activation{{Rule: rule}})
+		return !strings.Contains(out, "TOKEN")
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an out-of-scope rule never alters any page.
+func TestQuickScopeIsolation(t *testing.T) {
+	rule := &Rule{ID: "r", Type: TypeRemove, Default: "TOKEN", Scope: "/only/this.html"}
+	f := func(p pageGen) bool {
+		out, applied := Apply(string(p), "/other.html", []Activation{{Rule: rule}})
+		return out == string(p) && len(applied) == 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the reported replacement count matches the default text's
+// occurrence count in the input.
+func TestQuickReplacementCountAccurate(t *testing.T) {
+	rule := &Rule{ID: "r", Type: TypeRemove, Default: "TOKEN", Scope: "*"}
+	f := func(p pageGen) bool {
+		want := strings.Count(string(p), "TOKEN")
+		_, applied := Apply(string(p), "/", []Activation{{Rule: rule}})
+		if len(applied) != 1 {
+			return false
+		}
+		return applied[0].Replacements == want
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DSL round trip through JSON preserves rule semantics for a
+// sample of generated rule shapes.
+func TestQuickRuleJSONRoundTrip(t *testing.T) {
+	f := func(idRaw uint8, typRaw uint8, ttlRaw uint16) bool {
+		typ := Type(typRaw%3 + 1)
+		r := &Rule{
+			ID:      string(rune('a'+idRaw%26)) + "-rule",
+			Type:    typ,
+			Default: "<div>block</div>",
+			TTL:     0,
+			Scope:   "*",
+		}
+		if typ != TypeRemove {
+			r.Alternatives = []string{"<div>alt</div>"}
+		}
+		data, err := MarshalJSON([]*Rule{r})
+		if err != nil {
+			return false
+		}
+		back, err := ParseJSON(data)
+		if err != nil || len(back) != 1 {
+			return false
+		}
+		return back[0].ID == r.ID && back[0].Type == r.Type &&
+			back[0].Default == r.Default && back[0].Scope == r.Scope
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

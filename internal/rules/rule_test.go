@@ -1,0 +1,188 @@
+package rules
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func validType2() *Rule {
+	return &Rule{
+		ID:           "jquery",
+		Type:         TypeReplaceSame,
+		Default:      `<script src="http://s1.com/jquery.js">`,
+		Alternatives: []string{`<script src="http://s2.net/jquery.js">`},
+		Scope:        "*",
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	tests := []struct {
+		typ  Type
+		want string
+	}{
+		{TypeRemove, "type1-remove"},
+		{TypeReplaceSame, "type2-replace-same"},
+		{TypeReplaceAlt, "type3-replace-alt"},
+		{Type(9), "type9-unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.typ.String(); got != tt.want {
+			t.Errorf("Type(%d).String() = %q, want %q", int(tt.typ), got, tt.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Rule)
+		wantErr error
+	}{
+		{"ok", func(r *Rule) {}, nil},
+		{"no id", func(r *Rule) { r.ID = "" }, ErrNoID},
+		{"bad type", func(r *Rule) { r.Type = 7 }, ErrBadType},
+		{"no default", func(r *Rule) { r.Default = "" }, ErrNoDefault},
+		{"type2 no alt", func(r *Rule) { r.Alternatives = nil }, ErrNoAlternative},
+		{"negative ttl", func(r *Rule) { r.TTL = -time.Second }, ErrNegativeTTL},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := validType2()
+			tt.mutate(r)
+			err := r.Validate()
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Errorf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("Validate() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateType1NoAlts(t *testing.T) {
+	r := &Rule{ID: "x", Type: TypeRemove, Default: "<div>ad</div>"}
+	if err := r.Validate(); err != nil {
+		t.Errorf("type1 Validate() = %v, want nil", err)
+	}
+	r.Alternatives = []string{"oops"}
+	if err := r.Validate(); !errors.Is(err, ErrUnexpectedAlt) {
+		t.Errorf("type1 with alts Validate() = %v, want ErrUnexpectedAlt", err)
+	}
+}
+
+func TestCompileBadScope(t *testing.T) {
+	r := validType2()
+	r.Scope = "re:["
+	if err := r.Compile(); !errors.Is(err, ErrBadScopePattern) {
+		t.Errorf("Compile(bad regexp) = %v, want ErrBadScopePattern", err)
+	}
+}
+
+func TestInScope(t *testing.T) {
+	tests := []struct {
+		scope string
+		path  string
+		want  bool
+	}{
+		{"*", "/any/page.html", true},
+		{"", "/any/page.html", true},
+		{"/index.html", "/index.html", true},
+		{"/index.html", "/other.html", false},
+		{"/blog/*", "/blog/post1.html", true},
+		{"/blog/*", "/about.html", false},
+		{"re:^/p[0-9]+$", "/p42", true},
+		{"re:^/p[0-9]+$", "/px", false},
+	}
+	for _, tt := range tests {
+		r := validType2()
+		r.Scope = tt.scope
+		if err := r.Compile(); err != nil {
+			t.Fatalf("Compile(scope=%q): %v", tt.scope, err)
+		}
+		if got := r.InScope(tt.path); got != tt.want {
+			t.Errorf("InScope(%q, %q) = %v, want %v", tt.scope, tt.path, got, tt.want)
+		}
+	}
+}
+
+func TestInScopeUncompiledRegexp(t *testing.T) {
+	r := validType2()
+	r.Scope = "re:^/a"
+	// Not compiled: InScope compiles lazily.
+	if !r.InScope("/abc") {
+		t.Error("lazy regexp scope failed to match")
+	}
+	r2 := validType2()
+	r2.Scope = "re:["
+	if r2.InScope("/abc") {
+		t.Error("invalid lazy regexp scope must not match")
+	}
+}
+
+func TestAlternativeProgression(t *testing.T) {
+	r := validType2()
+	r.Alternatives = []string{"a", "b", "c"}
+	tests := []struct {
+		i    int
+		want string
+	}{
+		{-1, "a"},
+		{0, "a"},
+		{1, "b"},
+		{2, "c"},
+		{3, "c"}, // past the end: stay on last
+		{99, "c"},
+	}
+	for _, tt := range tests {
+		if got := r.Alternative(tt.i); got != tt.want {
+			t.Errorf("Alternative(%d) = %q, want %q", tt.i, got, tt.want)
+		}
+	}
+}
+
+func TestAlternativeType1Empty(t *testing.T) {
+	r := &Rule{ID: "x", Type: TypeRemove, Default: "d"}
+	if got := r.Alternative(0); got != "" {
+		t.Errorf("type1 Alternative(0) = %q, want empty", got)
+	}
+}
+
+func TestDefaultHosts(t *testing.T) {
+	r := &Rule{
+		ID:   "mixed",
+		Type: TypeRemove,
+		Default: `<script src="http://tagged.example/x.js"></script>
+<script>var u = "freetext.example"; go(u);</script>`,
+	}
+	hosts := r.DefaultHosts()
+	want := []string{"tagged.example", "freetext.example"}
+	if !reflect.DeepEqual(hosts, want) {
+		t.Errorf("DefaultHosts = %v, want %v", hosts, want)
+	}
+}
+
+func TestScriptSrcs(t *testing.T) {
+	r := validType2()
+	got := r.ScriptSrcs()
+	if !reflect.DeepEqual(got, []string{"http://s1.com/jquery.js"}) {
+		t.Errorf("ScriptSrcs = %v", got)
+	}
+}
+
+func TestExpires(t *testing.T) {
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	r := validType2()
+	if got := r.Expires(now); !got.IsZero() {
+		t.Errorf("TTL 0 Expires = %v, want zero time (never)", got)
+	}
+	r.TTL = time.Hour
+	if got := r.Expires(now); !got.Equal(now.Add(time.Hour)) {
+		t.Errorf("Expires = %v, want now+1h", got)
+	}
+}

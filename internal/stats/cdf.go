@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution function over a sample. It is
+// the presentation vehicle for most of the paper's figures (1, 2, 3, 8, 10,
+// 13, 14, 15).
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs. The input is copied.
+func NewCDF(xs []float64) *CDF {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// Len returns the sample size.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x), the fraction of the sample at or below x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the p-quantile of the sample (0 <= p <= 1).
+func (c *CDF) Quantile(p float64) (float64, error) {
+	if len(c.sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of range [0,1]", p)
+	}
+	return percentileSorted(c.sorted, p), nil
+}
+
+// Median returns the sample median.
+func (c *CDF) Median() (float64, error) {
+	if len(c.sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	return medianSorted(c.sorted), nil
+}
+
+// Min returns the smallest sample value.
+func (c *CDF) Min() (float64, error) {
+	if len(c.sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	return c.sorted[0], nil
+}
+
+// Max returns the largest sample value.
+func (c *CDF) Max() (float64, error) {
+	if len(c.sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	return c.sorted[len(c.sorted)-1], nil
+}
+
+// Points returns n evenly spaced (x, P(X<=x)) points spanning the sample
+// range, suitable for plotting or textual rendering of the figure.
+func (c *CDF) Points(n int) []Point {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	min, max := c.sorted[0], c.sorted[len(c.sorted)-1]
+	pts := make([]Point, 0, n)
+	if n == 1 || min == max {
+		return append(pts, Point{X: max, Y: 1})
+	}
+	step := (max - min) / float64(n-1)
+	for i := 0; i < n; i++ {
+		x := min + float64(i)*step
+		pts = append(pts, Point{X: x, Y: c.At(x)})
+	}
+	return pts
+}
+
+// Point is one (x, y) sample of a rendered series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Render returns a textual table of the CDF with n rows, one "x\tP(X<=x)"
+// pair per line, matching how the experiment harness prints figures.
+func (c *CDF) Render(n int) string {
+	var b strings.Builder
+	for _, p := range c.Points(n) {
+		fmt.Fprintf(&b, "%.4f\t%.4f\n", p.X, p.Y)
+	}
+	return b.String()
+}

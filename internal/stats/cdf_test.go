@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0},
+		{1, 0.25},
+		{2.5, 0.5},
+		{4, 1},
+		{100, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); !almostEqual(got, tt.want) {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestCDFAtEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if got := c.At(5); got != 0 {
+		t.Errorf("empty CDF At(5) = %v, want 0", got)
+	}
+	if c.Len() != 0 {
+		t.Errorf("empty CDF Len = %d, want 0", c.Len())
+	}
+}
+
+func TestCDFQuantileMedian(t *testing.T) {
+	c := NewCDF([]float64{4, 1, 3, 2})
+	med, err := c.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(med, 2.5) {
+		t.Errorf("Median = %v, want 2.5", med)
+	}
+	q, err := c.Quantile(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 3 || q > 4 {
+		t.Errorf("Quantile(0.9) = %v, want in [3,4]", q)
+	}
+}
+
+func TestCDFQuantileErrors(t *testing.T) {
+	c := NewCDF(nil)
+	if _, err := c.Quantile(0.5); err == nil {
+		t.Error("empty Quantile: want error")
+	}
+	c = NewCDF([]float64{1})
+	if _, err := c.Quantile(2); err == nil {
+		t.Error("Quantile(2): want error")
+	}
+}
+
+func TestCDFMinMax(t *testing.T) {
+	c := NewCDF([]float64{5, 1, 9})
+	min, err := c.Min()
+	if err != nil || min != 1 {
+		t.Errorf("Min = (%v, %v), want (1, nil)", min, err)
+	}
+	max, err := c.Max()
+	if err != nil || max != 9 {
+		t.Errorf("Max = (%v, %v), want (9, nil)", max, err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{0, 10})
+	pts := c.Points(3)
+	if len(pts) != 3 {
+		t.Fatalf("Points(3) returned %d points", len(pts))
+	}
+	if pts[0].X != 0 || pts[2].X != 10 {
+		t.Errorf("Points span = [%v, %v], want [0, 10]", pts[0].X, pts[2].X)
+	}
+	if pts[2].Y != 1 {
+		t.Errorf("last point Y = %v, want 1", pts[2].Y)
+	}
+	// Monotone non-decreasing Y.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Errorf("CDF not monotone at %d: %v < %v", i, pts[i].Y, pts[i-1].Y)
+		}
+	}
+}
+
+func TestCDFPointsDegenerate(t *testing.T) {
+	if pts := NewCDF(nil).Points(5); pts != nil {
+		t.Errorf("empty Points = %v, want nil", pts)
+	}
+	pts := NewCDF([]float64{7, 7, 7}).Points(5)
+	if len(pts) != 1 || pts[0].X != 7 || pts[0].Y != 1 {
+		t.Errorf("constant Points = %v, want single (7,1)", pts)
+	}
+}
+
+func TestCDFRender(t *testing.T) {
+	out := NewCDF([]float64{1, 2}).Render(2)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("Render(2) produced %d lines: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "\t") {
+		t.Errorf("Render line missing tab separator: %q", lines[0])
+	}
+}

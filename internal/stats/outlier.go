@@ -1,0 +1,78 @@
+package stats
+
+// OutlierSide selects which tail of the sample counts as an outlier.
+type OutlierSide int
+
+const (
+	// UpperOutlier flags values above median + k*MAD (e.g. download times:
+	// longer is worse).
+	UpperOutlier OutlierSide = iota + 1
+	// LowerOutlier flags values below median - k*MAD (e.g. throughputs:
+	// lower is worse).
+	LowerOutlier
+)
+
+// DefaultMADMultiplier is the paper's k: a server is a violator when it is
+// worse than the median by more than twice the MAD.
+const DefaultMADMultiplier = 2.0
+
+// OutlierThreshold describes a computed MAD criterion for one sample.
+type OutlierThreshold struct {
+	Median float64
+	MAD    float64
+	K      float64
+	Side   OutlierSide
+}
+
+// NewOutlierThreshold computes the MAD criterion for xs with multiplier k on
+// the given side. It returns ErrEmpty for an empty sample.
+func NewOutlierThreshold(xs []float64, k float64, side OutlierSide) (OutlierThreshold, error) {
+	med, mad, err := MedianMAD(xs)
+	if err != nil {
+		return OutlierThreshold{}, err
+	}
+	return OutlierThreshold{Median: med, MAD: mad, K: k, Side: side}, nil
+}
+
+// Cutoff returns the boundary value beyond which a sample is an outlier.
+func (t OutlierThreshold) Cutoff() float64 {
+	if t.Side == LowerOutlier {
+		return t.Median - t.K*t.MAD
+	}
+	return t.Median + t.K*t.MAD
+}
+
+// IsOutlier reports whether x violates the threshold.
+func (t OutlierThreshold) IsOutlier(x float64) bool {
+	if t.Side == LowerOutlier {
+		return x < t.Cutoff()
+	}
+	return x > t.Cutoff()
+}
+
+// Distance returns how far x sits beyond the median, in the "worse"
+// direction; it is positive when x is worse than the median. The paper's
+// rule-history mechanism (Section 4.2.3) records this distance at activation
+// time and later keeps whichever of {default, alternate} minimises it.
+func (t OutlierThreshold) Distance(x float64) float64 {
+	if t.Side == LowerOutlier {
+		return t.Median - x
+	}
+	return x - t.Median
+}
+
+// Outliers returns the indices of all elements of xs that violate the MAD
+// criterion with multiplier k on the given side. A nil slice means none.
+func Outliers(xs []float64, k float64, side OutlierSide) []int {
+	t, err := NewOutlierThreshold(xs, k, side)
+	if err != nil {
+		return nil
+	}
+	var idx []int
+	for i, x := range xs {
+		if t.IsOutlier(x) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}

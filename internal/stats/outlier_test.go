@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestOutlierThresholdUpper(t *testing.T) {
+	// Times: median 100, MAD 10 -> cutoff 120.
+	xs := []float64{90, 95, 100, 105, 110}
+	th, err := NewOutlierThreshold(xs, 2, UpperOutlier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Median != 100 {
+		t.Errorf("Median = %v, want 100", th.Median)
+	}
+	if th.MAD != 5 {
+		t.Errorf("MAD = %v, want 5", th.MAD)
+	}
+	if got := th.Cutoff(); got != 110 {
+		t.Errorf("Cutoff = %v, want 110", got)
+	}
+	if th.IsOutlier(110) {
+		t.Error("IsOutlier(110) = true, want false (boundary is not a violation)")
+	}
+	if !th.IsOutlier(111) {
+		t.Error("IsOutlier(111) = false, want true")
+	}
+	if th.IsOutlier(90) {
+		t.Error("IsOutlier(90) = true, want false (fast is never an upper outlier)")
+	}
+}
+
+func TestOutlierThresholdLower(t *testing.T) {
+	// Throughputs: lower is worse.
+	xs := []float64{90, 95, 100, 105, 110}
+	th, err := NewOutlierThreshold(xs, 2, LowerOutlier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := th.Cutoff(); got != 90 {
+		t.Errorf("Cutoff = %v, want 90", got)
+	}
+	if th.IsOutlier(90) {
+		t.Error("IsOutlier(90) = true, want false")
+	}
+	if !th.IsOutlier(89) {
+		t.Error("IsOutlier(89) = false, want true")
+	}
+	if th.IsOutlier(200) {
+		t.Error("IsOutlier(200) = true, want false (fast throughput is fine)")
+	}
+}
+
+func TestOutlierDistance(t *testing.T) {
+	xs := []float64{90, 95, 100, 105, 110}
+	up, _ := NewOutlierThreshold(xs, 2, UpperOutlier)
+	if got := up.Distance(130); got != 30 {
+		t.Errorf("upper Distance(130) = %v, want 30", got)
+	}
+	if got := up.Distance(80); got != -20 {
+		t.Errorf("upper Distance(80) = %v, want -20", got)
+	}
+	lo, _ := NewOutlierThreshold(xs, 2, LowerOutlier)
+	if got := lo.Distance(70); got != 30 {
+		t.Errorf("lower Distance(70) = %v, want 30", got)
+	}
+	if got := lo.Distance(120); got != -20 {
+		t.Errorf("lower Distance(120) = %v, want -20", got)
+	}
+}
+
+func TestOutliersIndices(t *testing.T) {
+	// median 10, MAD 1 -> upper cutoff 12; 50 and 13 are outliers.
+	xs := []float64{9, 10, 11, 13, 50, 10}
+	got := Outliers(xs, 2, UpperOutlier)
+	want := map[int]bool{3: true, 4: true}
+	if len(got) != len(want) {
+		t.Fatalf("Outliers = %v, want indices of {13, 50}", got)
+	}
+	for _, i := range got {
+		if !want[i] {
+			t.Errorf("unexpected outlier index %d (value %v)", i, xs[i])
+		}
+	}
+}
+
+func TestOutliersEmptyAndConstant(t *testing.T) {
+	if got := Outliers(nil, 2, UpperOutlier); got != nil {
+		t.Errorf("Outliers(nil) = %v, want nil", got)
+	}
+	// Constant sample: MAD 0, nothing is beyond median+0 strictly except
+	// values greater than the median — there are none.
+	if got := Outliers([]float64{5, 5, 5}, 2, UpperOutlier); got != nil {
+		t.Errorf("Outliers(const) = %v, want nil", got)
+	}
+}
+
+func TestOutliersConstantWithOneSlow(t *testing.T) {
+	// With MAD 0 the criterion degenerates to "worse than the median at
+	// all"; the single slow server must still be caught.
+	xs := []float64{5, 5, 5, 5, 9}
+	got := Outliers(xs, 2, UpperOutlier)
+	if len(got) != 1 || got[0] != 4 {
+		t.Errorf("Outliers = %v, want [4]", got)
+	}
+}

@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// sample is a quick.Generator producing non-empty bounded float samples so
+// property tests stay numerically honest (no NaN/Inf, no overflow).
+type sample []float64
+
+var _ quick.Generator = sample(nil)
+
+func (sample) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(size+1)
+	s := make(sample, n)
+	for i := range s {
+		s[i] = (r.Float64() - 0.5) * 1e6
+	}
+	return reflect.ValueOf(s)
+}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+// Property: the median lies within [min, max] of the sample.
+func TestQuickMedianWithinRange(t *testing.T) {
+	f := func(s sample) bool {
+		med, err := Median(s)
+		if err != nil {
+			return false
+		}
+		min, _ := Min(s)
+		max, _ := Max(s)
+		return med >= min && med <= max
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: at most half the sample lies strictly above the median and at
+// most half strictly below.
+func TestQuickMedianSplitsSample(t *testing.T) {
+	f := func(s sample) bool {
+		med, err := Median(s)
+		if err != nil {
+			return false
+		}
+		var above, below int
+		for _, x := range s {
+			if x > med {
+				above++
+			} else if x < med {
+				below++
+			}
+		}
+		half := len(s) / 2
+		return above <= half && below <= half
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MAD is non-negative and translation-invariant.
+func TestQuickMADTranslationInvariant(t *testing.T) {
+	f := func(s sample, shiftRaw int16) bool {
+		shift := float64(shiftRaw)
+		mad1, err := MAD(s)
+		if err != nil || mad1 < 0 {
+			return false
+		}
+		shifted := make([]float64, len(s))
+		for i, x := range s {
+			shifted[i] = x + shift
+		}
+		mad2, err := MAD(shifted)
+		if err != nil {
+			return false
+		}
+		return math.Abs(mad1-mad2) < 1e-6*(1+math.Abs(mad1))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MAD scales with positive scalar multiplication.
+func TestQuickMADScales(t *testing.T) {
+	f := func(s sample) bool {
+		const scale = 3.5
+		mad1, err := MAD(s)
+		if err != nil {
+			return false
+		}
+		scaled := make([]float64, len(s))
+		for i, x := range s {
+			scaled[i] = x * scale
+		}
+		mad2, err := MAD(scaled)
+		if err != nil {
+			return false
+		}
+		return math.Abs(mad2-scale*mad1) < 1e-6*(1+math.Abs(mad2))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MAD never exceeds the full range of the sample.
+func TestQuickMADBoundedByRange(t *testing.T) {
+	f := func(s sample) bool {
+		mad, err := MAD(s)
+		if err != nil {
+			return false
+		}
+		min, _ := Min(s)
+		max, _ := Max(s)
+		return mad <= (max-min)+1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the empirical CDF is monotone non-decreasing and hits 1 at max.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(s sample) bool {
+		c := NewCDF(s)
+		sorted := append([]float64(nil), s...)
+		sort.Float64s(sorted)
+		prev := 0.0
+		for _, x := range sorted {
+			y := c.At(x)
+			if y < prev {
+				return false
+			}
+			prev = y
+		}
+		max, _ := Max(s)
+		return c.At(max) == 1
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile and At are approximate inverses. With linear
+// interpolation between closest ranks, At(Quantile(p)) can undershoot p by
+// at most 2/n (one interpolation rank plus the off-by-one between the n-1
+// rank scale and the 1/n step scale).
+func TestQuickQuantileAtInverse(t *testing.T) {
+	f := func(s sample, pRaw uint8) bool {
+		p := float64(pRaw) / 255
+		c := NewCDF(s)
+		q, err := c.Quantile(p)
+		if err != nil {
+			return false
+		}
+		tol := 2/float64(len(s)) + 1e-9
+		return c.At(q) >= p-tol
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: outlier detection never flags the best-performing element
+// (minimum for upper-side, maximum for lower-side).
+func TestQuickOutliersNeverFlagBest(t *testing.T) {
+	f := func(s sample) bool {
+		min, _ := Min(s)
+		max, _ := Max(s)
+		for _, i := range Outliers(s, 2, UpperOutlier) {
+			if s[i] == min && min != max {
+				return false
+			}
+		}
+		for _, i := range Outliers(s, 2, LowerOutlier) {
+			if s[i] == max && min != max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: increasing k can only shrink (or keep) the outlier set.
+func TestQuickOutliersMonotoneInK(t *testing.T) {
+	f := func(s sample) bool {
+		k2 := Outliers(s, 2, UpperOutlier)
+		k3 := Outliers(s, 3, UpperOutlier)
+		set2 := make(map[int]bool, len(k2))
+		for _, i := range k2 {
+			set2[i] = true
+		}
+		for _, i := range k3 {
+			if !set2[i] {
+				return false
+			}
+		}
+		return len(k3) <= len(k2)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package stats provides the robust statistics Oak's violator detection is
+// built on: medians, the median absolute deviation (MAD), percentiles, and
+// empirical CDFs.
+//
+// The paper (Section 4.2.1) labels a server a violator when its small-object
+// time exceeds median + 2*MAD, or its large-object throughput falls below
+// median - 2*MAD. Everything needed to evaluate that criterion — and to
+// reproduce the distributional figures of the evaluation — lives here.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that cannot produce a meaningful result
+// for an empty sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Median returns the median of xs. The input is not modified.
+// It returns ErrEmpty for an empty sample.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return medianSorted(sorted), nil
+}
+
+// medianSorted returns the median of an already-sorted, non-empty slice.
+func medianSorted(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// MAD returns the median absolute deviation of xs:
+//
+//	MAD = median_i(|x_i - median_j(x_j)|)
+//
+// It is the paper's measure of spread, chosen because it is far less
+// sensitive to the very outliers Oak is hunting than a standard deviation.
+// The input is not modified. It returns ErrEmpty for an empty sample.
+func MAD(xs []float64) (float64, error) {
+	med, err := Median(xs)
+	if err != nil {
+		return 0, err
+	}
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - med)
+	}
+	sort.Float64s(devs)
+	return medianSorted(devs), nil
+}
+
+// MedianMAD returns both the median and the MAD of xs in one pass over the
+// sorted data. It returns ErrEmpty for an empty sample.
+func MedianMAD(xs []float64) (median, mad float64, err error) {
+	median, err = Median(xs)
+	if err != nil {
+		return 0, 0, err
+	}
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - median)
+	}
+	sort.Float64s(devs)
+	return median, medianSorted(devs), nil
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of xs using linear
+// interpolation between closest ranks. The input is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 1 {
+		return 0, errors.New("stats: percentile out of range [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p), nil
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs.
+// It returns ErrEmpty for an empty sample.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation of xs. It is used only by
+// the ablation benchmarks that contrast MAD with classical dispersion.
+func StdDev(xs []float64) (float64, error) {
+	mean, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs))), nil
+}
+
+// Min returns the smallest element of xs.
+// It returns ErrEmpty for an empty sample.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	min := xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	return min, nil
+}
+
+// Max returns the largest element of xs.
+// It returns ErrEmpty for an empty sample.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	max := xs[0]
+	for _, x := range xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	return max, nil
+}
+
+// MinMedianRatio returns min(xs)/median(xs), the metric of the paper's
+// Figure 10: values near 1 indicate consistent per-load performance, small
+// values indicate at least one badly under-performing component.
+func MinMedianRatio(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	med := medianSorted(sorted)
+	if med == 0 {
+		return 0, errors.New("stats: zero median")
+	}
+	return sorted[0] / med, nil
+}

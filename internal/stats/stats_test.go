@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{name: "single", in: []float64{5}, want: 5},
+		{name: "odd", in: []float64{3, 1, 2}, want: 2},
+		{name: "even", in: []float64{4, 1, 3, 2}, want: 2.5},
+		{name: "duplicates", in: []float64{2, 2, 2, 2}, want: 2},
+		{name: "negative", in: []float64{-3, -1, -2}, want: -2},
+		{name: "unsorted large", in: []float64{9, 7, 5, 3, 1}, want: 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Median(tt.in)
+			if err != nil {
+				t.Fatalf("Median(%v) error: %v", tt.in, err)
+			}
+			if !almostEqual(got, tt.want) {
+				t.Errorf("Median(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMedianEmpty(t *testing.T) {
+	if _, err := Median(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Median(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMedianDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if _, err := Median(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated input: %v", in)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		// median=2, deviations {1,0,1} -> median 1.
+		{name: "simple", in: []float64{1, 2, 3}, want: 1},
+		// all equal -> MAD 0.
+		{name: "constant", in: []float64{4, 4, 4, 4}, want: 0},
+		// median=3, devs {2,1,0,1,2} -> 1.
+		{name: "symmetric", in: []float64{1, 2, 3, 4, 5}, want: 1},
+		// An extreme outlier barely moves MAD: median=3, devs {2,1,0,1,997} -> 1.
+		{name: "outlier robust", in: []float64{1, 2, 3, 4, 1000}, want: 1},
+		{name: "single", in: []float64{7}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := MAD(tt.in)
+			if err != nil {
+				t.Fatalf("MAD(%v) error: %v", tt.in, err)
+			}
+			if !almostEqual(got, tt.want) {
+				t.Errorf("MAD(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMADEmpty(t *testing.T) {
+	if _, err := MAD(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("MAD(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMedianMADMatchesSeparateCalls(t *testing.T) {
+	in := []float64{5, 1, 9, 3, 7, 2}
+	med, mad, err := MedianMAD(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMed, _ := Median(in)
+	wantMAD, _ := MAD(in)
+	if !almostEqual(med, wantMed) || !almostEqual(mad, wantMAD) {
+		t.Errorf("MedianMAD = (%v,%v), want (%v,%v)", med, mad, wantMed, wantMAD)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	in := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10},
+		{0.25, 20},
+		{0.5, 30},
+		{0.75, 40},
+		{1, 50},
+		{0.1, 14}, // interpolated: rank 0.4 between 10 and 20
+	}
+	for _, tt := range tests {
+		got, err := Percentile(in, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(p=%v) error: %v", tt.p, err)
+		}
+		if !almostEqual(got, tt.want) {
+			t.Errorf("Percentile(p=%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileOutOfRange(t *testing.T) {
+	if _, err := Percentile([]float64{1}, 1.5); err == nil {
+		t.Error("Percentile(p=1.5) = nil error, want error")
+	}
+	if _, err := Percentile([]float64{1}, -0.1); err == nil {
+		t.Error("Percentile(p=-0.1) = nil error, want error")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	in := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	mean, err := Mean(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(mean, 5) {
+		t.Errorf("Mean = %v, want 5", mean)
+	}
+	sd, err := StdDev(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sd, 2) {
+		t.Errorf("StdDev = %v, want 2", sd)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	in := []float64{3, -1, 4, 1, 5}
+	min, err := Min(in)
+	if err != nil || min != -1 {
+		t.Errorf("Min = (%v,%v), want (-1,nil)", min, err)
+	}
+	max, err := Max(in)
+	if err != nil || max != 5 {
+		t.Errorf("Max = (%v,%v), want (5,nil)", max, err)
+	}
+}
+
+func TestMinMedianRatio(t *testing.T) {
+	// median 4, min 1 -> 0.25.
+	got, err := MinMedianRatio([]float64{1, 4, 8, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.25) {
+		t.Errorf("MinMedianRatio = %v, want 0.25", got)
+	}
+}
+
+func TestMinMedianRatioZeroMedian(t *testing.T) {
+	if _, err := MinMedianRatio([]float64{0, 0, 0}); err == nil {
+		t.Error("MinMedianRatio(zeros) = nil error, want error")
+	}
+}
+
+func TestEmptyInputsReturnErrEmpty(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Mean(nil): want ErrEmpty")
+	}
+	if _, err := Min(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Min(nil): want ErrEmpty")
+	}
+	if _, err := Max(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Max(nil): want ErrEmpty")
+	}
+	if _, err := Percentile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Error("Percentile(nil): want ErrEmpty")
+	}
+	if _, err := MinMedianRatio(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("MinMedianRatio(nil): want ErrEmpty")
+	}
+	if _, _, err := MedianMAD(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("MedianMAD(nil): want ErrEmpty")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if !almostEqual(s.Mean, 50.5) {
+		t.Errorf("Mean = %v, want 50.5", s.Mean)
+	}
+	if s.P50 < 50 || s.P50 > 51 {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	if s.P90 < 90 || s.P90 > 91 {
+		t.Errorf("P90 = %v", s.P90)
+	}
+	if s.P99 < 99 || s.P99 > 100 {
+		t.Errorf("P99 = %v", s.P99)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Summarize(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.String()
+	if !strings.Contains(out, "n=3") || !strings.Contains(out, "p50=2.0") {
+		t.Errorf("String = %q", out)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Summarize(xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Summary is a compact distribution description for operator-facing output
+// (oakreport, audit logs).
+type Summary struct {
+	Count int
+	Mean  float64
+	Min   float64
+	P50   float64
+	P90   float64
+	P99   float64
+	Max   float64
+}
+
+// Summarize computes a Summary of xs. It returns ErrEmpty for an empty
+// sample. The input is not modified.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	return Summary{
+		Count: len(sorted),
+		Mean:  sum / float64(len(sorted)),
+		Min:   sorted[0],
+		P50:   percentileSorted(sorted, 0.50),
+		P90:   percentileSorted(sorted, 0.90),
+		P99:   percentileSorted(sorted, 0.99),
+		Max:   sorted[len(sorted)-1],
+	}, nil
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f min=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.1f",
+		s.Count, s.Mean, s.Min, s.P50, s.P90, s.P99, s.Max)
+}

@@ -1,0 +1,146 @@
+package webgen
+
+import (
+	"fmt"
+	"sort"
+
+	"oak/internal/report"
+	"oak/internal/rules"
+)
+
+// Assets is the servable content universe of a site: object sizes and kinds
+// by URL, plus script bodies. The simulated client fetches against this;
+// experiments extend it with mirror replicas.
+type Assets struct {
+	// Sizes maps object URL -> size in bytes.
+	Sizes map[string]int64
+	// Kinds maps object URL -> kind.
+	Kinds map[string]report.ObjectKind
+	// Scripts maps script URL -> body (for loader scripts the matcher or
+	// client may fetch).
+	Scripts map[string]string
+}
+
+// NewAssets builds the default (un-mirrored) asset universe of a site.
+func NewAssets(site *Site) *Assets {
+	a := &Assets{
+		Sizes:   make(map[string]int64),
+		Kinds:   make(map[string]report.ObjectKind),
+		Scripts: make(map[string]string),
+	}
+	for _, p := range site.Pages {
+		for _, o := range p.Objects {
+			a.Sizes[o.URL] = o.SizeBytes
+			a.Kinds[o.URL] = o.Kind
+		}
+	}
+	for url, body := range site.Scripts {
+		a.Scripts[url] = body
+		if _, ok := a.Sizes[url]; !ok {
+			a.Sizes[url] = int64(len(body))
+		}
+		a.Kinds[url] = report.KindScript
+	}
+	return a
+}
+
+// AddMirrors replicates every external object of the site into the given
+// mirror zones: for each zone z, each object http://h/p gains a replica at
+// http://MirrorHost(h, z)/p of the same size, and each script body is
+// rewritten so a mirrored loader pulls mirrored targets. This emulates the
+// paper's alternative-provider setup ("we replicate all external objects to
+// 3 web servers: one in each of North America, Europe, and Asia").
+func (a *Assets) AddMirrors(site *Site, zones []string) {
+	hosts := site.ExternalHosts()
+	// Longest-first so host substring collisions rewrite correctly.
+	sorted := append([]string(nil), hosts...)
+	sort.Slice(sorted, func(i, j int) bool { return len(sorted[i]) > len(sorted[j]) })
+
+	mirrorURL := func(url, zone string) string {
+		out := url
+		for _, h := range sorted {
+			out = rewriteHost(out, h, MirrorHost(h, zone))
+		}
+		return out
+	}
+
+	for _, zone := range zones {
+		for url, size := range snapshotSizes(a.Sizes) {
+			m := mirrorURL(url, zone)
+			if m != url {
+				a.Sizes[m] = size
+				a.Kinds[m] = a.Kinds[url]
+			}
+		}
+		for url, body := range snapshotScripts(a.Scripts) {
+			m := mirrorURL(url, zone)
+			if m != url {
+				a.Scripts[m] = mirrorURL(body, zone)
+			}
+		}
+	}
+}
+
+// snapshotSizes copies the map so mirroring doesn't iterate while inserting.
+func snapshotSizes(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func snapshotScripts(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// FetchScript implements core.ScriptFetcher over the asset universe.
+func (a *Assets) FetchScript(url string) (string, error) {
+	body, ok := a.Scripts[url]
+	if !ok {
+		return "", fmt.Errorf("webgen: no script %q", url)
+	}
+	return body, nil
+}
+
+// BuildRules generates the experiment rule set of Section 5.3: one Type 2
+// replacement rule per matchable external domain, whose alternatives point
+// at the domain's replicas in each mirror zone (clients are later steered to
+// their closest zone by the engine's alternative-selection policy).
+//
+// Hosts with no fragment (TierHidden) yield no rule — their connections
+// cannot be tied to page text, exactly the unmatchable residue of Figure 8.
+func BuildRules(site *Site, zones []string) []*rules.Rule {
+	hosts := site.ExternalHosts()
+	sorted := append([]string(nil), hosts...)
+	sort.Slice(sorted, func(i, j int) bool { return len(sorted[i]) > len(sorted[j]) })
+
+	var out []*rules.Rule
+	for _, h := range hosts {
+		frag := site.Fragments[h]
+		if frag == "" {
+			continue
+		}
+		alts := make([]string, 0, len(zones))
+		for _, zone := range zones {
+			alt := frag
+			for _, hh := range sorted {
+				alt = rewriteHost(alt, hh, MirrorHost(hh, zone))
+			}
+			alts = append(alts, alt)
+		}
+		out = append(out, &rules.Rule{
+			ID:           "swap-" + h,
+			Type:         rules.TypeReplaceSame,
+			Default:      frag,
+			Alternatives: alts,
+			TTL:          0,
+			Scope:        "*",
+		})
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package webgen
+
+import (
+	"strings"
+	"testing"
+
+	"oak/internal/htmlscan"
+	"oak/internal/rules"
+)
+
+func TestNewAssetsCoversAllObjects(t *testing.T) {
+	s := smallCatalog(t, 3)[0]
+	a := NewAssets(s)
+	for _, p := range s.Pages {
+		for _, o := range p.Objects {
+			size, ok := a.Sizes[o.URL]
+			if !ok {
+				t.Fatalf("asset missing for %s", o.URL)
+			}
+			if size != o.SizeBytes {
+				t.Errorf("size mismatch for %s: %d != %d", o.URL, size, o.SizeBytes)
+			}
+			if a.Kinds[o.URL] != o.Kind {
+				t.Errorf("kind mismatch for %s", o.URL)
+			}
+		}
+	}
+	for url := range s.Scripts {
+		if _, err := a.FetchScript(url); err != nil {
+			t.Errorf("FetchScript(%s): %v", url, err)
+		}
+	}
+}
+
+func TestFetchScriptUnknown(t *testing.T) {
+	a := NewAssets(smallCatalog(t, 1)[0])
+	if _, err := a.FetchScript("http://nope.example/x.js"); err == nil {
+		t.Error("FetchScript(unknown) = nil error")
+	}
+}
+
+func TestAddMirrorsReplicates(t *testing.T) {
+	s := smallCatalog(t, 3)[0]
+	a := NewAssets(s)
+	before := len(a.Sizes)
+	a.AddMirrors(s, []string{"na", "eu", "as"})
+	if len(a.Sizes) <= before {
+		t.Fatal("AddMirrors added nothing")
+	}
+	// Every external object must have a replica per zone, same size.
+	for _, p := range s.Pages {
+		for _, o := range p.Objects {
+			if o.Host == s.Domain {
+				continue
+			}
+			for _, zone := range []string{"na", "eu", "as"} {
+				m := rewriteHost(o.URL, o.Host, MirrorHost(o.Host, zone))
+				size, ok := a.Sizes[m]
+				if !ok {
+					t.Fatalf("no %s replica for %s", zone, o.URL)
+				}
+				if size != o.SizeBytes {
+					t.Errorf("replica size mismatch for %s", m)
+				}
+			}
+		}
+	}
+}
+
+func TestAddMirrorsRewritesScriptBodies(t *testing.T) {
+	s := smallCatalog(t, 5)[0]
+	a := NewAssets(s)
+	a.AddMirrors(s, []string{"na"})
+	for url, body := range s.Scripts {
+		murl := url
+		for _, h := range s.ExternalHosts() {
+			murl = rewriteHost(murl, h, MirrorHost(h, "na"))
+		}
+		if murl == url {
+			continue
+		}
+		mbody, ok := a.Scripts[murl]
+		if !ok {
+			t.Fatalf("no mirrored script for %s", url)
+		}
+		// The mirrored loader must reference mirrored targets only.
+		for _, h := range s.ExternalHosts() {
+			if htmlscan.ContainsHost(body, h) && htmlscan.ContainsHost(mbody, h) {
+				t.Errorf("mirrored loader %s still references default host %s", murl, h)
+			}
+		}
+	}
+}
+
+func TestBuildRules(t *testing.T) {
+	s := smallCatalog(t, 5)[0]
+	zones := []string{"na", "eu", "as"}
+	rs := BuildRules(s, zones)
+	if len(rs) == 0 {
+		t.Fatal("no rules built")
+	}
+	matchable := 0
+	for _, h := range s.ExternalHosts() {
+		if s.Fragments[h] != "" {
+			matchable++
+		}
+	}
+	if len(rs) != matchable {
+		t.Errorf("built %d rules, want %d (one per matchable host)", len(rs), matchable)
+	}
+	for _, r := range rs {
+		if err := r.Compile(); err != nil {
+			t.Errorf("rule %s invalid: %v", r.ID, err)
+		}
+		if r.Type != rules.TypeReplaceSame || len(r.Alternatives) != len(zones) {
+			t.Errorf("rule %s: type %v, %d alts", r.ID, r.Type, len(r.Alternatives))
+		}
+		host := strings.TrimPrefix(r.ID, "swap-")
+		for i, alt := range r.Alternatives {
+			if htmlscan.ContainsHost(alt, host) {
+				t.Errorf("rule %s alt %d still references default host", r.ID, i)
+			}
+			if !strings.Contains(alt, ".mirror-"+zones[i]+".example") {
+				t.Errorf("rule %s alt %d not in zone %s: %q", r.ID, i, zones[i], alt)
+			}
+		}
+	}
+}
+
+func TestBuildRulesSkipsHidden(t *testing.T) {
+	// Force everything hidden: no rules possible.
+	g := NewGenerator(Config{Seed: 3, NumSites: 1, TierWeights: [4]float64{0, 0, 0, 1}})
+	s := g.Site(0)
+	if rs := BuildRules(s, []string{"na"}); len(rs) != 0 {
+		t.Errorf("hidden-only site produced %d rules", len(rs))
+	}
+}
+
+func TestBuildRulesAllDirect(t *testing.T) {
+	g := NewGenerator(Config{Seed: 3, NumSites: 1, TierWeights: [4]float64{1, 0, 0, 0}})
+	s := g.Site(0)
+	rs := BuildRules(s, []string{"na"})
+	if len(rs) != len(s.ExternalHosts()) {
+		t.Errorf("all-direct site: %d rules for %d hosts", len(rs), len(s.ExternalHosts()))
+	}
+}

@@ -1,0 +1,443 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"oak/internal/report"
+)
+
+// Config controls catalog generation. The zero value is usable: Normalize
+// fills paper-calibrated defaults.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// NumSites is the catalog size (default 500, the Alexa set's size).
+	NumSites int
+	// PagesPerSite is how many pages each site has (default 3).
+	PagesPerSite int
+	// MinExternalHosts / MaxExternalHosts bound how many third-party
+	// providers a site embeds (defaults 3 / 30; the H1/H2 split of the
+	// paper's Table 2 falls inside this range).
+	MinExternalHosts int
+	MaxExternalHosts int
+	// ObjectsPerHostMax bounds objects fetched per provider (default 4).
+	ObjectsPerHostMax int
+	// MeanExternalFraction centres the per-site external-object fraction
+	// (default 0.75, the paper's Figure 1 median).
+	MeanExternalFraction float64
+	// ProviderPoolExtra pads the provider pool beyond the paper-named
+	// domains (default 80).
+	ProviderPoolExtra int
+	// TierWeights distribute provider hosts across discoverability tiers
+	// [direct, inline-text, external-js, hidden]. Defaults calibrate to
+	// Figure 8's match-rate medians (≈42/18/21/19 %).
+	TierWeights [4]float64
+	// LargeObjectFraction is the chance an object is >= 50 KB (default 0.3).
+	LargeObjectFraction float64
+}
+
+// Normalize fills zero fields with defaults and returns the result.
+func (c Config) Normalize() Config {
+	if c.NumSites <= 0 {
+		c.NumSites = 500
+	}
+	if c.PagesPerSite <= 0 {
+		c.PagesPerSite = 3
+	}
+	if c.MinExternalHosts <= 0 {
+		c.MinExternalHosts = 3
+	}
+	if c.MaxExternalHosts <= 0 {
+		c.MaxExternalHosts = 30
+	}
+	if c.MaxExternalHosts < c.MinExternalHosts {
+		c.MaxExternalHosts = c.MinExternalHosts
+	}
+	if c.ObjectsPerHostMax <= 0 {
+		c.ObjectsPerHostMax = 4
+	}
+	if c.MeanExternalFraction <= 0 || c.MeanExternalFraction >= 1 {
+		c.MeanExternalFraction = 0.75
+	}
+	if c.ProviderPoolExtra <= 0 {
+		c.ProviderPoolExtra = 80
+	}
+	if c.TierWeights == ([4]float64{}) {
+		c.TierWeights = [4]float64{0.37, 0.19, 0.22, 0.22}
+	}
+	if c.LargeObjectFraction <= 0 {
+		c.LargeObjectFraction = 0.18
+	}
+	return c
+}
+
+// Generator produces deterministic synthetic sites.
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	pool []Provider
+}
+
+// NewGenerator builds a generator for the config.
+func NewGenerator(cfg Config) *Generator {
+	cfg = cfg.Normalize()
+	return &Generator{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		pool: ProviderPool(cfg.ProviderPoolExtra),
+	}
+}
+
+// Pool exposes the provider pool (for category lookups in experiments).
+func (g *Generator) Pool() []Provider { return g.pool }
+
+// Catalog generates the full site catalog.
+func (g *Generator) Catalog() []*Site {
+	sites := make([]*Site, g.cfg.NumSites)
+	for i := range sites {
+		sites[i] = g.Site(i)
+	}
+	return sites
+}
+
+var siteCategories = []string{
+	"news", "commerce", "social", "video", "travel", "reference", "blog", "portal",
+}
+
+// Site generates the i-th site of the catalog. Generation consumes the
+// shared RNG stream, so sites are deterministic given (Seed, call order);
+// Catalog always produces the same catalog for the same Config.
+func (g *Generator) Site(i int) *Site {
+	domain := fmt.Sprintf("site-%03d.example", i)
+	site := &Site{
+		Domain:    domain,
+		Category:  siteCategories[i%len(siteCategories)],
+		Scripts:   make(map[string]string),
+		Fragments: make(map[string]string),
+	}
+
+	nExt := g.cfg.MinExternalHosts + g.rng.Intn(g.cfg.MaxExternalHosts-g.cfg.MinExternalHosts+1)
+	// Sites differ sharply in how tracker-laden they are: most embed few
+	// ad/analytics providers, a minority are stuffed with them. This
+	// bimodality is what gives the outlier-count distribution its heavy
+	// tail (paper Figure 2: ~40% of sites clean, ~20% with 4+ outliers).
+	adsWeight := 0.05
+	switch r := g.rng.Float64(); {
+	case r < 0.20:
+		adsWeight = 4.0
+	case r < 0.40:
+		adsWeight = 1.0
+	}
+	providers := g.pickProviders(nExt, adsWeight)
+
+	// Assign a discoverability tier per provider host.
+	tiers := make(map[string]Tier, len(providers))
+	for _, p := range providers {
+		tiers[p.Host] = g.pickTier()
+	}
+
+	// Generate the objects each provider serves for this site.
+	objsByHost := make(map[string][]Object, len(providers))
+	var totalExt int
+	for _, p := range providers {
+		n := 1 + g.rng.Intn(g.cfg.ObjectsPerHostMax)
+		objs := make([]Object, 0, n)
+		for k := 0; k < n; k++ {
+			objs = append(objs, g.object(p.Host, tiers[p.Host], i, k))
+		}
+		objsByHost[p.Host] = objs
+		totalExt += n
+	}
+
+	// Loader scripts for external-js tier hosts: group up to 3 target hosts
+	// per loader; the loader itself lives on a direct-tier provider (or the
+	// first provider if none is direct), echoing the Figure 6 topology.
+	loaderHost := ""
+	for _, p := range providers {
+		if tiers[p.Host] == TierDirect {
+			loaderHost = p.Host
+			break
+		}
+	}
+	if loaderHost == "" {
+		loaderHost = providers[0].Host
+	}
+	var jsHosts []string
+	for _, p := range providers {
+		if tiers[p.Host] == TierExternalJS {
+			jsHosts = append(jsHosts, p.Host)
+		}
+	}
+	sort.Strings(jsHosts)
+	loaders := g.buildLoaders(site, i, loaderHost, jsHosts, objsByHost)
+
+	// Origin objects: sized so the external fraction lands near the target.
+	f := clamp(g.cfg.MeanExternalFraction+g.rng.NormFloat64()*0.12, 0.3, 0.95)
+	nOrigin := int(float64(totalExt)*(1-f)/f + 0.5)
+	if nOrigin < 2 {
+		nOrigin = 2
+	}
+	originObjs := make([]Object, 0, nOrigin)
+	for k := 0; k < nOrigin; k++ {
+		originObjs = append(originObjs, g.object(domain, TierDirect, i, 1000+k))
+	}
+
+	// Build fragments per host and the page object lists.
+	hostOrder := make([]string, 0, len(providers))
+	for _, p := range providers {
+		hostOrder = append(hostOrder, p.Host)
+	}
+	g.buildFragments(site, hostOrder, tiers, objsByHost, loaders)
+
+	// Pages: the index embeds everything; subpages embed subsets.
+	for pi := 0; pi < g.cfg.PagesPerSite; pi++ {
+		include := hostOrder
+		path := "/index.html"
+		if pi > 0 {
+			path = fmt.Sprintf("/page-%d.html", pi)
+			include = g.subset(hostOrder)
+		}
+		site.Pages = append(site.Pages, g.renderPage(site, path, include, tiers, objsByHost, loaders, originObjs))
+	}
+	return site
+}
+
+// loaderInfo ties a loader script to the hosts it loads.
+type loaderInfo struct {
+	url     string
+	host    string
+	targets []string
+}
+
+// buildLoaders creates loader scripts (bodies stored in site.Scripts) and
+// returns, per js-tier target host, its loader.
+func (g *Generator) buildLoaders(site *Site, siteIdx int, loaderHost string, jsHosts []string, objsByHost map[string][]Object) map[string]loaderInfo {
+	loaders := make(map[string]loaderInfo)
+	for start := 0; start < len(jsHosts); start += 3 {
+		end := start + 3
+		if end > len(jsHosts) {
+			end = len(jsHosts)
+		}
+		targets := jsHosts[start:end]
+		url := fmt.Sprintf("http://%s/loader-%03d-%d.js", loaderHost, siteIdx, start/3)
+		var b strings.Builder
+		b.WriteString("// generated asset loader\n(function(){\n")
+		for _, tgt := range targets {
+			for _, o := range objsByHost[tgt] {
+				fmt.Fprintf(&b, "  oakFetch(%q);\n", o.URL)
+			}
+		}
+		b.WriteString("})();\n")
+		site.Scripts[url] = b.String()
+		info := loaderInfo{url: url, host: loaderHost, targets: targets}
+		for _, tgt := range targets {
+			loaders[tgt] = info
+		}
+	}
+	return loaders
+}
+
+// buildFragments derives the per-host HTML fragment through which the page
+// reaches each provider.
+func (g *Generator) buildFragments(site *Site, hosts []string, tiers map[string]Tier, objsByHost map[string][]Object, loaders map[string]loaderInfo) {
+	for _, h := range hosts {
+		switch tiers[h] {
+		case TierDirect:
+			var b strings.Builder
+			for _, o := range objsByHost[h] {
+				b.WriteString(tagFor(o))
+				b.WriteString("\n")
+			}
+			site.Fragments[h] = strings.TrimRight(b.String(), "\n")
+		case TierInlineText:
+			var urls []string
+			for _, o := range objsByHost[h] {
+				urls = append(urls, fmt.Sprintf("%q", o.URL))
+			}
+			site.Fragments[h] = fmt.Sprintf(
+				"<script>\nvar assets = [%s];\nfor (var i = 0; i < assets.length; i++) { oakInject(assets[i]); }\n</script>",
+				strings.Join(urls, ", "))
+		case TierExternalJS:
+			if l, ok := loaders[h]; ok {
+				site.Fragments[h] = fmt.Sprintf("<script src=%q></script>", l.url)
+			}
+		case TierHidden:
+			// No fragment: the connection is not discoverable from text.
+		}
+	}
+}
+
+// renderPage assembles page HTML and its ground-truth object list.
+func (g *Generator) renderPage(site *Site, path string, include []string, tiers map[string]Tier, objsByHost map[string][]Object, loaders map[string]loaderInfo, originObjs []Object) *Page {
+	var (
+		b        strings.Builder
+		objects  []Object
+		rendered = make(map[string]bool) // fragment text -> already emitted
+	)
+	fmt.Fprintf(&b, "<!DOCTYPE html>\n<html>\n<head>\n<title>%s %s</title>\n", site.Domain, path)
+
+	// Origin objects first.
+	for _, o := range originObjs {
+		b.WriteString(tagFor(o))
+		b.WriteString("\n")
+		objects = append(objects, o)
+	}
+	b.WriteString("</head>\n<body>\n")
+
+	loaderEmitted := make(map[string]bool)
+	for _, h := range include {
+		frag := site.Fragments[h]
+		switch tiers[h] {
+		case TierDirect, TierInlineText:
+			if frag != "" && !rendered[frag] {
+				rendered[frag] = true
+				b.WriteString(frag)
+				b.WriteString("\n")
+			}
+			objects = append(objects, objsByHost[h]...)
+		case TierExternalJS:
+			l, ok := loaders[h]
+			if !ok {
+				continue
+			}
+			if frag != "" && !rendered[frag] {
+				rendered[frag] = true
+				b.WriteString(frag)
+				b.WriteString("\n")
+			}
+			if !loaderEmitted[l.url] {
+				loaderEmitted[l.url] = true
+				objects = append(objects, Object{
+					URL: l.url, Host: l.host,
+					SizeBytes: int64(len(site.Scripts[l.url])),
+					Kind:      report.KindScript, Tier: TierDirect,
+				})
+			}
+			for _, o := range objsByHost[h] {
+				o.ViaScript = l.url
+				objects = append(objects, o)
+			}
+		case TierHidden:
+			// Represented by an opaque bootstrap; the host never appears.
+			objects = append(objects, objsByHost[h]...)
+		}
+	}
+	b.WriteString("<script>oakDynamicBoot(selectServer());</script>\n")
+	b.WriteString("</body>\n</html>\n")
+
+	return &Page{Path: path, HTML: b.String(), Objects: objects}
+}
+
+// object generates one object served by host.
+func (g *Generator) object(host string, tier Tier, siteIdx, k int) Object {
+	var size int64
+	if g.rng.Float64() < g.cfg.LargeObjectFraction {
+		// Large objects start well above the threshold so throughput is a
+		// transfer measurement, not a disguised RTT measurement.
+		size = int64(2*report.SmallObjectThreshold + g.rng.Intn(400*1024))
+	} else {
+		size = int64(1024 + g.rng.Intn(report.SmallObjectThreshold-1024))
+	}
+	kinds := []report.ObjectKind{report.KindImage, report.KindScript, report.KindCSS, report.KindOther}
+	kind := kinds[g.rng.Intn(len(kinds))]
+	ext := map[report.ObjectKind]string{
+		report.KindImage: "png", report.KindScript: "js",
+		report.KindCSS: "css", report.KindOther: "bin",
+	}[kind]
+	return Object{
+		URL:       fmt.Sprintf("http://%s/s%03d/obj-%d.%s", host, siteIdx, k, ext),
+		Host:      host,
+		SizeBytes: size,
+		Kind:      kind,
+		Tier:      tier,
+	}
+}
+
+// tagFor renders the direct-inclusion HTML tag for an object.
+func tagFor(o Object) string {
+	switch o.Kind {
+	case report.KindScript:
+		return fmt.Sprintf("<script src=%q></script>", o.URL)
+	case report.KindCSS:
+		return fmt.Sprintf("<link rel=\"stylesheet\" href=%q>", o.URL)
+	case report.KindImage:
+		return fmt.Sprintf("<img src=%q>", o.URL)
+	default:
+		return fmt.Sprintf("<a href=%q>asset</a>", o.URL)
+	}
+}
+
+// pickProviders samples n distinct providers, popularity-weighted, with the
+// ad/analytics/social categories additionally scaled by adsWeight.
+func (g *Generator) pickProviders(n int, adsWeight float64) []Provider {
+	if n > len(g.pool) {
+		n = len(g.pool)
+	}
+	weight := func(p Provider) float64 {
+		w := float64(p.Popularity)
+		switch p.Category {
+		case CategoryAds, CategoryAnalytics, CategorySocial:
+			w *= adsWeight
+		}
+		return w
+	}
+	var total float64
+	for _, p := range g.pool {
+		total += weight(p)
+	}
+	chosen := make([]Provider, 0, n)
+	used := make(map[string]bool, n)
+	for len(chosen) < n {
+		r := g.rng.Float64() * total
+		for _, p := range g.pool {
+			r -= weight(p)
+			if r < 0 {
+				if !used[p.Host] {
+					used[p.Host] = true
+					chosen = append(chosen, p)
+				}
+				break
+			}
+		}
+	}
+	return chosen
+}
+
+// pickTier samples a discoverability tier from the configured weights.
+func (g *Generator) pickTier() Tier {
+	r := g.rng.Float64() * (g.cfg.TierWeights[0] + g.cfg.TierWeights[1] + g.cfg.TierWeights[2] + g.cfg.TierWeights[3])
+	for i, w := range g.cfg.TierWeights {
+		r -= w
+		if r < 0 {
+			return Tier(i + 1)
+		}
+	}
+	return TierHidden
+}
+
+// subset returns a random non-empty subset of hosts (each kept with p=0.6).
+func (g *Generator) subset(hosts []string) []string {
+	var out []string
+	for _, h := range hosts {
+		if g.rng.Float64() < 0.6 {
+			out = append(out, h)
+		}
+	}
+	if len(out) == 0 && len(hosts) > 0 {
+		out = append(out, hosts[g.rng.Intn(len(hosts))])
+	}
+	return out
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,236 @@
+package webgen
+
+import (
+	"strings"
+	"testing"
+
+	"oak/internal/htmlscan"
+	"oak/internal/report"
+	"oak/internal/stats"
+)
+
+func smallCatalog(t *testing.T, n int) []*Site {
+	t.Helper()
+	g := NewGenerator(Config{Seed: 42, NumSites: n})
+	return g.Catalog()
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(Config{Seed: 7, NumSites: 5}).Catalog()
+	b := NewGenerator(Config{Seed: 7, NumSites: 5}).Catalog()
+	for i := range a {
+		if a[i].Domain != b[i].Domain {
+			t.Fatalf("site %d domain differs", i)
+		}
+		if a[i].Index().HTML != b[i].Index().HTML {
+			t.Fatalf("site %d HTML differs between identically seeded runs", i)
+		}
+		if len(a[i].Index().Objects) != len(b[i].Index().Objects) {
+			t.Fatalf("site %d object count differs", i)
+		}
+	}
+	c := NewGenerator(Config{Seed: 8, NumSites: 5}).Catalog()
+	same := 0
+	for i := range a {
+		if a[i].Index().HTML == c[i].Index().HTML {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical catalogs")
+	}
+}
+
+func TestSiteStructure(t *testing.T) {
+	sites := smallCatalog(t, 10)
+	for _, s := range sites {
+		if s.Domain == "" || len(s.Pages) != 3 {
+			t.Fatalf("site %q malformed: %d pages", s.Domain, len(s.Pages))
+		}
+		if s.Index().Path != "/index.html" {
+			t.Errorf("index path = %q", s.Index().Path)
+		}
+		if len(s.Index().Objects) == 0 {
+			t.Errorf("site %q has empty index", s.Domain)
+		}
+		if got := s.Page("/page-1.html"); got == nil {
+			t.Errorf("site %q missing subpage", s.Domain)
+		}
+		if got := s.Page("/nope"); got != nil {
+			t.Errorf("Page(/nope) = %+v, want nil", got)
+		}
+	}
+}
+
+func TestExternalFractionCalibration(t *testing.T) {
+	sites := smallCatalog(t, 120)
+	fracs := make([]float64, 0, len(sites))
+	for _, s := range sites {
+		fracs = append(fracs, s.ExternalFraction())
+	}
+	med, err := stats.Median(fracs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Figure 1 median is ~0.75; allow generation slack.
+	if med < 0.6 || med > 0.88 {
+		t.Errorf("median external fraction = %v, want ~0.75", med)
+	}
+}
+
+func TestExternalHostCountsInRange(t *testing.T) {
+	g := NewGenerator(Config{Seed: 1, NumSites: 30, MinExternalHosts: 5, MaxExternalHosts: 12})
+	for _, s := range g.Catalog() {
+		n := len(s.ExternalHosts())
+		// Mirrors/loaders can only reuse chosen providers, so the count is
+		// bounded by the config.
+		if n < 5 || n > 12 {
+			t.Errorf("site %s has %d external hosts, want 5..12", s.Domain, n)
+		}
+	}
+}
+
+func TestTierDiscoverabilityContract(t *testing.T) {
+	sites := smallCatalog(t, 40)
+	for _, s := range sites {
+		idx := s.Index()
+		for _, o := range idx.Objects {
+			if o.Host == s.Domain {
+				continue
+			}
+			inHTML := htmlscan.ContainsHost(idx.HTML, o.Host)
+			switch o.Tier {
+			case TierDirect, TierInlineText:
+				if !inHTML {
+					t.Errorf("site %s: %s-tier host %s absent from HTML", s.Domain, o.Tier, o.Host)
+				}
+			case TierExternalJS:
+				if inHTML {
+					t.Errorf("site %s: external-js host %s leaked into HTML", s.Domain, o.Host)
+				}
+				if o.ViaScript == "" {
+					t.Errorf("site %s: external-js object %s has no ViaScript", s.Domain, o.URL)
+				}
+				body := s.Scripts[o.ViaScript]
+				if !htmlscan.ContainsHost(body, o.Host) {
+					t.Errorf("site %s: loader %s does not mention %s", s.Domain, o.ViaScript, o.Host)
+				}
+			case TierHidden:
+				if inHTML {
+					t.Errorf("site %s: hidden host %s discoverable in HTML", s.Domain, o.Host)
+				}
+				for _, body := range s.Scripts {
+					if htmlscan.ContainsHost(body, o.Host) {
+						t.Errorf("site %s: hidden host %s discoverable in a script", s.Domain, o.Host)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFragmentsAppearInIndexHTML(t *testing.T) {
+	for _, s := range smallCatalog(t, 20) {
+		html := s.Index().HTML
+		for host, frag := range s.Fragments {
+			if frag == "" {
+				continue
+			}
+			if !strings.Contains(html, frag) {
+				t.Errorf("site %s: fragment for %s not in index HTML", s.Domain, host)
+			}
+		}
+	}
+}
+
+func TestObjectSizesValid(t *testing.T) {
+	for _, s := range smallCatalog(t, 20) {
+		var small, large int
+		for _, p := range s.Pages {
+			for _, o := range p.Objects {
+				if o.SizeBytes <= 0 {
+					t.Fatalf("object %s has size %d", o.URL, o.SizeBytes)
+				}
+				if o.SizeBytes < report.SmallObjectThreshold {
+					small++
+				} else {
+					large++
+				}
+			}
+		}
+		if small == 0 {
+			t.Errorf("site %s has no small objects", s.Domain)
+		}
+	}
+}
+
+func TestTierString(t *testing.T) {
+	want := map[Tier]string{
+		TierDirect: "direct", TierInlineText: "inline-text",
+		TierExternalJS: "external-js", TierHidden: "hidden", Tier(9): "tier-9",
+	}
+	for tier, name := range want {
+		if got := tier.String(); got != name {
+			t.Errorf("Tier(%d).String() = %q, want %q", int(tier), got, name)
+		}
+	}
+}
+
+func TestMirrorHost(t *testing.T) {
+	got := MirrorHost("cdn01.fastedge.example", "NA")
+	want := "cdn01-fastedge-example.mirror-na.example"
+	if got != want {
+		t.Errorf("MirrorHost = %q, want %q", got, want)
+	}
+}
+
+func TestProviderPool(t *testing.T) {
+	pool := ProviderPool(50)
+	if len(pool) != 20+50 {
+		t.Errorf("pool size = %d, want 70", len(pool))
+	}
+	seen := make(map[string]bool)
+	for _, p := range pool {
+		if seen[p.Host] {
+			t.Errorf("duplicate provider %s", p.Host)
+		}
+		seen[p.Host] = true
+		if p.Popularity <= 0 {
+			t.Errorf("provider %s has popularity %d", p.Host, p.Popularity)
+		}
+	}
+	if got := CategoryOf(pool, "fonts.googleapis.com"); got != CategoryFonts {
+		t.Errorf("CategoryOf(fonts.googleapis.com) = %q", got)
+	}
+	if got := CategoryOf(pool, "unknown.example"); got != "" {
+		t.Errorf("CategoryOf(unknown) = %q, want empty", got)
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	c := Config{}.Normalize()
+	if c.NumSites != 500 || c.PagesPerSite != 3 || c.MeanExternalFraction != 0.75 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	c2 := Config{MinExternalHosts: 10, MaxExternalHosts: 5}.Normalize()
+	if c2.MaxExternalHosts < c2.MinExternalHosts {
+		t.Error("max not raised to min")
+	}
+}
+
+func TestObjectsByHost(t *testing.T) {
+	s := smallCatalog(t, 1)[0]
+	byHost := s.Index().ObjectsByHost()
+	var total int
+	for h, objs := range byHost {
+		for _, o := range objs {
+			if o.Host != h {
+				t.Errorf("object %s grouped under %s", o.URL, h)
+			}
+		}
+		total += len(objs)
+	}
+	if total != len(s.Index().Objects) {
+		t.Errorf("grouping lost objects: %d != %d", total, len(s.Index().Objects))
+	}
+}

@@ -1,0 +1,115 @@
+// Package webgen generates synthetic websites and site catalogs calibrated
+// to the measurement study in Section 2 of the paper: pages whose objects
+// are mostly externally hosted (median ≈ 75 %), drawn from third-party
+// providers dominated by advertising, analytics and social-networking
+// domains, and included at varying levels of discoverability (the
+// matchability tiers of Figure 8).
+//
+// The generated artifacts are fully self-describing: every page carries its
+// HTML, the bodies of the external scripts it references, and the ground
+// truth list of objects a client will fetch — enough for the simulated
+// client to execute loads and for experiments to check Oak's decisions
+// against an oracle.
+package webgen
+
+import "fmt"
+
+// Category classifies a third-party provider, mirroring the outlier
+// categorisation of Table 1 in the paper.
+type Category string
+
+// Provider categories.
+const (
+	CategoryCDN       Category = "CDN"
+	CategoryAds       Category = "Ads/Analytics"
+	CategoryAnalytics Category = "Analytics"
+	CategorySocial    Category = "Social Networking"
+	CategoryFonts     Category = "Fonts"
+	CategoryVideo     Category = "Video"
+	CategoryImages    Category = "Image Hosting"
+)
+
+// Provider is one third-party service domain.
+type Provider struct {
+	Host     string
+	Category Category
+	// Popularity weights how often sites embed this provider; the heavy
+	// tail makes a few providers (fonts, big ad networks) near-universal,
+	// which is what turns them into the "common problems" of Table 3.
+	Popularity int
+}
+
+// namedProviders are real-world domains the paper itself reports (Tables 1
+// and 3), used so reproduced tables read like the paper's.
+func namedProviders() []Provider {
+	return []Provider{
+		{Host: "facebook.com", Category: CategorySocial, Popularity: 30},
+		{Host: "stats.g.doubleclick.net", Category: CategoryAds, Popularity: 28},
+		{Host: "sp.analytics.yahoo.com", Category: CategoryAds, Popularity: 18},
+		{Host: "s-static.ak.facebook.com", Category: CategorySocial, Popularity: 16},
+		{Host: "analytics.twitter.com", Category: CategorySocial, Popularity: 15},
+		{Host: "counter.yadro.ru", Category: CategoryAds, Popularity: 8},
+		{Host: "www.dsply.com", Category: CategoryAnalytics, Popularity: 7},
+		{Host: "d31qbv1cthcecs.cloudfront.net", Category: CategoryAnalytics, Popularity: 12},
+		{Host: "rtb-ap.vizury.com", Category: CategoryAds, Popularity: 6},
+		{Host: "ib.adnxs.com", Category: CategoryAds, Popularity: 14},
+		{Host: "fonts.googleapis.com", Category: CategoryFonts, Popularity: 35},
+		{Host: "insights.hotjar.com", Category: CategoryAnalytics, Popularity: 20},
+		{Host: "ad.doubleclick.com", Category: CategoryAds, Popularity: 22},
+		{Host: "ads1.msads.net", Category: CategoryAds, Popularity: 10},
+		{Host: "pubads.g.doubleclick.net", Category: CategoryAds, Popularity: 18},
+		{Host: "vdp.mycdn.me", Category: CategoryCDN, Popularity: 4},
+		{Host: "img1.qunarzz.com", Category: CategoryImages, Popularity: 3},
+		{Host: "i.ytimg.com", Category: CategoryVideo, Popularity: 9},
+		{Host: "ut06.xhcdn.com", Category: CategoryCDN, Popularity: 3},
+		{Host: "img1a.flixcart.com", Category: CategoryImages, Popularity: 3},
+	}
+}
+
+// syntheticProviders pads the pool with generated domains so catalogs have
+// realistic provider diversity.
+func syntheticProviders(n int) []Provider {
+	kinds := []struct {
+		pattern  string
+		category Category
+		pop      int
+	}{
+		{"cdn%02d.fastedge.example", CategoryCDN, 8},
+		{"static%02d.webcache.example", CategoryCDN, 6},
+		{"ads%02d.clicknet.example", CategoryAds, 7},
+		{"track%02d.metricsly.example", CategoryAnalytics, 5},
+		{"social%02d.connectsphere.example", CategorySocial, 4},
+		{"img%02d.pixhost.example", CategoryImages, 5},
+		{"media%02d.streambox.example", CategoryVideo, 3},
+	}
+	out := make([]Provider, 0, n)
+	for i := 0; len(out) < n; i++ {
+		k := kinds[i%len(kinds)]
+		out = append(out, Provider{
+			Host:     fmt.Sprintf(k.pattern, i/len(kinds)+1),
+			Category: k.category,
+			// Zipf-ish decay so early synthetic providers are common.
+			Popularity: k.pop * 10 / (i/len(kinds) + 10),
+		})
+	}
+	return out
+}
+
+// ProviderPool returns the full provider pool: the paper-named providers
+// plus extra synthetic ones (total named + extra).
+func ProviderPool(extra int) []Provider {
+	pool := namedProviders()
+	pool = append(pool, syntheticProviders(extra)...)
+	return pool
+}
+
+// CategoryOf returns the category of a known provider host, or "" when the
+// host is not in the pool (e.g. a site's own origin).
+func CategoryOf(pool []Provider, host string) Category {
+	for _, p := range pool {
+		if p.Host == host {
+			return p.Category
+		}
+	}
+	return ""
+}

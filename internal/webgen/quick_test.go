@@ -1,0 +1,143 @@
+package webgen
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"oak/internal/htmlscan"
+	"oak/internal/report"
+)
+
+// seedGen yields small random generator configs for property tests.
+type seedGen struct {
+	Seed  int64
+	Sites int
+}
+
+var _ quick.Generator = seedGen{}
+
+func (seedGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(seedGen{Seed: r.Int63n(1 << 20), Sites: 1 + r.Intn(3)})
+}
+
+// Property: every page's ground-truth object list is consistent — URLs
+// parse, hosts match, sizes positive, loader references resolvable.
+func TestQuickSiteConsistency(t *testing.T) {
+	f := func(sg seedGen) bool {
+		g := NewGenerator(Config{Seed: sg.Seed, NumSites: sg.Sites})
+		for _, site := range g.Catalog() {
+			for _, p := range site.Pages {
+				for _, o := range p.Objects {
+					if o.SizeBytes <= 0 {
+						return false
+					}
+					if htmlscan.HostOf(o.URL) != o.Host {
+						return false
+					}
+					if o.Tier == TierExternalJS {
+						if o.ViaScript == "" {
+							return false
+						}
+						if _, ok := site.Scripts[o.ViaScript]; !ok {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: subpages only use hosts the index uses (subset semantics), so
+// site-wide rules built from index fragments cover every page.
+func TestQuickSubpagesAreSubsets(t *testing.T) {
+	f := func(sg seedGen) bool {
+		g := NewGenerator(Config{Seed: sg.Seed, NumSites: sg.Sites})
+		for _, site := range g.Catalog() {
+			indexHosts := make(map[string]bool)
+			for _, o := range site.Index().Objects {
+				indexHosts[o.Host] = true
+			}
+			for _, p := range site.Pages[1:] {
+				for _, o := range p.Objects {
+					if !indexHosts[o.Host] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BuildRules alternatives never mention any default external
+// host, for arbitrary seeds.
+func TestQuickRulesFullyMirrored(t *testing.T) {
+	f := func(sg seedGen) bool {
+		g := NewGenerator(Config{Seed: sg.Seed, NumSites: 1})
+		site := g.Site(0)
+		hosts := site.ExternalHosts()
+		for _, r := range BuildRules(site, []string{"na", "eu"}) {
+			for _, alt := range r.Alternatives {
+				for _, h := range hosts {
+					if htmlscan.ContainsHost(alt, h) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSiteJSONRoundTrip(t *testing.T) {
+	g := NewGenerator(Config{Seed: 9, NumSites: 1})
+	site := g.Site(0)
+	data, err := json.Marshal(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Site
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Domain != site.Domain || len(back.Pages) != len(site.Pages) {
+		t.Errorf("round trip lost structure: %s/%d", back.Domain, len(back.Pages))
+	}
+	if back.Index().HTML != site.Index().HTML {
+		t.Error("round trip lost HTML")
+	}
+	if len(back.Scripts) != len(site.Scripts) || len(back.Fragments) != len(site.Fragments) {
+		t.Error("round trip lost scripts/fragments")
+	}
+}
+
+func TestObjectKindsWellFormed(t *testing.T) {
+	g := NewGenerator(Config{Seed: 3, NumSites: 3})
+	valid := map[report.ObjectKind]bool{
+		report.KindImage: true, report.KindScript: true,
+		report.KindCSS: true, report.KindOther: true, report.KindHTML: true,
+	}
+	for _, site := range g.Catalog() {
+		for _, p := range site.Pages {
+			for _, o := range p.Objects {
+				if !valid[o.Kind] {
+					t.Fatalf("object %s has kind %q", o.URL, o.Kind)
+				}
+			}
+		}
+	}
+}

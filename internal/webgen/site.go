@@ -1,0 +1,167 @@
+package webgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oak/internal/report"
+)
+
+// Tier is how an object's origin is discoverable from the page source —
+// the matchability levels Figure 8 of the paper measures.
+type Tier int
+
+const (
+	// TierDirect: the object URL sits in a src/href attribute ("strict
+	// include"; the paper matches ≈42 % of servers at this level).
+	TierDirect Tier = iota + 1
+	// TierInlineText: the object's host appears inside an inline script
+	// that constructs the URL programmatically (text match raises the
+	// paper's median to ≈60 %).
+	TierInlineText
+	// TierExternalJS: the object is fetched by an external script; only
+	// fetching and searching that script reveals the connection (≈81 %).
+	TierExternalJS
+	// TierHidden: a dynamic script picks the server on the fly; no static
+	// analysis ties the object to page text (the paper's residual ≈19 %).
+	TierHidden
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierDirect:
+		return "direct"
+	case TierInlineText:
+		return "inline-text"
+	case TierExternalJS:
+		return "external-js"
+	case TierHidden:
+		return "hidden"
+	default:
+		return fmt.Sprintf("tier-%d", int(t))
+	}
+}
+
+// Object is one resource a client fetches when loading a page.
+type Object struct {
+	// URL is the canonical (default-provider) URL of the object.
+	URL string `json:"url"`
+	// Host is the URL's hostname (denormalised for convenience).
+	Host string `json:"host"`
+	// SizeBytes is the object size.
+	SizeBytes int64 `json:"sizeBytes"`
+	// Kind is the coarse object type.
+	Kind report.ObjectKind `json:"kind"`
+	// Tier is the object's discoverability level.
+	Tier Tier `json:"tier"`
+	// ViaScript, for TierExternalJS objects, is the URL of the loader
+	// script whose body references this object.
+	ViaScript string `json:"viaScript,omitempty"`
+}
+
+// Page is one generated page of a site.
+type Page struct {
+	// Path is the site-relative path ("/index.html").
+	Path string `json:"path"`
+	// HTML is the default page markup.
+	HTML string `json:"html"`
+	// Objects is the ground-truth fetch list for a default load, in order.
+	// It includes loader scripts and everything they pull in.
+	Objects []Object `json:"objects"`
+}
+
+// Site is one generated website.
+type Site struct {
+	// Domain is the site's own (origin) domain.
+	Domain string `json:"domain"`
+	// Category labels the site (blog, commerce, ...), informational only.
+	Category string `json:"category"`
+	// Pages are the site's pages; Pages[0] is the index.
+	Pages []*Page `json:"pages"`
+	// Scripts maps external script URL -> body for every loader script any
+	// page references (the content an external provider would serve).
+	Scripts map[string]string `json:"scripts"`
+	// Fragments maps an external host -> the exact HTML fragment through
+	// which pages of this site lead to that host. Rules are built from
+	// these fragments.
+	Fragments map[string]string `json:"fragments"`
+}
+
+// ExternalHosts returns the distinct non-origin hosts contacted during a
+// default load of any page, sorted.
+func (s *Site) ExternalHosts() []string {
+	seen := make(map[string]bool)
+	for _, p := range s.Pages {
+		for _, o := range p.Objects {
+			if report.IsExternalHost(o.Host, s.Domain) {
+				seen[o.Host] = true
+			}
+		}
+	}
+	hosts := make([]string, 0, len(seen))
+	for h := range seen {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+// Index returns the site's index page.
+func (s *Site) Index() *Page {
+	if len(s.Pages) == 0 {
+		return nil
+	}
+	return s.Pages[0]
+}
+
+// Page returns the page at the given path, or nil.
+func (s *Site) Page(path string) *Page {
+	for _, p := range s.Pages {
+		if p.Path == path {
+			return p
+		}
+	}
+	return nil
+}
+
+// ExternalFraction returns the fraction of index-page objects hosted off the
+// site's own domain — the Figure 1 metric.
+func (s *Site) ExternalFraction() float64 {
+	idx := s.Index()
+	if idx == nil || len(idx.Objects) == 0 {
+		return 0
+	}
+	var ext int
+	for _, o := range idx.Objects {
+		if report.IsExternalHost(o.Host, s.Domain) {
+			ext++
+		}
+	}
+	return float64(ext) / float64(len(idx.Objects))
+}
+
+// ObjectsByHost groups a page's objects by host.
+func (p *Page) ObjectsByHost() map[string][]Object {
+	m := make(map[string][]Object)
+	for _, o := range p.Objects {
+		m[o.Host] = append(m[o.Host], o)
+	}
+	return m
+}
+
+// MirrorHost derives the hostname of a replica of host in the given mirror
+// zone (e.g. zone "na" -> "cdn-example.mirror-na.example"). Dots in the
+// original host are flattened so the mirror host is a clean label.
+func MirrorHost(host, zone string) string {
+	flat := strings.ReplaceAll(host, ".", "-")
+	return fmt.Sprintf("%s.mirror-%s.example", flat, strings.ToLower(zone))
+}
+
+// rewriteHost swaps the hostname inside a fragment or URL string: every
+// occurrence of the default host becomes the mirror host. Used both for
+// building rule alternatives and alternate script bodies.
+func rewriteHost(text, from, to string) string {
+	return strings.ReplaceAll(text, from, to)
+}

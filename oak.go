@@ -1,0 +1,193 @@
+// Package oak implements Oak, a system for user-targeted web performance
+// (Flores, Wenzel, Kuzmanovic — "Oak: User-Targeted Web Performance").
+//
+// Oak sits beside a web server. Oak-enabled clients measure every object
+// they download while loading a page and report those timings back. For
+// each user individually, Oak detects external servers that under-perform
+// relative to the other servers that same user contacted (a median-absolute-
+// deviation criterion), and activates operator-written rules that rewrite
+// the user's future pages to fetch the affected objects from an alternative
+// provider — or to drop them.
+//
+// The essential loop:
+//
+//	rules, _ := oak.ParseRules(ruleText)
+//	engine, _ := oak.NewEngine(rules)
+//	server := oak.NewServer(engine)     // an http.Handler
+//	server.SetPage("/index.html", html)
+//	// clients GET pages and POST reports to /oak/report;
+//	// each user's pages adapt to that user's own reported performance.
+//
+// Package layout: the facade re-exports the pieces a deployment needs —
+// the engine (internal/core), the rule language (internal/rules), the
+// report format (internal/report), the HTTP server (internal/origin) and
+// an instrumented client (internal/client). The internal packages also
+// contain the full simulation substrate (internal/netsim, internal/webgen)
+// and the paper-reproduction harness (internal/experiment) driven by
+// cmd/oakbench and the repository benchmarks.
+package oak
+
+import (
+	"time"
+
+	"oak/internal/client"
+	"oak/internal/core"
+	"oak/internal/origin"
+	"oak/internal/report"
+	"oak/internal/rules"
+)
+
+// Rule is one operator-specified page rewrite rule (Section 4.1 of the
+// paper): a block of default text, what may replace it, how long an
+// activation lives, and which pages it applies to.
+type Rule = rules.Rule
+
+// SubRule is a dependent replacement applied only when its parent rule is
+// active.
+type SubRule = rules.SubRule
+
+// RuleType selects remove / replace-identical / replace-alternative
+// semantics.
+type RuleType = rules.Type
+
+// Rule types.
+const (
+	// TypeRemove removes the default text (paper Type 1).
+	TypeRemove = rules.TypeRemove
+	// TypeReplaceSame swaps in the identical object from an alternative
+	// source (paper Type 2); clients receive cache hints for these.
+	TypeReplaceSame = rules.TypeReplaceSame
+	// TypeReplaceAlt swaps in a different object (paper Type 3).
+	TypeReplaceAlt = rules.TypeReplaceAlt
+)
+
+// CacheHintHeader carries old=new URL pairs for Type 2 replacements so
+// browsers can reuse cached copies fetched under the old URL (Section 4.3).
+const CacheHintHeader = rules.CacheHintHeader
+
+// Report is one page-load performance report from one client: the loaded
+// URL, size and timing of every object, in the paper's HAR-like format.
+type Report = report.Report
+
+// Entry is one object download inside a report.
+type Entry = report.Entry
+
+// Engine is the Oak decision core: it ingests reports, maintains per-user
+// profiles, detects violators and rewrites pages. Safe for concurrent use.
+type Engine = core.Engine
+
+// Policy tunes the engine: the MAD multiplier, the violations needed before
+// a rule activates, alternative selection, and rule-matching depth.
+type Policy = core.Policy
+
+// EngineOption configures NewEngine.
+type EngineOption = core.Option
+
+// Violation describes one server flagged as under-performing for one user.
+type Violation = core.Violation
+
+// AnalysisResult is what handling one report decided.
+type AnalysisResult = core.AnalysisResult
+
+// EngineMetrics are the engine's aggregate counters.
+type EngineMetrics = core.Metrics
+
+// AuditReport is the operator-facing summary of what Oak has learned —
+// the paper's "offline auditing tool". Engine.Audit() builds one; the
+// origin server also serves it at AuditPath.
+type AuditReport = core.Audit
+
+// Server is the Oak-fronted origin: an http.Handler that issues identifying
+// cookies, rewrites outgoing pages per user, and ingests POSTed reports on
+// ReportPath.
+type Server = origin.Server
+
+// ContentServer is a configurable external content server for tests,
+// examples and local experiments (objects, scripts, adjustable delay).
+type ContentServer = origin.ContentServer
+
+// Client is an Oak-enabled HTTP client: it loads pages, measures every
+// object download, and reports the timings back — the role the paper's
+// modified browser plays.
+type Client = client.HTTPClient
+
+// LoadResult is a completed client page load: the report plus the effective
+// page load time.
+type LoadResult = client.LoadResult
+
+// HostResolver maps hostnames in page markup to reachable addresses.
+type HostResolver = client.HostResolver
+
+// Wire-level constants of the origin server.
+const (
+	// CookieName is the identifying cookie Oak issues to clients.
+	CookieName = origin.CookieName
+	// ReportPath is the HTTP POST endpoint for performance reports.
+	ReportPath = origin.ReportPath
+	// AuditPath serves the operator audit summary. Restrict access in
+	// deployments: it is operator-facing.
+	AuditPath = origin.AuditPath
+)
+
+// NewEngine builds an Oak engine over a compiled rule set.
+func NewEngine(ruleSet []*Rule, opts ...EngineOption) (*Engine, error) {
+	return core.NewEngine(ruleSet, opts...)
+}
+
+// WithPolicy sets the engine policy (zero fields take paper defaults:
+// MAD multiplier 2, one violation, linear alternative progression, full
+// match pipeline with one script layer).
+func WithPolicy(p Policy) EngineOption { return core.WithPolicy(p) }
+
+// WithScriptFetcher enables the external-JavaScript matching tier
+// (Section 4.2.2) using the given fetcher.
+func WithScriptFetcher(f core.ScriptFetcher) EngineOption { return core.WithScriptFetcher(f) }
+
+// WithClock overrides the engine's time source.
+func WithClock(now func() time.Time) EngineOption { return core.WithClock(now) }
+
+// WithLogf directs engine decision logging to a printf-style sink.
+func WithLogf(logf func(format string, args ...any)) EngineOption { return core.WithLogf(logf) }
+
+// NewServer wraps an engine as an Oak-fronted origin server.
+func NewServer(engine *Engine) *Server { return origin.NewServer(engine) }
+
+// NewContentServer returns an empty external content server.
+func NewContentServer() *ContentServer { return origin.NewContentServer() }
+
+// ParseRules parses the operator rule DSL (heredoc blocks for HTML
+// fragments; see internal/rules.ParseDSL for the grammar).
+func ParseRules(text string) ([]*Rule, error) { return rules.ParseDSL(text) }
+
+// ParseRulesJSON parses the JSON rule configuration format.
+func ParseRulesJSON(data []byte) ([]*Rule, error) { return rules.ParseJSON(data) }
+
+// MarshalRules encodes a rule set as indented JSON.
+func MarshalRules(rs []*Rule) ([]byte, error) { return rules.MarshalJSON(rs) }
+
+// LintWarning is one advisory finding from LintRules.
+type LintWarning = rules.LintWarning
+
+// LintRules inspects a rule set for mistakes that compile fine but
+// misbehave in production (alternatives still pointing at the avoided host,
+// shadowed fragments, no-op sub-rules, ...). Warnings are advisory.
+func LintRules(rs []*Rule) []LintWarning { return rules.Lint(rs) }
+
+// UnmarshalReport decodes a JSON report body.
+func UnmarshalReport(data []byte) (*Report, error) { return report.Unmarshal(data) }
+
+// ReportFromHAR converts a browser-devtools HTTP Archive export into an Oak
+// report for the given user, so captured real sessions can be fed through
+// the engine or the offline analyser.
+func ReportFromHAR(data []byte, userID string) (*Report, error) {
+	return report.FromHAR(data, userID)
+}
+
+// Persistence: Engine.ExportState serialises all per-user state (violation
+// counters, live activations) and Engine.ImportState restores it, so an Oak
+// deployment restarts without losing what it learned about its users:
+//
+//	data, _ := engine.ExportState()
+//	os.WriteFile("oak-state.json", data, 0o600)
+//	// ... later, on a fresh engine with the same rules:
+//	engine.ImportState(data)
