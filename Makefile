@@ -1,0 +1,21 @@
+.PHONY: verify test race vet fmt bench
+
+# Full PR verify path: build, formatting, vet, tests, and race-checking of
+# the concurrent engine + observability packages. See scripts/verify.sh.
+verify:
+	sh scripts/verify.sh
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/core ./internal/obs ./internal/origin
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -l -w .
+
+bench:
+	go test -bench=. -benchmem

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	oakd -root ./site -rules ./rules.oak [-addr :8080] [-v]
+//	     [-state oak-state.json] [-save-interval 5m] [-pprof 127.0.0.1:6060]
 //
 // Every *.html file under -root is served at its relative path (index.html
 // also at the directory path). Clients receive identifying cookies, pages
@@ -11,14 +12,25 @@
 // reports are accepted at POST /oak/report. The rule file uses the DSL of
 // internal/rules.ParseDSL (heredoc blocks; see the repository README), or
 // JSON when it ends in .json.
+//
+// Observability: the server answers GET /oak/metrics (counters + latency
+// histograms), /oak/healthz (liveness), /oak/trace (recent engine
+// decisions) and /oak/audit (operator summary); -pprof additionally serves
+// net/http/pprof on a separate admin listener. See docs/OPERATIONS.md.
+//
+// On SIGINT/SIGTERM oakd shuts the listener down gracefully and, with
+// -state, persists engine state before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io/fs"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -45,6 +57,7 @@ func run(args []string) error {
 		verbose   = fs2.Bool("v", false, "log engine decisions")
 		stateFile = fs2.String("state", "", "persist per-user state to this file (loaded at boot, saved periodically and on shutdown)")
 		saveEvery = fs2.Duration("save-interval", 5*time.Minute, "how often to persist state (with -state)")
+		pprofAddr = fs2.String("pprof", "", "serve net/http/pprof on this separate admin address (e.g. 127.0.0.1:6060); off when empty")
 	)
 	if err := fs2.Parse(args); err != nil {
 		return err
@@ -61,8 +74,50 @@ func run(args []string) error {
 		stop := persistPeriodically(server.Engine(), *stateFile, *saveEvery)
 		defer stop()
 	}
+
+	if *pprofAddr != "" {
+		admin := &http.Server{Addr: *pprofAddr, Handler: pprofMux()}
+		go func() {
+			if err := admin.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("oakd: pprof listener: %v", err)
+			}
+		}()
+		defer admin.Close()
+		log.Printf("oakd: pprof admin listener on %s", *pprofAddr)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: server}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
 	log.Printf("oakd: serving %d pages from %s with %d rules on %s", pages, *root, nRules, *addr)
-	return http.ListenAndServe(*addr, server)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		// Graceful shutdown: stop accepting, drain in-flight requests, then
+		// let the deferred persistPeriodically stop() take the final save.
+		log.Printf("oakd: %v: shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}
+
+// pprofMux routes the standard net/http/pprof handlers on a private mux so
+// the profiling surface never mounts on the public listener.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // loadState restores engine state from the file if it exists; a missing
@@ -95,13 +150,13 @@ func saveState(engine *oak.Engine, path string) error {
 	return os.Rename(tmp, path)
 }
 
-// persistPeriodically saves the state on an interval and on SIGINT/SIGTERM;
-// the returned stop function halts the loop (used by tests).
+// persistPeriodically saves the state on an interval. The returned stop
+// function halts the loop and takes one final save, so callers deferring it
+// persist on any exit path — including signal-driven graceful shutdown
+// (signal handling lives in run, not here, so no cleanup is skipped).
 func persistPeriodically(engine *oak.Engine, path string, every time.Duration) (stop func()) {
 	stopCh := make(chan struct{})
 	done := make(chan struct{})
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		defer close(done)
 		ticker := time.NewTicker(every)
@@ -112,20 +167,17 @@ func persistPeriodically(engine *oak.Engine, path string, every time.Duration) (
 				if err := saveState(engine, path); err != nil {
 					log.Printf("oakd: periodic save: %v", err)
 				}
-			case <-sig:
-				if err := saveState(engine, path); err != nil {
-					log.Printf("oakd: shutdown save: %v", err)
-				}
-				os.Exit(0)
 			case <-stopCh:
 				return
 			}
 		}
 	}()
 	return func() {
-		signal.Stop(sig)
 		close(stopCh)
 		<-done
+		if err := saveState(engine, path); err != nil {
+			log.Printf("oakd: final save: %v", err)
+		}
 	}
 }
 

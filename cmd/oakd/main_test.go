@@ -5,8 +5,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -200,5 +202,57 @@ func TestPersistPeriodicallyStops(t *testing.T) {
 	stop()
 	if _, err := os.Stat(statePath); err != nil {
 		t.Errorf("periodic save never wrote %s: %v", statePath, err)
+	}
+}
+
+func TestPersistStopTakesFinalSave(t *testing.T) {
+	// Even when the interval never fires, stopping the loop persists once —
+	// this is the graceful-shutdown save path.
+	dir := newSiteDir(t)
+	server, _, _, err := buildServer(dir, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statePath := filepath.Join(dir, "state.json")
+	stop := persistPeriodically(server.Engine(), statePath, time.Hour)
+	if _, err := os.Stat(statePath); err == nil {
+		t.Fatal("state written before stop despite 1h interval")
+	}
+	stop()
+	if _, err := os.Stat(statePath); err != nil {
+		t.Errorf("stop() did not take a final save: %v", err)
+	}
+}
+
+func TestRunGracefulShutdownPersistsState(t *testing.T) {
+	// Keep the test process alive across the self-signal even if run has
+	// not yet installed its handler.
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	dir := newSiteDir(t)
+	statePath := filepath.Join(dir, "state.json")
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{
+			"-root", dir, "-addr", "127.0.0.1:0",
+			"-state", statePath, "-save-interval", "1h",
+		})
+	}()
+	time.Sleep(200 * time.Millisecond) // let the listener and handler come up
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil (graceful)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not shut down after SIGTERM")
+	}
+	if _, err := os.Stat(statePath); err != nil {
+		t.Errorf("graceful shutdown skipped the final state save: %v", err)
 	}
 }

@@ -10,17 +10,27 @@
 //	oakreport -k 3 report.json        # stricter criterion
 //	oakreport session.har             # browser-devtools HAR export
 //	cat report.json | oakreport -     # read from stdin
+//
+// With -metrics it instead inspects a live server: it fetches the oakd
+// observability endpoints and pretty-prints the counters and ingest/rewrite
+// latency histograms:
+//
+//	oakreport -metrics http://localhost:8080
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"oak/internal/core"
+	"oak/internal/origin"
 	"oak/internal/report"
 	"oak/internal/stats"
 )
@@ -36,8 +46,12 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("oakreport", flag.ContinueOnError)
 	k := fs.Float64("k", 2, "MAD multiplier for the violator criterion")
 	har := fs.Bool("har", false, "treat inputs as HAR files (implied by a .har extension)")
+	metricsURL := fs.String("metrics", "", "base URL of a live Oak server; fetch and pretty-print its /oak/metrics instead of analysing files")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metricsURL != "" {
+		return liveMetrics(out, *metricsURL)
 	}
 	files := fs.Args()
 	if len(files) == 0 {
@@ -63,6 +77,69 @@ func run(args []string, out io.Writer) error {
 		if err := analyse(out, f, rep, *k); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// liveMetrics fetches a running server's observability endpoints and
+// renders them for a terminal.
+func liveMetrics(out io.Writer, base string) error {
+	base = strings.TrimSuffix(base, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var health origin.HealthzResponse
+	if err := fetchJSON(client, base+origin.HealthzPath, &health); err != nil {
+		return err
+	}
+	var m origin.MetricsResponse
+	if err := fetchJSON(client, base+origin.MetricsPath, &m); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "== %s ==\n", base)
+	fmt.Fprintf(out, "status %s, up %s, %d rules, %d users\n\n",
+		health.Status, (time.Duration(health.UptimeSeconds * float64(time.Second))).Round(time.Second),
+		health.Rules, health.Users)
+
+	c := m.Counters
+	fmt.Fprintf(out, "counters\n")
+	for _, row := range []struct {
+		name string
+		v    uint64
+	}{
+		{"reports handled", c.ReportsHandled},
+		{"entries processed", c.EntriesProcessed},
+		{"violations detected", c.ViolationsDetected},
+		{"rule activations", c.RuleActivations},
+		{"rule deactivations", c.RuleDeactivations},
+		{"rule expirations", c.RuleExpirations},
+		{"pages modified", c.PagesModified},
+		{"pages untouched", c.PagesUntouched},
+	} {
+		fmt.Fprintf(out, "  %-22s %d\n", row.name, row.v)
+	}
+
+	fmt.Fprintf(out, "\nlatency                  count      p50ms      p90ms      p99ms      maxms\n")
+	printSummary := func(name string, count uint64, p50, p90, p99, max float64) {
+		fmt.Fprintf(out, "  %-20s %7d %10.3f %10.3f %10.3f %10.3f\n", name, count, p50, p90, p99, max)
+	}
+	printSummary("report ingest", m.Ingest.Count, m.Ingest.P50Ms, m.Ingest.P90Ms, m.Ingest.P99Ms, m.Ingest.MaxMs)
+	printSummary("page rewrite", m.Rewrite.Count, m.Rewrite.P50Ms, m.Rewrite.P90Ms, m.Rewrite.P99Ms, m.Rewrite.MaxMs)
+	return nil
+}
+
+// fetchJSON GETs url and decodes the JSON body.
+func fetchJSON(client *http.Client, url string, into any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		return fmt.Errorf("GET %s: decode: %w", url, err)
 	}
 	return nil
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"oak/internal/core"
+	"oak/internal/origin"
+)
+
+func TestRunLiveMetrics(t *testing.T) {
+	engine, err := core.NewEngine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := engine.HandleReport(sampleReport()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	engine.ModifyPage("u1", "/index.html", "<html></html>")
+	ts := httptest.NewServer(origin.NewServer(engine))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-metrics", ts.URL + "/"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"status ok", "1 users",
+		"reports handled", "3",
+		"report ingest", "page rewrite", "p99ms",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunLiveMetricsUnreachable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-metrics", "http://127.0.0.1:1"}, &out); err == nil {
+		t.Error("unreachable server: want error")
+	}
+}

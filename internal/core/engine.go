@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"oak/internal/obs"
 	"oak/internal/report"
 	"oak/internal/rules"
 )
@@ -23,6 +24,12 @@ type Engine struct {
 	metrics metrics
 	now     func() time.Time
 	logf    func(format string, args ...any)
+
+	// Observability (internal/obs): every decision point emits a structured
+	// trace event, and both hot paths feed lock-free latency histograms.
+	traceBuf    *obs.Trace
+	ingestHist  obs.Histogram
+	rewriteHist obs.Histogram
 }
 
 // Option configures an Engine.
@@ -45,9 +52,17 @@ func WithClock(now func() time.Time) Option {
 }
 
 // WithLogf directs engine decision logging (rule activations, removals) to
-// a printf-style sink. Logging is off by default.
+// a printf-style sink. Logging is off by default. The structured source of
+// these lines is the decision trace (TraceRecent); the sink receives one
+// rendered line per trace event.
 func WithLogf(logf func(format string, args ...any)) Option {
 	return func(e *Engine) { e.logf = logf }
+}
+
+// WithTraceCapacity sizes the decision-trace ring buffer (default
+// obs.DefaultTraceCapacity). The ring keeps the most recent n events.
+func WithTraceCapacity(n int) Option {
+	return func(e *Engine) { e.traceBuf = obs.NewTrace(n) }
 }
 
 // NewEngine builds an engine with the given rule set.
@@ -59,6 +74,7 @@ func NewEngine(ruleSet []*rules.Rule, opts ...Option) (*Engine, error) {
 		matcher:  NewMatcher(nil),
 		ledger:   NewLedger(),
 		now:      time.Now,
+		traceBuf: obs.NewTrace(obs.DefaultTraceCapacity),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -131,6 +147,8 @@ type AnalysisResult struct {
 // criterion, reconcile the user's existing activations (rule history), and
 // activate any rules with a connection dependency on a violator.
 func (e *Engine) HandleReport(r *report.Report) (*AnalysisResult, error) {
+	start := time.Now()
+	defer func() { e.ingestHist.Observe(time.Since(start)) }()
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
@@ -157,17 +175,26 @@ func (e *Engine) HandleReport(r *report.Report) (*AnalysisResult, error) {
 	}
 	prof.lastReport = now
 	e.ledger.RecordUser(r.UserID)
+	e.trace(obs.Event{
+		Kind: obs.EventReport, User: r.UserID,
+		Detail: fmt.Sprintf("page %s: %d objects, %d servers, %d violators",
+			r.Page, len(r.Entries), len(servers), len(violations)),
+	})
 
 	res := &AnalysisResult{UserID: r.UserID, Violations: violations}
 
 	for _, id := range prof.pruneExpired(now) {
 		e.metrics.ruleExpirations.Add(1)
 		res.Changes = append(res.Changes, RuleChange{RuleID: id, Action: "expire"})
-		e.logfSafe("user %s: rule %s expired", r.UserID, id)
+		e.trace(obs.Event{Kind: obs.EventExpire, User: r.UserID, RuleID: id})
 	}
 
 	for _, v := range violations {
 		count := prof.recordViolation(v.Server.Addr)
+		e.trace(obs.Event{
+			Kind: obs.EventViolator, User: r.UserID, Provider: v.Server.Addr,
+			Detail: fmt.Sprintf("%s %.1f beyond median, violation #%d", v.Metric, v.Distance, count),
+		})
 
 		// Rule history (Section 4.2.3): if the violator is the alternate of
 		// an already-active rule, decide between keeping the alternate,
@@ -206,8 +233,11 @@ func (e *Engine) HandleReport(r *report.Report) (*AnalysisResult, error) {
 				RuleID: rule.ID, Action: "activate", Server: v.Server.Addr,
 				AltIndex: altIdx, Level: level,
 			})
-			e.logfSafe("user %s: rule %s activated (server %s, %s, alt %d)",
-				r.UserID, rule.ID, v.Server.Addr, level, altIdx)
+			e.trace(obs.Event{
+				Kind: obs.EventActivate, User: r.UserID, RuleID: rule.ID,
+				Provider: v.Server.Addr,
+				Detail:   fmt.Sprintf("%s match, alt %d", level, altIdx),
+			})
 		}
 	}
 	return res, nil
@@ -234,8 +264,10 @@ func (e *Engine) reconcileActiveRules(prof *Profile, v Violation, now time.Time,
 			res.Changes = append(res.Changes, RuleChange{
 				RuleID: id, Action: "keep", Server: v.Server.Addr, AltIndex: a.AltIndex,
 			})
-			e.logfSafe("user %s: rule %s kept (alt dist %.1f < default dist %.1f)",
-				prof.UserID, id, v.Distance, a.TriggerDistance)
+			e.trace(obs.Event{
+				Kind: obs.EventKeep, User: prof.UserID, RuleID: id, Provider: v.Server.Addr,
+				Detail: fmt.Sprintf("alt dist %.1f < default dist %.1f", v.Distance, a.TriggerDistance),
+			})
 		case a.AltIndex+1 < len(a.Rule.Alternatives):
 			// A fresh alternative remains: progress linearly.
 			next := e.policy.SelectAlternative(a.Rule, a.AltIndex, prof.UserID)
@@ -248,7 +280,10 @@ func (e *Engine) reconcileActiveRules(prof *Profile, v Violation, now time.Time,
 			res.Changes = append(res.Changes, RuleChange{
 				RuleID: id, Action: "advance", Server: v.Server.Addr, AltIndex: next,
 			})
-			e.logfSafe("user %s: rule %s advanced to alt %d", prof.UserID, id, next)
+			e.trace(obs.Event{
+				Kind: obs.EventAdvance, User: prof.UserID, RuleID: id, Provider: v.Server.Addr,
+				Detail: fmt.Sprintf("alt %d", next),
+			})
 		default:
 			// The alternate is at least as far from the median as the
 			// default was and nothing fresh remains: revert.
@@ -257,8 +292,10 @@ func (e *Engine) reconcileActiveRules(prof *Profile, v Violation, now time.Time,
 			res.Changes = append(res.Changes, RuleChange{
 				RuleID: id, Action: "deactivate", Server: v.Server.Addr,
 			})
-			e.logfSafe("user %s: rule %s deactivated (alternate worse than default)",
-				prof.UserID, id)
+			e.trace(obs.Event{
+				Kind: obs.EventDeactivate, User: prof.UserID, RuleID: id, Provider: v.Server.Addr,
+				Detail: "alternate worse than default",
+			})
 		}
 	}
 	return handled
@@ -281,9 +318,15 @@ func (e *Engine) ActiveRules(userID, path string) []rules.Activation {
 // fire, and Type 2 applications yield cache hints for the X-Oak-Alternate
 // header.
 func (e *Engine) ModifyPage(userID, path, page string) (string, []rules.Applied) {
+	start := time.Now()
 	out, applied := rules.Apply(page, path, e.ActiveRules(userID, path))
+	e.rewriteHist.Observe(time.Since(start))
 	if out != page {
 		e.metrics.pagesModified.Add(1)
+		e.trace(obs.Event{
+			Kind: obs.EventRewrite, User: userID,
+			Detail: fmt.Sprintf("page %s: %d rules applied", path, len(applied)),
+		})
 	} else {
 		e.metrics.pagesUntouched.Add(1)
 	}
@@ -325,8 +368,37 @@ func (e *Engine) Users() int {
 	return len(e.profiles)
 }
 
-func (e *Engine) logfSafe(format string, args ...any) {
+// trace records one decision event in the ring buffer, stamping it with the
+// engine clock, and mirrors it to the logf sink when one is configured.
+func (e *Engine) trace(ev obs.Event) {
+	ev.Time = e.now()
+	e.traceBuf.Record(ev)
 	if e.logf != nil {
-		e.logf(format, args...)
+		e.logf("%s", ev.String())
+	}
+}
+
+// TraceRecent returns up to n most recent decision-trace events in
+// chronological order. The trace is a bounded ring: older events are
+// overwritten (gaps show as jumps in Event.Seq).
+func (e *Engine) TraceRecent(n int) []obs.Event {
+	return e.traceBuf.Recent(n)
+}
+
+// LatencySnapshots are point-in-time copies of the engine's hot-path
+// latency histograms.
+type LatencySnapshots struct {
+	// Ingest is per-report HandleReport latency (validation through
+	// decision-making).
+	Ingest obs.Snapshot
+	// Rewrite is per-page ModifyPage latency.
+	Rewrite obs.Snapshot
+}
+
+// Latencies snapshots the ingest and rewrite histograms.
+func (e *Engine) Latencies() LatencySnapshots {
+	return LatencySnapshots{
+		Ingest:  e.ingestHist.Snapshot(),
+		Rewrite: e.rewriteHist.Snapshot(),
 	}
 }

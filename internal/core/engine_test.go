@@ -422,7 +422,7 @@ func TestEngineLogf(t *testing.T) {
 	}
 	mu.Lock()
 	defer mu.Unlock()
-	if len(lines) == 0 || !strings.Contains(lines[0], "activated") {
+	if len(lines) == 0 || !strings.Contains(strings.Join(lines, "\n"), "activate") {
 		t.Errorf("log lines = %v, want activation log", lines)
 	}
 }

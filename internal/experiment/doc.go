@@ -1,0 +1,29 @@
+// Package experiment regenerates every table and figure of the paper's
+// measurement study (Section 2) and evaluation (Section 5) against the
+// simulated substrate. Each runner returns a FigureResult whose series and
+// tables mirror the rows the paper reports; cmd/oakbench prints them and
+// the repository-root benchmarks regenerate them under `go test -bench`.
+//
+// Paper mapping (see DESIGN.md for the full per-experiment index):
+//
+//   - Section 2 (the case for user-targeted optimisation): fig1 (external
+//     object fractions), fig2 (outliers per site across vantage points),
+//     table1 (who the outliers are), fig3 (outlier churn over days).
+//   - Section 5.2 (matching): fig8 — server match rates by evidence tier.
+//   - Section 5.3 (detection): fig9 — sensitivity to injected delay by
+//     client region.
+//   - Section 5.4 (benchmark sites): fig10 (min/median ratios), fig11
+//     (diurnal gains).
+//   - Section 5.5 (real sites, H1/H2): table2, fig12 (correct choices),
+//     fig13 (object-time ratios), fig14 (activation spread), table3.
+//   - Section 4.4/5 (overheads): fig15 — report sizes.
+//
+// Ablations (ablation.go) probe the design decisions the paper fixes:
+// MAD-vs-absolute thresholds, the k multiplier, the 50 KB small/large
+// split, match depth, rule history, min-violations, and the
+// Resource-Timing-only client of Section 6.
+//
+// Runners also surface the engine's own ingest/rewrite latency histograms
+// (internal/obs) so benchmark output reports how fast the server ran, not
+// just what it decided.
+package experiment

@@ -43,6 +43,9 @@ type fig10Data struct {
 	ratios [2][]float64
 	// timeline is the per-load-slot mean PLT ratio default/Oak.
 	timeline []stats.Point
+	// lat holds the engine's ingest/rewrite latency histograms from the
+	// Oak condition, surfaced in benchmark output.
+	lat core.LatencySnapshots
 }
 
 var (
@@ -244,6 +247,7 @@ func fig10Run(cfg Config) (*fig10Data, error) {
 			data.ratios[cond] = append(data.ratios[cond], r)
 		}
 	}
+	data.lat = engine.Latencies()
 	fig10Cache[key] = data
 	return data, nil
 }
@@ -294,7 +298,7 @@ func runFig10(cfg Config) (*FigureResult, error) {
 				{"median ratio, oak", "~0.7", fmt.Sprintf("%.2f", oakMed)},
 				{"oak 10th percentile (90% above)", ">0.5", fmt.Sprintf("%.2f", oakP10)},
 			},
-		}},
+		}, latencyTable(data.lat.Ingest, data.lat.Rewrite)},
 	}, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"oak/internal/client"
 	"oak/internal/core"
 	"oak/internal/netsim"
+	"oak/internal/obs"
 	"oak/internal/rules"
 	"oak/internal/stats"
 	"oak/internal/webgen"
@@ -69,6 +70,9 @@ type h12Data struct {
 	ruleUserFrac []float64
 	// ruleStats keeps the per-rule ledger stats with host names.
 	ruleStats []core.RuleStat
+	// ingest/rewrite aggregate engine latency histograms across all
+	// per-site engines, surfaced in benchmark output.
+	ingest, rewrite obs.Snapshot
 }
 
 var (
@@ -371,6 +375,9 @@ func h12RunSite(cfg Config, site *webgen.Site, pool []webgen.Provider, home nets
 		data.ruleUserFrac = append(data.ruleUserFrac, st.UserFraction)
 		data.ruleStats = append(data.ruleStats, st)
 	}
+	lat := engine.Latencies()
+	data.ingest = data.ingest.Merge(lat.Ingest)
+	data.rewrite = data.rewrite.Merge(lat.Rewrite)
 	return nil
 }
 
@@ -456,7 +463,7 @@ func runFig12(cfg Config) (*FigureResult, error) {
 			})
 		}
 	}
-	result.Tables = []Table{summary}
+	result.Tables = []Table{summary, latencyTable(data.ingest, data.rewrite)}
 	return result, nil
 }
 

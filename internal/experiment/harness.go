@@ -1,8 +1,3 @@
-// Package experiment regenerates every table and figure of the paper's
-// measurement study (Section 2) and evaluation (Section 5) against the
-// simulated substrate. Each runner returns a FigureResult whose series and
-// tables mirror the rows the paper reports; cmd/oakbench prints them and
-// the repository-root benchmarks regenerate them under `go test -bench`.
 package experiment
 
 import (

@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"oak/internal/obs"
+)
+
+// latencyTable renders engine hot-path histograms as a result table, so
+// figure runners (and the repository benchmarks that print their output)
+// report how fast the engine itself ran alongside the paper's metrics.
+func latencyTable(ingest, rewrite obs.Snapshot) Table {
+	row := func(name string, s obs.Snapshot) []string {
+		us := func(d time.Duration) string {
+			return fmt.Sprintf("%.1f", float64(d)/float64(time.Microsecond))
+		}
+		return []string{
+			name,
+			fmt.Sprintf("%d", s.Count),
+			us(s.Quantile(0.50)), us(s.Quantile(0.90)), us(s.Quantile(0.99)), us(s.Max),
+		}
+	}
+	return Table{
+		Title:  "engine latency (µs)",
+		Header: []string{"path", "count", "p50", "p90", "p99", "max"},
+		Rows: [][]string{
+			row("report ingest", ingest),
+			row("page rewrite", rewrite),
+		},
+	}
+}

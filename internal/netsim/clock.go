@@ -1,11 +1,3 @@
-// Package netsim is a deterministic network simulator that stands in for
-// the paper's PlanetLab testbed (25 vantage points, production servers).
-//
-// It models what Oak's detector actually consumes: per-object download
-// durations shaped by region-to-region propagation delay, per-server
-// processing latency and bandwidth, deterministic jitter, diurnal load
-// swells, and injectable degradations. Experiments that span simulated days
-// run against a virtual clock.
 package netsim
 
 import (

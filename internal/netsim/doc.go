@@ -1,0 +1,26 @@
+// Package netsim is a deterministic network simulator that stands in for
+// the paper's PlanetLab testbed (Section 5.1: 25 vantage points across
+// North America, Europe and Asia, loading live pages over production
+// Internet paths).
+//
+// It models what Oak's detector actually consumes: per-object download
+// durations shaped by region-to-region propagation delay, per-server
+// processing latency and bandwidth, deterministic jitter, diurnal load
+// swells, and injectable degradations. Experiments that span simulated days
+// run against a virtual clock.
+//
+// Paper mapping:
+//
+//   - Regions and the RTT matrix reproduce the geographic spread of the
+//     PlanetLab deployment (Section 5.1) — the spread that makes violator
+//     detection harder for far-away clients (Figure 9).
+//   - LoadModel / DiurnalLoad reproduces the time-of-day congestion that
+//     drives Figure 11 (default providers fine at night, degraded by day).
+//   - Injectable per-server degradations reproduce the controlled delay
+//     injections of the sensitivity study (Figure 9) and the outlier-churn
+//     measurement (Figure 3).
+//   - The virtual clock lets the 72-hour runs of Figures 10–11 finish in
+//     milliseconds while keeping every TTL and diurnal phase honest.
+//
+// Everything is seeded: a run is reproducible bit-for-bit.
+package netsim

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotoneAndContinuous(t *testing.T) {
+	prev := -1
+	for _, ns := range []uint64{0, 1, 2, 7, 8, 9, 15, 16, 31, 32, 1000, 1 << 20, 1 << 40, 1<<62 + 5} {
+		i := bucketIndex(ns)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d: not monotone", ns, i, prev)
+		}
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0,%d)", ns, i, numBuckets)
+		}
+		if lo, hi := bucketLow(i), bucketHigh(i); ns < lo || ns >= hi {
+			t.Fatalf("ns %d landed in bucket %d = [%d,%d)", ns, i, lo, hi)
+		}
+		prev = i
+	}
+}
+
+func TestBucketBoundsTile(t *testing.T) {
+	// Every bucket's upper bound is the next bucket's lower bound: the
+	// buckets tile the value space with no gaps or overlaps.
+	for i := 0; i < numBuckets-1; i++ {
+		if bucketHigh(i) != bucketLow(i+1) {
+			t.Fatalf("gap between bucket %d (high %d) and %d (low %d)",
+				i, bucketHigh(i), i+1, bucketLow(i+1))
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..1000 ms uniformly: p50 ≈ 500ms, p90 ≈ 900ms, p99 ≈ 990ms.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d, want 1000", s.Count)
+	}
+	if s.Max != 1000*time.Millisecond {
+		t.Errorf("Max = %s, want 1s", s.Max)
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 500 * time.Millisecond}, {0.90, 900 * time.Millisecond}, {0.99, 990 * time.Millisecond}}
+	for _, c := range checks {
+		got := s.Quantile(c.q)
+		rel := math.Abs(float64(got-c.want)) / float64(c.want)
+		if rel > 0.125 {
+			t.Errorf("Quantile(%.2f) = %s, want %s ± 12.5%% (off by %.1f%%)",
+				c.q, got, c.want, rel*100)
+		}
+	}
+	mean := s.Mean()
+	if mean < 490*time.Millisecond || mean > 510*time.Millisecond {
+		t.Errorf("Mean = %s, want ~500ms", mean)
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 || s.String() != "n=0" {
+		t.Errorf("empty snapshot misbehaves: %+v", s)
+	}
+	h.Observe(-time.Second) // clamped, not a panic
+	if got := h.Snapshot().Count; got != 1 {
+		t.Errorf("Count after negative observe = %d, want 1", got)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	sum := h.Snapshot().Summary()
+	if sum.Count != 100 {
+		t.Errorf("Summary.Count = %d", sum.Count)
+	}
+	if sum.P50Ms < 1.75 || sum.P50Ms > 2.26 {
+		t.Errorf("Summary.P50Ms = %f, want ~2", sum.P50Ms)
+	}
+	if sum.MaxMs != 2 {
+		t.Errorf("Summary.MaxMs = %f, want 2", sum.MaxMs)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 500; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 501; i <= 1000; i++ {
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 1000 {
+		t.Fatalf("merged Count = %d, want 1000", m.Count)
+	}
+	if m.Max != time.Second {
+		t.Errorf("merged Max = %s, want 1s", m.Max)
+	}
+	var n uint64
+	for i, bk := range m.Buckets {
+		n += bk.Count
+		if i > 0 && bk.Low < m.Buckets[i-1].Low {
+			t.Fatalf("merged buckets unsorted at %d", i)
+		}
+	}
+	if n != 1000 {
+		t.Errorf("merged bucket counts sum to %d", n)
+	}
+	p50 := m.Quantile(0.5)
+	if rel := math.Abs(float64(p50-500*time.Millisecond)) / float64(500*time.Millisecond); rel > 0.125 {
+		t.Errorf("merged p50 = %s, want ~500ms", p50)
+	}
+	// Merging with an empty snapshot is the identity.
+	if id := a.Snapshot().Merge(Snapshot{}); id.Count != 500 || len(id.Buckets) != len(a.Snapshot().Buckets) {
+		t.Errorf("merge with empty changed snapshot: %+v", id)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(g*perG+i) * time.Microsecond)
+				if i%1000 == 0 {
+					_ = h.Snapshot() // concurrent reads must be safe
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Errorf("Count = %d, want %d", s.Count, goroutines*perG)
+	}
+	var n uint64
+	for _, b := range s.Buckets {
+		n += b.Count
+	}
+	if n != s.Count {
+		t.Errorf("bucket counts sum to %d, Count = %d", n, s.Count)
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind classifies one engine decision.
+type EventKind string
+
+// The engine's decision points, in the order they occur in the pipeline.
+const (
+	// EventReport — a client performance report was ingested.
+	EventReport EventKind = "report"
+	// EventViolator — a server was flagged as under-performing for a user.
+	EventViolator EventKind = "violator"
+	// EventActivate — a rule activated for a user.
+	EventActivate EventKind = "activate"
+	// EventAdvance — an active rule progressed to its next alternative.
+	EventAdvance EventKind = "advance"
+	// EventKeep — a violating alternate was retained (still beats default).
+	EventKeep EventKind = "keep"
+	// EventDeactivate — a rule reverted to the default text.
+	EventDeactivate EventKind = "deactivate"
+	// EventExpire — an activation's TTL lapsed.
+	EventExpire EventKind = "expire"
+	// EventRewrite — an outgoing page was modified for a user.
+	EventRewrite EventKind = "rewrite"
+)
+
+// Event is one recorded engine decision.
+type Event struct {
+	// Seq is a monotone sequence number assigned at record time; gaps in a
+	// trace window mean older events were overwritten.
+	Seq uint64 `json:"seq"`
+	// Time is the engine-clock timestamp of the decision.
+	Time time.Time `json:"time"`
+	Kind EventKind `json:"kind"`
+	// User is the affected user ID, if any.
+	User string `json:"user,omitempty"`
+	// RuleID names the rule involved, for rule-state transitions.
+	RuleID string `json:"rule,omitempty"`
+	// Provider is the external server tied to the decision (the violator
+	// address, or the activation trigger).
+	Provider string `json:"provider,omitempty"`
+	// Detail carries kind-specific context (distances, alternative index,
+	// object counts).
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the event as one human-readable log line.
+func (e Event) String() string {
+	s := string(e.Kind)
+	if e.User != "" {
+		s = "user " + e.User + ": " + s
+	}
+	if e.RuleID != "" {
+		s += " rule " + e.RuleID
+	}
+	if e.Provider != "" {
+		s += " (server " + e.Provider + ")"
+	}
+	if e.Detail != "" {
+		s += " — " + e.Detail
+	}
+	return s
+}
+
+// Trace is a bounded ring buffer of engine decision events. When full, new
+// events overwrite the oldest. Safe for concurrent use.
+type Trace struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int    // buf index the next event lands in
+	seq  uint64 // total events ever recorded
+}
+
+// DefaultTraceCapacity is the ring size engines use unless configured.
+const DefaultTraceCapacity = 1024
+
+// NewTrace builds a ring holding the last capacity events (minimum 1).
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends an event, stamping its sequence number, and returns it.
+func (t *Trace) Record(ev Event) Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	ev.Seq = t.seq
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next] = ev
+	}
+	t.next = (t.next + 1) % cap(t.buf)
+	return ev
+}
+
+// Len reports how many events the ring currently holds.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Total reports how many events were ever recorded (including overwritten).
+func (t *Trace) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Recent returns up to n most recent events in chronological order
+// (oldest first). n <= 0 returns nil.
+func (t *Trace) Recent(n int) []Event {
+	if n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n > len(t.buf) {
+		n = len(t.buf)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Event, n)
+	// The newest event sits just before t.next (ring full) or at
+	// len(buf)-1 (still filling, where next == len(buf) % cap).
+	start := t.next - n
+	if len(t.buf) < cap(t.buf) {
+		start = len(t.buf) - n
+	}
+	for i := 0; i < n; i++ {
+		out[i] = t.buf[(start+i+cap(t.buf))%cap(t.buf)]
+	}
+	return out
+}

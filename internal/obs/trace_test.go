@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceRecentOrderAndBounds(t *testing.T) {
+	tr := NewTrace(4)
+	if got := tr.Recent(10); got != nil {
+		t.Errorf("Recent on empty trace = %v, want nil", got)
+	}
+	for i := 1; i <= 3; i++ {
+		tr.Record(Event{Kind: EventReport, User: fmt.Sprintf("u%d", i)})
+	}
+	got := tr.Recent(2)
+	if len(got) != 2 || got[0].User != "u2" || got[1].User != "u3" {
+		t.Fatalf("Recent(2) = %+v, want u2 then u3", got)
+	}
+	if got := tr.Recent(100); len(got) != 3 {
+		t.Errorf("Recent(100) returned %d events, want all 3", len(got))
+	}
+	if tr.Recent(0) != nil || tr.Recent(-1) != nil {
+		t.Error("Recent(<=0) should be nil")
+	}
+}
+
+func TestTraceWraparound(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 1; i <= 10; i++ {
+		tr.Record(Event{Kind: EventActivate, User: fmt.Sprintf("u%d", i)})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (bounded)", tr.Len())
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	got := tr.Recent(4)
+	want := []string{"u7", "u8", "u9", "u10"}
+	for i, ev := range got {
+		if ev.User != want[i] {
+			t.Errorf("Recent[%d] = %s, want %s", i, ev.User, want[i])
+		}
+		if ev.Seq != uint64(7+i) {
+			t.Errorf("Recent[%d].Seq = %d, want %d", i, ev.Seq, 7+i)
+		}
+	}
+}
+
+func TestTraceTinyCapacity(t *testing.T) {
+	tr := NewTrace(0) // clamped to 1
+	tr.Record(Event{User: "a"})
+	tr.Record(Event{User: "b"})
+	got := tr.Recent(5)
+	if len(got) != 1 || got[0].User != "b" {
+		t.Errorf("Recent = %+v, want only b", got)
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(Event{Kind: EventViolator, Time: time.Unix(0, int64(i))})
+				if i%100 == 0 {
+					_ = tr.Recent(10)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != 8*500 {
+		t.Errorf("Total = %d, want %d", tr.Total(), 8*500)
+	}
+	if tr.Len() != 64 {
+		t.Errorf("Len = %d, want full ring 64", tr.Len())
+	}
+	// Sequence numbers in a window must be strictly increasing.
+	evs := tr.Recent(64)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("non-monotone seq at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{Kind: EventActivate, User: "u1", RuleID: "swap-cdn", Provider: "9.9.9.9", Detail: "alt 1"}
+	s := ev.String()
+	for _, want := range []string{"u1", "activate", "swap-cdn", "9.9.9.9", "alt 1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package origin
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"oak/internal/core"
+	"oak/internal/obs"
+)
+
+// Operator observability endpoints. Like AuditPath, these are
+// operator-facing: restrict access to them in deployments.
+const (
+	// MetricsPath serves the engine's aggregate counters and latency
+	// histograms as JSON.
+	MetricsPath = "/oak/metrics"
+	// HealthzPath serves a liveness summary (uptime, rule/user counts).
+	HealthzPath = "/oak/healthz"
+	// TracePath serves the most recent decision-trace events as JSON;
+	// ?n=100 bounds the window (default 100).
+	TracePath = "/oak/trace"
+)
+
+// defaultTraceWindow is how many events GET /oak/trace returns when the
+// request does not say.
+const defaultTraceWindow = 100
+
+// MetricsResponse is the GET /oak/metrics body.
+type MetricsResponse struct {
+	// Counters are the engine's monotone aggregate counters.
+	Counters core.Metrics `json:"counters"`
+	// Ingest and Rewrite summarise the hot-path latency histograms in
+	// millisecond percentiles.
+	Ingest  obs.Summary `json:"ingest"`
+	Rewrite obs.Summary `json:"rewrite"`
+	// IngestBuckets and RewriteBuckets are the raw populated histogram
+	// buckets, for operators who want more than percentiles.
+	IngestBuckets  []obs.Bucket `json:"ingest_buckets,omitempty"`
+	RewriteBuckets []obs.Bucket `json:"rewrite_buckets,omitempty"`
+}
+
+// HealthzResponse is the GET /oak/healthz body.
+type HealthzResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Rules         int     `json:"rules"`
+	Users         int     `json:"users"`
+	Reports       uint64  `json:"reports"`
+}
+
+// handleMetrics serves counters plus ingest/rewrite histograms.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !getOnly(w, r) {
+		return
+	}
+	lat := s.engine.Latencies()
+	writeJSON(w, MetricsResponse{
+		Counters:       s.engine.Metrics(),
+		Ingest:         lat.Ingest.Summary(),
+		Rewrite:        lat.Rewrite.Summary(),
+		IngestBuckets:  lat.Ingest.Buckets,
+		RewriteBuckets: lat.Rewrite.Buckets,
+	})
+}
+
+// handleHealthz serves the liveness summary.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !getOnly(w, r) {
+		return
+	}
+	writeJSON(w, HealthzResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Rules:         len(s.engine.Rules()),
+		Users:         s.engine.Users(),
+		Reports:       s.engine.Metrics().ReportsHandled,
+	})
+}
+
+// handleTrace serves the last n decision-trace events.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !getOnly(w, r) {
+		return
+	}
+	n := defaultTraceWindow
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	evs := s.engine.TraceRecent(n)
+	if evs == nil {
+		evs = []obs.Event{} // serve [] rather than null
+	}
+	writeJSON(w, evs)
+}
+
+// getOnly rejects non-GET methods.
+func getOnly(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+// writeJSON encodes v as indented JSON.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"oak/internal/core"
 	"oak/internal/report"
@@ -37,7 +38,8 @@ const maxReportBytes = 4 << 20
 
 // Server is an Oak-fronted origin web server.
 type Server struct {
-	engine *core.Engine
+	engine  *core.Engine
+	started time.Time
 
 	mu     sync.RWMutex
 	pages  map[string]string
@@ -49,8 +51,9 @@ var _ http.Handler = (*Server)(nil)
 // NewServer wraps an engine. Pages are registered with SetPage.
 func NewServer(engine *core.Engine) *Server {
 	return &Server{
-		engine: engine,
-		pages:  make(map[string]string),
+		engine:  engine,
+		started: time.Now(),
+		pages:   make(map[string]string),
 	}
 }
 
@@ -72,6 +75,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleReport(w, r)
 	case AuditPath:
 		s.handleAudit(w, r)
+	case MetricsPath:
+		s.handleMetrics(w, r)
+	case HealthzPath:
+		s.handleHealthz(w, r)
+	case TracePath:
+		s.handleTrace(w, r)
 	default:
 		s.handlePage(w, r)
 	}

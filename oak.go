@@ -32,6 +32,7 @@ import (
 
 	"oak/internal/client"
 	"oak/internal/core"
+	"oak/internal/obs"
 	"oak/internal/origin"
 	"oak/internal/report"
 	"oak/internal/rules"
@@ -92,6 +93,20 @@ type AnalysisResult = core.AnalysisResult
 // EngineMetrics are the engine's aggregate counters.
 type EngineMetrics = core.Metrics
 
+// TraceEvent is one recorded engine decision (report ingested, violator
+// flagged, rule activated/advanced/kept/deactivated/expired, page
+// modified). Engine.TraceRecent(n) returns the latest; the origin server
+// serves them at TracePath.
+type TraceEvent = obs.Event
+
+// LatencySnapshot is a point-in-time copy of one hot-path latency
+// histogram; Quantile/Mean/Summary extract percentiles.
+type LatencySnapshot = obs.Snapshot
+
+// EngineLatencies pairs the engine's ingest and rewrite histograms,
+// returned by Engine.Latencies and served at MetricsPath.
+type EngineLatencies = core.LatencySnapshots
+
 // AuditReport is the operator-facing summary of what Oak has learned —
 // the paper's "offline auditing tool". Engine.Audit() builds one; the
 // origin server also serves it at AuditPath.
@@ -127,6 +142,14 @@ const (
 	// AuditPath serves the operator audit summary. Restrict access in
 	// deployments: it is operator-facing.
 	AuditPath = origin.AuditPath
+	// MetricsPath serves engine counters and ingest/rewrite latency
+	// histograms as JSON. Operator-facing.
+	MetricsPath = origin.MetricsPath
+	// HealthzPath serves a liveness summary (uptime, rule/user counts).
+	HealthzPath = origin.HealthzPath
+	// TracePath serves recent decision-trace events as JSON (?n=100).
+	// Operator-facing.
+	TracePath = origin.TracePath
 )
 
 // NewEngine builds an Oak engine over a compiled rule set.
@@ -146,8 +169,13 @@ func WithScriptFetcher(f core.ScriptFetcher) EngineOption { return core.WithScri
 // WithClock overrides the engine's time source.
 func WithClock(now func() time.Time) EngineOption { return core.WithClock(now) }
 
-// WithLogf directs engine decision logging to a printf-style sink.
+// WithLogf directs engine decision logging to a printf-style sink. The
+// structured source of these lines is the decision trace (TraceRecent).
 func WithLogf(logf func(format string, args ...any)) EngineOption { return core.WithLogf(logf) }
+
+// WithTraceCapacity sizes the engine's decision-trace ring buffer (the
+// window TracePath serves); default 1024 events.
+func WithTraceCapacity(n int) EngineOption { return core.WithTraceCapacity(n) }
 
 // NewServer wraps an engine as an Oak-fronted origin server.
 func NewServer(engine *Engine) *Server { return origin.NewServer(engine) }

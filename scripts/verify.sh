@@ -1,0 +1,31 @@
+#!/bin/sh
+# verify.sh — the repository verify path, run on every PR.
+#
+# Beyond the tier-1 gate (go build && go test), this enforces formatting,
+# vet cleanliness, and — because internal/obs ships lock-free histograms
+# and a ring buffer feeding the concurrent engine — race-checks the
+# packages where that concurrency lives.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== gofmt -l . =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "== go test -race ./internal/core ./internal/obs ./internal/origin =="
+go test -race ./internal/core ./internal/obs ./internal/origin
+
+echo "verify: OK"
