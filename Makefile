@@ -1,4 +1,4 @@
-.PHONY: verify test race vet fmt bench
+.PHONY: verify test race vet fmt bench bench-all
 
 # Full PR verify path: build, formatting, vet, tests, and race-checking of
 # the concurrent engine + observability packages. See scripts/verify.sh.
@@ -17,5 +17,10 @@ vet:
 fmt:
 	gofmt -l -w .
 
+# Ingest benchmarks + BENCH_ingest.json (perf trajectory across PRs).
 bench:
-	go test -bench=. -benchmem
+	sh scripts/bench_ingest.sh
+
+# Every benchmark in the repo, raw output only.
+bench-all:
+	go test -bench=. -benchmem ./...

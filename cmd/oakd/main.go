@@ -5,13 +5,21 @@
 //
 //	oakd -root ./site -rules ./rules.oak [-addr :8080] [-v]
 //	     [-state oak-state.json] [-save-interval 5m] [-pprof 127.0.0.1:6060]
+//	     [-shards N] [-ingest-queue N] [-ingest-workers N]
 //
 // Every *.html file under -root is served at its relative path (index.html
 // also at the directory path). Clients receive identifying cookies, pages
 // are rewritten per user according to activated rules, and performance
-// reports are accepted at POST /oak/report. The rule file uses the DSL of
-// internal/rules.ParseDSL (heredoc blocks; see the repository README), or
-// JSON when it ends in .json.
+// reports are accepted at POST /oak/report — one JSON report per request,
+// or an NDJSON batch (Content-Type application/x-ndjson, one report per
+// line). The rule file uses the DSL of internal/rules.ParseDSL (heredoc
+// blocks; see the repository README), or JSON when it ends in .json.
+//
+// Scaling: per-user state is sharded across -shards lock stripes (0 = four
+// per CPU) so reports for different users ingest in parallel. -ingest-queue
+// enables the batched-ingest pipeline: reports are queued (bounded,
+// backpressure when full) and drained by -ingest-workers workers. See
+// docs/OPERATIONS.md for sizing guidance.
 //
 // Observability: the server answers GET /oak/metrics (counters + latency
 // histograms), /oak/healthz (liveness), /oak/trace (recent engine
@@ -27,13 +35,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io/fs"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -58,12 +64,18 @@ func run(args []string) error {
 		stateFile = fs2.String("state", "", "persist per-user state to this file (loaded at boot, saved periodically and on shutdown)")
 		saveEvery = fs2.Duration("save-interval", 5*time.Minute, "how often to persist state (with -state)")
 		pprofAddr = fs2.String("pprof", "", "serve net/http/pprof on this separate admin address (e.g. 127.0.0.1:6060); off when empty")
+		shards    = fs2.Int("shards", 0, "lock-striped shards for per-user state (rounded up to a power of two; 0 = four per CPU)")
+		queueLen  = fs2.Int("ingest-queue", 0, "per-worker bounded queue length for batched ingest (0 = synchronous ingest, no pipeline)")
+		workers   = fs2.Int("ingest-workers", 0, "batched-ingest worker count (with -ingest-queue; 0 = one per CPU)")
 	)
 	if err := fs2.Parse(args); err != nil {
 		return err
 	}
 
-	server, pages, nRules, err := buildServer(*root, *ruleFile, *verbose)
+	server, pages, nRules, err := buildServer(oakdConfig{
+		root: *root, ruleFile: *ruleFile, verbose: *verbose,
+		shards: *shards, queueLen: *queueLen, workers: *workers,
+	})
 	if err != nil {
 		return err
 	}
@@ -74,6 +86,9 @@ func run(args []string) error {
 		stop := persistPeriodically(server.Engine(), *stateFile, *saveEvery)
 		defer stop()
 	}
+	// Deferred after the state defer, so on any exit path the pipeline is
+	// drained into the shards before the final state save runs.
+	defer server.Engine().Close()
 
 	if *pprofAddr != "" {
 		admin := &http.Server{Addr: *pprofAddr, Handler: pprofMux()}
@@ -181,16 +196,26 @@ func persistPeriodically(engine *oak.Engine, path string, every time.Duration) (
 	}
 }
 
+// oakdConfig is what buildServer needs from the flags.
+type oakdConfig struct {
+	root     string
+	ruleFile string
+	verbose  bool
+	shards   int
+	queueLen int
+	workers  int
+}
+
 // buildServer assembles the Oak server from a page directory and a rule
 // file. Split from run so it is testable without binding a listener.
-func buildServer(root, ruleFile string, verbose bool) (*oak.Server, int, int, error) {
+func buildServer(cfg oakdConfig) (*oak.Server, int, int, error) {
 	var ruleSet []*oak.Rule
-	if ruleFile != "" {
-		data, err := os.ReadFile(ruleFile)
+	if cfg.ruleFile != "" {
+		data, err := os.ReadFile(cfg.ruleFile)
 		if err != nil {
 			return nil, 0, 0, fmt.Errorf("read rules: %w", err)
 		}
-		if strings.HasSuffix(ruleFile, ".json") {
+		if strings.HasSuffix(cfg.ruleFile, ".json") {
 			ruleSet, err = oak.ParseRulesJSON(data)
 		} else {
 			ruleSet, err = oak.ParseRules(string(data))
@@ -205,53 +230,29 @@ func buildServer(root, ruleFile string, verbose bool) (*oak.Server, int, int, er
 	}
 
 	var opts []oak.EngineOption
-	if verbose {
+	if cfg.verbose {
 		opts = append(opts, oak.WithLogf(log.Printf))
+	}
+	if cfg.shards > 0 {
+		opts = append(opts, oak.WithShards(cfg.shards))
+	}
+	if cfg.queueLen > 0 {
+		opts = append(opts, oak.WithIngestPipeline(oak.IngestConfig{
+			Workers:  cfg.workers,
+			QueueLen: cfg.queueLen,
+		}))
 	}
 	engine, err := oak.NewEngine(ruleSet, opts...)
 	if err != nil {
 		return nil, 0, 0, err
 	}
 	server := oak.NewServer(engine)
-	pages, err := loadPages(root, server)
+	pages, err := server.LoadPages(os.DirFS(cfg.root))
 	if err != nil {
 		return nil, 0, 0, err
 	}
+	if pages == 0 {
+		return nil, 0, 0, fmt.Errorf("no *.html pages under %s", cfg.root)
+	}
 	return server, pages, len(ruleSet), nil
-}
-
-// loadPages registers every *.html under root with the server and returns
-// how many were loaded.
-func loadPages(root string, server *oak.Server) (int, error) {
-	count := 0
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() || !strings.HasSuffix(path, ".html") {
-			return nil
-		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		rel, err := filepath.Rel(root, path)
-		if err != nil {
-			return err
-		}
-		urlPath := "/" + filepath.ToSlash(rel)
-		server.SetPage(urlPath, string(data))
-		if strings.HasSuffix(urlPath, "/index.html") {
-			server.SetPage(strings.TrimSuffix(urlPath, "index.html"), string(data))
-		}
-		count++
-		return nil
-	})
-	if err != nil {
-		return 0, fmt.Errorf("load pages: %w", err)
-	}
-	if count == 0 {
-		return 0, fmt.Errorf("no *.html pages under %s", root)
-	}
-	return count, nil
 }

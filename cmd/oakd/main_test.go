@@ -39,7 +39,7 @@ func newSiteDir(t *testing.T) string {
 
 func TestBuildServerServesPages(t *testing.T) {
 	dir := newSiteDir(t)
-	server, pages, nRules, err := buildServer(dir, "", false)
+	server, pages, nRules, err := buildServer(oakdConfig{root: dir, ruleFile: "", verbose: false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ rule r1 {
   scope *
 }
 `)
-	_, _, nRules, err := buildServer(dir, ruleFile, true)
+	_, _, nRules, err := buildServer(oakdConfig{root: dir, ruleFile: ruleFile, verbose: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestBuildServerWithJSONRules(t *testing.T) {
 	dir := newSiteDir(t)
 	ruleFile := filepath.Join(dir, "rules.json")
 	writeFile(t, ruleFile, `[{"id":"r1","type":1,"default":"<div>ad</div>","scope":"*","ttlMillis":0}]`)
-	_, _, nRules, err := buildServer(dir, ruleFile, false)
+	_, _, nRules, err := buildServer(oakdConfig{root: dir, ruleFile: ruleFile, verbose: false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,16 +109,16 @@ func TestBuildServerWithJSONRules(t *testing.T) {
 
 func TestBuildServerErrors(t *testing.T) {
 	dir := newSiteDir(t)
-	if _, _, _, err := buildServer(dir, filepath.Join(dir, "missing.oak"), false); err == nil {
+	if _, _, _, err := buildServer(oakdConfig{root: dir, ruleFile: filepath.Join(dir, "missing.oak"), verbose: false}); err == nil {
 		t.Error("missing rule file: want error")
 	}
 	bad := filepath.Join(dir, "bad.oak")
 	writeFile(t, bad, "rule broken {")
-	if _, _, _, err := buildServer(dir, bad, false); err == nil {
+	if _, _, _, err := buildServer(oakdConfig{root: dir, ruleFile: bad, verbose: false}); err == nil {
 		t.Error("bad rule file: want error")
 	}
 	empty := t.TempDir()
-	if _, _, _, err := buildServer(empty, "", false); err == nil {
+	if _, _, _, err := buildServer(oakdConfig{root: empty, ruleFile: "", verbose: false}); err == nil {
 		t.Error("empty page dir: want error")
 	}
 }
@@ -141,7 +141,7 @@ rule swap {
   scope *
 }
 `)
-	server, _, _, err := buildServer(dir, ruleFile, false)
+	server, _, _, err := buildServer(oakdConfig{root: dir, ruleFile: ruleFile, verbose: false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ rule swap {
 	}
 
 	// A restarted server restores the activation.
-	server2, _, _, err := buildServer(dir, ruleFile, false)
+	server2, _, _, err := buildServer(oakdConfig{root: dir, ruleFile: ruleFile, verbose: false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ rule swap {
 
 func TestLoadStateMissingFileOK(t *testing.T) {
 	dir := newSiteDir(t)
-	server, _, _, err := buildServer(dir, "", false)
+	server, _, _, err := buildServer(oakdConfig{root: dir, ruleFile: "", verbose: false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestLoadStateMissingFileOK(t *testing.T) {
 
 func TestPersistPeriodicallyStops(t *testing.T) {
 	dir := newSiteDir(t)
-	server, _, _, err := buildServer(dir, "", false)
+	server, _, _, err := buildServer(oakdConfig{root: dir, ruleFile: "", verbose: false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestPersistStopTakesFinalSave(t *testing.T) {
 	// Even when the interval never fires, stopping the loop persists once —
 	// this is the graceful-shutdown save path.
 	dir := newSiteDir(t)
-	server, _, _, err := buildServer(dir, "", false)
+	server, _, _, err := buildServer(oakdConfig{root: dir, ruleFile: "", verbose: false})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -73,20 +73,25 @@ func (e *Engine) Audit() *Audit {
 	type sv struct {
 		users, violations int
 	}
-	e.mu.RLock()
+	// Violation footprints are collected shard by shard (weakly consistent
+	// under concurrent ingest; each user lives in exactly one shard, so
+	// per-server user counts stay exact).
 	servers := make(map[string]*sv)
-	for _, prof := range e.profiles {
-		for addr, n := range prof.violations {
-			entry, ok := servers[addr]
-			if !ok {
-				entry = &sv{}
-				servers[addr] = entry
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		for _, prof := range sh.profiles {
+			for addr, n := range prof.violations {
+				entry, ok := servers[addr]
+				if !ok {
+					entry = &sv{}
+					servers[addr] = entry
+				}
+				entry.users++
+				entry.violations += n
 			}
-			entry.users++
-			entry.violations += n
 		}
+		sh.mu.RUnlock()
 	}
-	e.mu.RUnlock()
 	for addr, entry := range servers {
 		a.WorstServers = append(a.WorstServers, AuditServerEntry{
 			ServerAddr: addr, Users: entry.users, Violations: entry.violations,

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"oak/internal/report"
+	"oak/internal/rules"
+)
+
+// Ingest benchmarks: the numbers behind BENCH_ingest.json (make bench).
+// BenchmarkHandleReportParallel vs BenchmarkHandleReportParallelSingleShard
+// is the sharding payoff — the single-shard engine reproduces the old
+// one-global-lock design, so the ratio of their reports/sec is the
+// parallel-ingest speedup on the machine at hand.
+
+// benchUserPool is how many distinct users each benchmark goroutine cycles
+// through, spreading load across every shard.
+const benchUserPool = 512
+
+// benchReports pre-builds one report per pool user so the measured loop
+// does no allocation beyond the engine's own.
+func benchReports(prefix string) []*report.Report {
+	reports := make([]*report.Report, benchUserPool)
+	for i := range reports {
+		reports[i] = slowS1Report(fmt.Sprintf("%s-%d", prefix, i))
+	}
+	return reports
+}
+
+func benchEngine(b *testing.B, opts ...Option) *Engine {
+	b.Helper()
+	e, err := NewEngine([]*rules.Rule{jqRule(0)}, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { e.Close() })
+	return e
+}
+
+// BenchmarkHandleReportSerial is the single-goroutine ingest cost.
+func BenchmarkHandleReportSerial(b *testing.B) {
+	e := benchEngine(b)
+	reports := benchReports("serial")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.HandleReport(reports[i%benchUserPool]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportThroughput(b)
+}
+
+// BenchmarkHandleReportParallel ingests reports for distinct users from
+// every available core against the default-sharded engine.
+func BenchmarkHandleReportParallel(b *testing.B) {
+	benchParallel(b, benchEngine(b))
+}
+
+// BenchmarkHandleReportParallelSingleShard is the contention baseline: one
+// shard means one write lock for all users, the pre-sharding design.
+func BenchmarkHandleReportParallelSingleShard(b *testing.B) {
+	benchParallel(b, benchEngine(b, WithShards(1)))
+}
+
+func benchParallel(b *testing.B, e *Engine) {
+	var gid atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each goroutine owns a distinct slice of the user population.
+		reports := benchReports(fmt.Sprintf("g%d", gid.Add(1)))
+		i := 0
+		for pb.Next() {
+			if _, err := e.HandleReport(reports[i%benchUserPool]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	reportThroughput(b)
+}
+
+// BenchmarkHandleBatch measures the batch entry point end to end (fan-out
+// across inline workers, no pipeline).
+func BenchmarkHandleBatch(b *testing.B) {
+	e := benchEngine(b)
+	reports := benchReports("batch")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := e.HandleBatch(context.Background(), reports)
+		if res.Failed != 0 {
+			b.Fatalf("batch failed: %+v", res)
+		}
+	}
+	b.StopTimer()
+	// Normalise to per-report so the number is comparable to the others.
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N*benchUserPool)
+	if perOp > 0 {
+		b.ReportMetric(1e9/perOp, "reports/sec")
+	}
+}
+
+// BenchmarkHandleReportPipeline drives the batched-ingest pipeline from
+// parallel submitters.
+func BenchmarkHandleReportPipeline(b *testing.B) {
+	benchParallel(b, benchEngine(b, WithIngestPipeline(IngestConfig{})))
+}
+
+// reportThroughput derives reports/sec from the measured ns/op.
+func reportThroughput(b *testing.B) {
+	if b.N == 0 || b.Elapsed() == 0 {
+		return
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reports/sec")
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -13,10 +14,21 @@ import (
 // Engine is the Oak server's decision core. It ingests client performance
 // reports, maintains per-user profiles, and rewrites outgoing pages with the
 // rules active for each user. It is safe for concurrent use.
+//
+// Per-user state lives in lock-striped shards (see shard.go) keyed by user
+// ID, so reports for different users ingest in parallel; the rule set has
+// its own lock. An optional batched-ingest pipeline (WithIngestPipeline)
+// adds a bounded queue and a worker pool in front of the shards; engines
+// with a pipeline should be Closed when no longer needed.
 type Engine struct {
-	mu       sync.RWMutex
-	rules    []*rules.Rule
-	profiles map[string]*Profile
+	rulesMu sync.RWMutex
+	rules   []*rules.Rule
+
+	// shards partition per-user state; len(shards) is a power of two fixed
+	// at construction. shardCount carries the WithShards request until the
+	// shards are built.
+	shards     []*shard
+	shardCount int
 
 	policy  Policy
 	matcher *Matcher
@@ -25,10 +37,15 @@ type Engine struct {
 	now     func() time.Time
 	logf    func(format string, args ...any)
 
+	// pipeline is the optional batched-ingest queue + worker pool; nil
+	// means HandleReport processes synchronously on the caller's goroutine.
+	pipeline       *pipeline
+	pipelineConfig *IngestConfig
+
 	// Observability (internal/obs): every decision point emits a structured
-	// trace event, and both hot paths feed lock-free latency histograms.
+	// trace event; rewrite latency feeds one histogram, ingest latency one
+	// histogram per shard (merged on read).
 	traceBuf    *obs.Trace
-	ingestHist  obs.Histogram
 	rewriteHist obs.Histogram
 }
 
@@ -69,7 +86,6 @@ func WithTraceCapacity(n int) Option {
 // Rules are compiled; an invalid rule fails construction.
 func NewEngine(ruleSet []*rules.Rule, opts ...Option) (*Engine, error) {
 	e := &Engine{
-		profiles: make(map[string]*Profile),
 		policy:   DefaultPolicy(),
 		matcher:  NewMatcher(nil),
 		ledger:   NewLedger(),
@@ -79,12 +95,33 @@ func NewEngine(ruleSet []*rules.Rule, opts ...Option) (*Engine, error) {
 	for _, opt := range opts {
 		opt(e)
 	}
+	n := e.shardCount
+	if n <= 0 {
+		n = DefaultShardCount()
+	}
+	e.shards = make([]*shard, n)
+	for i := range e.shards {
+		e.shards[i] = &shard{profiles: make(map[string]*Profile)}
+	}
 	e.matcher.MaxLevel = e.policy.MatchLevel
 	e.matcher.Depth = e.policy.MatchDepth
 	if err := e.SetRules(ruleSet); err != nil {
 		return nil, err
 	}
+	if e.pipelineConfig != nil {
+		e.pipeline = newPipeline(e, *e.pipelineConfig)
+	}
 	return e, nil
+}
+
+// Close stops the batched-ingest pipeline, draining queued reports first.
+// It is a no-op for engines without a pipeline and is safe to call more
+// than once. After Close, HandleReport returns ErrEngineClosed.
+func (e *Engine) Close() error {
+	if e.pipeline != nil {
+		e.pipeline.close()
+	}
+	return nil
 }
 
 // SetRules replaces the engine's rule set. Existing per-user activations of
@@ -102,17 +139,26 @@ func (e *Engine) SetRules(ruleSet []*rules.Rule) error {
 		}
 		seen[r.ID] = true
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.rulesMu.Lock()
+	defer e.rulesMu.Unlock()
 	e.rules = append([]*rules.Rule(nil), ruleSet...)
 	return nil
 }
 
 // Rules returns a copy of the engine's rule set.
 func (e *Engine) Rules() []*rules.Rule {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.rulesMu.RLock()
+	defer e.rulesMu.RUnlock()
 	return append([]*rules.Rule(nil), e.rules...)
+}
+
+// ruleSnapshot returns the live rule slice for read-only iteration. The
+// slice itself is never mutated after SetRules installs it, so holding the
+// lock only for the slice-header read is safe.
+func (e *Engine) ruleSnapshot() []*rules.Rule {
+	e.rulesMu.RLock()
+	defer e.rulesMu.RUnlock()
+	return e.rules
 }
 
 // Ledger exposes the activation ledger (auditing, Figure 14 / Table 3).
@@ -146,12 +192,38 @@ type AnalysisResult struct {
 // one client report: group objects by server, detect violators with the MAD
 // criterion, reconcile the user's existing activations (rule history), and
 // activate any rules with a connection dependency on a violator.
+//
+// It is HandleReportCtx with a background context.
 func (e *Engine) HandleReport(r *report.Report) (*AnalysisResult, error) {
-	start := time.Now()
-	defer func() { e.ingestHist.Observe(time.Since(start)) }()
+	return e.HandleReportCtx(context.Background(), r)
+}
+
+// HandleReportCtx is HandleReport with a context. On an engine with a
+// batched-ingest pipeline the report is queued and the call waits for the
+// result; cancelling ctx abandons the report while it is still queued (a
+// report already being processed completes, but the call returns ctx's
+// error immediately). Without a pipeline the report is processed
+// synchronously and ctx is only checked on entry.
+func (e *Engine) HandleReportCtx(ctx context.Context, r *report.Report) (*AnalysisResult, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if e.pipeline != nil {
+		return e.pipeline.submit(ctx, r)
+	}
+	return e.process(r)
+}
+
+// process runs the analysis pipeline on one pre-validated report against
+// the report's shard. It is the synchronous core both ingest paths share.
+func (e *Engine) process(r *report.Report) (*AnalysisResult, error) {
+	sh := e.shardFor(r.UserID)
+	start := time.Now()
+	defer func() { sh.ingest.Observe(time.Since(start)) }()
+
 	now := e.now()
 	servers := report.GroupByServer(r)
 	violations := DetectViolators(servers, e.policy.MADMultiplier)
@@ -165,14 +237,12 @@ func (e *Engine) HandleReport(r *report.Report) (*AnalysisResult, error) {
 		scriptURLs = append(scriptURLs, s.ScriptURLs...)
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	activeRules := e.ruleSnapshot()
 
-	prof, ok := e.profiles[r.UserID]
-	if !ok {
-		prof = newProfile(r.UserID)
-		e.profiles[r.UserID] = prof
-	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	prof := sh.profileLocked(r.UserID)
 	prof.lastReport = now
 	e.ledger.RecordUser(r.UserID)
 	e.trace(obs.Event{
@@ -211,7 +281,7 @@ func (e *Engine) HandleReport(r *report.Report) (*AnalysisResult, error) {
 
 		// Activation (Section 4.2.2): find rules with a connection
 		// dependency on the violator and activate them for this user.
-		for _, rule := range e.rules {
+		for _, rule := range activeRules {
 			if !rule.InScope(r.Page) {
 				continue
 			}
@@ -304,9 +374,10 @@ func (e *Engine) reconcileActiveRules(prof *Profile, v Violation, now time.Time,
 // ActiveRules returns the rule applications live for the user on the given
 // page path, in deterministic order.
 func (e *Engine) ActiveRules(userID, path string) []rules.Activation {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	prof, ok := e.profiles[userID]
+	sh := e.shardFor(userID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	prof, ok := sh.profiles[userID]
 	if !ok {
 		return nil
 	}
@@ -343,9 +414,10 @@ type ProfileSnapshot struct {
 
 // Snapshot returns the profile state for a user, or false if unknown.
 func (e *Engine) Snapshot(userID string) (ProfileSnapshot, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	prof, ok := e.profiles[userID]
+	sh := e.shardFor(userID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	prof, ok := sh.profiles[userID]
 	if !ok {
 		return ProfileSnapshot{}, false
 	}
@@ -361,11 +433,16 @@ func (e *Engine) Snapshot(userID string) (ProfileSnapshot, bool) {
 	return snap, ok
 }
 
-// Users returns the number of profiles the engine holds.
+// Users returns the number of profiles the engine holds, summed shard by
+// shard (weakly consistent under concurrent ingest).
 func (e *Engine) Users() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.profiles)
+	total := 0
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		total += len(sh.profiles)
+		sh.mu.RUnlock()
+	}
+	return total
 }
 
 // trace records one decision event in the ring buffer, stamping it with the
@@ -388,17 +465,27 @@ func (e *Engine) TraceRecent(n int) []obs.Event {
 // LatencySnapshots are point-in-time copies of the engine's hot-path
 // latency histograms.
 type LatencySnapshots struct {
-	// Ingest is per-report HandleReport latency (validation through
-	// decision-making).
+	// Ingest is per-report HandleReport latency (grouping through
+	// decision-making), merged across all shards.
 	Ingest obs.Snapshot
+	// IngestShards holds each shard's ingest histogram, indexed by shard.
+	// A shard whose latencies stand out from its peers indicates a hot
+	// user population (hash skew or a few very busy users).
+	IngestShards []obs.Snapshot
 	// Rewrite is per-page ModifyPage latency.
 	Rewrite obs.Snapshot
 }
 
-// Latencies snapshots the ingest and rewrite histograms.
+// Latencies snapshots the ingest (overall and per shard) and rewrite
+// histograms.
 func (e *Engine) Latencies() LatencySnapshots {
-	return LatencySnapshots{
-		Ingest:  e.ingestHist.Snapshot(),
-		Rewrite: e.rewriteHist.Snapshot(),
+	ls := LatencySnapshots{
+		IngestShards: make([]obs.Snapshot, len(e.shards)),
+		Rewrite:      e.rewriteHist.Snapshot(),
 	}
+	for i, sh := range e.shards {
+		ls.IngestShards[i] = sh.ingest.Snapshot()
+		ls.Ingest = ls.Ingest.Merge(ls.IngestShards[i])
+	}
+	return ls
 }

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"oak/internal/obs"
+	"oak/internal/report"
+)
+
+// Batched ingest: an optional bounded queue plus worker pool in front of the
+// sharded engine. HTTP handlers (and any other producer) hand reports to the
+// queue and the workers drain them shard by shard — each worker owns a fixed
+// subset of shards, so a user's reports are always processed by the same
+// worker, in submission order, and workers never contend on a shard lock.
+// When the queue is full, Submit blocks: backpressure propagates to the
+// producer instead of growing memory without bound.
+
+// ErrEngineClosed is returned by report submission after Engine.Close.
+var ErrEngineClosed = errors.New("engine: closed")
+
+// Default pipeline sizing.
+const (
+	// DefaultIngestQueueLen is the per-worker queue bound used when
+	// IngestConfig.QueueLen is zero.
+	DefaultIngestQueueLen = 256
+)
+
+// IngestConfig sizes the batched-ingest pipeline.
+type IngestConfig struct {
+	// Workers is the worker-pool size; 0 means one worker per logical CPU.
+	// More workers than shards is never useful and is clamped down.
+	Workers int
+	// QueueLen bounds each worker's queue; 0 means DefaultIngestQueueLen.
+	// Total queued capacity is Workers * QueueLen.
+	QueueLen int
+}
+
+// normalized fills defaults in.
+func (c IngestConfig) normalized(shards int) IngestConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > shards {
+		c.Workers = shards
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = DefaultIngestQueueLen
+	}
+	return c
+}
+
+// WithIngestPipeline enables the batched-ingest pipeline: HandleReport and
+// HandleReportCtx enqueue into a bounded queue drained by a worker pool
+// instead of processing on the caller's goroutine. Engines built with this
+// option must be Closed to stop the workers.
+func WithIngestPipeline(cfg IngestConfig) Option {
+	return func(e *Engine) {
+		c := cfg
+		e.pipelineConfig = &c
+	}
+}
+
+// ingestOutcome is what processing one queued report produced.
+type ingestOutcome struct {
+	res *AnalysisResult
+	err error
+}
+
+// ingestTask is one queued report and the channel its result goes to.
+type ingestTask struct {
+	ctx context.Context
+	rep *report.Report
+	res chan ingestOutcome // buffered(1); workers never block sending
+}
+
+// pipeline is the running queue + worker pool.
+type pipeline struct {
+	engine *Engine
+	queues []chan ingestTask
+	wg     sync.WaitGroup
+
+	// depth counts reports queued or in flight, for the /oak/metrics
+	// queue-depth gauge.
+	depth    obs.Gauge
+	capacity int
+
+	// mu guards closed: submits hold it shared so close cannot shut the
+	// queues while a send is in progress.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// newPipeline starts the worker pool.
+func newPipeline(e *Engine, cfg IngestConfig) *pipeline {
+	cfg = cfg.normalized(len(e.shards))
+	p := &pipeline{
+		engine:   e,
+		queues:   make([]chan ingestTask, cfg.Workers),
+		capacity: cfg.Workers * cfg.QueueLen,
+	}
+	for i := range p.queues {
+		p.queues[i] = make(chan ingestTask, cfg.QueueLen)
+		p.wg.Add(1)
+		go p.worker(p.queues[i])
+	}
+	return p
+}
+
+// submit queues one pre-validated report and waits for its result.
+// Cancelling ctx while the report is still queued abandons it (the worker
+// discards it un-processed); cancelling after a worker picked it up returns
+// immediately while the report still takes effect.
+func (p *pipeline) submit(ctx context.Context, r *report.Report) (*AnalysisResult, error) {
+	t := ingestTask{ctx: ctx, rep: r, res: make(chan ingestOutcome, 1)}
+	// Shard affinity: one worker owns all reports of a given shard.
+	q := p.queues[p.engine.shardIndex(r.UserID)%len(p.queues)]
+
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return nil, ErrEngineClosed
+	}
+	p.depth.Add(1)
+	select {
+	case q <- t:
+		p.mu.RUnlock()
+	case <-ctx.Done():
+		p.depth.Add(-1)
+		p.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+
+	select {
+	case out := <-t.res:
+		return out.res, out.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// worker drains one queue until close drains and closes it.
+func (p *pipeline) worker(q chan ingestTask) {
+	defer p.wg.Done()
+	for t := range q {
+		if err := t.ctx.Err(); err != nil {
+			// Cancelled while queued: the submitter is gone; drop the
+			// report without touching any profile.
+			p.depth.Add(-1)
+			t.res <- ingestOutcome{err: err}
+			continue
+		}
+		res, err := p.engine.process(t.rep)
+		p.depth.Add(-1)
+		t.res <- ingestOutcome{res: res, err: err}
+	}
+}
+
+// close stops the pipeline: no new submissions are accepted, queued reports
+// are drained, and the workers exit. Idempotent.
+func (p *pipeline) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for _, q := range p.queues {
+		close(q)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// queueStatus reports the pipeline's live depth and total capacity.
+func (p *pipeline) queueStatus() (depth int64, capacity int) {
+	return p.depth.Value(), p.capacity
+}
+
+// IngestQueue reports the batched-ingest queue's current depth (reports
+// queued or being processed) and total capacity. Both are zero on an engine
+// without a pipeline.
+func (e *Engine) IngestQueue() (depth int64, capacity int) {
+	if e.pipeline == nil {
+		return 0, 0
+	}
+	return e.pipeline.queueStatus()
+}
+
+// BatchResult summarises one HandleBatch call.
+type BatchResult struct {
+	// Submitted is how many reports the batch contained.
+	Submitted int `json:"submitted"`
+	// Processed is how many reports were analysed successfully.
+	Processed int `json:"processed"`
+	// Failed is how many reports were rejected (validation or processing
+	// error, or cancellation while queued).
+	Failed int `json:"failed"`
+	// Errors holds the first few distinct failure messages, as a debugging
+	// aid; it is capped, not exhaustive.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// batchErrorCap bounds BatchResult.Errors.
+const batchErrorCap = 8
+
+// HandleBatch ingests a batch of reports, fanning them out across shards
+// (through the pipeline when one is configured, otherwise over a bounded
+// pool of inline workers). Reports may be processed in any order. The call
+// returns when every report has been processed or ctx is cancelled;
+// cancellation counts not-yet-processed reports as failed.
+func (e *Engine) HandleBatch(ctx context.Context, reports []*report.Report) BatchResult {
+	var (
+		mu  sync.Mutex
+		res = BatchResult{Submitted: len(reports)}
+		wg  sync.WaitGroup
+	)
+	record := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err == nil {
+			res.Processed++
+			return
+		}
+		res.Failed++
+		if len(res.Errors) < batchErrorCap {
+			msg := err.Error()
+			for _, prev := range res.Errors {
+				if prev == msg {
+					return
+				}
+			}
+			res.Errors = append(res.Errors, msg)
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if e.pipeline != nil {
+		// The pipeline workers do the processing; submissions only block on
+		// backpressure, so a few more submitters keep the queues fed.
+		workers = 2 * len(e.pipeline.queues)
+	}
+	if workers > len(reports) {
+		workers = len(reports)
+	}
+
+	next := make(chan *report.Report)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range next {
+				_, err := e.HandleReportCtx(ctx, r)
+				record(err)
+			}
+		}()
+	}
+feed:
+	for _, r := range reports {
+		select {
+		case next <- r:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	if n := res.Processed + res.Failed; n < res.Submitted {
+		// Cancelled before every report was handed to a worker.
+		mu.Lock()
+		res.Failed += res.Submitted - n
+		if err := ctx.Err(); err != nil && len(res.Errors) < batchErrorCap {
+			res.Errors = append(res.Errors, err.Error())
+		}
+		mu.Unlock()
+	}
+	return res
+}

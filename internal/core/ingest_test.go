@@ -1,0 +1,269 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"oak/internal/report"
+	"oak/internal/rules"
+)
+
+func pipelineEngine(t *testing.T, workers, queueLen int, opts ...Option) *Engine {
+	t.Helper()
+	opts = append(opts, WithIngestPipeline(IngestConfig{Workers: workers, QueueLen: queueLen}))
+	e, err := NewEngine([]*rules.Rule{jqRule(0)}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func TestPipelineProcessesReports(t *testing.T) {
+	e := pipelineEngine(t, 2, 16)
+	for i := 0; i < 20; i++ {
+		res, err := e.HandleReport(slowS1Report(fmt.Sprintf("u%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Changes) != 1 || res.Changes[0].Action != "activate" {
+			t.Fatalf("changes = %+v, want one activation", res.Changes)
+		}
+	}
+	if got := e.Users(); got != 20 {
+		t.Errorf("Users() = %d, want 20", got)
+	}
+	if depth, capacity := e.IngestQueue(); depth != 0 || capacity == 0 {
+		t.Errorf("queue depth=%d capacity=%d, want drained queue with capacity", depth, capacity)
+	}
+}
+
+func TestPipelineRejectsInvalidReport(t *testing.T) {
+	e := pipelineEngine(t, 1, 4)
+	if _, err := e.HandleReport(&report.Report{UserID: "", Page: "/"}); !errors.Is(err, report.ErrNoUserID) {
+		t.Errorf("err = %v, want ErrNoUserID", err)
+	}
+}
+
+func TestPipelineClosedEngineRejects(t *testing.T) {
+	e := pipelineEngine(t, 1, 4)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := e.HandleReport(slowS1Report("late")); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("err = %v, want ErrEngineClosed", err)
+	}
+}
+
+// TestPipelineCancelWhileQueued wedges the single worker (via a blocking
+// logf sink), fills the one-slot queue behind it, and checks that (a) a
+// submission with no queue space honours ctx cancellation, and (b) a queued
+// report whose ctx is cancelled is dropped un-processed.
+func TestPipelineCancelWhileQueued(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	blockingLogf := func(string, ...any) { <-release }
+	unblock := func() { once.Do(func() { close(release) }) }
+	defer unblock()
+
+	e := pipelineEngine(t, 1, 1, WithLogf(blockingLogf))
+
+	type outcome struct {
+		res *AnalysisResult
+		err error
+	}
+	submit := func(ctx context.Context, user string) chan outcome {
+		ch := make(chan outcome, 1)
+		go func() {
+			res, err := e.HandleReportCtx(ctx, slowS1Report(user))
+			ch <- outcome{res, err}
+		}()
+		return ch
+	}
+
+	// A occupies the worker (blocked in logf under the shard lock).
+	aCh := submit(context.Background(), "a")
+	waitForDepth := func(want int64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if d, _ := e.IngestQueue(); d >= want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("queue depth never reached %d", want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitForDepth(1)
+
+	// B sits in the queue.
+	bCtx, bCancel := context.WithCancel(context.Background())
+	bCh := submit(bCtx, "b")
+	waitForDepth(2)
+
+	// C cannot even enqueue (queue full): cancelling its ctx must unblock
+	// the submission.
+	cCtx, cCancel := context.WithCancel(context.Background())
+	cCh := submit(cCtx, "c")
+	waitForDepth(3)
+	cCancel()
+	if out := <-cCh; !errors.Is(out.err, context.Canceled) {
+		t.Errorf("c err = %v, want context.Canceled", out.err)
+	}
+
+	// Cancel B while it is queued, then release the worker: B must be
+	// dropped without touching its profile.
+	bCancel()
+	unblock()
+	if out := <-bCh; !errors.Is(out.err, context.Canceled) {
+		t.Errorf("b err = %v, want context.Canceled", out.err)
+	}
+	if out := <-aCh; out.err != nil || len(out.res.Changes) != 1 {
+		t.Errorf("a outcome = %+v, %v; want one activation", out.res, out.err)
+	}
+
+	e.Close() // drain before asserting state
+	if _, ok := e.Snapshot("b"); ok {
+		t.Error("cancelled-while-queued report mutated the profile")
+	}
+	if _, ok := e.Snapshot("a"); !ok {
+		t.Error("processed report left no profile")
+	}
+}
+
+func TestHandleBatchWithoutPipeline(t *testing.T) {
+	e, err := NewEngine([]*rules.Rule{jqRule(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []*report.Report
+	for i := 0; i < 30; i++ {
+		reports = append(reports, slowS1Report(fmt.Sprintf("u%d", i)))
+	}
+	reports = append(reports, &report.Report{UserID: "", Page: "/"}) // invalid
+	res := e.HandleBatch(context.Background(), reports)
+	if res.Submitted != 31 || res.Processed != 30 || res.Failed != 1 {
+		t.Fatalf("batch result = %+v", res)
+	}
+	if len(res.Errors) != 1 {
+		t.Errorf("errors = %v, want the one validation message", res.Errors)
+	}
+	if got := e.Users(); got != 30 {
+		t.Errorf("Users() = %d, want 30", got)
+	}
+}
+
+func TestHandleBatchThroughPipeline(t *testing.T) {
+	e := pipelineEngine(t, 4, 8)
+	var reports []*report.Report
+	for i := 0; i < 100; i++ {
+		reports = append(reports, slowS1Report(fmt.Sprintf("u%d", i)))
+	}
+	res := e.HandleBatch(context.Background(), reports)
+	if res.Processed != 100 || res.Failed != 0 {
+		t.Fatalf("batch result = %+v", res)
+	}
+	if got := e.Users(); got != 100 {
+		t.Errorf("Users() = %d, want 100", got)
+	}
+}
+
+func TestHandleBatchEmpty(t *testing.T) {
+	e, err := NewEngine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.HandleBatch(context.Background(), nil)
+	if res.Submitted != 0 || res.Processed != 0 || res.Failed != 0 {
+		t.Errorf("empty batch result = %+v", res)
+	}
+}
+
+// TestBatchedIngestRace hammers the pipeline from many goroutines while
+// ExportState, SetRules, Audit and Users run concurrently — the guard for
+// the sharded engine's lock discipline under `go test -race`.
+func TestBatchedIngestRace(t *testing.T) {
+	e := pipelineEngine(t, 4, 32)
+
+	const (
+		writers          = 4
+		reportsPerWriter = 50
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var batch []*report.Report
+			for i := 0; i < reportsPerWriter; i++ {
+				batch = append(batch, slowS1Report(fmt.Sprintf("w%d-u%d", w, i)))
+			}
+			res := e.HandleBatch(context.Background(), batch)
+			if res.Failed != 0 {
+				t.Errorf("writer %d: %d failed: %v", w, res.Failed, res.Errors)
+			}
+		}(w)
+	}
+
+	// Readers and rule-churners run until the writers finish.
+	churn := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					f()
+				}
+			}
+		}()
+	}
+	churn(func() {
+		if _, err := e.ExportState(); err != nil {
+			t.Error(err)
+		}
+	})
+	churn(func() {
+		if err := e.SetRules([]*rules.Rule{jqRule(0)}); err != nil {
+			t.Error(err)
+		}
+	})
+	churn(func() {
+		e.Audit()
+		e.Users()
+		e.Latencies()
+		e.IngestQueue()
+	})
+
+	done := make(chan struct{})
+	go func() {
+		// Wait for the writers only, then stop the churners.
+		defer close(done)
+		for {
+			if e.Metrics().ReportsHandled >= writers*reportsPerWriter {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	<-done
+	close(stop)
+	wg.Wait()
+
+	if got := e.Users(); got != writers*reportsPerWriter {
+		t.Errorf("Users() = %d, want %d", got, writers*reportsPerWriter)
+	}
+}

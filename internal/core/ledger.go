@@ -10,38 +10,70 @@ import (
 // Table 3 (individual vs common problem providers), and doubles as the
 // "offline auditing tool" the discussion section describes: operators read
 // it to learn which components of their site perform poorly in the wild.
+//
+// The ledger is written on every report ingested, so like the engine's
+// profile state it is lock-striped by user ID: concurrent reports for
+// different users rarely touch the same stripe. Reads (Stats, TotalUsers)
+// merge the stripes; a user lands in exactly one stripe, so merged counts
+// are exact, though a read concurrent with writes is weakly consistent
+// across stripes.
 type Ledger struct {
+	stripes []ledgerStripe
+}
+
+// ledgerStripe holds the ledger entries of one slice of the user population.
+type ledgerStripe struct {
 	mu sync.Mutex
 	// activations[ruleID][userID] = count
 	activations map[string]map[string]int
 	users       map[string]bool
 }
 
+// ledgerStripes is the stripe count (power of two; the stripe index is a
+// mask). 32 stripes keep collision probability low at any realistic
+// ingest parallelism without meaningful memory cost.
+const ledgerStripes = 32
+
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger {
-	return &Ledger{
-		activations: make(map[string]map[string]int),
-		users:       make(map[string]bool),
+	l := &Ledger{stripes: make([]ledgerStripe, ledgerStripes)}
+	for i := range l.stripes {
+		l.stripes[i].activations = make(map[string]map[string]int)
+		l.stripes[i].users = make(map[string]bool)
 	}
+	return l
+}
+
+// stripeFor returns the stripe owning the user ID (FNV-1a, like the
+// engine's shard hash).
+func (l *Ledger) stripeFor(userID string) *ledgerStripe {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(userID); i++ {
+		h ^= uint32(userID[i])
+		h *= fnvPrime32
+	}
+	return &l.stripes[h&uint32(len(l.stripes)-1)]
 }
 
 // RecordUser notes that a user interacted with the site (so activation
 // fractions have a denominator even for users who never trigger rules).
 func (l *Ledger) RecordUser(userID string) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.users[userID] = true
+	s := l.stripeFor(userID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.users[userID] = true
 }
 
 // RecordActivation notes that userID activated ruleID.
 func (l *Ledger) RecordActivation(ruleID, userID string) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.users[userID] = true
-	m, ok := l.activations[ruleID]
+	s := l.stripeFor(userID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.users[userID] = true
+	m, ok := s.activations[ruleID]
 	if !ok {
 		m = make(map[string]int)
-		l.activations[ruleID] = m
+		s.activations[ruleID] = m
 	}
 	m[userID]++
 }
@@ -60,18 +92,35 @@ type RuleStat struct {
 // Stats returns per-rule activation statistics sorted by descending user
 // fraction, then rule ID.
 func (l *Ledger) Stats() []RuleStat {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	total := len(l.users)
-	out := make([]RuleStat, 0, len(l.activations))
-	for id, byUser := range l.activations {
-		var acts int
-		for _, n := range byUser {
-			acts += n
+	type ruleAgg struct {
+		users, activations int
+	}
+	total := 0
+	agg := make(map[string]*ruleAgg)
+	for i := range l.stripes {
+		s := &l.stripes[i]
+		s.mu.Lock()
+		total += len(s.users)
+		for id, byUser := range s.activations {
+			a, ok := agg[id]
+			if !ok {
+				a = &ruleAgg{}
+				agg[id] = a
+			}
+			// Each user lives in exactly one stripe, so distinct-user
+			// counts add without double counting.
+			a.users += len(byUser)
+			for _, n := range byUser {
+				a.activations += n
+			}
 		}
-		st := RuleStat{RuleID: id, Users: len(byUser), Activations: acts}
+		s.mu.Unlock()
+	}
+	out := make([]RuleStat, 0, len(agg))
+	for id, a := range agg {
+		st := RuleStat{RuleID: id, Users: a.users, Activations: a.activations}
 		if total > 0 {
-			st.UserFraction = float64(len(byUser)) / float64(total)
+			st.UserFraction = float64(a.users) / float64(total)
 		}
 		out = append(out, st)
 	}
@@ -86,9 +135,14 @@ func (l *Ledger) Stats() []RuleStat {
 
 // TotalUsers returns how many distinct users the ledger has seen.
 func (l *Ledger) TotalUsers() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.users)
+	total := 0
+	for i := range l.stripes {
+		s := &l.stripes[i]
+		s.mu.Lock()
+		total += len(s.users)
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // Split partitions rules into "individual" (activated by at most threshold

@@ -14,6 +14,14 @@ import (
 // counters and live activations; ImportState restores them against the
 // current rule set (activations of rules that no longer exist are dropped,
 // and expired activations are not resurrected).
+//
+// Both operations iterate the engine's shards deterministically: profiles
+// are collected shard by shard (each shard read-locked while it is copied)
+// and the output is globally sorted by user ID, so an export is stable
+// regardless of shard count or hash layout, and a state file exported from
+// an engine with one shard count imports cleanly into an engine with
+// another. An export taken during concurrent ingest is weakly consistent
+// across shards (each shard's slice is a true point-in-time copy).
 
 // persistedState is the on-disk envelope.
 type persistedState struct {
@@ -44,51 +52,60 @@ const stateVersion = 1
 
 // ExportState serialises all per-user state as JSON.
 func (e *Engine) ExportState() ([]byte, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-
 	st := persistedState{Version: stateVersion, SavedAt: e.now()}
-	ids := make([]string, 0, len(e.profiles))
-	for id := range e.profiles {
-		ids = append(ids, id)
+
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		for _, prof := range sh.profiles {
+			st.Profiles = append(st.Profiles, snapshotProfile(prof))
+		}
+		sh.mu.RUnlock()
 	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		prof := e.profiles[id]
-		pp := persistedProfile{
-			UserID:     prof.UserID,
-			Violations: make(map[string]int, len(prof.violations)),
-			LastReport: prof.lastReport,
-		}
-		for srv, n := range prof.violations {
-			pp.Violations[srv] = n
-		}
-		ruleIDs := make([]string, 0, len(prof.active))
-		for rid := range prof.active {
-			ruleIDs = append(ruleIDs, rid)
-		}
-		sort.Strings(ruleIDs)
-		for _, rid := range ruleIDs {
-			a := prof.active[rid]
-			pp.Active = append(pp.Active, persistedActivation{
-				RuleID:          rid,
-				AltIndex:        a.AltIndex,
-				ActivatedAt:     a.ActivatedAt,
-				ExpiresAt:       a.ExpiresAt,
-				TriggerServer:   a.TriggerServer,
-				TriggerDistance: a.TriggerDistance,
-				Activations:     a.Activations,
-			})
-		}
-		st.Profiles = append(st.Profiles, pp)
-	}
+	// Global ordering by user ID keeps the export deterministic and
+	// independent of the shard layout.
+	sort.Slice(st.Profiles, func(i, j int) bool {
+		return st.Profiles[i].UserID < st.Profiles[j].UserID
+	})
 	return json.MarshalIndent(st, "", "  ")
+}
+
+// snapshotProfile deep-copies one profile into its persisted form. The
+// caller must hold the profile's shard lock.
+func snapshotProfile(prof *Profile) persistedProfile {
+	pp := persistedProfile{
+		UserID:     prof.UserID,
+		Violations: make(map[string]int, len(prof.violations)),
+		LastReport: prof.lastReport,
+	}
+	for srv, n := range prof.violations {
+		pp.Violations[srv] = n
+	}
+	ruleIDs := make([]string, 0, len(prof.active))
+	for rid := range prof.active {
+		ruleIDs = append(ruleIDs, rid)
+	}
+	sort.Strings(ruleIDs)
+	for _, rid := range ruleIDs {
+		a := prof.active[rid]
+		pp.Active = append(pp.Active, persistedActivation{
+			RuleID:          rid,
+			AltIndex:        a.AltIndex,
+			ActivatedAt:     a.ActivatedAt,
+			ExpiresAt:       a.ExpiresAt,
+			TriggerServer:   a.TriggerServer,
+			TriggerDistance: a.TriggerDistance,
+			Activations:     a.Activations,
+		})
+	}
+	return pp
 }
 
 // ImportState restores per-user state exported by ExportState, replacing
 // any existing profiles. Activations referring to rules absent from the
 // engine's current rule set are dropped silently (the operator changed the
-// configuration); expired activations are dropped too.
+// configuration); expired activations are dropped too. The restore is
+// atomic: every shard is locked for the swap, so no concurrent reader sees
+// a half-imported state.
 func (e *Engine) ImportState(data []byte) error {
 	var st persistedState
 	if err := json.Unmarshal(data, &st); err != nil {
@@ -98,16 +115,19 @@ func (e *Engine) ImportState(data []byte) error {
 		return fmt.Errorf("engine: unsupported state version %d", st.Version)
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	now := e.now()
 
-	byID := make(map[string]*rules.Rule, len(e.rules))
-	for _, r := range e.rules {
+	ruleSet := e.ruleSnapshot()
+	byID := make(map[string]*rules.Rule, len(ruleSet))
+	for _, r := range ruleSet {
 		byID[r.ID] = r
 	}
 
-	profiles := make(map[string]*Profile, len(st.Profiles))
+	// Build the new shard contents off-lock, then swap under all locks.
+	fresh := make([]map[string]*Profile, len(e.shards))
+	for i := range fresh {
+		fresh[i] = make(map[string]*Profile)
+	}
 	for _, pp := range st.Profiles {
 		if pp.UserID == "" {
 			return fmt.Errorf("engine: state has profile without user id")
@@ -137,8 +157,17 @@ func (e *Engine) ImportState(data []byte) error {
 				Activations:     pa.Activations,
 			}
 		}
-		profiles[pp.UserID] = prof
+		fresh[e.shardIndex(pp.UserID)][pp.UserID] = prof
 	}
-	e.profiles = profiles
+
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+	}
+	for i, sh := range e.shards {
+		sh.profiles = fresh[i]
+	}
+	for _, sh := range e.shards {
+		sh.mu.Unlock()
+	}
 	return nil
 }

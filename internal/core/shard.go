@@ -1,0 +1,129 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"oak/internal/obs"
+)
+
+// Sharding: the engine's per-user state (profiles with their violation
+// counters and live activations) is partitioned across N lock-striped shards
+// keyed by a hash of the user ID. A report only ever touches its user's
+// shard, so reports for different users ingest fully in parallel; the old
+// design took one global write lock per report and capped ingestion at a
+// single core. Cross-user operations (Users, Audit, ExportState,
+// ImportState) iterate the shards.
+//
+// Consistency: each shard is internally consistent (guarded by its own
+// RWMutex). Operations that span shards lock them one at a time, so a
+// cross-shard view is weakly consistent — it interleaves per-shard states
+// that existed during the call, exactly like reading a sharded database
+// without a global transaction. ImportState is the exception: it locks every
+// shard for the swap so a restore is atomic.
+
+// shard holds the profiles of one partition of the user population.
+type shard struct {
+	mu       sync.RWMutex
+	profiles map[string]*Profile
+	// ingest is this shard's report-ingest latency histogram; the engine
+	// merges the shards for the aggregate view and exposes them raw for
+	// per-shard hot-spot diagnosis.
+	ingest obs.Histogram
+}
+
+// Shard-count bounds. The count is always rounded up to a power of two so
+// the shard index is a mask, not a modulo.
+const (
+	minShards = 1
+	maxShards = 1024
+)
+
+// DefaultShardCount returns the shard count used when WithShards is not
+// given: four stripes per logical CPU (rounded up to a power of two, at
+// least 8), so uniformly-hashed users rarely collide on a lock even with
+// every CPU ingesting.
+func DefaultShardCount() int {
+	return clampShards(4 * runtime.GOMAXPROCS(0))
+}
+
+// clampShards bounds n to [minShards, maxShards] and rounds it up to a
+// power of two (minimum 8 for the auto default's sake is applied by
+// callers; clampShards itself only enforces the hard bounds).
+func clampShards(n int) int {
+	if n < 8 {
+		n = 8
+	}
+	return nextPowerOfTwo(boundShards(n))
+}
+
+// boundShards applies the hard [minShards, maxShards] bounds.
+func boundShards(n int) int {
+	if n < minShards {
+		return minShards
+	}
+	if n > maxShards {
+		return maxShards
+	}
+	return n
+}
+
+// nextPowerOfTwo rounds n up to the nearest power of two (n >= 1).
+func nextPowerOfTwo(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// WithShards sets how many lock-striped shards hold per-user state. The
+// count is rounded up to a power of two and bounded to [1, 1024]; 0 (and
+// any negative value) selects the default (DefaultShardCount). One shard
+// reproduces the old single-lock engine, which is useful as a contention
+// baseline in benchmarks.
+func WithShards(n int) Option {
+	return func(e *Engine) {
+		if n <= 0 {
+			e.shardCount = 0 // resolved to the default at construction
+			return
+		}
+		e.shardCount = nextPowerOfTwo(boundShards(n))
+	}
+}
+
+// FNV-1a constants (hash/fnv unrolled so hashing a user ID allocates
+// nothing on the ingest hot path).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// shardIndex maps a user ID to its shard's index.
+func (e *Engine) shardIndex(userID string) int {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(userID); i++ {
+		h ^= uint32(userID[i])
+		h *= fnvPrime32
+	}
+	return int(h & uint32(len(e.shards)-1))
+}
+
+// shardFor returns the shard owning the user ID.
+func (e *Engine) shardFor(userID string) *shard {
+	return e.shards[e.shardIndex(userID)]
+}
+
+// ShardCount returns how many shards partition the engine's per-user state.
+func (e *Engine) ShardCount() int { return len(e.shards) }
+
+// profileLocked returns the user's profile, creating it if absent. The
+// caller must hold sh.mu for writing.
+func (sh *shard) profileLocked(userID string) *Profile {
+	prof, ok := sh.profiles[userID]
+	if !ok {
+		prof = newProfile(userID)
+		sh.profiles[userID] = prof
+	}
+	return prof
+}

@@ -1,0 +1,22 @@
+package obs
+
+import "sync/atomic"
+
+// Gauge is a lock-free instantaneous-value metric: unlike the monotone
+// counters in core and the latency histograms here, a gauge goes up and
+// down — queue depths, in-flight request counts, pool occupancy. The zero
+// value is ready to use; all methods are safe for concurrent use.
+//
+// A Gauge must not be copied after first use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugeAddSetValue(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge = %d, want 0", g.Value())
+	}
+	g.Add(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Errorf("after +5-2: %d, want 3", got)
+	}
+	g.Set(42)
+	if got := g.Value(); got != 42 {
+		t.Errorf("after Set(42): %d, want 42", got)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	const goroutines, rounds = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Errorf("balanced adds left gauge at %d, want 0", got)
+	}
+}

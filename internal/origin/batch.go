@@ -1,0 +1,113 @@
+package origin
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"mime"
+	"net/http"
+
+	"oak/internal/report"
+)
+
+// NDJSON batch ingestion: POST /oak/report with Content-Type
+// application/x-ndjson carries one JSON report per line. The batch is
+// fanned out across the engine's shards (through the batched-ingest
+// pipeline when one is configured), and the response summarises how many
+// reports were processed and how many failed — a batch is not transactional,
+// so one malformed line does not reject the rest.
+
+// BatchContentType is the canonical Content-Type marking a POST body on
+// ReportPath as an NDJSON batch. The aliases application/ndjson and
+// application/jsonl are also accepted.
+const BatchContentType = "application/x-ndjson"
+
+// isBatchContentType reports whether the Content-Type header marks an
+// NDJSON batch body.
+func isBatchContentType(ct string) bool {
+	if ct == "" {
+		return false
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return false
+	}
+	switch mt {
+	case BatchContentType, "application/ndjson", "application/jsonl":
+		return true
+	}
+	return false
+}
+
+// handleReportBatch ingests an NDJSON batch body: one report per line,
+// blank lines skipped. Each line is bounded by the single-report body
+// limit; the whole body by batchBodyFactor times that. The response is a
+// JSON core.BatchResult; reports that fail to parse are counted as failed
+// alongside reports the engine rejected.
+func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
+	body := &countingReader{r: io.LimitReader(r.Body, batchBodyFactor*s.maxBodyBytes+1)}
+	var (
+		reports   []*report.Report
+		parseFail int
+		parseErrs []string
+	)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64*1024), int(s.maxBodyBytes)+1)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if int64(len(line)) > s.maxBodyBytes {
+			http.Error(w, "batch line exceeds report size limit", http.StatusRequestEntityTooLarge)
+			return
+		}
+		rep, err := report.Unmarshal(line)
+		if err != nil {
+			parseFail++
+			if len(parseErrs) < 4 {
+				parseErrs = append(parseErrs, err.Error())
+			}
+			continue
+		}
+		s.stampIdentity(rep, r)
+		reports = append(reports, rep)
+	}
+	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			http.Error(w, "batch line exceeds report size limit", http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	if body.n > batchBodyFactor*s.maxBodyBytes {
+		http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	if len(reports) == 0 && parseFail == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+
+	res := s.engine.HandleBatch(r.Context(), reports)
+	res.Submitted += parseFail
+	res.Failed += parseFail
+	for _, msg := range parseErrs {
+		res.Errors = append(res.Errors, msg)
+	}
+	writeJSON(w, res)
+}
+
+// countingReader counts bytes read through it, so the batch handler can
+// tell a body that exactly fills the limit from one that overflows it.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -32,13 +32,37 @@ type MetricsResponse struct {
 	// Counters are the engine's monotone aggregate counters.
 	Counters core.Metrics `json:"counters"`
 	// Ingest and Rewrite summarise the hot-path latency histograms in
-	// millisecond percentiles.
+	// millisecond percentiles. Ingest merges all shards.
 	Ingest  obs.Summary `json:"ingest"`
 	Rewrite obs.Summary `json:"rewrite"`
 	// IngestBuckets and RewriteBuckets are the raw populated histogram
 	// buckets, for operators who want more than percentiles.
 	IngestBuckets  []obs.Bucket `json:"ingest_buckets,omitempty"`
 	RewriteBuckets []obs.Bucket `json:"rewrite_buckets,omitempty"`
+	// Shards is how many lock-striped shards partition per-user state.
+	Shards int `json:"shards"`
+	// IngestShards summarises each shard's ingest histogram (indexed by
+	// shard); shards that have ingested nothing are omitted. A shard whose
+	// latencies stand out indicates a hot user population.
+	IngestShards []ShardSummary `json:"ingest_shards,omitempty"`
+	// IngestQueue describes the batched-ingest queue; absent when the
+	// engine runs without a pipeline.
+	IngestQueue *QueueStatus `json:"ingest_queue,omitempty"`
+}
+
+// ShardSummary is one shard's ingest latency digest.
+type ShardSummary struct {
+	Shard   int         `json:"shard"`
+	Summary obs.Summary `json:"summary"`
+}
+
+// QueueStatus describes the batched-ingest queue.
+type QueueStatus struct {
+	// Depth is how many reports are queued or in flight right now.
+	Depth int64 `json:"depth"`
+	// Capacity is the total bound across worker queues; submissions block
+	// (backpressure) when their worker's queue is full.
+	Capacity int `json:"capacity"`
 }
 
 // HealthzResponse is the GET /oak/healthz body.
@@ -56,13 +80,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	lat := s.engine.Latencies()
-	writeJSON(w, MetricsResponse{
+	resp := MetricsResponse{
 		Counters:       s.engine.Metrics(),
 		Ingest:         lat.Ingest.Summary(),
 		Rewrite:        lat.Rewrite.Summary(),
 		IngestBuckets:  lat.Ingest.Buckets,
 		RewriteBuckets: lat.Rewrite.Buckets,
-	})
+		Shards:         s.engine.ShardCount(),
+	}
+	for i, snap := range lat.IngestShards {
+		if snap.Count > 0 {
+			resp.IngestShards = append(resp.IngestShards, ShardSummary{Shard: i, Summary: snap.Summary()})
+		}
+	}
+	if depth, capacity := s.engine.IngestQueue(); capacity > 0 {
+		resp.IngestQueue = &QueueStatus{Depth: depth, Capacity: capacity}
+	}
+	writeJSON(w, resp)
 }
 
 // handleHealthz serves the liveness summary.

@@ -9,8 +9,12 @@ package origin
 import (
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
+	"path"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,7 +27,9 @@ import (
 // CookieName is the identifying cookie Oak issues to each client.
 const CookieName = "oak-user"
 
-// ReportPath is the endpoint performance reports are POSTed to.
+// ReportPath is the endpoint performance reports are POSTed to. A body with
+// Content-Type application/json (or none) is one report; an NDJSON
+// Content-Type (see BatchContentType) marks a batch of one report per line.
 const ReportPath = "/oak/report"
 
 // AuditPath serves the operator audit summary (the paper's "offline
@@ -32,14 +38,29 @@ const ReportPath = "/oak/report"
 // operator-facing, not client-facing).
 const AuditPath = "/oak/audit"
 
-// maxReportBytes bounds report bodies; the paper measures a worst case of
-// ~345 KB on the Alexa 500, so 4 MB is a generous ceiling.
+// maxReportBytes is the default bound on single-report bodies; the paper
+// measures a worst case of ~345 KB on the Alexa 500, so 4 MB is a generous
+// ceiling. WithMaxBodyBytes overrides it.
 const maxReportBytes = 4 << 20
 
+// batchBodyFactor scales the single-report body bound up for NDJSON batch
+// bodies: a batch may carry batchBodyFactor reports' worth of bytes, while
+// each individual line stays under the single-report bound.
+const batchBodyFactor = 16
+
 // Server is an Oak-fronted origin web server.
+//
+// Construction is NewServer(engine, opts...); the zero-option form wraps an
+// engine with default limits and cookie-based user identification. The page
+// registry (SetPage / RemovePage / Pages) may be mutated at any time,
+// including while the server is serving.
 type Server struct {
 	engine  *core.Engine
 	started time.Time
+
+	// Options (fixed after NewServer).
+	userIDFn     func(*http.Request) string
+	maxBodyBytes int64
 
 	mu     sync.RWMutex
 	pages  map[string]string
@@ -48,13 +69,56 @@ type Server struct {
 
 var _ http.Handler = (*Server)(nil)
 
-// NewServer wraps an engine. Pages are registered with SetPage.
-func NewServer(engine *core.Engine) *Server {
-	return &Server{
-		engine:  engine,
-		started: time.Now(),
-		pages:   make(map[string]string),
+// Option configures a Server at construction time.
+type Option func(*Server)
+
+// WithUserIDFunc overrides how the server identifies the user behind a
+// request. The function is consulted first for both page delivery and
+// report ingestion; when it returns "", the default cookie mechanism
+// applies (read the oak-user cookie, issuing one on page delivery if the
+// client has none). Use it to derive identity from an authentication
+// header, a TLS client certificate, or an existing session system.
+func WithUserIDFunc(f func(*http.Request) string) Option {
+	return func(s *Server) { s.userIDFn = f }
+}
+
+// WithMaxBodyBytes bounds single-report bodies to n bytes (default 4 MB).
+// NDJSON batch bodies may total 16× the bound, with each line individually
+// under it. Non-positive n keeps the default.
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBodyBytes = n
+		}
 	}
+}
+
+// WithPagesFrom registers every *.html file in fsys at its slash-rooted
+// path (index.html files also at their directory path), like LoadPages. It
+// is meant for embedded page bundles (embed.FS); a filesystem that fails
+// mid-walk is a programming error and panics. Load pages from disk with
+// LoadPages instead, which reports errors.
+func WithPagesFrom(fsys fs.FS) Option {
+	return func(s *Server) {
+		if _, err := s.LoadPages(fsys); err != nil {
+			panic(fmt.Sprintf("origin: WithPagesFrom: %v", err))
+		}
+	}
+}
+
+// NewServer wraps an engine. The zero-option form serves an empty page
+// registry (populate it with SetPage or LoadPages) with default limits.
+func NewServer(engine *core.Engine, opts ...Option) *Server {
+	s := &Server{
+		engine:       engine,
+		started:      time.Now(),
+		pages:        make(map[string]string),
+		maxBodyBytes: maxReportBytes,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // Engine returns the underlying Oak engine.
@@ -65,6 +129,57 @@ func (s *Server) SetPage(path, html string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.pages[path] = html
+}
+
+// RemovePage deletes the page registered at path, if any. Subsequent
+// requests for the path get 404; per-user rule state is unaffected.
+func (s *Server) RemovePage(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pages, path)
+}
+
+// Pages returns the registered page paths, sorted.
+func (s *Server) Pages() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.pages))
+	for p := range s.pages {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadPages walks fsys and registers every *.html file at its slash-rooted
+// path ("dir/index.html" serves at "/dir/index.html" and also at "/dir/").
+// It returns how many files were registered. Already-registered paths are
+// replaced; other paths are left alone, so several bundles can be layered.
+func (s *Server) LoadPages(fsys fs.FS) (int, error) {
+	count := 0
+	err := fs.WalkDir(fsys, ".", func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(p, ".html") {
+			return nil
+		}
+		data, err := fs.ReadFile(fsys, p)
+		if err != nil {
+			return err
+		}
+		urlPath := "/" + path.Clean(p)
+		s.SetPage(urlPath, string(data))
+		if strings.HasSuffix(urlPath, "/index.html") {
+			s.SetPage(strings.TrimSuffix(urlPath, "index.html"), string(data))
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		return count, fmt.Errorf("origin: load pages: %w", err)
+	}
+	return count, nil
 }
 
 // ServeHTTP implements the two server-side interactions of Figure 4/5:
@@ -124,18 +239,23 @@ func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
 	_, _ = io.WriteString(w, modified)
 }
 
-// handleReport ingests one performance report.
+// handleReport ingests performance reports: one JSON report per request by
+// default, or one per line when the Content-Type marks the body as NDJSON.
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxReportBytes+1))
+	if isBatchContentType(r.Header.Get("Content-Type")) {
+		s.handleReportBatch(w, r)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBodyBytes+1))
 	if err != nil {
 		http.Error(w, "read body", http.StatusBadRequest)
 		return
 	}
-	if len(body) > maxReportBytes {
+	if int64(len(body)) > s.maxBodyBytes {
 		http.Error(w, "report too large", http.StatusRequestEntityTooLarge)
 		return
 	}
@@ -144,21 +264,38 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	// The cookie is authoritative for identity when present: a report must
-	// not mutate another user's profile.
-	if c, err := r.Cookie(CookieName); err == nil && c.Value != "" {
-		rep.UserID = c.Value
-	}
-	if _, err := s.engine.HandleReport(rep); err != nil {
+	s.stampIdentity(rep, r)
+	if _, err := s.engine.HandleReportCtx(r.Context(), rep); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// userID returns the request's Oak user id, issuing a fresh cookie when the
-// client has none.
+// stampIdentity overrides the report's self-declared user ID with the
+// request's authoritative identity, when one exists: a report must not
+// mutate another user's profile. The configured user-ID function wins over
+// the cookie.
+func (s *Server) stampIdentity(rep *report.Report, r *http.Request) {
+	if s.userIDFn != nil {
+		if id := s.userIDFn(r); id != "" {
+			rep.UserID = id
+			return
+		}
+	}
+	if c, err := r.Cookie(CookieName); err == nil && c.Value != "" {
+		rep.UserID = c.Value
+	}
+}
+
+// userID returns the request's Oak user id: the configured user-ID function
+// first, then the cookie, then a freshly issued cookie.
 func (s *Server) userID(w http.ResponseWriter, r *http.Request) string {
+	if s.userIDFn != nil {
+		if id := s.userIDFn(r); id != "" {
+			return id
+		}
+	}
 	if c, err := r.Cookie(CookieName); err == nil && c.Value != "" {
 		return c.Value
 	}

@@ -18,6 +18,20 @@
 //	// clients GET pages and POST reports to /oak/report;
 //	// each user's pages adapt to that user's own reported performance.
 //
+// Page registry lifecycle: a Server's pages are live state, safe to mutate
+// while serving. SetPage registers or replaces the markup at a path,
+// RemovePage retires it (subsequent requests 404; per-user rule state is
+// untouched), Pages lists what is registered, and Server.LoadPages — or the
+// WithPagesFrom server option, for embedded bundles — registers every
+// *.html file in an fs.FS. Rules rewrite pages at delivery time, so page
+// updates take effect on the next request without engine involvement.
+//
+// Scaling: per-user state is sharded (WithShards) so reports for different
+// users ingest in parallel, and WithIngestPipeline adds a bounded queue and
+// worker pool (backpressure instead of unbounded memory). POST /oak/report
+// also accepts an NDJSON batch body (Content-Type application/x-ndjson, one
+// report per line). Engines with a pipeline should be Closed on shutdown.
+//
 // Package layout: the facade re-exports the pieces a deployment needs —
 // the engine (internal/core), the rule language (internal/rules), the
 // report format (internal/report), the HTTP server (internal/origin) and
@@ -28,6 +42,8 @@
 package oak
 
 import (
+	"io/fs"
+	"net/http"
 	"time"
 
 	"oak/internal/client"
@@ -87,8 +103,23 @@ type EngineOption = core.Option
 // Violation describes one server flagged as under-performing for one user.
 type Violation = core.Violation
 
-// AnalysisResult is what handling one report decided.
+// AnalysisResult is what handling one report decided. Engine.HandleReport
+// produces one synchronously; Engine.HandleReportCtx is the context-aware
+// form (cancellation abandons a report still queued in the batched-ingest
+// pipeline).
 type AnalysisResult = core.AnalysisResult
+
+// IngestConfig sizes the optional batched-ingest pipeline (see
+// WithIngestPipeline): worker-pool size and per-worker queue bound.
+type IngestConfig = core.IngestConfig
+
+// BatchResult summarises one batch ingest: reports submitted, processed,
+// failed, and a capped sample of failure messages. Engine.HandleBatch
+// returns one; the origin server serves it as the NDJSON batch response.
+type BatchResult = core.BatchResult
+
+// ErrEngineClosed is returned by report submission after Engine.Close.
+var ErrEngineClosed = core.ErrEngineClosed
 
 // EngineMetrics are the engine's aggregate counters.
 type EngineMetrics = core.Metrics
@@ -137,8 +168,12 @@ type HostResolver = client.HostResolver
 const (
 	// CookieName is the identifying cookie Oak issues to clients.
 	CookieName = origin.CookieName
-	// ReportPath is the HTTP POST endpoint for performance reports.
+	// ReportPath is the HTTP POST endpoint for performance reports: one
+	// JSON report per request, or — with Content-Type BatchContentType —
+	// an NDJSON batch of one report per line.
 	ReportPath = origin.ReportPath
+	// BatchContentType marks a ReportPath body as an NDJSON batch.
+	BatchContentType = origin.BatchContentType
 	// AuditPath serves the operator audit summary. Restrict access in
 	// deployments: it is operator-facing.
 	AuditPath = origin.AuditPath
@@ -177,8 +212,40 @@ func WithLogf(logf func(format string, args ...any)) EngineOption { return core.
 // window TracePath serves); default 1024 events.
 func WithTraceCapacity(n int) EngineOption { return core.WithTraceCapacity(n) }
 
-// NewServer wraps an engine as an Oak-fronted origin server.
-func NewServer(engine *Engine) *Server { return origin.NewServer(engine) }
+// WithShards sets how many lock-striped shards partition per-user state
+// (rounded up to a power of two; default four per logical CPU). Reports for
+// users on different shards ingest fully in parallel.
+func WithShards(n int) EngineOption { return core.WithShards(n) }
+
+// WithIngestPipeline enables batched ingest: HandleReport/HandleReportCtx
+// enqueue into a bounded queue drained by a worker pool shard by shard,
+// with backpressure when full. Engines built with it must be Closed.
+func WithIngestPipeline(cfg IngestConfig) EngineOption { return core.WithIngestPipeline(cfg) }
+
+// ServerOption configures NewServer.
+type ServerOption = origin.Option
+
+// WithUserIDFunc overrides how the origin server identifies the user behind
+// a request (for both page delivery and report ingestion). When the
+// function returns "", the default cookie mechanism applies.
+func WithUserIDFunc(f func(r *http.Request) string) ServerOption { return origin.WithUserIDFunc(f) }
+
+// WithMaxBodyBytes bounds single-report POST bodies (default 4 MB); NDJSON
+// batch bodies may total 16× the bound.
+func WithMaxBodyBytes(n int64) ServerOption { return origin.WithMaxBodyBytes(n) }
+
+// WithPagesFrom registers every *.html file in fsys at its slash-rooted
+// path. Intended for embedded page bundles (embed.FS): a filesystem that
+// fails mid-walk panics. Load pages from disk with Server.LoadPages, which
+// reports errors instead.
+func WithPagesFrom(fsys fs.FS) ServerOption { return origin.WithPagesFrom(fsys) }
+
+// NewServer wraps an engine as an Oak-fronted origin server. With no
+// options it behaves exactly like the historical NewServer(engine):
+// cookie-based identity, default body limits, empty page registry.
+func NewServer(engine *Engine, opts ...ServerOption) *Server {
+	return origin.NewServer(engine, opts...)
+}
 
 // NewContentServer returns an empty external content server.
 func NewContentServer() *ContentServer { return origin.NewContentServer() }

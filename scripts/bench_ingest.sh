@@ -1,0 +1,59 @@
+#!/bin/sh
+# bench_ingest.sh — run the report-ingest benchmarks and record the results
+# in BENCH_ingest.json, so successive PRs leave a perf trajectory that can
+# be compared (ns/op and reports/sec per benchmark, plus the parallel
+# speedup of the sharded engine over the single-lock baseline).
+#
+# Usage: scripts/bench_ingest.sh [benchtime]   (default 1s)
+set -e
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-1s}"
+out="BENCH_ingest.json"
+
+echo "== go test -bench HandleReport/HandleBatch (benchtime $benchtime) =="
+raw=$(go test -run '^$' -bench 'BenchmarkHandle(Report|Batch)' \
+	-benchmem -count 1 -benchtime "$benchtime" ./internal/core)
+echo "$raw"
+
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	iters = $2
+	ns = ""; rps = ""
+	for (i = 3; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "reports/sec") rps = $(i - 1)
+	}
+	if (ns == "") next
+	if (rps == "") rps = 1e9 / ns
+	n++
+	names[n] = name; iterations[n] = iters; nsop[n] = ns; persec[n] = rps
+	if (name == "BenchmarkHandleReportParallel") parallel = rps
+	if (name == "BenchmarkHandleReportParallelSingleShard") single = rps
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchmarks\": [\n"
+	for (i = 1; i <= n; i++) {
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"reports_per_sec\": %.0f}%s\n", \
+			names[i], iterations[i], nsop[i], persec[i], (i < n ? "," : "")
+	}
+	printf "  ]"
+	if (parallel > 0 && single > 0)
+		printf ",\n  \"parallel_speedup_vs_single_shard\": %.2f", parallel / single
+	printf "\n}\n"
+}' >"$out"
+
+# Stamp the core count the run actually had; the speedup is only meaningful
+# relative to it (a single-core machine cannot show parallel speedup).
+cores=$(go env GOMAXPROCS 2>/dev/null || true)
+[ -n "$cores" ] || cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+tmp="$out.tmp"
+sed "s/^  \"cpu\":/  \"cores\": $cores,\n  \"cpu\":/" "$out" >"$tmp" && mv "$tmp" "$out"
+
+echo "wrote $out"
