@@ -1,4 +1,4 @@
-.PHONY: verify test race vet fmt bench bench-all
+.PHONY: verify test race vet fmt bench bench-shed bench-all chaos fuzz
 
 # Full PR verify path: build, formatting, vet, tests, and race-checking of
 # the concurrent engine + observability packages. See scripts/verify.sh.
@@ -9,7 +9,17 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/core ./internal/obs ./internal/origin
+	go test -race ./internal/core ./internal/obs ./internal/origin ./internal/faultinject
+
+# Chaos suite: the full client -> origin -> engine -> persistence loop under
+# injected transport faults, queue saturation and snapshot corruption, with
+# the race detector on. See internal/faultinject.
+chaos:
+	go test -race -run Chaos -v ./internal/faultinject
+
+# Short fuzz pass over the snapshot importer (hostile state files).
+fuzz:
+	go test -run '^$$' -fuzz FuzzImportState -fuzztime 10s ./internal/core
 
 vet:
 	go vet ./...
@@ -20,6 +30,11 @@ fmt:
 # Ingest benchmarks + BENCH_ingest.json (perf trajectory across PRs).
 bench:
 	sh scripts/bench_ingest.sh
+
+# Overload-protection benchmarks + BENCH_sheds.json (shedding on vs off,
+# and the cost of refusing work when saturated).
+bench-shed:
+	sh scripts/bench_shed.sh
 
 # Every benchmark in the repo, raw output only.
 bench-all:

@@ -6,6 +6,7 @@
 //	oakd -root ./site -rules ./rules.oak [-addr :8080] [-v]
 //	     [-state oak-state.json] [-save-interval 5m] [-pprof 127.0.0.1:6060]
 //	     [-shards N] [-ingest-queue N] [-ingest-workers N]
+//	     [-shed-wait 50ms] [-shed-retry-after 1s] [-rewrite-budget 500ms]
 //
 // Every *.html file under -root is served at its relative path (index.html
 // also at the directory path). Clients receive identifying cookies, pages
@@ -20,6 +21,16 @@
 // enables the batched-ingest pipeline: reports are queued (bounded,
 // backpressure when full) and drained by -ingest-workers workers. See
 // docs/OPERATIONS.md for sizing guidance.
+//
+// Resilience: -shed-wait switches the pipeline from blocking backpressure
+// to load shedding — a report that cannot enqueue within the wait is
+// refused with 503 + Retry-After (-shed-retry-after) instead of holding
+// the connection. -rewrite-budget bounds how long page delivery waits for
+// the per-user rewrite before serving the page unmodified. State saved via
+// -state is written crash-safely (checksummed, fsync + atomic rename, with
+// a rotating .bak); a corrupt or torn snapshot at boot falls back to the
+// backup instead of aborting. See docs/OPERATIONS.md, "Failure modes and
+// recovery".
 //
 // Observability: the server answers GET /oak/metrics (counters + latency
 // histograms), /oak/healthz (liveness), /oak/trace (recent engine
@@ -67,6 +78,9 @@ func run(args []string) error {
 		shards    = fs2.Int("shards", 0, "lock-striped shards for per-user state (rounded up to a power of two; 0 = four per CPU)")
 		queueLen  = fs2.Int("ingest-queue", 0, "per-worker bounded queue length for batched ingest (0 = synchronous ingest, no pipeline)")
 		workers   = fs2.Int("ingest-workers", 0, "batched-ingest worker count (with -ingest-queue; 0 = one per CPU)")
+		shedWait  = fs2.Duration("shed-wait", -1, "shed reports that cannot enqueue within this wait, 503 + Retry-After (with -ingest-queue; negative = block instead of shedding)")
+		shedRetry = fs2.Duration("shed-retry-after", 0, "retry horizon advertised on shed responses (with -shed-wait; 0 = 1s default)")
+		rewriteB  = fs2.Duration("rewrite-budget", 0, "serve the unmodified page if the per-user rewrite takes longer than this (0 = 500ms default, negative = unbounded)")
 	)
 	if err := fs2.Parse(args); err != nil {
 		return err
@@ -75,6 +89,7 @@ func run(args []string) error {
 	server, pages, nRules, err := buildServer(oakdConfig{
 		root: *root, ruleFile: *ruleFile, verbose: *verbose,
 		shards: *shards, queueLen: *queueLen, workers: *workers,
+		shedWait: *shedWait, shedRetry: *shedRetry, rewriteBudget: *rewriteB,
 	})
 	if err != nil {
 		return err
@@ -135,34 +150,29 @@ func pprofMux() *http.ServeMux {
 	return mux
 }
 
-// loadState restores engine state from the file if it exists; a missing
-// file is a fresh deployment, not an error.
+// loadState restores engine state via the crash-safe read path: a missing
+// file is a fresh deployment, a corrupt or version-skewed primary falls
+// back to the rotating .bak (one save interval of learning lost, not all
+// of it), and only a deployment with neither readable is an error-free
+// fresh start. Boot never aborts over a bad state file.
 func loadState(engine *oak.Engine, path string) error {
-	data, err := os.ReadFile(path)
+	src, err := engine.LoadStateFile(path)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil
-		}
-		return fmt.Errorf("read state: %w", err)
+		return fmt.Errorf("load state: %w", err)
 	}
-	if err := engine.ImportState(data); err != nil {
-		return fmt.Errorf("import state: %w", err)
+	switch src {
+	case oak.StateSnapshot:
+		log.Printf("oakd: restored state for %d users from %s", engine.Users(), path)
+	case oak.StateBackup:
+		log.Printf("oakd: primary state file unusable; recovered %d users from backup %s", engine.Users(), path+".bak")
 	}
-	log.Printf("oakd: restored state for %d users from %s", engine.Users(), path)
 	return nil
 }
 
-// saveState atomically persists engine state.
+// saveState persists engine state crash-safely: checksummed snapshot,
+// fsync before an atomic rename, previous snapshot rotated to .bak.
 func saveState(engine *oak.Engine, path string) error {
-	data, err := engine.ExportState()
-	if err != nil {
-		return fmt.Errorf("export state: %w", err)
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o600); err != nil {
-		return fmt.Errorf("write state: %w", err)
-	}
-	return os.Rename(tmp, path)
+	return engine.SaveStateFile(path)
 }
 
 // persistPeriodically saves the state on an interval. The returned stop
@@ -198,12 +208,15 @@ func persistPeriodically(engine *oak.Engine, path string, every time.Duration) (
 
 // oakdConfig is what buildServer needs from the flags.
 type oakdConfig struct {
-	root     string
-	ruleFile string
-	verbose  bool
-	shards   int
-	queueLen int
-	workers  int
+	root          string
+	ruleFile      string
+	verbose       bool
+	shards        int
+	queueLen      int
+	workers       int
+	shedWait      time.Duration // negative = no shedding (blocking backpressure)
+	shedRetry     time.Duration
+	rewriteBudget time.Duration // 0 = library default, negative = unbounded
 }
 
 // buildServer assembles the Oak server from a page directory and a rule
@@ -242,11 +255,21 @@ func buildServer(cfg oakdConfig) (*oak.Server, int, int, error) {
 			QueueLen: cfg.queueLen,
 		}))
 	}
+	if cfg.shedWait >= 0 {
+		opts = append(opts, oak.WithLoadShedding(oak.ShedPolicy{
+			MaxWait:    cfg.shedWait,
+			RetryAfter: cfg.shedRetry,
+		}))
+	}
 	engine, err := oak.NewEngine(ruleSet, opts...)
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	server := oak.NewServer(engine)
+	var srvOpts []oak.ServerOption
+	if cfg.rewriteBudget != 0 {
+		srvOpts = append(srvOpts, oak.WithRewriteBudget(cfg.rewriteBudget))
+	}
+	server := oak.NewServer(engine, srvOpts...)
 	pages, err := server.LoadPages(os.DirFS(cfg.root))
 	if err != nil {
 		return nil, 0, 0, err

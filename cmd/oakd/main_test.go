@@ -179,6 +179,64 @@ rule swap {
 	}
 }
 
+func TestLoadStateCorruptFallsBackToBackup(t *testing.T) {
+	dir := newSiteDir(t)
+	server, _, _, err := buildServer(oakdConfig{root: dir, ruleFile: "", verbose: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	statePath := filepath.Join(dir, "state.json")
+	if err := saveState(server.Engine(), statePath); err != nil {
+		t.Fatal(err)
+	}
+	// Save again so the first good snapshot rotates into .bak, then corrupt
+	// the primary mid-file, as a torn write or disk fault would.
+	if err := saveState(server.Engine(), statePath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(statePath, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	server2, _, _, err := buildServer(oakdConfig{root: dir, ruleFile: "", verbose: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loadState(server2.Engine(), statePath); err != nil {
+		t.Errorf("corrupt primary with good backup must not abort boot: %v", err)
+	}
+	if got := server2.Engine().StateRecoveries(); got != 1 {
+		t.Errorf("StateRecoveries = %d, want 1", got)
+	}
+}
+
+func TestSaveStateLeavesNoTempFile(t *testing.T) {
+	dir := newSiteDir(t)
+	server, _, _, err := buildServer(oakdConfig{root: dir, ruleFile: "", verbose: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	statePath := filepath.Join(dir, "state.json")
+	if err := saveState(server.Engine(), statePath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(statePath + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind after save: %v", err)
+	}
+	// A second save rotates the previous snapshot into .bak.
+	if err := saveState(server.Engine(), statePath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(statePath + ".bak"); err != nil {
+		t.Errorf("second save did not rotate a backup: %v", err)
+	}
+}
+
 func TestLoadStateMissingFileOK(t *testing.T) {
 	dir := newSiteDir(t)
 	server, _, _, err := buildServer(oakdConfig{root: dir, ruleFile: "", verbose: false})

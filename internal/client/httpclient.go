@@ -2,11 +2,15 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"oak/internal/htmlscan"
@@ -20,57 +24,226 @@ import (
 // browser's resolver plays for the paper's client.
 type HostResolver func(host string) (string, bool)
 
+// RetryPolicy bounds the client's retry behaviour: how many attempts a
+// fetch or report submission gets, and the exponential-backoff schedule
+// (with jitter) between them. The zero value takes defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, including the first
+	// (default 3). 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 1s).
+	MaxDelay time.Duration
+	// JitterFraction randomises each delay by ±this fraction, so a fleet
+	// of clients recovering from the same outage does not retry in
+	// lockstep (default 0.2).
+	JitterFraction float64
+}
+
+// Retry defaults.
+const (
+	defaultMaxAttempts = 3
+	defaultBaseDelay   = 50 * time.Millisecond
+	defaultMaxDelay    = time.Second
+	defaultJitter      = 0.2
+)
+
+// normalized fills defaults in.
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = defaultMaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = defaultBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = defaultMaxDelay
+	}
+	if p.JitterFraction <= 0 {
+		p.JitterFraction = defaultJitter
+	}
+	return p
+}
+
+// DefaultObjectTimeout bounds a single object-fetch attempt when
+// HTTPClient.ObjectTimeout is zero. A hung provider then costs the page
+// load a bounded delay — and yields a failed entry flagging that provider —
+// instead of stalling the whole load on one dead connection.
+const DefaultObjectTimeout = 10 * time.Second
+
 // HTTPClient is an Oak-enabled client over real HTTP: it loads pages,
 // measures every object download, and reports the timings back to the Oak
 // origin, exactly like the paper's modified-WebKit client.
+//
+// The client is resilient by default: every object fetch runs under a
+// per-object deadline and a bounded retry schedule, a provider that stays
+// dead yields a report entry marked Failed (a partial report — exactly the
+// under-performance signal the server's detector needs) rather than
+// aborting the load, and report submission backs off exponentially with
+// jitter, honouring the origin's Retry-After when it sheds load.
 type HTTPClient struct {
 	// UserID is the client's Oak cookie value. Empty means "let the origin
 	// issue one" — the client adopts the Set-Cookie it receives.
 	UserID string
 	// Resolve maps markup hostnames to reachable addresses.
 	Resolve HostResolver
-	// HTTP is the transport; nil means a default client with a sane timeout.
+	// HTTP is the transport; nil means a shared default client with a sane
+	// timeout (built once, so connections are reused across calls).
 	HTTP *http.Client
+	// ObjectTimeout bounds each object-fetch attempt (default
+	// DefaultObjectTimeout).
+	ObjectTimeout time.Duration
+	// Retry tunes the backoff schedule for object fetches, page fetches
+	// and report submission. Zero fields take defaults.
+	Retry RetryPolicy
+	// Seed makes the retry jitter deterministic for tests and simulations;
+	// 0 seeds from the clock.
+	Seed int64
+
+	mu          sync.Mutex
+	defaultHTTP *http.Client
+	rng         *rand.Rand
 }
 
-// httpc returns the underlying http.Client.
+// httpc returns the underlying http.Client, building (and caching) the
+// default exactly once so its transport's connection pool is reused.
 func (c *HTTPClient) httpc() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return &http.Client{Timeout: 30 * time.Second}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.defaultHTTP == nil {
+		c.defaultHTTP = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c.defaultHTTP
+}
+
+// backoff returns the jittered delay before retry number retry (0-based).
+func (c *HTTPClient) backoff(retry int) time.Duration {
+	p := c.Retry.normalized()
+	d := p.BaseDelay << retry
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	c.mu.Lock()
+	if c.rng == nil {
+		seed := c.Seed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+	}
+	// Spread the delay across [1-j, 1+j] so a fleet does not retry in sync.
+	factor := 1 + p.JitterFraction*(2*c.rng.Float64()-1)
+	c.mu.Unlock()
+	return time.Duration(float64(d) * factor)
+}
+
+// retryableStatus reports whether a response status is worth retrying:
+// timeouts, throttling and server-side failures. 4xx apart from 408/429 is
+// the client's own fault and will not improve.
+func retryableStatus(code int) bool {
+	return code == http.StatusRequestTimeout ||
+		code == http.StatusTooManyRequests ||
+		code >= 500
+}
+
+// retryAfterHint parses a Retry-After header as integral seconds, returning
+// 0 when absent or unparseable. (The HTTP-date form is not needed against
+// an Oak origin.)
+func retryAfterHint(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retryDelay combines the backoff schedule with a server-provided
+// Retry-After hint: the server knows its own recovery horizon better than
+// our schedule does, so the larger of the two wins (bounded to keep a
+// hostile header from parking the client).
+func (c *HTTPClient) retryDelay(retry int, hint time.Duration) time.Duration {
+	d := c.backoff(retry)
+	const maxHint = 30 * time.Second
+	if hint > maxHint {
+		hint = maxHint
+	}
+	if hint > d {
+		return hint
+	}
+	return d
+}
+
+// fetchAttempt is one bounded GET: the request runs under the per-object
+// deadline and the full body is read (a truncated body is an error, so
+// torn responses surface instead of producing bogus timings).
+func (c *HTTPClient) fetchAttempt(rawURL string) ([]byte, int, error) {
+	timeout := c.ObjectTimeout
+	if timeout <= 0 {
+		timeout = DefaultObjectTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return data, resp.StatusCode, nil
+}
+
+// fetchObject downloads one object with retries. It returns the body and
+// how long the successful attempt took; a provider that stays unreachable
+// after the retry schedule is reported as failed (ok=false) together with
+// the total time the client spent trying.
+func (c *HTTPClient) fetchObject(rawURL string) (data []byte, attemptDur, totalDur time.Duration, ok bool) {
+	p := c.Retry.normalized()
+	start := time.Now()
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoff(attempt - 1))
+		}
+		attemptStart := time.Now()
+		body, status, err := c.fetchAttempt(rawURL)
+		if err == nil && status == http.StatusOK {
+			return body, time.Since(attemptStart), time.Since(start), true
+		}
+		if err == nil && !retryableStatus(status) {
+			break // 4xx: trying again will not help
+		}
+	}
+	return nil, 0, time.Since(start), false
 }
 
 // LoadPage fetches originBase+path from the Oak origin, loads every
 // referenced object, and returns the resulting performance report (without
 // submitting it). originBase is e.g. "http://127.0.0.1:40001".
+//
+// Object failures do not abort the load: an object whose provider stays
+// dead through the retry schedule becomes a report entry with Failed set
+// and the time the client spent trying as its duration, and the rest of the
+// page keeps loading. Only an unreachable origin (or an unresolvable
+// hostname, which is a harness configuration error) fails the load.
 func (c *HTTPClient) LoadPage(originBase, path string) (*LoadResult, string, error) {
-	pageURL := strings.TrimSuffix(originBase, "/") + path
-	req, err := http.NewRequest(http.MethodGet, pageURL, nil)
+	html, err := c.fetchPage(originBase, path)
 	if err != nil {
-		return nil, "", fmt.Errorf("client: build request: %w", err)
+		return nil, "", err
 	}
-	if c.UserID != "" {
-		req.AddCookie(&http.Cookie{Name: "oak-user", Value: c.UserID})
-	}
-	resp, err := c.httpc().Do(req)
-	if err != nil {
-		return nil, "", fmt.Errorf("client: fetch page: %w", err)
-	}
-	body, err := io.ReadAll(resp.Body)
-	_ = resp.Body.Close()
-	if err != nil {
-		return nil, "", fmt.Errorf("client: read page: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, "", fmt.Errorf("client: page status %d", resp.StatusCode)
-	}
-	for _, ck := range resp.Cookies() {
-		if ck.Name == "oak-user" && c.UserID == "" {
-			c.UserID = ck.Value
-		}
-	}
-	html := string(body)
 
 	rep := &report.Report{
 		UserID:            c.UserID,
@@ -96,32 +269,34 @@ func (c *HTTPClient) LoadPage(originBase, path string) (*LoadResult, string, err
 		if err != nil {
 			return 0, nil, fmt.Errorf("client: bad url %q: %w", raw, err)
 		}
-		real := "http://" + addr + u.RequestURI()
-		start := time.Now()
-		resp, err := c.httpc().Get(real)
-		if err != nil {
-			return 0, nil, fmt.Errorf("client: fetch %q: %w", raw, err)
-		}
-		data, err := io.ReadAll(resp.Body)
-		_ = resp.Body.Close()
-		if err != nil {
-			return 0, nil, fmt.Errorf("client: read %q: %w", raw, err)
-		}
-		dur := time.Since(start)
-		if resp.StatusCode != http.StatusOK {
-			return 0, nil, fmt.Errorf("client: %q status %d", raw, resp.StatusCode)
-		}
 		fetched[raw] = true
+		real := "http://" + addr + u.RequestURI()
+		data, attemptDur, totalDur, ok := c.fetchObject(real)
+		if !ok {
+			// Partial report: the dead provider is recorded, not fatal. The
+			// duration is the full time the client spent trying, which is
+			// exactly the under-performance the server should see.
+			rep.Entries = append(rep.Entries, report.Entry{
+				URL:            raw,
+				ServerAddr:     addr,
+				DurationMillis: float64(totalDur) / float64(time.Millisecond),
+				InitiatorURL:   initiator,
+				Kind:           kind,
+				Failed:         true,
+			})
+			chains = append(chains, prefix+totalDur)
+			return 0, nil, nil
+		}
 		rep.Entries = append(rep.Entries, report.Entry{
 			URL:            raw,
 			ServerAddr:     addr,
 			SizeBytes:      int64(len(data)),
-			DurationMillis: float64(dur) / float64(time.Millisecond),
+			DurationMillis: float64(attemptDur) / float64(time.Millisecond),
 			InitiatorURL:   initiator,
 			Kind:           kind,
 		})
-		chains = append(chains, prefix+dur)
-		return dur, data, nil
+		chains = append(chains, prefix+attemptDur)
+		return attemptDur, data, nil
 	}
 
 	for _, ref := range htmlscan.ExtractRefs(html) {
@@ -155,31 +330,98 @@ func (c *HTTPClient) LoadPage(originBase, path string) (*LoadResult, string, err
 	return &LoadResult{Report: rep, PLT: plt}, html, nil
 }
 
-// SubmitReport POSTs a report to the Oak origin's report endpoint.
+// fetchPage GETs the page itself from the origin, retrying transport
+// errors and 5xx responses on the usual schedule. Without the page there is
+// nothing to measure, so exhausting the retries is an error.
+func (c *HTTPClient) fetchPage(originBase, path string) (string, error) {
+	pageURL := strings.TrimSuffix(originBase, "/") + path
+	p := c.Retry.normalized()
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoff(attempt - 1))
+		}
+		req, err := http.NewRequest(http.MethodGet, pageURL, nil)
+		if err != nil {
+			return "", fmt.Errorf("client: build request: %w", err)
+		}
+		if c.UserID != "" {
+			req.AddCookie(&http.Cookie{Name: "oak-user", Value: c.UserID})
+		}
+		resp, err := c.httpc().Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("client: fetch page: %w", err)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("client: read page: %w", err)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("client: page status %d", resp.StatusCode)
+			if retryableStatus(resp.StatusCode) {
+				continue
+			}
+			return "", lastErr
+		}
+		for _, ck := range resp.Cookies() {
+			if ck.Name == "oak-user" && c.UserID == "" {
+				c.UserID = ck.Value
+			}
+		}
+		return string(body), nil
+	}
+	return "", lastErr
+}
+
+// SubmitReport POSTs a report to the Oak origin's report endpoint, retrying
+// transport failures and retryable statuses (503/5xx/429) with exponential
+// backoff and jitter. A 503 from a load-shedding origin carries Retry-After;
+// the client honours it, waiting at least that long before the next
+// attempt.
 func (c *HTTPClient) SubmitReport(originBase string, rep *report.Report) error {
 	data, err := rep.Marshal()
 	if err != nil {
 		return fmt.Errorf("client: marshal report: %w", err)
 	}
-	req, err := http.NewRequest(http.MethodPost,
-		strings.TrimSuffix(originBase, "/")+"/oak/report", bytes.NewReader(data))
-	if err != nil {
-		return fmt.Errorf("client: build report request: %w", err)
+	endpoint := strings.TrimSuffix(originBase, "/") + "/oak/report"
+	p := c.Retry.normalized()
+	var (
+		lastErr error
+		hint    time.Duration
+	)
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.retryDelay(attempt-1, hint))
+			hint = 0
+		}
+		req, err := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("client: build report request: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if c.UserID != "" {
+			req.AddCookie(&http.Cookie{Name: "oak-user", Value: c.UserID})
+		}
+		resp, err := c.httpc().Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("client: post report: %w", err)
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode == http.StatusNoContent {
+			return nil
+		}
+		lastErr = fmt.Errorf("client: report status %d", resp.StatusCode)
+		if !retryableStatus(resp.StatusCode) {
+			return lastErr
+		}
+		hint = retryAfterHint(resp)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	if c.UserID != "" {
-		req.AddCookie(&http.Cookie{Name: "oak-user", Value: c.UserID})
-	}
-	resp, err := c.httpc().Do(req)
-	if err != nil {
-		return fmt.Errorf("client: post report: %w", err)
-	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	_ = resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent {
-		return fmt.Errorf("client: report status %d", resp.StatusCode)
-	}
-	return nil
+	return lastErr
 }
 
 // LoadAndReport performs a full Oak round: load the page, submit the report.

@@ -5,7 +5,9 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"oak/internal/report"
 )
@@ -98,17 +100,154 @@ func TestHTTPClientPageStatusError(t *testing.T) {
 	}
 }
 
-func TestHTTPClientObjectStatusError(t *testing.T) {
-	content := httptest.NewServer(http.NotFoundHandler())
+func TestHTTPClientObjectFailureIsPartialReport(t *testing.T) {
+	var hits atomic.Int64
+	content := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.NotFound(w, r)
+	}))
 	defer content.Close()
 	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write([]byte(`<img src="http://broken.example/x.bin">`))
 	}))
 	defer origin.Close()
 
-	c := &HTTPClient{Resolve: staticResolver(content)}
-	if _, _, err := c.LoadPage(origin.URL, "/"); err == nil {
-		t.Error("404 object: want error")
+	c := &HTTPClient{Resolve: staticResolver(content), Seed: 1}
+	res, _, err := c.LoadPage(origin.URL, "/")
+	if err != nil {
+		t.Fatalf("dead object must not abort the load: %v", err)
+	}
+	if got := res.Report.FailedCount(); got != 1 {
+		t.Fatalf("FailedCount = %d, want 1: %+v", got, res.Report.Entries)
+	}
+	e := res.Report.Entries[0]
+	if !e.Failed || e.URL != "http://broken.example/x.bin" {
+		t.Errorf("failed entry = %+v", e)
+	}
+	if e.DurationMillis < 0 {
+		t.Errorf("failed entry duration = %v", e.DurationMillis)
+	}
+	// 404 is not retryable: exactly one attempt.
+	if hits.Load() != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry on 404)", hits.Load())
+	}
+}
+
+func TestHTTPClientObjectRetriesThenSucceeds(t *testing.T) {
+	var hits atomic.Int64
+	content := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) < 3 {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		_, _ = w.Write(make([]byte, 128))
+	}))
+	defer content.Close()
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`<img src="http://flaky.example/x.bin">`))
+	}))
+	defer origin.Close()
+
+	c := &HTTPClient{
+		Resolve: staticResolver(content),
+		Seed:    42,
+		Retry:   RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	}
+	res, _, err := c.LoadPage(origin.URL, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Report.FailedCount(); got != 0 {
+		t.Fatalf("FailedCount = %d, want 0 after successful retry", got)
+	}
+	if res.Report.Entries[0].SizeBytes != 128 {
+		t.Errorf("entry = %+v", res.Report.Entries[0])
+	}
+	if hits.Load() != 3 {
+		t.Errorf("attempts = %d, want 3", hits.Load())
+	}
+}
+
+func TestHTTPClientObjectTimeout(t *testing.T) {
+	release := make(chan struct{})
+	content := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hang until the test ends
+	}))
+	defer content.Close()
+	defer close(release)
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`<img src="http://dead.example/x.bin">`))
+	}))
+	defer origin.Close()
+
+	c := &HTTPClient{
+		Resolve:       staticResolver(content),
+		Seed:          7,
+		ObjectTimeout: 20 * time.Millisecond,
+		Retry:         RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+	}
+	start := time.Now()
+	res, _, err := c.LoadPage(origin.URL, "/")
+	if err != nil {
+		t.Fatalf("hung provider must not abort the load: %v", err)
+	}
+	if got := res.Report.FailedCount(); got != 1 {
+		t.Fatalf("FailedCount = %d, want 1", got)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("load took %v; per-object deadline not applied", elapsed)
+	}
+	if res.Report.Entries[0].DurationMillis < 20 {
+		t.Errorf("failed entry should record time spent trying, got %vms", res.Report.Entries[0].DurationMillis)
+	}
+}
+
+func TestHTTPClientSubmitReportRetriesHonoringRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	var sawDelay time.Duration
+	var last time.Time
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now()
+		if n := hits.Add(1); n == 1 {
+			last = now
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shed", http.StatusServiceUnavailable)
+			return
+		}
+		sawDelay = now.Sub(last)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer origin.Close()
+
+	c := &HTTPClient{
+		Seed:  3,
+		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	}
+	rep := &report.Report{UserID: "u", Page: "/", Entries: []report.Entry{
+		{URL: "http://x.example/a", SizeBytes: 1, DurationMillis: 1},
+	}}
+	if err := c.SubmitReport(origin.URL, rep); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("attempts = %d, want 2", hits.Load())
+	}
+	// The origin said Retry-After: 1s; the client must have waited at least
+	// most of it rather than using its (millisecond) backoff schedule.
+	if sawDelay < 700*time.Millisecond {
+		t.Errorf("delay before retry = %v, want >= ~1s (Retry-After honored)", sawDelay)
+	}
+}
+
+func TestHTTPClientDefaultClientCached(t *testing.T) {
+	c := &HTTPClient{}
+	if c.httpc() != c.httpc() {
+		t.Error("default http.Client not cached: new allocation per call")
+	}
+	custom := &http.Client{}
+	c2 := &HTTPClient{HTTP: custom}
+	if c2.httpc() != custom {
+		t.Error("explicit HTTP client not used")
 	}
 }
 

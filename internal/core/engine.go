@@ -42,6 +42,10 @@ type Engine struct {
 	pipeline       *pipeline
 	pipelineConfig *IngestConfig
 
+	// shedPolicy, when set, turns full-queue blocking into deadline-aware
+	// admission control (WithLoadShedding).
+	shedPolicy *ShedPolicy
+
 	// Observability (internal/obs): every decision point emits a structured
 	// trace event; rewrite latency feeds one histogram, ingest latency one
 	// histogram per shard (merged on read).
@@ -436,13 +440,14 @@ func (e *Engine) Snapshot(userID string) (ProfileSnapshot, bool) {
 // Users returns the number of profiles the engine holds, summed shard by
 // shard (weakly consistent under concurrent ingest).
 func (e *Engine) Users() int {
-	total := 0
+	// Lock-free by design: healthz calls this, and a liveness probe must
+	// answer even while a shard is wedged mid-ingest (stuck script fetch,
+	// saturated pipeline). Each shard mirrors its profile count in a gauge.
+	total := int64(0)
 	for _, sh := range e.shards {
-		sh.mu.RLock()
-		total += len(sh.profiles)
-		sh.mu.RUnlock()
+		total += sh.users.Value()
 	}
-	return total
+	return int(total)
 }
 
 // trace records one decision event in the ring buffer, stamping it with the

@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"oak/internal/obs"
 	"oak/internal/report"
@@ -16,10 +18,84 @@ import (
 // subset of shards, so a user's reports are always processed by the same
 // worker, in submission order, and workers never contend on a shard lock.
 // When the queue is full, Submit blocks: backpressure propagates to the
-// producer instead of growing memory without bound.
+// producer instead of growing memory without bound. WithLoadShedding turns
+// that unbounded blocking into a deadline-aware admission policy: a
+// submission that would wait on a full queue longer than the configured
+// budget is refused with ErrOverloaded instead, so producers (and their
+// clients, via 503 + Retry-After) find out immediately and the server keeps
+// serving pages while ingest is saturated.
 
-// ErrEngineClosed is returned by report submission after Engine.Close.
-var ErrEngineClosed = errors.New("engine: closed")
+// ErrShuttingDown is returned by report submission after Engine.Close: the
+// engine is draining and accepts no new work.
+var ErrShuttingDown = errors.New("engine: shutting down")
+
+// ErrEngineClosed is the historical name for ErrShuttingDown; the two are
+// the same error value, so errors.Is matches either.
+var ErrEngineClosed = ErrShuttingDown
+
+// ErrOverloaded is the sentinel all shed submissions match via errors.Is:
+// the ingest queue stayed full past the shedding budget and the report was
+// refused, not queued. The concrete error is *OverloadError, which carries
+// the retry hint.
+var ErrOverloaded = errors.New("engine: overloaded")
+
+// OverloadError is the error a shed submission returns. It unwraps to
+// ErrOverloaded and carries the retry hint the origin server turns into a
+// Retry-After header.
+type OverloadError struct {
+	// RetryAfter is how long the shedding policy suggests the client wait
+	// before resubmitting.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("engine: overloaded, retry in %v", e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) true.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// ShedPolicy configures deadline-aware load shedding on the batched-ingest
+// pipeline (WithLoadShedding).
+type ShedPolicy struct {
+	// MaxWait is how long a submission may wait on a full queue before
+	// being shed with ErrOverloaded. Zero (or negative) sheds immediately:
+	// a full queue refuses new reports without blocking at all.
+	MaxWait time.Duration
+	// RetryAfter is the retry hint shed submissions carry (and the origin
+	// server advertises as Retry-After). Zero takes DefaultRetryAfter.
+	RetryAfter time.Duration
+}
+
+// DefaultRetryAfter is the retry hint used when ShedPolicy.RetryAfter is
+// zero.
+const DefaultRetryAfter = time.Second
+
+// normalized fills defaults in.
+func (p ShedPolicy) normalized() ShedPolicy {
+	if p.MaxWait < 0 {
+		p.MaxWait = 0
+	}
+	if p.RetryAfter <= 0 {
+		p.RetryAfter = DefaultRetryAfter
+	}
+	return p
+}
+
+// WithLoadShedding enables overload protection on the batched-ingest
+// pipeline: instead of blocking a producer indefinitely while its queue is
+// full (the default backpressure behaviour), a submission that cannot be
+// queued within p.MaxWait fails fast with an *OverloadError. Sheds are
+// counted in Metrics.ReportsShed. The option has no effect on an engine
+// without WithIngestPipeline — synchronous ingest never queues, so it never
+// sheds.
+func WithLoadShedding(p ShedPolicy) Option {
+	return func(e *Engine) {
+		pol := p.normalized()
+		e.shedPolicy = &pol
+	}
+}
 
 // Default pipeline sizing.
 const (
@@ -112,7 +188,9 @@ func newPipeline(e *Engine, cfg IngestConfig) *pipeline {
 // submit queues one pre-validated report and waits for its result.
 // Cancelling ctx while the report is still queued abandons it (the worker
 // discards it un-processed); cancelling after a worker picked it up returns
-// immediately while the report still takes effect.
+// immediately while the report still takes effect. With a shedding policy,
+// a submission that cannot be queued within the policy's budget is refused
+// with *OverloadError instead of blocking.
 func (p *pipeline) submit(ctx context.Context, r *report.Report) (*AnalysisResult, error) {
 	t := ingestTask{ctx: ctx, rep: r, res: make(chan ingestOutcome, 1)}
 	// Shard affinity: one worker owns all reports of a given shard.
@@ -121,17 +199,15 @@ func (p *pipeline) submit(ctx context.Context, r *report.Report) (*AnalysisResul
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
-		return nil, ErrEngineClosed
+		return nil, ErrShuttingDown
 	}
 	p.depth.Add(1)
-	select {
-	case q <- t:
-		p.mu.RUnlock()
-	case <-ctx.Done():
+	if err := p.enqueue(ctx, q, t); err != nil {
 		p.depth.Add(-1)
 		p.mu.RUnlock()
-		return nil, ctx.Err()
+		return nil, err
 	}
+	p.mu.RUnlock()
 
 	select {
 	case out := <-t.res:
@@ -139,6 +215,44 @@ func (p *pipeline) submit(ctx context.Context, r *report.Report) (*AnalysisResul
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// enqueue places the task on its worker's queue, honouring the engine's
+// shedding policy: without one it blocks until there is room (or ctx is
+// cancelled); with one it waits at most the policy's budget on a full queue
+// before refusing with *OverloadError. The caller holds p.mu shared.
+func (p *pipeline) enqueue(ctx context.Context, q chan ingestTask, t ingestTask) error {
+	shed := p.engine.shedPolicy
+	if shed == nil {
+		select {
+		case q <- t:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	// Fast path: room right now.
+	select {
+	case q <- t:
+		return nil
+	default:
+	}
+	// Queue full. Wait at most the shedding budget before refusing —
+	// blocking here would tie up the producer (an HTTP handler goroutine)
+	// and lie to the client about progress.
+	if shed.MaxWait > 0 {
+		timer := time.NewTimer(shed.MaxWait)
+		defer timer.Stop()
+		select {
+		case q <- t:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+	p.engine.metrics.reportsShed.Inc()
+	return &OverloadError{RetryAfter: shed.RetryAfter}
 }
 
 // worker drains one queue until close drains and closes it.
@@ -196,8 +310,12 @@ type BatchResult struct {
 	// Processed is how many reports were analysed successfully.
 	Processed int `json:"processed"`
 	// Failed is how many reports were rejected (validation or processing
-	// error, or cancellation while queued).
+	// error, shedding, or cancellation while queued).
 	Failed int `json:"failed"`
+	// Overloaded is the subset of Failed refused by the load-shedding
+	// admission policy; clients should retry those after the advertised
+	// Retry-After.
+	Overloaded int `json:"overloaded,omitempty"`
 	// Errors holds the first few distinct failure messages, as a debugging
 	// aid; it is capped, not exhaustive.
 	Errors []string `json:"errors,omitempty"`
@@ -225,6 +343,9 @@ func (e *Engine) HandleBatch(ctx context.Context, reports []*report.Report) Batc
 			return
 		}
 		res.Failed++
+		if errors.Is(err, ErrOverloaded) {
+			res.Overloaded++
+		}
 		if len(res.Errors) < batchErrorCap {
 			msg := err.Error()
 			for _, prev := range res.Errors {

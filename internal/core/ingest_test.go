@@ -267,3 +267,193 @@ func TestBatchedIngestRace(t *testing.T) {
 		t.Errorf("Users() = %d, want %d", got, writers*reportsPerWriter)
 	}
 }
+
+// tier3Report builds a report whose violator (evil.example) can only be tied
+// to loaderRule through the external-JavaScript tier — processing it makes
+// the engine call the script fetcher, which tests use to block a pipeline
+// worker deterministically.
+func tier3Report(user string) *report.Report {
+	return &report.Report{UserID: user, Page: "/index.html", Entries: []report.Entry{
+		{URL: "http://lib.example/loader.js", ServerAddr: "ip-lib.example", SizeBytes: 1024, DurationMillis: 95, Kind: report.KindScript},
+		{URL: "http://evil.example/pixel.png", ServerAddr: "ip-evil.example", SizeBytes: 1024, DurationMillis: 2000, Kind: report.KindImage},
+		{URL: "http://a.example/a.png", ServerAddr: "ip-a.example", SizeBytes: 1024, DurationMillis: 100, Kind: report.KindImage},
+		{URL: "http://b.example/b.png", ServerAddr: "ip-b.example", SizeBytes: 1024, DurationMillis: 110, Kind: report.KindImage},
+	}}
+}
+
+// loaderRule references lib.example's loader script but not evil.example, so
+// matching evil.example requires fetching the script body.
+func loaderRule() *rules.Rule {
+	return &rules.Rule{
+		ID:      "loader",
+		Type:    rules.TypeRemove,
+		Default: `<script src="http://lib.example/loader.js"></script>`,
+		Scope:   "*",
+	}
+}
+
+func TestLoadSheddingShedsWhenSaturated(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	fetcher := ScriptFetcherFunc(func(string) (string, error) {
+		close(entered)
+		<-release
+		return "", nil
+	})
+	e, err := NewEngine([]*rules.Rule{loaderRule()},
+		WithScriptFetcher(fetcher),
+		WithIngestPipeline(IngestConfig{Workers: 1, QueueLen: 1}),
+		WithLoadShedding(ShedPolicy{MaxWait: 5 * time.Millisecond, RetryAfter: 2 * time.Second}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	released := false
+	defer func() {
+		if !released {
+			close(release)
+		}
+	}()
+
+	done := make(chan error, 2)
+	// Report 1: the worker picks it up and blocks inside the fetcher.
+	go func() {
+		_, err := e.HandleReport(tier3Report("u-block"))
+		done <- err
+	}()
+	<-entered
+	// Report 2: fills the queue (capacity 1) behind the stuck worker.
+	go func() {
+		_, err := e.HandleReport(slowS1Report("u-queued"))
+		done <- err
+	}()
+	waitFor(t, func() bool { depth, _ := e.IngestQueue(); return depth == 2 })
+
+	// Report 3: nowhere to go — must be shed, not block.
+	_, err = e.HandleReport(slowS1Report("u-shed"))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated submit err = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.RetryAfter != 2*time.Second {
+		t.Errorf("overload error = %#v, want RetryAfter 2s", err)
+	}
+	if got := e.Metrics().ReportsShed; got != 1 {
+		t.Errorf("ReportsShed = %d, want 1", got)
+	}
+
+	// Unblocking the worker drains the queue; nothing was lost or wedged.
+	released = true
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("queued report %d failed: %v", i, err)
+		}
+	}
+	e.Close()
+	if e.Users() != 2 {
+		t.Errorf("Users = %d, want 2 (shed report not processed)", e.Users())
+	}
+}
+
+func TestLoadSheddingZeroWaitShedsImmediately(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	fetcher := ScriptFetcherFunc(func(string) (string, error) {
+		close(entered)
+		<-release
+		return "", nil
+	})
+	e, err := NewEngine([]*rules.Rule{loaderRule()},
+		WithScriptFetcher(fetcher),
+		WithIngestPipeline(IngestConfig{Workers: 1, QueueLen: 1}),
+		WithLoadShedding(ShedPolicy{}), // MaxWait 0: no grace at all
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	defer close(release)
+
+	done := make(chan error, 2)
+	go func() {
+		_, err := e.HandleReport(tier3Report("u-block"))
+		done <- err
+	}()
+	<-entered
+	go func() {
+		_, err := e.HandleReport(slowS1Report("u-queued"))
+		done <- err
+	}()
+	waitFor(t, func() bool { depth, _ := e.IngestQueue(); return depth == 2 })
+
+	start := time.Now()
+	_, err = e.HandleReport(slowS1Report("u-shed"))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.RetryAfter != DefaultRetryAfter {
+		t.Errorf("RetryAfter = %#v, want default %v", err, DefaultRetryAfter)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("immediate shed took %v", elapsed)
+	}
+}
+
+func TestNoSheddingBlocksInsteadOfRefusing(t *testing.T) {
+	// Without WithLoadShedding a saturated queue applies backpressure: the
+	// submission waits and eventually succeeds once the worker frees up.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	fetcher := ScriptFetcherFunc(func(string) (string, error) {
+		close(entered)
+		<-release
+		return "", nil
+	})
+	e, err := NewEngine([]*rules.Rule{loaderRule()},
+		WithScriptFetcher(fetcher),
+		WithIngestPipeline(IngestConfig{Workers: 1, QueueLen: 1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	done := make(chan error, 3)
+	go func() {
+		_, err := e.HandleReport(tier3Report("u-block"))
+		done <- err
+	}()
+	<-entered
+	for _, u := range []string{"u2", "u3"} {
+		u := u
+		go func() {
+			_, err := e.HandleReport(slowS1Report(u))
+			done <- err
+		}()
+	}
+	waitFor(t, func() bool { depth, _ := e.IngestQueue(); return depth >= 2 })
+	close(release)
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("backpressured report %d failed: %v", i, err)
+		}
+	}
+	if e.Metrics().ReportsShed != 0 {
+		t.Errorf("ReportsShed = %d without a shed policy", e.Metrics().ReportsShed)
+	}
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"oak/internal/obs"
+)
 
 // Metrics are the engine's aggregate counters — the "aggregate site
 // performance" bookkeeping the paper's server maintains alongside per-user
@@ -22,6 +26,13 @@ type Metrics struct {
 	PagesModified uint64
 	// PagesUntouched counts ModifyPage calls that returned the page as-is.
 	PagesUntouched uint64
+	// ReportsShed counts report submissions refused with ErrOverloaded by
+	// the load-shedding admission policy (WithLoadShedding).
+	ReportsShed uint64
+	// StateRecoveries counts boots (LoadStateFile calls) that restored
+	// state from the rotating backup because the primary snapshot was
+	// damaged or missing.
+	StateRecoveries uint64
 }
 
 // metrics is the engine-internal atomic representation.
@@ -34,6 +45,8 @@ type metrics struct {
 	ruleExpirations    atomic.Uint64
 	pagesModified      atomic.Uint64
 	pagesUntouched     atomic.Uint64
+	reportsShed        obs.Counter
+	stateRecoveries    obs.Counter
 }
 
 // snapshot copies the counters.
@@ -47,6 +60,8 @@ func (m *metrics) snapshot() Metrics {
 		RuleExpirations:    m.ruleExpirations.Load(),
 		PagesModified:      m.pagesModified.Load(),
 		PagesUntouched:     m.pagesUntouched.Load(),
+		ReportsShed:        m.reportsShed.Value(),
+		StateRecoveries:    m.stateRecoveries.Value(),
 	}
 }
 

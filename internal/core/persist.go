@@ -1,8 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"time"
 
@@ -49,6 +52,80 @@ type persistedActivation struct {
 
 // stateVersion is the current persistence format version.
 const stateVersion = 1
+
+// Typed import failures. ErrCorruptState covers everything a damaged file
+// can look like — truncation, checksum mismatch, undecodable JSON, an empty
+// file — so callers (LoadStateFile, oakd boot) can tell "this file is
+// damaged, try the backup" apart from I/O errors. ErrStateVersion marks a
+// structurally intact snapshot written by an incompatible format version.
+var (
+	ErrCorruptState = errors.New("engine: corrupt state")
+	ErrStateVersion = errors.New("engine: unsupported state version")
+)
+
+// Snapshot envelope: ExportSnapshot wraps the JSON payload in a one-line
+// header carrying a magic marker, a CRC-32C checksum and the payload
+// length, so ImportState can detect torn or bit-flipped state files instead
+// of restoring garbage. Headerless input is accepted as the legacy plain
+// JSON format, so snapshot files written before the envelope existed still
+// load.
+const (
+	snapshotMagic  = "OAKSNAP"
+	snapshotHeader = snapshotMagic + "2 crc32c=%08x len=%d\n"
+)
+
+// snapshotCRC is the Castagnoli table used for snapshot checksums.
+var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ExportSnapshot serialises all per-user state as a checksummed snapshot:
+// one header line (magic, CRC-32C of the payload, payload length) followed
+// by the ExportState JSON payload. ImportState verifies the checksum before
+// touching any profile.
+func (e *Engine) ExportSnapshot() ([]byte, error) {
+	payload, err := e.ExportState()
+	if err != nil {
+		return nil, err
+	}
+	header := fmt.Sprintf(snapshotHeader, crc32.Checksum(payload, snapshotCRC), len(payload))
+	return append([]byte(header), payload...), nil
+}
+
+// unwrapSnapshot strips and verifies the snapshot envelope, returning the
+// JSON payload. Input without the magic prefix is returned as-is (legacy
+// plain-JSON state files). A present-but-damaged envelope is ErrCorruptState;
+// an envelope from an unknown format generation is ErrStateVersion.
+func unwrapSnapshot(data []byte) ([]byte, error) {
+	if !bytes.HasPrefix(data, []byte(snapshotMagic)) {
+		return data, nil
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("%w: snapshot header not terminated", ErrCorruptState)
+	}
+	var (
+		sum    uint32
+		length int
+	)
+	n, err := fmt.Sscanf(string(data[:nl+1]), snapshotHeader, &sum, &length)
+	if err != nil || n != 2 {
+		// The magic matched but the header did not parse as generation 2:
+		// either a corrupted header or a future format.
+		if bytes.HasPrefix(data, []byte(snapshotMagic+"2 ")) {
+			return nil, fmt.Errorf("%w: malformed snapshot header", ErrCorruptState)
+		}
+		return nil, fmt.Errorf("%w: unknown snapshot generation %q", ErrStateVersion, string(data[:nl]))
+	}
+	payload := data[nl+1:]
+	if len(payload) != length {
+		return nil, fmt.Errorf("%w: snapshot truncated: header says %d payload bytes, have %d",
+			ErrCorruptState, length, len(payload))
+	}
+	if got := crc32.Checksum(payload, snapshotCRC); got != sum {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch: header %08x, payload %08x",
+			ErrCorruptState, sum, got)
+	}
+	return payload, nil
+}
 
 // ExportState serialises all per-user state as JSON.
 func (e *Engine) ExportState() ([]byte, error) {
@@ -100,19 +177,30 @@ func snapshotProfile(prof *Profile) persistedProfile {
 	return pp
 }
 
-// ImportState restores per-user state exported by ExportState, replacing
+// ImportState restores per-user state exported by ExportState or
+// ExportSnapshot (the checksummed envelope is detected and verified;
+// headerless input is treated as the legacy plain-JSON format), replacing
 // any existing profiles. Activations referring to rules absent from the
 // engine's current rule set are dropped silently (the operator changed the
 // configuration); expired activations are dropped too. The restore is
 // atomic: every shard is locked for the swap, so no concurrent reader sees
-// a half-imported state.
+// a half-imported state. Damaged input fails with ErrCorruptState — before
+// any profile is touched — and incompatible format versions with
+// ErrStateVersion.
 func (e *Engine) ImportState(data []byte) error {
+	if len(bytes.TrimSpace(data)) == 0 {
+		return fmt.Errorf("%w: empty state file", ErrCorruptState)
+	}
+	payload, err := unwrapSnapshot(data)
+	if err != nil {
+		return err
+	}
 	var st persistedState
-	if err := json.Unmarshal(data, &st); err != nil {
-		return fmt.Errorf("engine: decode state: %w", err)
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return fmt.Errorf("%w: decode state: %v", ErrCorruptState, err)
 	}
 	if st.Version != stateVersion {
-		return fmt.Errorf("engine: unsupported state version %d", st.Version)
+		return fmt.Errorf("%w %d", ErrStateVersion, st.Version)
 	}
 
 	now := e.now()
@@ -130,7 +218,7 @@ func (e *Engine) ImportState(data []byte) error {
 	}
 	for _, pp := range st.Profiles {
 		if pp.UserID == "" {
-			return fmt.Errorf("engine: state has profile without user id")
+			return fmt.Errorf("%w: state has profile without user id", ErrCorruptState)
 		}
 		prof := newProfile(pp.UserID)
 		prof.lastReport = pp.LastReport
@@ -165,6 +253,7 @@ func (e *Engine) ImportState(data []byte) error {
 	}
 	for i, sh := range e.shards {
 		sh.profiles = fresh[i]
+		sh.users.Set(int64(len(fresh[i])))
 	}
 	for _, sh := range e.shards {
 		sh.mu.Unlock()

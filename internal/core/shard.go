@@ -26,6 +26,9 @@ import (
 type shard struct {
 	mu       sync.RWMutex
 	profiles map[string]*Profile
+	// users mirrors len(profiles) lock-free, so liveness surfaces (Users,
+	// healthz) never block behind a shard wedged mid-ingest.
+	users obs.Gauge
 	// ingest is this shard's report-ingest latency histogram; the engine
 	// merges the shards for the aggregate view and exposes them raw for
 	// per-shard hot-spot diagnosis.
@@ -124,6 +127,7 @@ func (sh *shard) profileLocked(userID string) *Profile {
 	if !ok {
 		prof = newProfile(userID)
 		sh.profiles[userID] = prof
+		sh.users.Add(1)
 	}
 	return prof
 }

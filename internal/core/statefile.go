@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Crash-safe state files: SaveStateFile writes checksummed snapshots via
+// the classic tmp + fsync + rename dance and keeps the previous good
+// snapshot as a rotating ".bak"; LoadStateFile restores the snapshot and —
+// when the primary file is damaged or missing mid-rotation — falls back to
+// the backup instead of failing boot. Together they guarantee that a crash
+// at any instant (mid-save, mid-rotation, or external corruption of the
+// primary) costs at most one save interval of learned state, never all of
+// it.
+
+// BackupSuffix is appended to a state file's path to name the rotating
+// last-good snapshot SaveStateFile keeps.
+const BackupSuffix = ".bak"
+
+// StateSource says where LoadStateFile got the engine's state from.
+type StateSource string
+
+const (
+	// StateFresh: neither the snapshot nor its backup existed — a fresh
+	// deployment.
+	StateFresh StateSource = "fresh"
+	// StateSnapshot: the primary snapshot file loaded cleanly.
+	StateSnapshot StateSource = "snapshot"
+	// StateBackup: the primary was damaged or missing and state was
+	// recovered from the rotating backup.
+	StateBackup StateSource = "backup"
+)
+
+// SaveStateFile persists the engine's state to path crash-safely:
+//
+//  1. the checksummed snapshot is written to path+".tmp" and fsynced, so a
+//     crash mid-write never touches the live file;
+//  2. the current snapshot, if any, is rotated to path+BackupSuffix;
+//  3. the temp file is renamed over path (atomic on POSIX filesystems).
+//
+// On any failure the temp file is removed rather than leaked. A crash
+// between steps 2 and 3 leaves only the backup; LoadStateFile recovers from
+// it.
+func (e *Engine) SaveStateFile(path string) error {
+	data, err := e.ExportSnapshot()
+	if err != nil {
+		return fmt.Errorf("engine: export snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, data); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("engine: write snapshot: %w", err)
+	}
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, path+BackupSuffix); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("engine: rotate backup: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("engine: install snapshot: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// LoadStateFile restores engine state saved by SaveStateFile. A missing
+// snapshot with no backup is a fresh deployment, not an error. A damaged
+// primary (torn write, checksum mismatch, undecodable payload) falls back
+// to the rotating backup — counting one state recovery in the engine's
+// metrics — and only fails if the backup is unusable too. The returned
+// StateSource says which file actually populated the engine.
+func (e *Engine) LoadStateFile(path string) (StateSource, error) {
+	bak := path + BackupSuffix
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		// No primary. Either a fresh deployment, or a crash landed between
+		// SaveStateFile's rotation and install renames — in which case the
+		// backup holds the last good snapshot.
+		bdata, berr := os.ReadFile(bak)
+		if os.IsNotExist(berr) {
+			return StateFresh, nil
+		}
+		if berr != nil {
+			return "", fmt.Errorf("engine: read state backup: %w", berr)
+		}
+		if ierr := e.ImportState(bdata); ierr != nil {
+			return "", fmt.Errorf("engine: import state backup: %w", ierr)
+		}
+		e.metrics.stateRecoveries.Inc()
+		return StateBackup, nil
+	}
+	if err != nil {
+		return "", fmt.Errorf("engine: read state: %w", err)
+	}
+	primaryErr := e.ImportState(data)
+	if primaryErr == nil {
+		return StateSnapshot, nil
+	}
+	if !errors.Is(primaryErr, ErrCorruptState) && !errors.Is(primaryErr, ErrStateVersion) {
+		return "", primaryErr
+	}
+	bdata, berr := os.ReadFile(bak)
+	if berr != nil {
+		// No usable backup: surface the original corruption, not the
+		// backup's absence.
+		return "", fmt.Errorf("engine: import state (no backup to recover from): %w", primaryErr)
+	}
+	if ierr := e.ImportState(bdata); ierr != nil {
+		return "", fmt.Errorf("engine: snapshot and backup both unusable: %w (backup: %v)", primaryErr, ierr)
+	}
+	e.metrics.stateRecoveries.Inc()
+	return StateBackup, nil
+}
+
+// StateRecoveries returns how many times state was restored from the
+// rotating backup because the primary snapshot was damaged or missing.
+func (e *Engine) StateRecoveries() uint64 {
+	return e.metrics.stateRecoveries.Value()
+}
+
+// writeFileSync writes data to path and fsyncs it before closing, so the
+// bytes are durable before any rename makes the file visible.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-completed rename survives power
+// loss. Best-effort: some filesystems reject directory fsync, and the data
+// itself is already durable.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

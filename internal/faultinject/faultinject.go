@@ -1,0 +1,216 @@
+// Package faultinject provides deterministic fault injection for resilience
+// testing: an http.RoundTripper wrapper that injects transport errors, added
+// latency and truncated response bodies at seeded, reproducible rates, and a
+// state-file corrupter that damages snapshots the way torn writes and disk
+// faults do. The chaos tests drive the full Oak loop (client → origin →
+// engine → persistence) through these faults and assert the system degrades
+// instead of breaking: no deadlocks, no lost user state, truthful status
+// codes.
+//
+// Everything is seeded: the same Seed produces the same fault sequence, so
+// a chaos-test failure reproduces exactly.
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the transport error injected requests fail with. It is
+// distinguishable from real network errors so tests can tell injected
+// faults from genuine breakage.
+var ErrInjected = errors.New("faultinject: injected transport error")
+
+// Stats counts what a Transport has done, for asserting that faults were
+// actually exercised.
+type Stats struct {
+	// Requests is how many requests passed through the transport.
+	Requests uint64
+	// Errors is how many were failed with ErrInjected.
+	Errors uint64
+	// Truncated is how many responses had their bodies cut short.
+	Truncated uint64
+	// Delayed is how many requests had latency injected.
+	Delayed uint64
+}
+
+// Transport is an http.RoundTripper that injects faults in front of a real
+// transport at seeded, deterministic rates. Safe for concurrent use; with a
+// single in-flight request at a time the fault sequence is fully
+// reproducible from the seed.
+type Transport struct {
+	// Base performs the real round trips; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Seed makes the fault sequence deterministic; 0 seeds from the clock
+	// (reproducibility lost).
+	Seed int64
+	// ErrorRate is the probability ([0,1]) a request fails with ErrInjected
+	// before reaching the network.
+	ErrorRate float64
+	// TruncateRate is the probability a successful response's body is cut
+	// short mid-read, the way a torn connection looks to the client.
+	TruncateRate float64
+	// LatencyRate is the probability a request is delayed by Latency before
+	// being sent.
+	LatencyRate float64
+	// Latency is the injected delay.
+	Latency time.Duration
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+}
+
+// roll draws one uniform [0,1) decision from the seeded stream.
+func (t *Transport) roll() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rng == nil {
+		seed := t.Seed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		t.rng = rand.New(rand.NewSource(seed))
+	}
+	return t.rng.Float64()
+}
+
+// RoundTrip implements http.RoundTripper: an error roll fails the request
+// outright, a latency roll delays it, and a truncation roll lets the real
+// response through with its body cut short so the reader sees an unexpected
+// EOF mid-stream.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	t.stats.Requests++
+	t.mu.Unlock()
+
+	if t.ErrorRate > 0 && t.roll() < t.ErrorRate {
+		t.mu.Lock()
+		t.stats.Errors++
+		t.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s %s", ErrInjected, req.Method, req.URL)
+	}
+	if t.LatencyRate > 0 && t.Latency > 0 && t.roll() < t.LatencyRate {
+		t.mu.Lock()
+		t.stats.Delayed++
+		t.mu.Unlock()
+		timer := time.NewTimer(t.Latency)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.TruncateRate > 0 && t.roll() < t.TruncateRate {
+		t.mu.Lock()
+		t.stats.Truncated++
+		t.mu.Unlock()
+		resp.Body = truncateBody(resp.Body)
+	}
+	return resp, nil
+}
+
+// Stats returns a copy of the transport's fault counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// truncateBody reads the full body and replaces it with a reader that
+// serves half the bytes and then fails with io.ErrUnexpectedEOF — what a
+// connection torn mid-transfer looks like to io.ReadAll.
+func truncateBody(body io.ReadCloser) io.ReadCloser {
+	data, _ := io.ReadAll(body)
+	_ = body.Close()
+	return &tornReader{r: bytes.NewReader(data[:len(data)/2])}
+}
+
+// tornReader serves its buffer then fails, instead of reporting a clean EOF.
+type tornReader struct {
+	r *bytes.Reader
+}
+
+func (t *tornReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err == io.EOF {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (t *tornReader) Close() error { return nil }
+
+// CorruptMode selects how CorruptFile damages a file.
+type CorruptMode int
+
+const (
+	// Truncate cuts the file to half its length — a torn write.
+	Truncate CorruptMode = iota
+	// FlipBytes XORs a few bytes at seeded offsets — silent media
+	// corruption.
+	FlipBytes
+	// Empty leaves a zero-byte file — a crash after create, before write.
+	Empty
+)
+
+// String names the mode.
+func (m CorruptMode) String() string {
+	switch m {
+	case Truncate:
+		return "truncate"
+	case FlipBytes:
+		return "flip-bytes"
+	case Empty:
+		return "empty"
+	default:
+		return "unknown"
+	}
+}
+
+// CorruptFile damages the file at path in the given mode, deterministically
+// under seed. It is the state-file half of the harness: chaos tests corrupt
+// a snapshot mid-run and assert recovery from the rotating backup.
+func CorruptFile(path string, seed int64, mode CorruptMode) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("faultinject: read %s: %w", path, err)
+	}
+	switch mode {
+	case Truncate:
+		data = data[:len(data)/2]
+	case FlipBytes:
+		if len(data) > 0 {
+			rng := rand.New(rand.NewSource(seed))
+			flips := 1 + len(data)/64
+			for i := 0; i < flips; i++ {
+				data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+			}
+		}
+	case Empty:
+		data = nil
+	default:
+		return fmt.Errorf("faultinject: unknown corrupt mode %d", mode)
+	}
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		return fmt.Errorf("faultinject: write %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(make([]byte, 4096))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestTransportPassthroughAtZeroRates(t *testing.T) {
+	ts := testBackend(t)
+	c := &http.Client{Transport: &Transport{Seed: 1}}
+	for i := 0; i < 10; i++ {
+		resp, err := c.Get(ts.URL)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || len(data) != 4096 {
+			t.Fatalf("request %d: read %d bytes, err %v", i, len(data), err)
+		}
+	}
+	st := (&Transport{}).Stats()
+	if st.Requests != 0 {
+		t.Errorf("fresh transport stats = %+v", st)
+	}
+}
+
+func TestTransportInjectsErrors(t *testing.T) {
+	ts := testBackend(t)
+	tr := &Transport{Seed: 7, ErrorRate: 1}
+	c := &http.Client{Transport: tr}
+	_, err := c.Get(ts.URL)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if st := tr.Stats(); st.Errors != 1 || st.Requests != 1 {
+		t.Errorf("stats = %+v, want 1 request, 1 error", st)
+	}
+}
+
+func TestTransportTruncatesBodies(t *testing.T) {
+	ts := testBackend(t)
+	tr := &Transport{Seed: 7, TruncateRate: 1}
+	c := &http.Client{Transport: tr}
+	resp, err := c.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("read err = %v, want unexpected EOF", err)
+	}
+	if len(data) != 2048 {
+		t.Errorf("read %d bytes before the tear, want 2048", len(data))
+	}
+	if st := tr.Stats(); st.Truncated != 1 {
+		t.Errorf("stats = %+v, want 1 truncation", st)
+	}
+}
+
+func TestTransportDeterministicUnderSeed(t *testing.T) {
+	ts := testBackend(t)
+	outcomes := func() []bool {
+		tr := &Transport{Seed: 99, ErrorRate: 0.3}
+		c := &http.Client{Transport: tr}
+		var out []bool
+		for i := 0; i < 50; i++ {
+			resp, err := c.Get(ts.URL)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	a, b := outcomes(), outcomes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+	var failed int
+	for _, ok := range a {
+		if !ok {
+			failed++
+		}
+	}
+	if failed == 0 || failed == len(a) {
+		t.Errorf("error rate 0.3 produced %d/%d failures", failed, len(a))
+	}
+}
+
+func TestCorruptFileModes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, make([]byte, 1000), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	p := write("trunc")
+	if err := CorruptFile(p, 1, Truncate); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(p); len(data) != 500 {
+		t.Errorf("Truncate left %d bytes, want 500", len(data))
+	}
+
+	p = write("empty")
+	if err := CorruptFile(p, 1, Empty); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(p); len(data) != 0 {
+		t.Errorf("Empty left %d bytes", len(data))
+	}
+
+	p = write("flip")
+	if err := CorruptFile(p, 42, FlipBytes); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(p)
+	if len(data) != 1000 {
+		t.Fatalf("FlipBytes changed length to %d", len(data))
+	}
+	changed := 0
+	for _, b := range data {
+		if b != 0 {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("FlipBytes flipped nothing")
+	}
+	// Determinism: the same seed flips the same bytes.
+	p2 := write("flip2")
+	if err := CorruptFile(p2, 42, FlipBytes); err != nil {
+		t.Fatal(err)
+	}
+	data2, _ := os.ReadFile(p2)
+	if string(data) != string(data2) {
+		t.Error("FlipBytes not deterministic under the same seed")
+	}
+
+	if err := CorruptFile(filepath.Join(dir, "missing"), 1, Truncate); err == nil {
+		t.Error("corrupting a missing file: want error")
+	}
+}

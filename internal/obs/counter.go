@@ -1,0 +1,21 @@
+package obs
+
+import "sync/atomic"
+
+// Counter is a lock-free monotone event counter: unlike Gauge it only moves
+// up — faults injected, snapshots recovered, requests shed. The zero value
+// is ready to use; all methods are safe for concurrent use.
+//
+// A Counter must not be copied after first use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add moves the counter forward by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }

@@ -3,10 +3,12 @@ package origin
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"io"
 	"mime"
 	"net/http"
 
+	"oak/internal/core"
 	"oak/internal/report"
 )
 
@@ -91,10 +93,31 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	res := s.engine.HandleBatch(r.Context(), reports)
+	allShed := res.Overloaded > 0 && res.Processed == 0 && res.Overloaded == res.Failed
 	res.Submitted += parseFail
 	res.Failed += parseFail
 	for _, msg := range parseErrs {
 		res.Errors = append(res.Errors, msg)
+	}
+	if err := r.Context().Err(); err != nil {
+		// The client abandoned the batch; whatever was processed before the
+		// abort took effect, but nobody is listening for the summary.
+		w.WriteHeader(StatusClientClosedRequest)
+		return
+	}
+	if res.Overloaded > 0 {
+		// Some (or all) reports were shed: advertise when to retry them.
+		w.Header().Set("Retry-After", retryAfterSeconds(core.DefaultRetryAfter))
+	}
+	if allShed {
+		// Nothing was admitted — the batch as a whole was refused, which is
+		// a server state, not a client mistake.
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(res)
+		return
 	}
 	writeJSON(w, res)
 }

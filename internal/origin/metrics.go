@@ -48,6 +48,9 @@ type MetricsResponse struct {
 	// IngestQueue describes the batched-ingest queue; absent when the
 	// engine runs without a pipeline.
 	IngestQueue *QueueStatus `json:"ingest_queue,omitempty"`
+	// PagesDegraded counts page deliveries served unmodified because the
+	// per-user rewrite did not finish within the rewrite budget.
+	PagesDegraded uint64 `json:"pages_degraded"`
 }
 
 // ShardSummary is one shard's ingest latency digest.
@@ -87,6 +90,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		IngestBuckets:  lat.Ingest.Buckets,
 		RewriteBuckets: lat.Rewrite.Buckets,
 		Shards:         s.engine.ShardCount(),
+		PagesDegraded:  s.pagesDegraded.Value(),
 	}
 	for i, snap := range lat.IngestShards {
 		if snap.Count > 0 {
@@ -99,13 +103,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// handleHealthz serves the liveness summary.
+// handleHealthz serves the liveness summary. The status is "degraded" —
+// still HTTP 200, the process is alive — while the ingest queue is
+// saturated, so load balancers polling healthz see overload before clients
+// start receiving 503s.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !getOnly(w, r) {
 		return
 	}
+	status := "ok"
+	if depth, capacity := s.engine.IngestQueue(); capacity > 0 && depth >= int64(capacity) {
+		status = "degraded"
+	}
 	writeJSON(w, HealthzResponse{
-		Status:        "ok",
+		Status:        status,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Rules:         len(s.engine.Rules()),
 		Users:         s.engine.Users(),

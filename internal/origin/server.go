@@ -7,6 +7,8 @@
 package origin
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"io/fs"
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	"oak/internal/core"
+	"oak/internal/obs"
 	"oak/internal/report"
 	"oak/internal/rules"
 )
@@ -48,6 +51,19 @@ const maxReportBytes = 4 << 20
 // each individual line stays under the single-report bound.
 const batchBodyFactor = 16
 
+// StatusClientClosedRequest is the nginx-convention status recorded when
+// the client abandoned the request (context cancelled) before the engine
+// finished with it. The client is gone, so the code is for logs and
+// middleware, not the wire.
+const StatusClientClosedRequest = 499
+
+// DefaultRewriteBudget bounds how long page delivery waits for the engine's
+// per-user rewrite before serving the page unmodified (degraded mode). The
+// rewrite path normally takes microseconds; hitting this budget means the
+// user's shard is wedged — ingest saturation, a stuck script fetch — and an
+// unrewritten page beats a stalled one.
+const DefaultRewriteBudget = 500 * time.Millisecond
+
 // Server is an Oak-fronted origin web server.
 //
 // Construction is NewServer(engine, opts...); the zero-option form wraps an
@@ -59,8 +75,13 @@ type Server struct {
 	started time.Time
 
 	// Options (fixed after NewServer).
-	userIDFn     func(*http.Request) string
-	maxBodyBytes int64
+	userIDFn      func(*http.Request) string
+	maxBodyBytes  int64
+	rewriteBudget time.Duration
+
+	// pagesDegraded counts page deliveries that hit the rewrite budget and
+	// were served unmodified.
+	pagesDegraded obs.Counter
 
 	mu     sync.RWMutex
 	pages  map[string]string
@@ -93,6 +114,16 @@ func WithMaxBodyBytes(n int64) Option {
 	}
 }
 
+// WithRewriteBudget bounds how long page delivery waits for the per-user
+// rewrite before falling back to the unmodified page (default
+// DefaultRewriteBudget). Degraded deliveries are counted in the metrics
+// endpoint's pages_degraded. Non-positive d disables the budget: page
+// delivery then blocks for as long as the rewrite takes, pre-resilience
+// behaviour.
+func WithRewriteBudget(d time.Duration) Option {
+	return func(s *Server) { s.rewriteBudget = d }
+}
+
 // WithPagesFrom registers every *.html file in fsys at its slash-rooted
 // path (index.html files also at their directory path), like LoadPages. It
 // is meant for embedded page bundles (embed.FS); a filesystem that fails
@@ -110,10 +141,11 @@ func WithPagesFrom(fsys fs.FS) Option {
 // registry (populate it with SetPage or LoadPages) with default limits.
 func NewServer(engine *core.Engine, opts ...Option) *Server {
 	s := &Server{
-		engine:       engine,
-		started:      time.Now(),
-		pages:        make(map[string]string),
-		maxBodyBytes: maxReportBytes,
+		engine:        engine,
+		started:       time.Now(),
+		pages:         make(map[string]string),
+		maxBodyBytes:  maxReportBytes,
+		rewriteBudget: DefaultRewriteBudget,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -212,7 +244,11 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 }
 
 // handlePage serves a page, issuing a cookie if the client lacks one and
-// applying the user's active rules before delivery.
+// applying the user's active rules before delivery. Page delivery is the
+// surface that must never stall: when the rewrite cannot complete within
+// the rewrite budget (the user's shard is wedged by saturated ingest or a
+// stuck matcher fetch), the page is served unmodified — degraded, but
+// available.
 func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -227,7 +263,7 @@ func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
 	}
 
 	userID := s.userID(w, r)
-	modified, applied := s.engine.ModifyPage(userID, r.URL.Path, html)
+	modified, applied := s.modifyPageBudgeted(userID, r.URL.Path, html)
 	if hints := rules.CacheHintValue(applied); hints != "" {
 		w.Header().Set(rules.CacheHintHeader, hints)
 	}
@@ -238,6 +274,38 @@ func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
 	}
 	_, _ = io.WriteString(w, modified)
 }
+
+// modifyPageBudgeted runs the engine rewrite under the rewrite budget,
+// returning the page unmodified when the budget lapses. The abandoned
+// rewrite goroutine finishes (harmlessly, against its own copy of the
+// inputs) once the engine unwedges; it can never write to the response.
+func (s *Server) modifyPageBudgeted(userID, path, html string) (string, []rules.Applied) {
+	if s.rewriteBudget <= 0 {
+		return s.engine.ModifyPage(userID, path, html)
+	}
+	type rewritten struct {
+		html    string
+		applied []rules.Applied
+	}
+	done := make(chan rewritten, 1)
+	go func() {
+		out, applied := s.engine.ModifyPage(userID, path, html)
+		done <- rewritten{out, applied}
+	}()
+	timer := time.NewTimer(s.rewriteBudget)
+	defer timer.Stop()
+	select {
+	case res := <-done:
+		return res.html, res.applied
+	case <-timer.C:
+		s.pagesDegraded.Inc()
+		return html, nil
+	}
+}
+
+// PagesDegraded returns how many page deliveries were served unmodified
+// because the rewrite budget lapsed.
+func (s *Server) PagesDegraded() uint64 { return s.pagesDegraded.Value() }
 
 // handleReport ingests performance reports: one JSON report per request by
 // default, or one per line when the Content-Type marks the body as NDJSON.
@@ -266,10 +334,46 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stampIdentity(rep, r)
 	if _, err := s.engine.HandleReportCtx(r.Context(), rep); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.writeIngestError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// writeIngestError maps an engine ingest error to the HTTP status that
+// tells the client the truth: overload and shutdown are retryable server
+// states (503 + Retry-After), a cancelled request is the client's own abort
+// (499, nginx convention), and everything else — validation failures — is a
+// malformed request (400).
+func (s *Server) writeIngestError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrOverloaded):
+		retryAfter := core.DefaultRetryAfter
+		var oe *core.OverloadError
+		if errors.As(err, &oe) && oe.RetryAfter > 0 {
+			retryAfter = oe.RetryAfter
+		}
+		w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+		http.Error(w, "overloaded, retry later", http.StatusServiceUnavailable)
+	case errors.Is(err, core.ErrShuttingDown):
+		w.Header().Set("Retry-After", retryAfterSeconds(core.DefaultRetryAfter))
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client is gone; the status is for logs and middleware.
+		w.WriteHeader(StatusClientClosedRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// retryAfterSeconds renders a duration as the integral seconds the
+// Retry-After header requires, rounding up so "500ms" does not become "0".
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // stampIdentity overrides the report's self-declared user ID with the

@@ -43,6 +43,12 @@ type Entry struct {
 	// Kind is the coarse object type (script, image, css, other). Scripts
 	// participate in the external-JavaScript rule-matching pass.
 	Kind ObjectKind `json:"kind,omitempty"`
+	// Failed marks an object the client could not download (provider dead,
+	// timed out, or serving errors). DurationMillis then records how long
+	// the client spent trying — a dead provider is the strongest
+	// under-performance signal a report can carry, so partial page loads
+	// still report.
+	Failed bool `json:"failed,omitempty"`
 }
 
 // Duration returns the entry's download time.
@@ -123,6 +129,17 @@ func (r *Report) Validate() error {
 		}
 	}
 	return nil
+}
+
+// FailedCount returns how many entries mark failed downloads.
+func (r *Report) FailedCount() int {
+	n := 0
+	for _, e := range r.Entries {
+		if e.Failed {
+			n++
+		}
+	}
+	return n
 }
 
 // GeneratedAt returns the report timestamp as a time.Time.

@@ -119,7 +119,58 @@ type IngestConfig = core.IngestConfig
 type BatchResult = core.BatchResult
 
 // ErrEngineClosed is returned by report submission after Engine.Close.
+// Deprecated alias for ErrShuttingDown (same value; errors.Is matches both).
 var ErrEngineClosed = core.ErrEngineClosed
+
+// Resilience errors. Handlers map ErrOverloaded and ErrShuttingDown to
+// 503 + Retry-After; state errors mark snapshots the engine refused to load
+// (LoadStateFile falls back to the rotating backup on them).
+var (
+	// ErrShuttingDown is returned by report submission after Engine.Close.
+	ErrShuttingDown = core.ErrShuttingDown
+	// ErrOverloaded is returned (wrapped in *OverloadError) when load
+	// shedding rejects a report instead of blocking on a full queue.
+	ErrOverloaded = core.ErrOverloaded
+	// ErrCorruptState marks a snapshot that failed checksum, framing or
+	// structural validation.
+	ErrCorruptState = core.ErrCorruptState
+	// ErrStateVersion marks a snapshot from an incompatible format version.
+	ErrStateVersion = core.ErrStateVersion
+)
+
+// OverloadError is the concrete shed error: errors.Is(err, ErrOverloaded)
+// matches it, and errors.As extracts the RetryAfter hint the origin server
+// turns into a Retry-After header.
+type OverloadError = core.OverloadError
+
+// ShedPolicy tunes load shedding (see WithLoadShedding): how long a
+// submission may wait on a full ingest queue before being shed, and what
+// retry horizon to advertise.
+type ShedPolicy = core.ShedPolicy
+
+// DefaultRetryAfter is the advertised retry horizon when a ShedPolicy does
+// not set one.
+const DefaultRetryAfter = core.DefaultRetryAfter
+
+// StateSource reports where Engine.LoadStateFile found usable state:
+// StateFresh (no file), StateSnapshot (primary), or StateBackup (primary
+// missing or corrupt; recovered from the rotating .bak).
+type StateSource = core.StateSource
+
+// LoadStateFile outcomes.
+const (
+	StateFresh    = core.StateFresh
+	StateSnapshot = core.StateSnapshot
+	StateBackup   = core.StateBackup
+)
+
+// RetryPolicy bounds the client's retries (attempts, exponential backoff
+// with jitter) for object fetches, page fetches and report submission.
+type RetryPolicy = client.RetryPolicy
+
+// StatusClientClosedRequest is the 499 status (nginx convention) the origin
+// responds with when the client abandoned the request mid-ingest.
+const StatusClientClosedRequest = origin.StatusClientClosedRequest
 
 // EngineMetrics are the engine's aggregate counters.
 type EngineMetrics = core.Metrics
@@ -222,6 +273,12 @@ func WithShards(n int) EngineOption { return core.WithShards(n) }
 // with backpressure when full. Engines built with it must be Closed.
 func WithIngestPipeline(cfg IngestConfig) EngineOption { return core.WithIngestPipeline(cfg) }
 
+// WithLoadShedding switches a pipelined engine from blocking backpressure
+// to deadline-aware shedding: a submission that cannot enqueue within
+// MaxWait fails fast with an *OverloadError instead of blocking, keeping
+// page serving responsive while ingest is saturated.
+func WithLoadShedding(p ShedPolicy) EngineOption { return core.WithLoadShedding(p) }
+
 // ServerOption configures NewServer.
 type ServerOption = origin.Option
 
@@ -239,6 +296,11 @@ func WithMaxBodyBytes(n int64) ServerOption { return origin.WithMaxBodyBytes(n) 
 // fails mid-walk panics. Load pages from disk with Server.LoadPages, which
 // reports errors instead.
 func WithPagesFrom(fsys fs.FS) ServerOption { return origin.WithPagesFrom(fsys) }
+
+// WithRewriteBudget bounds how long page delivery waits for the per-user
+// rewrite before serving the page unmodified (degraded but available);
+// default 500ms, non-positive disables the bound.
+func WithRewriteBudget(d time.Duration) ServerOption { return origin.WithRewriteBudget(d) }
 
 // NewServer wraps an engine as an Oak-fronted origin server. With no
 // options it behaves exactly like the historical NewServer(engine):
@@ -286,3 +348,13 @@ func ReportFromHAR(data []byte, userID string) (*Report, error) {
 //	os.WriteFile("oak-state.json", data, 0o600)
 //	// ... later, on a fresh engine with the same rules:
 //	engine.ImportState(data)
+//
+// For crash safety, prefer the file-level API: Engine.SaveStateFile writes
+// a checksummed snapshot atomically (fsync + rename) and rotates the
+// previous snapshot to a .bak, and Engine.LoadStateFile restores it,
+// falling back to the backup when the primary is missing or corrupt — a
+// torn write or flipped bit costs one save interval, never the whole state:
+//
+//	engine.SaveStateFile("oak-state.json")
+//	// ... later:
+//	src, err := engine.LoadStateFile("oak-state.json") // src: fresh/snapshot/backup

@@ -1,0 +1,63 @@
+#!/bin/sh
+# bench_shed.sh — run the overload-protection benchmarks and record the
+# results in BENCH_sheds.json, so successive PRs leave a trajectory for the
+# two numbers that matter to load shedding:
+#
+#   - admission_overhead: reports/sec with shedding enabled divided by
+#     reports/sec without (happy path, nothing sheds). Should hover at 1.0;
+#     a drop means the admission fast path grew a cost.
+#   - sheds_per_sec: how quickly a saturated engine refuses work. This is
+#     the payoff — with shedding, overload costs nanoseconds per refusal
+#     instead of an unbounded block per submitter.
+#
+# Usage: scripts/bench_shed.sh [benchtime]   (default 1s)
+set -e
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-1s}"
+out="BENCH_sheds.json"
+
+echo "== go test -bench shedding on/off + saturated (benchtime $benchtime) =="
+raw=$(go test -run '^$' -bench 'Benchmark(PipelineShedding(On|Off)|ShedSaturated)' \
+	-benchmem -count 1 -benchtime "$benchtime" ./internal/core)
+echo "$raw"
+
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	iters = $2
+	ns = ""; rps = ""; sps = ""
+	for (i = 3; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "reports/sec") rps = $(i - 1)
+		if ($i == "sheds/sec") sps = $(i - 1)
+	}
+	if (ns == "") next
+	n++
+	names[n] = name; iterations[n] = iters; nsop[n] = ns
+	rate[n] = (sps != "" ? sps : rps)
+	unit[n] = (sps != "" ? "sheds_per_sec" : "reports_per_sec")
+	if (name == "BenchmarkPipelineSheddingOn") on = rps
+	if (name == "BenchmarkPipelineSheddingOff") off = rps
+	if (name == "BenchmarkShedSaturated") sheds = sps
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchmarks\": [\n"
+	for (i = 1; i <= n; i++) {
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"%s\": %.0f}%s\n", \
+			names[i], iterations[i], nsop[i], unit[i], rate[i], (i < n ? "," : "")
+	}
+	printf "  ]"
+	if (on > 0 && off > 0)
+		printf ",\n  \"admission_overhead\": %.3f", off / on
+	if (sheds > 0)
+		printf ",\n  \"sheds_per_sec\": %.0f", sheds
+	printf "\n}\n"
+}' >"$out"
+
+echo "wrote $out"

@@ -4,7 +4,10 @@
 # Beyond the tier-1 gate (go build && go test), this enforces formatting,
 # vet cleanliness, and — because internal/obs ships lock-free histograms
 # and a ring buffer feeding the concurrent engine — race-checks the
-# packages where that concurrency lives.
+# packages where that concurrency lives (including the chaos suite in
+# internal/faultinject, which drives the full loop under injected faults).
+# A short fuzz smoke over the snapshot importer keeps hostile state files
+# from ever aborting a boot.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -25,7 +28,10 @@ go vet ./...
 echo "== go test ./... =="
 go test ./...
 
-echo "== go test -race ./internal/core ./internal/obs ./internal/origin =="
-go test -race ./internal/core ./internal/obs ./internal/origin
+echo "== go test -race ./internal/core ./internal/obs ./internal/origin ./internal/faultinject =="
+go test -race ./internal/core ./internal/obs ./internal/origin ./internal/faultinject
+
+echo "== fuzz smoke: FuzzImportState (5s) =="
+go test -run '^$' -fuzz FuzzImportState -fuzztime 5s ./internal/core
 
 echo "verify: OK"
