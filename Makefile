@@ -1,4 +1,4 @@
-.PHONY: verify test race vet fmt bench bench-shed bench-all chaos fuzz
+.PHONY: verify test race vet fmt bench bench-serve bench-shed bench-all chaos fuzz
 
 # Full PR verify path: build, formatting, vet, tests, and race-checking of
 # the concurrent engine + observability packages. See scripts/verify.sh.
@@ -30,6 +30,11 @@ fmt:
 # Ingest benchmarks + BENCH_ingest.json (perf trajectory across PRs).
 bench:
 	sh scripts/bench_ingest.sh
+
+# Serve-path benchmarks + BENCH_serve.json (cold vs warm rewrite, cache
+# speedup, zero-alloc no-op path).
+bench-serve:
+	sh scripts/bench_serve.sh
 
 # Overload-protection benchmarks + BENCH_sheds.json (shedding on vs off,
 # and the cost of refusing work when saturated).

@@ -7,6 +7,7 @@
 //	     [-state oak-state.json] [-save-interval 5m] [-pprof 127.0.0.1:6060]
 //	     [-shards N] [-ingest-queue N] [-ingest-workers N]
 //	     [-shed-wait 50ms] [-shed-retry-after 1s] [-rewrite-budget 500ms]
+//	     [-rewrite-cache 1024]
 //
 // Every *.html file under -root is served at its relative path (index.html
 // also at the directory path). Clients receive identifying cookies, pages
@@ -19,7 +20,10 @@
 // Scaling: per-user state is sharded across -shards lock stripes (0 = four
 // per CPU) so reports for different users ingest in parallel. -ingest-queue
 // enables the batched-ingest pipeline: reports are queued (bounded,
-// backpressure when full) and drained by -ingest-workers workers. See
+// backpressure when full) and drained by -ingest-workers workers. On the
+// serve side, -rewrite-cache bounds a cache of whole rewritten pages keyed
+// by page content + activation fingerprint, so repeat requests from users
+// with stable activations skip the rewrite entirely (0 disables). See
 // docs/OPERATIONS.md for sizing guidance.
 //
 // Resilience: -shed-wait switches the pipeline from blocking backpressure
@@ -81,6 +85,7 @@ func run(args []string) error {
 		shedWait  = fs2.Duration("shed-wait", -1, "shed reports that cannot enqueue within this wait, 503 + Retry-After (with -ingest-queue; negative = block instead of shedding)")
 		shedRetry = fs2.Duration("shed-retry-after", 0, "retry horizon advertised on shed responses (with -shed-wait; 0 = 1s default)")
 		rewriteB  = fs2.Duration("rewrite-budget", 0, "serve the unmodified page if the per-user rewrite takes longer than this (0 = 500ms default, negative = unbounded)")
+		rcSize    = fs2.Int("rewrite-cache", 1024, "rewrite-cache capacity in entries (whole rewritten pages keyed by content + activation fingerprint; 0 disables)")
 	)
 	if err := fs2.Parse(args); err != nil {
 		return err
@@ -90,6 +95,7 @@ func run(args []string) error {
 		root: *root, ruleFile: *ruleFile, verbose: *verbose,
 		shards: *shards, queueLen: *queueLen, workers: *workers,
 		shedWait: *shedWait, shedRetry: *shedRetry, rewriteBudget: *rewriteB,
+		rewriteCache: *rcSize,
 	})
 	if err != nil {
 		return err
@@ -217,6 +223,7 @@ type oakdConfig struct {
 	shedWait      time.Duration // negative = no shedding (blocking backpressure)
 	shedRetry     time.Duration
 	rewriteBudget time.Duration // 0 = library default, negative = unbounded
+	rewriteCache  int           // entries; <= 0 disables the rewrite cache
 }
 
 // buildServer assembles the Oak server from a page directory and a rule
@@ -260,6 +267,9 @@ func buildServer(cfg oakdConfig) (*oak.Server, int, int, error) {
 			MaxWait:    cfg.shedWait,
 			RetryAfter: cfg.shedRetry,
 		}))
+	}
+	if cfg.rewriteCache > 0 {
+		opts = append(opts, oak.WithRewriteCache(cfg.rewriteCache))
 	}
 	engine, err := oak.NewEngine(ruleSet, opts...)
 	if err != nil {

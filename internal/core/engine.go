@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"oak/internal/obs"
@@ -23,6 +24,10 @@ import (
 type Engine struct {
 	rulesMu sync.RWMutex
 	rules   []*rules.Rule
+	// rulesGen increments on every SetRules. It feeds the activation
+	// fingerprint, so a rule-set swap invalidates both the per-profile
+	// activation caches and every rewrite-cache entry without a scan.
+	rulesGen atomic.Uint64
 
 	// shards partition per-user state; len(shards) is a power of two fixed
 	// at construction. shardCount carries the WithShards request until the
@@ -48,9 +53,14 @@ type Engine struct {
 
 	// Observability (internal/obs): every decision point emits a structured
 	// trace event; rewrite latency feeds one histogram, ingest latency one
-	// histogram per shard (merged on read).
+	// histogram per shard (merged on read). traceBuf nil means tracing is
+	// disabled and the hot paths skip event construction entirely.
 	traceBuf    *obs.Trace
 	rewriteHist obs.Histogram
+
+	// rewriteCache, when non-nil, memoizes whole page rewrites keyed by
+	// (page content hash, activation fingerprint). See rewritecache.go.
+	rewriteCache *rewriteCache
 }
 
 // Option configures an Engine.
@@ -81,9 +91,17 @@ func WithLogf(logf func(format string, args ...any)) Option {
 }
 
 // WithTraceCapacity sizes the decision-trace ring buffer (default
-// obs.DefaultTraceCapacity). The ring keeps the most recent n events.
+// obs.DefaultTraceCapacity). The ring keeps the most recent n events;
+// n <= 0 disables tracing entirely, which also spares the hot paths the
+// cost of building event strings.
 func WithTraceCapacity(n int) Option {
-	return func(e *Engine) { e.traceBuf = obs.NewTrace(n) }
+	return func(e *Engine) {
+		if n <= 0 {
+			e.traceBuf = nil
+			return
+		}
+		e.traceBuf = obs.NewTrace(n)
+	}
 }
 
 // NewEngine builds an engine with the given rule set.
@@ -146,6 +164,9 @@ func (e *Engine) SetRules(ruleSet []*rules.Rule) error {
 	e.rulesMu.Lock()
 	defer e.rulesMu.Unlock()
 	e.rules = append([]*rules.Rule(nil), ruleSet...)
+	// A new generation changes every activation fingerprint, invalidating
+	// cached activation derivations and rewrite-cache entries in one step.
+	e.rulesGen.Add(1)
 	return nil
 }
 
@@ -249,26 +270,32 @@ func (e *Engine) process(r *report.Report) (*AnalysisResult, error) {
 	prof := sh.profileLocked(r.UserID)
 	prof.lastReport = now
 	e.ledger.RecordUser(r.UserID)
-	e.trace(obs.Event{
-		Kind: obs.EventReport, User: r.UserID,
-		Detail: fmt.Sprintf("page %s: %d objects, %d servers, %d violators",
-			r.Page, len(r.Entries), len(servers), len(violations)),
-	})
+	if e.tracing() {
+		e.trace(obs.Event{
+			Kind: obs.EventReport, User: r.UserID,
+			Detail: fmt.Sprintf("page %s: %d objects, %d servers, %d violators",
+				r.Page, len(r.Entries), len(servers), len(violations)),
+		})
+	}
 
 	res := &AnalysisResult{UserID: r.UserID, Violations: violations}
 
 	for _, id := range prof.pruneExpired(now) {
 		e.metrics.ruleExpirations.Add(1)
 		res.Changes = append(res.Changes, RuleChange{RuleID: id, Action: "expire"})
-		e.trace(obs.Event{Kind: obs.EventExpire, User: r.UserID, RuleID: id})
+		if e.tracing() {
+			e.trace(obs.Event{Kind: obs.EventExpire, User: r.UserID, RuleID: id})
+		}
 	}
 
 	for _, v := range violations {
 		count := prof.recordViolation(v.Server.Addr)
-		e.trace(obs.Event{
-			Kind: obs.EventViolator, User: r.UserID, Provider: v.Server.Addr,
-			Detail: fmt.Sprintf("%s %.1f beyond median, violation #%d", v.Metric, v.Distance, count),
-		})
+		if e.tracing() {
+			e.trace(obs.Event{
+				Kind: obs.EventViolator, User: r.UserID, Provider: v.Server.Addr,
+				Detail: fmt.Sprintf("%s %.1f beyond median, violation #%d", v.Metric, v.Distance, count),
+			})
+		}
 
 		// Rule history (Section 4.2.3): if the violator is the alternate of
 		// an already-active rule, decide between keeping the alternate,
@@ -307,11 +334,13 @@ func (e *Engine) process(r *report.Report) (*AnalysisResult, error) {
 				RuleID: rule.ID, Action: "activate", Server: v.Server.Addr,
 				AltIndex: altIdx, Level: level,
 			})
-			e.trace(obs.Event{
-				Kind: obs.EventActivate, User: r.UserID, RuleID: rule.ID,
-				Provider: v.Server.Addr,
-				Detail:   fmt.Sprintf("%s match, alt %d", level, altIdx),
-			})
+			if e.tracing() {
+				e.trace(obs.Event{
+					Kind: obs.EventActivate, User: r.UserID, RuleID: rule.ID,
+					Provider: v.Server.Addr,
+					Detail:   fmt.Sprintf("%s match, alt %d", level, altIdx),
+				})
+			}
 		}
 	}
 	return res, nil
@@ -338,10 +367,12 @@ func (e *Engine) reconcileActiveRules(prof *Profile, v Violation, now time.Time,
 			res.Changes = append(res.Changes, RuleChange{
 				RuleID: id, Action: "keep", Server: v.Server.Addr, AltIndex: a.AltIndex,
 			})
-			e.trace(obs.Event{
-				Kind: obs.EventKeep, User: prof.UserID, RuleID: id, Provider: v.Server.Addr,
-				Detail: fmt.Sprintf("alt dist %.1f < default dist %.1f", v.Distance, a.TriggerDistance),
-			})
+			if e.tracing() {
+				e.trace(obs.Event{
+					Kind: obs.EventKeep, User: prof.UserID, RuleID: id, Provider: v.Server.Addr,
+					Detail: fmt.Sprintf("alt dist %.1f < default dist %.1f", v.Distance, a.TriggerDistance),
+				})
+			}
 		case a.AltIndex+1 < len(a.Rule.Alternatives):
 			// A fresh alternative remains: progress linearly.
 			next := e.policy.SelectAlternative(a.Rule, a.AltIndex, prof.UserID)
@@ -354,10 +385,12 @@ func (e *Engine) reconcileActiveRules(prof *Profile, v Violation, now time.Time,
 			res.Changes = append(res.Changes, RuleChange{
 				RuleID: id, Action: "advance", Server: v.Server.Addr, AltIndex: next,
 			})
-			e.trace(obs.Event{
-				Kind: obs.EventAdvance, User: prof.UserID, RuleID: id, Provider: v.Server.Addr,
-				Detail: fmt.Sprintf("alt %d", next),
-			})
+			if e.tracing() {
+				e.trace(obs.Event{
+					Kind: obs.EventAdvance, User: prof.UserID, RuleID: id, Provider: v.Server.Addr,
+					Detail: fmt.Sprintf("alt %d", next),
+				})
+			}
 		default:
 			// The alternate is at least as far from the median as the
 			// default was and nothing fresh remains: revert.
@@ -366,17 +399,22 @@ func (e *Engine) reconcileActiveRules(prof *Profile, v Violation, now time.Time,
 			res.Changes = append(res.Changes, RuleChange{
 				RuleID: id, Action: "deactivate", Server: v.Server.Addr,
 			})
-			e.trace(obs.Event{
-				Kind: obs.EventDeactivate, User: prof.UserID, RuleID: id, Provider: v.Server.Addr,
-				Detail: "alternate worse than default",
-			})
+			if e.tracing() {
+				e.trace(obs.Event{
+					Kind: obs.EventDeactivate, User: prof.UserID, RuleID: id, Provider: v.Server.Addr,
+					Detail: "alternate worse than default",
+				})
+			}
 		}
 	}
 	return handled
 }
 
 // ActiveRules returns the rule applications live for the user on the given
-// page path, in deterministic order.
+// page path, in deterministic order. The derivation is memoized per
+// (profile, path) against the profile's activation epoch, so repeated calls
+// while the user's state is stable do not rescan the profile; the returned
+// slice is the caller's to keep.
 func (e *Engine) ActiveRules(userID, path string) []rules.Activation {
 	sh := e.shardFor(userID)
 	sh.mu.RLock()
@@ -385,7 +423,43 @@ func (e *Engine) ActiveRules(userID, path string) []rules.Activation {
 	if !ok {
 		return nil
 	}
-	return prof.activations(path, e.now())
+	ent := prof.cachedActivations(path, e.now(), e.rulesGen.Load())
+	if len(ent.acts) == 0 {
+		return nil
+	}
+	return append([]rules.Activation(nil), ent.acts...)
+}
+
+// ActivationFingerprint returns the fingerprint of the user's activation
+// set for path: a cheap hash over the rule-set generation, the path, and
+// every (rule ID, alternative) pair. Zero means no in-scope activations —
+// the page would be served untouched. Equal fingerprints guarantee
+// byte-identical rewrites of the same page.
+func (e *Engine) ActivationFingerprint(userID, path string) uint64 {
+	sh := e.shardFor(userID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	prof, ok := sh.profiles[userID]
+	if !ok {
+		return 0
+	}
+	return prof.cachedActivations(path, e.now(), e.rulesGen.Load()).fp
+}
+
+// Rewrite is the outcome of rewriting one outgoing page for one user.
+type Rewrite struct {
+	// HTML is the page to serve. It is the input string itself (same
+	// backing array, no copy) when no rule changed anything.
+	HTML string
+	// Applied records what each in-scope rule did; nil when no rule
+	// replaced anything (see rules.Apply).
+	Applied []rules.Applied
+	// Hint is the precomputed X-Oak-Alternate header value ("" when no
+	// Type 2 rule contributed hints).
+	Hint string
+	// CacheHit reports whether the rewrite was served from the rewrite
+	// cache rather than recomputed.
+	CacheHit bool
 }
 
 // ModifyPage rewrites an outgoing page for the user (Section 4.3): Type 1
@@ -393,19 +467,95 @@ func (e *Engine) ActiveRules(userID, path string) []rules.Activation {
 // fire, and Type 2 applications yield cache hints for the X-Oak-Alternate
 // header.
 func (e *Engine) ModifyPage(userID, path, page string) (string, []rules.Applied) {
+	rw := e.RewritePage(userID, path, page)
+	return rw.HTML, rw.Applied
+}
+
+// RewritePage is ModifyPage with the full result: rewritten page, Applied
+// records, precomputed header value, and cache provenance. The fast path —
+// a user whose activations have not changed since the last request for this
+// page — costs one content hash and one cache probe; a user with no
+// in-scope activations costs neither and allocates nothing.
+func (e *Engine) RewritePage(userID, path, page string) Rewrite {
 	start := time.Now()
-	out, applied := rules.Apply(page, path, e.ActiveRules(userID, path))
+	sh := e.shardFor(userID)
+	sh.mu.RLock()
+	rw, _ := e.rewriteLocked(sh, userID, path, page, true)
+	sh.mu.RUnlock()
+	e.observeRewrite(userID, path, page, start, rw)
+	return rw
+}
+
+// RewriteCached serves a page only if doing so is near-free: the user has
+// no in-scope activations, or the rewrite cache already holds the exact
+// (page, activation set) result. It never computes a rewrite and never
+// blocks — if the user's shard lock is unavailable (ingest in progress) or
+// the result would need computing, it returns ok=false and the caller
+// should take the full RewritePage path. A hit is accounted exactly like a
+// full rewrite (histogram, page counters, trace).
+func (e *Engine) RewriteCached(userID, path, page string) (Rewrite, bool) {
+	start := time.Now()
+	sh := e.shardFor(userID)
+	if !sh.mu.TryRLock() {
+		return Rewrite{}, false
+	}
+	rw, ok := e.rewriteLocked(sh, userID, path, page, false)
+	sh.mu.RUnlock()
+	if !ok {
+		return Rewrite{}, false
+	}
+	e.observeRewrite(userID, path, page, start, rw)
+	return rw, true
+}
+
+// rewriteLocked is the serve path under sh.mu (read) with compute
+// controlling the miss behavior: true computes and caches the rewrite,
+// false reports ok=false so the caller can fall back to the full path.
+func (e *Engine) rewriteLocked(sh *shard, userID, path, page string, compute bool) (Rewrite, bool) {
+	prof, ok := sh.profiles[userID]
+	if !ok {
+		return Rewrite{HTML: page}, true
+	}
+	ent := prof.cachedActivations(path, e.now(), e.rulesGen.Load())
+	if ent.fp == 0 {
+		return Rewrite{HTML: page}, true
+	}
+	var key rewriteKey
+	if e.rewriteCache != nil {
+		key = rewriteKey{page: e.rewriteCache.hash(page), fp: ent.fp}
+		if en, ok := e.rewriteCache.get(key, page); ok {
+			return Rewrite{HTML: en.html, Applied: en.applied, Hint: en.hint, CacheHit: true}, true
+		}
+	}
+	if !compute {
+		return Rewrite{}, false
+	}
+	out, applied := ent.applier.Apply(page)
+	rw := Rewrite{HTML: out, Applied: applied, Hint: rules.CacheHintValue(applied)}
+	if e.rewriteCache != nil {
+		e.rewriteCache.put(key, page, rw.HTML, rw.Applied, rw.Hint)
+	}
+	return rw, true
+}
+
+// observeRewrite does the per-rewrite accounting: latency histogram, page
+// counters, and (only when tracing is on) the trace event.
+func (e *Engine) observeRewrite(userID, path, page string, start time.Time, rw Rewrite) {
 	e.rewriteHist.Observe(time.Since(start))
-	if out != page {
+	// Applied is non-nil exactly when at least one rule replaced text; the
+	// HTML comparison only breaks the tie for degenerate identity
+	// replacements, and short-circuits away on the untouched path.
+	if len(rw.Applied) > 0 && rw.HTML != page {
 		e.metrics.pagesModified.Add(1)
-		e.trace(obs.Event{
-			Kind: obs.EventRewrite, User: userID,
-			Detail: fmt.Sprintf("page %s: %d rules applied", path, len(applied)),
-		})
+		if e.tracing() {
+			e.trace(obs.Event{
+				Kind: obs.EventRewrite, User: userID,
+				Detail: fmt.Sprintf("page %s: %d rules applied", path, len(rw.Applied)),
+			})
+		}
 	} else {
 		e.metrics.pagesUntouched.Add(1)
 	}
-	return out, applied
 }
 
 // ProfileSnapshot is a read-only view of a user's profile state.
@@ -450,11 +600,21 @@ func (e *Engine) Users() int {
 	return int(total)
 }
 
+// tracing reports whether any trace sink is attached. Hot paths gate event
+// construction on it — building an obs.Event (and especially its Sprintf'd
+// detail) allocates, and doing that per page served with no sink attached
+// is pure waste.
+func (e *Engine) tracing() bool {
+	return e.traceBuf != nil || e.logf != nil
+}
+
 // trace records one decision event in the ring buffer, stamping it with the
 // engine clock, and mirrors it to the logf sink when one is configured.
 func (e *Engine) trace(ev obs.Event) {
 	ev.Time = e.now()
-	e.traceBuf.Record(ev)
+	if e.traceBuf != nil {
+		e.traceBuf.Record(ev)
+	}
 	if e.logf != nil {
 		e.logf("%s", ev.String())
 	}
@@ -462,8 +622,12 @@ func (e *Engine) trace(ev obs.Event) {
 
 // TraceRecent returns up to n most recent decision-trace events in
 // chronological order. The trace is a bounded ring: older events are
-// overwritten (gaps show as jumps in Event.Seq).
+// overwritten (gaps show as jumps in Event.Seq). It returns nil when
+// tracing is disabled (WithTraceCapacity(0)).
 func (e *Engine) TraceRecent(n int) []obs.Event {
+	if e.traceBuf == nil {
+		return nil
+	}
 	return e.traceBuf.Recent(n)
 }
 

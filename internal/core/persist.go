@@ -244,6 +244,9 @@ func (e *Engine) ImportState(data []byte) error {
 				TriggerDistance: pa.TriggerDistance,
 				Activations:     pa.Activations,
 			}
+			// Arm lazy expiry so an imported TTL'd activation lapses on the
+			// serve path just like a live-activated one.
+			prof.noteExpiry(pa.ExpiresAt)
 		}
 		fresh[e.shardIndex(pp.UserID)][pp.UserID] = prof
 	}

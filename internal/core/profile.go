@@ -2,6 +2,8 @@ package core
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"oak/internal/rules"
@@ -45,6 +47,43 @@ type Profile struct {
 	active map[string]*ActiveRule
 	// lastReport is when the user last submitted a report.
 	lastReport time.Time
+
+	// epoch increments on every activation-state change (activate,
+	// deactivate, prune, observed expiry). Readers validate cached
+	// derivations against it instead of rescanning the active map, so the
+	// serve path pays nothing while a user's activations are stable.
+	epoch atomic.Uint64
+	// nextExpiry is the earliest ExpiresAt among live activations in unix
+	// nanoseconds (0 = none). The read path checks it to observe TTL expiry
+	// lazily — a rule lapsing between two reports bumps the epoch on the
+	// first read past the deadline, not on the next ingest.
+	nextExpiry atomic.Int64
+	// cacheMu guards actCache. Mutations of the activation state itself
+	// happen under the owning shard's write lock; the little mutex only
+	// serialises concurrent readers publishing derived entries.
+	cacheMu sync.Mutex
+	// actCache memoizes the per-path derived activation view (activation
+	// slice, fingerprint, compiled applier), keyed by page path.
+	actCache map[string]*actCacheEntry
+}
+
+// maxActCachePaths bounds the per-profile activation cache; a profile
+// browsing more distinct paths than this resets the map rather than growing
+// without bound.
+const maxActCachePaths = 64
+
+// actCacheEntry is an immutable compiled view of one (profile, path)
+// activation state: the derived in-scope activation list, its fingerprint,
+// and the single-pass applier compiled from it. Published entries are never
+// mutated; validity is (same profile epoch, same rule-set generation,
+// earliest-expiry not passed).
+type actCacheEntry struct {
+	epoch   uint64 // profile epoch at derivation
+	gen     uint64 // engine rule-set generation at derivation
+	expires int64  // earliest ExpiresAt (unixnano) among acts; 0 = none
+	acts    []rules.Activation
+	fp      uint64         // activation fingerprint; 0 ⇔ no in-scope activations
+	applier *rules.Applier // nil when fp == 0
 }
 
 // newProfile creates an empty profile for a user.
@@ -75,6 +114,7 @@ func (p *Profile) activeRule(id string) *ActiveRule {
 }
 
 // activate records a (re-)activation of rule with the chosen alternative.
+// Caller holds the owning shard's write lock.
 func (p *Profile) activate(r *rules.Rule, altIndex int, now time.Time, server string, distance float64) *ActiveRule {
 	a := p.active[r.ID]
 	if a == nil {
@@ -87,15 +127,20 @@ func (p *Profile) activate(r *rules.Rule, altIndex int, now time.Time, server st
 	a.TriggerServer = server
 	a.TriggerDistance = distance
 	a.Activations++
+	p.noteExpiry(a.ExpiresAt)
+	p.epoch.Add(1)
 	return a
 }
 
-// deactivate removes the rule's activation.
+// deactivate removes the rule's activation. Caller holds the owning shard's
+// write lock.
 func (p *Profile) deactivate(ruleID string) {
 	delete(p.active, ruleID)
+	p.epoch.Add(1)
 }
 
-// pruneExpired drops lapsed activations and returns the IDs removed.
+// pruneExpired drops lapsed activations and returns the IDs removed. Caller
+// holds the owning shard's write lock.
 func (p *Profile) pruneExpired(now time.Time) []string {
 	var removed []string
 	for id, a := range p.active {
@@ -104,8 +149,147 @@ func (p *Profile) pruneExpired(now time.Time) []string {
 			removed = append(removed, id)
 		}
 	}
+	if len(removed) > 0 {
+		// nextExpiry may point at a removed activation; re-derive it from
+		// the survivors (safe under the write lock — no reader runs).
+		p.nextExpiry.Store(0)
+		for _, a := range p.active {
+			p.noteExpiry(a.ExpiresAt)
+		}
+		p.epoch.Add(1)
+	}
 	sort.Strings(removed)
 	return removed
+}
+
+// noteExpiry lowers nextExpiry to t if t is an earlier (non-zero) deadline.
+func (p *Profile) noteExpiry(t time.Time) {
+	if t.IsZero() {
+		return
+	}
+	n := t.UnixNano()
+	for {
+		cur := p.nextExpiry.Load()
+		if cur != 0 && cur <= n {
+			return
+		}
+		if p.nextExpiry.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// observeExpiry bumps the epoch once when the earliest activation deadline
+// has passed, so read paths notice TTL expiry without waiting for the next
+// ingest. The CAS makes the bump exactly-once per deadline under concurrent
+// readers; the next derivation re-arms nextExpiry for the survivors.
+// ActiveRule.Expired is strict (now.After), so the bump is too.
+func (p *Profile) observeExpiry(now time.Time) {
+	ne := p.nextExpiry.Load()
+	if ne != 0 && now.UnixNano() > ne {
+		if p.nextExpiry.CompareAndSwap(ne, 0) {
+			p.epoch.Add(1)
+		}
+	}
+}
+
+// cachedActivations returns the memoized compiled activation view for path,
+// deriving (and publishing) it only when the profile epoch, rule-set
+// generation, or an expiry deadline has invalidated the cached entry.
+// Callers must hold the owning shard's lock (read or write); the returned
+// entry and everything it references are immutable.
+func (p *Profile) cachedActivations(path string, now time.Time, gen uint64) *actCacheEntry {
+	p.observeExpiry(now)
+	ep := p.epoch.Load()
+	p.cacheMu.Lock()
+	if ent, ok := p.actCache[path]; ok && ent.epoch == ep && ent.gen == gen &&
+		(ent.expires == 0 || now.UnixNano() <= ent.expires) {
+		p.cacheMu.Unlock()
+		return ent
+	}
+	p.cacheMu.Unlock()
+
+	ent := p.deriveEntry(path, now, gen, ep)
+
+	p.cacheMu.Lock()
+	if p.actCache == nil || len(p.actCache) >= maxActCachePaths {
+		p.actCache = make(map[string]*actCacheEntry, 8)
+	}
+	p.actCache[path] = ent
+	p.cacheMu.Unlock()
+	return ent
+}
+
+// deriveEntry builds a fresh activation view for path at time now. It also
+// re-arms nextExpiry from the full live activation set, completing the
+// lazy-expiry handshake started by observeExpiry. Caller holds the owning
+// shard's lock.
+func (p *Profile) deriveEntry(path string, now time.Time, gen, ep uint64) *actCacheEntry {
+	ids := make([]string, 0, len(p.active))
+	var scopedExpiry time.Time
+	for id, a := range p.active {
+		if a.Expired(now) {
+			continue
+		}
+		p.noteExpiry(a.ExpiresAt)
+		if !a.Rule.InScope(path) {
+			continue
+		}
+		if !a.ExpiresAt.IsZero() && (scopedExpiry.IsZero() || a.ExpiresAt.Before(scopedExpiry)) {
+			scopedExpiry = a.ExpiresAt
+		}
+		ids = append(ids, id)
+	}
+	ent := &actCacheEntry{epoch: ep, gen: gen}
+	if !scopedExpiry.IsZero() {
+		ent.expires = scopedExpiry.UnixNano()
+	}
+	if len(ids) == 0 {
+		return ent
+	}
+	sort.Strings(ids)
+	ent.acts = make([]rules.Activation, 0, len(ids))
+	for _, id := range ids {
+		a := p.active[id]
+		ent.acts = append(ent.acts, rules.Activation{Rule: a.Rule, AltIndex: a.AltIndex})
+	}
+	ent.fp = activationFingerprint(gen, path, ent.acts)
+	ent.applier = rules.NewApplier(ent.acts, path)
+	return ent
+}
+
+// activationFingerprint hashes an in-scope activation set — rule-set
+// generation, page path, and each (rule ID, alternative index) pair — with
+// FNV-1a. Zero is reserved for the empty set, so a zero fingerprint always
+// means "serve the page untouched"; non-empty sets are forced non-zero.
+func activationFingerprint(gen uint64, path string, acts []rules.Activation) uint64 {
+	if len(acts) == 0 {
+		return 0
+	}
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < 64; i += 8 {
+		h ^= (gen >> i) & 0xff
+		h *= prime
+	}
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		h ^= 0xff // terminator so "ab","c" ≠ "a","bc"
+		h *= prime
+	}
+	mix(path)
+	for _, a := range acts {
+		mix(a.Rule.ID)
+		h ^= uint64(uint32(a.AltIndex))
+		h *= prime
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
 }
 
 // activations returns the user's live activations for a page path as an

@@ -51,6 +51,13 @@ type MetricsResponse struct {
 	// PagesDegraded counts page deliveries served unmodified because the
 	// per-user rewrite did not finish within the rewrite budget.
 	PagesDegraded uint64 `json:"pages_degraded"`
+	// Rewrite-cache counters (all zero when the cache is disabled; see
+	// core.WithRewriteCache). Bytes approximates resident cache memory.
+	RewriteCacheHits      uint64 `json:"rewrite_cache_hits"`
+	RewriteCacheMisses    uint64 `json:"rewrite_cache_misses"`
+	RewriteCacheEvictions uint64 `json:"rewrite_cache_evictions"`
+	RewriteCacheBytes     int64  `json:"rewrite_cache_bytes"`
+	RewriteCacheEntries   int    `json:"rewrite_cache_entries"`
 }
 
 // ShardSummary is one shard's ingest latency digest.
@@ -92,6 +99,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Shards:         s.engine.ShardCount(),
 		PagesDegraded:  s.pagesDegraded.Value(),
 	}
+	rc := s.engine.RewriteCacheStats()
+	resp.RewriteCacheHits = rc.Hits
+	resp.RewriteCacheMisses = rc.Misses
+	resp.RewriteCacheEvictions = rc.Evictions
+	resp.RewriteCacheBytes = rc.Bytes
+	resp.RewriteCacheEntries = rc.Entries
 	for i, snap := range lat.IngestShards {
 		if snap.Count > 0 {
 			resp.IngestShards = append(resp.IngestShards, ShardSummary{Shard: i, Summary: snap.Summary()})

@@ -156,19 +156,24 @@ func NewServer(engine *core.Engine, opts ...Option) *Server {
 // Engine returns the underlying Oak engine.
 func (s *Server) Engine() *core.Engine { return s.engine }
 
-// SetPage registers (or replaces) the default markup for a path.
+// SetPage registers (or replaces) the default markup for a path. The
+// engine's rewrite cache is flushed: entries for the old content are
+// unreachable by key anyway, but their memory should be released now.
 func (s *Server) SetPage(path, html string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.pages[path] = html
+	s.mu.Unlock()
+	s.engine.FlushRewriteCache()
 }
 
 // RemovePage deletes the page registered at path, if any. Subsequent
-// requests for the path get 404; per-user rule state is unaffected.
+// requests for the path get 404; per-user rule state is unaffected. The
+// engine's rewrite cache is flushed (as in SetPage).
 func (s *Server) RemovePage(path string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.pages, path)
+	s.mu.Unlock()
+	s.engine.FlushRewriteCache()
 }
 
 // Pages returns the registered page paths, sorted.
@@ -263,43 +268,48 @@ func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
 	}
 
 	userID := s.userID(w, r)
-	modified, applied := s.modifyPageBudgeted(userID, r.URL.Path, html)
-	if hints := rules.CacheHintValue(applied); hints != "" {
-		w.Header().Set(rules.CacheHintHeader, hints)
+	rw := s.rewriteBudgeted(userID, r.URL.Path, html)
+	if rw.Hint != "" {
+		w.Header().Set(rules.CacheHintHeader, rw.Hint)
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	w.Header().Set("Content-Length", strconv.Itoa(len(modified)))
+	w.Header().Set("Content-Length", strconv.Itoa(len(rw.HTML)))
 	if r.Method == http.MethodHead {
 		return
 	}
-	_, _ = io.WriteString(w, modified)
+	_, _ = io.WriteString(w, rw.HTML)
 }
 
-// modifyPageBudgeted runs the engine rewrite under the rewrite budget,
-// returning the page unmodified when the budget lapses. The abandoned
-// rewrite goroutine finishes (harmlessly, against its own copy of the
-// inputs) once the engine unwedges; it can never write to the response.
-func (s *Server) modifyPageBudgeted(userID, path, html string) (string, []rules.Applied) {
+// rewriteBudgeted runs the engine rewrite under the rewrite budget,
+// returning the page unmodified when the budget lapses.
+//
+// It first asks the engine for a non-blocking cached answer: a user with no
+// in-scope activations, or a rewrite the cache already holds, is served
+// without spawning the watchdog goroutine or its timer — and, because that
+// path never waits on anything, a cache hit can never be degraded no matter
+// how wedged the user's shard is. Only rewrites that must be computed go
+// through the budget machinery; the abandoned rewrite goroutine finishes
+// (harmlessly, against its own copy of the inputs) once the engine
+// unwedges; it can never write to the response.
+func (s *Server) rewriteBudgeted(userID, path, html string) core.Rewrite {
+	if rw, ok := s.engine.RewriteCached(userID, path, html); ok {
+		return rw
+	}
 	if s.rewriteBudget <= 0 {
-		return s.engine.ModifyPage(userID, path, html)
+		return s.engine.RewritePage(userID, path, html)
 	}
-	type rewritten struct {
-		html    string
-		applied []rules.Applied
-	}
-	done := make(chan rewritten, 1)
+	done := make(chan core.Rewrite, 1)
 	go func() {
-		out, applied := s.engine.ModifyPage(userID, path, html)
-		done <- rewritten{out, applied}
+		done <- s.engine.RewritePage(userID, path, html)
 	}()
 	timer := time.NewTimer(s.rewriteBudget)
 	defer timer.Stop()
 	select {
-	case res := <-done:
-		return res.html, res.applied
+	case rw := <-done:
+		return rw
 	case <-timer.C:
 		s.pagesDegraded.Inc()
-		return html, nil
+		return core.Rewrite{HTML: html}
 	}
 }
 

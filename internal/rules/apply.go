@@ -34,13 +34,39 @@ type Applied struct {
 // activations, in order. Rules whose scope does not cover path are skipped.
 // It returns the rewritten page and a record of what was applied.
 //
+// Result semantics: when no rule replaces anything, Apply returns the page
+// unchanged and a nil slice — the no-op serve path allocates nothing. When
+// at least one rule replaces text, the result additionally carries one
+// zero-Replacements record per in-scope rule that matched nothing, in
+// activation order, so callers that count applied rules still see every
+// in-scope rule that was considered.
+//
 // Application is plain text replacement, exactly as the paper's server does
 // ("we use regular expressions in order to apply active rules, allowing for
 // straight forward and rapid replacement of text before each page is
 // served") — Oak deliberately treats page segments as abstract text blocks,
 // not DOM nodes.
 func Apply(page, path string, acts []Activation) (string, []Applied) {
+	// Pre-scan: sub-rules fire only with their parent, so if no in-scope
+	// default occurs in the page nothing can change — return without the
+	// results allocation the zero-record bookkeeping would otherwise force.
+	anyMatch := false
+	for _, act := range acts {
+		r := act.Rule
+		if r == nil || !r.InScope(path) {
+			continue
+		}
+		if strings.Contains(page, r.Default) {
+			anyMatch = true
+			break
+		}
+	}
+	if !anyMatch {
+		return page, nil
+	}
+
 	var results []Applied
+	replaced := false
 	for _, act := range acts {
 		r := act.Rule
 		if r == nil || !r.InScope(path) {
@@ -61,6 +87,7 @@ func Apply(page, path string, acts []Activation) (string, []Applied) {
 			continue
 		}
 		page = strings.ReplaceAll(page, r.Default, replacement)
+		replaced = true
 		applied := Applied{RuleID: r.ID, Replacements: count}
 		if r.Type == TypeReplaceSame {
 			applied.CacheHints = cacheHints(r.Default, replacement)
@@ -69,6 +96,11 @@ func Apply(page, path string, acts []Activation) (string, []Applied) {
 			page = strings.ReplaceAll(page, sub.Find, sub.Replace)
 		}
 		results = append(results, applied)
+	}
+	if !replaced {
+		// Matches existed but no rule consumed one (unknown rule types):
+		// nothing changed, so honour the nil-on-no-op contract.
+		return page, nil
 	}
 	return page, results
 }

@@ -88,14 +88,32 @@ func TestApplyOutOfScopeSkipped(t *testing.T) {
 	}
 }
 
-func TestApplyNoMatchRecordsZero(t *testing.T) {
+func TestApplyNoMatchReturnsNil(t *testing.T) {
 	r := &Rule{ID: "ghost", Type: TypeRemove, Default: "not on this page", Scope: "*"}
 	out, applied := Apply(applyPage, "/", []Activation{{Rule: r}})
 	if out != applyPage {
 		t.Error("no-match rule modified the page")
 	}
-	if len(applied) != 1 || applied[0].Replacements != 0 {
-		t.Errorf("applied = %+v, want 1 record with 0 replacements", applied)
+	if applied != nil {
+		t.Errorf("applied = %+v, want nil when no rule replaces anything", applied)
+	}
+}
+
+func TestApplyZeroRecordForNoMatchRuleAlongsideReplacement(t *testing.T) {
+	ghost := &Rule{ID: "ghost", Type: TypeRemove, Default: "not on this page", Scope: "*"}
+	hit := &Rule{ID: "hit", Type: TypeRemove, Default: `<img src="http://tracker.example/pixel.gif">`, Scope: "*"}
+	out, applied := Apply(applyPage, "/", []Activation{{Rule: ghost}, {Rule: hit}})
+	if out == applyPage {
+		t.Error("hit rule did not modify the page")
+	}
+	if len(applied) != 2 {
+		t.Fatalf("applied = %+v, want 2 records (zero-record + replacement)", applied)
+	}
+	if applied[0].RuleID != "ghost" || applied[0].Replacements != 0 {
+		t.Errorf("applied[0] = %+v, want ghost with 0 replacements", applied[0])
+	}
+	if applied[1].RuleID != "hit" || applied[1].Replacements == 0 {
+		t.Errorf("applied[1] = %+v, want hit with >0 replacements", applied[1])
 	}
 }
 

@@ -279,6 +279,18 @@ func WithIngestPipeline(cfg IngestConfig) EngineOption { return core.WithIngestP
 // page serving responsive while ingest is saturated.
 func WithLoadShedding(p ShedPolicy) EngineOption { return core.WithLoadShedding(p) }
 
+// WithRewriteCache bounds the engine's rewrite cache to n entries (whole
+// rewritten pages keyed by page content + activation fingerprint); repeat
+// requests from users with stable activations are then served from memory
+// without re-running the rules. n <= 0 disables the cache; serving behavior
+// is identical, every page just recomputes its rewrite. See the README
+// "Performance" section and docs/OPERATIONS.md for sizing.
+func WithRewriteCache(n int) EngineOption { return core.WithRewriteCache(n) }
+
+// RewriteCacheStats is a point-in-time view of the engine rewrite cache's
+// counters (Engine.RewriteCacheStats; also surfaced in /oak/metrics).
+type RewriteCacheStats = core.RewriteCacheStats
+
 // ServerOption configures NewServer.
 type ServerOption = origin.Option
 

@@ -1,0 +1,62 @@
+#!/bin/sh
+# bench_serve.sh — run the serve-path benchmarks and record the results in
+# BENCH_serve.json: cold vs warm ModifyPage (ns/op and pages/sec), the
+# parallel warm path, the no-op path's allocations (must be zero), and the
+# warm-over-cold speedup the rewrite cache buys.
+#
+# Usage: scripts/bench_serve.sh [benchtime]   (default 1s)
+set -e
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-1s}"
+out="BENCH_serve.json"
+
+echo "== go test -bench ModifyPage/ApplySequential (benchtime $benchtime) =="
+raw=$(go test -run '^$' -bench 'BenchmarkModifyPage|BenchmarkApplySequentialReference' \
+	-benchmem -count 1 -benchtime "$benchtime" ./internal/core)
+echo "$raw"
+
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	iters = $2
+	ns = ""; allocs = ""
+	for (i = 3; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+	}
+	if (ns == "") next
+	n++
+	names[n] = name; iterations[n] = iters; nsop[n] = ns; apo[n] = allocs
+	if (name == "BenchmarkModifyPageCold") cold = ns
+	if (name == "BenchmarkModifyPageWarm") warm = ns
+	if (name == "BenchmarkApplySequentialReference") seq = ns
+	if (name == "BenchmarkModifyPageNoOp") noop_allocs = allocs
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchmarks\": [\n"
+	for (i = 1; i <= n; i++) {
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"pages_per_sec\": %.0f, \"allocs_per_op\": %s}%s\n", \
+			names[i], iterations[i], nsop[i], 1e9 / nsop[i], (apo[i] == "" ? "null" : apo[i]), (i < n ? "," : "")
+	}
+	printf "  ]"
+	if (cold > 0 && warm > 0)
+		printf ",\n  \"warm_speedup_vs_cold\": %.2f", cold / warm
+	if (seq > 0 && cold > 0)
+		printf ",\n  \"compiled_speedup_vs_sequential\": %.2f", seq / cold
+	if (noop_allocs != "")
+		printf ",\n  \"noop_allocs_per_op\": %s", noop_allocs
+	printf "\n}\n"
+}' >"$out"
+
+cores=$(go env GOMAXPROCS 2>/dev/null || true)
+[ -n "$cores" ] || cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+tmp="$out.tmp"
+sed "s/^  \"cpu\":/  \"cores\": $cores,\n  \"cpu\":/" "$out" >"$tmp" && mv "$tmp" "$out"
+
+echo "wrote $out"

@@ -7,7 +7,9 @@
 # packages where that concurrency lives (including the chaos suite in
 # internal/faultinject, which drives the full loop under injected faults).
 # A short fuzz smoke over the snapshot importer keeps hostile state files
-# from ever aborting a boot.
+# from ever aborting a boot; another over the compiled applier keeps the
+# single-pass rewriter provably equivalent to the sequential reference. A
+# one-iteration serve benchmark run keeps the benchmark code compiling.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -33,5 +35,11 @@ go test -race ./internal/core ./internal/obs ./internal/origin ./internal/faulti
 
 echo "== fuzz smoke: FuzzImportState (5s) =="
 go test -run '^$' -fuzz FuzzImportState -fuzztime 5s ./internal/core
+
+echo "== fuzz smoke: FuzzApplyEquivalence (5s) =="
+go test -run '^$' -fuzz FuzzApplyEquivalence -fuzztime 5s ./internal/rules
+
+echo "== serve-path benchmark smoke (1 iteration) =="
+go test -run '^$' -bench 'BenchmarkModifyPage' -benchtime 1x ./internal/core
 
 echo "verify: OK"
