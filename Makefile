@@ -1,4 +1,4 @@
-.PHONY: verify test race vet fmt bench bench-serve bench-shed bench-all chaos fuzz
+.PHONY: verify test race vet fmt bench bench-serve bench-shed bench-guard bench-all chaos fuzz
 
 # Full PR verify path: build, formatting, vet, tests, and race-checking of
 # the concurrent engine + observability packages. See scripts/verify.sh.
@@ -40,6 +40,11 @@ bench-serve:
 # and the cost of refusing work when saturated).
 bench-shed:
 	sh scripts/bench_shed.sh
+
+# Guardrail benchmarks + BENCH_guard.json (breaker-check overhead on the
+# activation path, bulk-rollback latency vs population size).
+bench-guard:
+	sh scripts/bench_guard.sh
 
 # Every benchmark in the repo, raw output only.
 bench-all:

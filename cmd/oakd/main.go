@@ -8,6 +8,8 @@
 //	     [-shards N] [-ingest-queue N] [-ingest-workers N]
 //	     [-shed-wait 50ms] [-shed-retry-after 1s] [-rewrite-budget 500ms]
 //	     [-rewrite-cache 1024]
+//	     [-guard-trip-threshold 5] [-guard-halfopen-canaries 3]
+//	     [-probe-interval 30s]
 //
 // Every *.html file under -root is served at its relative path (index.html
 // also at the directory path). Clients receive identifying cookies, pages
@@ -35,6 +37,16 @@
 // a rotating .bak); a corrupt or torn snapshot at boot falls back to the
 // backup instead of aborting. See docs/OPERATIONS.md, "Failure modes and
 // recovery".
+//
+// Guardrails: -guard-trip-threshold (0 disables) arms per-provider circuit
+// breakers over the alternates the rules steer users to — a provider that
+// keeps violating across the whole population is quarantined (new
+// activations blocked, existing ones bulk-deactivated) until it proves
+// itself through a bounded number of canary activations
+// (-guard-halfopen-canaries). -probe-interval additionally probes each
+// alternate actively so a dead provider is caught even between user
+// reports. Breaker states appear under "guard" in /oak/metrics and open
+// breakers in /oak/healthz. See docs/OPERATIONS.md, "Guardrails".
 //
 // Observability: the server answers GET /oak/metrics (counters + latency
 // histograms), /oak/healthz (liveness), /oak/trace (recent engine
@@ -86,6 +98,9 @@ func run(args []string) error {
 		shedRetry = fs2.Duration("shed-retry-after", 0, "retry horizon advertised on shed responses (with -shed-wait; 0 = 1s default)")
 		rewriteB  = fs2.Duration("rewrite-budget", 0, "serve the unmodified page if the per-user rewrite takes longer than this (0 = 500ms default, negative = unbounded)")
 		rcSize    = fs2.Int("rewrite-cache", 1024, "rewrite-cache capacity in entries (whole rewritten pages keyed by content + activation fingerprint; 0 disables)")
+		guardTrip = fs2.Int("guard-trip-threshold", 5, "consecutive bad population-level outcomes that trip an alternate provider's circuit breaker (0 disables the guard)")
+		guardCan  = fs2.Int("guard-halfopen-canaries", 3, "canary activations a half-open breaker admits per recovery attempt (with -guard-trip-threshold)")
+		probeIvl  = fs2.Duration("probe-interval", 0, "actively probe each alternate provider this often, feeding the breakers (0 disables; needs the guard enabled)")
 	)
 	if err := fs2.Parse(args); err != nil {
 		return err
@@ -96,9 +111,21 @@ func run(args []string) error {
 		shards: *shards, queueLen: *queueLen, workers: *workers,
 		shedWait: *shedWait, shedRetry: *shedRetry, rewriteBudget: *rewriteB,
 		rewriteCache: *rcSize,
+		guardTrip:    *guardTrip, guardCanaries: *guardCan,
 	})
 	if err != nil {
 		return err
+	}
+	if *probeIvl > 0 && *guardTrip > 0 {
+		prober := &oak.Prober{
+			Targets:  server.Engine().AlternateProviders,
+			Report:   server.Engine().ObserveProviderOutcome,
+			Interval: *probeIvl,
+			Logf:     log.Printf,
+		}
+		prober.Start()
+		defer prober.Stop()
+		log.Printf("oakd: probing alternate providers every %v", *probeIvl)
 	}
 	if *stateFile != "" {
 		if err := loadState(server.Engine(), *stateFile); err != nil {
@@ -224,6 +251,8 @@ type oakdConfig struct {
 	shedRetry     time.Duration
 	rewriteBudget time.Duration // 0 = library default, negative = unbounded
 	rewriteCache  int           // entries; <= 0 disables the rewrite cache
+	guardTrip     int           // breaker trip threshold; <= 0 disables the guard
+	guardCanaries int           // half-open canary budget (with guardTrip > 0)
 }
 
 // buildServer assembles the Oak server from a page directory and a rule
@@ -270,6 +299,12 @@ func buildServer(cfg oakdConfig) (*oak.Server, int, int, error) {
 	}
 	if cfg.rewriteCache > 0 {
 		opts = append(opts, oak.WithRewriteCache(cfg.rewriteCache))
+	}
+	if cfg.guardTrip > 0 {
+		opts = append(opts, oak.WithGuard(oak.GuardConfig{
+			TripThreshold:    cfg.guardTrip,
+			HalfOpenCanaries: cfg.guardCanaries,
+		}))
 	}
 	engine, err := oak.NewEngine(ruleSet, opts...)
 	if err != nil {

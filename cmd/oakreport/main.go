@@ -16,6 +16,11 @@
 // latency histograms:
 //
 //	oakreport -metrics http://localhost:8080
+//
+// With -guard it prints the server's circuit-breaker guard state: per-provider
+// breaker states, quarantined providers and rules, and canary outcomes:
+//
+//	oakreport -guard http://localhost:8080
 package main
 
 import (
@@ -47,11 +52,15 @@ func run(args []string, out io.Writer) error {
 	k := fs.Float64("k", 2, "MAD multiplier for the violator criterion")
 	har := fs.Bool("har", false, "treat inputs as HAR files (implied by a .har extension)")
 	metricsURL := fs.String("metrics", "", "base URL of a live Oak server; fetch and pretty-print its /oak/metrics instead of analysing files")
+	guardURL := fs.String("guard", "", "base URL of a live Oak server; print its circuit-breaker guard state (breakers, quarantines, canaries)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *metricsURL != "" {
 		return liveMetrics(out, *metricsURL)
+	}
+	if *guardURL != "" {
+		return liveGuard(out, *guardURL)
 	}
 	files := fs.Args()
 	if len(files) == 0 {
@@ -125,6 +134,70 @@ func liveMetrics(out io.Writer, base string) error {
 	}
 	printSummary("report ingest", m.Ingest.Count, m.Ingest.P50Ms, m.Ingest.P90Ms, m.Ingest.P99Ms, m.Ingest.MaxMs)
 	printSummary("page rewrite", m.Rewrite.Count, m.Rewrite.P50Ms, m.Rewrite.P90Ms, m.Rewrite.P99Ms, m.Rewrite.MaxMs)
+	return nil
+}
+
+// liveGuard fetches a running server's /oak/metrics and renders the guard
+// (circuit-breaker) section for a terminal.
+func liveGuard(out io.Writer, base string) error {
+	base = strings.TrimSuffix(base, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var m origin.MetricsResponse
+	if err := fetchJSON(client, base+origin.MetricsPath, &m); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "== %s guard ==\n", base)
+	if m.Guard == nil {
+		fmt.Fprintln(out, "guard disabled (server running without a circuit breaker; start oakd with -guard-trip-threshold > 0)")
+		return nil
+	}
+	g := m.Guard
+
+	if len(g.Breakers) == 0 {
+		fmt.Fprintln(out, "breakers: none tracked (every provider healthy)")
+	} else {
+		fmt.Fprintf(out, "%-28s %-10s %6s %6s %9s %6s %10s\n",
+			"provider", "state", "bad", "good", "canaries", "trips", "open(ms)")
+		for _, b := range g.Breakers {
+			openFor := "-"
+			if b.OpenForMs > 0 {
+				openFor = fmt.Sprintf("%.0f", b.OpenForMs)
+			}
+			fmt.Fprintf(out, "%-28s %-10s %6d %6d %9d %6d %10s\n",
+				b.Provider, b.State, b.ConsecutiveBad, b.HalfOpenGood,
+				b.CanariesUsed, b.Trips, openFor)
+		}
+	}
+
+	if len(g.Quarantines) > 0 {
+		fmt.Fprintf(out, "quarantined providers: %s\n", strings.Join(g.Quarantines, ", "))
+	} else {
+		fmt.Fprintln(out, "quarantined providers: none")
+	}
+	if len(g.QuarantinedRules) > 0 {
+		fmt.Fprintf(out, "quarantined rules:     %s\n", strings.Join(g.QuarantinedRules, ", "))
+	} else {
+		fmt.Fprintln(out, "quarantined rules:     none")
+	}
+
+	c := m.Counters
+	fmt.Fprintf(out, "\ncounters\n")
+	for _, row := range []struct {
+		name string
+		v    uint64
+	}{
+		{"canary activations", g.CanaryActivations},
+		{"rewrite panics", g.RewritePanics},
+		{"breaker trips", c.BreakerTrips},
+		{"breaker closes", c.BreakerCloses},
+		{"activations blocked", c.ActivationsBlocked},
+		{"bulk deactivations", c.BulkDeactivations},
+		{"rule quarantines", c.RuleQuarantines},
+	} {
+		fmt.Fprintf(out, "  %-22s %d\n", row.name, row.v)
+	}
 	return nil
 }
 

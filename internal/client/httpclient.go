@@ -151,18 +151,35 @@ func retryableStatus(code int) bool {
 		code >= 500
 }
 
-// retryAfterHint parses a Retry-After header as integral seconds, returning
-// 0 when absent or unparseable. (The HTTP-date form is not needed against
-// an Oak origin.)
-func retryAfterHint(resp *http.Response) time.Duration {
+// retryAfterHint parses a Retry-After header, returning 0 when absent or
+// unparseable. Both RFC 9110 forms are accepted: integral delta-seconds and
+// an HTTP-date (http.ParseTime handles the three date layouts), the latter
+// converted to a delay relative to now. A date in the past yields 0 — retry
+// on the normal backoff schedule. Either way retryDelay clamps the hint, so
+// a far-future date cannot park the client.
+func retryAfterHint(resp *http.Response, now time.Time) time.Duration {
 	if resp == nil {
 		return 0
 	}
-	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
-	if err != nil || secs <= 0 {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	when, err := http.ParseTime(h)
+	if err != nil {
+		return 0
+	}
+	d := when.Sub(now)
+	if d <= 0 {
+		return 0
+	}
+	return d
 }
 
 // retryDelay combines the backoff schedule with a server-provided
@@ -419,7 +436,7 @@ func (c *HTTPClient) SubmitReport(originBase string, rep *report.Report) error {
 		if !retryableStatus(resp.StatusCode) {
 			return lastErr
 		}
-		hint = retryAfterHint(resp)
+		hint = retryAfterHint(resp, time.Now())
 	}
 	return lastErr
 }

@@ -286,3 +286,50 @@ func TestHTTPClientKeepsExplicitUserID(t *testing.T) {
 		t.Errorf("UserID changed to %q", c.UserID)
 	}
 }
+
+func TestRetryAfterHintForms(t *testing.T) {
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	mk := func(val string) *http.Response {
+		h := http.Header{}
+		if val != "" {
+			h.Set("Retry-After", val)
+		}
+		return &http.Response{Header: h}
+	}
+	cases := []struct {
+		name string
+		resp *http.Response
+		want time.Duration
+	}{
+		{"nil response", nil, 0},
+		{"absent", mk(""), 0},
+		{"delta seconds", mk("7"), 7 * time.Second},
+		{"zero seconds", mk("0"), 0},
+		{"negative seconds", mk("-3"), 0},
+		{"http date future", mk(now.Add(90 * time.Second).Format(http.TimeFormat)), 90 * time.Second},
+		{"http date past", mk(now.Add(-time.Minute).Format(http.TimeFormat)), 0},
+		{"rfc850 date", mk(now.Add(30 * time.Second).Format("Monday, 02-Jan-06 15:04:05 MST")), 30 * time.Second},
+		{"garbage", mk("soon"), 0},
+	}
+	for _, tc := range cases {
+		if got := retryAfterHint(tc.resp, now); got != tc.want {
+			t.Errorf("%s: retryAfterHint = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// A far-future HTTP-date must not park the client: retryDelay clamps the
+// hint to its 30s bound.
+func TestRetryDelayClampsDateHint(t *testing.T) {
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	resp := &http.Response{Header: http.Header{}}
+	resp.Header.Set("Retry-After", now.Add(time.Hour).Format(http.TimeFormat))
+	hint := retryAfterHint(resp, now)
+	if hint != time.Hour {
+		t.Fatalf("hint = %v, want 1h", hint)
+	}
+	c := &HTTPClient{Seed: 1}
+	if d := c.retryDelay(0, hint); d > 31*time.Second {
+		t.Errorf("retryDelay = %v, want clamped to <= ~30s", d)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"oak/internal/guard"
 	"oak/internal/obs"
 	"oak/internal/report"
 	"oak/internal/rules"
@@ -61,6 +62,16 @@ type Engine struct {
 	// rewriteCache, when non-nil, memoizes whole page rewrites keyed by
 	// (page content hash, activation fingerprint). See rewritecache.go.
 	rewriteCache *rewriteCache
+
+	// guard, when non-nil (WithGuard), holds the per-provider circuit
+	// breakers and rule-quarantine table; guardConfig carries the WithGuard
+	// request until construction. altHosts caches rule ID → per-alternative
+	// provider hostnames for the current rule set (rebuilt by SetRules), so
+	// activation-time breaker checks never rescan alternative text. See
+	// guardwire.go.
+	guard       *guard.Set
+	guardConfig *GuardConfig
+	altHosts    atomic.Pointer[map[string][][]string]
 }
 
 // Option configures an Engine.
@@ -117,6 +128,7 @@ func NewEngine(ruleSet []*rules.Rule, opts ...Option) (*Engine, error) {
 	for _, opt := range opts {
 		opt(e)
 	}
+	e.initGuard()
 	n := e.shardCount
 	if n <= 0 {
 		n = DefaultShardCount()
@@ -164,6 +176,7 @@ func (e *Engine) SetRules(ruleSet []*rules.Rule) error {
 	e.rulesMu.Lock()
 	defer e.rulesMu.Unlock()
 	e.rules = append([]*rules.Rule(nil), ruleSet...)
+	e.rebuildAltHosts()
 	// A new generation changes every activation fingerprint, invalidating
 	// cached activation derivations and rewrite-cache entries in one step.
 	e.rulesGen.Add(1)
@@ -265,8 +278,24 @@ func (e *Engine) process(r *report.Report) (*AnalysisResult, error) {
 	activeRules := e.ruleSnapshot()
 
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	res, outcomes := e.analyzeLocked(sh, r, now, servers, violations, scriptURLs, activeRules)
+	sh.mu.Unlock()
 
+	// Population-level guard outcomes are observed only after the shard lock
+	// is released: a transition acts across shards (bulk rollback locks them
+	// one at a time), which would deadlock from under sh.mu.
+	for _, oc := range outcomes {
+		e.ObserveProviderOutcome(oc.provider, oc.good, oc.deltaMs)
+	}
+	return res, nil
+}
+
+// analyzeLocked is process's per-shard critical section: profile
+// bookkeeping, expiry pruning, violation handling and rule activation. It
+// additionally derives the report's population-level provider outcomes for
+// the guard (from the pre-reconciliation activation state) and hands them
+// back for the caller to observe lock-free. Caller holds sh.mu for writing.
+func (e *Engine) analyzeLocked(sh *shard, r *report.Report, now time.Time, servers []*report.ServerPerf, violations []Violation, scriptURLs []string, activeRules []*rules.Rule) (*AnalysisResult, []providerOutcome) {
 	prof := sh.profileLocked(r.UserID)
 	prof.lastReport = now
 	e.ledger.RecordUser(r.UserID)
@@ -278,13 +307,25 @@ func (e *Engine) process(r *report.Report) (*AnalysisResult, error) {
 		})
 	}
 
+	var outcomes []providerOutcome
+	if e.guard != nil {
+		violated := make(map[string]float64, len(violations))
+		for _, v := range violations {
+			if d, ok := violated[v.Server.Addr]; !ok || v.Distance > d {
+				violated[v.Server.Addr] = v.Distance
+			}
+		}
+		outcomes = e.collectOutcomes(prof, now, servers, violated)
+	}
+
 	res := &AnalysisResult{UserID: r.UserID, Violations: violations}
 
-	for _, id := range prof.pruneExpired(now) {
+	for _, ex := range prof.pruneExpired(now) {
+		e.unindexActivation(sh, r.UserID, ex.ID, ex.AltIndex)
 		e.metrics.ruleExpirations.Add(1)
-		res.Changes = append(res.Changes, RuleChange{RuleID: id, Action: "expire"})
+		res.Changes = append(res.Changes, RuleChange{RuleID: ex.ID, Action: "expire"})
 		if e.tracing() {
-			e.trace(obs.Event{Kind: obs.EventExpire, User: r.UserID, RuleID: id})
+			e.trace(obs.Event{Kind: obs.EventExpire, User: r.UserID, RuleID: ex.ID})
 		}
 	}
 
@@ -301,7 +342,7 @@ func (e *Engine) process(r *report.Report) (*AnalysisResult, error) {
 		// an already-active rule, decide between keeping the alternate,
 		// advancing to the next one, and reverting to the default by
 		// minimising distance from the median.
-		handled := e.reconcileActiveRules(prof, v, now, res)
+		handled := e.reconcileActiveRules(sh, prof, v, now, res)
 		if handled {
 			continue
 		}
@@ -327,13 +368,37 @@ func (e *Engine) process(r *report.Report) (*AnalysisResult, error) {
 			if rule.Type != rules.TypeRemove {
 				altIdx = e.policy.SelectAlternative(rule, -1, r.UserID)
 			}
+			admit, canary, blockedBy := e.guardAdmit(rule.ID, altIdx)
+			if !admit {
+				// The target provider (or the rule itself) is quarantined:
+				// this user is never steered onto a known-bad alternate.
+				e.metrics.activationsBlocked.Inc()
+				if e.tracing() {
+					e.trace(obs.Event{
+						Kind: obs.EventQuarantine, User: r.UserID, RuleID: rule.ID,
+						Provider: blockedBy,
+						Detail:   fmt.Sprintf("activation blocked, alt %d", altIdx),
+					})
+				}
+				continue
+			}
 			prof.activate(rule, altIdx, now, v.Server.Addr, v.Distance)
+			e.indexActivation(sh, r.UserID, rule.ID, altIdx)
 			e.metrics.ruleActivations.Add(1)
 			e.ledger.RecordActivation(rule.ID, r.UserID)
 			res.Changes = append(res.Changes, RuleChange{
 				RuleID: rule.ID, Action: "activate", Server: v.Server.Addr,
 				AltIndex: altIdx, Level: level,
 			})
+			if canary {
+				e.metrics.canaryActivations.Inc()
+				if e.tracing() {
+					e.trace(obs.Event{
+						Kind: obs.EventCanary, User: r.UserID, RuleID: rule.ID,
+						Detail: fmt.Sprintf("canary activation through half-open breaker, alt %d", altIdx),
+					})
+				}
+			}
 			if e.tracing() {
 				e.trace(obs.Event{
 					Kind: obs.EventActivate, User: r.UserID, RuleID: rule.ID,
@@ -343,14 +408,14 @@ func (e *Engine) process(r *report.Report) (*AnalysisResult, error) {
 			}
 		}
 	}
-	return res, nil
+	return res, outcomes
 }
 
 // reconcileActiveRules implements the rule-history decision for one
 // violation. It returns true if the violator was recognised as the alternate
 // of an active rule (in which case normal activation matching is skipped for
-// this violator).
-func (e *Engine) reconcileActiveRules(prof *Profile, v Violation, now time.Time, res *AnalysisResult) bool {
+// this violator). Caller holds sh.mu for writing.
+func (e *Engine) reconcileActiveRules(sh *shard, prof *Profile, v Violation, now time.Time, res *AnalysisResult) bool {
 	handled := false
 	for _, id := range prof.ActiveRuleIDs(now) {
 		a := prof.activeRule(id)
@@ -379,7 +444,36 @@ func (e *Engine) reconcileActiveRules(prof *Profile, v Violation, now time.Time,
 			if next == a.AltIndex {
 				next = a.AltIndex + 1 // selector refused to move; force progression
 			}
+			if admit, canary, blockedBy := e.guardAdmit(id, next); !admit {
+				// The next alternative's provider is quarantined: revert to
+				// the default rather than steer the user onto it.
+				e.metrics.activationsBlocked.Inc()
+				e.unindexActivation(sh, prof.UserID, id, a.AltIndex)
+				prof.deactivate(id)
+				e.metrics.ruleDeactivations.Add(1)
+				res.Changes = append(res.Changes, RuleChange{
+					RuleID: id, Action: "deactivate", Server: v.Server.Addr,
+				})
+				if e.tracing() {
+					e.trace(obs.Event{
+						Kind: obs.EventQuarantine, User: prof.UserID, RuleID: id,
+						Provider: blockedBy,
+						Detail:   fmt.Sprintf("advance to alt %d blocked; reverted to default", next),
+					})
+				}
+				break
+			} else if canary {
+				e.metrics.canaryActivations.Inc()
+				if e.tracing() {
+					e.trace(obs.Event{
+						Kind: obs.EventCanary, User: prof.UserID, RuleID: id,
+						Detail: fmt.Sprintf("canary advance through half-open breaker, alt %d", next),
+					})
+				}
+			}
+			e.unindexActivation(sh, prof.UserID, id, a.AltIndex)
 			prof.activate(a.Rule, next, now, v.Server.Addr, v.Distance)
+			e.indexActivation(sh, prof.UserID, id, next)
 			e.metrics.ruleActivations.Add(1)
 			e.ledger.RecordActivation(id, prof.UserID)
 			res.Changes = append(res.Changes, RuleChange{
@@ -394,6 +488,7 @@ func (e *Engine) reconcileActiveRules(prof *Profile, v Violation, now time.Time,
 		default:
 			// The alternate is at least as far from the median as the
 			// default was and nothing fresh remains: revert.
+			e.unindexActivation(sh, prof.UserID, id, a.AltIndex)
 			prof.deactivate(id)
 			e.metrics.ruleDeactivations.Add(1)
 			res.Changes = append(res.Changes, RuleChange{
@@ -530,9 +625,12 @@ func (e *Engine) rewriteLocked(sh *shard, userID, path, page string, compute boo
 	if !compute {
 		return Rewrite{}, false
 	}
-	out, applied := ent.applier.Apply(page)
+	out, applied, clean := e.applySafely(ent, path, page)
 	rw := Rewrite{HTML: out, Applied: applied, Hint: rules.CacheHintValue(applied)}
-	if e.rewriteCache != nil {
+	if clean && e.rewriteCache != nil {
+		// Panic-path results are never cached: serving them is safe, but
+		// memoizing them would mask the breakage and freeze the panic count
+		// below the rule-quarantine threshold.
 		e.rewriteCache.put(key, page, rw.HTML, rw.Applied, rw.Hint)
 	}
 	return rw, true

@@ -108,7 +108,8 @@ func TestProfilePruneExpiredSorted(t *testing.T) {
 	p.activate(mk("zeta"), 0, now, "s", 1)
 	p.activate(mk("alpha"), 0, now, "s", 1)
 	removed := p.pruneExpired(now.Add(2 * time.Minute))
-	if !reflect.DeepEqual(removed, []string{"alpha", "zeta"}) {
+	want := []expiredActivation{{ID: "alpha"}, {ID: "zeta"}}
+	if !reflect.DeepEqual(removed, want) {
 		t.Errorf("pruneExpired = %v, want sorted [alpha zeta]", removed)
 	}
 	if len(p.ActiveRuleIDs(now)) != 0 {

@@ -33,6 +33,28 @@ type Metrics struct {
 	// state from the rotating backup because the primary snapshot was
 	// damaged or missing.
 	StateRecoveries uint64
+	// BreakerTrips counts guard breaker trips (including half-open
+	// reopens): a provider crossing into quarantine.
+	BreakerTrips uint64
+	// BreakerCloses counts breakers closing after successful half-open
+	// canaries: a provider re-admitted.
+	BreakerCloses uint64
+	// ActivationsBlocked counts activations (and advances) the guard
+	// refused because the target provider's breaker was not admitting.
+	ActivationsBlocked uint64
+	// BulkDeactivations counts activations rolled back by breaker trips
+	// and rule quarantines (one per activation removed, across all users).
+	BulkDeactivations uint64
+	// CanaryActivations counts activations admitted through a half-open
+	// breaker's canary budget.
+	CanaryActivations uint64
+	// RewritePanics counts panics recovered on the serve path (compiled
+	// applier or per-rule fallback); each one served a safe page instead
+	// of failing the request.
+	RewritePanics uint64
+	// RuleQuarantines counts rules auto-quarantined after repeated
+	// rewrite panics.
+	RuleQuarantines uint64
 }
 
 // metrics is the engine-internal atomic representation.
@@ -47,6 +69,13 @@ type metrics struct {
 	pagesUntouched     atomic.Uint64
 	reportsShed        obs.Counter
 	stateRecoveries    obs.Counter
+	breakerTrips       obs.Counter
+	breakerCloses      obs.Counter
+	activationsBlocked obs.Counter
+	bulkDeactivations  obs.Counter
+	canaryActivations  obs.Counter
+	rewritePanics      obs.Counter
+	ruleQuarantines    obs.Counter
 }
 
 // snapshot copies the counters.
@@ -62,6 +91,13 @@ func (m *metrics) snapshot() Metrics {
 		PagesUntouched:     m.pagesUntouched.Load(),
 		ReportsShed:        m.reportsShed.Value(),
 		StateRecoveries:    m.stateRecoveries.Value(),
+		BreakerTrips:       m.breakerTrips.Value(),
+		BreakerCloses:      m.breakerCloses.Value(),
+		ActivationsBlocked: m.activationsBlocked.Value(),
+		BulkDeactivations:  m.bulkDeactivations.Value(),
+		CanaryActivations:  m.canaryActivations.Value(),
+		RewritePanics:      m.rewritePanics.Value(),
+		RuleQuarantines:    m.ruleQuarantines.Value(),
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"oak/internal/guard"
 	"oak/internal/rules"
 )
 
@@ -26,11 +27,15 @@ import (
 // another. An export taken during concurrent ingest is weakly consistent
 // across shards (each shard's slice is a true point-in-time copy).
 
-// persistedState is the on-disk envelope.
+// persistedState is the on-disk envelope. Guard is additive (omitted when
+// empty or on guardless engines), so snapshots from engines without guard
+// state stay byte-identical to the pre-guard format, and pre-guard snapshots
+// decode with a nil Guard — which imports as empty guard state.
 type persistedState struct {
 	Version  int                `json:"version"`
 	SavedAt  time.Time          `json:"savedAt"`
 	Profiles []persistedProfile `json:"profiles"`
+	Guard    *guard.Persisted   `json:"guard,omitempty"`
 }
 
 type persistedProfile struct {
@@ -130,6 +135,9 @@ func unwrapSnapshot(data []byte) ([]byte, error) {
 // ExportState serialises all per-user state as JSON.
 func (e *Engine) ExportState() ([]byte, error) {
 	st := persistedState{Version: stateVersion, SavedAt: e.now()}
+	if e.guard != nil {
+		st.Guard = e.guard.Export() // nil (omitted) when nothing to persist
+	}
 
 	for _, sh := range e.shards {
 		sh.mu.RLock()
@@ -211,8 +219,10 @@ func (e *Engine) ImportState(data []byte) error {
 		byID[r.ID] = r
 	}
 
-	// Build the new shard contents off-lock, then swap under all locks.
+	// Build the new shard contents (and, on guard-enabled engines, the
+	// provider→activations indexes) off-lock, then swap under all locks.
 	fresh := make([]map[string]*Profile, len(e.shards))
+	freshIdx := make([]map[string]map[string]map[string]struct{}, len(e.shards))
 	for i := range fresh {
 		fresh[i] = make(map[string]*Profile)
 	}
@@ -220,6 +230,7 @@ func (e *Engine) ImportState(data []byte) error {
 		if pp.UserID == "" {
 			return fmt.Errorf("%w: state has profile without user id", ErrCorruptState)
 		}
+		si := e.shardIndex(pp.UserID)
 		prof := newProfile(pp.UserID)
 		prof.lastReport = pp.LastReport
 		for srv, n := range pp.Violations {
@@ -247,8 +258,28 @@ func (e *Engine) ImportState(data []byte) error {
 			// Arm lazy expiry so an imported TTL'd activation lapses on the
 			// serve path just like a live-activated one.
 			prof.noteExpiry(pa.ExpiresAt)
+			if e.guard != nil {
+				for _, h := range e.altHostsFor(pa.RuleID, pa.AltIndex) {
+					idx := freshIdx[si]
+					if idx == nil {
+						idx = make(map[string]map[string]map[string]struct{})
+						freshIdx[si] = idx
+					}
+					users := idx[h]
+					if users == nil {
+						users = make(map[string]map[string]struct{})
+						idx[h] = users
+					}
+					set := users[pp.UserID]
+					if set == nil {
+						set = make(map[string]struct{})
+						users[pp.UserID] = set
+					}
+					set[pa.RuleID] = struct{}{}
+				}
+			}
 		}
-		fresh[e.shardIndex(pp.UserID)][pp.UserID] = prof
+		fresh[si][pp.UserID] = prof
 	}
 
 	for _, sh := range e.shards {
@@ -256,7 +287,14 @@ func (e *Engine) ImportState(data []byte) error {
 	}
 	for i, sh := range e.shards {
 		sh.profiles = fresh[i]
+		sh.provIndex = freshIdx[i]
 		sh.users.Set(int64(len(fresh[i])))
+	}
+	if e.guard != nil {
+		// Inside the all-locks window, so profiles and breaker states from
+		// the same snapshot become visible together. st.Guard is nil for
+		// pre-guard and legacy snapshots — that imports as empty guard state.
+		e.guard.Import(st.Guard)
 	}
 	for _, sh := range e.shards {
 		sh.mu.Unlock()

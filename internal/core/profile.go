@@ -139,14 +139,22 @@ func (p *Profile) deactivate(ruleID string) {
 	p.epoch.Add(1)
 }
 
-// pruneExpired drops lapsed activations and returns the IDs removed. Caller
-// holds the owning shard's write lock.
-func (p *Profile) pruneExpired(now time.Time) []string {
-	var removed []string
+// expiredActivation identifies one pruned activation: the rule and the
+// alternative that was in effect, so the engine can unindex it from the
+// guard's provider→activations index.
+type expiredActivation struct {
+	ID       string
+	AltIndex int
+}
+
+// pruneExpired drops lapsed activations and returns what was removed (sorted
+// by rule ID). Caller holds the owning shard's write lock.
+func (p *Profile) pruneExpired(now time.Time) []expiredActivation {
+	var removed []expiredActivation
 	for id, a := range p.active {
 		if a.Expired(now) {
 			delete(p.active, id)
-			removed = append(removed, id)
+			removed = append(removed, expiredActivation{ID: id, AltIndex: a.AltIndex})
 		}
 	}
 	if len(removed) > 0 {
@@ -158,7 +166,7 @@ func (p *Profile) pruneExpired(now time.Time) []string {
 		}
 		p.epoch.Add(1)
 	}
-	sort.Strings(removed)
+	sort.Slice(removed, func(i, j int) bool { return removed[i].ID < removed[j].ID })
 	return removed
 }
 

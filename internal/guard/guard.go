@@ -1,0 +1,545 @@
+// Package guard implements population-level guardrails for Oak's own
+// interventions: per-provider circuit breakers and self-healing rule
+// quarantine.
+//
+// Oak's control loop (paper §4.2.3) is strictly per-user — a user must
+// personally suffer a bad rewrite before the engine deactivates their rule.
+// When an alternate provider dies globally, that loop converges one painful
+// report at a time, activating *new* users onto the dead provider all the
+// while. The guard closes that gap with aggregate state: outcomes for an
+// alternate provider are pooled across every user (and an optional active
+// prober, see Prober), and a provider that accumulates enough consecutive
+// bad outcomes trips a breaker.
+//
+// Breaker lifecycle (classic closed → open → half-open):
+//
+//	closed:    activations flow freely. Consecutive bad outcomes count
+//	           toward TripThreshold; any good outcome resets the count.
+//	open:      tripped. No activations are admitted; the engine bulk-
+//	           deactivates existing activations on the provider. After
+//	           OpenFor elapses the breaker moves to half-open on its next
+//	           consultation.
+//	half-open: at most HalfOpenCanaries activations are admitted as
+//	           canaries. CloseAfter good observed outcomes close the
+//	           breaker; a single bad outcome reopens it (fresh cool-down).
+//
+// The same Set also quarantines rules implicated in rewrite panics: a rule
+// whose application panics PanicThreshold times is quarantined — skipped on
+// the serve path and refused new activations — until released.
+//
+// A Set only aggregates and decides; it never touches engine state itself.
+// Callers act on the returned Transition (trip ⇒ bulk rollback), which keeps
+// the Set's mutex a leaf lock — safe to consult from under any engine lock.
+package guard
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is one breaker's position in the closed → open → half-open cycle.
+type State int
+
+const (
+	// Closed admits every activation (the healthy steady state).
+	Closed State = iota
+	// Open admits nothing: the provider is quarantined.
+	Open
+	// HalfOpen admits a bounded number of canary activations to test
+	// whether the provider recovered.
+	HalfOpen
+)
+
+// String names the state as it appears in metrics and snapshots.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// parseState inverts String; unknown input parses as Closed (a snapshot from
+// a future format degrades to "no quarantine" rather than failing the load).
+func parseState(s string) State {
+	switch s {
+	case "open":
+		return Open
+	case "half-open":
+		return HalfOpen
+	default:
+		return Closed
+	}
+}
+
+// Transition is what an observed outcome did to a breaker. The caller acts
+// on it: a trip or reopen must bulk-deactivate the provider's activations.
+type Transition int
+
+const (
+	// TransitionNone: the breaker did not change state.
+	TransitionNone Transition = iota
+	// TransitionTrip: closed → open. The provider crossed TripThreshold
+	// consecutive bad outcomes and is now quarantined.
+	TransitionTrip
+	// TransitionReopen: half-open → open. A canary outcome was bad; the
+	// provider goes back into quarantine with a fresh cool-down.
+	TransitionReopen
+	// TransitionClose: half-open → closed. Enough canary outcomes were
+	// good; the provider is re-admitted.
+	TransitionClose
+)
+
+// Config tunes a Set. Zero fields take the defaults.
+type Config struct {
+	// TripThreshold is how many consecutive bad outcomes (pooled across
+	// all users) trip a provider's breaker. Default 5.
+	TripThreshold int
+	// OpenFor is the quarantine cool-down: how long an open breaker waits
+	// before admitting canaries. Default 30s.
+	OpenFor time.Duration
+	// HalfOpenCanaries bounds how many canary activations a half-open
+	// breaker admits per episode. Default 3.
+	HalfOpenCanaries int
+	// CloseAfter is how many good outcomes a half-open breaker needs to
+	// close. Default 2.
+	CloseAfter int
+	// PanicThreshold is how many rewrite panics quarantine a rule.
+	// Default 3.
+	PanicThreshold int
+	// Now overrides the clock (tests, simulation). Default time.Now.
+	Now func() time.Time
+}
+
+// Defaults for Config's zero fields.
+const (
+	DefaultTripThreshold    = 5
+	DefaultOpenFor          = 30 * time.Second
+	DefaultHalfOpenCanaries = 3
+	DefaultCloseAfter       = 2
+	DefaultPanicThreshold   = 3
+)
+
+// normalized fills zero fields with defaults.
+func (c Config) normalized() Config {
+	if c.TripThreshold <= 0 {
+		c.TripThreshold = DefaultTripThreshold
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = DefaultOpenFor
+	}
+	if c.HalfOpenCanaries <= 0 {
+		c.HalfOpenCanaries = DefaultHalfOpenCanaries
+	}
+	if c.CloseAfter <= 0 {
+		c.CloseAfter = DefaultCloseAfter
+	}
+	if c.PanicThreshold <= 0 {
+		c.PanicThreshold = DefaultPanicThreshold
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// breaker is one provider's aggregate state.
+type breaker struct {
+	state          State
+	consecutiveBad int
+	openedAt       time.Time
+	halfOpenGood   int
+	canariesUsed   int
+	trips          uint64 // lifetime trip count (incl. reopens)
+	lastDeltaMs    float64
+}
+
+// ruleHealth tracks rewrite panics attributed to one rule.
+type ruleHealth struct {
+	panics      int
+	quarantined bool
+}
+
+// Set is a collection of per-provider breakers plus the rule-quarantine
+// table, guarded by one mutex. All methods are safe for concurrent use, and
+// none ever calls out while holding the mutex — the Set is a leaf lock.
+type Set struct {
+	mu       sync.Mutex
+	cfg      Config
+	breakers map[string]*breaker
+	rules    map[string]*ruleHealth
+}
+
+// New builds a Set with the given configuration.
+func New(cfg Config) *Set {
+	return &Set{
+		cfg:      cfg.normalized(),
+		breakers: make(map[string]*breaker),
+		rules:    make(map[string]*ruleHealth),
+	}
+}
+
+// Decision is the verdict of consulting a breaker before an activation.
+type Decision struct {
+	// Admit says whether the activation may proceed.
+	Admit bool
+	// Canary marks an admission that consumed a half-open canary slot;
+	// its outcome decides whether the breaker closes or reopens.
+	Canary bool
+	// State is the breaker's state at decision time.
+	State State
+}
+
+// Allow consults the provider's breaker before an activation. A closed (or
+// unknown) provider admits freely; an open one admits nothing until its
+// cool-down elapses, at which point the breaker moves to half-open and
+// admits up to HalfOpenCanaries canary activations.
+func (s *Set) Allow(provider string) Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.breakers[provider]
+	if b == nil {
+		return Decision{Admit: true, State: Closed}
+	}
+	s.advanceLocked(b)
+	switch b.state {
+	case Open:
+		return Decision{State: Open}
+	case HalfOpen:
+		if b.canariesUsed < s.cfg.HalfOpenCanaries {
+			b.canariesUsed++
+			return Decision{Admit: true, Canary: true, State: HalfOpen}
+		}
+		return Decision{State: HalfOpen}
+	default:
+		return Decision{Admit: true, State: Closed}
+	}
+}
+
+// Observe feeds one population-level outcome for a provider: good reports a
+// load (or probe) that went fine, bad one where the provider violated;
+// deltaMs is the latency distance that judged it (informational). The
+// returned Transition tells the caller what to do — a trip or reopen means
+// the provider's existing activations must be bulk-deactivated.
+func (s *Set) Observe(provider string, good bool, deltaMs float64) Transition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.breakers[provider]
+	if b == nil {
+		if good {
+			return TransitionNone // nothing tracked, nothing to reset
+		}
+		b = &breaker{}
+		s.breakers[provider] = b
+	}
+	b.lastDeltaMs = deltaMs
+	s.advanceLocked(b)
+	switch b.state {
+	case Closed:
+		if good {
+			b.consecutiveBad = 0
+			return TransitionNone
+		}
+		b.consecutiveBad++
+		if b.consecutiveBad >= s.cfg.TripThreshold {
+			s.openLocked(b)
+			return TransitionTrip
+		}
+		return TransitionNone
+	case Open:
+		// Outcomes while open are stale: they describe loads begun before
+		// the rollback finished. The cool-down decides what happens next.
+		return TransitionNone
+	default: // HalfOpen: every outcome is canary evidence
+		if good {
+			b.halfOpenGood++
+			if b.halfOpenGood >= s.cfg.CloseAfter {
+				*b = breaker{trips: b.trips, lastDeltaMs: b.lastDeltaMs}
+				return TransitionClose
+			}
+			return TransitionNone
+		}
+		s.openLocked(b)
+		return TransitionReopen
+	}
+}
+
+// advanceLocked moves an open breaker whose cool-down elapsed to half-open.
+func (s *Set) advanceLocked(b *breaker) {
+	if b.state == Open && s.cfg.Now().Sub(b.openedAt) >= s.cfg.OpenFor {
+		b.state = HalfOpen
+		b.halfOpenGood = 0
+		b.canariesUsed = 0
+	}
+}
+
+// openLocked (re)opens a breaker with a fresh cool-down.
+func (s *Set) openLocked(b *breaker) {
+	b.state = Open
+	b.openedAt = s.cfg.Now()
+	b.consecutiveBad = 0
+	b.halfOpenGood = 0
+	b.canariesUsed = 0
+	b.trips++
+}
+
+// ForceOpen trips the provider's breaker unconditionally (manual quarantine
+// override). It reports whether the breaker was not already open — when
+// true, the caller must bulk-deactivate the provider's activations, exactly
+// as after TransitionTrip.
+func (s *Set) ForceOpen(provider string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.breakers[provider]
+	if b == nil {
+		b = &breaker{}
+		s.breakers[provider] = b
+	}
+	if b.state == Open {
+		return false
+	}
+	s.openLocked(b)
+	return true
+}
+
+// ForceClose resets the provider's breaker to closed (manual re-admission
+// override), reporting whether there was a non-closed breaker to reset.
+func (s *Set) ForceClose(provider string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.breakers[provider]
+	if b == nil || b.state == Closed {
+		if b != nil {
+			b.consecutiveBad = 0
+		}
+		return false
+	}
+	*b = breaker{trips: b.trips}
+	return true
+}
+
+// State reports the provider's current breaker state (Closed for providers
+// never observed).
+func (s *Set) State(provider string) State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.breakers[provider]
+	if b == nil {
+		return Closed
+	}
+	s.advanceLocked(b)
+	return b.state
+}
+
+// OpenProviders lists the providers whose breakers are open, sorted.
+func (s *Set) OpenProviders() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for p, b := range s.breakers {
+		s.advanceLocked(b)
+		if b.state == Open {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProviderStatus is one breaker's state for metrics surfaces.
+type ProviderStatus struct {
+	Provider       string  `json:"provider"`
+	State          string  `json:"state"`
+	ConsecutiveBad int     `json:"consecutive_bad,omitempty"`
+	HalfOpenGood   int     `json:"half_open_good,omitempty"`
+	CanariesUsed   int     `json:"canaries_used,omitempty"`
+	Trips          uint64  `json:"trips,omitempty"`
+	LastDeltaMs    float64 `json:"last_delta_ms,omitempty"`
+	// OpenForMs is how long the breaker has been open (open state only).
+	OpenForMs float64 `json:"open_for_ms,omitempty"`
+}
+
+// Snapshot returns every tracked breaker's status, sorted by provider.
+func (s *Set) Snapshot() []ProviderStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ProviderStatus, 0, len(s.breakers))
+	for p, b := range s.breakers {
+		s.advanceLocked(b)
+		ps := ProviderStatus{
+			Provider:       p,
+			State:          b.state.String(),
+			ConsecutiveBad: b.consecutiveBad,
+			HalfOpenGood:   b.halfOpenGood,
+			CanariesUsed:   b.canariesUsed,
+			Trips:          b.trips,
+			LastDeltaMs:    b.lastDeltaMs,
+		}
+		if b.state == Open {
+			ps.OpenForMs = float64(s.cfg.Now().Sub(b.openedAt)) / float64(time.Millisecond)
+		}
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Provider < out[j].Provider })
+	return out
+}
+
+// ObserveRulePanic records one rewrite panic attributed to a rule. It
+// reports true exactly when this panic crosses PanicThreshold and
+// quarantines the rule — the caller then bulk-deactivates it.
+func (s *Set) ObserveRulePanic(ruleID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rh := s.rules[ruleID]
+	if rh == nil {
+		rh = &ruleHealth{}
+		s.rules[ruleID] = rh
+	}
+	rh.panics++
+	if rh.quarantined || rh.panics < s.cfg.PanicThreshold {
+		return false
+	}
+	rh.quarantined = true
+	return true
+}
+
+// QuarantineRule quarantines a rule unconditionally (manual override),
+// reporting whether it was not already quarantined.
+func (s *Set) QuarantineRule(ruleID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rh := s.rules[ruleID]
+	if rh == nil {
+		rh = &ruleHealth{}
+		s.rules[ruleID] = rh
+	}
+	if rh.quarantined {
+		return false
+	}
+	rh.quarantined = true
+	return true
+}
+
+// ReleaseRule lifts a rule's quarantine and resets its panic count.
+func (s *Set) ReleaseRule(ruleID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.rules, ruleID)
+}
+
+// RuleQuarantined reports whether the rule is quarantined.
+func (s *Set) RuleQuarantined(ruleID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rh := s.rules[ruleID]
+	return rh != nil && rh.quarantined
+}
+
+// QuarantinedRules lists quarantined rule IDs, sorted.
+func (s *Set) QuarantinedRules() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for id, rh := range s.rules {
+		if rh.quarantined {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Persisted is the guard state as stored inside an engine snapshot. Only
+// breakers that deviate from the healthy steady state and rules with panic
+// history are included, so a guard with nothing to say exports nil and the
+// snapshot is byte-identical to one from an engine without a guard.
+type Persisted struct {
+	Breakers []PersistedBreaker `json:"breakers,omitempty"`
+	Rules    []PersistedRule    `json:"rules,omitempty"`
+}
+
+// PersistedBreaker is one breaker's durable state.
+type PersistedBreaker struct {
+	Provider       string    `json:"provider"`
+	State          string    `json:"state"`
+	ConsecutiveBad int       `json:"consecutiveBad,omitempty"`
+	OpenedAt       time.Time `json:"openedAt"`
+	HalfOpenGood   int       `json:"halfOpenGood,omitempty"`
+	CanariesUsed   int       `json:"canariesUsed,omitempty"`
+}
+
+// PersistedRule is one rule's durable panic-quarantine state.
+type PersistedRule struct {
+	RuleID      string `json:"ruleId"`
+	Panics      int    `json:"panics,omitempty"`
+	Quarantined bool   `json:"quarantined,omitempty"`
+}
+
+// Export captures the durable guard state, or nil when there is none (every
+// breaker closed and quiet, no rule panic history).
+func (s *Set) Export() *Persisted {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var p Persisted
+	for name, b := range s.breakers {
+		if b.state == Closed && b.consecutiveBad == 0 {
+			continue
+		}
+		p.Breakers = append(p.Breakers, PersistedBreaker{
+			Provider:       name,
+			State:          b.state.String(),
+			ConsecutiveBad: b.consecutiveBad,
+			OpenedAt:       b.openedAt,
+			HalfOpenGood:   b.halfOpenGood,
+			CanariesUsed:   b.canariesUsed,
+		})
+	}
+	for id, rh := range s.rules {
+		if rh.panics == 0 && !rh.quarantined {
+			continue
+		}
+		p.Rules = append(p.Rules, PersistedRule{RuleID: id, Panics: rh.panics, Quarantined: rh.quarantined})
+	}
+	if len(p.Breakers) == 0 && len(p.Rules) == 0 {
+		return nil
+	}
+	sort.Slice(p.Breakers, func(i, j int) bool { return p.Breakers[i].Provider < p.Breakers[j].Provider })
+	sort.Slice(p.Rules, func(i, j int) bool { return p.Rules[i].RuleID < p.Rules[j].RuleID })
+	return &p
+}
+
+// Import replaces the Set's state with a previously exported one. nil (the
+// empty export, and what legacy snapshots decode to) clears everything.
+func (s *Set) Import(p *Persisted) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.breakers = make(map[string]*breaker)
+	s.rules = make(map[string]*ruleHealth)
+	if p == nil {
+		return
+	}
+	for _, pb := range p.Breakers {
+		if pb.Provider == "" {
+			continue
+		}
+		s.breakers[pb.Provider] = &breaker{
+			state:          parseState(pb.State),
+			consecutiveBad: pb.ConsecutiveBad,
+			openedAt:       pb.OpenedAt,
+			halfOpenGood:   pb.HalfOpenGood,
+			canariesUsed:   pb.CanariesUsed,
+		}
+	}
+	for _, pr := range p.Rules {
+		if pr.RuleID == "" {
+			continue
+		}
+		s.rules[pr.RuleID] = &ruleHealth{panics: pr.Panics, quarantined: pr.Quarantined}
+	}
+}

@@ -1,0 +1,345 @@
+package guard
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is a manually advanced clock for deterministic cool-downs.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestSet(clk *testClock) *Set {
+	return New(Config{
+		TripThreshold:    3,
+		OpenFor:          time.Minute,
+		HalfOpenCanaries: 2,
+		CloseAfter:       2,
+		PanicThreshold:   2,
+		Now:              clk.Now,
+	})
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := newTestClock()
+	s := newTestSet(clk)
+
+	// Unknown provider: closed, admits, good outcomes are no-ops.
+	if d := s.Allow("cdn.example"); !d.Admit || d.Canary || d.State != Closed {
+		t.Fatalf("unknown provider decision = %+v", d)
+	}
+	if tr := s.Observe("cdn.example", true, 1); tr != TransitionNone {
+		t.Fatalf("good outcome on unknown provider: transition %v", tr)
+	}
+	if got := len(s.Snapshot()); got != 0 {
+		t.Fatalf("good outcome should not create a breaker, snapshot has %d", got)
+	}
+
+	// Bad outcomes below threshold: still closed, still admitting.
+	s.Observe("cdn.example", false, 40)
+	s.Observe("cdn.example", false, 41)
+	if st := s.State("cdn.example"); st != Closed {
+		t.Fatalf("state after 2 bad = %v, want Closed", st)
+	}
+	if d := s.Allow("cdn.example"); !d.Admit {
+		t.Fatal("closed breaker must admit")
+	}
+
+	// A good outcome resets the consecutive count.
+	s.Observe("cdn.example", true, 1)
+	s.Observe("cdn.example", false, 40)
+	s.Observe("cdn.example", false, 41)
+	if st := s.State("cdn.example"); st != Closed {
+		t.Fatal("good outcome should have reset the bad streak")
+	}
+
+	// Third consecutive bad trips.
+	if tr := s.Observe("cdn.example", false, 42); tr != TransitionTrip {
+		t.Fatalf("3rd consecutive bad: transition %v, want Trip", tr)
+	}
+	if d := s.Allow("cdn.example"); d.Admit || d.State != Open {
+		t.Fatalf("open breaker decision = %+v", d)
+	}
+	if open := s.OpenProviders(); len(open) != 1 || open[0] != "cdn.example" {
+		t.Fatalf("OpenProviders = %v", open)
+	}
+	// Outcomes while open are stale and ignored.
+	if tr := s.Observe("cdn.example", true, 1); tr != TransitionNone {
+		t.Fatalf("stale outcome while open: transition %v", tr)
+	}
+
+	// Cool-down not elapsed: still denied.
+	clk.Advance(30 * time.Second)
+	if d := s.Allow("cdn.example"); d.Admit {
+		t.Fatal("admitted before cool-down elapsed")
+	}
+
+	// Cool-down elapsed: half-open, two canaries then denial.
+	clk.Advance(31 * time.Second)
+	d1 := s.Allow("cdn.example")
+	d2 := s.Allow("cdn.example")
+	d3 := s.Allow("cdn.example")
+	if !d1.Admit || !d1.Canary || !d2.Admit || !d2.Canary {
+		t.Fatalf("canary decisions = %+v, %+v", d1, d2)
+	}
+	if d3.Admit {
+		t.Fatalf("third activation admitted past canary budget: %+v", d3)
+	}
+	if d3.State != HalfOpen {
+		t.Fatalf("budget-exhausted state = %v, want HalfOpen", d3.State)
+	}
+
+	// One good canary outcome: not enough to close.
+	if tr := s.Observe("cdn.example", true, 2); tr != TransitionNone {
+		t.Fatalf("1st good canary transition %v", tr)
+	}
+	// Second closes.
+	if tr := s.Observe("cdn.example", true, 2); tr != TransitionClose {
+		t.Fatalf("2nd good canary transition %v, want Close", tr)
+	}
+	if st := s.State("cdn.example"); st != Closed {
+		t.Fatalf("state after close = %v", st)
+	}
+	if d := s.Allow("cdn.example"); !d.Admit || d.Canary {
+		t.Fatalf("closed-after-recovery decision = %+v", d)
+	}
+}
+
+func TestHalfOpenBadReopens(t *testing.T) {
+	clk := newTestClock()
+	s := newTestSet(clk)
+	for i := 0; i < 3; i++ {
+		s.Observe("cdn.example", false, 50)
+	}
+	clk.Advance(2 * time.Minute)
+	if d := s.Allow("cdn.example"); !d.Canary {
+		t.Fatalf("want canary admission, got %+v", d)
+	}
+	if tr := s.Observe("cdn.example", false, 60); tr != TransitionReopen {
+		t.Fatalf("bad canary transition %v, want Reopen", tr)
+	}
+	if d := s.Allow("cdn.example"); d.Admit {
+		t.Fatal("reopened breaker admitted")
+	}
+	// The reopen starts a fresh cool-down.
+	clk.Advance(2 * time.Minute)
+	if d := s.Allow("cdn.example"); !d.Admit || !d.Canary {
+		t.Fatalf("post-reopen cool-down decision = %+v", d)
+	}
+}
+
+func TestForceOpenForceClose(t *testing.T) {
+	clk := newTestClock()
+	s := newTestSet(clk)
+	if !s.ForceOpen("cdn.example") {
+		t.Fatal("ForceOpen on fresh provider should report a transition")
+	}
+	if s.ForceOpen("cdn.example") {
+		t.Fatal("ForceOpen on already-open provider should report false")
+	}
+	if d := s.Allow("cdn.example"); d.Admit {
+		t.Fatal("force-opened breaker admitted")
+	}
+	if !s.ForceClose("cdn.example") {
+		t.Fatal("ForceClose on open provider should report a transition")
+	}
+	if s.ForceClose("cdn.example") {
+		t.Fatal("ForceClose on closed provider should report false")
+	}
+	if d := s.Allow("cdn.example"); !d.Admit {
+		t.Fatal("force-closed breaker denied")
+	}
+	// ForceClose also clears a pending bad streak.
+	s.Observe("cdn.example", false, 10)
+	s.Observe("cdn.example", false, 10)
+	s.ForceClose("cdn.example")
+	s.Observe("cdn.example", false, 10)
+	if st := s.State("cdn.example"); st != Closed {
+		t.Fatal("bad streak should have been reset by ForceClose")
+	}
+}
+
+func TestRuleQuarantine(t *testing.T) {
+	s := newTestSet(newTestClock()) // PanicThreshold 2
+	if s.ObserveRulePanic("r1") {
+		t.Fatal("first panic should not quarantine")
+	}
+	if s.RuleQuarantined("r1") {
+		t.Fatal("not yet quarantined")
+	}
+	if !s.ObserveRulePanic("r1") {
+		t.Fatal("second panic should quarantine")
+	}
+	if s.ObserveRulePanic("r1") {
+		t.Fatal("crossing the threshold reports true exactly once")
+	}
+	if !s.RuleQuarantined("r1") {
+		t.Fatal("rule should be quarantined")
+	}
+	if got := s.QuarantinedRules(); len(got) != 1 || got[0] != "r1" {
+		t.Fatalf("QuarantinedRules = %v", got)
+	}
+	if s.QuarantineRule("r1") {
+		t.Fatal("manual quarantine of quarantined rule reports false")
+	}
+	s.ReleaseRule("r1")
+	if s.RuleQuarantined("r1") {
+		t.Fatal("released rule still quarantined")
+	}
+	if !s.QuarantineRule("r2") {
+		t.Fatal("manual quarantine of fresh rule reports true")
+	}
+	if !s.RuleQuarantined("r2") {
+		t.Fatal("manually quarantined rule not quarantined")
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	clk := newTestClock()
+	s := newTestSet(clk)
+
+	// Healthy set exports nil.
+	if p := s.Export(); p != nil {
+		t.Fatalf("healthy export = %+v, want nil", p)
+	}
+	// Good outcomes and resolved streaks keep it nil.
+	s.Observe("cdn.example", false, 5)
+	s.Observe("cdn.example", true, 1)
+	if p := s.Export(); p != nil {
+		t.Fatalf("reset-streak export = %+v, want nil", p)
+	}
+
+	// Build interesting state: one open, one mid-streak, one quarantined rule.
+	for i := 0; i < 3; i++ {
+		s.Observe("dead.example", false, 90)
+	}
+	s.Observe("slow.example", false, 20)
+	s.ObserveRulePanic("r1")
+	s.ObserveRulePanic("r1")
+
+	p := s.Export()
+	if p == nil {
+		t.Fatal("export = nil with open breaker")
+	}
+	if len(p.Breakers) != 2 || p.Breakers[0].Provider != "dead.example" || p.Breakers[1].Provider != "slow.example" {
+		t.Fatalf("breakers = %+v", p.Breakers)
+	}
+	if p.Breakers[0].State != "open" || p.Breakers[1].ConsecutiveBad != 1 {
+		t.Fatalf("breakers = %+v", p.Breakers)
+	}
+	if len(p.Rules) != 1 || !p.Rules[0].Quarantined || p.Rules[0].Panics != 2 {
+		t.Fatalf("rules = %+v", p.Rules)
+	}
+
+	// JSON round-trip into a fresh set preserves behaviour.
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Persisted
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	s2 := newTestSet(clk)
+	s2.Import(&decoded)
+	if d := s2.Allow("dead.example"); d.Admit {
+		t.Fatal("imported open breaker admitted")
+	}
+	if !s2.RuleQuarantined("r1") {
+		t.Fatal("imported rule quarantine lost")
+	}
+	// Mid-streak breaker trips after (threshold - streak) more bad outcomes.
+	s2.Observe("slow.example", false, 20)
+	if tr := s2.Observe("slow.example", false, 20); tr != TransitionTrip {
+		t.Fatalf("imported streak transition %v, want Trip", tr)
+	}
+	// The imported openedAt honours the cool-down.
+	clk.Advance(2 * time.Minute)
+	if d := s2.Allow("dead.example"); !d.Admit || !d.Canary {
+		t.Fatalf("imported breaker after cool-down: %+v", d)
+	}
+
+	// Import(nil) clears everything.
+	s2.Import(nil)
+	if p := s2.Export(); p != nil {
+		t.Fatalf("cleared export = %+v, want nil", p)
+	}
+	if d := s2.Allow("dead.example"); !d.Admit {
+		t.Fatal("cleared set denied")
+	}
+}
+
+func TestSnapshotStatuses(t *testing.T) {
+	clk := newTestClock()
+	s := newTestSet(clk)
+	for i := 0; i < 3; i++ {
+		s.Observe("b.example", false, 70)
+	}
+	s.Observe("a.example", false, 15)
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0].Provider != "a.example" || snap[1].Provider != "b.example" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].State != "closed" || snap[0].ConsecutiveBad != 1 {
+		t.Fatalf("a.example status = %+v", snap[0])
+	}
+	if snap[1].State != "open" || snap[1].Trips != 1 {
+		t.Fatalf("b.example status = %+v", snap[1])
+	}
+	clk.Advance(10 * time.Second)
+	snap = s.Snapshot()
+	if snap[1].OpenForMs < 9999 || snap[1].OpenForMs > 10001 {
+		t.Fatalf("OpenForMs = %v, want ~10000", snap[1].OpenForMs)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	clk := newTestClock()
+	s := newTestSet(clk)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			providers := []string{"x.example", "y.example", "z.example"}
+			for i := 0; i < 500; i++ {
+				p := providers[(g+i)%len(providers)]
+				s.Allow(p)
+				s.Observe(p, i%3 == 0, float64(i%50))
+				if i%17 == 0 {
+					s.Snapshot()
+					s.Export()
+					s.OpenProviders()
+				}
+				if i%31 == 0 {
+					s.ObserveRulePanic("r")
+					s.QuarantinedRules()
+				}
+				if i%101 == 0 {
+					clk.Advance(time.Second)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,173 @@
+// Active probing: the second signal feeding the breakers. Population-level
+// outcome aggregation (guard.go) only sees providers users are loading from;
+// a provider that died *while quarantined* would never produce another
+// outcome and the breaker could only advance blind. The prober closes the
+// loop by periodically fetching a probe object from each alternate provider
+// through an ordinary HTTP transport — which makes it deterministic under
+// internal/netsim and internal/faultinject, both of which inject at the
+// transport layer.
+
+package guard
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Prober periodically fetches one probe URL per alternate provider and
+// reports the outcome. It holds no breaker state itself: Targets supplies
+// the provider → candidate-URL map (typically from the engine's rule set)
+// and Report receives each outcome (typically Engine.ObserveProviderOutcome,
+// so probe results flow through exactly the same breaker transitions as
+// user reports).
+type Prober struct {
+	// Targets returns the providers to probe, each with candidate URLs in
+	// preference order. Called once per probe cycle.
+	Targets func() map[string][]string
+	// Report receives one outcome per probed provider: good means the
+	// probe object was fetched without server failure; deltaMs is the
+	// fetch latency.
+	Report func(provider string, good bool, deltaMs float64)
+	// Interval between probe cycles. Zero disables Start (ProbeOnce still
+	// works for manual/simulated probing).
+	Interval time.Duration
+	// Timeout bounds each individual probe fetch. Default 2s.
+	Timeout time.Duration
+	// Client issues the probe requests. Default http.DefaultClient. Tests
+	// and simulations swap in a client whose transport is netsim- or
+	// faultinject-backed.
+	Client *http.Client
+	// Resolve optionally maps a logical provider hostname to a dialable
+	// host:port (mirrors oak.Client's resolver, for simulated networks).
+	// Returning false skips the provider.
+	Resolve func(host string) (string, bool)
+	// Logf receives probe errors. Default: silent.
+	Logf func(format string, args ...any)
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start launches the probe loop in a goroutine. It is a no-op when the
+// prober is already running, has no Interval, or is missing Targets/Report.
+func (p *Prober) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil || p.Interval <= 0 || p.Targets == nil || p.Report == nil {
+		return
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.loop(p.stop, p.done)
+}
+
+// Stop halts the probe loop and waits for the in-flight cycle to finish.
+// Safe to call when not running.
+func (p *Prober) Stop() {
+	p.mu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (p *Prober) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(p.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			p.ProbeOnce()
+		}
+	}
+}
+
+// ProbeOnce runs a single probe cycle synchronously: every provider from
+// Targets is probed (first candidate URL, in sorted provider order for
+// determinism) and its outcome handed to Report.
+func (p *Prober) ProbeOnce() {
+	if p.Targets == nil || p.Report == nil {
+		return
+	}
+	targets := p.Targets()
+	providers := make([]string, 0, len(targets))
+	for prov, urls := range targets {
+		if len(urls) > 0 {
+			providers = append(providers, prov)
+		}
+	}
+	sort.Strings(providers)
+	for _, prov := range providers {
+		good, deltaMs, ok := p.probe(prov, targets[prov][0])
+		if ok {
+			p.Report(prov, good, deltaMs)
+		}
+	}
+}
+
+// probe fetches one URL; ok is false when the probe could not even be
+// attempted (unparseable URL, unresolvable host) — no outcome is reported
+// then, so configuration mistakes never trip breakers.
+func (p *Prober) probe(provider, rawURL string) (good bool, deltaMs float64, ok bool) {
+	u, err := url.Parse(rawURL)
+	if err != nil || u.Host == "" {
+		p.logf("guard: probe %s: bad url %q: %v", provider, rawURL, err)
+		return false, 0, false
+	}
+	if p.Resolve != nil {
+		addr, found := p.Resolve(u.Hostname())
+		if !found {
+			return false, 0, false
+		}
+		u.Host = addr
+	}
+	timeout := p.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	client := p.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		p.logf("guard: probe %s: %v", provider, err)
+		return false, 0, false
+	}
+	req.Host = u.Hostname() // preserve the logical host when resolved
+	start := time.Now()
+	resp, err := client.Do(req)
+	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		p.logf("guard: probe %s: %v", provider, err)
+		return false, elapsed, true
+	}
+	_, copyErr := io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if copyErr != nil {
+		p.logf("guard: probe %s: body: %v", provider, copyErr)
+		return false, elapsed, true
+	}
+	return resp.StatusCode < 500, elapsed, true
+}
+
+func (p *Prober) logf(format string, args ...any) {
+	if p.Logf != nil {
+		p.Logf(format, args...)
+	}
+}

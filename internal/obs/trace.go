@@ -26,6 +26,16 @@ const (
 	EventExpire EventKind = "expire"
 	// EventRewrite — an outgoing page was modified for a user.
 	EventRewrite EventKind = "rewrite"
+	// EventQuarantine — the guard refused or revoked an intervention: an
+	// activation was blocked by an open breaker, a breaker tripped, or a
+	// rule was quarantined after repeated rewrite panics.
+	EventQuarantine EventKind = "quarantine"
+	// EventCanary — a half-open breaker admitted a canary activation.
+	EventCanary EventKind = "canary"
+	// EventReadmit — a breaker closed: the provider is healthy again.
+	EventReadmit EventKind = "readmit"
+	// EventRollback — one activation was bulk-deactivated by a breaker trip.
+	EventRollback EventKind = "rollback"
 )
 
 // Event is one recorded engine decision.

@@ -58,6 +58,9 @@ type MetricsResponse struct {
 	RewriteCacheEvictions uint64 `json:"rewrite_cache_evictions"`
 	RewriteCacheBytes     int64  `json:"rewrite_cache_bytes"`
 	RewriteCacheEntries   int    `json:"rewrite_cache_entries"`
+	// Guard is the circuit-breaker state (breakers, quarantined providers
+	// and rules, canary counts); absent on engines built without WithGuard.
+	Guard *core.GuardStatus `json:"guard,omitempty"`
 }
 
 // ShardSummary is one shard's ingest latency digest.
@@ -82,6 +85,9 @@ type HealthzResponse struct {
 	Rules         int     `json:"rules"`
 	Users         int     `json:"users"`
 	Reports       uint64  `json:"reports"`
+	// OpenBreakers lists alternate providers currently quarantined by an
+	// open guard breaker (omitted when none, or without WithGuard).
+	OpenBreakers []string `json:"open_breakers,omitempty"`
 }
 
 // handleMetrics serves counters plus ingest/rewrite histograms.
@@ -113,6 +119,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if depth, capacity := s.engine.IngestQueue(); capacity > 0 {
 		resp.IngestQueue = &QueueStatus{Depth: depth, Capacity: capacity}
 	}
+	if gs, ok := s.engine.GuardStatus(); ok {
+		resp.Guard = &gs
+	}
 	writeJSON(w, resp)
 }
 
@@ -134,6 +143,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Rules:         len(s.engine.Rules()),
 		Users:         s.engine.Users(),
 		Reports:       s.engine.Metrics().ReportsHandled,
+		OpenBreakers:  s.engine.OpenBreakers(),
 	})
 }
 

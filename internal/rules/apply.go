@@ -86,6 +86,7 @@ func Apply(page, path string, acts []Activation) (string, []Applied) {
 		default:
 			continue
 		}
+		failpoint(r.ID)
 		page = strings.ReplaceAll(page, r.Default, replacement)
 		replaced = true
 		applied := Applied{RuleID: r.ID, Replacements: count}

@@ -372,6 +372,7 @@ func (a *Applier) assemble(page string, accepted []span, counts []int) (string, 
 	pos := 0
 	for _, sp := range accepted {
 		out = append(out, page[pos:sp.start]...)
+		failpoint(a.rules[sp.rule].applied.RuleID)
 		out = append(out, a.rules[sp.rule].rep...)
 		pos = int(sp.end)
 	}

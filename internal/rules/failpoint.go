@@ -1,0 +1,33 @@
+package rules
+
+import "sync/atomic"
+
+// applyFailpoint, when set, is consulted at each rule's replacement point in
+// both the sequential Apply and the compiled Applier; returning true makes
+// the replacement panic. It exists so tests (and chaos suites) can inject a
+// deterministic rewrite panic for a chosen rule and prove the serve path's
+// panic isolation end-to-end — there is no production code path that sets it.
+var applyFailpoint atomic.Pointer[func(ruleID string) bool]
+
+// SetApplyFailpoint installs fn as the rewrite failpoint (nil uninstalls).
+// While installed, applying any rule for which fn returns true panics at the
+// replacement point. Test-only; concurrency-safe.
+func SetApplyFailpoint(fn func(ruleID string) bool) {
+	if fn == nil {
+		applyFailpoint.Store(nil)
+		return
+	}
+	applyFailpoint.Store(&fn)
+}
+
+// failpoint panics if the installed failpoint claims this rule. The nil
+// fast path is a single atomic load, so the hook costs nothing when unused.
+func failpoint(ruleID string) {
+	fp := applyFailpoint.Load()
+	if fp == nil {
+		return
+	}
+	if (*fp)(ruleID) {
+		panic("rules: injected failpoint panic applying rule " + ruleID)
+	}
+}

@@ -48,6 +48,7 @@ import (
 
 	"oak/internal/client"
 	"oak/internal/core"
+	"oak/internal/guard"
 	"oak/internal/obs"
 	"oak/internal/origin"
 	"oak/internal/report"
@@ -290,6 +291,44 @@ func WithRewriteCache(n int) EngineOption { return core.WithRewriteCache(n) }
 // RewriteCacheStats is a point-in-time view of the engine rewrite cache's
 // counters (Engine.RewriteCacheStats; also surfaced in /oak/metrics).
 type RewriteCacheStats = core.RewriteCacheStats
+
+// GuardConfig enables and tunes the engine's population-level guardrails:
+// per-provider circuit breakers over alternate providers (closed → open →
+// half-open, fed by outcomes pooled across all users and by the optional
+// active prober) and automatic quarantine of rules implicated in repeated
+// rewrite panics. Zero fields take the defaults (trip after 5 consecutive
+// bad outcomes, 30s cool-down, 3 half-open canaries, close after 2 good
+// canary outcomes, rule quarantine after 3 panics).
+type GuardConfig = core.GuardConfig
+
+// WithGuard enables the guardrails. An open breaker blocks new activations
+// onto its provider and bulk-deactivates existing ones; a half-open breaker
+// admits a bounded number of canary activations and closes only on good
+// observed outcomes. Guard state persists in snapshots (pre-guard snapshots
+// load with empty guard state); breaker states surface in /oak/metrics
+// ("guard") and open breakers in /oak/healthz ("open_breakers").
+func WithGuard(cfg GuardConfig) EngineOption { return core.WithGuard(cfg) }
+
+// GuardStatus is the guard's externally visible state (breakers, quarantined
+// providers and rules, canary counts), returned by Engine.GuardStatus and
+// served under "guard" in /oak/metrics.
+type GuardStatus = core.GuardStatus
+
+// BreakerStatus is one provider breaker's state inside a GuardStatus.
+type BreakerStatus = guard.ProviderStatus
+
+// Prober actively probes alternate providers and feeds the outcomes into the
+// engine's breakers, so a dead provider is caught (and a recovered one
+// re-admitted) even while no user is loading from it. Typical wiring:
+//
+//	p := &oak.Prober{
+//		Targets:  engine.AlternateProviders,
+//		Report:   engine.ObserveProviderOutcome,
+//		Interval: 30 * time.Second,
+//	}
+//	p.Start()
+//	defer p.Stop()
+type Prober = guard.Prober
 
 // ServerOption configures NewServer.
 type ServerOption = origin.Option

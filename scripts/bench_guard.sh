@@ -1,0 +1,67 @@
+#!/bin/sh
+# bench_guard.sh — run the guardrail benchmarks and record the results in
+# BENCH_guard.json, so successive PRs leave a trajectory for the two numbers
+# that matter to the circuit-breaker design:
+#
+#   - activation_overhead: reports/sec without the guard divided by
+#     reports/sec with it (every breaker closed). Should hover at 1.0 and
+#     stay under 1.05 — the activation path pays one leaf-mutex Allow call
+#     plus provider-index upkeep.
+#   - rollback ns per deactivation at 100/1000/5000 users: the latency
+#     between a provider tripping and the whole population being off it.
+#
+# Usage: scripts/bench_guard.sh [benchtime]   (default 1s)
+set -e
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-1s}"
+out="BENCH_guard.json"
+
+echo "== go test -bench guard activation on/off + rollback scaling (benchtime $benchtime) =="
+raw=$(go test -run '^$' -bench 'Benchmark(ActivationGuard(On|Off)|GuardRollback(100|1000|5000))' \
+	-benchmem -count 1 -benchtime "$benchtime" ./internal/core)
+echo "$raw"
+
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	iters = $2
+	ns = ""; rps = ""; deact = ""
+	for (i = 3; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "reports/sec") rps = $(i - 1)
+		if ($i == "deactivations/op") deact = $(i - 1)
+	}
+	if (ns == "") next
+	n++
+	names[n] = name; iterations[n] = iters; nsop[n] = ns
+	rate[n] = (deact != "" ? deact : rps)
+	unit[n] = (deact != "" ? "deactivations_per_op" : "reports_per_sec")
+	if (name == "BenchmarkActivationGuardOn") on = rps
+	if (name == "BenchmarkActivationGuardOff") off = rps
+	if (deact != "" && deact > 0) perdeact[name] = ns / deact
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchmarks\": [\n"
+	for (i = 1; i <= n; i++) {
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"%s\": %.0f}%s\n", \
+			names[i], iterations[i], nsop[i], unit[i], rate[i], (i < n ? "," : "")
+	}
+	printf "  ]"
+	if (on > 0 && off > 0)
+		printf ",\n  \"activation_overhead\": %.3f", off / on
+	if ("BenchmarkGuardRollback100" in perdeact)
+		printf ",\n  \"rollback_ns_per_deactivation_100\": %.0f", perdeact["BenchmarkGuardRollback100"]
+	if ("BenchmarkGuardRollback1000" in perdeact)
+		printf ",\n  \"rollback_ns_per_deactivation_1000\": %.0f", perdeact["BenchmarkGuardRollback1000"]
+	if ("BenchmarkGuardRollback5000" in perdeact)
+		printf ",\n  \"rollback_ns_per_deactivation_5000\": %.0f", perdeact["BenchmarkGuardRollback5000"]
+	printf "\n}\n"
+}' >"$out"
+
+echo "wrote $out"

@@ -9,7 +9,10 @@
 # A short fuzz smoke over the snapshot importer keeps hostile state files
 # from ever aborting a boot; another over the compiled applier keeps the
 # single-pass rewriter provably equivalent to the sequential reference. A
-# one-iteration serve benchmark run keeps the benchmark code compiling.
+# one-iteration serve benchmark run keeps the benchmark code compiling. The
+# guard chaos smoke re-runs the kill-the-alternate scenario on its own so a
+# breaker regression fails the verify with a named step, and a one-iteration
+# guard benchmark run keeps BENCH_guard.json producible.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -41,5 +44,11 @@ go test -run '^$' -fuzz FuzzApplyEquivalence -fuzztime 5s ./internal/rules
 
 echo "== serve-path benchmark smoke (1 iteration) =="
 go test -run '^$' -bench 'BenchmarkModifyPage' -benchtime 1x ./internal/core
+
+echo "== guard chaos smoke: kill-the-alternate loop under -race =="
+go test -race -run 'TestChaosGuardKillsAlternateMidRun' -count=1 ./internal/faultinject
+
+echo "== guard benchmark smoke (1 iteration) =="
+go test -run '^$' -bench 'BenchmarkActivationGuardOn|BenchmarkGuardRollback100$' -benchtime 1x ./internal/core
 
 echo "verify: OK"
