@@ -1,4 +1,4 @@
-.PHONY: verify test race vet fmt bench bench-serve bench-shed bench-guard bench-all chaos fuzz
+.PHONY: verify test race vet fmt bench bench-serve bench-shed bench-guard bench-scenarios bench-all chaos fuzz
 
 # Full PR verify path: build, formatting, vet, tests, and race-checking of
 # the concurrent engine + observability packages. See scripts/verify.sh.
@@ -45,6 +45,13 @@ bench-shed:
 # activation path, bulk-rollback latency vs population size).
 bench-guard:
 	sh scripts/bench_guard.sh
+
+# Scenario matrix + BENCH_scenarios.json (decision quality per scenario:
+# violator precision/recall, time-to-mitigation, degraded pages, sheds,
+# breaker trips, state recoveries). Deterministic per spec seed; exits
+# non-zero if any scenario misses a floor in its expect block.
+bench-scenarios:
+	sh scripts/bench_scenarios.sh
 
 # Every benchmark in the repo, raw output only.
 bench-all:

@@ -1,13 +1,18 @@
-// Command oakbench regenerates the paper's tables and figures.
+// Command oakbench regenerates the paper's tables and figures, and runs the
+// scenario matrix.
 //
 // Usage:
 //
 //	oakbench -list
 //	oakbench [-seed N] [-sites N] [-clients N] [-quick] <experiment-id>...
 //	oakbench all
+//	oakbench scenario [-list] [-out FILE] [-seed N] [-nogate] <name|all|path.json>...
 //
 // Each experiment prints its series as "x<TAB>y" pairs plus a summary table
-// comparing the measured shape against the paper's reported numbers.
+// comparing the measured shape against the paper's reported numbers. The
+// scenario subcommand runs declarative end-to-end workloads (checked-in
+// specs under scenarios/, or spec files by path) and gates on the
+// decision-quality floors in each spec's expect block; see docs/SCENARIOS.md.
 package main
 
 import (
@@ -27,6 +32,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "scenario" {
+		return runScenario(args[1:])
+	}
 	fs := flag.NewFlagSet("oakbench", flag.ContinueOnError)
 	var (
 		list    = fs.Bool("list", false, "list experiment ids and exit")

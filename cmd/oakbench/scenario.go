@@ -1,0 +1,93 @@
+package main
+
+// The `oakbench scenario` subcommand: run named (embedded) scenarios or spec
+// files from disk, print the decision-quality matrix, and optionally write
+// the JSON document consumed by make bench-scenarios and verify.sh.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"oak/internal/experiment"
+)
+
+// scenarioUsage is printed on flag errors and -h for the subcommand.
+const scenarioUsage = `usage: oakbench scenario [-list] [-out FILE] [-seed N] [-nogate] <name|all|path.json>...
+
+Runs scenario specs: embedded starter scenarios by name ("all" = every
+embedded spec), or any *.json spec file by path. Prints a decision-quality
+table; -out additionally writes the full JSON matrix. Exits non-zero when a
+scenario misses a floor in its expect block unless -nogate is set.
+`
+
+// runScenario handles `oakbench scenario ...` (args exclude "scenario").
+func runScenario(args []string) error {
+	fs := flag.NewFlagSet("oakbench scenario", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), scenarioUsage)
+		fs.PrintDefaults()
+	}
+	var (
+		list   = fs.Bool("list", false, "list embedded scenario names and exit")
+		out    = fs.String("out", "", "write the JSON matrix to this file")
+		seed   = fs.Int64("seed", 0, "override every spec's seed (0 = use spec seeds)")
+		nogate = fs.Bool("nogate", false, "report gate failures but exit zero")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println(strings.Join(experiment.ScenarioNames(), "\n"))
+		return nil
+	}
+	names := fs.Args()
+	if len(names) == 0 {
+		return fmt.Errorf("no scenario given; try 'scenario -list' or 'scenario all'")
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = experiment.ScenarioNames()
+	}
+
+	matrix := &experiment.ScenarioMatrix{SpecVersion: experiment.ScenarioSpecVersion}
+	for _, name := range names {
+		spec, err := loadSpecArg(name)
+		if err != nil {
+			return err
+		}
+		if *seed != 0 {
+			spec.Seed = *seed
+		}
+		res, err := experiment.RunScenario(spec)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", spec.Name, err)
+		}
+		matrix.Results = append(matrix.Results, res)
+	}
+
+	fmt.Println(matrix.Render())
+	if *out != "" {
+		data, err := matrix.MarshalIndentStable()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if !matrix.Pass() && !*nogate {
+		return fmt.Errorf("scenario gate failed (see failures above)")
+	}
+	return nil
+}
+
+// loadSpecArg resolves one positional argument: a path to a spec file (when
+// it looks like one) or an embedded scenario name.
+func loadSpecArg(arg string) (*experiment.ScenarioSpec, error) {
+	if strings.HasSuffix(arg, ".json") || strings.ContainsAny(arg, "/\\") {
+		return experiment.LoadScenarioFile(arg)
+	}
+	return experiment.LoadScenario(arg)
+}

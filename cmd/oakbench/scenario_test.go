@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestScenarioList(t *testing.T) {
+	if err := run([]string{"scenario", "-list"}); err != nil {
+		t.Errorf("scenario -list = %v", err)
+	}
+}
+
+func TestScenarioNoArgs(t *testing.T) {
+	if err := run([]string{"scenario"}); err == nil {
+		t.Error("scenario without names: want error")
+	}
+}
+
+func TestScenarioUnknownName(t *testing.T) {
+	if err := run([]string{"scenario", "no-such"}); err == nil {
+		t.Error("scenario no-such: want error")
+	}
+}
+
+func TestScenarioRunNamedWithOut(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "matrix.json")
+	if err := run([]string{"scenario", "-out", out, "slowloris"}); err != nil {
+		t.Fatalf("scenario slowloris = %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read matrix: %v", err)
+	}
+	var doc struct {
+		SpecVersion int `json:"specVersion"`
+		Results     []struct {
+			Name string `json:"name"`
+			Pass bool   `json:"pass"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("matrix not JSON: %v", err)
+	}
+	if len(doc.Results) != 1 || doc.Results[0].Name != "slowloris" || !doc.Results[0].Pass {
+		t.Fatalf("unexpected matrix: %+v", doc)
+	}
+}
+
+func TestScenarioSpecFileFromDisk(t *testing.T) {
+	spec := `{
+  "version": 1,
+  "name": "diskspec",
+  "seed": 3,
+  "loads": 3,
+  "world": {"sites": 1, "clients": 2},
+  "faults": []
+}`
+	path := filepath.Join(t.TempDir(), "diskspec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"scenario", path}); err != nil {
+		t.Errorf("scenario %s = %v", path, err)
+	}
+}
+
+func TestScenarioGateFailureExitsNonZero(t *testing.T) {
+	spec := `{
+  "version": 1,
+  "name": "failing",
+  "seed": 3,
+  "loads": 3,
+  "world": {"sites": 1, "clients": 2},
+  "faults": [],
+  "expect": {"minBreakerTrips": 1000}
+}`
+	path := filepath.Join(t.TempDir(), "failing.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"scenario", path}); err == nil {
+		t.Error("gate miss: want error")
+	}
+	// -nogate reports but exits clean.
+	if err := run([]string{"scenario", "-nogate", path}); err != nil {
+		t.Errorf("-nogate should swallow the gate miss, got %v", err)
+	}
+}

@@ -18,6 +18,16 @@
 //     fig13 (object-time ratios), fig14 (activation spread), table3.
 //   - Section 4.4/5 (overheads): fig15 — report sizes.
 //
+// The scenario engine (scenario.go, scenariorun.go, scenarioreport.go)
+// complements the figure runners: it compiles declarative JSON workload
+// specs (embedded under scenarios/ at the repo root) into seeded
+// end-to-end runs — webgen catalog, netsim network and client link
+// classes, engine policy and guard, admission queue, and a fault schedule
+// that doubles as ground truth — then scores every rule activation
+// against what was injected and gates on per-spec decision-quality
+// floors (precision, recall, time-to-mitigation, trips, recoveries).
+// Run with `oakbench scenario`; authoring guide in docs/SCENARIOS.md.
+//
 // Ablations (ablation.go) probe the design decisions the paper fixes:
 // MAD-vs-absolute thresholds, the k multiplier, the 50 KB small/large
 // split, match depth, rule history, min-violations, and the

@@ -1,0 +1,555 @@
+package experiment
+
+// The scenario spec: a versioned, declarative description of one end-to-end
+// workload. A spec names a seeded synthetic world (webgen catalog + netsim
+// network), client access-link classes, engine policy, an optional
+// admission-control model, and a schedule of injected faults — which double
+// as the run's ground truth. RunScenario (scenariorun.go) compiles a spec
+// into a simulation and emits a decision-quality report (scenarioreport.go).
+//
+// Specs are JSON (the stdlib-only constraint rules out a YAML dependency);
+// the starter matrix ships as checked-in files under scenarios/ at the repo
+// root, embedded so `oakbench scenario` works from any directory. See
+// docs/SCENARIOS.md for the authoring guide.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sort"
+	"strings"
+
+	"oak/scenarios"
+)
+
+// ScenarioSpecVersion is the spec schema version this build understands.
+const ScenarioSpecVersion = 1
+
+// maxScenarioSpecBytes bounds a spec file so a hostile path cannot feed the
+// parser an unbounded document.
+const maxScenarioSpecBytes = 1 << 20
+
+// Typed loader errors. Callers distinguish a spec written for a different
+// schema (ErrScenarioVersion) from one that is malformed (ErrScenarioSpec).
+var (
+	// ErrScenarioVersion marks a spec whose version field is not
+	// ScenarioSpecVersion.
+	ErrScenarioVersion = errors.New("experiment: unsupported scenario spec version")
+	// ErrScenarioSpec marks a syntactically or semantically invalid spec.
+	ErrScenarioSpec = errors.New("experiment: invalid scenario spec")
+	// ErrScenarioUnknown marks a scenario name with no embedded spec.
+	ErrScenarioUnknown = errors.New("experiment: unknown scenario")
+)
+
+// ScenarioSpec is one declarative workload. Zero-valued optional fields take
+// the defaults documented per field; Validate rejects out-of-range values.
+type ScenarioSpec struct {
+	// Version must be ScenarioSpecVersion.
+	Version int `json:"version"`
+	// Name identifies the scenario ([a-z0-9-]; used as the CLI handle and
+	// report key).
+	Name string `json:"name"`
+	// Title is the one-line human description shown in reports.
+	Title string `json:"title,omitempty"`
+	// Description documents intent; informational only.
+	Description string `json:"description,omitempty"`
+	// Seed drives all randomness. The same (spec, seed) reproduces the run
+	// byte-for-byte.
+	Seed int64 `json:"seed"`
+	// Loads is how many page-load rounds each client performs (1..500).
+	Loads int `json:"loads"`
+	// IntervalMinutes is the simulated time between rounds (default 20).
+	IntervalMinutes int `json:"intervalMinutes,omitempty"`
+	// StartHourUTC is the virtual-clock hour of round 0 (default 8). Runs
+	// start on a fixed date, 2026-04-06, so diurnal faults are phase-stable.
+	StartHourUTC int `json:"startHourUTC,omitempty"`
+
+	// World shapes the synthetic site catalog and network.
+	World ScenarioWorld `json:"world"`
+	// ClientClasses partition clients into access-link classes. Clients not
+	// covered by any class get an ideal link.
+	ClientClasses []ScenarioClientClass `json:"clientClasses,omitempty"`
+	// Engine tunes the per-site Oak engines.
+	Engine ScenarioEngine `json:"engine,omitempty"`
+	// Admission, when present, bounds report ingest with a deterministic
+	// virtual-time queue (capacity + service rate); overflow is shed and
+	// clients retry. Absent = every report processed the round it is made.
+	Admission *ScenarioAdmission `json:"admission,omitempty"`
+	// Arrivals multiply client traffic during load windows (flash crowds).
+	Arrivals []ScenarioArrival `json:"arrivals,omitempty"`
+	// Faults is the injected ground truth: which providers are made slow,
+	// when, and how, plus report-loss and engine-restart events.
+	Faults []ScenarioFault `json:"faults"`
+	// Expect is the decision-quality gate: a run failing any floor reports
+	// pass=false and `oakbench scenario` exits non-zero.
+	Expect ScenarioExpect `json:"expect,omitempty"`
+}
+
+// ScenarioWorld shapes the generated catalog and network.
+type ScenarioWorld struct {
+	// Sites is the catalog size (default 2, max 50).
+	Sites int `json:"sites,omitempty"`
+	// Clients is the number of vantage points (default 10, max 200),
+	// distributed across regions like the paper's (half NA, rest EU/AS).
+	Clients int `json:"clients,omitempty"`
+	// PagesPerSite bounds per-site pages (default 1; only the index is
+	// loaded, so 1 keeps worlds small).
+	PagesPerSite int `json:"pagesPerSite,omitempty"`
+	// MinExternalHosts / MaxExternalHosts bound third-party providers per
+	// site (defaults 8 / 14).
+	MinExternalHosts int `json:"minExternalHosts,omitempty"`
+	MaxExternalHosts int `json:"maxExternalHosts,omitempty"`
+	// AdsWeight > 0 forces ad-heavy generation (adPerf-style pages stuffed
+	// with ad/analytics/social providers); 0 keeps the default mix.
+	AdsWeight float64 `json:"adsWeight,omitempty"`
+	// PathVariation sets per-(client,server) path quality spread (default
+	// 2.0, matching the paper experiments; 0 disables).
+	PathVariation float64 `json:"pathVariation,omitempty"`
+}
+
+// ScenarioClientClass gives a fraction of clients a non-ideal access link —
+// cellular users, proxy-bound users, slow-loris stragglers.
+type ScenarioClientClass struct {
+	// Name labels the class in docs and reports.
+	Name string `json:"name"`
+	// Fraction of clients in this class (0..1]. Classes are assigned by
+	// client index in listed order; fractions must sum to <= 1.
+	Fraction float64 `json:"fraction"`
+	// BandwidthKbps caps the access link (0 = uncapped).
+	BandwidthKbps float64 `json:"bandwidthKbps,omitempty"`
+	// LatencyFactor multiplies every path RTT (>= 1; 0 = 1).
+	LatencyFactor float64 `json:"latencyFactor,omitempty"`
+	// JitterFrac adds client-side jitter (0..1).
+	JitterFrac float64 `json:"jitterFrac,omitempty"`
+}
+
+// ScenarioEngine tunes the Oak engines (one per site).
+type ScenarioEngine struct {
+	// MinViolations is the activation threshold (default 2).
+	MinViolations int `json:"minViolations,omitempty"`
+	// MADMultiplier is k in the violator criterion (default 2).
+	MADMultiplier float64 `json:"madMultiplier,omitempty"`
+	// Guard, when non-nil and enabled, wires the per-provider circuit
+	// breakers (internal/guard) into every engine.
+	Guard *ScenarioGuard `json:"guard,omitempty"`
+}
+
+// ScenarioGuard enables and tunes the circuit breakers.
+type ScenarioGuard struct {
+	Enabled bool `json:"enabled"`
+	// TripThreshold is consecutive bad population-level outcomes before a
+	// provider trips (default guard package default, 5).
+	TripThreshold int `json:"tripThreshold,omitempty"`
+	// OpenForMinutes is the quarantine cool-down in simulated minutes
+	// (default 60).
+	OpenForMinutes int `json:"openForMinutes,omitempty"`
+	// HalfOpenCanaries / CloseAfter tune re-admission (guard defaults).
+	HalfOpenCanaries int `json:"halfOpenCanaries,omitempty"`
+	CloseAfter       int `json:"closeAfter,omitempty"`
+}
+
+// ScenarioAdmission is a deterministic virtual-time ingest queue: per round,
+// arrivals beyond QueueCapacity are shed (clients retry next round, at most
+// MaxRetries times), and ServiceRate queued reports are processed.
+type ScenarioAdmission struct {
+	// QueueCapacity is the backlog bound (> 0).
+	QueueCapacity int `json:"queueCapacity"`
+	// ServiceRate is reports processed per round (> 0).
+	ServiceRate int `json:"serviceRate"`
+	// MaxRetries bounds resubmissions of a shed report (default 2).
+	MaxRetries int `json:"maxRetries,omitempty"`
+}
+
+// ScenarioArrival multiplies traffic during [FromLoad, ToLoad).
+type ScenarioArrival struct {
+	// FromLoad / ToLoad bound the window in load rounds; ToLoad 0 = end of
+	// run.
+	FromLoad int `json:"fromLoad"`
+	ToLoad   int `json:"toLoad,omitempty"`
+	// Multiplier is loads (and reports) per client per round in the window
+	// (>= 1).
+	Multiplier int `json:"multiplier"`
+}
+
+// Fault types understood by the runtime.
+const (
+	// FaultDegrade adds delay and/or divides throughput on the selected
+	// servers during the window — the paper's §5.1 injection.
+	FaultDegrade = "degrade"
+	// FaultBlackout makes the selected servers effectively unusable during
+	// the window (a fixed large delay + throughput collapse).
+	FaultBlackout = "blackout"
+	// FaultDiurnal attaches a diurnal load curve to the selected servers
+	// for the whole run; ground truth counts the hours where the curve's
+	// factor is ≥ 2.
+	FaultDiurnal = "diurnal"
+	// FaultReportLoss drops each report in the window with probability
+	// Rate, deterministically per (seed, user, round) — transport failure
+	// after client retries are exhausted.
+	FaultReportLoss = "reportloss"
+	// FaultRestart snapshots every engine to a state file, optionally
+	// corrupts it (internal/faultinject), and reboots engines from disk at
+	// the start of round AtLoad — the crash/recover path under load.
+	FaultRestart = "restart"
+)
+
+// ScenarioFault is one injected event. Target selects servers for the
+// server-directed types; windows are half-open load-round intervals.
+type ScenarioFault struct {
+	// Type is one of the Fault* constants.
+	Type string `json:"type"`
+	// Target selects the afflicted servers (degrade/blackout/diurnal).
+	Target ScenarioTarget `json:"target,omitempty"`
+	// FromLoad / ToLoad bound the fault window; ToLoad 0 = end of run.
+	FromLoad int `json:"fromLoad,omitempty"`
+	ToLoad   int `json:"toLoad,omitempty"`
+	// ExtraDelayMs / TputFactor shape a degrade fault.
+	ExtraDelayMs int     `json:"extraDelayMs,omitempty"`
+	TputFactor   float64 `json:"tputFactor,omitempty"`
+	// Peak / PeakHourUTC shape a diurnal fault (factor 1 at night rising
+	// to Peak at PeakHourUTC).
+	Peak        float64 `json:"peak,omitempty"`
+	PeakHourUTC float64 `json:"peakHourUTC,omitempty"`
+	// Rate is the drop probability of a reportloss fault (0..1].
+	Rate float64 `json:"rate,omitempty"`
+	// AtLoad is the round a restart fault fires before.
+	AtLoad int `json:"atLoad,omitempty"`
+	// Corrupt selects state-file damage for a restart fault: "", "none",
+	// "truncate", "flip", or "empty". Damage exercises the .bak recovery
+	// path; the engines must still come back.
+	Corrupt string `json:"corrupt,omitempty"`
+}
+
+// ScenarioTarget selects provider servers. Criteria combine with AND; at
+// least one must be set for server-directed faults. Selection is resolved
+// against the generated world in deterministic (sorted) order.
+type ScenarioTarget struct {
+	// Hosts names default-provider hostnames explicitly.
+	Hosts []string `json:"hosts,omitempty"`
+	// Category keeps only providers of the named category: "ads",
+	// "analytics", "social", "cdn", "fonts", "video", "images", or
+	// "tracking" (= ads + analytics + social, the adPerf third-party set).
+	Category string `json:"category,omitempty"`
+	// Zone selects mirror (alternate) servers of the given replica zone
+	// ("na", "eu", "as") instead of default providers.
+	Zone string `json:"zone,omitempty"`
+	// Matchable, when true, keeps only providers a rule can redirect
+	// (non-hidden tiers) — the set detection can actually mitigate.
+	Matchable bool `json:"matchable,omitempty"`
+	// MaxCount caps how many (sorted) hosts are afflicted; 0 = all.
+	MaxCount int `json:"maxCount,omitempty"`
+}
+
+// ScenarioExpect is the per-scenario quality gate. Zero-valued floors are
+// not enforced.
+type ScenarioExpect struct {
+	// MinPrecision floors activation precision (true / all activations).
+	MinPrecision float64 `json:"minPrecision,omitempty"`
+	// MinRecall floors injured-pair recall.
+	MinRecall float64 `json:"minRecall,omitempty"`
+	// MaxMeanReportsToMitigate ceilings the mean reports-to-mitigation.
+	MaxMeanReportsToMitigate float64 `json:"maxMeanReportsToMitigate,omitempty"`
+	// MaxFalseActivations ceilings absolute false activations; use -1 to
+	// require exactly zero.
+	MaxFalseActivations int `json:"maxFalseActivations,omitempty"`
+	// MinBreakerTrips floors guard trips (blackout scenarios).
+	MinBreakerTrips int `json:"minBreakerTrips,omitempty"`
+	// MaxReportsToFirstTrip ceilings rounds from blackout start to the
+	// first breaker trip.
+	MaxReportsToFirstTrip int `json:"maxReportsToFirstTrip,omitempty"`
+	// MaxDegradedPageFraction ceilings the fraction of page loads served
+	// while a fault was active and unmitigated for that user.
+	MaxDegradedPageFraction float64 `json:"maxDegradedPageFraction,omitempty"`
+	// MinShedReports floors sheds (flash-crowd scenarios must actually
+	// overflow the queue to be exercising anything).
+	MinShedReports int `json:"minShedReports,omitempty"`
+	// MinStateRecoveries floors backup-state recoveries (restart-with-
+	// corruption scenarios must exercise the .bak path).
+	MinStateRecoveries int `json:"minStateRecoveries,omitempty"`
+}
+
+// specDefault fills documented defaults; called by Validate.
+func (s *ScenarioSpec) specDefaults() {
+	if s.IntervalMinutes == 0 {
+		s.IntervalMinutes = 20
+	}
+	if s.StartHourUTC == 0 {
+		s.StartHourUTC = 8
+	}
+	if s.World.Sites == 0 {
+		s.World.Sites = 2
+	}
+	if s.World.Clients == 0 {
+		s.World.Clients = 10
+	}
+	if s.World.PagesPerSite == 0 {
+		s.World.PagesPerSite = 1
+	}
+	if s.World.MinExternalHosts == 0 {
+		s.World.MinExternalHosts = 8
+	}
+	if s.World.MaxExternalHosts == 0 {
+		s.World.MaxExternalHosts = 14
+	}
+	if s.World.PathVariation == 0 {
+		s.World.PathVariation = 2.0
+	}
+	if s.Engine.MinViolations == 0 {
+		s.Engine.MinViolations = 2
+	}
+	if s.Engine.MADMultiplier == 0 {
+		s.Engine.MADMultiplier = 2
+	}
+	if s.Admission != nil && s.Admission.MaxRetries == 0 {
+		s.Admission.MaxRetries = 2
+	}
+}
+
+// invalidf wraps ErrScenarioSpec with detail.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrScenarioSpec, fmt.Sprintf(format, args...))
+}
+
+// scenarioNameOK reports whether a name is a clean CLI/report handle.
+func scenarioNameOK(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// window validates a [from, to) load window against the run length and
+// returns the effective end (to 0 = run length).
+func window(from, to, loads int, what string) (int, error) {
+	if from < 0 || from >= loads {
+		return 0, invalidf("%s: fromLoad %d outside run of %d loads", what, from, loads)
+	}
+	if to == 0 {
+		to = loads
+	}
+	if to <= from || to > loads {
+		return 0, invalidf("%s: window [%d,%d) invalid for run of %d loads", what, from, to, loads)
+	}
+	return to, nil
+}
+
+// Validate checks the spec and fills defaults. It mutates the receiver (a
+// validated spec is fully defaulted) and returns a typed error on the first
+// problem found.
+func (s *ScenarioSpec) Validate() error {
+	if s.Version != ScenarioSpecVersion {
+		return fmt.Errorf("%w: got %d, want %d", ErrScenarioVersion, s.Version, ScenarioSpecVersion)
+	}
+	if !scenarioNameOK(s.Name) {
+		return invalidf("name %q must be 1-64 chars of [a-z0-9-]", s.Name)
+	}
+	if s.Loads < 1 || s.Loads > 500 {
+		return invalidf("loads %d outside [1,500]", s.Loads)
+	}
+	s.specDefaults()
+	if s.IntervalMinutes < 1 || s.IntervalMinutes > 24*60 {
+		return invalidf("intervalMinutes %d outside [1,1440]", s.IntervalMinutes)
+	}
+	if s.StartHourUTC < 0 || s.StartHourUTC > 23 {
+		return invalidf("startHourUTC %d outside [0,23]", s.StartHourUTC)
+	}
+	w := s.World
+	if w.Sites < 1 || w.Sites > 50 {
+		return invalidf("world.sites %d outside [1,50]", w.Sites)
+	}
+	if w.Clients < 1 || w.Clients > 200 {
+		return invalidf("world.clients %d outside [1,200]", w.Clients)
+	}
+	if w.MinExternalHosts < 1 || w.MaxExternalHosts < w.MinExternalHosts {
+		return invalidf("world external-host bounds [%d,%d] invalid", w.MinExternalHosts, w.MaxExternalHosts)
+	}
+	if w.PathVariation < 0 || w.AdsWeight < 0 {
+		return invalidf("world.pathVariation and world.adsWeight must be >= 0")
+	}
+	var fracSum float64
+	for i, c := range s.ClientClasses {
+		if c.Name == "" {
+			return invalidf("clientClasses[%d]: missing name", i)
+		}
+		if c.Fraction <= 0 || c.Fraction > 1 {
+			return invalidf("clientClasses[%d] %q: fraction %.3f outside (0,1]", i, c.Name, c.Fraction)
+		}
+		if c.BandwidthKbps < 0 || c.LatencyFactor < 0 || c.JitterFrac < 0 || c.JitterFrac > 1 {
+			return invalidf("clientClasses[%d] %q: negative link parameter", i, c.Name)
+		}
+		fracSum += c.Fraction
+	}
+	if fracSum > 1.0001 {
+		return invalidf("clientClasses fractions sum to %.3f > 1", fracSum)
+	}
+	if g := s.Engine.Guard; g != nil {
+		if g.TripThreshold < 0 || g.OpenForMinutes < 0 || g.HalfOpenCanaries < 0 || g.CloseAfter < 0 {
+			return invalidf("engine.guard: negative tuning value")
+		}
+	}
+	if a := s.Admission; a != nil {
+		if a.QueueCapacity < 1 || a.ServiceRate < 1 {
+			return invalidf("admission: queueCapacity and serviceRate must be >= 1")
+		}
+		if a.MaxRetries < 0 {
+			return invalidf("admission: maxRetries must be >= 0")
+		}
+	}
+	for i, a := range s.Arrivals {
+		if a.Multiplier < 1 || a.Multiplier > 20 {
+			return invalidf("arrivals[%d]: multiplier %d outside [1,20]", i, a.Multiplier)
+		}
+		if _, err := window(a.FromLoad, a.ToLoad, s.Loads, fmt.Sprintf("arrivals[%d]", i)); err != nil {
+			return err
+		}
+	}
+	if len(s.Faults) == 0 {
+		// Fault-free scenarios are legal (they measure false-positive
+		// behaviour), but the slice must be present so intent is explicit.
+		if s.Faults == nil {
+			return invalidf("faults must be present (use [] for a fault-free scenario)")
+		}
+	}
+	for i, f := range s.Faults {
+		what := fmt.Sprintf("faults[%d] (%s)", i, f.Type)
+		switch f.Type {
+		case FaultDegrade:
+			if f.ExtraDelayMs <= 0 && f.TputFactor <= 1 {
+				return invalidf("%s: needs extraDelayMs > 0 or tputFactor > 1", what)
+			}
+			if _, err := window(f.FromLoad, f.ToLoad, s.Loads, what); err != nil {
+				return err
+			}
+		case FaultBlackout:
+			if _, err := window(f.FromLoad, f.ToLoad, s.Loads, what); err != nil {
+				return err
+			}
+		case FaultDiurnal:
+			if f.Peak < 2 {
+				return invalidf("%s: peak %.2f must be >= 2 (below 2 never crosses ground-truth threshold)", what, f.Peak)
+			}
+			if f.PeakHourUTC < 0 || f.PeakHourUTC >= 24 {
+				return invalidf("%s: peakHourUTC %.1f outside [0,24)", what, f.PeakHourUTC)
+			}
+		case FaultReportLoss:
+			if f.Rate <= 0 || f.Rate > 1 {
+				return invalidf("%s: rate %.3f outside (0,1]", what, f.Rate)
+			}
+			if _, err := window(f.FromLoad, f.ToLoad, s.Loads, what); err != nil {
+				return err
+			}
+		case FaultRestart:
+			if f.AtLoad < 1 || f.AtLoad >= s.Loads {
+				return invalidf("%s: atLoad %d outside [1,%d)", what, f.AtLoad, s.Loads)
+			}
+			switch f.Corrupt {
+			case "", "none", "truncate", "flip", "empty":
+			default:
+				return invalidf("%s: unknown corrupt mode %q", what, f.Corrupt)
+			}
+		default:
+			return invalidf("%s: unknown fault type", what)
+		}
+		if f.Type == FaultDegrade || f.Type == FaultBlackout || f.Type == FaultDiurnal {
+			t := f.Target
+			if len(t.Hosts) == 0 && t.Category == "" && t.Zone == "" && !t.Matchable && t.MaxCount == 0 {
+				return invalidf("%s: empty target", what)
+			}
+			switch t.Zone {
+			case "", "na", "eu", "as":
+			default:
+				return invalidf("%s: unknown mirror zone %q", what, t.Zone)
+			}
+			if t.MaxCount < 0 {
+				return invalidf("%s: maxCount must be >= 0", what)
+			}
+		}
+	}
+	e := s.Expect
+	if e.MinPrecision < 0 || e.MinPrecision > 1 || e.MinRecall < 0 || e.MinRecall > 1 ||
+		e.MaxDegradedPageFraction < 0 || e.MaxDegradedPageFraction > 1 {
+		return invalidf("expect: fractional floors must be in [0,1]")
+	}
+	if e.MaxMeanReportsToMitigate < 0 || e.MaxFalseActivations < -1 ||
+		e.MinBreakerTrips < 0 || e.MaxReportsToFirstTrip < 0 ||
+		e.MinShedReports < 0 || e.MinStateRecoveries < 0 {
+		return invalidf("expect: negative floor")
+	}
+	return nil
+}
+
+// ParseScenario decodes and validates one spec document. Unknown fields are
+// rejected: a typo'd floor silently not enforced would be a fake gate.
+func ParseScenario(data []byte) (*ScenarioSpec, error) {
+	if len(data) > maxScenarioSpecBytes {
+		return nil, invalidf("spec exceeds %d bytes", maxScenarioSpecBytes)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var spec ScenarioSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenarioSpec, err)
+	}
+	// Trailing garbage after the document is hostile input, not a spec.
+	if dec.More() {
+		return nil, invalidf("trailing data after spec document")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// LoadScenarioFile reads and parses a spec from disk.
+func LoadScenarioFile(path string) (*ScenarioSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: read scenario: %w", err)
+	}
+	spec, err := ParseScenario(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// ScenarioNames lists the embedded starter scenarios, sorted.
+func ScenarioNames() []string {
+	entries, err := fs.ReadDir(scenarios.Files, ".")
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), ".json"); ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LoadScenario returns the embedded starter scenario with the given name.
+func LoadScenario(name string) (*ScenarioSpec, error) {
+	data, err := fs.ReadFile(scenarios.Files, name+".json")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q (have %s)", ErrScenarioUnknown, name, strings.Join(ScenarioNames(), ", "))
+	}
+	spec, err := ParseScenario(data)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	if spec.Name != name {
+		return nil, fmt.Errorf("scenario %s: %w", name, invalidf("file name and spec name %q disagree", spec.Name))
+	}
+	return spec, nil
+}

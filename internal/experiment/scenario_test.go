@@ -1,0 +1,196 @@
+package experiment
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+)
+
+// minimalSpec returns a small valid spec document for mutation tests.
+func minimalSpec() string {
+	return `{
+  "version": 1,
+  "name": "t",
+  "seed": 1,
+  "loads": 4,
+  "world": {"sites": 1, "clients": 2},
+  "faults": []
+}`
+}
+
+func TestEmbeddedScenariosParse(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) < 5 {
+		t.Fatalf("expected a starter matrix of at least 5 scenarios, got %v", names)
+	}
+	for _, name := range names {
+		spec, err := LoadScenario(name)
+		if err != nil {
+			t.Fatalf("LoadScenario(%q): %v", name, err)
+		}
+		if spec.Name != name {
+			t.Errorf("scenario %q: spec name %q", name, spec.Name)
+		}
+		if spec.Version != ScenarioSpecVersion {
+			t.Errorf("scenario %q: version %d", name, spec.Version)
+		}
+		// Validated specs are fully defaulted.
+		if spec.IntervalMinutes == 0 || spec.World.Clients == 0 || spec.Engine.MinViolations == 0 {
+			t.Errorf("scenario %q: defaults not applied: %+v", name, spec)
+		}
+	}
+}
+
+func TestLoadScenarioUnknownName(t *testing.T) {
+	_, err := LoadScenario("no-such-scenario")
+	if !errors.Is(err, ErrScenarioUnknown) {
+		t.Fatalf("want ErrScenarioUnknown, got %v", err)
+	}
+}
+
+func TestParseScenarioValid(t *testing.T) {
+	spec, err := ParseScenario([]byte(minimalSpec()))
+	if err != nil {
+		t.Fatalf("ParseScenario: %v", err)
+	}
+	if spec.IntervalMinutes != 20 || spec.StartHourUTC != 8 {
+		t.Errorf("defaults not applied: interval=%d startHour=%d", spec.IntervalMinutes, spec.StartHourUTC)
+	}
+	if spec.Engine.MinViolations != 2 || spec.Engine.MADMultiplier != 2 {
+		t.Errorf("engine defaults not applied: %+v", spec.Engine)
+	}
+}
+
+// TestParseScenarioHostile feeds malformed and hostile documents and asserts
+// each is rejected with the right typed error.
+func TestParseScenarioHostile(t *testing.T) {
+	mut := func(old, new string) string { return strings.Replace(minimalSpec(), old, new, 1) }
+	cases := []struct {
+		name string
+		doc  string
+		want error
+	}{
+		{"not json", "{", ErrScenarioSpec},
+		{"trailing data", minimalSpec() + `{"version": 1}`, ErrScenarioSpec},
+		{"unknown field", mut(`"seed": 1,`, `"seed": 1, "bogus": true,`), ErrScenarioSpec},
+		{"typo'd floor is not silently ignored", mut(`"faults": []`,
+			`"faults": [], "expect": {"minPrecison": 0.9}`), ErrScenarioSpec},
+		{"wrong version", mut(`"version": 1`, `"version": 2`), ErrScenarioVersion},
+		{"bad name", mut(`"name": "t"`, `"name": "T!"`), ErrScenarioSpec},
+		{"zero loads", mut(`"loads": 4`, `"loads": 0`), ErrScenarioSpec},
+		{"huge loads", mut(`"loads": 4`, `"loads": 100000`), ErrScenarioSpec},
+		{"missing faults", mut(`,
+  "faults": []`, ``), ErrScenarioSpec},
+		{"unknown fault type", mut(`"faults": []`,
+			`"faults": [{"type": "meteor"}]`), ErrScenarioSpec},
+		{"degrade without severity", mut(`"faults": []`,
+			`"faults": [{"type": "degrade", "target": {"matchable": true}}]`), ErrScenarioSpec},
+		{"window beyond run", mut(`"faults": []`,
+			`"faults": [{"type": "degrade", "target": {"matchable": true}, "fromLoad": 9, "extraDelayMs": 100}]`), ErrScenarioSpec},
+		{"inverted window", mut(`"faults": []`,
+			`"faults": [{"type": "degrade", "target": {"matchable": true}, "fromLoad": 2, "toLoad": 1, "extraDelayMs": 100}]`), ErrScenarioSpec},
+		{"empty target", mut(`"faults": []`,
+			`"faults": [{"type": "blackout", "fromLoad": 1}]`), ErrScenarioSpec},
+		{"bad zone", mut(`"faults": []`,
+			`"faults": [{"type": "blackout", "fromLoad": 1, "target": {"zone": "mars"}}]`), ErrScenarioSpec},
+		{"diurnal peak below threshold", mut(`"faults": []`,
+			`"faults": [{"type": "diurnal", "target": {"matchable": true}, "peak": 1.5}]`), ErrScenarioSpec},
+		{"reportloss bad rate", mut(`"faults": []`,
+			`"faults": [{"type": "reportloss", "fromLoad": 1, "rate": 1.5}]`), ErrScenarioSpec},
+		{"restart bad corrupt mode", mut(`"faults": []`,
+			`"faults": [{"type": "restart", "atLoad": 2, "corrupt": "shred"}]`), ErrScenarioSpec},
+		{"restart at round zero", mut(`"faults": []`,
+			`"faults": [{"type": "restart", "atLoad": 0}]`), ErrScenarioSpec},
+		{"client class fractions above one", mut(`"world": {"sites": 1, "clients": 2},`,
+			`"world": {"sites": 1, "clients": 2},
+  "clientClasses": [{"name": "a", "fraction": 0.7}, {"name": "b", "fraction": 0.7}],`), ErrScenarioSpec},
+		{"client class without name", mut(`"world": {"sites": 1, "clients": 2},`,
+			`"world": {"sites": 1, "clients": 2},
+  "clientClasses": [{"fraction": 0.5}],`), ErrScenarioSpec},
+		{"admission zero capacity", mut(`"world": {"sites": 1, "clients": 2},`,
+			`"world": {"sites": 1, "clients": 2},
+  "admission": {"queueCapacity": 0, "serviceRate": 5},`), ErrScenarioSpec},
+		{"arrival multiplier out of range", mut(`"world": {"sites": 1, "clients": 2},`,
+			`"world": {"sites": 1, "clients": 2},
+  "arrivals": [{"fromLoad": 0, "multiplier": 99}],`), ErrScenarioSpec},
+		{"negative expect floor", mut(`"faults": []`,
+			`"faults": [], "expect": {"minBreakerTrips": -3}`), ErrScenarioSpec},
+		{"precision floor above one", mut(`"faults": []`,
+			`"faults": [], "expect": {"minPrecision": 1.5}`), ErrScenarioSpec},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseScenario([]byte(tc.doc))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("want %v, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestParseScenarioOversized(t *testing.T) {
+	doc := minimalSpec() + strings.Repeat(" ", maxScenarioSpecBytes)
+	if _, err := ParseScenario([]byte(doc)); !errors.Is(err, ErrScenarioSpec) {
+		t.Fatalf("oversized spec not rejected: %v", err)
+	}
+}
+
+// TestScenarioUnknownCategoryRejected exercises target resolution: the
+// category alias set is checked against the generated world at compile time.
+func TestScenarioUnknownCategoryRejected(t *testing.T) {
+	doc := strings.Replace(minimalSpec(), `"faults": []`,
+		`"faults": [{"type": "degrade", "target": {"category": "widgets"}, "fromLoad": 1, "extraDelayMs": 100}]`, 1)
+	spec, err := ParseScenario([]byte(doc))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = RunScenario(spec)
+	if !errors.Is(err, ErrScenarioSpec) {
+		t.Fatalf("unknown category: want ErrScenarioSpec, got %v", err)
+	}
+}
+
+// TestScenarioDocsWorkedExample pins the acceptance criterion that
+// docs/SCENARIOS.md is sufficient to author a scenario: the worked example
+// embedded in the guide must parse, run, and pass its own gate as written.
+func TestScenarioDocsWorkedExample(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/SCENARIOS.md")
+	if err != nil {
+		t.Fatalf("read authoring guide: %v", err)
+	}
+	const open, close = "```json\n", "```"
+	start := strings.Index(string(doc), open)
+	if start < 0 {
+		t.Fatal("docs/SCENARIOS.md has no ```json worked example")
+	}
+	rest := string(doc)[start+len(open):]
+	end := strings.Index(rest, close)
+	if end < 0 {
+		t.Fatal("worked example fence never closes")
+	}
+	spec, err := ParseScenario([]byte(rest[:end]))
+	if err != nil {
+		t.Fatalf("worked example does not parse: %v", err)
+	}
+	res, err := RunScenario(spec)
+	if err != nil {
+		t.Fatalf("worked example does not run: %v", err)
+	}
+	if !res.Pass {
+		t.Fatalf("worked example fails its own gate: %v", res.Failures)
+	}
+}
+
+func TestScenarioUnknownTargetHostRejected(t *testing.T) {
+	doc := strings.Replace(minimalSpec(), `"faults": []`,
+		`"faults": [{"type": "degrade", "target": {"hosts": ["nonexistent.example"]}, "fromLoad": 1, "extraDelayMs": 100}]`, 1)
+	spec, err := ParseScenario([]byte(doc))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = RunScenario(spec)
+	if !errors.Is(err, ErrScenarioSpec) {
+		t.Fatalf("unknown host: want ErrScenarioSpec, got %v", err)
+	}
+}

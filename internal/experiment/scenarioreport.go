@@ -1,0 +1,190 @@
+package experiment
+
+// Scenario reports: the per-run decision-quality record, the quality gate
+// that turns a spec's `expect` block into pass/fail, and the matrix document
+// `oakbench scenario` writes to BENCH_scenarios.json. Field order and float
+// rounding are fixed so that identical runs marshal to identical bytes —
+// verify.sh and the determinism test both depend on that.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ScenarioResult is the decision-quality record of one scenario run. All
+// fractional fields are rounded to 4 decimals.
+type ScenarioResult struct {
+	Name    string `json:"name"`
+	Title   string `json:"title,omitempty"`
+	Seed    int64  `json:"seed"`
+	Loads   int    `json:"loads"`
+	Sites   int    `json:"sites"`
+	Clients int    `json:"clients"`
+
+	// Detection quality. Precision is true activations over all activations;
+	// recall is detected injured pairs over all injured pairs, where an
+	// injured pair is a (site, client, matchable degraded provider) triple
+	// with enough degraded rounds to clear the activation threshold.
+	Precision        float64 `json:"precision"`
+	Recall           float64 `json:"recall"`
+	TrueActivations  int     `json:"trueActivations"`
+	FalseActivations int     `json:"falseActivations"`
+	InjuredPairs     int     `json:"injuredPairs"`
+	DetectedPairs    int     `json:"detectedPairs"`
+
+	// Time to mitigation, in degraded rounds (≈ reports per user) from the
+	// start of the fault stretch to the activating report. Zero when nothing
+	// was detected.
+	MeanReportsToMitigate float64 `json:"meanReportsToMitigate"`
+	MaxReportsToMitigate  int     `json:"maxReportsToMitigate"`
+
+	// Page-serving quality.
+	PageLoads            int     `json:"pageLoads"`
+	DegradedPageLoads    int     `json:"degradedPageLoads"`
+	DegradedPageFraction float64 `json:"degradedPageFraction"`
+	MeanPLTMillis        float64 `json:"meanPLTMillis"`
+	PagesModified        int     `json:"pagesModified"`
+
+	// Report-path accounting. Submitted counts client attempts (including
+	// retries); processed counts reports that reached an engine; shed/
+	// retries/dropped are admission-queue outcomes; lost is transport loss.
+	ReportsSubmitted int `json:"reportsSubmitted"`
+	ReportsProcessed int `json:"reportsProcessed"`
+	ReportsShed      int `json:"reportsShed"`
+	ReportRetries    int `json:"reportRetries"`
+	ReportsDropped   int `json:"reportsDropped"`
+	ReportsLost      int `json:"reportsLost"`
+
+	// Guard activity. ReportsToFirstTrip is rounds from the first mirror
+	// fault to the first breaker trip (-1 = no trip).
+	BreakerTrips       int `json:"breakerTrips"`
+	BulkRollbacks      int `json:"bulkRollbacks"`
+	ActivationsBlocked int `json:"activationsBlocked"`
+	ReportsToFirstTrip int `json:"reportsToFirstTrip"`
+
+	// Crash/recovery accounting.
+	Restarts        int `json:"restarts"`
+	StateRecoveries int `json:"stateRecoveries"`
+
+	// Gate outcome: Pass is false when any Expect floor was missed, with one
+	// human-readable line per miss.
+	Pass     bool     `json:"pass"`
+	Failures []string `json:"failures,omitempty"`
+}
+
+// round4 rounds to 4 decimals — the report's fixed float precision.
+func round4(v float64) float64 {
+	return math.Round(v*10000) / 10000
+}
+
+// applyGate evaluates the Expect floors against the result, filling Pass and
+// Failures. Zero-valued floors are not enforced (MaxFalseActivations uses -1
+// to mean "exactly zero").
+func (r *ScenarioResult) applyGate(e ScenarioExpect) {
+	fail := func(format string, args ...any) {
+		r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+	}
+	if e.MinPrecision > 0 && r.Precision < e.MinPrecision {
+		fail("precision %.4f below floor %.4f", r.Precision, e.MinPrecision)
+	}
+	if e.MinRecall > 0 && r.Recall < e.MinRecall {
+		fail("recall %.4f below floor %.4f", r.Recall, e.MinRecall)
+	}
+	if e.MaxMeanReportsToMitigate > 0 && r.MeanReportsToMitigate > e.MaxMeanReportsToMitigate {
+		fail("mean reports-to-mitigate %.2f above ceiling %.2f", r.MeanReportsToMitigate, e.MaxMeanReportsToMitigate)
+	}
+	if max := e.MaxFalseActivations; max != 0 {
+		if max == -1 {
+			max = 0
+		}
+		if r.FalseActivations > max {
+			fail("%d false activations above ceiling %d", r.FalseActivations, max)
+		}
+	}
+	if e.MinBreakerTrips > 0 && r.BreakerTrips < e.MinBreakerTrips {
+		fail("%d breaker trips below floor %d", r.BreakerTrips, e.MinBreakerTrips)
+	}
+	if e.MaxReportsToFirstTrip > 0 {
+		if r.ReportsToFirstTrip < 0 {
+			fail("no breaker trip observed (ceiling %d)", e.MaxReportsToFirstTrip)
+		} else if r.ReportsToFirstTrip > e.MaxReportsToFirstTrip {
+			fail("%d reports to first trip above ceiling %d", r.ReportsToFirstTrip, e.MaxReportsToFirstTrip)
+		}
+	}
+	if e.MaxDegradedPageFraction > 0 && r.DegradedPageFraction > e.MaxDegradedPageFraction {
+		fail("degraded page fraction %.4f above ceiling %.4f", r.DegradedPageFraction, e.MaxDegradedPageFraction)
+	}
+	if e.MinShedReports > 0 && r.ReportsShed < e.MinShedReports {
+		fail("%d shed reports below floor %d", r.ReportsShed, e.MinShedReports)
+	}
+	if e.MinStateRecoveries > 0 && r.StateRecoveries < e.MinStateRecoveries {
+		fail("%d state recoveries below floor %d", r.StateRecoveries, e.MinStateRecoveries)
+	}
+	r.Pass = len(r.Failures) == 0
+}
+
+// ScenarioMatrix is the top-level document of a matrix run.
+type ScenarioMatrix struct {
+	SpecVersion int               `json:"specVersion"`
+	Results     []*ScenarioResult `json:"results"`
+}
+
+// Pass reports whether every result passed its gate.
+func (m *ScenarioMatrix) Pass() bool {
+	for _, r := range m.Results {
+		if !r.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// MarshalIndentStable serialises the matrix with fixed indentation. Field
+// order follows the struct declarations and floats are pre-rounded, so the
+// bytes are a deterministic function of the runs.
+func (m *ScenarioMatrix) MarshalIndentStable() ([]byte, error) {
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Render formats the matrix as a compact text table plus gate failures.
+func (m *ScenarioMatrix) Render() string {
+	table := Table{
+		Title: "scenario matrix (decision quality per injected ground truth)",
+		Header: []string{
+			"scenario", "prec", "recall", "ttm", "degr%", "shed", "trips", "recov", "gate",
+		},
+	}
+	var failed []string
+	for _, r := range m.Results {
+		gate := "pass"
+		if !r.Pass {
+			gate = "FAIL"
+			for _, f := range r.Failures {
+				failed = append(failed, fmt.Sprintf("%s: %s", r.Name, f))
+			}
+		}
+		table.Rows = append(table.Rows, []string{
+			r.Name,
+			fmt.Sprintf("%.2f", r.Precision),
+			fmt.Sprintf("%.2f", r.Recall),
+			fmt.Sprintf("%.1f", r.MeanReportsToMitigate),
+			fmt.Sprintf("%.1f", 100*r.DegradedPageFraction),
+			fmt.Sprintf("%d", r.ReportsShed),
+			fmt.Sprintf("%d", r.BreakerTrips),
+			fmt.Sprintf("%d", r.StateRecoveries),
+			gate,
+		})
+	}
+	var b strings.Builder
+	b.WriteString(table.Render())
+	for _, f := range failed {
+		fmt.Fprintf(&b, "gate failure: %s\n", f)
+	}
+	return b.String()
+}

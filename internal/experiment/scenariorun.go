@@ -1,0 +1,837 @@
+package experiment
+
+// The scenario runtime: compile a validated ScenarioSpec into a seeded
+// simulation — webgen catalog, netsim network with healthy baseline servers
+// (ground truth is *injected*, never emergent), mirror replicas, one Oak
+// engine per site — then drive every client through the full loop
+// (ModifyPage → simulated load → report → HandleReport) round by round while
+// applying the fault schedule, and score the engine's decisions against the
+// schedule itself.
+//
+// Everything is deterministic per (spec, seed): the virtual clock replaces
+// wall time, netsim jitter is hash-derived, report loss is hash-derived, and
+// the admission queue runs in virtual time. The same spec produces the same
+// report bytes on every run, which is what lets verify.sh gate on the
+// numbers.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"oak/internal/client"
+	"oak/internal/core"
+	"oak/internal/faultinject"
+	"oak/internal/netsim"
+	"oak/internal/report"
+	"oak/internal/rules"
+	"oak/internal/webgen"
+)
+
+// groundTruthFactor is the diurnal load factor at or above which a provider
+// counts as degraded for scoring purposes.
+const groundTruthFactor = 2.0
+
+// blackoutDelay / blackoutTputFactor are the severity of a blackout fault:
+// far beyond any detection threshold, the way a dead or routed-around
+// provider looks to a client that still waits it out.
+const (
+	blackoutDelay      = 8 * time.Second
+	blackoutTputFactor = 50.0
+)
+
+// categoryAliases maps spec-friendly category keys to webgen categories.
+var categoryAliases = map[string][]webgen.Category{
+	"ads":       {webgen.CategoryAds},
+	"analytics": {webgen.CategoryAnalytics},
+	"social":    {webgen.CategorySocial},
+	"cdn":       {webgen.CategoryCDN},
+	"fonts":     {webgen.CategoryFonts},
+	"video":     {webgen.CategoryVideo},
+	"images":    {webgen.CategoryImages},
+	// tracking = the adPerf third-party set: ads + analytics + social.
+	"tracking": {webgen.CategoryAds, webgen.CategoryAnalytics, webgen.CategorySocial},
+}
+
+// scenarioWorld is the compiled simulation state of one run.
+type scenarioWorld struct {
+	spec  *ScenarioSpec
+	net   *netsim.Network
+	clock *netsim.VirtualClock
+	start time.Time
+
+	sites   []*webgen.Site
+	assets  []*webgen.Assets
+	rules   [][]*rules.Rule
+	engines []*core.Engine
+	pool    []webgen.Provider
+
+	// providerHosts is the sorted union of external hosts across sites;
+	// matchable marks hosts some site's rule can redirect.
+	providerHosts []string
+	matchable     map[string]bool
+
+	// degradedRounds maps a server host (default provider or mirror) to the
+	// sorted rounds during which it is degraded — the run's ground truth.
+	degradedRounds map[string][]int
+	// mirrorFault marks hosts degraded as mirrors (guard territory; they
+	// never count against activation precision).
+	mirrorFault map[string]bool
+	// firstMirrorFaultRound is the earliest round any mirror fault starts
+	// (-1 when none) — the zero point for reports-to-first-trip.
+	firstMirrorFaultRound int
+
+	// lossWindows are the compiled reportloss faults.
+	lossWindows []lossWindow
+	// restarts are the compiled restart faults, sorted by round.
+	restarts []restartEvent
+}
+
+type lossWindow struct {
+	from, to int
+	rate     float64
+}
+
+type restartEvent struct {
+	atLoad  int
+	corrupt string
+}
+
+// scenarioTime maps a load round to its virtual instant.
+func (w *scenarioWorld) scenarioTime(round int) time.Time {
+	return w.start.Add(time.Duration(round) * time.Duration(w.spec.IntervalMinutes) * time.Minute)
+}
+
+// degradedAt reports whether a server host is degraded at the given round.
+func (w *scenarioWorld) degradedAt(host string, round int) bool {
+	for _, r := range w.degradedRounds[host] {
+		if r == round {
+			return true
+		}
+		if r > round {
+			return false
+		}
+	}
+	return false
+}
+
+// addDegradedRounds merges [from, to) into a host's ground-truth round set.
+func (w *scenarioWorld) addDegradedRounds(host string, from, to int) {
+	set := make(map[int]bool, len(w.degradedRounds[host])+to-from)
+	for _, r := range w.degradedRounds[host] {
+		set[r] = true
+	}
+	for r := from; r < to; r++ {
+		set[r] = true
+	}
+	merged := make([]int, 0, len(set))
+	for r := range set {
+		merged = append(merged, r)
+	}
+	sort.Ints(merged)
+	w.degradedRounds[host] = merged
+}
+
+// buildScenarioWorld constructs the catalog, network, and engines.
+func buildScenarioWorld(spec *ScenarioSpec) (*scenarioWorld, error) {
+	w := &scenarioWorld{
+		spec:                  spec,
+		net:                   netsim.NewNetwork(),
+		start:                 time.Date(2026, 4, 6, spec.StartHourUTC, 0, 0, 0, time.UTC),
+		matchable:             make(map[string]bool),
+		degradedRounds:        make(map[string][]int),
+		mirrorFault:           make(map[string]bool),
+		firstMirrorFaultRound: -1,
+	}
+	w.clock = netsim.NewVirtualClock(w.start)
+
+	g := webgen.NewGenerator(webgen.Config{
+		Seed:             spec.Seed,
+		NumSites:         spec.World.Sites,
+		PagesPerSite:     spec.World.PagesPerSite,
+		MinExternalHosts: spec.World.MinExternalHosts,
+		MaxExternalHosts: spec.World.MaxExternalHosts,
+		AdsWeight:        spec.World.AdsWeight,
+	})
+	w.pool = g.Pool()
+	w.sites = g.Catalog()
+	w.net.SetPathVariation(spec.World.PathVariation)
+
+	hostSet := make(map[string]bool)
+	for si, site := range w.sites {
+		// Origin: healthy, anycast, home region by hash.
+		origin := &netsim.Server{
+			Addr:         "srv-" + site.Domain,
+			Hosts:        []string{site.Domain},
+			Region:       allRegions[hostHash(site.Domain)%3],
+			Anycast:      true,
+			ProcLatency:  8 * time.Millisecond,
+			BandwidthBps: 800e3,
+			JitterFrac:   0.08,
+		}
+		if err := w.net.AddServer(origin); err != nil {
+			return nil, err
+		}
+		// Providers: healthy baseline, deterministic per host. The world
+		// model's long-term health classes (world.go) are deliberately NOT
+		// applied: a scenario's ground truth is exactly its fault list.
+		for _, h := range site.ExternalHosts() {
+			if err := w.net.AddServer(scenarioServer(h)); err != nil {
+				return nil, err
+			}
+			hostSet[h] = true
+			if site.Fragments[h] != "" {
+				w.matchable[h] = true
+			}
+		}
+		assets := webgen.NewAssets(site)
+		assets.AddMirrors(site, mirrorZones)
+		for _, h := range site.ExternalHosts() {
+			for _, zone := range mirrorZones {
+				if err := w.net.AddServer(mirrorServer(webgen.MirrorHost(h, zone), zone)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		w.assets = append(w.assets, assets)
+		w.rules = append(w.rules, webgen.BuildRules(site, mirrorZones))
+		engine, err := w.buildEngine(si)
+		if err != nil {
+			return nil, err
+		}
+		w.engines = append(w.engines, engine)
+	}
+	for h := range hostSet {
+		w.providerHosts = append(w.providerHosts, h)
+	}
+	sort.Strings(w.providerHosts)
+	w.applyClientProfiles()
+	return w, nil
+}
+
+// applyClientProfiles installs access-link profiles over the client index:
+// classes claim their fraction of clients in spec order, lowest index first,
+// and any remainder keeps the ideal default link.
+func (w *scenarioWorld) applyClientProfiles() {
+	n := w.spec.World.Clients
+	assigned := 0
+	for _, cls := range w.spec.ClientClasses {
+		count := int(cls.Fraction*float64(n) + 0.5)
+		for i := 0; i < count && assigned < n; i++ {
+			w.net.SetClientProfile(clientID(assigned, n), netsim.ClientProfile{
+				BandwidthBps:  cls.BandwidthKbps * 1000 / 8,
+				LatencyFactor: cls.LatencyFactor,
+				JitterFrac:    cls.JitterFrac,
+			})
+			assigned++
+		}
+	}
+}
+
+// buildEngine constructs (or, after a restart, reconstructs) site si's
+// engine from the spec.
+func (w *scenarioWorld) buildEngine(si int) (*core.Engine, error) {
+	opts := []core.Option{
+		core.WithPolicy(core.Policy{
+			MinViolations:     w.spec.Engine.MinViolations,
+			MADMultiplier:     w.spec.Engine.MADMultiplier,
+			SelectAlternative: zoneSelector,
+		}),
+		core.WithScriptFetcher(w.assets[si]),
+		core.WithClock(w.clock.Now),
+		// Tracing off: scenario scoring reads AnalysisResults directly, and
+		// matrix runs are hot loops.
+		core.WithTraceCapacity(0),
+	}
+	if g := w.spec.Engine.Guard; g != nil && g.Enabled {
+		openFor := time.Duration(g.OpenForMinutes) * time.Minute
+		if g.OpenForMinutes == 0 {
+			openFor = 60 * time.Minute
+		}
+		opts = append(opts, core.WithGuard(core.GuardConfig{
+			TripThreshold:    g.TripThreshold,
+			OpenFor:          openFor,
+			HalfOpenCanaries: g.HalfOpenCanaries,
+			CloseAfter:       g.CloseAfter,
+		}))
+	}
+	return core.NewEngine(w.rules[si], opts...)
+}
+
+// scenarioServer builds the healthy baseline server for a provider host,
+// with the same deterministic per-host latency/bandwidth spread as the world
+// model but none of its emergent degradation — and always anycast. A
+// non-anycast provider would be a persistent blind spot for far-region
+// clients, i.e. emergent ground truth, and a scenario's ground truth must be
+// exactly its fault list.
+func scenarioServer(host string) *netsim.Server {
+	return &netsim.Server{
+		Addr:         "srv-" + host,
+		Hosts:        []string{host},
+		Region:       allRegions[hostHash(host)%3],
+		Anycast:      true,
+		ProcLatency:  time.Duration(5+pick(host, "proc")*15) * time.Millisecond,
+		BandwidthBps: 450e3 + pick(host, "bw")*200e3,
+		JitterFrac:   0.08 + pick(host, "jit")*0.08,
+	}
+}
+
+// resolveTarget maps a target selector to the afflicted server hosts, in
+// sorted order. Zone selectors transpose the selected default providers to
+// their replicas in that zone.
+func (w *scenarioWorld) resolveTarget(t ScenarioTarget) ([]string, error) {
+	var hosts []string
+	if len(t.Hosts) > 0 {
+		for _, h := range t.Hosts {
+			if _, err := w.net.Resolve(h); err != nil {
+				return nil, invalidf("target host %q not in the generated world", h)
+			}
+			hosts = append(hosts, h)
+		}
+		sort.Strings(hosts)
+	} else {
+		hosts = append(hosts, w.providerHosts...)
+	}
+	if t.Category != "" {
+		cats, ok := categoryAliases[t.Category]
+		if !ok {
+			return nil, invalidf("unknown target category %q", t.Category)
+		}
+		want := make(map[webgen.Category]bool, len(cats))
+		for _, c := range cats {
+			want[c] = true
+		}
+		byHost := make(map[string]webgen.Category, len(w.pool))
+		for _, p := range w.pool {
+			byHost[p.Host] = p.Category
+		}
+		var kept []string
+		for _, h := range hosts {
+			if want[byHost[h]] {
+				kept = append(kept, h)
+			}
+		}
+		hosts = kept
+	}
+	if t.Matchable {
+		var kept []string
+		for _, h := range hosts {
+			if w.matchable[h] {
+				kept = append(kept, h)
+			}
+		}
+		hosts = kept
+	}
+	if t.MaxCount > 0 && len(hosts) > t.MaxCount {
+		hosts = hosts[:t.MaxCount]
+	}
+	if t.Zone != "" {
+		mirrored := make([]string, len(hosts))
+		for i, h := range hosts {
+			mirrored[i] = webgen.MirrorHost(h, t.Zone)
+		}
+		hosts = mirrored
+	}
+	if len(hosts) == 0 {
+		return nil, invalidf("target matched no provider in the generated world")
+	}
+	return hosts, nil
+}
+
+// compileFaults resolves every fault against the world: netsim degradations
+// and load models are installed, ground-truth round sets recorded, and
+// report-loss / restart schedules extracted.
+func (w *scenarioWorld) compileFaults() error {
+	for i, f := range w.spec.Faults {
+		what := fmt.Sprintf("faults[%d] (%s)", i, f.Type)
+		switch f.Type {
+		case FaultDegrade, FaultBlackout:
+			to, err := window(f.FromLoad, f.ToLoad, w.spec.Loads, what)
+			if err != nil {
+				return err
+			}
+			hosts, err := w.resolveTarget(f.Target)
+			if err != nil {
+				return fmt.Errorf("%s: %w", what, err)
+			}
+			extra := time.Duration(f.ExtraDelayMs) * time.Millisecond
+			tput := f.TputFactor
+			if f.Type == FaultBlackout {
+				extra, tput = blackoutDelay, blackoutTputFactor
+			}
+			for _, h := range hosts {
+				w.net.Degrade(netsim.Degradation{
+					ServerAddr: "srv-" + h,
+					Start:      w.scenarioTime(f.FromLoad),
+					End:        w.scenarioTime(to),
+					ExtraDelay: extra,
+					TputFactor: tput,
+				})
+				w.addDegradedRounds(h, f.FromLoad, to)
+				if f.Target.Zone != "" {
+					w.mirrorFault[h] = true
+					if w.firstMirrorFaultRound < 0 || f.FromLoad < w.firstMirrorFaultRound {
+						w.firstMirrorFaultRound = f.FromLoad
+					}
+				}
+			}
+		case FaultDiurnal:
+			hosts, err := w.resolveTarget(f.Target)
+			if err != nil {
+				return fmt.Errorf("%s: %w", what, err)
+			}
+			model := netsim.DiurnalLoad{Peak: f.Peak, PeakHour: f.PeakHourUTC}
+			for _, h := range hosts {
+				if err := w.net.SetServerLoad("srv-"+h, model); err != nil {
+					return fmt.Errorf("%s: %w", what, err)
+				}
+				// Ground truth: the rounds whose instant sits at or above
+				// the scoring factor on the installed curve.
+				for round := 0; round < w.spec.Loads; round++ {
+					if model.Factor(w.scenarioTime(round)) >= groundTruthFactor {
+						w.addDegradedRounds(h, round, round+1)
+					}
+				}
+				if f.Target.Zone != "" {
+					w.mirrorFault[h] = true
+				}
+			}
+		case FaultReportLoss:
+			to, err := window(f.FromLoad, f.ToLoad, w.spec.Loads, what)
+			if err != nil {
+				return err
+			}
+			w.lossWindows = append(w.lossWindows, lossWindow{from: f.FromLoad, to: to, rate: f.Rate})
+		case FaultRestart:
+			w.restarts = append(w.restarts, restartEvent{atLoad: f.AtLoad, corrupt: f.Corrupt})
+		}
+	}
+	sort.Slice(w.restarts, func(i, j int) bool { return w.restarts[i].atLoad < w.restarts[j].atLoad })
+	return nil
+}
+
+// reportLost decides, deterministically per (seed, site, user, round),
+// whether a report is dropped by an active reportloss fault.
+func (w *scenarioWorld) reportLost(site int, user string, round int) bool {
+	for _, lw := range w.lossWindows {
+		if round < lw.from || round >= lw.to {
+			continue
+		}
+		key := fmt.Sprintf("loss/%d/%d/%s/%d", w.spec.Seed, site, user, round)
+		if pick(key, "drop") < lw.rate {
+			return true
+		}
+	}
+	return false
+}
+
+// pendingReport is one report waiting in the admission queue.
+type pendingReport struct {
+	site    int
+	rep     *report.Report
+	retries int
+}
+
+// scenarioScore accumulates decision-quality bookkeeping across the run.
+type scenarioScore struct {
+	trueActivations  int
+	falseActivations int
+	// detected maps (site, user, host) → round of first true activation.
+	detected map[pairKey]int
+
+	pageLoads     int
+	degradedLoads int
+	pltSumMs      float64
+
+	submitted, processed, shed, retries, dropped, lost int
+	restarts, recoveries                               int
+	firstTripRound, tripsBeforeFault                   int
+}
+
+type pairKey struct {
+	site int
+	user string
+	host string
+}
+
+// RunScenario executes one validated spec end-to-end and scores the result.
+// The spec must have passed Validate (ParseScenario / LoadScenario* return
+// validated specs).
+func RunScenario(spec *ScenarioSpec) (*ScenarioResult, error) {
+	w, err := buildScenarioWorld(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.compileFaults(); err != nil {
+		return nil, err
+	}
+
+	sc := &scenarioScore{detected: make(map[pairKey]int), firstTripRound: -1}
+	var queue, retryNext []pendingReport
+
+	// process runs one report through its site engine and scores the
+	// resulting activations against ground truth at the given round.
+	process := func(p pendingReport, round int) error {
+		res, err := w.engines[p.site].HandleReport(p.rep)
+		if err != nil {
+			return fmt.Errorf("scenario %s: handle report: %w", spec.Name, err)
+		}
+		sc.processed++
+		for _, ch := range res.Changes {
+			if ch.Action != "activate" {
+				continue
+			}
+			host := strings.TrimPrefix(ch.Server, "srv-")
+			if w.degradedAt(host, round) && !w.mirrorFault[host] {
+				sc.trueActivations++
+				key := pairKey{site: p.site, user: p.rep.UserID, host: host}
+				if _, ok := sc.detected[key]; !ok {
+					sc.detected[key] = round
+				}
+			} else {
+				sc.falseActivations++
+				if os.Getenv("OAK_SCEN_DEBUG") != "" {
+					fmt.Fprintf(os.Stderr, "DBG false: site=%d user=%s host=%s round=%d\n", p.site, p.rep.UserID, host, round)
+				}
+			}
+		}
+		return nil
+	}
+
+	// submit routes a report through loss, then admission (or straight to
+	// the engine).
+	submit := func(p pendingReport, round int) error {
+		sc.submitted++
+		if w.reportLost(p.site, p.rep.UserID, round) {
+			sc.lost++
+			return nil
+		}
+		if spec.Admission == nil {
+			return process(p, round)
+		}
+		if len(queue) >= spec.Admission.QueueCapacity {
+			sc.shed++
+			if p.retries < spec.Admission.MaxRetries {
+				p.retries++
+				sc.retries++
+				retryNext = append(retryNext, p)
+			} else {
+				sc.dropped++
+			}
+			return nil
+		}
+		queue = append(queue, p)
+		return nil
+	}
+
+	// restartEngines snapshots every engine to disk, optionally corrupts the
+	// primaries, and reboots fresh engines from the files — the crash path.
+	restartEngines := func(ev restartEvent) error {
+		dir, err := os.MkdirTemp("", "oak-scenario-")
+		if err != nil {
+			return fmt.Errorf("scenario %s: restart: %w", spec.Name, err)
+		}
+		defer os.RemoveAll(dir)
+		for si, e := range w.engines {
+			path := filepath.Join(dir, fmt.Sprintf("site-%03d.state", si))
+			// Two saves: the second rotates the first to .bak, giving the
+			// corrupted-primary case something to recover from.
+			if err := e.SaveStateFile(path); err != nil {
+				return fmt.Errorf("scenario %s: save state: %w", spec.Name, err)
+			}
+			if err := e.SaveStateFile(path); err != nil {
+				return fmt.Errorf("scenario %s: save state: %w", spec.Name, err)
+			}
+			switch ev.corrupt {
+			case "truncate":
+				err = faultinject.CorruptFile(path, spec.Seed, faultinject.Truncate)
+			case "flip":
+				err = faultinject.CorruptFile(path, spec.Seed, faultinject.FlipBytes)
+			case "empty":
+				err = faultinject.CorruptFile(path, spec.Seed, faultinject.Empty)
+			}
+			if err != nil {
+				return fmt.Errorf("scenario %s: corrupt state: %w", spec.Name, err)
+			}
+			fresh, err := w.buildEngine(si)
+			if err != nil {
+				return fmt.Errorf("scenario %s: rebuild engine: %w", spec.Name, err)
+			}
+			src, err := fresh.LoadStateFile(path)
+			if err != nil {
+				return fmt.Errorf("scenario %s: reload state: %w", spec.Name, err)
+			}
+			if src == core.StateBackup {
+				sc.recoveries++
+			}
+			w.engines[si] = fresh
+		}
+		sc.restarts++
+		return nil
+	}
+
+	path := "/index.html"
+	nextRestart := 0
+	for round := 0; round < spec.Loads; round++ {
+		for nextRestart < len(w.restarts) && w.restarts[nextRestart].atLoad == round {
+			if err := restartEngines(w.restarts[nextRestart]); err != nil {
+				return nil, err
+			}
+			nextRestart++
+		}
+		mult := 1
+		for _, a := range spec.Arrivals {
+			to := a.ToLoad
+			if to == 0 {
+				to = spec.Loads
+			}
+			if round >= a.FromLoad && round < to && a.Multiplier > mult {
+				mult = a.Multiplier
+			}
+		}
+		// Shed reports from last round retry ahead of this round's arrivals.
+		if len(retryNext) > 0 {
+			pending := retryNext
+			retryNext = nil
+			for _, p := range pending {
+				if err := submit(p, round); err != nil {
+					return nil, err
+				}
+			}
+		}
+		interval := time.Duration(spec.IntervalMinutes) * time.Minute
+		for rep := 0; rep < mult; rep++ {
+			at := w.scenarioTime(round).Add(time.Duration(rep) * interval / time.Duration(mult))
+			w.clock.Set(at)
+			for si, site := range w.sites {
+				page := site.Index()
+				for ci := 0; ci < spec.World.Clients; ci++ {
+					id := clientID(ci, spec.World.Clients)
+					engine := w.engines[si]
+					active := engine.ActiveRules(id, path)
+					html, _ := engine.ModifyPage(id, path, page.HTML)
+					sc.pageLoads++
+					if w.loadDegraded(site, active, round) {
+						sc.degradedLoads++
+					}
+					sim := &client.SimClient{
+						ID: id, Region: clientRegion(ci, spec.World.Clients),
+						Net: w.net, Assets: w.assets[si], Clock: w.clock,
+					}
+					res, err := sim.Load(site, page, html)
+					if err != nil {
+						return nil, fmt.Errorf("scenario %s: load: %w", spec.Name, err)
+					}
+					sc.pltSumMs += float64(res.PLT) / float64(time.Millisecond)
+					if err := submit(pendingReport{site: si, rep: res.Report}, round); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		// Service phase: drain up to ServiceRate queued reports.
+		if spec.Admission != nil {
+			n := spec.Admission.ServiceRate
+			if n > len(queue) {
+				n = len(queue)
+			}
+			for _, p := range queue[:n] {
+				if err := process(p, round); err != nil {
+					return nil, err
+				}
+			}
+			queue = append([]pendingReport(nil), queue[n:]...)
+		}
+		// First-trip clock: trips before the first mirror fault are noise
+		// (nothing to mitigate yet); the metric counts from fault start.
+		trips := w.breakerTrips()
+		if w.firstMirrorFaultRound >= 0 && round < w.firstMirrorFaultRound {
+			sc.tripsBeforeFault = trips
+		} else if sc.firstTripRound < 0 && trips > sc.tripsBeforeFault {
+			sc.firstTripRound = round
+		}
+	}
+	return w.score(sc)
+}
+
+// loadDegraded reports whether this page load is served degraded: some
+// provider the page depends on is in a fault window with no active
+// mitigation for this user, or an active rule steers the user onto a
+// degraded mirror.
+func (w *scenarioWorld) loadDegraded(site *webgen.Site, active []rules.Activation, round int) bool {
+	mitigated := make(map[string]bool, len(active))
+	for _, a := range active {
+		h := strings.TrimPrefix(a.Rule.ID, "swap-")
+		mitigated[h] = true
+		// The rule's target mirror may itself be degraded (blackout).
+		for _, alt := range altMirrorHosts(a) {
+			if w.degradedAt(alt, round) {
+				return true
+			}
+		}
+	}
+	for _, h := range site.ExternalHosts() {
+		if w.degradedAt(h, round) && !w.mirrorFault[h] && !mitigated[h] {
+			return true
+		}
+	}
+	return false
+}
+
+// altMirrorHosts extracts the mirror hostnames an activation's selected
+// alternative points at.
+func altMirrorHosts(a rules.Activation) []string {
+	if a.Rule == nil || len(a.Rule.Alternatives) == 0 {
+		return nil
+	}
+	idx := a.AltIndex
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(a.Rule.Alternatives) {
+		idx = len(a.Rule.Alternatives) - 1
+	}
+	h := strings.TrimPrefix(a.Rule.ID, "swap-")
+	var out []string
+	for _, zone := range mirrorZones {
+		mh := webgen.MirrorHost(h, zone)
+		if strings.Contains(a.Rule.Alternatives[idx], mh) {
+			out = append(out, mh)
+		}
+	}
+	return out
+}
+
+// breakerTrips sums guard breaker trips across engines.
+func (w *scenarioWorld) breakerTrips() int {
+	total := 0
+	for _, e := range w.engines {
+		total += int(e.Metrics().BreakerTrips)
+	}
+	return total
+}
+
+// score assembles the final report and applies the quality gate.
+func (w *scenarioWorld) score(sc *scenarioScore) (*ScenarioResult, error) {
+	spec := w.spec
+	res := &ScenarioResult{
+		Name:    spec.Name,
+		Title:   spec.Title,
+		Seed:    spec.Seed,
+		Loads:   spec.Loads,
+		Sites:   spec.World.Sites,
+		Clients: spec.World.Clients,
+
+		TrueActivations:  sc.trueActivations,
+		FalseActivations: sc.falseActivations,
+
+		PageLoads:         sc.pageLoads,
+		DegradedPageLoads: sc.degradedLoads,
+
+		ReportsSubmitted: sc.submitted,
+		ReportsProcessed: sc.processed,
+		ReportsShed:      sc.shed,
+		ReportRetries:    sc.retries,
+		ReportsDropped:   sc.dropped,
+		ReportsLost:      sc.lost,
+
+		Restarts:           sc.restarts,
+		StateRecoveries:    sc.recoveries,
+		ReportsToFirstTrip: -1,
+	}
+
+	// Injured pairs: every (site, client, matchable degraded default host)
+	// with at least MinViolations+1 degraded rounds of evidence opportunity.
+	minRounds := spec.Engine.MinViolations + 1
+	var injured, detected int
+	var ttmSum, ttmMax int
+	for si, site := range w.sites {
+		for _, h := range site.ExternalHosts() {
+			if w.mirrorFault[h] || !w.matchable[h] || site.Fragments[h] == "" {
+				continue
+			}
+			rounds := w.degradedRounds[h]
+			if len(rounds) < minRounds {
+				continue
+			}
+			for ci := 0; ci < spec.World.Clients; ci++ {
+				injured++
+				key := pairKey{site: si, user: clientID(ci, spec.World.Clients), host: h}
+				dr, ok := sc.detected[key]
+				if !ok {
+					continue
+				}
+				detected++
+				ttm := degradedRoundsUpTo(rounds, dr)
+				ttmSum += ttm
+				if ttm > ttmMax {
+					ttmMax = ttm
+				}
+			}
+		}
+	}
+	res.InjuredPairs = injured
+	res.DetectedPairs = detected
+	res.Recall = ratioOr(detected, injured, 1)
+	res.Precision = ratioOr(sc.trueActivations, sc.trueActivations+sc.falseActivations, 1)
+	if detected > 0 {
+		res.MeanReportsToMitigate = round4(float64(ttmSum) / float64(detected))
+		res.MaxReportsToMitigate = ttmMax
+	}
+	res.DegradedPageFraction = ratioOr(sc.degradedLoads, sc.pageLoads, 0)
+	if sc.pageLoads > 0 {
+		res.MeanPLTMillis = round4(sc.pltSumMs / float64(sc.pageLoads))
+	}
+
+	var modified, trips, rollbacks, blocked uint64
+	for _, e := range w.engines {
+		m := e.Metrics()
+		modified += m.PagesModified
+		trips += m.BreakerTrips
+		rollbacks += m.BulkDeactivations
+		blocked += m.ActivationsBlocked
+	}
+	res.PagesModified = int(modified)
+	res.BreakerTrips = int(trips)
+	res.BulkRollbacks = int(rollbacks)
+	res.ActivationsBlocked = int(blocked)
+	if sc.firstTripRound >= 0 {
+		from := w.firstMirrorFaultRound
+		if from < 0 {
+			from = 0
+		}
+		res.ReportsToFirstTrip = sc.firstTripRound - from + 1
+	}
+
+	res.applyGate(spec.Expect)
+	return res, nil
+}
+
+// degradedRoundsUpTo counts the degraded rounds of the contiguous stretch
+// containing (and ending at) round r — the reports-to-mitigation clock for a
+// detection at r. Detection outside any stretch (late, after recovery)
+// counts the whole preceding stretch.
+func degradedRoundsUpTo(rounds []int, r int) int {
+	// Index of the last degraded round <= r.
+	i := sort.SearchInts(rounds, r+1) - 1
+	if i < 0 {
+		return 1
+	}
+	n := 1
+	for i > 0 && rounds[i-1] == rounds[i]-1 {
+		i--
+		n++
+	}
+	return n
+}
+
+// ratioOr returns a/b rounded, or def when b is zero.
+func ratioOr(a, b int, def float64) float64 {
+	if b == 0 {
+		return def
+	}
+	return round4(float64(a) / float64(b))
+}

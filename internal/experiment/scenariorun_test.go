@@ -1,0 +1,156 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runNamed runs an embedded scenario, failing the test on any error.
+func runNamed(t *testing.T, name string) *ScenarioResult {
+	t.Helper()
+	spec, err := LoadScenario(name)
+	if err != nil {
+		t.Fatalf("LoadScenario(%q): %v", name, err)
+	}
+	res, err := RunScenario(spec)
+	if err != nil {
+		t.Fatalf("RunScenario(%q): %v", name, err)
+	}
+	return res
+}
+
+// TestScenarioDeterminism runs the same spec twice and requires the
+// marshalled reports to be byte-identical — the property verify.sh and the
+// committed BENCH_scenarios.json depend on.
+func TestScenarioDeterminism(t *testing.T) {
+	marshal := func() []byte {
+		m := &ScenarioMatrix{
+			SpecVersion: ScenarioSpecVersion,
+			Results:     []*ScenarioResult{runNamed(t, "cellular")},
+		}
+		out, err := m.MarshalIndentStable()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return out
+	}
+	a, b := marshal(), marshal()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same spec, different report bytes:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestScenarioSeedChangesRun guards against the seed being ignored: a
+// different seed must produce a different world or different numbers.
+func TestScenarioSeedChangesRun(t *testing.T) {
+	spec1, err := LoadScenario("cellular")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := LoadScenario("cellular")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2.Seed = spec1.Seed + 1
+	r1, err := RunScenario(spec1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunScenario(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MeanPLTMillis == r2.MeanPLTMillis {
+		t.Fatalf("seed change did not alter the run (mean PLT %v in both)", r1.MeanPLTMillis)
+	}
+}
+
+// TestEmbeddedScenariosRunAndPass smoke-runs every embedded starter spec and
+// requires each to pass its own expect gate — the same check verify.sh
+// applies to a subset, here over the whole matrix.
+func TestEmbeddedScenariosRunAndPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix smoke skipped in -short")
+	}
+	for _, name := range ScenarioNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res := runNamed(t, name)
+			if !res.Pass {
+				t.Errorf("scenario %s failed its gate: %v", name, res.Failures)
+			}
+			if res.PageLoads == 0 || res.ReportsSubmitted == 0 {
+				t.Errorf("scenario %s: empty run: %+v", name, res)
+			}
+		})
+	}
+}
+
+// TestScenarioFlashcrowdMechanics pins the admission-queue and restart
+// bookkeeping: the flash crowd must shed and retry, and the corrupted
+// restart must recover every engine from the rotating backup.
+func TestScenarioFlashcrowdMechanics(t *testing.T) {
+	res := runNamed(t, "flashcrowd")
+	if res.ReportsShed == 0 || res.ReportRetries == 0 {
+		t.Errorf("flash crowd did not exercise the queue: shed=%d retries=%d",
+			res.ReportsShed, res.ReportRetries)
+	}
+	if res.Restarts != 1 {
+		t.Errorf("restarts = %d, want 1", res.Restarts)
+	}
+	if res.StateRecoveries != res.Sites {
+		t.Errorf("state recoveries = %d, want one per site (%d)", res.StateRecoveries, res.Sites)
+	}
+	if res.ReportsProcessed >= res.ReportsSubmitted {
+		t.Errorf("processed %d >= submitted %d despite sheds", res.ReportsProcessed, res.ReportsSubmitted)
+	}
+}
+
+// TestScenarioBlackoutTripsBreakers pins the guard wiring: the mirror
+// blackout must trip breakers after (not before) the fault starts.
+func TestScenarioBlackoutTripsBreakers(t *testing.T) {
+	res := runNamed(t, "blackout")
+	if res.BreakerTrips == 0 {
+		t.Fatal("mirror blackout tripped no breakers")
+	}
+	if res.ReportsToFirstTrip < 1 {
+		t.Errorf("reports to first trip = %d, want >= 1", res.ReportsToFirstTrip)
+	}
+	if res.BulkRollbacks == 0 {
+		t.Error("breaker trips rolled back no activations")
+	}
+}
+
+// TestScenarioGateFailure forces an impossible floor and checks the gate
+// reports a failure instead of passing silently.
+func TestScenarioGateFailure(t *testing.T) {
+	spec, err := LoadScenario("slowloris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Expect = ScenarioExpect{MinBreakerTrips: 1000}
+	res, err := RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Fatal("impossible floor passed the gate")
+	}
+	if len(res.Failures) == 0 || !strings.Contains(res.Failures[0], "breaker trips") {
+		t.Fatalf("unexpected failure detail: %v", res.Failures)
+	}
+}
+
+// TestScenarioMatrixRender sanity-checks the text rendering used by the CLI.
+func TestScenarioMatrixRender(t *testing.T) {
+	res := runNamed(t, "slowloris")
+	m := &ScenarioMatrix{SpecVersion: ScenarioSpecVersion, Results: []*ScenarioResult{res}}
+	out := m.Render()
+	if !strings.Contains(out, "slowloris") || !strings.Contains(out, "scenario") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	if !m.Pass() {
+		t.Fatalf("slowloris should pass: %v", res.Failures)
+	}
+}

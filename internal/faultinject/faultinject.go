@@ -6,6 +6,9 @@
 // engine → persistence) through these faults and assert the system degrades
 // instead of breaking: no deadlocks, no lost user state, truthful status
 // codes.
+// The scenario engine (internal/experiment, restart faults) reuses the
+// corrupter to exercise the backup-recovery path inside scored end-to-end
+// workloads.
 //
 // Everything is seeded: the same Seed produces the same fault sequence, so
 // a chaos-test failure reproduces exactly.

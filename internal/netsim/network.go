@@ -170,6 +170,21 @@ func (n *Network) AddServer(s *Server) error {
 	return nil
 }
 
+// SetServerLoad attaches (or clears, with nil) a time-varying load model on
+// an already-registered server. The scenario harness uses this to impose
+// diurnal swells and congestion on servers after world construction, without
+// re-registering them.
+func (n *Network) SetServerLoad(addr string, m LoadModel) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.servers[addr]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownServer, addr)
+	}
+	s.Load = m
+	return nil
+}
+
 // Resolve maps a hostname to the server address it currently points at.
 func (n *Network) Resolve(host string) (string, error) {
 	n.mu.RLock()

@@ -35,6 +35,11 @@ type Config struct {
 	// [direct, inline-text, external-js, hidden]. Defaults calibrate to
 	// Figure 8's match-rate medians (≈42/18/21/19 %).
 	TierWeights [4]float64
+	// AdsWeight, when positive, fixes every site's ad/analytics/social
+	// provider weighting instead of the default bimodal draw (most sites
+	// lightly tracked, a minority stuffed). Values around 4 produce the
+	// adPerf-style ad-heavy catalogs the scenario harness uses.
+	AdsWeight float64
 	// LargeObjectFraction is the chance an object is >= 50 KB (default 0.3).
 	LargeObjectFraction float64
 }
@@ -124,12 +129,15 @@ func (g *Generator) Site(i int) *Site {
 	// ad/analytics providers, a minority are stuffed with them. This
 	// bimodality is what gives the outlier-count distribution its heavy
 	// tail (paper Figure 2: ~40% of sites clean, ~20% with 4+ outliers).
-	adsWeight := 0.05
-	switch r := g.rng.Float64(); {
-	case r < 0.20:
-		adsWeight = 4.0
-	case r < 0.40:
-		adsWeight = 1.0
+	adsWeight := g.cfg.AdsWeight
+	if adsWeight <= 0 {
+		adsWeight = 0.05
+		switch r := g.rng.Float64(); {
+		case r < 0.20:
+			adsWeight = 4.0
+		case r < 0.40:
+			adsWeight = 1.0
+		}
 	}
 	providers := g.pickProviders(nExt, adsWeight)
 

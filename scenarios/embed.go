@@ -1,0 +1,18 @@
+// Package scenarios holds the checked-in starter scenario matrix: one JSON
+// spec per named workload, embedded so `oakbench scenario <name>` runs from
+// any working directory. The specs are plain data — the schema, loader and
+// runtime live in internal/experiment (scenario.go, scenariorun.go), and the
+// authoring guide is docs/SCENARIOS.md.
+//
+// Edit these files (or add new ones — the file name must match the spec's
+// "name" field) to grow the matrix; `go test ./internal/experiment` parses
+// and smoke-runs every embedded spec, so a malformed addition fails the
+// build's test gate rather than first exploding at the CLI.
+package scenarios
+
+import "embed"
+
+// Files is the embedded spec set, one "<name>.json" per scenario.
+//
+//go:embed *.json
+var Files embed.FS

@@ -1,0 +1,25 @@
+#!/bin/sh
+# bench_scenarios.sh — run the full scenario matrix and record the
+# decision-quality results in BENCH_scenarios.json, so successive PRs leave a
+# trajectory for how well the engine's decisions track injected ground truth:
+# per-scenario violator precision/recall, mean reports-to-mitigation, the
+# fraction of pages served degraded, admission-queue sheds and retries,
+# breaker trips, and backup-state recoveries.
+#
+# The matrix is deterministic per spec seed (the runs use a virtual clock and
+# hash-derived jitter), so BENCH_scenarios.json diffs across PRs reflect
+# engine behaviour changes, never run-to-run noise. Gate floors live in each
+# spec's "expect" block; a miss makes this script (and the PR verify smoke in
+# verify.sh) fail.
+#
+# Usage: scripts/bench_scenarios.sh [scenario...]   (default: all)
+set -e
+cd "$(dirname "$0")/.."
+
+out="BENCH_scenarios.json"
+
+if [ "$#" -gt 0 ]; then
+	go run ./cmd/oakbench scenario -out "$out" "$@"
+else
+	go run ./cmd/oakbench scenario -out "$out" all
+fi

@@ -12,7 +12,12 @@
 # one-iteration serve benchmark run keeps the benchmark code compiling. The
 # guard chaos smoke re-runs the kill-the-alternate scenario on its own so a
 # breaker regression fails the verify with a named step, and a one-iteration
-# guard benchmark run keeps BENCH_guard.json producible.
+# guard benchmark run keeps BENCH_guard.json producible. Finally, a compact
+# scenario smoke runs three checked-in end-to-end workloads (cellular,
+# blackout, slowloris) against injected ground truth and gates on the
+# precision/recall/trip floors in each spec's expect block — a regression in
+# detection quality, guard response, or false-positive control fails the
+# verify even when every unit test still passes.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -50,5 +55,8 @@ go test -race -run 'TestChaosGuardKillsAlternateMidRun' -count=1 ./internal/faul
 
 echo "== guard benchmark smoke (1 iteration) =="
 go test -run '^$' -bench 'BenchmarkActivationGuardOn|BenchmarkGuardRollback100$' -benchtime 1x ./internal/core
+
+echo "== scenario smoke: cellular + blackout + slowloris (gated on expect floors) =="
+go run ./cmd/oakbench scenario cellular blackout slowloris
 
 echo "verify: OK"
