@@ -1,4 +1,4 @@
-.PHONY: verify test race vet fmt bench bench-serve bench-shed bench-guard bench-scenarios bench-all chaos fuzz
+.PHONY: verify test race vet fmt bench bench-serve bench-shed bench-guard bench-synth bench-scenarios bench-all chaos fuzz
 
 # Full PR verify path: build, formatting, vet, tests, and race-checking of
 # the concurrent engine + observability packages. See scripts/verify.sh.
@@ -45,6 +45,11 @@ bench-shed:
 # activation path, bulk-rollback latency vs population size).
 bench-guard:
 	sh scripts/bench_guard.sh
+
+# Population-detection benchmarks + BENCH_synth.json (ingest overhead of
+# the per-report sketch feed, serial and contended; acceptance bar 1.05).
+bench-synth:
+	sh scripts/bench_synth.sh
 
 # Scenario matrix + BENCH_scenarios.json (decision quality per scenario:
 # violator precision/recall, time-to-mitigation, degraded pages, sheds,

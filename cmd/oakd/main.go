@@ -10,14 +10,19 @@
 //	     [-rewrite-cache 1024]
 //	     [-guard-trip-threshold 5] [-guard-halfopen-canaries 3]
 //	     [-probe-interval 30s]
+//	     [-synth-window 2m] [-synth-degrade-factor 1.5] [-synth-quantile 0.75]
+//	     [-synth-min-samples 20] [-synth-min-baseline-samples 20]
+//	     [-synth-max-providers 64]
 //
 // Every *.html file under -root is served at its relative path (index.html
 // also at the directory path). Clients receive identifying cookies, pages
 // are rewritten per user according to activated rules, and performance
-// reports are accepted at POST /oak/report — one JSON report per request,
+// reports are accepted at POST /oak/v1/report — one JSON report per request,
 // or an NDJSON batch (Content-Type application/x-ndjson, one report per
-// line). The rule file uses the DSL of internal/rules.ParseDSL (heredoc
-// blocks; see the repository README), or JSON when it ends in .json.
+// line). The unversioned /oak/report path remains a byte-identical alias
+// for existing clients. The rule file format is auto-detected: JSON (array
+// or {"rules": [...]} document) or the DSL of internal/rules.ParseDSL
+// (heredoc blocks; see the repository README).
 //
 // Scaling: per-user state is sharded across -shards lock stripes (0 = four
 // per CPU) so reports for different users ingest in parallel. -ingest-queue
@@ -48,10 +53,22 @@
 // reports. Breaker states appear under "guard" in /oak/metrics and open
 // breakers in /oak/healthz. See docs/OPERATIONS.md, "Guardrails".
 //
-// Observability: the server answers GET /oak/metrics (counters + latency
-// histograms), /oak/healthz (liveness), /oak/trace (recent engine
-// decisions) and /oak/audit (operator summary); -pprof additionally serves
-// net/http/pprof on a separate admin listener. See docs/OPERATIONS.md.
+// Population detection: -synth-window (0 disables) turns on cross-user
+// detection and rule synthesis — every report feeds per-provider download-
+// time sketches, a provider whose window quantile degrades by
+// -synth-degrade-factor against its own trailing baseline is flagged, and
+// while it stays flagged the catalog's matching rules are activated for
+// affected users on their next report, bypassing the per-user violation
+// gate. Synthesized activations ride the same guard breakers as organic
+// ones, so a bad synthetic rule self-rolls-back. Flagged providers appear
+// at GET /oak/v1/population and under "population" in /oak/metrics. See
+// docs/OPERATIONS.md, "Population detection & rule synthesis".
+//
+// Observability: the server answers GET /oak/v1/metrics (counters + latency
+// histograms), /oak/v1/healthz (liveness), /oak/v1/trace (recent engine
+// decisions) and /oak/v1/audit (operator summary) — each also at its legacy
+// unversioned /oak/... alias; -pprof additionally serves net/http/pprof on
+// a separate admin listener. See docs/OPERATIONS.md.
 //
 // On SIGINT/SIGTERM oakd shuts the listener down gracefully and, with
 // -state, persists engine state before exiting.
@@ -67,7 +84,6 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
@@ -101,6 +117,12 @@ func run(args []string) error {
 		guardTrip = fs2.Int("guard-trip-threshold", 5, "consecutive bad population-level outcomes that trip an alternate provider's circuit breaker (0 disables the guard)")
 		guardCan  = fs2.Int("guard-halfopen-canaries", 3, "canary activations a half-open breaker admits per recovery attempt (with -guard-trip-threshold)")
 		probeIvl  = fs2.Duration("probe-interval", 0, "actively probe each alternate provider this often, feeding the breakers (0 disables; needs the guard enabled)")
+		synthWin  = fs2.Duration("synth-window", 0, "population-detection aggregation window; enables cross-user detection and rule synthesis (0 disables)")
+		synthDeg  = fs2.Float64("synth-degrade-factor", 0, "flag a provider when its window quantile exceeds this factor times its trailing baseline (with -synth-window; 0 = 1.5 default)")
+		synthQ    = fs2.Float64("synth-quantile", 0, "compared download-time quantile, in (0,1) (with -synth-window; 0 = 0.75 default)")
+		synthMin  = fs2.Int("synth-min-samples", 0, "minimum window samples before a provider is judged (with -synth-window; 0 = 20 default)")
+		synthMinB = fs2.Int("synth-min-baseline-samples", 0, "minimum baseline weight before a provider is judged (with -synth-window; 0 = min-samples)")
+		synthMaxP = fs2.Int("synth-max-providers", 0, "provider sketches tracked per shard window (with -synth-window; 0 = 64 default)")
 	)
 	if err := fs2.Parse(args); err != nil {
 		return err
@@ -112,6 +134,8 @@ func run(args []string) error {
 		shedWait: *shedWait, shedRetry: *shedRetry, rewriteBudget: *rewriteB,
 		rewriteCache: *rcSize,
 		guardTrip:    *guardTrip, guardCanaries: *guardCan,
+		synthWindow: *synthWin, synthDegrade: *synthDeg, synthQuantile: *synthQ,
+		synthMinSamples: *synthMin, synthMinBaseline: *synthMinB, synthMaxProviders: *synthMaxP,
 	})
 	if err != nil {
 		return err
@@ -253,6 +277,15 @@ type oakdConfig struct {
 	rewriteCache  int           // entries; <= 0 disables the rewrite cache
 	guardTrip     int           // breaker trip threshold; <= 0 disables the guard
 	guardCanaries int           // half-open canary budget (with guardTrip > 0)
+
+	// Population detection (<= 0 window disables; zero fields take the
+	// library defaults).
+	synthWindow       time.Duration
+	synthDegrade      float64
+	synthQuantile     float64
+	synthMinSamples   int
+	synthMinBaseline  int
+	synthMaxProviders int
 }
 
 // buildServer assembles the Oak server from a page directory and a rule
@@ -260,18 +293,16 @@ type oakdConfig struct {
 func buildServer(cfg oakdConfig) (*oak.Server, int, int, error) {
 	var ruleSet []*oak.Rule
 	if cfg.ruleFile != "" {
-		data, err := os.ReadFile(cfg.ruleFile)
+		f, err := os.Open(cfg.ruleFile)
 		if err != nil {
 			return nil, 0, 0, fmt.Errorf("read rules: %w", err)
 		}
-		if strings.HasSuffix(cfg.ruleFile, ".json") {
-			ruleSet, err = oak.ParseRulesJSON(data)
-		} else {
-			ruleSet, err = oak.ParseRules(string(data))
-		}
+		set, err := oak.LoadRules(f)
+		f.Close()
 		if err != nil {
-			return nil, 0, 0, err
+			return nil, 0, 0, fmt.Errorf("%s: %w", cfg.ruleFile, err)
 		}
+		ruleSet = set.Rules
 	}
 
 	for _, w := range oak.LintRules(ruleSet) {
@@ -304,6 +335,16 @@ func buildServer(cfg oakdConfig) (*oak.Server, int, int, error) {
 		opts = append(opts, oak.WithGuard(oak.GuardConfig{
 			TripThreshold:    cfg.guardTrip,
 			HalfOpenCanaries: cfg.guardCanaries,
+		}))
+	}
+	if cfg.synthWindow > 0 {
+		opts = append(opts, oak.WithSynthesis(oak.SynthesisConfig{
+			Window:             cfg.synthWindow,
+			DegradeFactor:      cfg.synthDegrade,
+			Quantile:           cfg.synthQuantile,
+			MinSamples:         cfg.synthMinSamples,
+			MinBaselineSamples: cfg.synthMinBaseline,
+			MaxProviders:       cfg.synthMaxProviders,
 		}))
 	}
 	engine, err := oak.NewEngine(ruleSet, opts...)

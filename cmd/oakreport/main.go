@@ -1,5 +1,5 @@
 // Command oakreport analyses Oak performance reports offline: it reads one
-// or more report JSON files (the bodies clients POST to /oak/report),
+// or more report JSON files (the bodies clients POST to /oak/v1/report),
 // prints the per-server grouping the engine derives, and flags violators
 // with the paper's MAD criterion — the same analysis the live server runs,
 // available for debugging and auditing captured reports.
@@ -21,6 +21,14 @@
 // breaker states, quarantined providers and rules, and canary outcomes:
 //
 //	oakreport -guard http://localhost:8080
+//
+// With -population it prints the server's population-detection state:
+// currently flagged (degraded) providers, per-provider trailing-baseline
+// quantiles, the heavy-hitter provider ranking, and synthesis counters.
+// The server must run with population detection enabled (oakd
+// -synth-window > 0):
+//
+//	oakreport -population http://localhost:8080
 package main
 
 import (
@@ -51,8 +59,9 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("oakreport", flag.ContinueOnError)
 	k := fs.Float64("k", 2, "MAD multiplier for the violator criterion")
 	har := fs.Bool("har", false, "treat inputs as HAR files (implied by a .har extension)")
-	metricsURL := fs.String("metrics", "", "base URL of a live Oak server; fetch and pretty-print its /oak/metrics instead of analysing files")
+	metricsURL := fs.String("metrics", "", "base URL of a live Oak server; fetch and pretty-print its /oak/v1/metrics instead of analysing files")
 	guardURL := fs.String("guard", "", "base URL of a live Oak server; print its circuit-breaker guard state (breakers, quarantines, canaries)")
+	popURL := fs.String("population", "", "base URL of a live Oak server; print its population-detection state (degraded providers, baselines, synthesis counters)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +70,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *guardURL != "" {
 		return liveGuard(out, *guardURL)
+	}
+	if *popURL != "" {
+		return livePopulation(out, *popURL)
 	}
 	files := fs.Args()
 	if len(files) == 0 {
@@ -97,11 +109,11 @@ func liveMetrics(out io.Writer, base string) error {
 	client := &http.Client{Timeout: 10 * time.Second}
 
 	var health origin.HealthzResponse
-	if err := fetchJSON(client, base+origin.HealthzPath, &health); err != nil {
+	if err := fetchJSON(client, base+origin.HealthzPathV1, &health); err != nil {
 		return err
 	}
 	var m origin.MetricsResponse
-	if err := fetchJSON(client, base+origin.MetricsPath, &m); err != nil {
+	if err := fetchJSON(client, base+origin.MetricsPathV1, &m); err != nil {
 		return err
 	}
 
@@ -137,14 +149,14 @@ func liveMetrics(out io.Writer, base string) error {
 	return nil
 }
 
-// liveGuard fetches a running server's /oak/metrics and renders the guard
+// liveGuard fetches a running server's /oak/v1/metrics and renders the guard
 // (circuit-breaker) section for a terminal.
 func liveGuard(out io.Writer, base string) error {
 	base = strings.TrimSuffix(base, "/")
 	client := &http.Client{Timeout: 10 * time.Second}
 
 	var m origin.MetricsResponse
-	if err := fetchJSON(client, base+origin.MetricsPath, &m); err != nil {
+	if err := fetchJSON(client, base+origin.MetricsPathV1, &m); err != nil {
 		return err
 	}
 
@@ -198,6 +210,84 @@ func liveGuard(out io.Writer, base string) error {
 	} {
 		fmt.Fprintf(out, "  %-22s %d\n", row.name, row.v)
 	}
+	return nil
+}
+
+// livePopulation fetches a running server's /oak/v1/population and renders
+// the population-detection state for a terminal.
+func livePopulation(out io.Writer, base string) error {
+	base = strings.TrimSuffix(base, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var ps core.PopulationStatus
+	resp, err := client.Get(base + origin.PopulationPathV1)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		fmt.Fprintln(out, "population detection disabled (start oakd with -synth-window > 0)")
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", base+origin.PopulationPathV1, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ps); err != nil {
+		return fmt.Errorf("GET %s: decode: %w", base+origin.PopulationPathV1, err)
+	}
+
+	fmt.Fprintf(out, "== %s population ==\n", base)
+	if len(ps.Degraded) == 0 {
+		fmt.Fprintln(out, "degraded providers: none")
+	} else {
+		fmt.Fprintf(out, "%-28s %-8s %8s %12s %12s %s\n",
+			"degraded provider", "manual", "ratio", "baseline(ms)", "window(ms)", "since")
+		for _, d := range ps.Degraded {
+			manual := "-"
+			if d.Manual {
+				manual = "manual"
+			}
+			fmt.Fprintf(out, "%-28s %-8s %8.2f %12.1f %12.1f %s\n",
+				d.Provider, manual, d.Ratio, d.BaselineMs, d.WindowMs,
+				d.Since.Format(time.RFC3339))
+		}
+	}
+
+	if len(ps.Providers) > 0 {
+		fmt.Fprintf(out, "\n%-28s %8s %10s %10s %10s\n",
+			"provider baseline", "samples", "p50ms", "p75ms", "p99ms")
+		for _, p := range ps.Providers {
+			flag := ""
+			if p.Degraded {
+				flag = "  DEGRADED"
+			}
+			fmt.Fprintf(out, "%-28s %8d %10.1f %10.1f %10.1f%s\n",
+				p.Provider, p.Samples, p.P50Ms, p.P75Ms, p.P99Ms, flag)
+		}
+	}
+
+	if len(ps.TopProviders) > 0 {
+		fmt.Fprintf(out, "\ntop providers by report appearances\n")
+		for _, h := range ps.TopProviders {
+			fmt.Fprintf(out, "  %-28s %d (±%d)\n", h.Item, h.Count, h.Error)
+		}
+	}
+
+	fmt.Fprintf(out, "\ncounters\n")
+	for _, row := range []struct {
+		name string
+		v    uint64
+	}{
+		{"population trips", ps.PopulationTrips},
+		{"population recoveries", ps.PopulationRecoveries},
+		{"synthesized activations", ps.SynthesizedActivations},
+		{"synthesis blocked", ps.SynthesisBlocked},
+		{"samples dropped", ps.SamplesDropped},
+	} {
+		fmt.Fprintf(out, "  %-24s %d\n", row.name, row.v)
+	}
+	fmt.Fprintf(out, "tracked providers: %d, sketch memory: %s\n",
+		ps.TrackedProviders, byteSize(int64(ps.SketchMemoryBytes)))
 	return nil
 }
 

@@ -393,17 +393,21 @@ func (c *HTTPClient) fetchPage(originBase, path string) (string, error) {
 	return "", lastErr
 }
 
-// SubmitReport POSTs a report to the Oak origin's report endpoint, retrying
-// transport failures and retryable statuses (503/5xx/429) with exponential
-// backoff and jitter. A 503 from a load-shedding origin carries Retry-After;
-// the client honours it, waiting at least that long before the next
-// attempt.
+// reportPathV1 is the versioned report endpoint (origin.ReportPathV1); kept
+// as a local constant so the client does not link the server package.
+const reportPathV1 = "/oak/v1/report"
+
+// SubmitReport POSTs a report to the Oak origin's versioned report
+// endpoint, retrying transport failures and retryable statuses
+// (503/5xx/429) with exponential backoff and jitter. A 503 from a
+// load-shedding origin carries Retry-After; the client honours it, waiting
+// at least that long before the next attempt.
 func (c *HTTPClient) SubmitReport(originBase string, rep *report.Report) error {
 	data, err := rep.Marshal()
 	if err != nil {
 		return fmt.Errorf("client: marshal report: %w", err)
 	}
-	endpoint := strings.TrimSuffix(originBase, "/") + "/oak/report"
+	endpoint := strings.TrimSuffix(originBase, "/") + reportPathV1
 	p := c.Retry.normalized()
 	var (
 		lastErr error

@@ -72,6 +72,13 @@ type Engine struct {
 	guard       *guard.Set
 	guardConfig *GuardConfig
 	altHosts    atomic.Pointer[map[string][][]string]
+
+	// pop, when non-nil (WithSynthesis), holds the population-level
+	// detection state: per-provider download-time baselines, the degraded
+	// set, and the synthesis machinery; synthConfig carries the
+	// WithSynthesis request until construction. See popwire.go.
+	pop         *popState
+	synthConfig *SynthesisConfig
 }
 
 // Option configures an Engine.
@@ -129,6 +136,7 @@ func NewEngine(ruleSet []*rules.Rule, opts ...Option) (*Engine, error) {
 		opt(e)
 	}
 	e.initGuard()
+	e.initPop()
 	n := e.shardCount
 	if n <= 0 {
 		n = DefaultShardCount()
@@ -217,6 +225,9 @@ type RuleChange struct {
 	// Level is the evidence tier that tied the rule to the server
 	// (activations only).
 	Level MatchLevel
+	// Synthesized marks an activation created by population-level rule
+	// synthesis rather than the user's own violation history.
+	Synthesized bool
 }
 
 // AnalysisResult is what HandleReport decided.
@@ -287,6 +298,9 @@ func (e *Engine) process(r *report.Report) (*AnalysisResult, error) {
 	for _, oc := range outcomes {
 		e.ObserveProviderOutcome(oc.provider, oc.good, oc.deltaMs)
 	}
+	// Likewise the population window tick: it locks shards one at a time to
+	// swap their sketches out.
+	e.popTickIfDue(now)
 	return res, nil
 }
 
@@ -306,6 +320,8 @@ func (e *Engine) analyzeLocked(sh *shard, r *report.Report, now time.Time, serve
 				r.Page, len(r.Entries), len(servers), len(violations)),
 		})
 	}
+
+	e.feedPopLocked(sh, servers)
 
 	var outcomes []providerOutcome
 	if e.guard != nil {
@@ -408,6 +424,12 @@ func (e *Engine) analyzeLocked(sh *shard, r *report.Report, now time.Time, serve
 			}
 		}
 	}
+
+	// Population-level synthesis: if the report touched a provider the
+	// population detector has flagged, activate matching rules for this user
+	// now, without waiting for their personal violation count.
+	e.synthesizeLocked(sh, prof, r, now, servers, activeRules, res)
+
 	return res, outcomes
 }
 

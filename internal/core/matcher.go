@@ -149,6 +149,59 @@ func (m *Matcher) Match(rule *rules.Rule, violator *report.ServerPerf, scriptURL
 	return MatchNone
 }
 
+// MatchOwnSurface reports the strongest evidence tier tying rule to the
+// violating server considering only the rule's own dependency surface: its
+// default text plus the bodies of scripts the rule itself references
+// (fetched, followed Depth layers deep). Unlike Match, scripts that are
+// merely co-hosted with a domain the rule mentions do not extend the
+// surface. Synthesis uses this form: a synthesized activation bypasses the
+// per-user violation gate, so the evidence must show that this rule — not a
+// neighbouring fragment on a shared script host — depends on the degraded
+// provider.
+func (m *Matcher) MatchOwnSurface(rule *rules.Rule, violator *report.ServerPerf) MatchLevel {
+	if rule == nil || violator == nil || len(violator.Hosts) == 0 {
+		return MatchNone
+	}
+	for _, rh := range htmlscan.ExtractSrcHosts(rule.Default) {
+		if violator.HasHost(rh) {
+			return MatchDirect
+		}
+	}
+	if m.MaxLevel < MatchText {
+		return MatchNone
+	}
+	for _, vh := range violator.Hosts {
+		if htmlscan.ContainsHost(rule.Default, vh) {
+			return MatchText
+		}
+	}
+	if m.MaxLevel < MatchExternalJS || m.Fetcher == nil || m.Depth < 1 {
+		return MatchNone
+	}
+	pending := htmlscan.ScriptSrcs(rule.Default)
+	for depth := 0; depth < m.Depth && len(pending) > 0; depth++ {
+		var next []string
+		var bodies []string
+		for _, su := range pending {
+			body := m.fetchCached(su)
+			if body == "" {
+				continue
+			}
+			bodies = append(bodies, body)
+			next = append(next, htmlscan.ScriptSrcs(body)...)
+		}
+		for _, vh := range violator.Hosts {
+			for _, text := range bodies {
+				if htmlscan.ContainsHost(text, vh) {
+					return MatchExternalJS
+				}
+			}
+		}
+		pending = next
+	}
+	return MatchNone
+}
+
 // surfaceMentionsHost reports whether any accumulated text mentions host.
 func surfaceMentionsHost(surface []string, host string) bool {
 	for _, text := range surface {

@@ -55,6 +55,21 @@ type Metrics struct {
 	// RuleQuarantines counts rules auto-quarantined after repeated
 	// rewrite panics.
 	RuleQuarantines uint64
+	// PopulationTrips counts providers flagged as population-degraded
+	// (window quantile vs trailing baseline, plus manual MarkDegraded).
+	PopulationTrips uint64
+	// PopulationRecoveries counts degraded providers returning to baseline
+	// (plus manual ClearDegraded).
+	PopulationRecoveries uint64
+	// SynthesizedActivations counts rule activations created by
+	// population-level synthesis (also included in RuleActivations).
+	SynthesizedActivations uint64
+	// SynthesisBlocked counts synthesis attempts refused by the guard with
+	// no admissible alternative.
+	SynthesisBlocked uint64
+	// PopulationSamplesDropped counts population samples discarded by the
+	// per-shard MaxProviders cap.
+	PopulationSamplesDropped uint64
 }
 
 // metrics is the engine-internal atomic representation.
@@ -76,6 +91,12 @@ type metrics struct {
 	canaryActivations  obs.Counter
 	rewritePanics      obs.Counter
 	ruleQuarantines    obs.Counter
+
+	popTrips               obs.Counter
+	popRecoveries          obs.Counter
+	synthesizedActivations obs.Counter
+	synthesisBlocked       obs.Counter
+	popSamplesDropped      obs.Counter
 }
 
 // snapshot copies the counters.
@@ -98,6 +119,12 @@ func (m *metrics) snapshot() Metrics {
 		CanaryActivations:  m.canaryActivations.Value(),
 		RewritePanics:      m.rewritePanics.Value(),
 		RuleQuarantines:    m.ruleQuarantines.Value(),
+
+		PopulationTrips:          m.popTrips.Value(),
+		PopulationRecoveries:     m.popRecoveries.Value(),
+		SynthesizedActivations:   m.synthesizedActivations.Value(),
+		SynthesisBlocked:         m.synthesisBlocked.Value(),
+		PopulationSamplesDropped: m.popSamplesDropped.Value(),
 	}
 }
 

@@ -27,15 +27,17 @@ import (
 // another. An export taken during concurrent ingest is weakly consistent
 // across shards (each shard's slice is a true point-in-time copy).
 
-// persistedState is the on-disk envelope. Guard is additive (omitted when
-// empty or on guardless engines), so snapshots from engines without guard
-// state stay byte-identical to the pre-guard format, and pre-guard snapshots
-// decode with a nil Guard — which imports as empty guard state.
+// persistedState is the on-disk envelope. Guard and Population are additive
+// (omitted when empty or on engines without the subsystem), so snapshots
+// from engines without that state stay byte-identical to the earlier
+// formats, and older snapshots decode with nil sections — which import as
+// empty guard/population state.
 type persistedState struct {
-	Version  int                `json:"version"`
-	SavedAt  time.Time          `json:"savedAt"`
-	Profiles []persistedProfile `json:"profiles"`
-	Guard    *guard.Persisted   `json:"guard,omitempty"`
+	Version    int                `json:"version"`
+	SavedAt    time.Time          `json:"savedAt"`
+	Profiles   []persistedProfile `json:"profiles"`
+	Guard      *guard.Persisted   `json:"guard,omitempty"`
+	Population *popPersisted      `json:"population,omitempty"`
 }
 
 type persistedProfile struct {
@@ -53,6 +55,7 @@ type persistedActivation struct {
 	TriggerServer   string    `json:"triggerServer,omitempty"`
 	TriggerDistance float64   `json:"triggerDistance,omitempty"`
 	Activations     int       `json:"activations"`
+	Synthesized     bool      `json:"synthesized,omitempty"`
 }
 
 // stateVersion is the current persistence format version.
@@ -138,6 +141,7 @@ func (e *Engine) ExportState() ([]byte, error) {
 	if e.guard != nil {
 		st.Guard = e.guard.Export() // nil (omitted) when nothing to persist
 	}
+	st.Population = e.exportPop() // nil (omitted) when nothing to persist
 
 	for _, sh := range e.shards {
 		sh.mu.RLock()
@@ -180,6 +184,7 @@ func snapshotProfile(prof *Profile) persistedProfile {
 			TriggerServer:   a.TriggerServer,
 			TriggerDistance: a.TriggerDistance,
 			Activations:     a.Activations,
+			Synthesized:     a.Synthesized,
 		})
 	}
 	return pp
@@ -254,6 +259,7 @@ func (e *Engine) ImportState(data []byte) error {
 				TriggerServer:   pa.TriggerServer,
 				TriggerDistance: pa.TriggerDistance,
 				Activations:     pa.Activations,
+				Synthesized:     pa.Synthesized,
 			}
 			// Arm lazy expiry so an imported TTL'd activation lapses on the
 			// serve path just like a live-activated one.
@@ -296,6 +302,9 @@ func (e *Engine) ImportState(data []byte) error {
 		// pre-guard and legacy snapshots — that imports as empty guard state.
 		e.guard.Import(st.Guard)
 	}
+	// Same discipline for the population section: nil (pre-synthesis or
+	// legacy snapshots) imports as empty population state.
+	e.importPop(st.Population)
 	for _, sh := range e.shards {
 		sh.mu.Unlock()
 	}

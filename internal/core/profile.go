@@ -28,6 +28,10 @@ type ActiveRule struct {
 	// Activations counts how many times this rule has (re-)activated for
 	// the user, driving linear alternative progression.
 	Activations int
+	// Synthesized marks provenance: the activation came from
+	// population-level rule synthesis rather than this user's own
+	// violation history. A later organic (re-)activation clears it.
+	Synthesized bool
 }
 
 // Expired reports whether the activation has lapsed at time now.
@@ -127,6 +131,10 @@ func (p *Profile) activate(r *rules.Rule, altIndex int, now time.Time, server st
 	a.TriggerServer = server
 	a.TriggerDistance = distance
 	a.Activations++
+	// Provenance defaults to organic; synthesizeLocked sets Synthesized on
+	// the returned activation, and any later organic (re-)activation —
+	// meaning the user's own evidence now justifies the rule — clears it.
+	a.Synthesized = false
 	p.noteExpiry(a.ExpiresAt)
 	p.epoch.Add(1)
 	return a
@@ -259,7 +267,9 @@ func (p *Profile) deriveEntry(path string, now time.Time, gen, ep uint64) *actCa
 	ent.acts = make([]rules.Activation, 0, len(ids))
 	for _, id := range ids {
 		a := p.active[id]
-		ent.acts = append(ent.acts, rules.Activation{Rule: a.Rule, AltIndex: a.AltIndex})
+		ent.acts = append(ent.acts, rules.Activation{
+			Rule: a.Rule, AltIndex: a.AltIndex, Synthesized: a.Synthesized,
+		})
 	}
 	ent.fp = activationFingerprint(gen, path, ent.acts)
 	ent.applier = rules.NewApplier(ent.acts, path)
@@ -314,7 +324,9 @@ func (p *Profile) activations(path string, now time.Time) []rules.Activation {
 	acts := make([]rules.Activation, 0, len(ids))
 	for _, id := range ids {
 		a := p.active[id]
-		acts = append(acts, rules.Activation{Rule: a.Rule, AltIndex: a.AltIndex})
+		acts = append(acts, rules.Activation{
+			Rule: a.Rule, AltIndex: a.AltIndex, Synthesized: a.Synthesized,
+		})
 	}
 	return acts
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"oak/internal/obs"
+	"oak/internal/stats"
 )
 
 // Sharding: the engine's per-user state (profiles with their violation
@@ -39,6 +40,20 @@ type shard struct {
 	// deactivate every activation on the dead provider without scanning
 	// profiles. Guarded by mu (write lock for every mutation).
 	provIndex map[string]map[string]map[string]struct{}
+	// pop, maintained only on synthesis-enabled engines, holds this shard's
+	// current-window per-provider download-time sketches; the population
+	// tick swaps it out and merges across shards. Created lazily on the
+	// first fed report. Guarded by mu. See popwire.go.
+	pop *shardPop
+}
+
+// shardPop is one shard's slice of the population aggregation window.
+type shardPop struct {
+	// provs maps provider hostname → this window's download-time sketch,
+	// bounded by SynthesisConfig.MaxProviders.
+	provs map[string]*stats.QuantileSketch
+	// hh ranks providers by report appearances (space-saving top-k).
+	hh *stats.HeavyHitters
 }
 
 // Shard-count bounds. The count is always rounded up to a power of two so

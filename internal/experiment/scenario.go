@@ -134,6 +134,9 @@ type ScenarioEngine struct {
 	// Guard, when non-nil and enabled, wires the per-provider circuit
 	// breakers (internal/guard) into every engine.
 	Guard *ScenarioGuard `json:"guard,omitempty"`
+	// Synthesis, when non-nil and enabled, wires population-level detection
+	// and automatic rule synthesis (core.WithSynthesis) into every engine.
+	Synthesis *ScenarioSynthesis `json:"synthesis,omitempty"`
 }
 
 // ScenarioGuard enables and tunes the circuit breakers.
@@ -148,6 +151,27 @@ type ScenarioGuard struct {
 	// HalfOpenCanaries / CloseAfter tune re-admission (guard defaults).
 	HalfOpenCanaries int `json:"halfOpenCanaries,omitempty"`
 	CloseAfter       int `json:"closeAfter,omitempty"`
+}
+
+// ScenarioSynthesis enables and tunes population-level detection. Zero
+// fields take the core.SynthesisConfig defaults.
+type ScenarioSynthesis struct {
+	Enabled bool `json:"enabled"`
+	// WindowMinutes is the aggregation window in simulated minutes
+	// (default 2; size it to a small multiple of intervalMinutes so each
+	// window sees a few rounds of traffic).
+	WindowMinutes int `json:"windowMinutes,omitempty"`
+	// DegradeFactor is the window-vs-baseline quantile ratio that flags a
+	// provider (default 1.5).
+	DegradeFactor float64 `json:"degradeFactor,omitempty"`
+	// Quantile is the compared quantile (default 0.75).
+	Quantile float64 `json:"quantile,omitempty"`
+	// MinSamples / MinBaselineSamples floor the evidence per judgement
+	// (defaults 20 / MinSamples).
+	MinSamples         int `json:"minSamples,omitempty"`
+	MinBaselineSamples int `json:"minBaselineSamples,omitempty"`
+	// MaxProviders caps tracked providers per engine (default 64).
+	MaxProviders int `json:"maxProviders,omitempty"`
 }
 
 // ScenarioAdmission is a deterministic virtual-time ingest queue: per round,
@@ -268,6 +292,9 @@ type ScenarioExpect struct {
 	// MinStateRecoveries floors backup-state recoveries (restart-with-
 	// corruption scenarios must exercise the .bak path).
 	MinStateRecoveries int `json:"minStateRecoveries,omitempty"`
+	// MinSynthesizedActivations floors population-synthesized activations
+	// (synthesis scenarios must actually exercise the synthesizer).
+	MinSynthesizedActivations int `json:"minSynthesizedActivations,omitempty"`
 }
 
 // specDefault fills documented defaults; called by Validate.
@@ -396,6 +423,15 @@ func (s *ScenarioSpec) Validate() error {
 			return invalidf("engine.guard: negative tuning value")
 		}
 	}
+	if sy := s.Engine.Synthesis; sy != nil {
+		if sy.WindowMinutes < 0 || sy.DegradeFactor < 0 || sy.MinSamples < 0 ||
+			sy.MinBaselineSamples < 0 || sy.MaxProviders < 0 {
+			return invalidf("engine.synthesis: negative tuning value")
+		}
+		if sy.Quantile < 0 || sy.Quantile >= 1 {
+			return invalidf("engine.synthesis: quantile %.3f outside [0,1)", sy.Quantile)
+		}
+	}
 	if a := s.Admission; a != nil {
 		if a.QueueCapacity < 1 || a.ServiceRate < 1 {
 			return invalidf("admission: queueCapacity and serviceRate must be >= 1")
@@ -481,7 +517,8 @@ func (s *ScenarioSpec) Validate() error {
 	}
 	if e.MaxMeanReportsToMitigate < 0 || e.MaxFalseActivations < -1 ||
 		e.MinBreakerTrips < 0 || e.MaxReportsToFirstTrip < 0 ||
-		e.MinShedReports < 0 || e.MinStateRecoveries < 0 {
+		e.MinShedReports < 0 || e.MinStateRecoveries < 0 ||
+		e.MinSynthesizedActivations < 0 {
 		return invalidf("expect: negative floor")
 	}
 	return nil

@@ -64,6 +64,11 @@ type ScenarioResult struct {
 	ActivationsBlocked int `json:"activationsBlocked"`
 	ReportsToFirstTrip int `json:"reportsToFirstTrip"`
 
+	// Population-detection activity (all zero without engine.synthesis).
+	PopulationTrips        int `json:"populationTrips"`
+	SynthesizedActivations int `json:"synthesizedActivations"`
+	SynthesisBlocked       int `json:"synthesisBlocked"`
+
 	// Crash/recovery accounting.
 	Restarts        int `json:"restarts"`
 	StateRecoveries int `json:"stateRecoveries"`
@@ -121,6 +126,9 @@ func (r *ScenarioResult) applyGate(e ScenarioExpect) {
 	}
 	if e.MinStateRecoveries > 0 && r.StateRecoveries < e.MinStateRecoveries {
 		fail("%d state recoveries below floor %d", r.StateRecoveries, e.MinStateRecoveries)
+	}
+	if e.MinSynthesizedActivations > 0 && r.SynthesizedActivations < e.MinSynthesizedActivations {
+		fail("%d synthesized activations below floor %d", r.SynthesizedActivations, e.MinSynthesizedActivations)
 	}
 	r.Pass = len(r.Failures) == 0
 }

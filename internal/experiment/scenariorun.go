@@ -25,6 +25,7 @@ import (
 	"oak/internal/client"
 	"oak/internal/core"
 	"oak/internal/faultinject"
+	"oak/internal/htmlscan"
 	"oak/internal/netsim"
 	"oak/internal/report"
 	"oak/internal/rules"
@@ -69,6 +70,10 @@ type scenarioWorld struct {
 	engines []*core.Engine
 	pool    []webgen.Provider
 
+	// mitigates caches, per (site, rule), the default-provider hosts an
+	// activation of that rule steers away from.
+	mitigates map[siteRule][]string
+
 	// providerHosts is the sorted union of external hosts across sites;
 	// matchable marks hosts some site's rule can redirect.
 	providerHosts []string
@@ -98,6 +103,55 @@ type lossWindow struct {
 type restartEvent struct {
 	atLoad  int
 	corrupt string
+}
+
+type siteRule struct {
+	site int
+	rule string
+}
+
+// ruleMitigates returns the default-provider hosts an activation of the
+// rule steers away from: hosts referenced by the rule's default text plus
+// hosts referenced by the loader scripts that text includes — the same
+// match surface the engine ties rules to servers with. With webgen's shared
+// loader scripts one rule can mitigate several providers at once, so scoring
+// an activation against only its trigger server would under-credit it.
+func (w *scenarioWorld) ruleMitigates(si int, ruleID string) []string {
+	key := siteRule{site: si, rule: ruleID}
+	if hosts, ok := w.mitigates[key]; ok {
+		return hosts
+	}
+	var rl *rules.Rule
+	for _, r := range w.rules[si] {
+		if r.ID == ruleID {
+			rl = r
+			break
+		}
+	}
+	var hosts []string
+	if rl != nil {
+		seen := make(map[string]bool)
+		for _, h := range rl.DefaultHosts() {
+			if !seen[h] {
+				seen[h] = true
+				hosts = append(hosts, h)
+			}
+		}
+		for _, src := range rl.ScriptSrcs() {
+			body, ok := w.assets[si].Scripts[src]
+			if !ok {
+				continue
+			}
+			for _, u := range htmlscan.URLsInText(body) {
+				if h := htmlscan.HostOf(u); h != "" && !seen[h] {
+					seen[h] = true
+					hosts = append(hosts, h)
+				}
+			}
+		}
+	}
+	w.mitigates[key] = hosts
+	return hosts
 }
 
 // scenarioTime maps a load round to its virtual instant.
@@ -145,6 +199,7 @@ func buildScenarioWorld(spec *ScenarioSpec) (*scenarioWorld, error) {
 		degradedRounds:        make(map[string][]int),
 		mirrorFault:           make(map[string]bool),
 		firstMirrorFaultRound: -1,
+		mitigates:             make(map[siteRule][]string),
 	}
 	w.clock = netsim.NewVirtualClock(w.start)
 
@@ -256,6 +311,16 @@ func (w *scenarioWorld) buildEngine(si int) (*core.Engine, error) {
 			OpenFor:          openFor,
 			HalfOpenCanaries: g.HalfOpenCanaries,
 			CloseAfter:       g.CloseAfter,
+		}))
+	}
+	if sy := w.spec.Engine.Synthesis; sy != nil && sy.Enabled {
+		opts = append(opts, core.WithSynthesis(core.SynthesisConfig{
+			Window:             time.Duration(sy.WindowMinutes) * time.Minute,
+			DegradeFactor:      sy.DegradeFactor,
+			Quantile:           sy.Quantile,
+			MinSamples:         sy.MinSamples,
+			MinBaselineSamples: sy.MinBaselineSamples,
+			MaxProviders:       sy.MaxProviders,
 		}))
 	}
 	return core.NewEngine(w.rules[si], opts...)
@@ -484,17 +549,34 @@ func RunScenario(spec *ScenarioSpec) (*ScenarioResult, error) {
 			if ch.Action != "activate" {
 				continue
 			}
-			host := strings.TrimPrefix(ch.Server, "srv-")
-			if w.degradedAt(host, round) && !w.mirrorFault[host] {
-				sc.trueActivations++
+			// An activation is true when it responds to a real problem:
+			// its trigger server is ground-truth degraded (the detection
+			// was right, whatever the catalog rule's reach), or the rule's
+			// (possibly shared) mitigation surface steers away from a
+			// degraded provider. Every degraded provider the activation
+			// covers counts as a detected pair.
+			credited := false
+			mark := func(host string) {
+				if !w.degradedAt(host, round) || w.mirrorFault[host] {
+					return
+				}
+				credited = true
 				key := pairKey{site: p.site, user: p.rep.UserID, host: host}
 				if _, ok := sc.detected[key]; !ok {
 					sc.detected[key] = round
 				}
+			}
+			mark(strings.TrimPrefix(ch.Server, "srv-"))
+			for _, host := range w.ruleMitigates(p.site, ch.RuleID) {
+				mark(host)
+			}
+			if credited {
+				sc.trueActivations++
 			} else {
 				sc.falseActivations++
 				if os.Getenv("OAK_SCEN_DEBUG") != "" {
-					fmt.Fprintf(os.Stderr, "DBG false: site=%d user=%s host=%s round=%d\n", p.site, p.rep.UserID, host, round)
+					fmt.Fprintf(os.Stderr, "DBG false: site=%d user=%s rule=%s server=%s round=%d\n",
+						p.site, p.rep.UserID, ch.RuleID, ch.Server, round)
 				}
 			}
 		}
@@ -614,7 +696,7 @@ func RunScenario(spec *ScenarioSpec) (*ScenarioResult, error) {
 					active := engine.ActiveRules(id, path)
 					html, _ := engine.ModifyPage(id, path, page.HTML)
 					sc.pageLoads++
-					if w.loadDegraded(site, active, round) {
+					if w.loadDegraded(si, active, round) {
 						sc.degradedLoads++
 					}
 					sim := &client.SimClient{
@@ -661,19 +743,23 @@ func RunScenario(spec *ScenarioSpec) (*ScenarioResult, error) {
 // provider the page depends on is in a fault window with no active
 // mitigation for this user, or an active rule steers the user onto a
 // degraded mirror.
-func (w *scenarioWorld) loadDegraded(site *webgen.Site, active []rules.Activation, round int) bool {
+func (w *scenarioWorld) loadDegraded(si int, active []rules.Activation, round int) bool {
 	mitigated := make(map[string]bool, len(active))
 	for _, a := range active {
-		h := strings.TrimPrefix(a.Rule.ID, "swap-")
-		mitigated[h] = true
-		// The rule's target mirror may itself be degraded (blackout).
-		for _, alt := range altMirrorHosts(a) {
-			if w.degradedAt(alt, round) {
+		if a.Rule == nil {
+			continue
+		}
+		zone := altZone(a)
+		for _, h := range w.ruleMitigates(si, a.Rule.ID) {
+			mitigated[h] = true
+			// The rule steers this user onto h's mirror in the selected
+			// zone, which may itself be degraded (blackout).
+			if zone != "" && w.degradedAt(webgen.MirrorHost(h, zone), round) {
 				return true
 			}
 		}
 	}
-	for _, h := range site.ExternalHosts() {
+	for _, h := range w.sites[si].ExternalHosts() {
 		if w.degradedAt(h, round) && !w.mirrorFault[h] && !mitigated[h] {
 			return true
 		}
@@ -681,11 +767,11 @@ func (w *scenarioWorld) loadDegraded(site *webgen.Site, active []rules.Activatio
 	return false
 }
 
-// altMirrorHosts extracts the mirror hostnames an activation's selected
-// alternative points at.
-func altMirrorHosts(a rules.Activation) []string {
+// altZone maps an activation's selected alternative to its mirror zone
+// (webgen builds one alternative per zone, in mirrorZones order).
+func altZone(a rules.Activation) string {
 	if a.Rule == nil || len(a.Rule.Alternatives) == 0 {
-		return nil
+		return ""
 	}
 	idx := a.AltIndex
 	if idx < 0 {
@@ -694,15 +780,10 @@ func altMirrorHosts(a rules.Activation) []string {
 	if idx >= len(a.Rule.Alternatives) {
 		idx = len(a.Rule.Alternatives) - 1
 	}
-	h := strings.TrimPrefix(a.Rule.ID, "swap-")
-	var out []string
-	for _, zone := range mirrorZones {
-		mh := webgen.MirrorHost(h, zone)
-		if strings.Contains(a.Rule.Alternatives[idx], mh) {
-			out = append(out, mh)
-		}
+	if idx >= len(mirrorZones) {
+		idx = len(mirrorZones) - 1
 	}
-	return out
+	return mirrorZones[idx]
 }
 
 // breakerTrips sums guard breaker trips across engines.
@@ -787,17 +868,24 @@ func (w *scenarioWorld) score(sc *scenarioScore) (*ScenarioResult, error) {
 	}
 
 	var modified, trips, rollbacks, blocked uint64
+	var popTrips, synthesized, synthBlocked uint64
 	for _, e := range w.engines {
 		m := e.Metrics()
 		modified += m.PagesModified
 		trips += m.BreakerTrips
 		rollbacks += m.BulkDeactivations
 		blocked += m.ActivationsBlocked
+		popTrips += m.PopulationTrips
+		synthesized += m.SynthesizedActivations
+		synthBlocked += m.SynthesisBlocked
 	}
 	res.PagesModified = int(modified)
 	res.BreakerTrips = int(trips)
 	res.BulkRollbacks = int(rollbacks)
 	res.ActivationsBlocked = int(blocked)
+	res.PopulationTrips = int(popTrips)
+	res.SynthesizedActivations = int(synthesized)
+	res.SynthesisBlocked = int(synthBlocked)
 	if sc.firstTripRound >= 0 {
 		from := w.firstMirrorFaultRound
 		if from < 0 {

@@ -154,3 +154,40 @@ func TestScenarioMatrixRender(t *testing.T) {
 		t.Fatalf("slowloris should pass: %v", res.Failures)
 	}
 }
+
+// TestScenarioPopslowNeedsSynthesis is the ablation that justifies the
+// population layer: popslow's victims report too rarely to clear the
+// per-user violation gate, so running the same workload with synthesis
+// disabled must collapse recall — and produce zero synthesized
+// activations — while the shipped spec (synthesis on) passes its gate.
+func TestScenarioPopslowNeedsSynthesis(t *testing.T) {
+	on := runNamed(t, "popslow")
+	if !on.Pass {
+		t.Fatalf("popslow with synthesis failed its gate: %v", on.Failures)
+	}
+	if on.SynthesizedActivations == 0 || on.PopulationTrips == 0 {
+		t.Fatalf("popslow did not exercise the population layer: %+v", on)
+	}
+
+	spec, err := LoadScenario("popslow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Engine.Synthesis = nil
+	spec.Expect = ScenarioExpect{} // gate belongs to the synthesis run
+	off, err := RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.SynthesizedActivations != 0 || off.PopulationTrips != 0 {
+		t.Errorf("synthesis-less run synthesized anyway: %+v", off)
+	}
+	if off.Recall > 0.5 {
+		t.Errorf("per-user detection alone reached recall %.2f on popslow; "+
+			"the workload no longer demonstrates the population layer (want <= 0.5, synthesis run had %.2f)",
+			off.Recall, on.Recall)
+	}
+	if off.Recall >= on.Recall {
+		t.Errorf("synthesis did not improve recall: off %.2f >= on %.2f", off.Recall, on.Recall)
+	}
+}

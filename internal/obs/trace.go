@@ -36,6 +36,14 @@ const (
 	EventReadmit EventKind = "readmit"
 	// EventRollback — one activation was bulk-deactivated by a breaker trip.
 	EventRollback EventKind = "rollback"
+	// EventPopDegrade — the population detector flagged a provider whose
+	// download-time quantile degraded against its own trailing baseline.
+	EventPopDegrade EventKind = "pop-degrade"
+	// EventPopRecover — a population-degraded provider returned to baseline.
+	EventPopRecover EventKind = "pop-recover"
+	// EventSynthesize — a rule activated for a user via population-level
+	// synthesis rather than the user's own violation history.
+	EventSynthesize EventKind = "synthesize"
 )
 
 // Event is one recorded engine decision.

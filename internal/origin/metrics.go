@@ -21,6 +21,18 @@ const (
 	// TracePath serves the most recent decision-trace events as JSON;
 	// ?n=100 bounds the window (default 100).
 	TracePath = "/oak/trace"
+	// PopulationPath serves the population-detection state (degraded
+	// providers, per-provider baselines, synthesis counters); 404 on
+	// engines built without WithSynthesis.
+	PopulationPath = "/oak/population"
+)
+
+// Versioned aliases of the operator endpoints (see V1Prefix in server.go).
+const (
+	MetricsPathV1    = V1Prefix + "/metrics"
+	HealthzPathV1    = V1Prefix + "/healthz"
+	TracePathV1      = V1Prefix + "/trace"
+	PopulationPathV1 = V1Prefix + "/population"
 )
 
 // defaultTraceWindow is how many events GET /oak/trace returns when the
@@ -61,6 +73,10 @@ type MetricsResponse struct {
 	// Guard is the circuit-breaker state (breakers, quarantined providers
 	// and rules, canary counts); absent on engines built without WithGuard.
 	Guard *core.GuardStatus `json:"guard,omitempty"`
+	// Population is the population-detection state (degraded providers,
+	// per-provider baselines, synthesis counters); absent on engines built
+	// without WithSynthesis.
+	Population *core.PopulationStatus `json:"population,omitempty"`
 }
 
 // ShardSummary is one shard's ingest latency digest.
@@ -88,6 +104,9 @@ type HealthzResponse struct {
 	// OpenBreakers lists alternate providers currently quarantined by an
 	// open guard breaker (omitted when none, or without WithGuard).
 	OpenBreakers []string `json:"open_breakers,omitempty"`
+	// DegradedProviders lists providers the population detector currently
+	// flags (omitted when none, or without WithSynthesis).
+	DegradedProviders []string `json:"degraded_providers,omitempty"`
 }
 
 // handleMetrics serves counters plus ingest/rewrite histograms.
@@ -122,7 +141,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if gs, ok := s.engine.GuardStatus(); ok {
 		resp.Guard = &gs
 	}
+	if ps, ok := s.engine.PopulationStatus(); ok {
+		resp.Population = &ps
+	}
 	writeJSON(w, resp)
+}
+
+// handlePopulation serves the population layer's full state. Engines built
+// without WithSynthesis answer 404: the endpoint does not exist for them,
+// exactly like the guard section is absent from guardless metrics.
+func (s *Server) handlePopulation(w http.ResponseWriter, r *http.Request) {
+	if !getOnly(w, r) {
+		return
+	}
+	ps, ok := s.engine.PopulationStatus()
+	if !ok {
+		http.Error(w, "population detection not enabled", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, ps)
 }
 
 // handleHealthz serves the liveness summary. The status is "degraded" —
@@ -138,12 +175,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "degraded"
 	}
 	writeJSON(w, HealthzResponse{
-		Status:        status,
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Rules:         len(s.engine.Rules()),
-		Users:         s.engine.Users(),
-		Reports:       s.engine.Metrics().ReportsHandled,
-		OpenBreakers:  s.engine.OpenBreakers(),
+		Status:            status,
+		UptimeSeconds:     time.Since(s.started).Seconds(),
+		Rules:             len(s.engine.Rules()),
+		Users:             s.engine.Users(),
+		Reports:           s.engine.Metrics().ReportsHandled,
+		OpenBreakers:      s.engine.OpenBreakers(),
+		DegradedProviders: s.engine.DegradedProviders(),
 	})
 }
 

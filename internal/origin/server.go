@@ -41,6 +41,19 @@ const ReportPath = "/oak/report"
 // operator-facing, not client-facing).
 const AuditPath = "/oak/audit"
 
+// Versioned API surface: every endpoint is also mounted under /oak/v1/, and
+// new integrations should use the v1 paths. The unversioned paths remain as
+// aliases dispatching to the very same handlers — responses are
+// byte-identical — but are deprecated and will not gain new endpoints.
+const (
+	// V1Prefix is the versioned API mount point.
+	V1Prefix = "/oak/v1"
+	// ReportPathV1 is the v1 report-ingestion endpoint (alias: ReportPath).
+	ReportPathV1 = V1Prefix + "/report"
+	// AuditPathV1 is the v1 audit endpoint (alias: AuditPath).
+	AuditPathV1 = V1Prefix + "/audit"
+)
+
 // maxReportBytes is the default bound on single-report bodies; the paper
 // measures a worst case of ~345 KB on the Alexa 500, so 4 MB is a generous
 // ceiling. WithMaxBodyBytes overrides it.
@@ -220,19 +233,24 @@ func (s *Server) LoadPages(fsys fs.FS) (int, error) {
 }
 
 // ServeHTTP implements the two server-side interactions of Figure 4/5:
-// page delivery with per-user modification, and report ingestion.
+// page delivery with per-user modification, and report ingestion. Every
+// endpoint answers under both its versioned /oak/v1 path and its legacy
+// unversioned alias; both dispatch to the same handler, so the responses
+// are byte-identical.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
-	case ReportPath:
+	case ReportPath, ReportPathV1:
 		s.handleReport(w, r)
-	case AuditPath:
+	case AuditPath, AuditPathV1:
 		s.handleAudit(w, r)
-	case MetricsPath:
+	case MetricsPath, MetricsPathV1:
 		s.handleMetrics(w, r)
-	case HealthzPath:
+	case HealthzPath, HealthzPathV1:
 		s.handleHealthz(w, r)
-	case TracePath:
+	case TracePath, TracePathV1:
 		s.handleTrace(w, r)
+	case PopulationPath, PopulationPathV1:
+		s.handlePopulation(w, r)
 	default:
 		s.handlePage(w, r)
 	}

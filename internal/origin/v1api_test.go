@@ -1,0 +1,147 @@
+package origin
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"oak/internal/core"
+	"oak/internal/rules"
+)
+
+// The versioned v1 surface must be an alias, not a fork: every /oak/v1/*
+// path answers with exactly the bytes its legacy twin produces, and the
+// legacy paths keep working so pre-v1 clients are untouched.
+
+// get fetches a path and returns status + body.
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestV1PathsAliasLegacyPathsByteIdentical(t *testing.T) {
+	s := newTestServer(t, []*rules.Rule{swapRule()})
+	s.SetPage("/index.html", `<html><img src="http://slow.example/x.png"></html>`)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Quiesce traffic first so paired GETs see identical state.
+	postReport(t, ts.URL, "u1")
+
+	for _, pair := range [][2]string{
+		{MetricsPath, MetricsPathV1},
+		{TracePath, TracePathV1},
+	} {
+		legacyStatus, legacyBody := get(t, ts.URL+pair[0])
+		v1Status, v1Body := get(t, ts.URL+pair[1])
+		if legacyStatus != http.StatusOK || v1Status != http.StatusOK {
+			t.Fatalf("GET %s = %d, GET %s = %d, want 200/200",
+				pair[0], legacyStatus, pair[1], v1Status)
+		}
+		if !bytes.Equal(legacyBody, v1Body) {
+			t.Errorf("%s and %s bodies differ:\n--- legacy\n%s\n--- v1\n%s",
+				pair[0], pair[1], legacyBody, v1Body)
+		}
+	}
+
+	// Healthz carries a wall-clock uptime, so compare it field-wise with
+	// the uptime zeroed instead of byte-wise.
+	var legacy, v1 HealthzResponse
+	if st, body := get(t, ts.URL+HealthzPath); st != http.StatusOK {
+		t.Fatalf("GET %s = %d", HealthzPath, st)
+	} else if err := json.Unmarshal(body, &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if st, body := get(t, ts.URL+HealthzPathV1); st != http.StatusOK {
+		t.Fatalf("GET %s = %d", HealthzPathV1, st)
+	} else if err := json.Unmarshal(body, &v1); err != nil {
+		t.Fatal(err)
+	}
+	legacy.UptimeSeconds, v1.UptimeSeconds = 0, 0
+	lb, _ := json.Marshal(legacy)
+	vb, _ := json.Marshal(v1)
+	if !bytes.Equal(lb, vb) {
+		t.Errorf("healthz differs across versions:\nlegacy %s\nv1     %s", lb, vb)
+	}
+}
+
+func TestV1ReportPathIngests(t *testing.T) {
+	s := newTestServer(t, []*rules.Rule{swapRule()})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+ReportPathV1, strings.NewReader(slowReportBody("v1user")))
+	req.AddCookie(&http.Cookie{Name: CookieName, Value: "v1user"})
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("POST %s = %d, want 204", ReportPathV1, resp.StatusCode)
+	}
+	if got := s.engine.Metrics().ReportsHandled; got != 1 {
+		t.Errorf("ReportsHandled = %d, want 1", got)
+	}
+}
+
+func TestPopulationEndpointServesStatus(t *testing.T) {
+	engine, err := core.NewEngine([]*rules.Rule{swapRule()},
+		core.WithSynthesis(core.SynthesisConfig{Window: time.Minute}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.MarkDegraded("slow.example")
+	ts := httptest.NewServer(NewServer(engine))
+	defer ts.Close()
+
+	for _, path := range []string{PopulationPath, PopulationPathV1} {
+		st, body := get(t, ts.URL+path)
+		if st != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, st)
+		}
+		var ps core.PopulationStatus
+		if err := json.Unmarshal(body, &ps); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+		if len(ps.Degraded) != 1 || ps.Degraded[0].Provider != "slow.example" || !ps.Degraded[0].Manual {
+			t.Errorf("GET %s degraded = %+v, want one manual slow.example episode", path, ps.Degraded)
+		}
+	}
+
+	// The flag also surfaces on healthz, where load balancers look.
+	var hz HealthzResponse
+	if _, body := get(t, ts.URL+HealthzPathV1); json.Unmarshal(body, &hz) != nil {
+		t.Fatal("healthz decode failed")
+	}
+	if len(hz.DegradedProviders) != 1 || hz.DegradedProviders[0] != "slow.example" {
+		t.Errorf("healthz DegradedProviders = %v, want [slow.example]", hz.DegradedProviders)
+	}
+}
+
+func TestPopulationEndpoint404WithoutSynthesis(t *testing.T) {
+	s := newTestServer(t, []*rules.Rule{swapRule()}) // no WithSynthesis
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for _, path := range []string{PopulationPath, PopulationPathV1} {
+		st, _ := get(t, ts.URL+path)
+		if st != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404 on a synthesis-less engine", path, st)
+		}
+	}
+}

@@ -18,6 +18,11 @@ type Activation struct {
 	Rule *Rule
 	// AltIndex selects which alternative to apply (ignored for Type 1).
 	AltIndex int
+	// Synthesized marks provenance: true when the activation came from
+	// population-level rule synthesis rather than the user's own violation
+	// history. It does not change how the rule applies — only how the
+	// decision is reported and persisted.
+	Synthesized bool
 }
 
 // Applied describes the outcome of applying one activation to a page.

@@ -54,6 +54,20 @@ func Lint(rs []*Rule) []LintWarning {
 
 		defaultHosts := r.DefaultHosts()
 
+		// Replacement rules with no alternatives can never do anything:
+		// Validate rejects them, but rule sets assembled in code (or edited
+		// after validation) can still reach the engine, where the rule — and
+		// population-level synthesis, which needs an alternative to offer —
+		// silently skips.
+		if (r.Type == TypeReplaceSame || r.Type == TypeReplaceAlt) && len(r.Alternatives) == 0 {
+			out = append(out, LintWarning{
+				RuleID: r.ID,
+				Code:   "no-alternatives",
+				Message: "replacement rule has an empty alternatives list; " +
+					"it can never activate and synthesis skips it",
+			})
+		}
+
 		// Alternatives that still reference a default host defeat the
 		// switch: the client keeps contacting the violator.
 		for i, alt := range r.Alternatives {
@@ -72,6 +86,18 @@ func Lint(rs []*Rule) []LintWarning {
 					RuleID:  r.ID,
 					Code:    "alt-equals-default",
 					Message: fmt.Sprintf("alternative %d is identical to the default text", i),
+				})
+			}
+			// An alternative with no extractable hostname is invisible to
+			// the per-provider guard breakers and to synthesis outcome
+			// attribution: it can activate but never be judged or tripped.
+			if r.Type != TypeRemove && alt != "" &&
+				len(htmlscan.ExtractSrcHosts(alt)) == 0 && len(htmlscan.HostsInText(alt)) == 0 {
+				out = append(out, LintWarning{
+					RuleID: r.ID,
+					Code:   "alt-no-host",
+					Message: fmt.Sprintf(
+						"alternative %d references no hostname; guard breakers cannot attribute outcomes to it", i),
 				})
 			}
 		}

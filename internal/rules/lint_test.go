@@ -138,3 +138,50 @@ func TestLintEmpty(t *testing.T) {
 		t.Errorf("Lint(nil) = %v", ws)
 	}
 }
+
+func TestLintNoAlternatives(t *testing.T) {
+	// Validate rejects this shape, but rule sets assembled in code reach
+	// the engine unvalidated — where the rule (and synthesis) silently
+	// skips. Lint must flag both replacement types; remove rules are fine.
+	for _, typ := range []Type{TypeReplaceSame, TypeReplaceAlt} {
+		rs := []*Rule{{
+			ID: "r", Type: typ,
+			Default: `<img src="http://h.example/x.png">`,
+			Scope:   "*",
+		}}
+		if c := codes(Lint(rs)); c["no-alternatives"] != 1 {
+			t.Errorf("type %d codes = %v, want no-alternatives", typ, c)
+		}
+	}
+	rm := []*Rule{{
+		ID: "r", Type: TypeRemove,
+		Default: `<img src="http://h.example/x.png">`,
+		Scope:   "*",
+	}}
+	if c := codes(Lint(rm)); c["no-alternatives"] != 0 {
+		t.Errorf("remove rule flagged no-alternatives: %v", c)
+	}
+}
+
+func TestLintAltNoHost(t *testing.T) {
+	rs := []*Rule{{
+		ID: "r", Type: TypeReplaceSame,
+		Default:      `<img src="http://h.example/x.png">`,
+		Alternatives: []string{`<span>placeholder</span>`},
+		Scope:        "*",
+	}}
+	if c := codes(Lint(rs)); c["alt-no-host"] != 1 {
+		t.Errorf("codes = %v, want alt-no-host", c)
+	}
+	// An inline removal-style empty alternative is deliberate, not a
+	// mistake: no warning.
+	empty := []*Rule{{
+		ID: "r", Type: TypeReplaceSame,
+		Default:      `<img src="http://h.example/x.png">`,
+		Alternatives: []string{""},
+		Scope:        "*",
+	}}
+	if c := codes(Lint(empty)); c["alt-no-host"] != 0 {
+		t.Errorf("empty alternative flagged alt-no-host: %v", c)
+	}
+}

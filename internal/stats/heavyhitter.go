@@ -1,0 +1,116 @@
+package stats
+
+import "sort"
+
+// HeavyHitter is one entry reported by HeavyHitters.Top: an item, its
+// estimated count, and the maximum overestimation error. The true count is
+// in [Count-Error, Count].
+type HeavyHitter struct {
+	Item  string
+	Count uint64
+	Error uint64
+}
+
+// HeavyHitters is a space-saving top-k counter (Metwally et al.): it tracks
+// at most k items exactly while the stream's tail shares slots, guaranteeing
+// that any item with true frequency above Count/k is present and that
+// per-item overestimation is bounded by the smallest tracked count. Memory
+// is O(k) regardless of stream cardinality.
+//
+// The engine uses it to answer "which providers dominate the report stream"
+// for the population status endpoint without tracking every hostname ever
+// seen. Not safe for concurrent use; callers synchronize.
+type HeavyHitters struct {
+	k      int
+	counts map[string]*hhEntry
+}
+
+type hhEntry struct {
+	count uint64
+	err   uint64
+}
+
+// NewHeavyHitters returns a counter tracking at most k items. k < 1 is
+// treated as 1.
+func NewHeavyHitters(k int) *HeavyHitters {
+	if k < 1 {
+		k = 1
+	}
+	return &HeavyHitters{k: k, counts: make(map[string]*hhEntry, k)}
+}
+
+// Add records weight observations of item. When the table is full, the
+// minimum-count entry is evicted and the newcomer inherits its count as
+// error bound — the space-saving replacement rule.
+func (h *HeavyHitters) Add(item string, weight uint64) {
+	if weight == 0 {
+		return
+	}
+	if e, ok := h.counts[item]; ok {
+		e.count += weight
+		return
+	}
+	if len(h.counts) < h.k {
+		h.counts[item] = &hhEntry{count: weight}
+		return
+	}
+	// Evict the minimum.
+	var minItem string
+	var minEntry *hhEntry
+	for it, e := range h.counts {
+		if minEntry == nil || e.count < minEntry.count ||
+			(e.count == minEntry.count && it < minItem) {
+			minItem, minEntry = it, e
+		}
+	}
+	delete(h.counts, minItem)
+	h.counts[item] = &hhEntry{count: minEntry.count + weight, err: minEntry.count}
+}
+
+// Top returns the n highest-count items, descending by count (ties broken
+// by item for determinism). n <= 0 or n > tracked returns all tracked.
+func (h *HeavyHitters) Top(n int) []HeavyHitter {
+	out := make([]HeavyHitter, 0, len(h.counts))
+	for it, e := range h.counts {
+		out = append(out, HeavyHitter{Item: it, Count: e.count, Error: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Len returns how many items are currently tracked.
+func (h *HeavyHitters) Len() int { return len(h.counts) }
+
+// Merge folds o into h, summing counts and errors for shared items and
+// re-trimming to k afterwards. The merged counter keeps the space-saving
+// guarantees (with error bounds summed). o is unchanged; nil is a no-op.
+func (h *HeavyHitters) Merge(o *HeavyHitters) {
+	if o == nil {
+		return
+	}
+	for it, e := range o.counts {
+		if mine, ok := h.counts[it]; ok {
+			mine.count += e.count
+			mine.err += e.err
+		} else {
+			h.counts[it] = &hhEntry{count: e.count, err: e.err}
+		}
+	}
+	if len(h.counts) <= h.k {
+		return
+	}
+	keep := h.Top(h.k)
+	nc := make(map[string]*hhEntry, h.k)
+	for _, hh := range keep {
+		nc[hh.Item] = &hhEntry{count: hh.Count, err: hh.Error}
+	}
+	h.counts = nc
+}

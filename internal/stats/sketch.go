@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+)
+
+// QuantileSketch is a DDSketch-style streaming quantile estimator over
+// positive values with relative-error guarantees and a fixed memory
+// footprint.
+//
+// Values are binned into logarithmically spaced buckets: bucket i covers
+// [sketchMin*gamma^i, sketchMin*gamma^(i+1)). A quantile query walks the
+// cumulative counts and reports the log-midpoint of the bucket the rank
+// falls into, which bounds the relative error by (gamma-1)/(gamma+1) ≈ 7%
+// for the gamma used here — plenty for "did the p75 move by 1.5×?", the
+// only question the population detector asks.
+//
+// Unlike t-digest, the bucket layout is static, which makes Merge a plain
+// element-wise add: sketches from different shards (or different nodes)
+// combine losslessly, and merging is associative and commutative. Decay
+// halves every bucket, turning a baseline sketch into an exponentially
+// weighted trailing window.
+//
+// The zero value is ready to use. QuantileSketch is not safe for concurrent
+// use; callers synchronize (in the engine, the owning shard's lock or the
+// population state's own mutex).
+type QuantileSketch struct {
+	buckets [sketchBuckets]uint64
+	// count is the total weight across buckets, kept separately so Count
+	// and the rank walk don't rescan the array on every Add.
+	count uint64
+}
+
+const (
+	// sketchBuckets fixes the memory ceiling: the sketch is this many
+	// uint64 counters and nothing else, ~1 KiB per sketch regardless of
+	// how many samples it has absorbed.
+	sketchBuckets = 128
+	// sketchMin is the smallest distinguishable value in milliseconds;
+	// anything at or below it lands in bucket 0. With gamma=1.15 the top
+	// bucket then starts around sketchMin*gamma^127 ≈ 2.9e6 ms, far past
+	// any plausible download time.
+	sketchMin = 0.05
+	// sketchGamma is the bucket growth factor; relative error is bounded
+	// by (gamma-1)/(gamma+1) ≈ 7%.
+	sketchGamma = 1.15
+)
+
+// sketchLogGamma is math.Log(sketchGamma), precomputed since Add is on the
+// ingest hot path.
+var sketchLogGamma = math.Log(sketchGamma)
+
+// sketchIndex maps a value to its bucket, clamping to the array bounds so
+// pathological inputs (zero, negative, NaN, +Inf) degrade to the edge
+// buckets instead of corrupting memory.
+func sketchIndex(v float64) int {
+	if !(v > sketchMin) { // catches <=min, NaN
+		return 0
+	}
+	i := int(math.Log(v/sketchMin) / sketchLogGamma)
+	if i < 0 {
+		return 0
+	}
+	if i >= sketchBuckets {
+		return sketchBuckets - 1
+	}
+	return i
+}
+
+// Add records one observation.
+func (s *QuantileSketch) Add(v float64) {
+	s.buckets[sketchIndex(v)]++
+	s.count++
+}
+
+// Count returns the total number of recorded observations (after any
+// Decay, the surviving weight).
+func (s *QuantileSketch) Count() uint64 { return s.count }
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) of the
+// recorded values. It returns 0 for an empty sketch. Estimates carry the
+// sketch's relative-error bound; q outside [0,1] is clamped.
+func (s *QuantileSketch) Quantile(q float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is 1-based: the smallest value has rank 1.
+	rank := uint64(math.Ceil(q * float64(s.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < sketchBuckets; i++ {
+		cum += s.buckets[i]
+		if cum >= rank {
+			return bucketValue(i)
+		}
+	}
+	return bucketValue(sketchBuckets - 1)
+}
+
+// bucketValue returns the representative value (log-midpoint) of bucket i.
+func bucketValue(i int) float64 {
+	if i == 0 {
+		return sketchMin
+	}
+	return sketchMin * math.Exp((float64(i)+0.5)*sketchLogGamma)
+}
+
+// Merge folds o into s. Because the bucket layout is static the merge is
+// exact: the merged sketch answers queries as if it had seen both streams.
+// o is unchanged; a nil o is a no-op.
+func (s *QuantileSketch) Merge(o *QuantileSketch) {
+	if o == nil {
+		return
+	}
+	for i := range s.buckets {
+		s.buckets[i] += o.buckets[i]
+	}
+	s.count += o.count
+}
+
+// Decay halves every bucket (integer division), giving the sketch an
+// exponentially decaying memory: applied once per window, observations
+// from k windows ago carry weight 2^-k. Used to keep the population
+// baseline trailing instead of permanent.
+func (s *QuantileSketch) Decay() {
+	var total uint64
+	for i := range s.buckets {
+		s.buckets[i] /= 2
+		total += s.buckets[i]
+	}
+	s.count = total
+}
+
+// Reset empties the sketch.
+func (s *QuantileSketch) Reset() {
+	*s = QuantileSketch{}
+}
+
+// MemoryBytes reports the fixed memory footprint of one sketch: the bucket
+// array plus the count, independent of stream length. This is the
+// bytes-per-provider ceiling quoted in the operations docs.
+func (s *QuantileSketch) MemoryBytes() int {
+	return sketchBuckets*8 + 8
+}

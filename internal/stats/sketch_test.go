@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// maxRelErr is the sketch's worst-case relative error, (gamma-1)/(gamma+1),
+// padded slightly for the discrete rank walk on small samples.
+const maxRelErr = (sketchGamma - 1) / (sketchGamma + 1) * 1.3
+
+func exactQuantile(xs []float64, q float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return sorted[i]
+}
+
+func TestQuantileSketchAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s QuantileSketch
+	xs := make([]float64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		// Log-normal-ish download times: mostly tens of ms, long tail.
+		v := math.Exp(rng.NormFloat64()*1.2 + 3.5)
+		xs = append(xs, v)
+		s.Add(v)
+	}
+	if s.Count() != 5000 {
+		t.Fatalf("Count = %d, want 5000", s.Count())
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := s.Quantile(q)
+		want := exactQuantile(xs, q)
+		rel := math.Abs(got-want) / want
+		if rel > maxRelErr {
+			t.Errorf("Quantile(%v) = %v, exact %v, rel err %.3f > %.3f",
+				q, got, want, rel, maxRelErr)
+		}
+	}
+}
+
+func TestQuantileSketchEdgeCases(t *testing.T) {
+	var s QuantileSketch
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	// Hostile inputs must not panic and must land in edge buckets.
+	for _, v := range []float64{0, -5, math.NaN(), math.Inf(1), math.Inf(-1), 1e300} {
+		s.Add(v)
+	}
+	if s.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count())
+	}
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Errorf("q<0 not clamped: %v vs %v", got, s.Quantile(0))
+	}
+	if got := s.Quantile(2); got != s.Quantile(1) {
+		t.Errorf("q>1 not clamped: %v vs %v", got, s.Quantile(1))
+	}
+
+	var one QuantileSketch
+	one.Add(100)
+	for _, q := range []float64{0, 0.5, 1} {
+		got := one.Quantile(q)
+		if math.Abs(got-100)/100 > maxRelErr {
+			t.Errorf("single-value Quantile(%v) = %v, want ~100", q, got)
+		}
+	}
+}
+
+func TestQuantileSketchMergeEqualsConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var a, b, both QuantileSketch
+	for i := 0; i < 1000; i++ {
+		v := rng.Float64() * 500
+		a.Add(v)
+		both.Add(v)
+	}
+	for i := 0; i < 700; i++ {
+		v := 1000 + rng.Float64()*5000
+		b.Add(v)
+		both.Add(v)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() {
+		t.Fatalf("merged Count = %d, want %d", a.Count(), both.Count())
+	}
+	for q := 0.05; q < 1; q += 0.05 {
+		if ga, gb := a.Quantile(q), both.Quantile(q); ga != gb {
+			t.Errorf("Quantile(%v): merged %v != concat %v", q, ga, gb)
+		}
+	}
+	a.Merge(nil) // no-op
+	if a.Count() != both.Count() {
+		t.Fatalf("Merge(nil) changed count")
+	}
+}
+
+func TestQuantileSketchDecay(t *testing.T) {
+	var s QuantileSketch
+	for i := 0; i < 1000; i++ {
+		s.Add(50)
+	}
+	s.Decay()
+	if s.Count() != 500 {
+		t.Fatalf("after Decay Count = %d, want 500", s.Count())
+	}
+	// Odd counts round down; repeated decay drains the sketch.
+	for i := 0; i < 20; i++ {
+		s.Decay()
+	}
+	if s.Count() != 0 {
+		t.Fatalf("after repeated Decay Count = %d, want 0", s.Count())
+	}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("drained Quantile = %v, want 0", got)
+	}
+}
+
+func TestQuantileSketchResetAndMemory(t *testing.T) {
+	var s QuantileSketch
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i + 1))
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("Reset left state: count=%d q50=%v", s.Count(), s.Quantile(0.5))
+	}
+	if got := s.MemoryBytes(); got != sketchBuckets*8+8 {
+		t.Fatalf("MemoryBytes = %d, want %d", got, sketchBuckets*8+8)
+	}
+}
+
+func TestHeavyHittersSkewedStream(t *testing.T) {
+	h := NewHeavyHitters(4)
+	// Zipf-ish: a dominates, then b, then c; long tail of singletons.
+	for i := 0; i < 300; i++ {
+		h.Add("a", 1)
+	}
+	for i := 0; i < 150; i++ {
+		h.Add("b", 1)
+	}
+	for i := 0; i < 80; i++ {
+		h.Add("c", 1)
+	}
+	for i := 0; i < 50; i++ {
+		h.Add("tail-"+string(rune('a'+i%26))+string(rune('0'+i/26)), 1)
+	}
+	top := h.Top(3)
+	if len(top) != 3 {
+		t.Fatalf("Top(3) len = %d", len(top))
+	}
+	if top[0].Item != "a" || top[1].Item != "b" || top[2].Item != "c" {
+		t.Fatalf("Top(3) order = %v, want a,b,c", top)
+	}
+	// Space-saving guarantee: estimate >= true count, error bounded.
+	if top[0].Count < 300 || top[0].Count-top[0].Error > 300 {
+		t.Errorf("a: count %d err %d excludes true 300", top[0].Count, top[0].Error)
+	}
+	if h.Len() != 4 {
+		t.Errorf("Len = %d, want 4 (table full)", h.Len())
+	}
+}
+
+func TestHeavyHittersBasics(t *testing.T) {
+	h := NewHeavyHitters(0) // clamped to 1
+	h.Add("x", 5)
+	h.Add("x", 0) // zero weight is a no-op
+	h.Add("y", 10)
+	top := h.Top(0)
+	if len(top) != 1 {
+		t.Fatalf("k=1 tracked %d items", len(top))
+	}
+	if top[0].Item != "y" || top[0].Count != 15 || top[0].Error != 5 {
+		t.Fatalf("replacement rule broken: %+v", top[0])
+	}
+}
+
+func TestHeavyHittersMerge(t *testing.T) {
+	a := NewHeavyHitters(3)
+	b := NewHeavyHitters(3)
+	a.Add("x", 10)
+	a.Add("y", 5)
+	b.Add("x", 7)
+	b.Add("z", 20)
+	b.Add("w", 1)
+	a.Merge(b)
+	if a.Len() > 3 {
+		t.Fatalf("merge exceeded k: %d", a.Len())
+	}
+	top := a.Top(2)
+	if top[0].Item != "z" || top[0].Count != 20 {
+		t.Errorf("top after merge = %+v, want z/20", top[0])
+	}
+	if top[1].Item != "x" || top[1].Count != 17 {
+		t.Errorf("second after merge = %+v, want x/17", top[1])
+	}
+	a.Merge(nil) // no-op
+}
+
+func BenchmarkQuantileSketchAdd(b *testing.B) {
+	var s QuantileSketch
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i%2000) + 0.5)
+	}
+}
+
+func BenchmarkQuantileSketchMerge(b *testing.B) {
+	var a, o QuantileSketch
+	for i := 0; i < 10000; i++ {
+		o.Add(float64(i % 3000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Merge(&o)
+	}
+}

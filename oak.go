@@ -42,9 +42,13 @@
 package oak
 
 import (
+	"bytes"
+	"fmt"
+	"io"
 	"io/fs"
 	"net/http"
 	"time"
+	"unicode"
 
 	"oak/internal/client"
 	"oak/internal/core"
@@ -216,27 +220,48 @@ type LoadResult = client.LoadResult
 // HostResolver maps hostnames in page markup to reachable addresses.
 type HostResolver = client.HostResolver
 
-// Wire-level constants of the origin server.
+// Wire-level constants of the origin server. The API is versioned: every
+// endpoint answers under /oak/v1/... (the *V1 constants) and new
+// integrations should use those paths. The unversioned paths remain as
+// aliases serving byte-identical responses, but are deprecated — see the
+// "API versioning" note in the README.
 const (
 	// CookieName is the identifying cookie Oak issues to clients.
 	CookieName = origin.CookieName
-	// ReportPath is the HTTP POST endpoint for performance reports: one
+	// V1Prefix is the versioned API mount point ("/oak/v1").
+	V1Prefix = origin.V1Prefix
+	// ReportPathV1 is the HTTP POST endpoint for performance reports: one
 	// JSON report per request, or — with Content-Type BatchContentType —
 	// an NDJSON batch of one report per line.
+	ReportPathV1 = origin.ReportPathV1
+	// ReportPath is the deprecated unversioned alias of ReportPathV1.
 	ReportPath = origin.ReportPath
-	// BatchContentType marks a ReportPath body as an NDJSON batch.
+	// BatchContentType marks a report body as an NDJSON batch.
 	BatchContentType = origin.BatchContentType
-	// AuditPath serves the operator audit summary. Restrict access in
+	// AuditPathV1 serves the operator audit summary. Restrict access in
 	// deployments: it is operator-facing.
+	AuditPathV1 = origin.AuditPathV1
+	// AuditPath is the deprecated unversioned alias of AuditPathV1.
 	AuditPath = origin.AuditPath
-	// MetricsPath serves engine counters and ingest/rewrite latency
+	// MetricsPathV1 serves engine counters and ingest/rewrite latency
 	// histograms as JSON. Operator-facing.
+	MetricsPathV1 = origin.MetricsPathV1
+	// MetricsPath is the deprecated unversioned alias of MetricsPathV1.
 	MetricsPath = origin.MetricsPath
-	// HealthzPath serves a liveness summary (uptime, rule/user counts).
+	// HealthzPathV1 serves a liveness summary (uptime, rule/user counts).
+	HealthzPathV1 = origin.HealthzPathV1
+	// HealthzPath is the deprecated unversioned alias of HealthzPathV1.
 	HealthzPath = origin.HealthzPath
-	// TracePath serves recent decision-trace events as JSON (?n=100).
+	// TracePathV1 serves recent decision-trace events as JSON (?n=100).
 	// Operator-facing.
+	TracePathV1 = origin.TracePathV1
+	// TracePath is the deprecated unversioned alias of TracePathV1.
 	TracePath = origin.TracePath
+	// PopulationPathV1 serves the population-detection state (degraded
+	// providers, baselines, synthesis counters); 404 without WithSynthesis.
+	PopulationPathV1 = origin.PopulationPathV1
+	// PopulationPath is the unversioned alias of PopulationPathV1.
+	PopulationPath = origin.PopulationPath
 )
 
 // NewEngine builds an Oak engine over a compiled rule set.
@@ -330,6 +355,31 @@ type BreakerStatus = guard.ProviderStatus
 //	defer p.Stop()
 type Prober = guard.Prober
 
+// SynthesisConfig enables and tunes population-level detection and
+// automatic rule synthesis: per-provider download-time sketches fed on
+// every report, a window-vs-trailing-baseline quantile comparison that
+// flags globally degraded providers, and a synthesizer that activates
+// matching catalog rules for affected users before they individually
+// accumulate enough violations. Zero fields take defaults (2m window,
+// 1.5× degrade factor on the p75, 20 samples minimum, 64 providers).
+type SynthesisConfig = core.SynthesisConfig
+
+// WithSynthesis enables population-level detection and rule synthesis.
+// Synthesized activations carry provenance (trace kind "synthesize",
+// synthesized flags in snapshots and the audit trail) and are admitted
+// through the guard breakers like organic ones, so a bad synthetic rule
+// self-rolls-back. Degraded providers surface in /oak/v1/metrics
+// ("population"), /oak/v1/healthz ("degraded_providers") and the dedicated
+// /oak/v1/population endpoint; Engine.MarkDegraded / Engine.ClearDegraded
+// are the manual override verbs.
+func WithSynthesis(cfg SynthesisConfig) EngineOption { return core.WithSynthesis(cfg) }
+
+// PopulationStatus is the population layer's externally visible state
+// (degraded providers, per-provider baseline quantiles, top providers,
+// synthesis counters), returned by Engine.PopulationStatus and served at
+// PopulationPathV1.
+type PopulationStatus = core.PopulationStatus
+
 // ServerOption configures NewServer.
 type ServerOption = origin.Option
 
@@ -363,14 +413,61 @@ func NewServer(engine *Engine, opts ...ServerOption) *Server {
 // NewContentServer returns an empty external content server.
 func NewContentServer() *ContentServer { return origin.NewContentServer() }
 
+// RuleSet is a parsed operator rule configuration: the unit LoadRules
+// returns, NewEngine consumes (via .Rules), and MarshalJSON round-trips.
+// The zero value is an empty, valid rule set.
+type RuleSet struct {
+	// Rules are the compiled-order rules, ready for NewEngine.
+	Rules []*Rule
+}
+
+// Lint inspects the set for mistakes that compile fine but misbehave in
+// production. Warnings are advisory; see LintRules.
+func (rs *RuleSet) Lint() []LintWarning { return rules.Lint(rs.Rules) }
+
+// MarshalJSON encodes the set in the JSON rule configuration format (the
+// same format LoadRules auto-detects), as indented JSON.
+func (rs *RuleSet) MarshalJSON() ([]byte, error) { return rules.MarshalJSON(rs.Rules) }
+
+// LoadRules reads a rule configuration and auto-detects its format: input
+// whose first non-space byte is '[' or '{' parses as the JSON rule format,
+// anything else as the operator rule DSL. This is the one entry point that
+// subsumes ParseRules (DSL) and ParseRulesJSON (JSON):
+//
+//	f, _ := os.Open("rules.conf")
+//	rs, err := oak.LoadRules(f)
+//	engine, err := oak.NewEngine(rs.Rules)
+func LoadRules(r io.Reader) (*RuleSet, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("oak: read rules: %w", err)
+	}
+	trimmed := bytes.TrimLeftFunc(data, unicode.IsSpace)
+	if len(trimmed) > 0 && (trimmed[0] == '[' || trimmed[0] == '{') {
+		parsed, err := rules.ParseJSON(data)
+		if err != nil {
+			return nil, err
+		}
+		return &RuleSet{Rules: parsed}, nil
+	}
+	parsed, err := rules.ParseDSL(string(data))
+	if err != nil {
+		return nil, err
+	}
+	return &RuleSet{Rules: parsed}, nil
+}
+
 // ParseRules parses the operator rule DSL (heredoc blocks for HTML
-// fragments; see internal/rules.ParseDSL for the grammar).
+// fragments; see internal/rules.ParseDSL for the grammar). Thin wrapper
+// kept for compatibility; prefer LoadRules, which auto-detects the format.
 func ParseRules(text string) ([]*Rule, error) { return rules.ParseDSL(text) }
 
-// ParseRulesJSON parses the JSON rule configuration format.
+// ParseRulesJSON parses the JSON rule configuration format. Thin wrapper
+// kept for compatibility; prefer LoadRules, which auto-detects the format.
 func ParseRulesJSON(data []byte) ([]*Rule, error) { return rules.ParseJSON(data) }
 
-// MarshalRules encodes a rule set as indented JSON.
+// MarshalRules encodes a rule set as indented JSON. Thin wrapper kept for
+// compatibility; prefer RuleSet.MarshalJSON.
 func MarshalRules(rs []*Rule) ([]byte, error) { return rules.MarshalJSON(rs) }
 
 // LintWarning is one advisory finding from LintRules.

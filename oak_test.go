@@ -182,3 +182,80 @@ func TestFacadeUnmarshalReport(t *testing.T) {
 		t.Errorf("round trip = %+v", back)
 	}
 }
+
+// TestLoadRulesAutodetect feeds LoadRules each format it claims to
+// auto-detect — the DSL, a JSON array, and a JSON object with leading
+// whitespace — and expects the same compiled rule from all three.
+func TestLoadRulesAutodetect(t *testing.T) {
+	dsl, err := oak.ParseRules(facadeRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asJSON, err := oak.MarshalRules(dsl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]string{
+		"dsl":        facadeRules,
+		"json":       string(asJSON),
+		"jsonSpaced": "\n\t  " + string(asJSON),
+	}
+	for name, in := range inputs {
+		rs, err := oak.LoadRules(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%s: LoadRules: %v", name, err)
+		}
+		if len(rs.Rules) != 1 || rs.Rules[0].ID != "swap-primary" || rs.Rules[0].Type != oak.TypeReplaceSame {
+			t.Errorf("%s: rules = %+v", name, rs.Rules)
+		}
+	}
+}
+
+func TestLoadRulesRejectsGarbage(t *testing.T) {
+	for name, in := range map[string]string{
+		"badJSON": `[{"id": }`,
+		"badDSL":  `rule broken { type 9`,
+	} {
+		if _, err := oak.LoadRules(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: LoadRules accepted invalid input", name)
+		}
+	}
+}
+
+// TestRuleSetLintAndMarshal exercises the RuleSet methods around LoadRules:
+// Lint surfaces the no-alternatives trap, MarshalJSON re-exports losslessly.
+func TestRuleSetLintAndMarshal(t *testing.T) {
+	rs, err := oak.LoadRules(strings.NewReader(facadeRules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := rs.Lint(); len(ws) != 0 {
+		t.Errorf("clean set linted dirty: %v", ws)
+	}
+	rs.Rules[0].Alternatives = nil
+	found := false
+	for _, w := range rs.Lint() {
+		if w.Code == "no-alternatives" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lint missed no-alternatives: %v", rs.Lint())
+	}
+
+	rs2, err := oak.LoadRules(strings.NewReader(facadeRules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rs2.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := oak.LoadRules(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatalf("re-load of MarshalJSON output: %v", err)
+	}
+	if len(back.Rules) != 1 || back.Rules[0].ID != "swap-primary" {
+		t.Errorf("marshal round trip = %+v", back.Rules)
+	}
+}

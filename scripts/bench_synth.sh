@@ -1,0 +1,85 @@
+#!/bin/sh
+# bench_synth.sh — run the population-detection benchmarks and record the
+# results in BENCH_synth.json, so successive PRs leave a trajectory for the
+# three numbers that matter to the sketch/synthesis design:
+#
+#   - synth_overhead: reports/sec with synthesis off divided by reports/sec
+#     with it on (serial ingest). Acceptance bar 1.05 — per report the
+#     population layer pays one sketch feed per contacted provider plus an
+#     atomic nextTick load; the window fold is amortised across the whole
+#     window's reports.
+#   - sketch insert/merge ns/op (internal/stats): the primitive the feed is
+#     built on; bounded memory means these must stay allocation-flat.
+#   - popslow time-to-mitigation: mean degraded rounds until the victim's
+#     page is rewritten, from the checked-in popslow scenario (deterministic
+#     per its spec seed). Per-user detection alone never mitigates these
+#     low-report users, so this number exists only because of synthesis.
+#
+# The parallel SynthOn benchmark tracks contention: sketch feeds happen
+# under the shard write lock ingest already holds, so a regression there
+# without one in the serial number means lock-hold time grew.
+#
+# Usage: scripts/bench_synth.sh [benchtime]   (default 1s)
+set -e
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-1s}"
+out="BENCH_synth.json"
+scen=$(mktemp)
+trap 'rm -f "$scen"' EXIT
+
+echo "== go test -bench population ingest on/off + sketch primitives (benchtime $benchtime) =="
+raw=$(go test -run '^$' \
+	-bench 'Benchmark(HandleReportSynth(On|Off|OnParallel)|QuantileSketch(Add|Merge))$' \
+	-benchmem -count 1 -benchtime "$benchtime" ./internal/core ./internal/stats)
+echo "$raw"
+
+echo "== popslow scenario (time-to-mitigation) =="
+go run ./cmd/oakbench scenario -out "$scen" popslow
+
+# Pull the mitigation numbers out of the scenario matrix JSON (stable
+# indented encoding, one field per line).
+mean_mit=$(awk -F': ' '/"meanReportsToMitigate"/ { gsub(/,/, "", $2); print $2; exit }' "$scen")
+synth_acts=$(awk -F': ' '/"synthesizedActivations"/ { gsub(/,/, "", $2); print $2; exit }' "$scen")
+pop_trips=$(awk -F': ' '/"populationTrips"/ { gsub(/,/, "", $2); print $2; exit }' "$scen")
+
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v mean_mit="${mean_mit:-0}" -v synth_acts="${synth_acts:-0}" -v pop_trips="${pop_trips:-0}" '
+/^cpu:/ { if (cpu == "") { sub(/^cpu: */, ""); cpu = $0 } }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	iters = $2
+	ns = ""; rps = ""
+	for (i = 3; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "reports/sec") rps = $(i - 1)
+	}
+	if (ns == "") next
+	n++
+	names[n] = name; iterations[n] = iters; nsop[n] = ns; rate[n] = rps
+	if (name == "BenchmarkHandleReportSynthOn") on = rps
+	if (name == "BenchmarkHandleReportSynthOff") off = rps
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchmarks\": [\n"
+	for (i = 1; i <= n; i++) {
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", \
+			names[i], iterations[i], nsop[i]
+		if (rate[i] != "")
+			printf ", \"reports_per_sec\": %.0f", rate[i]
+		printf "}%s\n", (i < n ? "," : "")
+	}
+	printf "  ]"
+	if (on > 0 && off > 0)
+		printf ",\n  \"synth_overhead\": %.3f", off / on
+	printf ",\n  \"popslow_mean_reports_to_mitigate\": %s", mean_mit
+	printf ",\n  \"popslow_synthesized_activations\": %s", synth_acts
+	printf ",\n  \"popslow_population_trips\": %s", pop_trips
+	printf "\n}\n"
+}' >"$out"
+
+echo "wrote $out"

@@ -11,13 +11,16 @@
 # single-pass rewriter provably equivalent to the sequential reference. A
 # one-iteration serve benchmark run keeps the benchmark code compiling. The
 # guard chaos smoke re-runs the kill-the-alternate scenario on its own so a
-# breaker regression fails the verify with a named step, and a one-iteration
-# guard benchmark run keeps BENCH_guard.json producible. Finally, a compact
-# scenario smoke runs three checked-in end-to-end workloads (cellular,
-# blackout, slowloris) against injected ground truth and gates on the
-# precision/recall/trip floors in each spec's expect block — a regression in
-# detection quality, guard response, or false-positive control fails the
-# verify even when every unit test still passes.
+# breaker regression fails the verify with a named step; one-iteration guard
+# and synthesis benchmark runs keep BENCH_guard.json and BENCH_synth.json
+# producible. Finally, a compact scenario smoke runs four checked-in
+# end-to-end workloads (cellular, blackout, slowloris, popslow) against
+# injected ground truth and gates on the precision/recall/trip floors in
+# each spec's expect block — popslow additionally requires at least one
+# breaker trip and one synthesized activation, so a regression in
+# detection quality, guard response, population-level synthesis, or
+# false-positive control fails the verify even when every unit test still
+# passes.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -56,7 +59,10 @@ go test -race -run 'TestChaosGuardKillsAlternateMidRun' -count=1 ./internal/faul
 echo "== guard benchmark smoke (1 iteration) =="
 go test -run '^$' -bench 'BenchmarkActivationGuardOn|BenchmarkGuardRollback100$' -benchtime 1x ./internal/core
 
-echo "== scenario smoke: cellular + blackout + slowloris (gated on expect floors) =="
-go run ./cmd/oakbench scenario cellular blackout slowloris
+echo "== synthesis benchmark smoke (1 iteration) =="
+go test -run '^$' -bench 'BenchmarkHandleReportSynth(On|Off)$' -benchtime 1x ./internal/core
+
+echo "== scenario smoke: cellular + blackout + slowloris + popslow (gated on expect floors) =="
+go run ./cmd/oakbench scenario cellular blackout slowloris popslow
 
 echo "verify: OK"
