@@ -1,4 +1,4 @@
-.PHONY: verify test race vet fmt bench bench-serve bench-shed bench-guard bench-synth bench-scenarios bench-all chaos fuzz
+.PHONY: verify test race vet fmt bench bench-serve bench-shed bench-guard bench-synth bench-scenarios bench-gateway bench-all chaos fuzz
 
 # Full PR verify path: build, formatting, vet, tests, and race-checking of
 # the concurrent engine + observability packages. See scripts/verify.sh.
@@ -9,7 +9,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/core ./internal/obs ./internal/origin ./internal/faultinject
+	go test -race ./internal/core ./internal/obs ./internal/origin ./internal/faultinject ./internal/gateway
 
 # Chaos suite: the full client -> origin -> engine -> persistence loop under
 # injected transport faults, queue saturation and snapshot corruption, with
@@ -57,6 +57,12 @@ bench-synth:
 # non-zero if any scenario misses a floor in its expect block.
 bench-scenarios:
 	sh scripts/bench_scenarios.sh
+
+# Cluster-gateway benchmarks + BENCH_gateway.json (forwarding overhead vs
+# direct on the batch warm path, gated <= 1.25x; per-request report/page
+# hop cost; failover reroute throughput and chaos-measured time-to-reroute).
+bench-gateway:
+	sh scripts/bench_gateway.sh
 
 # Every benchmark in the repo, raw output only.
 bench-all:

@@ -29,6 +29,14 @@
 // -synth-window > 0):
 //
 //	oakreport -population http://localhost:8080
+//
+// With -cluster it points at an oakgw gateway instead of a single node and
+// renders the aggregated fleet view: per-backend state-machine positions,
+// range ownership, snapshot freshness, fleet-wide user/report totals, the
+// open-breaker and degraded-provider unions, and the gateway's own
+// forwarding/failover/broadcast counters:
+//
+//	oakreport -cluster http://localhost:8090
 package main
 
 import (
@@ -43,6 +51,7 @@ import (
 	"time"
 
 	"oak/internal/core"
+	"oak/internal/gateway"
 	"oak/internal/origin"
 	"oak/internal/report"
 	"oak/internal/stats"
@@ -62,6 +71,7 @@ func run(args []string, out io.Writer) error {
 	metricsURL := fs.String("metrics", "", "base URL of a live Oak server; fetch and pretty-print its /oak/v1/metrics instead of analysing files")
 	guardURL := fs.String("guard", "", "base URL of a live Oak server; print its circuit-breaker guard state (breakers, quarantines, canaries)")
 	popURL := fs.String("population", "", "base URL of a live Oak server; print its population-detection state (degraded providers, baselines, synthesis counters)")
+	clusterURL := fs.String("cluster", "", "base URL of an oakgw gateway; print the aggregated fleet health and metrics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +83,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *popURL != "" {
 		return livePopulation(out, *popURL)
+	}
+	if *clusterURL != "" {
+		return liveCluster(out, *clusterURL)
 	}
 	files := fs.Args()
 	if len(files) == 0 {
@@ -288,6 +301,84 @@ func livePopulation(out io.Writer, base string) error {
 	}
 	fmt.Fprintf(out, "tracked providers: %d, sketch memory: %s\n",
 		ps.TrackedProviders, byteSize(int64(ps.SketchMemoryBytes)))
+	return nil
+}
+
+// liveCluster fetches an oakgw gateway's detailed fleet view and counters
+// and renders them for a terminal.
+func liveCluster(out io.Writer, base string) error {
+	base = strings.TrimSuffix(base, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var ch gateway.ClusterHealthResponse
+	if err := fetchJSON(client, base+gateway.ClusterPathV1, &ch); err != nil {
+		return err
+	}
+	var cm gateway.ClusterMetricsResponse
+	if err := fetchJSON(client, base+origin.MetricsPathV1, &cm); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "== %s cluster ==\n", base)
+	fmt.Fprintf(out, "status %s, up %s, %d users, %d reports across the fleet\n\n",
+		ch.Status, (time.Duration(ch.UptimeSeconds * float64(time.Second))).Round(time.Second),
+		ch.Users, ch.Reports)
+
+	fmt.Fprintf(out, "%-4s %-26s %-10s %-22s %6s %8s %10s\n",
+		"idx", "backend", "state", "range", "fails", "users", "snapshot")
+	row := func(idx string, bh gateway.BackendHealth) {
+		rng := "-"
+		if bh.Range != nil {
+			rng = bh.Range.String()
+		}
+		users := "-"
+		if bh.Healthz != nil {
+			users = fmt.Sprintf("%d", bh.Healthz.Users)
+		}
+		snap := "none"
+		if bh.SnapshotBytes > 0 {
+			snap = fmt.Sprintf("%s/%.0fs", byteSize(int64(bh.SnapshotBytes)), bh.SnapshotAgeSeconds)
+		}
+		fmt.Fprintf(out, "%-4s %-26s %-10s %-22s %6d %8s %10s\n",
+			idx, bh.Addr, bh.State, rng, bh.ConsecutiveFails, users, snap)
+		if bh.LastError != "" {
+			fmt.Fprintf(out, "     last error: %s\n", bh.LastError)
+		}
+	}
+	for i, bh := range ch.Backends {
+		row(fmt.Sprintf("%d", i), bh)
+	}
+	if ch.Standby != nil {
+		row("sby", *ch.Standby)
+	}
+
+	if len(ch.OpenBreakers) > 0 {
+		fmt.Fprintf(out, "\nopen breakers (fleet union):     %s\n", strings.Join(ch.OpenBreakers, ", "))
+	} else {
+		fmt.Fprintln(out, "\nopen breakers (fleet union):     none")
+	}
+	if len(ch.DegradedProviders) > 0 {
+		fmt.Fprintf(out, "degraded providers (fleet union): %s\n", strings.Join(ch.DegradedProviders, ", "))
+	} else {
+		fmt.Fprintln(out, "degraded providers (fleet union): none")
+	}
+
+	g := cm.Gateway
+	fmt.Fprintf(out, "\ngateway counters\n")
+	for _, r := range []struct {
+		name string
+		v    uint64
+	}{
+		{"forwarded reports", g.ForwardedReports},
+		{"forwarded pages", g.ForwardedPages},
+		{"failovers", g.Failovers},
+		{"probe cycles", g.ProbeCycles},
+		{"breaker broadcasts", g.BreakerBroadcasts},
+		{"degrade broadcasts", g.DegradeBroadcasts},
+		{"replacements", g.Replacements},
+	} {
+		fmt.Fprintf(out, "  %-22s %d\n", r.name, r.v)
+	}
 	return nil
 }
 

@@ -73,6 +73,13 @@ func (p RetryPolicy) normalized() RetryPolicy {
 // instead of stalling the whole load on one dead connection.
 const DefaultObjectTimeout = 10 * time.Second
 
+// DefaultSubmitTimeout bounds a whole report submission — every attempt
+// plus every backoff sleep — when HTTPClient.SubmitTimeout is zero. Without
+// it, only individual attempts had deadlines, so a dead origin whose 503s
+// carried long Retry-After hints could hold a submitter in backoff far past
+// any useful horizon.
+const DefaultSubmitTimeout = time.Minute
+
 // HTTPClient is an Oak-enabled client over real HTTP: it loads pages,
 // measures every object download, and reports the timings back to the Oak
 // origin, exactly like the paper's modified-WebKit client.
@@ -98,6 +105,9 @@ type HTTPClient struct {
 	// Retry tunes the backoff schedule for object fetches, page fetches
 	// and report submission. Zero fields take defaults.
 	Retry RetryPolicy
+	// SubmitTimeout bounds a whole report submission including backoff
+	// sleeps (default DefaultSubmitTimeout; negative disables the bound).
+	SubmitTimeout time.Duration
 	// Seed makes the retry jitter deterministic for tests and simulations;
 	// 0 seeds from the clock.
 	Seed int64
@@ -397,52 +407,133 @@ func (c *HTTPClient) fetchPage(originBase, path string) (string, error) {
 // as a local constant so the client does not link the server package.
 const reportPathV1 = "/oak/v1/report"
 
-// SubmitReport POSTs a report to the Oak origin's versioned report
-// endpoint, retrying transport failures and retryable statuses
-// (503/5xx/429) with exponential backoff and jitter. A 503 from a
-// load-shedding origin carries Retry-After; the client honours it, waiting
-// at least that long before the next attempt.
-func (c *HTTPClient) SubmitReport(originBase string, rep *report.Report) error {
-	data, err := rep.Marshal()
-	if err != nil {
-		return fmt.Errorf("client: marshal report: %w", err)
+// SubmitResult is the terminal response of a SubmitBytes exchange: the
+// status, headers and body of the last response received, whether or not
+// that status is a success. Callers that relay responses (the cluster
+// gateway) mirror all three.
+type SubmitResult struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// sleepCtx sleeps for d or until the context is done, whichever comes
+// first, returning the context's error in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
 	}
-	endpoint := strings.TrimSuffix(originBase, "/") + reportPathV1
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// SubmitBytes POSTs a pre-serialised body to an endpoint under the
+// client's full retry machinery: transport failures and retryable statuses
+// (408/429/5xx) are retried with exponential backoff and jitter, a
+// Retry-After header from a shedding server is honoured (bounded), and the
+// context deadline caps the whole exchange — attempts and backoff sleeps
+// alike. The last response received is returned even when its status is a
+// failure, so callers can distinguish "the server said no" from "the
+// server was never reached" (nil result + error). This is the primitive
+// report submission and gateway forwarding are built on.
+func (c *HTTPClient) SubmitBytes(ctx context.Context, endpoint, contentType string, body []byte, cookies []*http.Cookie) (*SubmitResult, error) {
 	p := c.Retry.normalized()
 	var (
 		lastErr error
+		last    *SubmitResult
 		hint    time.Duration
 	)
 	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(c.retryDelay(attempt-1, hint))
+			if err := sleepCtx(ctx, c.retryDelay(attempt-1, hint)); err != nil {
+				return last, fmt.Errorf("client: submit deadline: %w", err)
+			}
 			hint = 0
 		}
-		req, err := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader(data))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(body))
 		if err != nil {
-			return fmt.Errorf("client: build report request: %w", err)
+			return last, fmt.Errorf("client: build request: %w", err)
 		}
-		req.Header.Set("Content-Type", "application/json")
-		if c.UserID != "" {
-			req.AddCookie(&http.Cookie{Name: "oak-user", Value: c.UserID})
+		req.Header.Set("Content-Type", contentType)
+		for _, ck := range cookies {
+			req.AddCookie(ck)
 		}
 		resp, err := c.httpc().Do(req)
 		if err != nil {
-			lastErr = fmt.Errorf("client: post report: %w", err)
+			lastErr = fmt.Errorf("client: post: %w", err)
+			if ctx.Err() != nil {
+				return last, fmt.Errorf("client: submit deadline: %w", ctx.Err())
+			}
 			continue
 		}
-		_, _ = io.Copy(io.Discard, resp.Body)
+		respBody, err := io.ReadAll(resp.Body)
 		_ = resp.Body.Close()
-		if resp.StatusCode == http.StatusNoContent {
-			return nil
+		if err != nil {
+			lastErr = fmt.Errorf("client: read response: %w", err)
+			continue
 		}
-		lastErr = fmt.Errorf("client: report status %d", resp.StatusCode)
+		last = &SubmitResult{Status: resp.StatusCode, Header: resp.Header, Body: respBody}
 		if !retryableStatus(resp.StatusCode) {
-			return lastErr
+			return last, nil
 		}
+		lastErr = fmt.Errorf("client: status %d", resp.StatusCode)
 		hint = retryAfterHint(resp, time.Now())
 	}
-	return lastErr
+	if last != nil {
+		// Retries exhausted but the server did answer: hand the caller the
+		// terminal response to act on (or mirror).
+		return last, nil
+	}
+	return nil, lastErr
+}
+
+// SubmitReport POSTs a report to the Oak origin's versioned report
+// endpoint, retrying transport failures and retryable statuses
+// (503/5xx/429) with exponential backoff and jitter. A 503 from a
+// load-shedding origin carries Retry-After; the client honours it, waiting
+// at least that long before the next attempt. The whole submission —
+// attempts and sleeps — is bounded by SubmitTimeout.
+func (c *HTTPClient) SubmitReport(originBase string, rep *report.Report) error {
+	return c.SubmitReportCtx(context.Background(), originBase, rep)
+}
+
+// SubmitReportCtx is SubmitReport under a caller-supplied context. The
+// client's SubmitTimeout (default DefaultSubmitTimeout, negative disables)
+// is layered on as a deadline, so even a background context cannot leave a
+// submitter in unbounded backoff against a dead origin.
+func (c *HTTPClient) SubmitReportCtx(ctx context.Context, originBase string, rep *report.Report) error {
+	data, err := rep.Marshal()
+	if err != nil {
+		return fmt.Errorf("client: marshal report: %w", err)
+	}
+	timeout := c.SubmitTimeout
+	if timeout == 0 {
+		timeout = DefaultSubmitTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	endpoint := strings.TrimSuffix(originBase, "/") + reportPathV1
+	var cookies []*http.Cookie
+	if c.UserID != "" {
+		cookies = append(cookies, &http.Cookie{Name: "oak-user", Value: c.UserID})
+	}
+	res, err := c.SubmitBytes(ctx, endpoint, "application/json", data, cookies)
+	if err != nil {
+		return fmt.Errorf("client: post report: %w", err)
+	}
+	if res.Status == http.StatusNoContent {
+		return nil
+	}
+	return fmt.Errorf("client: report status %d", res.Status)
 }
 
 // LoadAndReport performs a full Oak round: load the page, submit the report.

@@ -79,6 +79,11 @@ type Engine struct {
 	// WithSynthesis request until construction. See popwire.go.
 	pop         *popState
 	synthConfig *SynthesisConfig
+
+	// stateSource records where this engine's state last came from
+	// (fresh/snapshot/backup/shipped) for healthz and the cluster gateway;
+	// set by LoadStateFile and ImportShippedState. Empty reads as StateFresh.
+	stateSource atomic.Value // StateSource
 }
 
 // Option configures an Engine.

@@ -33,11 +33,22 @@ import (
 // formats, and older snapshots decode with nil sections — which import as
 // empty guard/population state.
 type persistedState struct {
-	Version    int                `json:"version"`
-	SavedAt    time.Time          `json:"savedAt"`
+	Version int       `json:"version"`
+	SavedAt time.Time `json:"savedAt"`
+	// Range, present only on partial (per-user-range) exports, records the
+	// half-open arc of the user-hash ring the profiles were filtered to.
+	// Whole-engine exports omit it, so they stay byte-identical to earlier
+	// format generations.
+	Range      *persistedRange    `json:"range,omitempty"`
 	Profiles   []persistedProfile `json:"profiles"`
 	Guard      *guard.Persisted   `json:"guard,omitempty"`
 	Population *popPersisted      `json:"population,omitempty"`
+}
+
+// persistedRange is the on-disk form of a HashRange.
+type persistedRange struct {
+	Lo uint32 `json:"lo"`
+	Hi uint32 `json:"hi"`
 }
 
 type persistedProfile struct {
@@ -94,8 +105,14 @@ func (e *Engine) ExportSnapshot() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	return wrapSnapshot(payload), nil
+}
+
+// wrapSnapshot prepends the checksummed OAKSNAP2 envelope to a state
+// payload.
+func wrapSnapshot(payload []byte) []byte {
 	header := fmt.Sprintf(snapshotHeader, crc32.Checksum(payload, snapshotCRC), len(payload))
-	return append([]byte(header), payload...), nil
+	return append([]byte(header), payload...)
 }
 
 // unwrapSnapshot strips and verifies the snapshot envelope, returning the
@@ -137,7 +154,19 @@ func unwrapSnapshot(data []byte) ([]byte, error) {
 
 // ExportState serialises all per-user state as JSON.
 func (e *Engine) ExportState() ([]byte, error) {
+	return e.exportStateRange(HashRange{})
+}
+
+// exportStateRange serialises the per-user state of one arc of the hash
+// ring (the whole ring when r is the whole-space range). Guard and
+// population sections are engine-global, not per-user, so every range
+// export carries them in full; a whole-space export is byte-identical to
+// ExportState.
+func (e *Engine) exportStateRange(r HashRange) ([]byte, error) {
 	st := persistedState{Version: stateVersion, SavedAt: e.now()}
+	if !r.Whole() {
+		st.Range = &persistedRange{Lo: r.Lo, Hi: r.Hi}
+	}
 	if e.guard != nil {
 		st.Guard = e.guard.Export() // nil (omitted) when nothing to persist
 	}
@@ -145,7 +174,10 @@ func (e *Engine) ExportState() ([]byte, error) {
 
 	for _, sh := range e.shards {
 		sh.mu.RLock()
-		for _, prof := range sh.profiles {
+		for uid, prof := range sh.profiles {
+			if !r.Contains(userHash(uid)) {
+				continue
+			}
 			st.Profiles = append(st.Profiles, snapshotProfile(prof))
 		}
 		sh.mu.RUnlock()
@@ -201,21 +233,66 @@ func snapshotProfile(prof *Profile) persistedProfile {
 // any profile is touched — and incompatible format versions with
 // ErrStateVersion.
 func (e *Engine) ImportState(data []byte) error {
-	if len(bytes.TrimSpace(data)) == 0 {
-		return fmt.Errorf("%w: empty state file", ErrCorruptState)
-	}
-	payload, err := unwrapSnapshot(data)
+	st, err := decodeState(data)
 	if err != nil {
 		return err
 	}
-	var st persistedState
-	if err := json.Unmarshal(payload, &st); err != nil {
-		return fmt.Errorf("%w: decode state: %v", ErrCorruptState, err)
-	}
-	if st.Version != stateVersion {
-		return fmt.Errorf("%w %d", ErrStateVersion, st.Version)
+	fresh, freshIdx, err := e.buildImport(st, HashRange{})
+	if err != nil {
+		return err
 	}
 
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+	}
+	for i, sh := range e.shards {
+		sh.profiles = fresh[i]
+		sh.provIndex = freshIdx[i]
+		sh.users.Set(int64(len(fresh[i])))
+	}
+	if e.guard != nil {
+		// Inside the all-locks window, so profiles and breaker states from
+		// the same snapshot become visible together. st.Guard is nil for
+		// pre-guard and legacy snapshots — that imports as empty guard state.
+		e.guard.Import(st.Guard)
+	}
+	// Same discipline for the population section: nil (pre-synthesis or
+	// legacy snapshots) imports as empty population state.
+	e.importPop(st.Population)
+	for _, sh := range e.shards {
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// decodeState unwraps (and, when the envelope is present, verifies) a
+// snapshot and decodes its JSON payload, enforcing the format version.
+func decodeState(data []byte) (*persistedState, error) {
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, fmt.Errorf("%w: empty state file", ErrCorruptState)
+	}
+	payload, err := unwrapSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	var st persistedState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return nil, fmt.Errorf("%w: decode state: %v", ErrCorruptState, err)
+	}
+	if st.Version != stateVersion {
+		return nil, fmt.Errorf("%w %d", ErrStateVersion, st.Version)
+	}
+	return &st, nil
+}
+
+// buildImport constructs, off-lock, the per-shard profile maps (and, on
+// guard-enabled engines, the provider→activations indexes) for the
+// payload's profiles. Every profile must hash into want — a payload profile
+// outside the declared range means the file does not match what it claims
+// to contain, which is a form of corruption. Activations of rules absent
+// from the current rule set and activations that expired while in transit
+// are dropped.
+func (e *Engine) buildImport(st *persistedState, want HashRange) (fresh []map[string]*Profile, freshIdx []map[string]map[string]map[string]struct{}, err error) {
 	now := e.now()
 
 	ruleSet := e.ruleSnapshot()
@@ -224,16 +301,18 @@ func (e *Engine) ImportState(data []byte) error {
 		byID[r.ID] = r
 	}
 
-	// Build the new shard contents (and, on guard-enabled engines, the
-	// provider→activations indexes) off-lock, then swap under all locks.
-	fresh := make([]map[string]*Profile, len(e.shards))
-	freshIdx := make([]map[string]map[string]map[string]struct{}, len(e.shards))
+	fresh = make([]map[string]*Profile, len(e.shards))
+	freshIdx = make([]map[string]map[string]map[string]struct{}, len(e.shards))
 	for i := range fresh {
 		fresh[i] = make(map[string]*Profile)
 	}
 	for _, pp := range st.Profiles {
 		if pp.UserID == "" {
-			return fmt.Errorf("%w: state has profile without user id", ErrCorruptState)
+			return nil, nil, fmt.Errorf("%w: state has profile without user id", ErrCorruptState)
+		}
+		if !want.Contains(userHash(pp.UserID)) {
+			return nil, nil, fmt.Errorf("%w: profile %q hashes to %08x, outside range %v",
+				ErrCorruptState, pp.UserID, userHash(pp.UserID), want)
 		}
 		si := e.shardIndex(pp.UserID)
 		prof := newProfile(pp.UserID)
@@ -287,26 +366,5 @@ func (e *Engine) ImportState(data []byte) error {
 		}
 		fresh[si][pp.UserID] = prof
 	}
-
-	for _, sh := range e.shards {
-		sh.mu.Lock()
-	}
-	for i, sh := range e.shards {
-		sh.profiles = fresh[i]
-		sh.provIndex = freshIdx[i]
-		sh.users.Set(int64(len(fresh[i])))
-	}
-	if e.guard != nil {
-		// Inside the all-locks window, so profiles and breaker states from
-		// the same snapshot become visible together. st.Guard is nil for
-		// pre-guard and legacy snapshots — that imports as empty guard state.
-		e.guard.Import(st.Guard)
-	}
-	// Same discipline for the population section: nil (pre-synthesis or
-	// legacy snapshots) imports as empty population state.
-	e.importPop(st.Population)
-	for _, sh := range e.shards {
-		sh.mu.Unlock()
-	}
-	return nil
+	return fresh, freshIdx, nil
 }

@@ -123,14 +123,28 @@ const (
 	fnvPrime32  = 16777619
 )
 
-// shardIndex maps a user ID to its shard's index.
-func (e *Engine) shardIndex(userID string) int {
+// userHash is the 32-bit FNV-1a hash of a user ID. It is the one hash the
+// whole system partitions users by: the shard index is its low bits, and
+// the cluster gateway routes users to backends by contiguous ranges of this
+// hash space (see HashRange), so a node's range export contains exactly the
+// users a gateway sends it.
+func userHash(userID string) uint32 {
 	h := uint32(fnvOffset32)
 	for i := 0; i < len(userID); i++ {
 		h ^= uint32(userID[i])
 		h *= fnvPrime32
 	}
-	return int(h & uint32(len(e.shards)-1))
+	return h
+}
+
+// UserHash exposes the user-partitioning hash (see userHash). Exported for
+// the gateway and tooling; the value is stable across releases because
+// snapshots and routing both depend on it.
+func UserHash(userID string) uint32 { return userHash(userID) }
+
+// shardIndex maps a user ID to its shard's index.
+func (e *Engine) shardIndex(userID string) int {
+	return int(userHash(userID) & uint32(len(e.shards)-1))
 }
 
 // shardFor returns the shard owning the user ID.

@@ -32,6 +32,10 @@ const (
 	// StateBackup: the primary was damaged or missing and state was
 	// recovered from the rotating backup.
 	StateBackup StateSource = "backup"
+	// StateShipped: state was rehydrated from a snapshot shipped by
+	// another node (cluster node replacement), not from this node's own
+	// files. Set by ImportShippedState, never by LoadStateFile.
+	StateShipped StateSource = "shipped"
 )
 
 // SaveStateFile persists the engine's state to path crash-safely:
@@ -83,6 +87,7 @@ func (e *Engine) LoadStateFile(path string) (StateSource, error) {
 		// backup holds the last good snapshot.
 		bdata, berr := os.ReadFile(bak)
 		if os.IsNotExist(berr) {
+			e.stateSource.Store(StateFresh)
 			return StateFresh, nil
 		}
 		if berr != nil {
@@ -92,6 +97,7 @@ func (e *Engine) LoadStateFile(path string) (StateSource, error) {
 			return "", fmt.Errorf("engine: import state backup: %w", ierr)
 		}
 		e.metrics.stateRecoveries.Inc()
+		e.stateSource.Store(StateBackup)
 		return StateBackup, nil
 	}
 	if err != nil {
@@ -99,6 +105,7 @@ func (e *Engine) LoadStateFile(path string) (StateSource, error) {
 	}
 	primaryErr := e.ImportState(data)
 	if primaryErr == nil {
+		e.stateSource.Store(StateSnapshot)
 		return StateSnapshot, nil
 	}
 	if !errors.Is(primaryErr, ErrCorruptState) && !errors.Is(primaryErr, ErrStateVersion) {
@@ -114,13 +121,40 @@ func (e *Engine) LoadStateFile(path string) (StateSource, error) {
 		return "", fmt.Errorf("engine: snapshot and backup both unusable: %w (backup: %v)", primaryErr, ierr)
 	}
 	e.metrics.stateRecoveries.Inc()
+	e.stateSource.Store(StateBackup)
 	return StateBackup, nil
 }
 
-// StateRecoveries returns how many times state was restored from the
-// rotating backup because the primary snapshot was damaged or missing.
+// ImportShippedState restores a snapshot shipped from another node — the
+// cluster node-replacement path. Beyond ImportState it marks the engine's
+// state source as StateShipped and counts a state recovery, so healthz
+// shows that this process's state was rebuilt from somewhere other than
+// its own files.
+func (e *Engine) ImportShippedState(data []byte) error {
+	if err := e.ImportState(data); err != nil {
+		return err
+	}
+	e.metrics.stateRecoveries.Inc()
+	e.stateSource.Store(StateShipped)
+	return nil
+}
+
+// StateRecoveries returns how many times state was restored from somewhere
+// other than the primary snapshot file: the rotating backup (damaged or
+// missing primary) or a shipped snapshot (node replacement).
 func (e *Engine) StateRecoveries() uint64 {
 	return e.metrics.stateRecoveries.Value()
+}
+
+// StateStatus reports where the engine's state last came from and how many
+// recoveries have happened. An engine that never loaded a state file reads
+// as StateFresh.
+func (e *Engine) StateStatus() (StateSource, uint64) {
+	src, _ := e.stateSource.Load().(StateSource)
+	if src == "" {
+		src = StateFresh
+	}
+	return src, e.metrics.stateRecoveries.Value()
 }
 
 // writeFileSync writes data to path and fsyncs it before closing, so the

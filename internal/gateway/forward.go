@@ -1,0 +1,328 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"oak/internal/client"
+	"oak/internal/core"
+	"oak/internal/origin"
+	"oak/internal/rules"
+)
+
+// Forwarding: reports and page serves are routed to the backend owning the
+// user's hash-ring arc and carried by the oak client's retry machinery
+// (SubmitBytes: backoff + jitter + Retry-After, bounded by ForwardTimeout).
+// When the primary's forward fails at the transport level, the request
+// fails over — once — to the standby or the next healthy backend, so a
+// freshly dead backend costs a retry schedule, not an error.
+
+// maxForwardBytes bounds a forwarded request body. It matches the origin's
+// worst-case batch bound (16 × 4 MB), so the gateway never accepts a body
+// the backend would reject outright.
+const maxForwardBytes = 64 << 20
+
+// mirrorHeaders are the response headers the gateway relays from backends.
+var mirrorHeaders = []string{"Content-Type", "Retry-After", rules.CacheHintHeader}
+
+// forwardTo POSTs a body to one backend under the gateway's retry
+// machinery.
+func (g *Gateway) forwardTo(ctx context.Context, b *backend, path, contentType string, body []byte, cookies []*http.Cookie) (*client.SubmitResult, error) {
+	return g.fwd.SubmitBytes(ctx, b.addr+path, contentType, body, cookies)
+}
+
+// forwardWithFailover tries the primary, then the fallback. The returned
+// backend is the one that actually answered.
+func (g *Gateway) forwardWithFailover(ctx context.Context, i int, path, contentType string, body []byte, cookies []*http.Cookie) (*client.SubmitResult, *backend, error) {
+	primary, fallback := g.route(i)
+	res, err := g.forwardTo(ctx, primary, path, contentType, body, cookies)
+	if err == nil {
+		return res, primary, nil
+	}
+	if fallback == nil {
+		return nil, primary, err
+	}
+	g.failovers.Inc()
+	g.logf("gateway: failover %s -> %s: %v", primary.addr, fallback.addr, err)
+	res, ferr := g.forwardTo(ctx, fallback, path, contentType, body, cookies)
+	if ferr != nil {
+		return nil, fallback, fmt.Errorf("primary: %v; failover: %w", err, ferr)
+	}
+	return res, fallback, nil
+}
+
+// requestCookie returns the request's oak identity cookie, if any.
+func requestCookie(r *http.Request) *http.Cookie {
+	if c, err := r.Cookie(origin.CookieName); err == nil && c.Value != "" {
+		return c
+	}
+	return nil
+}
+
+// sniffUserID extracts the self-declared userId from a JSON report body
+// without decoding the rest: it walks top-level keys and stops at userId
+// (the first key in every report the oak client emits), so routing costs a
+// few tokens, not a full parse of the entries array. A malformed line
+// yields "" — it still routes deterministically, and the owner backend
+// rejects it properly.
+func sniffUserID(line []byte) string {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	if t, err := dec.Token(); err != nil || t != json.Delim('{') {
+		return ""
+	}
+	for dec.More() {
+		key, err := dec.Token()
+		if err != nil {
+			return ""
+		}
+		if k, ok := key.(string); ok && k == "userId" {
+			var v string
+			if dec.Decode(&v) != nil {
+				return ""
+			}
+			return v
+		}
+		var skip json.RawMessage
+		if dec.Decode(&skip) != nil {
+			return ""
+		}
+	}
+	return ""
+}
+
+// handleReport forwards report submissions. A request with an identity
+// cookie belongs wholly to that user and forwards unchanged to the owner
+// backend. A cookie-less NDJSON batch may mix users, so it is split by
+// each line's self-declared userId and the sub-batches forwarded to their
+// owners concurrently, the results merged.
+func (g *Gateway) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxForwardBytes+1))
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxForwardBytes {
+		http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.ForwardTimeout)
+	defer cancel()
+
+	contentType := r.Header.Get("Content-Type")
+	if contentType == "" {
+		contentType = "application/json"
+	}
+	ck := requestCookie(r)
+	isBatch := strings.Contains(contentType, "ndjson") || strings.Contains(contentType, "jsonl")
+	if isBatch && ck == nil {
+		g.handleSplitBatch(ctx, w, body, contentType)
+		return
+	}
+
+	var userID string
+	if ck != nil {
+		userID = ck.Value
+	} else {
+		userID = sniffUserID(body)
+	}
+	var cookies []*http.Cookie
+	if ck != nil {
+		cookies = append(cookies, ck)
+	}
+	res, _, err := g.forwardWithFailover(ctx, g.ownerIndex(userID), origin.ReportPathV1, contentType, body, cookies)
+	if err != nil {
+		http.Error(w, "no backend reachable: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	g.forwardedReports.Inc()
+	mirror(w, res)
+}
+
+// splitLines buckets an NDJSON body's lines by owner backend index. The
+// returned slices alias body — the caller keeps body alive until every
+// forward completes.
+func (g *Gateway) splitLines(body []byte) map[int][][]byte {
+	groups := make(map[int][][]byte)
+	for len(body) > 0 {
+		nl := bytes.IndexByte(body, '\n')
+		var line []byte
+		if nl < 0 {
+			line, body = body, nil
+		} else {
+			line, body = body[:nl], body[nl+1:]
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		i := g.ownerIndex(sniffUserID(line))
+		groups[i] = append(groups[i], line)
+	}
+	return groups
+}
+
+// handleSplitBatch forwards one owner's worth of NDJSON lines to each
+// backend concurrently and merges the per-backend BatchResults into one.
+func (g *Gateway) handleSplitBatch(ctx context.Context, w http.ResponseWriter, body []byte, contentType string) {
+	groups := g.splitLines(body)
+	if len(groups) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+
+	type part struct {
+		lines int
+		res   *client.SubmitResult
+		err   error
+	}
+	parts := make([]part, 0, len(groups))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, lines := range groups {
+		wg.Add(1)
+		go func(i int, lines [][]byte) {
+			defer wg.Done()
+			sub := body // single-owner batch: forward unchanged, no reassembly
+			if len(groups) > 1 {
+				sub = bytes.Join(lines, []byte("\n"))
+			}
+			res, _, err := g.forwardWithFailover(ctx, i, origin.ReportPathV1, contentType, sub, nil)
+			mu.Lock()
+			parts = append(parts, part{lines: len(lines), res: res, err: err})
+			mu.Unlock()
+		}(i, lines)
+	}
+	wg.Wait()
+
+	var merged core.BatchResult
+	retryAfter := 0
+	reached := false
+	for _, p := range parts {
+		if p.err != nil {
+			merged.Submitted += p.lines
+			merged.Failed += p.lines
+			if len(merged.Errors) < 8 {
+				merged.Errors = append(merged.Errors, "backend unreachable: "+p.err.Error())
+			}
+			continue
+		}
+		reached = true
+		var br core.BatchResult
+		if jerr := json.Unmarshal(p.res.Body, &br); jerr != nil {
+			merged.Submitted += p.lines
+			merged.Failed += p.lines
+			if len(merged.Errors) < 8 {
+				merged.Errors = append(merged.Errors, fmt.Sprintf("backend status %d", p.res.Status))
+			}
+			continue
+		}
+		merged.Submitted += br.Submitted
+		merged.Processed += br.Processed
+		merged.Failed += br.Failed
+		merged.Overloaded += br.Overloaded
+		for _, e := range br.Errors {
+			if len(merged.Errors) < 8 {
+				merged.Errors = append(merged.Errors, e)
+			}
+		}
+		if secs, perr := strconv.Atoi(p.res.Header.Get("Retry-After")); perr == nil && secs > retryAfter {
+			retryAfter = secs
+		}
+	}
+	if !reached {
+		http.Error(w, "no backend reachable", http.StatusBadGateway)
+		return
+	}
+	g.forwardedReports.Inc()
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if merged.Overloaded > 0 && merged.Processed == 0 && merged.Overloaded == merged.Failed {
+		// Every admitted report was shed: the batch as a whole was refused.
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(merged)
+}
+
+// handlePage proxies a page serve to the user's owner backend. The gateway
+// owns identity at the cluster edge: a client without a cookie is issued
+// one here (so routing is stable before any backend is involved), and
+// backend Set-Cookie headers are not relayed.
+func (g *Gateway) handlePage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	ck := requestCookie(r)
+	if ck == nil {
+		ck = &http.Cookie{Name: origin.CookieName, Value: fmt.Sprintf("oak-gw-%d", g.nextID.Add(1)), Path: "/"}
+		http.SetCookie(w, ck)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.ForwardTimeout)
+	defer cancel()
+
+	i := g.ownerIndex(ck.Value)
+	primary, fallback := g.route(i)
+	resp, err := g.proxyPage(ctx, primary, r, ck)
+	if err != nil && fallback != nil {
+		g.failovers.Inc()
+		g.logf("gateway: page failover %s -> %s: %v", primary.addr, fallback.addr, err)
+		resp, err = g.proxyPage(ctx, fallback, r, ck)
+	}
+	if err != nil {
+		http.Error(w, "no backend reachable: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	g.forwardedPages.Inc()
+	for _, h := range mirrorHeaders {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.Status)
+	_, _ = w.Write(resp.Body)
+}
+
+// proxyPage performs one backend page GET, returning the full response.
+func (g *Gateway) proxyPage(ctx context.Context, b *backend, r *http.Request, ck *http.Cookie) (*client.SubmitResult, error) {
+	req, err := http.NewRequestWithContext(ctx, r.Method, b.addr+r.URL.RequestURI(), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.AddCookie(ck)
+	resp, err := g.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBytes))
+	_ = resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	return &client.SubmitResult{Status: resp.StatusCode, Header: resp.Header, Body: body}, nil
+}
+
+// mirror relays a backend response: selected headers, status, body.
+func mirror(w http.ResponseWriter, res *client.SubmitResult) {
+	for _, h := range mirrorHeaders {
+		if v := res.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(res.Status)
+	_, _ = w.Write(res.Body)
+}

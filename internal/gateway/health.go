@@ -1,0 +1,129 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"oak/internal/origin"
+)
+
+// Health probing: every probe cycle GETs each backend's /oak/v1/healthz.
+// Success resets the failure streak and (unless an operator pinned the
+// backend draining) restores it to healthy — a node that comes back is
+// readmitted automatically. Consecutive failures walk the state machine
+// down: FailThreshold → unhealthy, DrainThreshold → draining,
+// DeadThreshold → dead.
+
+// probeBackend fetches one backend's healthz under the probe timeout.
+func (g *Gateway) probeBackend(b *backend) (*origin.HealthzResponse, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.addr+origin.HealthzPathV1, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	var hz origin.HealthzResponse
+	if err := json.Unmarshal(body, &hz); err != nil {
+		return nil, fmt.Errorf("decode healthz: %w", err)
+	}
+	return &hz, nil
+}
+
+// noteProbe applies one probe outcome to the backend's state machine,
+// returning the transition (old != new) for logging.
+func (g *Gateway) noteProbe(b *backend, hz *origin.HealthzResponse, err error) (old, now BackendState) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	old = b.state
+	if err == nil {
+		b.fails = 0
+		b.lastErr = ""
+		b.healthz = hz
+		b.lastSeen = time.Now()
+		if !b.drained {
+			b.state = StateHealthy
+		} else {
+			b.state = StateDraining
+		}
+		return old, b.state
+	}
+	b.fails++
+	b.lastErr = err.Error()
+	switch {
+	case b.fails >= g.cfg.DeadThreshold:
+		b.state = StateDead
+	case b.fails >= g.cfg.DrainThreshold || b.drained:
+		b.state = StateDraining
+	case b.fails >= g.cfg.FailThreshold:
+		b.state = StateUnhealthy
+	}
+	return old, b.state
+}
+
+// ProbeOnce probes every backend (and the standby) once, synchronously.
+// The background loop calls it on ProbeInterval; tests call it directly
+// for deterministic state-machine transitions.
+func (g *Gateway) ProbeOnce() {
+	for _, b := range g.all() {
+		hz, err := g.probeBackend(b)
+		if old, now := g.noteProbe(b, hz, err); old != now {
+			g.logf("gateway: backend %s %s -> %s (%v)", b.addr, old, now, err)
+		}
+	}
+	g.probeCycles.Inc()
+}
+
+// Drain pins backend i at draining: it stops taking traffic but keeps
+// being polled for snapshots — the operator path ahead of a planned
+// replacement. Out-of-range indexes are ignored.
+func (g *Gateway) Drain(i int) {
+	if i < 0 || i >= len(g.backends) {
+		return
+	}
+	b := g.backends[i]
+	b.mu.Lock()
+	b.drained = true
+	if b.state != StateDead {
+		b.state = StateDraining
+	}
+	b.mu.Unlock()
+	g.logf("gateway: backend %s drained by operator", b.addr)
+}
+
+// Undrain releases an operator drain; the next successful probe restores
+// the backend to healthy.
+func (g *Gateway) Undrain(i int) {
+	if i < 0 || i >= len(g.backends) {
+		return
+	}
+	b := g.backends[i]
+	b.mu.Lock()
+	b.drained = false
+	b.mu.Unlock()
+}
+
+// BackendStates reports each backend's current state, in backend order
+// (the standby, when configured, is not included).
+func (g *Gateway) BackendStates() []BackendState {
+	out := make([]BackendState, len(g.backends))
+	for i, b := range g.backends {
+		out[i], _, _, _ = b.snapshotState()
+	}
+	return out
+}

@@ -107,6 +107,13 @@ type HealthzResponse struct {
 	// DegradedProviders lists providers the population detector currently
 	// flags (omitted when none, or without WithSynthesis).
 	DegradedProviders []string `json:"degraded_providers,omitempty"`
+	// StateSource says where the engine's state came from: "fresh",
+	// "snapshot", "backup" (recovered from the rotating .bak), or
+	// "shipped" (rehydrated from a snapshot shipped by another node).
+	StateSource string `json:"state_source"`
+	// StateRecoveries counts restores from somewhere other than the
+	// primary snapshot file — backup fallbacks and shipped rehydrations.
+	StateRecoveries uint64 `json:"state_recoveries"`
 }
 
 // handleMetrics serves counters plus ingest/rewrite histograms.
@@ -174,6 +181,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if depth, capacity := s.engine.IngestQueue(); capacity > 0 && depth >= int64(capacity) {
 		status = "degraded"
 	}
+	src, recoveries := s.engine.StateStatus()
 	writeJSON(w, HealthzResponse{
 		Status:            status,
 		UptimeSeconds:     time.Since(s.started).Seconds(),
@@ -182,6 +190,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Reports:           s.engine.Metrics().ReportsHandled,
 		OpenBreakers:      s.engine.OpenBreakers(),
 		DegradedProviders: s.engine.DegradedProviders(),
+		StateSource:       string(src),
+		StateRecoveries:   recoveries,
 	})
 }
 

@@ -251,6 +251,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleTrace(w, r)
 	case PopulationPath, PopulationPathV1:
 		s.handlePopulation(w, r)
+	// Cluster administration endpoints are v1-only: the unversioned alias
+	// surface is frozen. See admin.go.
+	case StatePathV1:
+		s.handleState(w, r)
+	case GuardQuarantinePathV1:
+		s.handleGuardQuarantine(w, r)
+	case GuardReleasePathV1:
+		s.handleGuardRelease(w, r)
+	case PopulationDegradePathV1:
+		s.handlePopulationDegrade(w, r)
+	case PopulationClearPathV1:
+		s.handlePopulationClear(w, r)
 	default:
 		s.handlePage(w, r)
 	}

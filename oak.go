@@ -52,6 +52,7 @@ import (
 
 	"oak/internal/client"
 	"oak/internal/core"
+	"oak/internal/gateway"
 	"oak/internal/guard"
 	"oak/internal/obs"
 	"oak/internal/origin"
@@ -157,17 +158,39 @@ type ShedPolicy = core.ShedPolicy
 // not set one.
 const DefaultRetryAfter = core.DefaultRetryAfter
 
-// StateSource reports where Engine.LoadStateFile found usable state:
-// StateFresh (no file), StateSnapshot (primary), or StateBackup (primary
-// missing or corrupt; recovered from the rotating .bak).
+// StateSource reports where the engine's state came from: StateFresh (no
+// file), StateSnapshot (primary), StateBackup (primary missing or corrupt;
+// recovered from the rotating .bak), or StateShipped (rehydrated over HTTP
+// from a snapshot shipped by another node — see Engine.ImportShippedState
+// and the cluster gateway).
 type StateSource = core.StateSource
 
-// LoadStateFile outcomes.
+// State sources.
 const (
 	StateFresh    = core.StateFresh
 	StateSnapshot = core.StateSnapshot
 	StateBackup   = core.StateBackup
+	StateShipped  = core.StateShipped
 )
+
+// HashRange is one half-open arc [Lo, Hi) of the 32-bit user-hash ring —
+// the unit of per-user-range state export (Engine.ExportStateRange,
+// Engine.ImportStateRange) and of cluster partitioning. Lo == Hi means the
+// whole ring; Lo > Hi wraps around zero.
+type HashRange = core.HashRange
+
+// EqualRanges partitions the user-hash ring into n equal arcs — the
+// partition map the cluster gateway assigns to n backends.
+func EqualRanges(n int) []HashRange { return core.EqualRanges(n) }
+
+// RangeFor returns the index of the arc in ranges owning userID's hash,
+// or -1 when no arc contains it.
+func RangeFor(userID string, ranges []HashRange) int { return core.RangeFor(userID, ranges) }
+
+// UserHash is the engine's user-to-ring hash (FNV-1a over the user ID) —
+// the same function that stripes users across shards, exported so external
+// routing layers partition exactly the way the engine does.
+func UserHash(userID string) uint32 { return core.UserHash(userID) }
 
 // RetryPolicy bounds the client's retries (attempts, exponential backoff
 // with jitter) for object fetches, page fetches and report submission.
@@ -412,6 +435,24 @@ func NewServer(engine *Engine, opts ...ServerOption) *Server {
 
 // NewContentServer returns an empty external content server.
 func NewContentServer() *ContentServer { return origin.NewContentServer() }
+
+// Gateway is the cluster tier: an http.Handler that partitions users
+// across a fleet of oakd backends by UserHash, fails requests over when a
+// backend struggles, re-broadcasts breaker trips and degraded episodes
+// fleet-wide, and replaces dead nodes from continuously polled snapshots.
+// Deployed standalone as cmd/oakgw; see the "Running a cluster" runbook in
+// docs/OPERATIONS.md.
+type Gateway = gateway.Gateway
+
+// GatewayConfig configures NewGateway: the backend base URLs (one per
+// hash-ring arc), the optional standby, and the probe / forward / snapshot
+// cadences. Zero fields take defaults.
+type GatewayConfig = gateway.Config
+
+// NewGateway builds a cluster gateway over a fleet of oakd base URLs. Call
+// Start to run the background probe, control-sweep and snapshot loops, and
+// Close to stop them.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.NewGateway(cfg) }
 
 // RuleSet is a parsed operator rule configuration: the unit LoadRules
 // returns, NewEngine consumes (via .Rules), and MarshalJSON round-trips.

@@ -1,0 +1,77 @@
+#!/bin/sh
+# bench_gateway.sh — run the cluster-gateway benchmarks and record the
+# results in BENCH_gateway.json, so successive PRs leave a trajectory for
+# the numbers that matter to the cluster tier:
+#
+#   - forwarding_overhead: batch-ingest throughput direct at one oakd
+#     divided by the same through the gateway (the warm path, where the
+#     extra hop amortises across the batch). Gated at <= 1.25.
+#   - report_overhead / page_overhead: the same ratio for single-report
+#     POSTs and page serves — per-request latency cost of the extra hop,
+#     informational.
+#   - failover_reroute: reports/sec on the steady-state rerouted path
+#     (range owner dead, standby serving), plus the chaos-measured wall
+#     time from killing a backend to a clean full-fleet round
+#     (failover_time_to_reroute_ms).
+#
+# Usage: scripts/bench_gateway.sh [benchtime]   (default 1s)
+set -e
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-1s}"
+out="BENCH_gateway.json"
+
+echo "== go test -bench gateway forwarding overhead + failover (benchtime $benchtime) =="
+raw=$(go test -run '^$' -bench 'Benchmark(Report(Direct|ViaGateway|Failover)|Batch(Direct|ViaGateway)|Page(Direct|ViaGateway))' \
+	-count 1 -benchtime "$benchtime" ./internal/gateway)
+echo "$raw"
+
+echo "== go test -run TestNodeLossChaos (time-to-reroute) =="
+chaos=$(go test -race -run 'TestNodeLossChaos' -count=1 -v ./internal/gateway)
+reroute=$(echo "$chaos" | sed -n 's/.*time to reroute (kill -> dead + clean round): \([0-9.]*\)ms.*/\1/p' | head -1)
+mitigate=$(echo "$chaos" | sed -n 's/.*time to fleet-wide mitigation \([0-9.]*\)ms.*/\1/p' | head -1)
+echo "time to reroute: ${reroute:-?}ms, fleet-wide mitigation: ${mitigate:-?}ms"
+
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v reroute="${reroute:-0}" -v mitigate="${mitigate:-0}" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	iters = $2
+	ns = ""; rps = ""
+	for (i = 3; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "reports/sec" || $i == "pages/sec") rps = $(i - 1)
+	}
+	if (ns == "") next
+	n++
+	names[n] = name; iterations[n] = iters; nsop[n] = ns; rate[n] = rps
+	nsfor[name] = ns
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchmarks\": [\n"
+	for (i = 1; i <= n; i++) {
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"per_sec\": %.0f}%s\n", \
+			names[i], iterations[i], nsop[i], rate[i], (i < n ? "," : "")
+	}
+	printf "  ]"
+	if (nsfor["BenchmarkBatchDirect"] > 0 && nsfor["BenchmarkBatchViaGateway"] > 0)
+		printf ",\n  \"forwarding_overhead\": %.3f", nsfor["BenchmarkBatchViaGateway"] / nsfor["BenchmarkBatchDirect"]
+	if (nsfor["BenchmarkReportDirect"] > 0 && nsfor["BenchmarkReportViaGateway"] > 0)
+		printf ",\n  \"report_overhead\": %.3f", nsfor["BenchmarkReportViaGateway"] / nsfor["BenchmarkReportDirect"]
+	if (nsfor["BenchmarkPageDirect"] > 0 && nsfor["BenchmarkPageViaGateway"] > 0)
+		printf ",\n  \"page_overhead\": %.3f", nsfor["BenchmarkPageViaGateway"] / nsfor["BenchmarkPageDirect"]
+	if (nsfor["BenchmarkReportFailover"] > 0)
+		printf ",\n  \"failover_reroute_ns\": %s", nsfor["BenchmarkReportFailover"]
+	if (reroute > 0)
+		printf ",\n  \"failover_time_to_reroute_ms\": %s", reroute
+	if (mitigate > 0)
+		printf ",\n  \"fleet_mitigation_time_ms\": %s", mitigate
+	printf "\n}\n"
+}' >"$out"
+
+echo "wrote $out"

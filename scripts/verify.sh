@@ -20,7 +20,10 @@
 # breaker trip and one synthesized activation, so a regression in
 # detection quality, guard response, population-level synthesis, or
 # false-positive control fails the verify even when every unit test still
-# passes.
+# passes. The nodeloss chaos smoke does the same for the cluster tier: it
+# kills a gateway backend mid-traffic and requires zero 5xx after the
+# probe window, snapshot-driven replacement, and a fleet-wide breaker
+# broadcast with recall 1.0.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -41,8 +44,8 @@ go vet ./...
 echo "== go test ./... =="
 go test ./...
 
-echo "== go test -race ./internal/core ./internal/obs ./internal/origin ./internal/faultinject =="
-go test -race ./internal/core ./internal/obs ./internal/origin ./internal/faultinject
+echo "== go test -race ./internal/core ./internal/obs ./internal/origin ./internal/faultinject ./internal/gateway =="
+go test -race ./internal/core ./internal/obs ./internal/origin ./internal/faultinject ./internal/gateway
 
 echo "== fuzz smoke: FuzzImportState (5s) =="
 go test -run '^$' -fuzz FuzzImportState -fuzztime 5s ./internal/core
@@ -55,6 +58,9 @@ go test -run '^$' -bench 'BenchmarkModifyPage' -benchtime 1x ./internal/core
 
 echo "== guard chaos smoke: kill-the-alternate loop under -race =="
 go test -race -run 'TestChaosGuardKillsAlternateMidRun' -count=1 ./internal/faultinject
+
+echo "== nodeloss chaos smoke: gateway failover + snapshot replacement under -race =="
+go test -race -run 'TestNodeLossChaos' -count=1 ./internal/gateway
 
 echo "== guard benchmark smoke (1 iteration) =="
 go test -run '^$' -bench 'BenchmarkActivationGuardOn|BenchmarkGuardRollback100$' -benchtime 1x ./internal/core
