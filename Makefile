@@ -1,4 +1,4 @@
-.PHONY: verify test race vet fmt bench bench-serve bench-shed bench-guard bench-synth bench-scenarios bench-gateway bench-all chaos fuzz
+.PHONY: verify test race vet fmt bench bench-ingest bench-serve bench-shed bench-guard bench-synth bench-scenarios bench-gateway bench-all chaos fuzz
 
 # Full PR verify path: build, formatting, vet, tests, and race-checking of
 # the concurrent engine + observability packages. See scripts/verify.sh.
@@ -27,9 +27,12 @@ vet:
 fmt:
 	gofmt -l -w .
 
-# Ingest benchmarks + BENCH_ingest.json (perf trajectory across PRs).
-bench:
+# Ingest benchmarks + BENCH_ingest.json (perf trajectory across PRs:
+# ns/op, reports/sec, allocs/op, and the OAKRPT1 binary-vs-JSON wire bytes).
+bench-ingest:
 	sh scripts/bench_ingest.sh
+
+bench: bench-ingest
 
 # Serve-path benchmarks + BENCH_serve.json (cold vs warm rewrite, cache
 # speedup, zero-alloc no-op path).

@@ -6,6 +6,7 @@
 //	oakd -root ./site -rules ./rules.oak [-addr :8080] [-v]
 //	     [-state oak-state.json] [-save-interval 5m] [-pprof 127.0.0.1:6060]
 //	     [-shards N] [-ingest-queue N] [-ingest-workers N]
+//	     [-max-body-bytes 4194304]
 //	     [-shed-wait 50ms] [-shed-retry-after 1s] [-rewrite-budget 500ms]
 //	     [-rewrite-cache 1024]
 //	     [-guard-trip-threshold 5] [-guard-halfopen-canaries 3]
@@ -17,12 +18,18 @@
 // Every *.html file under -root is served at its relative path (index.html
 // also at the directory path). Clients receive identifying cookies, pages
 // are rewritten per user according to activated rules, and performance
-// reports are accepted at POST /oak/v1/report — one JSON report per request,
-// or an NDJSON batch (Content-Type application/x-ndjson, one report per
-// line). The unversioned /oak/report path remains a byte-identical alias
-// for existing clients. The rule file format is auto-detected: JSON (array
-// or {"rules": [...]} document) or the DSL of internal/rules.ParseDSL
-// (heredoc blocks; see the repository README).
+// reports are accepted at POST /oak/v1/report, negotiated by Content-Type:
+// one JSON report per request (application/json), an NDJSON batch
+// (application/x-ndjson, one report per line), one compact OAKRPT1 binary
+// report (application/x-oak-report), or a binary batch of length-prefixed
+// frames (application/x-oak-report-batch). All four formats are always on —
+// there is nothing to enable; clients opt in per request. -max-body-bytes
+// bounds a single report body (batches may total 16× the bound); see
+// docs/OPERATIONS.md, "Report wire formats". The unversioned /oak/report
+// path remains a byte-identical alias for existing clients. The rule file
+// format is auto-detected: JSON (array or {"rules": [...]} document) or the
+// DSL of internal/rules.ParseDSL (heredoc blocks; see the repository
+// README).
 //
 // Scaling: per-user state is sharded across -shards lock stripes (0 = four
 // per CPU) so reports for different users ingest in parallel. -ingest-queue
@@ -110,6 +117,7 @@ func run(args []string) error {
 		shards    = fs2.Int("shards", 0, "lock-striped shards for per-user state (rounded up to a power of two; 0 = four per CPU)")
 		queueLen  = fs2.Int("ingest-queue", 0, "per-worker bounded queue length for batched ingest (0 = synchronous ingest, no pipeline)")
 		workers   = fs2.Int("ingest-workers", 0, "batched-ingest worker count (with -ingest-queue; 0 = one per CPU)")
+		maxBody   = fs2.Int64("max-body-bytes", 0, "single-report body bound in bytes, any wire format; batch bodies may total 16x this (0 = 4 MB default)")
 		shedWait  = fs2.Duration("shed-wait", -1, "shed reports that cannot enqueue within this wait, 503 + Retry-After (with -ingest-queue; negative = block instead of shedding)")
 		shedRetry = fs2.Duration("shed-retry-after", 0, "retry horizon advertised on shed responses (with -shed-wait; 0 = 1s default)")
 		rewriteB  = fs2.Duration("rewrite-budget", 0, "serve the unmodified page if the per-user rewrite takes longer than this (0 = 500ms default, negative = unbounded)")
@@ -131,7 +139,8 @@ func run(args []string) error {
 	server, pages, nRules, err := buildServer(oakdConfig{
 		root: *root, ruleFile: *ruleFile, verbose: *verbose,
 		shards: *shards, queueLen: *queueLen, workers: *workers,
-		shedWait: *shedWait, shedRetry: *shedRetry, rewriteBudget: *rewriteB,
+		maxBodyBytes: *maxBody,
+		shedWait:     *shedWait, shedRetry: *shedRetry, rewriteBudget: *rewriteB,
 		rewriteCache: *rcSize,
 		guardTrip:    *guardTrip, guardCanaries: *guardCan,
 		synthWindow: *synthWin, synthDegrade: *synthDeg, synthQuantile: *synthQ,
@@ -271,6 +280,7 @@ type oakdConfig struct {
 	shards        int
 	queueLen      int
 	workers       int
+	maxBodyBytes  int64         // single-report body bound; <= 0 takes the 4 MB default
 	shedWait      time.Duration // negative = no shedding (blocking backpressure)
 	shedRetry     time.Duration
 	rewriteBudget time.Duration // 0 = library default, negative = unbounded
@@ -354,6 +364,9 @@ func buildServer(cfg oakdConfig) (*oak.Server, int, int, error) {
 	var srvOpts []oak.ServerOption
 	if cfg.rewriteBudget != 0 {
 		srvOpts = append(srvOpts, oak.WithRewriteBudget(cfg.rewriteBudget))
+	}
+	if cfg.maxBodyBytes > 0 {
+		srvOpts = append(srvOpts, oak.WithMaxBodyBytes(cfg.maxBodyBytes))
 	}
 	server := oak.NewServer(engine, srvOpts...)
 	pages, err := server.LoadPages(os.DirFS(cfg.root))

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -236,6 +237,59 @@ func TestHTTPClientSubmitReportRetriesHonoringRetryAfter(t *testing.T) {
 	// most of it rather than using its (millisecond) backoff schedule.
 	if sawDelay < 700*time.Millisecond {
 		t.Errorf("delay before retry = %v, want >= ~1s (Retry-After honored)", sawDelay)
+	}
+}
+
+// TestHTTPClientWireFormats pins what each wire setting puts on the wire:
+// WireJSON posts application/json that report.Unmarshal accepts, WireBinary
+// posts an OAKRPT1 body under its content type that decodes to the same
+// report — and the binary body is the smaller of the two.
+func TestHTTPClientWireFormats(t *testing.T) {
+	rep := &report.Report{UserID: "wire-u", Page: "/p", Entries: []report.Entry{
+		{URL: "http://x.example/a.png", ServerAddr: "1.1.1.1", SizeBytes: 1000, DurationMillis: 42.5},
+		{URL: "http://y.example/b.js", ServerAddr: "2.2.2.2", SizeBytes: 90000, DurationMillis: 120, Kind: report.KindScript},
+	}}
+
+	type capture struct {
+		contentType string
+		body        []byte
+	}
+	var got capture
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		got = capture{contentType: r.Header.Get("Content-Type"), body: body}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer origin.Close()
+
+	c := &HTTPClient{UserID: "wire-u"}
+	if err := c.SubmitReport(origin.URL, rep); err != nil {
+		t.Fatal(err)
+	}
+	jsonCap := got
+	if jsonCap.contentType != report.ContentTypeJSON {
+		t.Errorf("default Content-Type = %q, want %q", jsonCap.contentType, report.ContentTypeJSON)
+	}
+	if _, err := report.Unmarshal(jsonCap.body); err != nil {
+		t.Errorf("default body is not a JSON report: %v", err)
+	}
+
+	c.Wire = WireBinary
+	if err := c.SubmitReport(origin.URL, rep); err != nil {
+		t.Fatal(err)
+	}
+	if got.contentType != report.ContentTypeBinary {
+		t.Errorf("binary Content-Type = %q, want %q", got.contentType, report.ContentTypeBinary)
+	}
+	decoded, err := report.UnmarshalBinary(got.body)
+	if err != nil {
+		t.Fatalf("binary body does not decode: %v", err)
+	}
+	if decoded.UserID != rep.UserID || len(decoded.Entries) != len(rep.Entries) {
+		t.Errorf("binary round trip = %+v, want %+v", decoded, rep)
+	}
+	if len(got.body) >= len(jsonCap.body) {
+		t.Errorf("binary body %d bytes >= JSON %d bytes; binary must be smaller", len(got.body), len(jsonCap.body))
 	}
 }
 

@@ -5,6 +5,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"oak/internal/report"
 	"oak/internal/stats"
@@ -60,47 +61,98 @@ type Violation struct {
 // The criterion is relative by construction: a client whose every path is
 // slow produces a high median and flags nothing, so Oak "need not waste its
 // time with such cases".
+//
+// Detection runs once per report on the ingest hot path, so the subset
+// slices and the sort buffers the MAD needs come from a pooled scratch:
+// the only allocation left is the violations slice itself, and only when
+// there are violations.
 func DetectViolators(servers []*report.ServerPerf, k float64) []Violation {
-	var out []Violation
-	flagged := make(map[string]bool)
+	sc := detectPool.Get().(*detectScratch)
+	out := sc.detect(servers, k)
+	detectPool.Put(sc)
+	return out
+}
 
-	smallServers, times := report.SmallTimes(servers)
-	if th, err := stats.NewOutlierThreshold(times, k, stats.UpperOutlier); err == nil {
-		for i, s := range smallServers {
-			if th.IsOutlier(times[i]) {
-				flagged[s.Addr] = true
+var detectPool = sync.Pool{New: func() any { return new(detectScratch) }}
+
+// detectScratch is the reusable working memory of one DetectViolators run:
+// the parallel server/value subsets for the metric under evaluation, and the
+// sort buffer MedianMADInto consumes.
+type detectScratch struct {
+	srvs []*report.ServerPerf
+	vals []float64
+	sort []float64
+}
+
+func (sc *detectScratch) detect(servers []*report.ServerPerf, k float64) []Violation {
+	var out []Violation
+
+	sc.srvs, sc.vals = sc.srvs[:0], sc.vals[:0]
+	for _, s := range servers {
+		if s.SmallCount > 0 {
+			sc.srvs = append(sc.srvs, s)
+			sc.vals = append(sc.vals, s.SmallMeanTimeMs)
+		}
+	}
+	med, mad, buf, err := stats.MedianMADInto(sc.vals, sc.sort)
+	sc.sort = buf
+	if err == nil {
+		th := stats.OutlierThreshold{Median: med, MAD: mad, K: k, Side: stats.UpperOutlier}
+		for i, s := range sc.srvs {
+			if th.IsOutlier(sc.vals[i]) {
 				out = append(out, Violation{
 					Server:   s,
 					Metric:   MetricSmallTime,
-					Value:    times[i],
+					Value:    sc.vals[i],
 					Median:   th.Median,
 					MAD:      th.MAD,
-					Distance: th.Distance(times[i]),
+					Distance: th.Distance(sc.vals[i]),
 				})
 			}
 		}
 	}
 
-	largeServers, tputs := report.LargeTputs(servers)
-	if th, err := stats.NewOutlierThreshold(tputs, k, stats.LowerOutlier); err == nil {
-		for i, s := range largeServers {
-			if flagged[s.Addr] {
+	// The small pass is complete, so its subsets can be recycled for the
+	// large pass; servers already flagged are found in out itself.
+	sc.srvs, sc.vals = sc.srvs[:0], sc.vals[:0]
+	for _, s := range servers {
+		if s.LargeCount > 0 {
+			sc.srvs = append(sc.srvs, s)
+			sc.vals = append(sc.vals, s.LargeMeanTputBps)
+		}
+	}
+	med, mad, buf, err = stats.MedianMADInto(sc.vals, sc.sort)
+	sc.sort = buf
+	if err == nil {
+		th := stats.OutlierThreshold{Median: med, MAD: mad, K: k, Side: stats.LowerOutlier}
+		for i, s := range sc.srvs {
+			if violatesAlready(out, s.Addr) {
 				continue // already a violator via small objects
 			}
-			if th.IsOutlier(tputs[i]) {
-				flagged[s.Addr] = true
+			if th.IsOutlier(sc.vals[i]) {
 				out = append(out, Violation{
 					Server:   s,
 					Metric:   MetricLargeTput,
-					Value:    tputs[i],
+					Value:    sc.vals[i],
 					Median:   th.Median,
 					MAD:      th.MAD,
-					Distance: th.Distance(tputs[i]),
+					Distance: th.Distance(sc.vals[i]),
 				})
 			}
 		}
 	}
 	return out
+}
+
+// violatesAlready reports whether addr is already flagged in out. Violations
+// per report are few, so a linear scan beats allocating a set.
+func violatesAlready(out []Violation, addr string) bool {
+	for i := range out {
+		if out[i].Server.Addr == addr {
+			return true
+		}
+	}
+	return false
 }
 
 // AbsoluteThresholds is the naive alternative Oak's design rejects

@@ -111,6 +111,49 @@ func BenchmarkHandleReportPipeline(b *testing.B) {
 	benchParallel(b, benchEngine(b, WithIngestPipeline(IngestConfig{})))
 }
 
+// benchWire marshals the bench corpus with the given encoder and measures
+// decode+handle end to end, reporting the mean payload size as wire_bytes so
+// the JSON and OAKRPT1 rows in BENCH_ingest.json compare both CPU and bytes.
+func benchWire(b *testing.B, marshal func(*report.Report) ([]byte, error), decode func([]byte) (*report.Report, error)) {
+	e := benchEngine(b)
+	reports := benchReports("wire")
+	payloads := make([][]byte, len(reports))
+	var wireBytes int
+	for i, r := range reports {
+		data, err := marshal(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		payloads[i] = data
+		wireBytes += len(data)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := decode(payloads[i%benchUserPool])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.HandleReport(rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(wireBytes)/float64(len(payloads)), "wire_bytes")
+	reportThroughput(b)
+}
+
+// BenchmarkIngestJSON is the full JSON ingest path: pooled fast-path decode
+// of the serialised report, then HandleReport (which releases it).
+func BenchmarkIngestJSON(b *testing.B) {
+	benchWire(b, (*report.Report).Marshal, report.DecodePooled)
+}
+
+// BenchmarkIngestBinary is the same path over the OAKRPT1 binary format.
+func BenchmarkIngestBinary(b *testing.B) {
+	benchWire(b, (*report.Report).MarshalBinary, report.DecodeBinaryPooled)
+}
+
 // reportThroughput derives reports/sec from the measured ns/op.
 func reportThroughput(b *testing.B) {
 	if b.N == 0 || b.Elapsed() == 0 {

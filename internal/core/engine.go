@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -258,11 +260,17 @@ func (e *Engine) HandleReport(r *report.Report) (*AnalysisResult, error) {
 // report already being processed completes, but the call returns ctx's
 // error immediately). Without a pipeline the report is processed
 // synchronously and ctx is only checked on entry.
+//
+// Submitting transfers ownership of a pooled report (DecodePooled /
+// DecodeBinaryPooled) to the engine: it is released exactly once on every
+// path out of ingest, and the caller must not touch it after this call.
 func (e *Engine) HandleReportCtx(ctx context.Context, r *report.Report) (*AnalysisResult, error) {
 	if err := r.Validate(); err != nil {
+		r.Release()
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
+		r.Release()
 		return nil, err
 	}
 	if e.pipeline != nil {
@@ -271,9 +279,14 @@ func (e *Engine) HandleReportCtx(ctx context.Context, r *report.Report) (*Analys
 	return e.process(r)
 }
 
+// scriptURLPool recycles the per-report script-URL accumulation buffer.
+var scriptURLPool = sync.Pool{New: func() any { return new([]string) }}
+
 // process runs the analysis pipeline on one pre-validated report against
-// the report's shard. It is the synchronous core both ingest paths share.
+// the report's shard. It is the synchronous core both ingest paths share,
+// and the place a pooled report is released once its shard is done with it.
 func (e *Engine) process(r *report.Report) (*AnalysisResult, error) {
+	defer r.Release()
 	sh := e.shardFor(r.UserID)
 	start := time.Now()
 	defer func() { sh.ingest.Observe(time.Since(start)) }()
@@ -285,8 +298,11 @@ func (e *Engine) process(r *report.Report) (*AnalysisResult, error) {
 	e.metrics.entriesProcessed.Add(uint64(len(r.Entries)))
 	e.metrics.violationsDetected.Add(uint64(len(violations)))
 
-	// Script URLs the client actually loaded, for the external-JS tier.
-	var scriptURLs []string
+	// Script URLs the client actually loaded, for the external-JS tier. The
+	// matcher reads the slice only during analyzeLocked, so the buffer is
+	// recycled across reports.
+	urlBuf := scriptURLPool.Get().(*[]string)
+	scriptURLs := (*urlBuf)[:0]
 	for _, s := range servers {
 		scriptURLs = append(scriptURLs, s.ScriptURLs...)
 	}
@@ -296,6 +312,9 @@ func (e *Engine) process(r *report.Report) (*AnalysisResult, error) {
 	sh.mu.Lock()
 	res, outcomes := e.analyzeLocked(sh, r, now, servers, violations, scriptURLs, activeRules)
 	sh.mu.Unlock()
+
+	*urlBuf = scriptURLs[:0]
+	scriptURLPool.Put(urlBuf)
 
 	// Population-level guard outcomes are observed only after the shard lock
 	// is released: a transition acts across shards (bulk rollback locks them
@@ -319,10 +338,9 @@ func (e *Engine) analyzeLocked(sh *shard, r *report.Report, now time.Time, serve
 	prof.lastReport = now
 	e.ledger.RecordUser(r.UserID)
 	if e.tracing() {
-		e.trace(obs.Event{
+		e.traceAt(now, obs.Event{
 			Kind: obs.EventReport, User: r.UserID,
-			Detail: fmt.Sprintf("page %s: %d objects, %d servers, %d violators",
-				r.Page, len(r.Entries), len(servers), len(violations)),
+			Detail: reportDetail(r.Page, len(r.Entries), len(servers), len(violations)),
 		})
 	}
 
@@ -346,16 +364,16 @@ func (e *Engine) analyzeLocked(sh *shard, r *report.Report, now time.Time, serve
 		e.metrics.ruleExpirations.Add(1)
 		res.Changes = append(res.Changes, RuleChange{RuleID: ex.ID, Action: "expire"})
 		if e.tracing() {
-			e.trace(obs.Event{Kind: obs.EventExpire, User: r.UserID, RuleID: ex.ID})
+			e.traceAt(now, obs.Event{Kind: obs.EventExpire, User: r.UserID, RuleID: ex.ID})
 		}
 	}
 
 	for _, v := range violations {
 		count := prof.recordViolation(v.Server.Addr)
 		if e.tracing() {
-			e.trace(obs.Event{
+			e.traceAt(now, obs.Event{
 				Kind: obs.EventViolator, User: r.UserID, Provider: v.Server.Addr,
-				Detail: fmt.Sprintf("%s %.1f beyond median, violation #%d", v.Metric, v.Distance, count),
+				Detail: violatorDetail(v.Metric, v.Distance, count),
 			})
 		}
 
@@ -395,7 +413,7 @@ func (e *Engine) analyzeLocked(sh *shard, r *report.Report, now time.Time, serve
 				// this user is never steered onto a known-bad alternate.
 				e.metrics.activationsBlocked.Inc()
 				if e.tracing() {
-					e.trace(obs.Event{
+					e.traceAt(now, obs.Event{
 						Kind: obs.EventQuarantine, User: r.UserID, RuleID: rule.ID,
 						Provider: blockedBy,
 						Detail:   fmt.Sprintf("activation blocked, alt %d", altIdx),
@@ -414,14 +432,14 @@ func (e *Engine) analyzeLocked(sh *shard, r *report.Report, now time.Time, serve
 			if canary {
 				e.metrics.canaryActivations.Inc()
 				if e.tracing() {
-					e.trace(obs.Event{
+					e.traceAt(now, obs.Event{
 						Kind: obs.EventCanary, User: r.UserID, RuleID: rule.ID,
 						Detail: fmt.Sprintf("canary activation through half-open breaker, alt %d", altIdx),
 					})
 				}
 			}
 			if e.tracing() {
-				e.trace(obs.Event{
+				e.traceAt(now, obs.Event{
 					Kind: obs.EventActivate, User: r.UserID, RuleID: rule.ID,
 					Provider: v.Server.Addr,
 					Detail:   fmt.Sprintf("%s match, alt %d", level, altIdx),
@@ -444,7 +462,9 @@ func (e *Engine) analyzeLocked(sh *shard, r *report.Report, now time.Time, serve
 // this violator). Caller holds sh.mu for writing.
 func (e *Engine) reconcileActiveRules(sh *shard, prof *Profile, v Violation, now time.Time, res *AnalysisResult) bool {
 	handled := false
-	for _, id := range prof.ActiveRuleIDs(now) {
+	ids := prof.activeRuleIDsInto(now, sh.ruleIDScratch)
+	sh.ruleIDScratch = ids // keep the (possibly grown) buffer for reuse
+	for _, id := range ids {
 		a := prof.activeRule(id)
 		if a == nil || !MatchesAlternate(a.Rule, a.AltIndex, v.Server) {
 			continue
@@ -460,7 +480,7 @@ func (e *Engine) reconcileActiveRules(sh *shard, prof *Profile, v Violation, now
 				RuleID: id, Action: "keep", Server: v.Server.Addr, AltIndex: a.AltIndex,
 			})
 			if e.tracing() {
-				e.trace(obs.Event{
+				e.traceAt(now, obs.Event{
 					Kind: obs.EventKeep, User: prof.UserID, RuleID: id, Provider: v.Server.Addr,
 					Detail: fmt.Sprintf("alt dist %.1f < default dist %.1f", v.Distance, a.TriggerDistance),
 				})
@@ -482,7 +502,7 @@ func (e *Engine) reconcileActiveRules(sh *shard, prof *Profile, v Violation, now
 					RuleID: id, Action: "deactivate", Server: v.Server.Addr,
 				})
 				if e.tracing() {
-					e.trace(obs.Event{
+					e.traceAt(now, obs.Event{
 						Kind: obs.EventQuarantine, User: prof.UserID, RuleID: id,
 						Provider: blockedBy,
 						Detail:   fmt.Sprintf("advance to alt %d blocked; reverted to default", next),
@@ -492,7 +512,7 @@ func (e *Engine) reconcileActiveRules(sh *shard, prof *Profile, v Violation, now
 			} else if canary {
 				e.metrics.canaryActivations.Inc()
 				if e.tracing() {
-					e.trace(obs.Event{
+					e.traceAt(now, obs.Event{
 						Kind: obs.EventCanary, User: prof.UserID, RuleID: id,
 						Detail: fmt.Sprintf("canary advance through half-open breaker, alt %d", next),
 					})
@@ -507,7 +527,7 @@ func (e *Engine) reconcileActiveRules(sh *shard, prof *Profile, v Violation, now
 				RuleID: id, Action: "advance", Server: v.Server.Addr, AltIndex: next,
 			})
 			if e.tracing() {
-				e.trace(obs.Event{
+				e.traceAt(now, obs.Event{
 					Kind: obs.EventAdvance, User: prof.UserID, RuleID: id, Provider: v.Server.Addr,
 					Detail: fmt.Sprintf("alt %d", next),
 				})
@@ -522,7 +542,7 @@ func (e *Engine) reconcileActiveRules(sh *shard, prof *Profile, v Violation, now
 				RuleID: id, Action: "deactivate", Server: v.Server.Addr,
 			})
 			if e.tracing() {
-				e.trace(obs.Event{
+				e.traceAt(now, obs.Event{
 					Kind: obs.EventDeactivate, User: prof.UserID, RuleID: id, Provider: v.Server.Addr,
 					Detail: "alternate worse than default",
 				})
@@ -725,6 +745,40 @@ func (e *Engine) Users() int {
 	return int(total)
 }
 
+// reportDetail renders the EventReport detail line. It fires once per
+// ingested report, hot enough that fmt.Sprintf's reflection showed up in
+// profiles; the output is byte-identical to the Sprintf it replaced, at one
+// allocation (the builder's own buffer, handed off by String).
+func reportDetail(page string, objects, servers, violators int) string {
+	var tmp [20]byte
+	var b strings.Builder
+	b.Grow(len(page) + 48)
+	b.WriteString("page ")
+	b.WriteString(page)
+	b.WriteString(": ")
+	b.Write(strconv.AppendInt(tmp[:0], int64(objects), 10))
+	b.WriteString(" objects, ")
+	b.Write(strconv.AppendInt(tmp[:0], int64(servers), 10))
+	b.WriteString(" servers, ")
+	b.Write(strconv.AppendInt(tmp[:0], int64(violators), 10))
+	b.WriteString(" violators")
+	return b.String()
+}
+
+// violatorDetail renders the EventViolator detail line (one per violation,
+// same byte-identical-to-Sprintf contract as reportDetail).
+func violatorDetail(metric MetricKind, distance float64, count int) string {
+	var tmp [32]byte
+	var b strings.Builder
+	b.Grow(64)
+	b.WriteString(metric.String())
+	b.WriteByte(' ')
+	b.Write(strconv.AppendFloat(tmp[:0], distance, 'f', 1, 64))
+	b.WriteString(" beyond median, violation #")
+	b.Write(strconv.AppendInt(tmp[:0], int64(count), 10))
+	return b.String()
+}
+
 // tracing reports whether any trace sink is attached. Hot paths gate event
 // construction on it — building an obs.Event (and especially its Sprintf'd
 // detail) allocates, and doing that per page served with no sink attached
@@ -736,7 +790,14 @@ func (e *Engine) tracing() bool {
 // trace records one decision event in the ring buffer, stamping it with the
 // engine clock, and mirrors it to the logf sink when one is configured.
 func (e *Engine) trace(ev obs.Event) {
-	ev.Time = e.now()
+	e.traceAt(e.now(), ev)
+}
+
+// traceAt is trace with the caller's already-read clock value: ingest emits
+// several events per report, and re-reading the clock for each showed up in
+// profiles.
+func (e *Engine) traceAt(now time.Time, ev obs.Event) {
+	ev.Time = now
 	if e.traceBuf != nil {
 		e.traceBuf.Record(ev)
 	}

@@ -191,6 +191,12 @@ func newPipeline(e *Engine, cfg IngestConfig) *pipeline {
 // immediately while the report still takes effect. With a shedding policy,
 // a submission that cannot be queued within the policy's budget is refused
 // with *OverloadError instead of blocking.
+//
+// Pooled-report ownership: a report refused before it reaches a queue
+// (pipeline closed, shed, cancelled while enqueueing) is released here; a
+// report that made it onto a queue belongs to its worker, which releases it
+// on both the drop and the process path — including when this call has
+// already returned ctx's error to the submitter.
 func (p *pipeline) submit(ctx context.Context, r *report.Report) (*AnalysisResult, error) {
 	t := ingestTask{ctx: ctx, rep: r, res: make(chan ingestOutcome, 1)}
 	// Shard affinity: one worker owns all reports of a given shard.
@@ -199,12 +205,14 @@ func (p *pipeline) submit(ctx context.Context, r *report.Report) (*AnalysisResul
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
+		r.Release()
 		return nil, ErrShuttingDown
 	}
 	p.depth.Add(1)
 	if err := p.enqueue(ctx, q, t); err != nil {
 		p.depth.Add(-1)
 		p.mu.RUnlock()
+		r.Release()
 		return nil, err
 	}
 	p.mu.RUnlock()
@@ -262,11 +270,12 @@ func (p *pipeline) worker(q chan ingestTask) {
 		if err := t.ctx.Err(); err != nil {
 			// Cancelled while queued: the submitter is gone; drop the
 			// report without touching any profile.
+			t.rep.Release()
 			p.depth.Add(-1)
 			t.res <- ingestOutcome{err: err}
 			continue
 		}
-		res, err := p.engine.process(t.rep)
+		res, err := p.engine.process(t.rep) // process releases t.rep
 		p.depth.Add(-1)
 		t.res <- ingestOutcome{res: res, err: err}
 	}
@@ -324,79 +333,124 @@ type BatchResult struct {
 // batchErrorCap bounds BatchResult.Errors.
 const batchErrorCap = 8
 
-// HandleBatch ingests a batch of reports, fanning them out across shards
-// (through the pipeline when one is configured, otherwise over a bounded
-// pool of inline workers). Reports may be processed in any order. The call
-// returns when every report has been processed or ctx is cancelled;
-// cancellation counts not-yet-processed reports as failed.
-func (e *Engine) HandleBatch(ctx context.Context, reports []*report.Report) BatchResult {
-	var (
-		mu  sync.Mutex
-		res = BatchResult{Submitted: len(reports)}
-		wg  sync.WaitGroup
-	)
-	record := func(err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if err == nil {
-			res.Processed++
-			return
-		}
-		res.Failed++
-		if errors.Is(err, ErrOverloaded) {
-			res.Overloaded++
-		}
-		if len(res.Errors) < batchErrorCap {
-			msg := err.Error()
-			for _, prev := range res.Errors {
-				if prev == msg {
-					return
-				}
-			}
-			res.Errors = append(res.Errors, msg)
-		}
-	}
+// BatchSink is a streaming batch ingest: reports are submitted one at a
+// time as a producer parses them off the wire, fanned out across shards
+// concurrently, and summarised on Wait. It replaces the
+// accumulate-the-whole-slice-then-HandleBatch shape — a batch body is never
+// fully materialised as []*report.Report.
+//
+// Usage: s := e.StartBatch(ctx); s.Submit(r)...; res := s.Wait(). Submit
+// and Wait must be called from the producer's goroutine (Submit is not safe
+// for concurrent use); Submit after Wait panics on the closed channel.
+// Submitted pooled reports are owned by the sink/engine and released on
+// every path, like HandleReportCtx.
+type BatchSink struct {
+	engine *Engine
+	ctx    context.Context
+	next   chan *report.Report
+	wg     sync.WaitGroup
 
-	workers := runtime.GOMAXPROCS(0)
+	// workers counts spawned submitters; they are started lazily so a
+	// one-report batch costs one goroutine, not a full pool.
+	workers    int
+	maxWorkers int
+
+	mu  sync.Mutex
+	res BatchResult
+}
+
+// StartBatch begins a streaming batch ingest governed by ctx. Reports may
+// be processed in any order; cancelling ctx counts not-yet-processed
+// reports as failed.
+func (e *Engine) StartBatch(ctx context.Context) *BatchSink {
+	max := runtime.GOMAXPROCS(0)
 	if e.pipeline != nil {
 		// The pipeline workers do the processing; submissions only block on
 		// backpressure, so a few more submitters keep the queues fed.
-		workers = 2 * len(e.pipeline.queues)
+		max = 2 * len(e.pipeline.queues)
 	}
-	if workers > len(reports) {
-		workers = len(reports)
+	return &BatchSink{
+		engine:     e,
+		ctx:        ctx,
+		next:       make(chan *report.Report),
+		maxWorkers: max,
 	}
+}
 
-	next := make(chan *report.Report)
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
+// record folds one report's outcome into the result.
+func (s *BatchSink) record(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		s.res.Processed++
+		return
+	}
+	s.res.Failed++
+	if errors.Is(err, ErrOverloaded) {
+		s.res.Overloaded++
+	}
+	if len(s.res.Errors) < batchErrorCap {
+		msg := err.Error()
+		for _, prev := range s.res.Errors {
+			if prev == msg {
+				return
+			}
+		}
+		s.res.Errors = append(s.res.Errors, msg)
+	}
+}
+
+// Submit hands one report to the sink. It blocks only when every worker is
+// busy (backpressure from the engine); after ctx is cancelled it fails the
+// report immediately without processing it.
+func (s *BatchSink) Submit(r *report.Report) {
+	s.mu.Lock()
+	s.res.Submitted++
+	spawn := s.workers < s.maxWorkers
+	if spawn {
+		s.workers++
+	}
+	s.mu.Unlock()
+	if spawn {
+		s.wg.Add(1)
 		go func() {
-			defer wg.Done()
-			for r := range next {
-				_, err := e.HandleReportCtx(ctx, r)
-				record(err)
+			defer s.wg.Done()
+			for r := range s.next {
+				_, err := s.engine.HandleReportCtx(s.ctx, r)
+				s.record(err)
 			}
 		}()
 	}
-feed:
-	for _, r := range reports {
-		select {
-		case next <- r:
-		case <-ctx.Done():
-			break feed
-		}
+	select {
+	case s.next <- r:
+	case <-s.ctx.Done():
+		// Cancelled before any worker took it: it will never be processed.
+		r.Release()
+		s.record(s.ctx.Err())
 	}
-	close(next)
-	wg.Wait()
+}
 
-	if n := res.Processed + res.Failed; n < res.Submitted {
-		// Cancelled before every report was handed to a worker.
-		mu.Lock()
-		res.Failed += res.Submitted - n
-		if err := ctx.Err(); err != nil && len(res.Errors) < batchErrorCap {
-			res.Errors = append(res.Errors, err.Error())
-		}
-		mu.Unlock()
+// Wait closes the sink, waits for in-flight reports, and returns the batch
+// summary. The sink must not be used afterwards.
+func (s *BatchSink) Wait() BatchResult {
+	close(s.next)
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.res
+}
+
+// HandleBatch ingests a pre-materialised batch of reports through a
+// BatchSink: fanned out across shards (through the pipeline when one is
+// configured, otherwise over a bounded pool of inline workers), processed
+// in any order. The call returns when every report has been processed or
+// ctx is cancelled; cancellation counts not-yet-processed reports as
+// failed. Producers that parse reports off the wire should stream into
+// StartBatch directly instead of building the slice.
+func (e *Engine) HandleBatch(ctx context.Context, reports []*report.Report) BatchResult {
+	s := e.StartBatch(ctx)
+	for _, r := range reports {
+		s.Submit(r)
 	}
-	return res
+	return s.Wait()
 }

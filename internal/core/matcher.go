@@ -91,8 +91,9 @@ func (m *Matcher) Match(rule *rules.Rule, violator *report.ServerPerf, scriptURL
 	}
 
 	// Tier 1 — direct inclusion: src/href attributes in the rule point at a
-	// domain that resolved to the violating server.
-	ruleHosts := htmlscan.ExtractSrcHosts(rule.Default)
+	// domain that resolved to the violating server. Compiled rules answer
+	// from their host cache.
+	ruleHosts := rule.SrcHosts()
 	for _, rh := range ruleHosts {
 		if violator.HasHost(rh) {
 			return MatchDirect
@@ -162,7 +163,7 @@ func (m *Matcher) MatchOwnSurface(rule *rules.Rule, violator *report.ServerPerf)
 	if rule == nil || violator == nil || len(violator.Hosts) == 0 {
 		return MatchNone
 	}
-	for _, rh := range htmlscan.ExtractSrcHosts(rule.Default) {
+	for _, rh := range rule.SrcHosts() {
 		if violator.HasHost(rh) {
 			return MatchDirect
 		}
@@ -244,7 +245,7 @@ func MatchesAlternate(rule *rules.Rule, altIndex int, violator *report.ServerPer
 	if alt == "" {
 		return false
 	}
-	for _, h := range htmlscan.ExtractSrcHosts(alt) {
+	for _, h := range rule.AlternativeSrcHosts(altIndex) {
 		if violator.HasHost(h) {
 			return true
 		}

@@ -342,3 +342,17 @@ func (p *Profile) ActiveRuleIDs(now time.Time) []string {
 	sort.Strings(ids)
 	return ids
 }
+
+// activeRuleIDsInto is ActiveRuleIDs appending into buf's backing array, so
+// the per-report reconciliation loop reuses one snapshot buffer instead of
+// allocating a fresh slice per violation.
+func (p *Profile) activeRuleIDsInto(now time.Time, buf []string) []string {
+	ids := buf[:0]
+	for id, a := range p.active {
+		if !a.Expired(now) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}

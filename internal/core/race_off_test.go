@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled mirrors the race-detector build tag: its instrumentation adds
+// allocations of its own, so allocation gates skip when it is on.
+const raceEnabled = false

@@ -45,6 +45,9 @@ type shard struct {
 	// tick swaps it out and merges across shards. Created lazily on the
 	// first fed report. Guarded by mu. See popwire.go.
 	pop *shardPop
+	// ruleIDScratch is reconciliation's reusable active-rule-ID snapshot
+	// buffer; one per shard because it is only touched under mu (write).
+	ruleIDScratch []string
 }
 
 // shardPop is one shard's slice of the population aggregation window.

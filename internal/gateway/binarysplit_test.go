@@ -1,0 +1,163 @@
+package gateway_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"oak/internal/core"
+	"oak/internal/origin"
+	"oak/internal/report"
+)
+
+// Binary wire-format routing tests: the gateway must route a single OAKRPT1
+// report by its sniffed user ID and split an OAKRPT1 batch frame by frame,
+// exactly as it does for JSON and NDJSON.
+
+// binFrameReport builds a minimal valid report for one user.
+func binFrameReport(user string) *report.Report {
+	return &report.Report{UserID: user, Page: "/p", Entries: []report.Entry{
+		{URL: "http://x.example/a", ServerAddr: "1.1.1.1", SizeBytes: 1, DurationMillis: 1},
+	}}
+}
+
+func TestBinaryReportRoutesBySniffedUser(t *testing.T) {
+	fakes := []*fakeBackend{newFakeBackend(t), newFakeBackend(t), newFakeBackend(t)}
+	gw := newTestGateway(t, fakes, nil)
+
+	// No cookie: routing must come from the user ID sniffed out of the
+	// binary payload.
+	for i := range fakes {
+		body, err := binFrameReport(userFor(t, i, 3)).MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := httptest.NewRequest("POST", origin.ReportPathV1, bytes.NewReader(body))
+		req.Header.Set("Content-Type", report.ContentTypeBinary)
+		rec := httptest.NewRecorder()
+		gw.ServeHTTP(rec, req)
+		if rec.Code != http.StatusNoContent {
+			t.Fatalf("binary report for arc %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	for i, f := range fakes {
+		got := f.snapshot()
+		if len(got.reports) != 1 {
+			t.Errorf("backend %d received %d reports, want exactly its own 1", i, len(got.reports))
+		}
+	}
+}
+
+func TestBinaryBatchSplitsByFrame(t *testing.T) {
+	fakes := []*fakeBackend{newFakeBackend(t), newFakeBackend(t), newFakeBackend(t)}
+	for _, f := range fakes {
+		f.batchReply = &core.BatchResult{Submitted: 2, Processed: 2}
+	}
+	gw := newTestGateway(t, fakes, nil)
+
+	// Two frames per arc, interleaved, so every backend gets one sub-batch
+	// that had to be reassembled from non-adjacent frames.
+	var body, scratch []byte
+	for j := 0; j < 2; j++ {
+		for i := range fakes {
+			uid := userFor(t, i, 3)
+			body, scratch = report.AppendBinaryFrame(body, scratch, binFrameReport(fmt.Sprintf("%s-%d", uid, j)))
+		}
+	}
+	// The per-frame suffix may move a user to another arc; count the truth.
+	perArc := map[int]int{}
+	for j := 0; j < 2; j++ {
+		for i := range fakes {
+			uid := fmt.Sprintf("%s-%d", userFor(t, i, 3), j)
+			perArc[core.RangeFor(uid, core.EqualRanges(3))]++
+		}
+	}
+
+	req := httptest.NewRequest("POST", origin.ReportPathV1, bytes.NewReader(body))
+	req.Header.Set("Content-Type", report.ContentTypeBinaryBatch)
+	rec := httptest.NewRecorder()
+	gw.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("binary batch status %d: %s", rec.Code, rec.Body.String())
+	}
+	var merged core.BatchResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &merged); err != nil {
+		t.Fatal(err)
+	}
+
+	reached := 0
+	for i, f := range fakes {
+		got := f.snapshot()
+		if perArc[i] == 0 {
+			continue
+		}
+		if len(got.reports) != 1 {
+			t.Errorf("backend %d got %d sub-batches, want 1", i, len(got.reports))
+			continue
+		}
+		reached++
+		// The sub-batch must be a well-formed frame stream holding exactly
+		// this arc's reports.
+		frames := 0
+		for rest := []byte(got.reports[0]); ; {
+			frame, next, err := report.NextBinaryFrame(rest)
+			if err != nil {
+				t.Errorf("backend %d sub-batch framing: %v", i, err)
+				break
+			}
+			if frame == nil {
+				break
+			}
+			if report.SniffBinaryUser(frame) == "" {
+				t.Errorf("backend %d received an unsniffable frame", i)
+			}
+			frames++
+			rest = next
+		}
+		if frames != perArc[i] {
+			t.Errorf("backend %d sub-batch has %d frames, want %d", i, frames, perArc[i])
+		}
+	}
+	if wantSubmitted := reached * 2; merged.Submitted != wantSubmitted {
+		t.Errorf("merged.Submitted = %d, want %d", merged.Submitted, wantSubmitted)
+	}
+}
+
+// TestBinaryBatchFramingErrorAtGateway pins the unrecoverable-tail case: the
+// frames before the corruption still route, and the merged summary counts
+// the broken tail as one failed report.
+func TestBinaryBatchFramingErrorAtGateway(t *testing.T) {
+	fakes := []*fakeBackend{newFakeBackend(t)}
+	fakes[0].batchReply = &core.BatchResult{Submitted: 1, Processed: 1}
+	gw := newTestGateway(t, fakes, nil)
+
+	body, _ := report.AppendBinaryFrame(nil, nil, binFrameReport("tail-user"))
+	body = append(body, 0xff, 0xff) // truncated length prefix: cannot resync
+
+	req := httptest.NewRequest("POST", origin.ReportPathV1, bytes.NewReader(body))
+	req.Header.Set("Content-Type", report.ContentTypeBinaryBatch)
+	rec := httptest.NewRecorder()
+	gw.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var merged core.BatchResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Submitted != 2 || merged.Processed != 1 || merged.Failed != 1 {
+		t.Errorf("merged = %+v, want 2 submitted / 1 processed / 1 failed", merged)
+	}
+	got := fakes[0].snapshot()
+	if len(got.reports) != 1 {
+		t.Fatalf("backend got %d sub-batches, want 1", len(got.reports))
+	}
+	// The forwarded sub-batch must not carry the corrupt tail.
+	frame, rest, err := report.NextBinaryFrame([]byte(got.reports[0]))
+	if err != nil || frame == nil || len(rest) != 0 {
+		t.Errorf("forwarded sub-batch = frame %v rest %d err %v, want exactly one clean frame", frame != nil, len(rest), err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"oak/internal/client"
 	"oak/internal/core"
 	"oak/internal/origin"
+	"oak/internal/report"
 	"oak/internal/rules"
 )
 
@@ -66,13 +67,17 @@ func requestCookie(r *http.Request) *http.Cookie {
 	return nil
 }
 
-// sniffUserID extracts the self-declared userId from a JSON report body
-// without decoding the rest: it walks top-level keys and stops at userId
-// (the first key in every report the oak client emits), so routing costs a
-// few tokens, not a full parse of the entries array. A malformed line
-// yields "" — it still routes deterministically, and the owner backend
-// rejects it properly.
+// sniffUserID extracts the self-declared userId from a report body —
+// JSON or OAKRPT1 — without decoding the rest. Binary payloads put the
+// user ID right after the magic for exactly this sniff; JSON bodies are
+// walked top-level key by key, stopping at userId (the first key in every
+// report the oak client emits), so routing costs a few tokens, not a full
+// parse of the entries array. A malformed line yields "" — it still routes
+// deterministically, and the owner backend rejects it properly.
 func sniffUserID(line []byte) string {
+	if report.IsBinary(line) {
+		return report.SniffBinaryUser(line)
+	}
 	dec := json.NewDecoder(bytes.NewReader(line))
 	if t, err := dec.Token(); err != nil || t != json.Delim('{') {
 		return ""
@@ -99,9 +104,10 @@ func sniffUserID(line []byte) string {
 
 // handleReport forwards report submissions. A request with an identity
 // cookie belongs wholly to that user and forwards unchanged to the owner
-// backend. A cookie-less NDJSON batch may mix users, so it is split by
-// each line's self-declared userId and the sub-batches forwarded to their
-// owners concurrently, the results merged.
+// backend. A cookie-less batch may mix users, so it is split by each
+// report's self-declared userId — NDJSON line by line, OAKRPT1 batches
+// frame by frame — and the sub-batches forwarded to their owners
+// concurrently, the results merged.
 func (g *Gateway) handleReport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -124,9 +130,15 @@ func (g *Gateway) handleReport(w http.ResponseWriter, r *http.Request) {
 		contentType = "application/json"
 	}
 	ck := requestCookie(r)
-	isBatch := strings.Contains(contentType, "ndjson") || strings.Contains(contentType, "jsonl")
+	isBinaryBatch := strings.Contains(contentType, "x-oak-report-batch")
+	isBatch := isBinaryBatch ||
+		strings.Contains(contentType, "ndjson") || strings.Contains(contentType, "jsonl")
 	if isBatch && ck == nil {
-		g.handleSplitBatch(ctx, w, body, contentType)
+		if isBinaryBatch {
+			g.handleSplitBatchBinary(ctx, w, body, contentType)
+		} else {
+			g.handleSplitBatch(ctx, w, body, contentType)
+		}
 		return
 	}
 
@@ -172,12 +184,61 @@ func (g *Gateway) splitLines(body []byte) map[int][][]byte {
 	return groups
 }
 
+// splitFrames buckets an OAKRPT1 batch body's frames (length prefix
+// included, so sub-batches reassemble by plain concatenation) by owner
+// backend index. The returned slices alias body. A framing error stops the
+// split — the stream cannot resync past it — but the frames already sliced
+// still forward; the error comes back for the caller to fold into the
+// merged summary as one failed report, mirroring how the origin counts an
+// unrecoverable framing error.
+func (g *Gateway) splitFrames(body []byte) (map[int][][]byte, error) {
+	groups := make(map[int][][]byte)
+	rest := body
+	for {
+		frame, next, err := report.NextBinaryFrame(rest)
+		if err != nil {
+			return groups, err
+		}
+		if frame == nil {
+			return groups, nil
+		}
+		i := g.ownerIndex(report.SniffBinaryUser(frame))
+		groups[i] = append(groups[i], rest[:len(rest)-len(next)])
+		rest = next
+	}
+}
+
 // handleSplitBatch forwards one owner's worth of NDJSON lines to each
 // backend concurrently and merges the per-backend BatchResults into one.
 func (g *Gateway) handleSplitBatch(ctx context.Context, w http.ResponseWriter, body []byte, contentType string) {
-	groups := g.splitLines(body)
+	g.forwardSplit(ctx, w, body, contentType, g.splitLines(body), []byte("\n"), nil)
+}
+
+// handleSplitBatchBinary is handleSplitBatch for OAKRPT1 batch bodies:
+// frames are bucketed by their sniffed user, sub-batches reassemble by
+// concatenation (each bucketed slice keeps its length prefix), and a
+// framing error is folded into the merged summary as one failed report.
+func (g *Gateway) handleSplitBatchBinary(ctx context.Context, w http.ResponseWriter, body []byte, contentType string) {
+	groups, ferr := g.splitFrames(body)
+	g.forwardSplit(ctx, w, body, contentType, groups, nil, ferr)
+}
+
+// forwardSplit forwards each owner's sub-batch concurrently and merges the
+// per-backend BatchResults into one response. sep joins a group's pieces
+// back into a body (newline for NDJSON, nothing for binary frames);
+// splitErr, when non-nil, is an unrecoverable framing error counted as one
+// failed report on top of whatever the backends answered.
+func (g *Gateway) forwardSplit(ctx context.Context, w http.ResponseWriter, body []byte, contentType string, groups map[int][][]byte, sep []byte, splitErr error) {
 	if len(groups) == 0 {
-		http.Error(w, "empty batch", http.StatusBadRequest)
+		if splitErr == nil {
+			http.Error(w, "empty batch", http.StatusBadRequest)
+			return
+		}
+		// The body never yielded a single frame: nothing to forward, but the
+		// client still gets a batch summary, like the origin would produce.
+		writeBatchResult(w, http.StatusOK, core.BatchResult{
+			Submitted: 1, Failed: 1, Errors: []string{splitErr.Error()},
+		})
 		return
 	}
 
@@ -194,8 +255,11 @@ func (g *Gateway) handleSplitBatch(ctx context.Context, w http.ResponseWriter, b
 		go func(i int, lines [][]byte) {
 			defer wg.Done()
 			sub := body // single-owner batch: forward unchanged, no reassembly
-			if len(groups) > 1 {
-				sub = bytes.Join(lines, []byte("\n"))
+			if len(groups) > 1 || splitErr != nil {
+				// Reassemble when owners mix — and when framing broke, so the
+				// trailing garbage is not forwarded for the backend to count a
+				// second time.
+				sub = bytes.Join(lines, sep)
 			}
 			res, _, err := g.forwardWithFailover(ctx, i, origin.ReportPathV1, contentType, sub, nil)
 			mu.Lock()
@@ -248,14 +312,32 @@ func (g *Gateway) handleSplitBatch(ctx context.Context, w http.ResponseWriter, b
 	if retryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	}
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	status := http.StatusOK
 	if merged.Overloaded > 0 && merged.Processed == 0 && merged.Overloaded == merged.Failed {
 		// Every admitted report was shed: the batch as a whole was refused.
-		w.WriteHeader(http.StatusServiceUnavailable)
+		status = http.StatusServiceUnavailable
 	}
+	if splitErr != nil {
+		// The unrecoverable framing error is one report that never reached a
+		// backend: counted after the shed decision, like the origin counts
+		// its own parse failures.
+		merged.Submitted++
+		merged.Failed++
+		if len(merged.Errors) < 8 {
+			merged.Errors = append(merged.Errors, splitErr.Error())
+		}
+	}
+	writeBatchResult(w, status, merged)
+}
+
+// writeBatchResult writes a merged batch summary as indented JSON, the same
+// shape the origin's batch endpoint produces.
+func writeBatchResult(w http.ResponseWriter, status int, res core.BatchResult) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(merged)
+	_ = enc.Encode(res)
 }
 
 // handlePage proxies a page serve to the user's owner backend. The gateway

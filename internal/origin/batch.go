@@ -12,17 +12,26 @@ import (
 	"oak/internal/report"
 )
 
-// NDJSON batch ingestion: POST /oak/report with Content-Type
-// application/x-ndjson carries one JSON report per line. The batch is
-// fanned out across the engine's shards (through the batched-ingest
-// pipeline when one is configured), and the response summarises how many
-// reports were processed and how many failed — a batch is not transactional,
-// so one malformed line does not reject the rest.
+// Batch ingestion: POST /oak/report with Content-Type application/x-ndjson
+// carries one JSON report per line; application/x-oak-report-batch carries
+// concatenated OAKRPT1 frames (see report/binary.go). Either way the body is
+// streamed — each report is handed to the engine as soon as its bytes are
+// parsed, through a core.BatchSink, so a batch is never materialised as a
+// slice of reports. The batch is fanned out across the engine's shards
+// (through the batched-ingest pipeline when one is configured), and the
+// response summarises how many reports were processed and how many failed —
+// a batch is not transactional, so one malformed line does not reject the
+// rest.
 
 // BatchContentType is the canonical Content-Type marking a POST body on
 // ReportPath as an NDJSON batch. The aliases application/ndjson and
 // application/jsonl are also accepted.
 const BatchContentType = "application/x-ndjson"
+
+// batchParseErrorCap bounds how many parse-error samples the response
+// carries; past it, failures are counted but their messages are not even
+// rendered.
+const batchParseErrorCap = 4
 
 // isBatchContentType reports whether the Content-Type header marks an
 // NDJSON batch body.
@@ -41,18 +50,60 @@ func isBatchContentType(ct string) bool {
 	return false
 }
 
+// isBinaryContentType reports whether the Content-Type header marks a
+// single OAKRPT1 report body.
+func isBinaryContentType(ct string) bool {
+	if ct == "" {
+		return false
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	return err == nil && mt == report.ContentTypeBinary
+}
+
+// isBinaryBatchContentType reports whether the Content-Type header marks a
+// body of concatenated OAKRPT1 batch frames.
+func isBinaryBatchContentType(ct string) bool {
+	if ct == "" {
+		return false
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	return err == nil && mt == report.ContentTypeBinaryBatch
+}
+
+// batchParseFailures tracks reports that never reached the engine because
+// their bytes would not parse.
+type batchParseFailures struct {
+	count int
+	errs  []string
+}
+
+// add counts one parse failure, keeping at most batchParseErrorCap distinct
+// sample messages (and not rendering the error at all once capped).
+func (p *batchParseFailures) add(err error) {
+	p.count++
+	if len(p.errs) >= batchParseErrorCap {
+		return
+	}
+	msg := err.Error()
+	for _, prev := range p.errs {
+		if prev == msg {
+			return
+		}
+	}
+	p.errs = append(p.errs, msg)
+}
+
 // handleReportBatch ingests an NDJSON batch body: one report per line,
-// blank lines skipped. Each line is bounded by the single-report body
-// limit; the whole body by batchBodyFactor times that. The response is a
-// JSON core.BatchResult; reports that fail to parse are counted as failed
+// blank lines skipped, each line streamed into the engine as soon as it is
+// parsed. Each line is bounded by the single-report body limit; the whole
+// body by batchBodyFactor times that. The response is a JSON
+// core.BatchResult; reports that fail to parse are counted as failed
 // alongside reports the engine rejected.
 func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 	body := &countingReader{r: io.LimitReader(r.Body, batchBodyFactor*s.maxBodyBytes+1)}
-	var (
-		reports   []*report.Report
-		parseFail int
-		parseErrs []string
-	)
+	sink := s.engine.StartBatch(r.Context())
+	var parse batchParseFailures
+
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 64*1024), int(s.maxBodyBytes)+1)
 	for sc.Scan() {
@@ -61,21 +112,20 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if int64(len(line)) > s.maxBodyBytes {
+			sink.Wait()
 			http.Error(w, "batch line exceeds report size limit", http.StatusRequestEntityTooLarge)
 			return
 		}
-		rep, err := report.Unmarshal(line)
+		rep, err := report.DecodePooled(line)
 		if err != nil {
-			parseFail++
-			if len(parseErrs) < 4 {
-				parseErrs = append(parseErrs, err.Error())
-			}
+			parse.add(err)
 			continue
 		}
 		s.stampIdentity(rep, r)
-		reports = append(reports, rep)
+		sink.Submit(rep)
 	}
 	if err := sc.Err(); err != nil {
+		sink.Wait()
 		if err == bufio.ErrTooLong {
 			http.Error(w, "batch line exceeds report size limit", http.StatusRequestEntityTooLarge)
 			return
@@ -84,21 +134,69 @@ func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if body.n > batchBodyFactor*s.maxBodyBytes {
+		sink.Wait()
 		http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
 		return
 	}
-	if len(reports) == 0 && parseFail == 0 {
+	s.finishBatch(w, r, sink.Wait(), &parse)
+}
+
+// handleReportBatchBinary ingests a body of concatenated OAKRPT1 frames,
+// streaming each frame's report into the engine as it is sliced off. A
+// framing error is unrecoverable (the stream cannot resync), so it fails
+// the remainder as one parse failure; a frame whose payload will not decode
+// fails alone, like a malformed NDJSON line.
+func (s *Server) handleReportBatchBinary(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, batchBodyFactor*s.maxBodyBytes+1))
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > batchBodyFactor*s.maxBodyBytes {
+		http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	sink := s.engine.StartBatch(r.Context())
+	var parse batchParseFailures
+	for rest := body; ; {
+		frame, next, ferr := report.NextBinaryFrame(rest)
+		if ferr != nil {
+			parse.add(ferr)
+			break
+		}
+		if frame == nil {
+			break
+		}
+		rest = next
+		if int64(len(frame)) > s.maxBodyBytes {
+			sink.Wait()
+			http.Error(w, "batch frame exceeds report size limit", http.StatusRequestEntityTooLarge)
+			return
+		}
+		rep, derr := report.DecodeBinaryPooled(frame)
+		if derr != nil {
+			parse.add(derr)
+			continue
+		}
+		s.stampIdentity(rep, r)
+		sink.Submit(rep)
+	}
+	s.finishBatch(w, r, sink.Wait(), &parse)
+}
+
+// finishBatch folds parse failures into the engine's batch summary and
+// writes the response: 400 for an empty batch, 499 when the client left,
+// 503 + Retry-After when the shedding policy refused the whole batch, 200
+// with the summary otherwise.
+func (s *Server) finishBatch(w http.ResponseWriter, r *http.Request, res core.BatchResult, parse *batchParseFailures) {
+	if res.Submitted == 0 && parse.count == 0 {
 		http.Error(w, "empty batch", http.StatusBadRequest)
 		return
 	}
-
-	res := s.engine.HandleBatch(r.Context(), reports)
 	allShed := res.Overloaded > 0 && res.Processed == 0 && res.Overloaded == res.Failed
-	res.Submitted += parseFail
-	res.Failed += parseFail
-	for _, msg := range parseErrs {
-		res.Errors = append(res.Errors, msg)
-	}
+	res.Submitted += parse.count
+	res.Failed += parse.count
+	res.Errors = append(res.Errors, parse.errs...)
 	if err := r.Context().Err(); err != nil {
 		// The client abandoned the batch; whatever was processed before the
 		// abort took effect, but nobody is listening for the summary.

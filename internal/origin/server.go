@@ -32,7 +32,10 @@ const CookieName = "oak-user"
 
 // ReportPath is the endpoint performance reports are POSTed to. A body with
 // Content-Type application/json (or none) is one report; an NDJSON
-// Content-Type (see BatchContentType) marks a batch of one report per line.
+// Content-Type (see BatchContentType) marks a batch of one report per line;
+// application/x-oak-report carries one binary OAKRPT1 report and
+// application/x-oak-report-batch a stream of OAKRPT1 frames (see
+// report.ContentTypeBinary / report.ContentTypeBinaryBatch).
 const ReportPath = "/oak/report"
 
 // AuditPath serves the operator audit summary (the paper's "offline
@@ -347,14 +350,23 @@ func (s *Server) rewriteBudgeted(userID, path, html string) core.Rewrite {
 // because the rewrite budget lapsed.
 func (s *Server) PagesDegraded() uint64 { return s.pagesDegraded.Value() }
 
-// handleReport ingests performance reports: one JSON report per request by
-// default, or one per line when the Content-Type marks the body as NDJSON.
+// handleReport ingests performance reports, negotiating the wire format by
+// Content-Type: one JSON report per request by default, one per line for
+// NDJSON, a single OAKRPT1 payload for application/x-oak-report, and
+// concatenated OAKRPT1 frames for application/x-oak-report-batch. Every
+// format decodes into pooled report structs whose ownership passes to the
+// engine at submission.
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	if isBatchContentType(r.Header.Get("Content-Type")) {
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case isBinaryBatchContentType(ct):
+		s.handleReportBatchBinary(w, r)
+		return
+	case isBatchContentType(ct):
 		s.handleReportBatch(w, r)
 		return
 	}
@@ -367,7 +379,12 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "report too large", http.StatusRequestEntityTooLarge)
 		return
 	}
-	rep, err := report.Unmarshal(body)
+	var rep *report.Report
+	if isBinaryContentType(ct) {
+		rep, err = report.DecodeBinaryPooled(body)
+	} else {
+		rep, err = report.DecodePooled(body)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

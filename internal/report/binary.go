@@ -1,0 +1,313 @@
+package report
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// OAKRPT1: a compact length-prefixed binary report encoding for
+// instrumented clients. JSON spends most of a report's wire bytes on
+// punctuation and repeated key names; the paper's reports are a restricted
+// HAR subset (median < 10 KB) uploaded from clients where bytes and battery
+// matter, so the binary format drops the keys entirely: the schema is fixed,
+// fields appear in a fixed order, strings are uvarint-length-prefixed,
+// integers are zigzag varints and durations are raw float64 bits.
+//
+// Layout (single report, Content-Type application/x-oak-report):
+//
+//	"OAKRPT1"                          7-byte magic
+//	userID    uvarint len + bytes      first so routing can sniff it cheaply
+//	page      uvarint len + bytes
+//	generatedAtUnixMs zigzag varint
+//	count     uvarint
+//	entries   count ×:
+//	  url           uvarint len + bytes
+//	  serverAddr    uvarint len + bytes
+//	  sizeBytes     zigzag varint
+//	  durationMillis float64 bits, little-endian
+//	  initiatorUrl  uvarint len + bytes
+//	  kind          uvarint len + bytes
+//	  flags         1 byte (bit0 = failed; other bits reserved, must be 0)
+//
+// A batch (Content-Type application/x-oak-report-batch) is a concatenation
+// of frames, each a uvarint byte length followed by one single-report
+// payload. Frames are self-describing, so the gateway slices a mixed-user
+// batch into per-owner sub-batches without decoding entries.
+
+// Content types for report submission. The JSON and NDJSON types predate the
+// binary format; origin negotiates by Content-Type.
+const (
+	ContentTypeJSON        = "application/json"
+	ContentTypeNDJSON      = "application/x-ndjson"
+	ContentTypeBinary      = "application/x-oak-report"
+	ContentTypeBinaryBatch = "application/x-oak-report-batch"
+)
+
+// binaryMagic identifies an OAKRPT1 payload.
+const binaryMagic = "OAKRPT1"
+
+// MaxBinaryStringLen bounds any single length-prefixed string, so a hostile
+// length prefix cannot demand a huge allocation.
+const MaxBinaryStringLen = 1 << 20
+
+// binMinEntrySize is the smallest possible encoded entry (four empty
+// strings, one-byte varints, 8 float bytes, flags): used to reject entry
+// counts the remaining payload cannot possibly hold.
+const binMinEntrySize = 13
+
+// Typed decode errors. Hostile input maps to exactly these; callers gate
+// status codes on them.
+var (
+	// ErrBinaryMagic means the payload does not start with OAKRPT1.
+	ErrBinaryMagic = errors.New("report: not an OAKRPT1 payload")
+	// ErrBinaryTruncated means the payload ended before a declared length.
+	ErrBinaryTruncated = errors.New("report: truncated OAKRPT1 payload")
+	// ErrBinaryOversized means a declared length exceeds the format limits
+	// or the bytes actually present.
+	ErrBinaryOversized = errors.New("report: OAKRPT1 length exceeds limit")
+	// ErrBinaryCorrupt means a malformed varint, reserved flag bits, or
+	// trailing bytes after the payload.
+	ErrBinaryCorrupt = errors.New("report: corrupt OAKRPT1 payload")
+)
+
+// IsBinary reports whether data starts with the OAKRPT1 magic.
+func IsBinary(data []byte) bool {
+	return len(data) >= len(binaryMagic) && string(data[:len(binaryMagic)]) == binaryMagic
+}
+
+// AppendBinary appends the OAKRPT1 encoding of r to dst.
+func (r *Report) AppendBinary(dst []byte) []byte {
+	dst = append(dst, binaryMagic...)
+	dst = appendBinString(dst, r.UserID)
+	dst = appendBinString(dst, r.Page)
+	dst = binary.AppendVarint(dst, r.GeneratedAtUnixMs)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Entries)))
+	for i := range r.Entries {
+		e := &r.Entries[i]
+		dst = appendBinString(dst, e.URL)
+		dst = appendBinString(dst, e.ServerAddr)
+		dst = binary.AppendVarint(dst, e.SizeBytes)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.DurationMillis))
+		dst = appendBinString(dst, e.InitiatorURL)
+		dst = appendBinString(dst, string(e.Kind))
+		var flags byte
+		if e.Failed {
+			flags |= 1
+		}
+		dst = append(dst, flags)
+	}
+	return dst
+}
+
+// MarshalBinary encodes r as a single OAKRPT1 payload. It fails only when a
+// string field exceeds MaxBinaryStringLen (such a payload could never be
+// decoded back).
+func (r *Report) MarshalBinary() ([]byte, error) {
+	if len(r.UserID) > MaxBinaryStringLen || len(r.Page) > MaxBinaryStringLen {
+		return nil, ErrBinaryOversized
+	}
+	for i := range r.Entries {
+		e := &r.Entries[i]
+		if len(e.URL) > MaxBinaryStringLen || len(e.ServerAddr) > MaxBinaryStringLen ||
+			len(e.InitiatorURL) > MaxBinaryStringLen || len(e.Kind) > MaxBinaryStringLen {
+			return nil, ErrBinaryOversized
+		}
+	}
+	return r.AppendBinary(nil), nil
+}
+
+// UnmarshalBinary decodes a single OAKRPT1 payload into a fresh report.
+func UnmarshalBinary(data []byte) (*Report, error) {
+	r := &Report{}
+	if err := decodeBinaryInto(data, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// DecodeBinaryPooled decodes a single OAKRPT1 payload into a pooled report
+// (same ownership contract as DecodePooled).
+func DecodeBinaryPooled(data []byte) (*Report, error) {
+	r := acquireReport()
+	if err := decodeBinaryInto(data, r); err != nil {
+		r.Release()
+		return nil, err
+	}
+	return r, nil
+}
+
+// decodeBinaryInto decodes data into r, recycling equal strings in place
+// and precomputing entry hosts, exactly like the JSON fast path.
+func decodeBinaryInto(data []byte, r *Report) error {
+	if !IsBinary(data) {
+		return ErrBinaryMagic
+	}
+	b := data[len(binaryMagic):]
+	tok, b, err := binString(b)
+	if err != nil {
+		return err
+	}
+	setString(&r.UserID, tok)
+	tok, b, err = binString(b)
+	if err != nil {
+		return err
+	}
+	setString(&r.Page, tok)
+	gen, b, err := binVarint(b)
+	if err != nil {
+		return err
+	}
+	r.GeneratedAtUnixMs = gen
+	count, b, err := binUvarint(b)
+	if err != nil {
+		return err
+	}
+	if count > uint64(len(b))/binMinEntrySize {
+		return ErrBinaryOversized
+	}
+	if r.Entries == nil {
+		r.Entries = make([]Entry, 0, count)
+	} else {
+		r.Entries = r.Entries[:0]
+	}
+	for n := 0; n < int(count); n++ {
+		if n < cap(r.Entries) {
+			r.Entries = r.Entries[:n+1]
+		} else {
+			r.Entries = append(r.Entries, Entry{})
+		}
+		e := &r.Entries[n]
+		if tok, b, err = binString(b); err != nil {
+			return err
+		}
+		if e.URL != string(tok) {
+			e.URL = string(tok)
+			e.hostKnown = false
+		}
+		if tok, b, err = binString(b); err != nil {
+			return err
+		}
+		setString(&e.ServerAddr, tok)
+		if e.SizeBytes, b, err = binVarint(b); err != nil {
+			return err
+		}
+		if len(b) < 8 {
+			return ErrBinaryTruncated
+		}
+		e.DurationMillis = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		if tok, b, err = binString(b); err != nil {
+			return err
+		}
+		setString(&e.InitiatorURL, tok)
+		if tok, b, err = binString(b); err != nil {
+			return err
+		}
+		if string(e.Kind) != string(tok) {
+			e.Kind = ObjectKind(tok)
+		}
+		if len(b) < 1 {
+			return ErrBinaryTruncated
+		}
+		flags := b[0]
+		b = b[1:]
+		if flags&^1 != 0 {
+			return ErrBinaryCorrupt
+		}
+		e.Failed = flags&1 != 0
+		if !e.hostKnown {
+			e.setHost(hostOf(e.URL))
+		}
+	}
+	if len(b) != 0 {
+		return ErrBinaryCorrupt
+	}
+	return nil
+}
+
+// SniffBinaryUser returns the userID of a single OAKRPT1 payload (or batch
+// frame payload) without decoding the rest, for gateway routing. Malformed
+// payloads yield "" — they still route deterministically and the owner
+// backend rejects them properly.
+func SniffBinaryUser(data []byte) string {
+	if !IsBinary(data) {
+		return ""
+	}
+	tok, _, err := binString(data[len(binaryMagic):])
+	if err != nil {
+		return ""
+	}
+	return string(tok)
+}
+
+// AppendBinaryFrame appends one batch frame (uvarint length + payload) to
+// dst. scratch, if non-nil, is reused for the intermediate encoding; pass
+// the previous call's second return to amortise it.
+func AppendBinaryFrame(dst, scratch []byte, r *Report) (frame, scratch2 []byte) {
+	scratch = r.AppendBinary(scratch[:0])
+	dst = binary.AppendUvarint(dst, uint64(len(scratch)))
+	return append(dst, scratch...), scratch
+}
+
+// NextBinaryFrame splits the first frame off a batch body. frame is the
+// payload (decodable by UnmarshalBinary and sniffable by SniffBinaryUser),
+// rest is the remaining batch. An empty body returns (nil, nil, nil).
+func NextBinaryFrame(body []byte) (frame, rest []byte, err error) {
+	if len(body) == 0 {
+		return nil, nil, nil
+	}
+	n, size := binary.Uvarint(body)
+	if size <= 0 {
+		return nil, nil, ErrBinaryCorrupt
+	}
+	body = body[size:]
+	if n > uint64(len(body)) {
+		return nil, nil, ErrBinaryTruncated
+	}
+	return body[:n], body[n:], nil
+}
+
+func appendBinString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func binString(b []byte) (tok, rest []byte, err error) {
+	n, rest, err := binUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > MaxBinaryStringLen {
+		return nil, nil, ErrBinaryOversized
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, ErrBinaryTruncated
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// binUvarint reads a canonical (minimal-length) uvarint. Non-minimal
+// encodings are rejected so every decodable payload re-encodes
+// byte-identically — the property FuzzBinaryRoundTrip pins.
+func binUvarint(b []byte) (uint64, []byte, error) {
+	v, size := binary.Uvarint(b)
+	if size == 0 {
+		return 0, nil, ErrBinaryTruncated
+	}
+	if size < 0 || (size > 1 && b[size-1] == 0) {
+		return 0, nil, ErrBinaryCorrupt
+	}
+	return v, b[size:], nil
+}
+
+func binVarint(b []byte) (int64, []byte, error) {
+	v, size := binary.Varint(b)
+	if size == 0 {
+		return 0, nil, ErrBinaryTruncated
+	}
+	if size < 0 || (size > 1 && b[size-1] == 0) {
+		return 0, nil, ErrBinaryCorrupt
+	}
+	return v, b[size:], nil
+}

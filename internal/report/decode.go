@@ -1,0 +1,602 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"unicode/utf8"
+)
+
+// The JSON fast path. Reports have a fixed, tiny schema, yet encoding/json
+// pays for full generality: reflection, field matching, interface boxing.
+// decodeFastInto scans the byte slice directly into a *Report — no token
+// stream, no intermediate maps — and bails out to encoding/json on ANY
+// construct it cannot prove it handles identically: unknown or duplicate
+// keys, case-insensitive key matches, null, non-ASCII string bytes,
+// surrogate escapes, exponents, numeric overflow, trailing garbage. The
+// fallback, not the fast path, produces every error, so error text and
+// acceptance are encoding/json's own. FuzzDecodeEquivalence pins the two
+// paths to byte-identical results.
+//
+// Strings are "recycled" when decoding into a pooled report: if the incoming
+// token equals the string already in the target field (common — production
+// traffic repeats the same URLs and hosts endlessly), the existing string is
+// kept and no allocation happens. Strings are immutable, so sharing them
+// across reports is safe.
+
+// Decode parses a JSON report body, trying the fast path first. It is a
+// drop-in replacement for Unmarshal (identical results and errors).
+func Decode(data []byte) (*Report, error) {
+	r := &Report{}
+	if decodeFastInto(data, r) {
+		return r, nil
+	}
+	*r = Report{}
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, fmt.Errorf("report: decode: %w", err)
+	}
+	return r, nil
+}
+
+// DecodePooled is Decode into a pooled report. On success the caller owns
+// the report and must arrange exactly one Release (submitting to the engine
+// transfers that obligation); on error nothing is retained.
+func DecodePooled(data []byte) (*Report, error) {
+	r := acquireReport()
+	if decodeFastInto(data, r) {
+		return r, nil
+	}
+	*r = Report{pooled: true}
+	if err := json.Unmarshal(data, r); err != nil {
+		r.Release()
+		return nil, fmt.Errorf("report: decode: %w", err)
+	}
+	return r, nil
+}
+
+var fastDecPool = sync.Pool{New: func() any { return new(fastDecoder) }}
+
+type fastDecoder struct {
+	data []byte
+	i    int
+	buf  []byte // unescape scratch, reused across strings and decodes
+}
+
+// decodeFastInto scans data into r. false means "outside the fast-path
+// subset": r may be partially overwritten and the caller must reset it and
+// run the encoding/json fallback.
+func decodeFastInto(data []byte, r *Report) bool {
+	d := fastDecPool.Get().(*fastDecoder)
+	d.data, d.i = data, 0
+	ok := d.decodeReport(r)
+	d.data = nil
+	fastDecPool.Put(d)
+	return ok
+}
+
+// Seen-field masks: duplicates punt to the fallback, unseen fields are
+// zeroed afterwards so a recycled report matches a decode into zero memory.
+const (
+	seenUserID = 1 << iota
+	seenPage
+	seenGenerated
+	seenEntries
+)
+
+const (
+	eSeenURL = 1 << iota
+	eSeenServerAddr
+	eSeenSize
+	eSeenDuration
+	eSeenInitiator
+	eSeenKind
+	eSeenFailed
+)
+
+func (d *fastDecoder) decodeReport(r *Report) bool {
+	d.skipWS()
+	if !d.consume('{') {
+		return false
+	}
+	seen := 0
+	d.skipWS()
+	if !d.consume('}') {
+		for {
+			key, ok := d.scanString()
+			if !ok {
+				return false
+			}
+			d.skipWS()
+			if !d.consume(':') {
+				return false
+			}
+			d.skipWS()
+			switch string(key) {
+			case "userId":
+				if seen&seenUserID != 0 {
+					return false
+				}
+				seen |= seenUserID
+				tok, ok := d.scanString()
+				if !ok {
+					return false
+				}
+				setString(&r.UserID, tok)
+			case "page":
+				if seen&seenPage != 0 {
+					return false
+				}
+				seen |= seenPage
+				tok, ok := d.scanString()
+				if !ok {
+					return false
+				}
+				setString(&r.Page, tok)
+			case "generatedAtUnixMs":
+				if seen&seenGenerated != 0 {
+					return false
+				}
+				seen |= seenGenerated
+				v, ok := d.scanInt64()
+				if !ok {
+					return false
+				}
+				r.GeneratedAtUnixMs = v
+			case "entries":
+				if seen&seenEntries != 0 {
+					return false
+				}
+				seen |= seenEntries
+				if !d.decodeEntries(r) {
+					return false
+				}
+			default:
+				return false
+			}
+			d.skipWS()
+			if d.consume(',') {
+				d.skipWS()
+				continue
+			}
+			if d.consume('}') {
+				break
+			}
+			return false
+		}
+	}
+	d.skipWS()
+	if d.i != len(d.data) {
+		return false
+	}
+	if seen&seenUserID == 0 {
+		r.UserID = ""
+	}
+	if seen&seenPage == 0 {
+		r.Page = ""
+	}
+	if seen&seenGenerated == 0 {
+		r.GeneratedAtUnixMs = 0
+	}
+	if seen&seenEntries == 0 {
+		r.Entries = nil
+	}
+	return true
+}
+
+func (d *fastDecoder) decodeEntries(r *Report) bool {
+	if !d.consume('[') {
+		return false
+	}
+	// Reuse the backing array; stale elements past the new length keep their
+	// strings so recycling can match against them slot by slot.
+	if r.Entries == nil {
+		r.Entries = make([]Entry, 0, 4)
+	} else {
+		r.Entries = r.Entries[:0]
+	}
+	d.skipWS()
+	if d.consume(']') {
+		return true
+	}
+	for {
+		n := len(r.Entries)
+		if n < cap(r.Entries) {
+			r.Entries = r.Entries[:n+1]
+		} else {
+			r.Entries = append(r.Entries, Entry{})
+		}
+		if !d.decodeEntry(&r.Entries[n]) {
+			return false
+		}
+		d.skipWS()
+		if d.consume(',') {
+			d.skipWS()
+			continue
+		}
+		if d.consume(']') {
+			return true
+		}
+		return false
+	}
+}
+
+func (d *fastDecoder) decodeEntry(e *Entry) bool {
+	if !d.consume('{') {
+		return false
+	}
+	seen := 0
+	d.skipWS()
+	if !d.consume('}') {
+		for {
+			key, ok := d.scanString()
+			if !ok {
+				return false
+			}
+			d.skipWS()
+			if !d.consume(':') {
+				return false
+			}
+			d.skipWS()
+			switch string(key) {
+			case "url":
+				if seen&eSeenURL != 0 {
+					return false
+				}
+				seen |= eSeenURL
+				tok, ok := d.scanString()
+				if !ok {
+					return false
+				}
+				if e.URL != string(tok) {
+					e.URL = string(tok)
+					e.hostKnown = false
+				}
+			case "serverAddr":
+				if seen&eSeenServerAddr != 0 {
+					return false
+				}
+				seen |= eSeenServerAddr
+				tok, ok := d.scanString()
+				if !ok {
+					return false
+				}
+				setString(&e.ServerAddr, tok)
+			case "sizeBytes":
+				if seen&eSeenSize != 0 {
+					return false
+				}
+				seen |= eSeenSize
+				v, ok := d.scanInt64()
+				if !ok {
+					return false
+				}
+				e.SizeBytes = v
+			case "durationMillis":
+				if seen&eSeenDuration != 0 {
+					return false
+				}
+				seen |= eSeenDuration
+				v, ok := d.scanFloat64()
+				if !ok {
+					return false
+				}
+				e.DurationMillis = v
+			case "initiatorUrl":
+				if seen&eSeenInitiator != 0 {
+					return false
+				}
+				seen |= eSeenInitiator
+				tok, ok := d.scanString()
+				if !ok {
+					return false
+				}
+				setString(&e.InitiatorURL, tok)
+			case "kind":
+				if seen&eSeenKind != 0 {
+					return false
+				}
+				seen |= eSeenKind
+				tok, ok := d.scanString()
+				if !ok {
+					return false
+				}
+				if string(e.Kind) != string(tok) {
+					e.Kind = ObjectKind(tok)
+				}
+			case "failed":
+				if seen&eSeenFailed != 0 {
+					return false
+				}
+				seen |= eSeenFailed
+				v, ok := d.scanBool()
+				if !ok {
+					return false
+				}
+				e.Failed = v
+			default:
+				return false
+			}
+			d.skipWS()
+			if d.consume(',') {
+				d.skipWS()
+				continue
+			}
+			if d.consume('}') {
+				break
+			}
+			return false
+		}
+	}
+	if seen&eSeenURL == 0 && e.URL != "" {
+		e.URL = ""
+		e.hostKnown = false
+	}
+	if seen&eSeenServerAddr == 0 {
+		e.ServerAddr = ""
+	}
+	if seen&eSeenSize == 0 {
+		e.SizeBytes = 0
+	}
+	if seen&eSeenDuration == 0 {
+		e.DurationMillis = 0
+	}
+	if seen&eSeenInitiator == 0 {
+		e.InitiatorURL = ""
+	}
+	if seen&eSeenKind == 0 {
+		e.Kind = ""
+	}
+	if seen&eSeenFailed == 0 {
+		e.Failed = false
+	}
+	// Host extraction happens here, once, at decode time; a recycled URL
+	// keeps its cached host.
+	if !e.hostKnown {
+		e.setHost(hostOf(e.URL))
+	}
+	return true
+}
+
+// setString stores tok into *dst, keeping the existing string when equal
+// (the comparison against string(tok) does not allocate).
+func setString(dst *string, tok []byte) {
+	if *dst != string(tok) {
+		*dst = string(tok)
+	}
+}
+
+func (d *fastDecoder) skipWS() {
+	for d.i < len(d.data) {
+		switch d.data[d.i] {
+		case ' ', '\t', '\n', '\r':
+			d.i++
+		default:
+			return
+		}
+	}
+}
+
+func (d *fastDecoder) consume(c byte) bool {
+	if d.i < len(d.data) && d.data[d.i] == c {
+		d.i++
+		return true
+	}
+	return false
+}
+
+// scanString scans a JSON string. The returned token aliases either the
+// input or the decoder's scratch buffer — callers must consume it before the
+// next scan. Non-ASCII bytes, control characters, surrogate escapes and
+// invalid escapes all punt to the fallback.
+func (d *fastDecoder) scanString() ([]byte, bool) {
+	if d.i >= len(d.data) || d.data[d.i] != '"' {
+		return nil, false
+	}
+	d.i++
+	start := d.i
+	for d.i < len(d.data) {
+		c := d.data[d.i]
+		if c == '"' {
+			tok := d.data[start:d.i]
+			d.i++
+			return tok, true
+		}
+		if c == '\\' || c < 0x20 || c >= 0x80 {
+			break
+		}
+		d.i++
+	}
+	if d.i >= len(d.data) || d.data[d.i] != '\\' {
+		return nil, false
+	}
+	d.buf = append(d.buf[:0], d.data[start:d.i]...)
+	for d.i < len(d.data) {
+		c := d.data[d.i]
+		switch {
+		case c == '"':
+			d.i++
+			return d.buf, true
+		case c == '\\':
+			d.i++
+			if d.i >= len(d.data) {
+				return nil, false
+			}
+			e := d.data[d.i]
+			d.i++
+			switch e {
+			case '"', '\\', '/':
+				d.buf = append(d.buf, e)
+			case 'b':
+				d.buf = append(d.buf, '\b')
+			case 'f':
+				d.buf = append(d.buf, '\f')
+			case 'n':
+				d.buf = append(d.buf, '\n')
+			case 'r':
+				d.buf = append(d.buf, '\r')
+			case 't':
+				d.buf = append(d.buf, '\t')
+			case 'u':
+				if d.i+4 > len(d.data) {
+					return nil, false
+				}
+				v, ok := hex4(d.data[d.i : d.i+4])
+				if !ok {
+					return nil, false
+				}
+				d.i += 4
+				if v >= 0xD800 && v <= 0xDFFF {
+					return nil, false // surrogate handling: slow path
+				}
+				d.buf = utf8.AppendRune(d.buf, rune(v))
+			default:
+				return nil, false
+			}
+		case c < 0x20 || c >= 0x80:
+			return nil, false
+		default:
+			d.buf = append(d.buf, c)
+			d.i++
+		}
+	}
+	return nil, false
+}
+
+func hex4(b []byte) (uint32, bool) {
+	var v uint32
+	for _, c := range b {
+		v <<= 4
+		switch {
+		case c >= '0' && c <= '9':
+			v |= uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			v |= uint32(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			v |= uint32(c-'A') + 10
+		default:
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// scanInt64 scans a JSON integer. Fractions, exponents, leading zeros and
+// anything near overflow punt to the fallback.
+func (d *fastDecoder) scanInt64() (int64, bool) {
+	neg := false
+	if d.i < len(d.data) && d.data[d.i] == '-' {
+		neg = true
+		d.i++
+	}
+	start := d.i
+	var m uint64
+	for d.i < len(d.data) {
+		c := d.data[d.i]
+		if c < '0' || c > '9' {
+			break
+		}
+		if m > (1<<63-10)/10 {
+			return 0, false
+		}
+		m = m*10 + uint64(c-'0')
+		d.i++
+	}
+	n := d.i - start
+	if n == 0 || (n > 1 && d.data[start] == '0') {
+		return 0, false
+	}
+	if d.i < len(d.data) {
+		if c := d.data[d.i]; c == '.' || c == 'e' || c == 'E' {
+			return 0, false
+		}
+	}
+	if neg {
+		return -int64(m), true
+	}
+	return int64(m), true
+}
+
+// pow10 holds the exactly-representable powers of ten (10^0 .. 10^22).
+var pow10 = [23]float64{
+	1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// scanFloat64 scans a JSON number whose mantissa fits in 2^53 and whose
+// fractional part has at most 22 digits: for those, float64(m)/10^frac is
+// exactly strconv.ParseFloat's fast path, so results are bit-identical to
+// encoding/json. Exponents and longer mantissas punt to the fallback.
+func (d *fastDecoder) scanFloat64() (float64, bool) {
+	neg := false
+	if d.i < len(d.data) && d.data[d.i] == '-' {
+		neg = true
+		d.i++
+	}
+	start := d.i
+	var m uint64
+	digits := 0
+	for d.i < len(d.data) {
+		c := d.data[d.i]
+		if c < '0' || c > '9' {
+			break
+		}
+		if digits >= 18 {
+			return 0, false
+		}
+		m = m*10 + uint64(c-'0')
+		digits++
+		d.i++
+	}
+	intDigits := digits
+	if intDigits == 0 || (intDigits > 1 && d.data[start] == '0') {
+		return 0, false
+	}
+	frac := 0
+	if d.i < len(d.data) && d.data[d.i] == '.' {
+		d.i++
+		for d.i < len(d.data) {
+			c := d.data[d.i]
+			if c < '0' || c > '9' {
+				break
+			}
+			if digits >= 18 {
+				return 0, false
+			}
+			m = m*10 + uint64(c-'0')
+			digits++
+			frac++
+			d.i++
+		}
+		if frac == 0 {
+			return 0, false
+		}
+	}
+	if d.i < len(d.data) {
+		if c := d.data[d.i]; c == 'e' || c == 'E' {
+			return 0, false
+		}
+	}
+	if m >= 1<<53 || frac > 22 {
+		return 0, false
+	}
+	f := float64(m)
+	if frac > 0 {
+		f /= pow10[frac]
+	}
+	if neg {
+		f = -f
+	}
+	return f, true
+}
+
+func (d *fastDecoder) scanBool() (bool, bool) {
+	if d.i+4 <= len(d.data) && string(d.data[d.i:d.i+4]) == "true" {
+		d.i += 4
+		return true, true
+	}
+	if d.i+5 <= len(d.data) && string(d.data[d.i:d.i+5]) == "false" {
+		d.i += 5
+		return false, true
+	}
+	return false, false
+}

@@ -1,0 +1,259 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// referenceDecode is the pre-fast-path decoder: encoding/json straight into
+// a zero Report. The fast path must be indistinguishable from it.
+func referenceDecode(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("report: decode: %w", err)
+	}
+	return &r, nil
+}
+
+// equalDecoded compares two reports field by field, ignoring the unexported
+// host cache (the fast path precomputes it, encoding/json cannot).
+func equalDecoded(a, b *Report) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.UserID != b.UserID || a.Page != b.Page || a.GeneratedAtUnixMs != b.GeneratedAtUnixMs {
+		return false
+	}
+	if (a.Entries == nil) != (b.Entries == nil) || len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Entries {
+		x, y := &a.Entries[i], &b.Entries[i]
+		if x.URL != y.URL || x.ServerAddr != y.ServerAddr || x.SizeBytes != y.SizeBytes ||
+			math.Float64bits(x.DurationMillis) != math.Float64bits(y.DurationMillis) ||
+			x.InitiatorURL != y.InitiatorURL || x.Kind != y.Kind || x.Failed != y.Failed {
+			return false
+		}
+		// The precomputed host must agree with lazy url.Parse extraction.
+		if x.Host() != y.Host() {
+			return false
+		}
+	}
+	return true
+}
+
+func decodeCorpus() [][]byte {
+	full := &Report{
+		UserID:            "user-42",
+		Page:              "/index.html",
+		GeneratedAtUnixMs: 1700000000123,
+		Entries: []Entry{
+			{URL: "http://s1.com/jquery.js?a=1&b=2", ServerAddr: "10.0.0.1:443", SizeBytes: 1024, DurationMillis: 95.5, InitiatorURL: "http://site.com/", Kind: KindScript},
+			{URL: "https://cdn.example:8443/img.png", SizeBytes: 200 * 1024, DurationMillis: 2000, Kind: KindImage, Failed: true},
+		},
+	}
+	canonical, _ := full.Marshal()
+	corpus := [][]byte{
+		canonical,
+		[]byte(`{}`),
+		[]byte(`{"userId":"u"}`),
+		[]byte(`{"userId":"u","entries":[]}`),
+		[]byte(`{"userId":"u","entries":[{}]}`),
+		[]byte(`{"userId":"u","entries":[{"url":"http://a.com/x","durationMillis":0.1}]}`),
+		[]byte(`  {  "userId" : "u" , "page" : "/p" }  `),
+		[]byte(`{"userId":"a&b","page":"\t\n\"\\é"}`),
+		[]byte(`{"userId":"u","generatedAtUnixMs":-5}`),
+		[]byte(`{"userId":"u","generatedAtUnixMs":9223372036854775807}`),
+		[]byte(`{"userId":"u","generatedAtUnixMs":9223372036854775808}`),
+		[]byte(`{"userId":"u","generatedAtUnixMs":1.5}`),
+		[]byte(`{"entries":[{"durationMillis":2e3}]}`),
+		[]byte(`{"entries":[{"durationMillis":-0.25}]}`),
+		[]byte(`{"entries":[{"durationMillis":0.1234567890123456789}]}`),
+		[]byte(`{"entries":[{"sizeBytes":-0}]}`),
+		[]byte(`{"entries":[{"sizeBytes":01}]}`),
+		[]byte(`{"entries":[{"failed":true},{"failed":false}]}`),
+		[]byte(`{"entries":[{"failed":null}]}`),
+		[]byte(`{"userId":null}`),
+		[]byte(`{"USERID":"case-insensitive"}`),
+		[]byte(`{"userId":"dup","userId":"wins"}`),
+		[]byte(`{"unknown":"ignored","userId":"u"}`),
+		[]byte(`{"userId":"u"} trailing`),
+		[]byte(`{"userId":"u",}`),
+		[]byte(`[1,2,3]`),
+		[]byte(`"just a string"`),
+		[]byte(`{"userId":"😀"}`),
+		[]byte("{\"userId\":\"café\"}"),
+		[]byte(`{"entries":[{"url":"HTTP://UPPER.Example.COM:8080/x"}]}`),
+		[]byte(`{"entries":[{"url":"http://user:pw@host.com/x"}]}`),
+		[]byte(`{"entries":[{"url":"http://[::1]:80/x"}]}`),
+		[]byte(`{"entries":[{"url":"not a url"}]}`),
+		[]byte(``),
+	}
+	return corpus
+}
+
+func TestDecodeMatchesEncodingJSON(t *testing.T) {
+	for _, data := range decodeCorpus() {
+		want, wantErr := referenceDecode(data)
+		got, gotErr := Decode(data)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: err mismatch: ref=%v fast=%v", data, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("%s: error text mismatch:\nref:  %v\nfast: %v", data, wantErr, gotErr)
+			}
+			continue
+		}
+		if !equalDecoded(want, got) {
+			t.Fatalf("%s: decoded mismatch:\nref:  %+v\nfast: %+v", data, want, got)
+		}
+	}
+}
+
+// FuzzDecodeEquivalence pins the fast JSON path to encoding/json: identical
+// reports on success, identical error text on failure, for both the fresh
+// and the pooled decoder (the pooled one seeded with stale state to exercise
+// string recycling and unseen-field zeroing).
+func FuzzDecodeEquivalence(f *testing.F) {
+	for _, data := range decodeCorpus() {
+		f.Add(data)
+	}
+	stale := []byte(`{"userId":"stale-user","page":"/stale","generatedAtUnixMs":99,"entries":[` +
+		`{"url":"http://stale.com/a.js","serverAddr":"ip-stale","sizeBytes":7,"durationMillis":7.5,"initiatorUrl":"http://stale.com/","kind":"script","failed":true},` +
+		`{"url":"http://stale.com/b.js","kind":"script"},{"url":"http://stale.com/c.js"}]}`)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want, wantErr := referenceDecode(data)
+		got, gotErr := Decode(data)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("err mismatch: ref=%v fast=%v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("error text mismatch:\nref:  %v\nfast: %v", wantErr, gotErr)
+			}
+			return
+		}
+		if !equalDecoded(want, got) {
+			t.Fatalf("decoded mismatch:\nref:  %+v\nfast: %+v", want, got)
+		}
+		// Pooled path, with stale prior contents in the pooled report.
+		pre, err := DecodePooled(stale)
+		if err != nil {
+			t.Fatalf("stale seed: %v", err)
+		}
+		pre.Release()
+		pr, perr := DecodePooled(data)
+		if perr != nil {
+			t.Fatalf("pooled decode diverged: %v", perr)
+		}
+		if !equalDecoded(want, pr) {
+			t.Fatalf("pooled mismatch:\nref:    %+v\npooled: %+v", want, pr)
+		}
+		pr.Release()
+	})
+}
+
+// FuzzHostEquivalence pins fastHost against url.Parse(...).Hostname(): any
+// URL the fast scanner claims to handle must yield exactly what url.Parse
+// yields.
+func FuzzHostEquivalence(f *testing.F) {
+	seeds := []string{
+		"http://s1.com/jquery.js", "https://cdn.example:8443/img.png",
+		"HTTP://UPPER.Example.COM:8080/x", "http://user:pw@host.com/x",
+		"http://[::1]:80/x", "http://host.com:/x", "http://host.com:abc/x",
+		"//scheme-relative.com/x", "not a url", "", "http://", "http://%41.com/",
+		"ftp://a.b-c_d~e/", "http://a.com?q=1", "http://a.com#f", "http://a.com:8080",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		h, ok := fastHost(raw)
+		if !ok {
+			return // defers to url.Parse; nothing to check
+		}
+		u, err := url.Parse(raw)
+		want := ""
+		if err == nil {
+			want = u.Hostname()
+		}
+		if h != want {
+			t.Fatalf("fastHost(%q) = %q, url.Parse says %q (err=%v)", raw, h, want, err)
+		}
+	})
+}
+
+func TestPooledDecodeRecyclesStrings(t *testing.T) {
+	body := []byte(`{"userId":"u1","page":"/p","generatedAtUnixMs":5,"entries":[{"url":"http://a.com/x.js","serverAddr":"ip-a","kind":"script"}]}`)
+	r1, err := DecodePooled(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Pooled() {
+		t.Fatal("DecodePooled returned unpooled report")
+	}
+	url1 := r1.Entries[0].URL
+	host1 := r1.Entries[0].Host()
+	r1.Release()
+	if r1.Pooled() {
+		t.Fatal("Release did not clear pooled mark")
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		r, err := DecodePooled(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Entries[0].URL != url1 || r.Entries[0].Host() != host1 {
+			t.Fatal("recycled decode mismatch")
+		}
+		r.Release()
+	})
+	if allocs > 1 {
+		t.Fatalf("steady-state pooled decode allocated %.1f/op, want ≤1", allocs)
+	}
+}
+
+func TestDecodeLargeCanonicalReport(t *testing.T) {
+	rep := &Report{UserID: "u", Page: "/big", GeneratedAtUnixMs: 123}
+	for i := 0; i < 40; i++ {
+		rep.Entries = append(rep.Entries, Entry{
+			URL:            fmt.Sprintf("http://s%d.example/obj-%d.js?x=%d&y=%d", i%7, i, i, i*3),
+			ServerAddr:     fmt.Sprintf("10.0.0.%d:443", i%7),
+			SizeBytes:      int64(i * 1837),
+			DurationMillis: float64(i) * 13.25,
+			InitiatorURL:   "http://site.com/big",
+			Kind:           KindScript,
+			Failed:         i%11 == 0,
+		})
+	}
+	data, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := referenceDecode(data)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalDecoded(want, got) {
+		t.Fatal("large canonical report decode mismatch")
+	}
+	// The canonical marshal of a report must take the fast path (this is
+	// the wire shape every oak client emits).
+	var probe Report
+	if !decodeFastInto(data, &probe) {
+		t.Fatal("canonical report fell off the fast path")
+	}
+	if strings.Contains(string(data), "\\u") {
+		t.Log("corpus exercised escape sequences")
+	}
+}

@@ -1,7 +1,9 @@
 package report
 
 import (
-	"sort"
+	"slices"
+	"strings"
+	"sync"
 )
 
 // ServerPerf is the server-oriented view Oak derives from a report: all
@@ -40,15 +42,67 @@ func (s *ServerPerf) HasHost(host string) bool {
 	return false
 }
 
+// serverAcc accumulates one server's summary inside a GroupScratch. Its
+// slices are scratch — reused across reports — and are copied into
+// exact-size slabs when the grouping materialises its result.
+type serverAcc struct {
+	addr      string
+	hosts     []string
+	urls      []string
+	scripts   []string
+	smallCnt  int
+	smallMean float64
+	largeCnt  int
+	largeMean float64
+}
+
+// GroupScratch holds the reusable working memory of GroupByServer. Ingest
+// runs grouping once per report; with a scratch the only allocations left
+// are the three exact-size slabs the caller keeps (pointer slice, struct
+// slab, string slab). A GroupScratch is not safe for concurrent use; pool
+// one per worker, or use the package-level GroupByServer which draws from a
+// shared pool.
+type GroupScratch struct {
+	byAddr map[string]int // addr → index into accs
+	accs   []serverAcc
+}
+
+// NewGroupScratch returns an empty grouping scratch.
+func NewGroupScratch() *GroupScratch {
+	return &GroupScratch{byAddr: make(map[string]int, 8)}
+}
+
+var groupScratchPool = sync.Pool{New: func() any { return NewGroupScratch() }}
+
 // GroupByServer folds a report into per-server performance summaries,
 // implementing Section 4.2's grouping: objects are grouped by the address
 // the client ultimately connected to, keeping track of all related domain
 // names; small objects contribute their mean time, large objects their mean
 // throughput. The result is sorted by address for determinism.
 func GroupByServer(r *Report) []*ServerPerf {
-	byAddr := make(map[string]*ServerPerf)
-	var order []string
-	for _, e := range r.Entries {
+	gs := groupScratchPool.Get().(*GroupScratch)
+	out := gs.Group(r)
+	groupScratchPool.Put(gs)
+	return out
+}
+
+// linearAccLimit is the server count below which the grouping finds an
+// entry's accumulator by scanning instead of hashing: typical reports touch
+// a handful of servers, and comparing a few short strings beats a map
+// lookup plus the hash. Past the limit the scratch migrates every
+// accumulator into its map and stays there for the rest of the report.
+const linearAccLimit = 12
+
+// Group is GroupByServer against this scratch. The returned summaries are
+// freshly allocated and safe to retain; the scratch is immediately reusable.
+func (gs *GroupScratch) Group(r *Report) []*ServerPerf {
+	if len(gs.byAddr) != 0 {
+		clear(gs.byAddr)
+	}
+	useMap := false
+	gs.accs = gs.accs[:0]
+	for i := range r.Entries {
+		e := &r.Entries[i]
 		addr := e.ServerAddr
 		if addr == "" {
 			// Fall back to the hostname when the client did not record an
@@ -58,36 +112,97 @@ func GroupByServer(r *Report) []*ServerPerf {
 		if addr == "" {
 			continue
 		}
-		sp, ok := byAddr[addr]
-		if !ok {
-			sp = &ServerPerf{Addr: addr}
-			byAddr[addr] = sp
-			order = append(order, addr)
+		ai := -1
+		if useMap {
+			if j, ok := gs.byAddr[addr]; ok {
+				ai = j
+			}
+		} else {
+			for j := range gs.accs {
+				if gs.accs[j].addr == addr {
+					ai = j
+					break
+				}
+			}
 		}
-		if host := e.Host(); host != "" && !sp.HasHost(host) {
-			sp.Hosts = append(sp.Hosts, host)
+		if ai < 0 {
+			ai = len(gs.accs)
+			if ai < cap(gs.accs) {
+				gs.accs = gs.accs[:ai+1]
+				a := &gs.accs[ai]
+				a.addr = addr
+				a.hosts = a.hosts[:0]
+				a.urls = a.urls[:0]
+				a.scripts = a.scripts[:0]
+				a.smallCnt, a.smallMean = 0, 0
+				a.largeCnt, a.largeMean = 0, 0
+			} else {
+				gs.accs = append(gs.accs, serverAcc{addr: addr})
+			}
+			switch {
+			case useMap:
+				gs.byAddr[addr] = ai
+			case len(gs.accs) > linearAccLimit:
+				useMap = true
+				for j := range gs.accs {
+					gs.byAddr[gs.accs[j].addr] = j
+				}
+			}
 		}
-		sp.URLs = append(sp.URLs, e.URL)
+		a := &gs.accs[ai]
+		if host := e.Host(); host != "" && !slices.Contains(a.hosts, host) {
+			a.hosts = append(a.hosts, host)
+		}
+		a.urls = append(a.urls, e.URL)
 		if e.Kind == KindScript {
-			sp.ScriptURLs = append(sp.ScriptURLs, e.URL)
+			a.scripts = append(a.scripts, e.URL)
 		}
 		if e.IsSmall() {
 			// Incremental mean keeps this single-pass.
-			sp.SmallCount++
-			sp.SmallMeanTimeMs += (e.DurationMillis - sp.SmallMeanTimeMs) / float64(sp.SmallCount)
+			a.smallCnt++
+			a.smallMean += (e.DurationMillis - a.smallMean) / float64(a.smallCnt)
 		} else {
-			sp.LargeCount++
-			sp.LargeMeanTputBps += (e.ThroughputBps() - sp.LargeMeanTputBps) / float64(sp.LargeCount)
+			a.largeCnt++
+			a.largeMean += (e.ThroughputBps() - a.largeMean) / float64(a.largeCnt)
 		}
 	}
-	out := make([]*ServerPerf, 0, len(byAddr))
-	for _, addr := range order {
-		sp := byAddr[addr]
-		sort.Strings(sp.Hosts)
-		out = append(out, sp)
+	total := 0
+	for i := range gs.accs {
+		a := &gs.accs[i]
+		slices.Sort(a.hosts)
+		total += len(a.hosts) + len(a.urls) + len(a.scripts)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	out := make([]*ServerPerf, len(gs.accs))
+	structs := make([]ServerPerf, len(gs.accs))
+	slab := make([]string, 0, total)
+	for i := range gs.accs {
+		a := &gs.accs[i]
+		sp := &structs[i]
+		sp.Addr = a.addr
+		sp.Hosts, slab = slabCopy(slab, a.hosts)
+		sp.URLs, slab = slabCopy(slab, a.urls)
+		sp.ScriptURLs, slab = slabCopy(slab, a.scripts)
+		sp.SmallCount, sp.SmallMeanTimeMs = a.smallCnt, a.smallMean
+		sp.LargeCount, sp.LargeMeanTputBps = a.largeCnt, a.largeMean
+		out[i] = sp
+	}
+	// Sort the pointer slice, not the accumulators: serverAcc is an 11-word
+	// struct, and moving those around showed up as pure copy cost in ingest
+	// profiles.
+	slices.SortFunc(out, func(x, y *ServerPerf) int { return strings.Compare(x.Addr, y.Addr) })
 	return out
+}
+
+// slabCopy appends src to the slab and returns the full-capacity-clipped
+// sub-slice holding the copy (nil when src is empty, matching the appends
+// the pre-slab grouping produced).
+func slabCopy(slab, src []string) ([]string, []string) {
+	if len(src) == 0 {
+		return nil, slab
+	}
+	start := len(slab)
+	slab = append(slab, src...)
+	return slab[start:len(slab):len(slab)], slab
 }
 
 // SmallTimes extracts the small-object mean times (ms) of servers that have

@@ -1,0 +1,96 @@
+package report
+
+import "net/url"
+
+// Host extraction is on the ingest hot path: grouping consults every entry's
+// hostname at least once per report, and url.Parse is far too heavy to run
+// per entry per use. hostOf scans the common shape of a fetch URL
+// (scheme://host[:port]/...) directly and defers to url.Parse only for
+// constructs the scan cannot prove it handles identically (userinfo, IPv6
+// literals, percent-escapes, relative references). The decoder precomputes
+// the host when a report arrives, so steady-state ingest never parses twice.
+
+// hostOf returns url.Parse(raw).Hostname() semantics for raw URLs.
+func hostOf(raw string) string {
+	host, ok := fastHost(raw)
+	if ok {
+		return host
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return ""
+	}
+	return u.Hostname()
+}
+
+// fastHost extracts the hostname from scheme://host[:port][/?#]... forms.
+// ok=false means "not proven equivalent, use url.Parse", never "no host".
+func fastHost(raw string) (host string, ok bool) {
+	// Scheme: [a-zA-Z][a-zA-Z0-9+.-]* followed by "://".
+	i := 0
+	n := len(raw)
+	if n == 0 {
+		return "", false
+	}
+	c := raw[0]
+	if !isAlpha(c) {
+		return "", false
+	}
+	for i = 1; i < n; i++ {
+		c = raw[i]
+		if isAlpha(c) || isDigit(c) || c == '+' || c == '-' || c == '.' {
+			continue
+		}
+		break
+	}
+	if i+2 >= n || raw[i] != ':' || raw[i+1] != '/' || raw[i+2] != '/' {
+		return "", false
+	}
+	// Authority: up to the first '/', '?' or '#'.
+	start := i + 3
+	end := start
+	for end < n {
+		c = raw[end]
+		if c == '/' || c == '?' || c == '#' {
+			break
+		}
+		end++
+	}
+	auth := raw[start:end]
+	// url.Parse returns "" for the whole URL when any part of it errors —
+	// an invalid escape in the path voids the host too. Defer to it when
+	// the remainder carries escapes or control characters.
+	for j := end; j < n; j++ {
+		if c = raw[j]; c < 0x20 || c == 0x7F || c == '%' {
+			return "", false
+		}
+	}
+	// Defer anything beyond plain host[:port]: userinfo, IPv6 brackets,
+	// percent-escapes, or characters url.Parse may reject or rewrite.
+	colon := -1
+	for j := 0; j < len(auth); j++ {
+		switch c = auth[j]; {
+		case isAlpha(c) || isDigit(c) || c == '-' || c == '.' || c == '_' || c == '~':
+		case c == ':':
+			if colon >= 0 {
+				return "", false // second colon: IPv6-ish or invalid
+			}
+			colon = j
+		default:
+			return "", false
+		}
+	}
+	if colon < 0 {
+		return auth, true
+	}
+	// host:port — the port must be digits (possibly empty) or url.Parse errors.
+	for j := colon + 1; j < len(auth); j++ {
+		if !isDigit(auth[j]) {
+			return "", false
+		}
+	}
+	return auth[:colon], true
+}
+
+func isAlpha(c byte) bool { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -12,7 +12,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"net/url"
 	"strings"
 	"time"
 )
@@ -49,6 +48,12 @@ type Entry struct {
 	// under-performance signal a report can carry, so partial page loads
 	// still report.
 	Failed bool `json:"failed,omitempty"`
+
+	// host caches the hostname of URL; hostKnown distinguishes a computed
+	// empty host from "not computed yet". The decoders fill it once at
+	// decode time; Host() falls back lazily for hand-built entries.
+	host      string
+	hostKnown bool
 }
 
 // Duration returns the entry's download time.
@@ -57,13 +62,20 @@ func (e Entry) Duration() time.Duration {
 }
 
 // Host returns the hostname component of the entry URL, or "" if the URL is
-// unparseable.
-func (e Entry) Host() string {
-	u, err := url.Parse(e.URL)
-	if err != nil {
-		return ""
+// unparseable. The result is memoized on the entry: decoders precompute it,
+// and the first call computes it for entries built in code.
+func (e *Entry) Host() string {
+	if !e.hostKnown {
+		e.host = hostOf(e.URL)
+		e.hostKnown = true
 	}
-	return u.Hostname()
+	return e.host
+}
+
+// setHost primes the host cache (used by decoders and tests).
+func (e *Entry) setHost(h string) {
+	e.host = h
+	e.hostKnown = true
 }
 
 // IsSmall reports whether the entry falls in the small-object regime
@@ -101,6 +113,10 @@ type Report struct {
 	GeneratedAtUnixMs int64 `json:"generatedAtUnixMs"`
 	// Entries lists every object downloaded during the page load.
 	Entries []Entry `json:"entries"`
+
+	// pooled marks a report issued by the report pool (see pool.go); Release
+	// returns it. Never serialized.
+	pooled bool
 }
 
 // Validation errors returned by Validate.
@@ -201,8 +217,8 @@ func (r *Report) ExternalFraction(originHost string) float64 {
 		return 0
 	}
 	var external int
-	for _, e := range r.Entries {
-		if IsExternalHost(e.Host(), originHost) {
+	for i := range r.Entries {
+		if IsExternalHost(r.Entries[i].Host(), originHost) {
 			external++
 		}
 	}

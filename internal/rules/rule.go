@@ -95,6 +95,14 @@ type Rule struct {
 	SubRules []SubRule `json:"subRules,omitempty"`
 
 	scopeRe *regexp.Regexp // compiled lazily by Compile for "re:" scopes
+
+	// srcHosts / altSrcHosts cache the src/href hostnames of Default and of
+	// each alternative, filled by Compile. Reconciliation consults the
+	// alternative hosts on every report that touches an active rule, far
+	// too often to re-run the attribute regexp each time.
+	srcHosts    []string
+	altSrcHosts [][]string
+	srcHostsOK  bool
 }
 
 // Validation errors.
@@ -135,7 +143,8 @@ func (r *Rule) Validate() error {
 	return nil
 }
 
-// Compile validates the rule and pre-compiles its scope pattern.
+// Compile validates the rule, pre-compiles its scope pattern and caches the
+// src/href hosts of the default text and every alternative.
 func (r *Rule) Compile() error {
 	if err := r.Validate(); err != nil {
 		return err
@@ -147,7 +156,41 @@ func (r *Rule) Compile() error {
 		}
 		r.scopeRe = re
 	}
+	r.srcHosts = htmlscan.ExtractSrcHosts(r.Default)
+	r.altSrcHosts = nil
+	for _, alt := range r.Alternatives {
+		r.altSrcHosts = append(r.altSrcHosts, htmlscan.ExtractSrcHosts(alt))
+	}
+	r.srcHostsOK = true
 	return nil
+}
+
+// SrcHosts returns the hostnames referenced by src/href attributes in the
+// rule's default text. Compiled rules answer from cache; uncompiled rules
+// scan live.
+func (r *Rule) SrcHosts() []string {
+	if r.srcHostsOK {
+		return r.srcHosts
+	}
+	return htmlscan.ExtractSrcHosts(r.Default)
+}
+
+// AlternativeSrcHosts is SrcHosts for the i-th alternative, with
+// Alternative's clamping semantics (past-the-end indexes return the last).
+func (r *Rule) AlternativeSrcHosts(i int) []string {
+	if !r.srcHostsOK {
+		return htmlscan.ExtractSrcHosts(r.Alternative(i))
+	}
+	if len(r.altSrcHosts) == 0 {
+		return nil
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(r.altSrcHosts) {
+		i = len(r.altSrcHosts) - 1
+	}
+	return r.altSrcHosts[i]
 }
 
 // InScope reports whether the rule applies to the given site-relative page

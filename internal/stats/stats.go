@@ -73,6 +73,25 @@ func MedianMAD(xs []float64) (median, mad float64, err error) {
 	return median, medianSorted(devs), nil
 }
 
+// MedianMADInto is MedianMAD with caller-provided working memory: scratch is
+// overwritten (grown as needed) and handed back for reuse, so steady-state
+// callers — the engine evaluates the MAD criterion twice per report — sort
+// into a recycled buffer instead of allocating one. xs is not modified, and
+// the results are identical to MedianMAD's.
+func MedianMADInto(xs, scratch []float64) (median, mad float64, scratch2 []float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, scratch, ErrEmpty
+	}
+	scratch = append(scratch[:0], xs...)
+	sort.Float64s(scratch)
+	median = medianSorted(scratch)
+	for i, x := range scratch {
+		scratch[i] = math.Abs(x - median)
+	}
+	sort.Float64s(scratch)
+	return median, medianSorted(scratch), scratch, nil
+}
+
 // Percentile returns the p-quantile (0 <= p <= 1) of xs using linear
 // interpolation between closest ranks. The input is not modified.
 func Percentile(xs []float64, p float64) (float64, error) {

@@ -30,7 +30,14 @@
 // users ingest in parallel, and WithIngestPipeline adds a bounded queue and
 // worker pool (backpressure instead of unbounded memory). POST /oak/report
 // also accepts an NDJSON batch body (Content-Type application/x-ndjson, one
-// report per line). Engines with a pipeline should be Closed on shutdown.
+// report per line) and the compact OAKRPT1 binary wire format
+// (BinaryContentType for one report, BinaryBatchContentType for a batch of
+// length-prefixed frames — roughly half the wire bytes of JSON; a Client
+// opts in with Wire = WireBinary). Ingest itself is a pooled fast path:
+// reports are decoded with a zero-copy streaming decoder into sync.Pool-
+// recycled structs, so the steady-state JSON path holds at a handful of
+// allocations per report. Engines with a pipeline should be Closed on
+// shutdown.
 //
 // Package layout: the facade re-exports the pieces a deployment needs —
 // the engine (internal/core), the rule language (internal/rules), the
@@ -243,6 +250,22 @@ type LoadResult = client.LoadResult
 // HostResolver maps hostnames in page markup to reachable addresses.
 type HostResolver = client.HostResolver
 
+// WireFormat selects how a Client encodes report submissions: WireJSON
+// (the default) or WireBinary, the compact OAKRPT1 framing, which cuts
+// report wire bytes roughly in half. Set Client.Wire to opt in; servers
+// negotiate by Content-Type, so a pre-binary origin answers 400 rather
+// than silently mis-parsing.
+type WireFormat = client.WireFormat
+
+const (
+	// WireJSON submits reports as JSON (the default, understood by
+	// every Oak origin).
+	WireJSON = client.WireJSON
+	// WireBinary submits reports as OAKRPT1 binary frames
+	// (Content-Type BinaryContentType).
+	WireBinary = client.WireBinary
+)
+
 // Wire-level constants of the origin server. The API is versioned: every
 // endpoint answers under /oak/v1/... (the *V1 constants) and new
 // integrations should use those paths. The unversioned paths remain as
@@ -261,6 +284,12 @@ const (
 	ReportPath = origin.ReportPath
 	// BatchContentType marks a report body as an NDJSON batch.
 	BatchContentType = origin.BatchContentType
+	// BinaryContentType marks a report body as a single OAKRPT1 binary
+	// frame (the compact wire format Client.Wire = WireBinary emits).
+	BinaryContentType = report.ContentTypeBinary
+	// BinaryBatchContentType marks a report body as concatenated
+	// length-prefixed OAKRPT1 frames.
+	BinaryBatchContentType = report.ContentTypeBinaryBatch
 	// AuditPathV1 serves the operator audit summary. Restrict access in
 	// deployments: it is operator-facing.
 	AuditPathV1 = origin.AuditPathV1

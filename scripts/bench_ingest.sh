@@ -1,8 +1,9 @@
 #!/bin/sh
 # bench_ingest.sh — run the report-ingest benchmarks and record the results
 # in BENCH_ingest.json, so successive PRs leave a perf trajectory that can
-# be compared (ns/op and reports/sec per benchmark, plus the parallel
-# speedup of the sharded engine over the single-lock baseline).
+# be compared (ns/op, reports/sec and allocs/op per benchmark, plus the
+# parallel speedup of the sharded engine over the single-lock baseline and
+# the binary-vs-JSON wire-byte ratio of the OAKRPT1 format).
 #
 # Usage: scripts/bench_ingest.sh [benchtime]   (default 1s)
 set -e
@@ -11,8 +12,9 @@ cd "$(dirname "$0")/.."
 benchtime="${1:-1s}"
 out="BENCH_ingest.json"
 
-echo "== go test -bench HandleReport/HandleBatch (benchtime $benchtime) =="
-raw=$(go test -run '^$' -bench 'BenchmarkHandle(Report|Batch)' \
+echo "== go test -bench HandleReport/HandleBatch/Ingest (benchtime $benchtime) =="
+raw=$(go test -run '^$' \
+	-bench 'BenchmarkHandleReport(Serial|Parallel|ParallelSingleShard|Pipeline)$|BenchmarkHandleBatch$|BenchmarkIngest(JSON|Binary)$' \
 	-benchmem -count 1 -benchtime "$benchtime" ./internal/core)
 echo "$raw"
 
@@ -22,17 +24,22 @@ echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 	name = $1
 	sub(/-[0-9]+$/, "", name)
 	iters = $2
-	ns = ""; rps = ""
+	ns = ""; rps = ""; allocs = ""; wire = ""
 	for (i = 3; i <= NF; i++) {
 		if ($i == "ns/op") ns = $(i - 1)
 		if ($i == "reports/sec") rps = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+		if ($i == "wire_bytes") wire = $(i - 1)
 	}
 	if (ns == "") next
 	if (rps == "") rps = 1e9 / ns
 	n++
 	names[n] = name; iterations[n] = iters; nsop[n] = ns; persec[n] = rps
+	allocsop[n] = allocs; wirebytes[n] = wire
 	if (name == "BenchmarkHandleReportParallel") parallel = rps
 	if (name == "BenchmarkHandleReportParallelSingleShard") single = rps
+	if (name == "BenchmarkIngestJSON") jsonwire = wire
+	if (name == "BenchmarkIngestBinary") binwire = wire
 }
 END {
 	printf "{\n"
@@ -40,12 +47,17 @@ END {
 	printf "  \"cpu\": \"%s\",\n", cpu
 	printf "  \"benchmarks\": [\n"
 	for (i = 1; i <= n; i++) {
-		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"reports_per_sec\": %.0f}%s\n", \
-			names[i], iterations[i], nsop[i], persec[i], (i < n ? "," : "")
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"reports_per_sec\": %.0f", \
+			names[i], iterations[i], nsop[i], persec[i]
+		if (allocsop[i] != "") printf ", \"allocs_per_op\": %s", allocsop[i]
+		if (wirebytes[i] != "") printf ", \"wire_bytes\": %s", wirebytes[i]
+		printf "}%s\n", (i < n ? "," : "")
 	}
 	printf "  ]"
 	if (parallel > 0 && single > 0)
 		printf ",\n  \"parallel_speedup_vs_single_shard\": %.2f", parallel / single
+	if (jsonwire > 0 && binwire > 0)
+		printf ",\n  \"binary_wire_bytes_vs_json\": %.2f", binwire / jsonwire
 	printf "\n}\n"
 }' >"$out"
 

@@ -8,8 +8,14 @@
 # internal/faultinject, which drives the full loop under injected faults).
 # A short fuzz smoke over the snapshot importer keeps hostile state files
 # from ever aborting a boot; another over the compiled applier keeps the
-# single-pass rewriter provably equivalent to the sequential reference. A
-# one-iteration serve benchmark run keeps the benchmark code compiling. The
+# single-pass rewriter provably equivalent to the sequential reference;
+# two more pin the report fast-path decoder to encoding/json and the
+# OAKRPT1 binary codec to round-trip identity with typed rejection of
+# hostile frames. A one-iteration serve benchmark run keeps the benchmark
+# code compiling, and the ingest smoke additionally gates the steady-state
+# JSON ingest path at <= 8 allocs/op (TestHandleReportSteadyStateAllocs),
+# so a scratch buffer or pool silently falling out of reuse fails the
+# verify by name. The
 # guard chaos smoke re-runs the kill-the-alternate scenario on its own so a
 # breaker regression fails the verify with a named step; one-iteration guard
 # and synthesis benchmark runs keep BENCH_guard.json and BENCH_synth.json
@@ -53,8 +59,18 @@ go test -run '^$' -fuzz FuzzImportState -fuzztime 5s ./internal/core
 echo "== fuzz smoke: FuzzApplyEquivalence (5s) =="
 go test -run '^$' -fuzz FuzzApplyEquivalence -fuzztime 5s ./internal/rules
 
+echo "== fuzz smoke: FuzzDecodeEquivalence (5s) =="
+go test -run '^$' -fuzz FuzzDecodeEquivalence -fuzztime 5s ./internal/report
+
+echo "== fuzz smoke: FuzzBinaryRoundTrip (5s) =="
+go test -run '^$' -fuzz FuzzBinaryRoundTrip -fuzztime 5s ./internal/report
+
 echo "== serve-path benchmark smoke (1 iteration) =="
 go test -run '^$' -bench 'BenchmarkModifyPage' -benchtime 1x ./internal/core
+
+echo "== ingest bench smoke + steady-state alloc gate (JSON path <= 8 allocs/op) =="
+go test -run 'TestHandleReportSteadyStateAllocs' -count=1 ./internal/core
+go test -run '^$' -bench 'BenchmarkHandleReportSerial$|BenchmarkIngest(JSON|Binary)$' -benchtime 1x ./internal/core
 
 echo "== guard chaos smoke: kill-the-alternate loop under -race =="
 go test -race -run 'TestChaosGuardKillsAlternateMidRun' -count=1 ./internal/faultinject
