@@ -1,4 +1,4 @@
-.PHONY: verify test race vet fmt bench bench-ingest bench-serve bench-shed bench-guard bench-synth bench-scenarios bench-gateway bench-all chaos fuzz
+.PHONY: verify test race vet fmt bench bench-ingest bench-serve bench-shed bench-guard bench-synth bench-scenarios bench-gateway bench-memory bench-all chaos fuzz
 
 # Full PR verify path: build, formatting, vet, tests, and race-checking of
 # the concurrent engine + observability packages. See scripts/verify.sh.
@@ -66,6 +66,12 @@ bench-scenarios:
 # hop cost; failover reroute throughput and chaos-measured time-to-reroute).
 bench-gateway:
 	sh scripts/bench_gateway.sh
+
+# Spill-tier memory benchmarks + BENCH_memory.json (resident bytes per
+# user under the residency cap, rehydration latency percentiles, and serve
+# p99 over a 95%-cold population vs the 500ms rewrite budget).
+bench-memory:
+	sh scripts/bench_memory.sh
 
 # Every benchmark in the repo, raw output only.
 bench-all:

@@ -9,6 +9,7 @@
 //	     [-max-body-bytes 4194304]
 //	     [-shed-wait 50ms] [-shed-retry-after 1s] [-rewrite-budget 500ms]
 //	     [-rewrite-cache 1024]
+//	     [-profile-cache 100000] [-profile-cache-bytes 0] [-spill-dir ./spill]
 //	     [-guard-trip-threshold 5] [-guard-halfopen-canaries 3]
 //	     [-probe-interval 30s]
 //	     [-synth-window 2m] [-synth-degrade-factor 1.5] [-synth-quantile 0.75]
@@ -49,6 +50,15 @@
 // a rotating .bak); a corrupt or torn snapshot at boot falls back to the
 // backup instead of aborting. See docs/OPERATIONS.md, "Failure modes and
 // recovery".
+//
+// Memory: -profile-cache (profiles) and/or -profile-cache-bytes (estimated
+// heap bytes) cap how much per-user state stays resident; profiles beyond
+// the cap are spilled — coldest first, fsynced before eviction — to compact
+// append-log segments under -spill-dir and rehydrated transparently on the
+// user's next report or page. A spill-path disk fault degrades the engine to
+// memory-only mode (still serving, healthz "degraded") instead of failing.
+// Residency counters appear under "spill" in /oak/v1/metrics. See
+// docs/OPERATIONS.md, "Memory & the spill tier".
 //
 // Guardrails: -guard-trip-threshold (0 disables) arms per-provider circuit
 // breakers over the alternates the rules steer users to — a provider that
@@ -122,6 +132,9 @@ func run(args []string) error {
 		shedRetry = fs2.Duration("shed-retry-after", 0, "retry horizon advertised on shed responses (with -shed-wait; 0 = 1s default)")
 		rewriteB  = fs2.Duration("rewrite-budget", 0, "serve the unmodified page if the per-user rewrite takes longer than this (0 = 500ms default, negative = unbounded)")
 		rcSize    = fs2.Int("rewrite-cache", 1024, "rewrite-cache capacity in entries (whole rewritten pages keyed by content + activation fingerprint; 0 disables)")
+		profCache = fs2.Int("profile-cache", 0, "max resident user profiles; colder profiles spill to -spill-dir (0 = unbounded, no spill tier)")
+		profBytes = fs2.Int64("profile-cache-bytes", 0, "max estimated resident profile bytes; colder profiles spill to -spill-dir (0 = unbounded)")
+		spillDir  = fs2.String("spill-dir", "", "directory for spilled-profile segment files (required with -profile-cache or -profile-cache-bytes)")
 		guardTrip = fs2.Int("guard-trip-threshold", 5, "consecutive bad population-level outcomes that trip an alternate provider's circuit breaker (0 disables the guard)")
 		guardCan  = fs2.Int("guard-halfopen-canaries", 3, "canary activations a half-open breaker admits per recovery attempt (with -guard-trip-threshold)")
 		probeIvl  = fs2.Duration("probe-interval", 0, "actively probe each alternate provider this often, feeding the breakers (0 disables; needs the guard enabled)")
@@ -142,7 +155,8 @@ func run(args []string) error {
 		maxBodyBytes: *maxBody,
 		shedWait:     *shedWait, shedRetry: *shedRetry, rewriteBudget: *rewriteB,
 		rewriteCache: *rcSize,
-		guardTrip:    *guardTrip, guardCanaries: *guardCan,
+		profileCache: *profCache, profileCacheBytes: *profBytes, spillDir: *spillDir,
+		guardTrip: *guardTrip, guardCanaries: *guardCan,
 		synthWindow: *synthWin, synthDegrade: *synthDeg, synthQuantile: *synthQ,
 		synthMinSamples: *synthMin, synthMinBaseline: *synthMinB, synthMaxProviders: *synthMaxP,
 	})
@@ -288,6 +302,12 @@ type oakdConfig struct {
 	guardTrip     int           // breaker trip threshold; <= 0 disables the guard
 	guardCanaries int           // half-open canary budget (with guardTrip > 0)
 
+	// Profile residency (the spill tier). Either cap > 0 enables it and
+	// then spillDir is required.
+	profileCache      int
+	profileCacheBytes int64
+	spillDir          string
+
 	// Population detection (<= 0 window disables; zero fields take the
 	// library defaults).
 	synthWindow       time.Duration
@@ -340,6 +360,16 @@ func buildServer(cfg oakdConfig) (*oak.Server, int, int, error) {
 	}
 	if cfg.rewriteCache > 0 {
 		opts = append(opts, oak.WithRewriteCache(cfg.rewriteCache))
+	}
+	if cfg.profileCache > 0 || cfg.profileCacheBytes > 0 {
+		if cfg.spillDir == "" {
+			return nil, 0, 0, fmt.Errorf("-profile-cache/-profile-cache-bytes need -spill-dir")
+		}
+		opts = append(opts, oak.WithProfileResidency(oak.ResidencyConfig{
+			Dir:         cfg.spillDir,
+			MaxProfiles: cfg.profileCache,
+			MaxBytes:    cfg.profileCacheBytes,
+		}))
 	}
 	if cfg.guardTrip > 0 {
 		opts = append(opts, oak.WithGuard(oak.GuardConfig{

@@ -30,6 +30,14 @@
 //
 //	oakreport -population http://localhost:8080
 //
+// With -memory it prints the server's profile-residency state: how many
+// profiles are resident versus spilled to disk segments, the resident and
+// on-disk footprints against their caps, rehydration latency, and whether
+// the spill tier has degraded to memory-only mode. The server must run with
+// a residency cap (oakd -profile-cache/-profile-cache-bytes + -spill-dir):
+//
+//	oakreport -memory http://localhost:8080
+//
 // With -cluster it points at an oakgw gateway instead of a single node and
 // renders the aggregated fleet view: per-backend state-machine positions,
 // range ownership, snapshot freshness, fleet-wide user/report totals, the
@@ -71,6 +79,7 @@ func run(args []string, out io.Writer) error {
 	metricsURL := fs.String("metrics", "", "base URL of a live Oak server; fetch and pretty-print its /oak/v1/metrics instead of analysing files")
 	guardURL := fs.String("guard", "", "base URL of a live Oak server; print its circuit-breaker guard state (breakers, quarantines, canaries)")
 	popURL := fs.String("population", "", "base URL of a live Oak server; print its population-detection state (degraded providers, baselines, synthesis counters)")
+	memURL := fs.String("memory", "", "base URL of a live Oak server; print its profile-residency state (resident/spilled profiles, segment footprint, rehydration latency)")
 	clusterURL := fs.String("cluster", "", "base URL of an oakgw gateway; print the aggregated fleet health and metrics")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +92,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *popURL != "" {
 		return livePopulation(out, *popURL)
+	}
+	if *memURL != "" {
+		return liveMemory(out, *memURL)
 	}
 	if *clusterURL != "" {
 		return liveCluster(out, *clusterURL)
@@ -301,6 +313,66 @@ func livePopulation(out io.Writer, base string) error {
 	}
 	fmt.Fprintf(out, "tracked providers: %d, sketch memory: %s\n",
 		ps.TrackedProviders, byteSize(int64(ps.SketchMemoryBytes)))
+	return nil
+}
+
+// liveMemory fetches a running server's /oak/v1/metrics and renders the
+// profile-residency (spill tier) section for a terminal.
+func liveMemory(out io.Writer, base string) error {
+	base = strings.TrimSuffix(base, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var m origin.MetricsResponse
+	if err := fetchJSON(client, base+origin.MetricsPathV1, &m); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "== %s memory ==\n", base)
+	if m.Spill == nil {
+		fmt.Fprintln(out, "spill tier disabled (start oakd with -profile-cache or -profile-cache-bytes, plus -spill-dir)")
+		return nil
+	}
+	sp := m.Spill
+
+	mode := "ok"
+	if sp.MemoryOnly {
+		mode = "MEMORY-ONLY (spill I/O failed; resident memory no longer bounded)"
+	}
+	fmt.Fprintf(out, "mode: %s\n", mode)
+
+	caps := "none"
+	switch {
+	case sp.MaxProfiles > 0 && sp.MaxBytes > 0:
+		caps = fmt.Sprintf("%d profiles, %s", sp.MaxProfiles, byteSize(sp.MaxBytes))
+	case sp.MaxProfiles > 0:
+		caps = fmt.Sprintf("%d profiles", sp.MaxProfiles)
+	case sp.MaxBytes > 0:
+		caps = byteSize(sp.MaxBytes)
+	}
+	fmt.Fprintf(out, "resident cap (per engine): %s\n", caps)
+	fmt.Fprintf(out, "profiles: %d resident (%s est. heap), %d spilled (%s in %d segments)\n",
+		sp.ProfilesResident, byteSize(sp.ResidentBytes),
+		sp.ProfilesSpilled, byteSize(sp.SpillBytes), sp.Segments)
+	if len(sp.QuarantinedSegments) > 0 {
+		fmt.Fprintf(out, "quarantined segments: %s\n", strings.Join(sp.QuarantinedSegments, ", "))
+	}
+
+	fmt.Fprintf(out, "\ncounters\n")
+	for _, row := range []struct {
+		name string
+		v    uint64
+	}{
+		{"profile spills", sp.Spills},
+		{"rehydrations", sp.Rehydrations},
+		{"segment compactions", sp.SegmentCompactions},
+		{"spill errors", sp.SpillErrors},
+	} {
+		fmt.Fprintf(out, "  %-22s %d\n", row.name, row.v)
+	}
+
+	r := sp.Rehydrate
+	fmt.Fprintf(out, "\nrehydration latency      count      p50ms      p90ms      p99ms      maxms\n")
+	fmt.Fprintf(out, "  %-20s %7d %10.3f %10.3f %10.3f %10.3f\n", "spill read", r.Count, r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs)
 	return nil
 }
 

@@ -69,7 +69,7 @@ func benchServeEngine(b *testing.B, rs []*rules.Rule, opts ...Option) *Engine {
 	now := time.Now()
 	sh := e.shardFor("u1")
 	sh.mu.Lock()
-	prof := sh.profileLocked("u1")
+	prof := e.profileLocked(sh, "u1")
 	for _, r := range e.ruleSnapshot() {
 		prof.activate(r, 0, now, "bench-server", 10)
 	}

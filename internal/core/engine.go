@@ -86,6 +86,18 @@ type Engine struct {
 	// (fresh/snapshot/backup/shipped) for healthz and the cluster gateway;
 	// set by LoadStateFile and ImportShippedState. Empty reads as StateFresh.
 	stateSource atomic.Value // StateSource
+
+	// spill, when non-nil (WithProfileResidency), bounds the resident
+	// profile set: cold profiles are evicted to crash-safe segment files and
+	// rehydrated lazily on the next report or page request; residencyCfg
+	// carries the option until construction. rulesByID is the current rule
+	// set indexed by ID, rebuilt by SetRules, so rehydration resolves rule
+	// references without scanning; rehydrateHist times rehydrations. See
+	// spill.go.
+	spill         *spillStore
+	residencyCfg  *ResidencyConfig
+	rulesByID     atomic.Pointer[map[string]*rules.Rule]
+	rehydrateHist obs.Histogram
 }
 
 // Option configures an Engine.
@@ -157,6 +169,9 @@ func NewEngine(ruleSet []*rules.Rule, opts ...Option) (*Engine, error) {
 	if err := e.SetRules(ruleSet); err != nil {
 		return nil, err
 	}
+	if err := e.initSpill(); err != nil {
+		return nil, err
+	}
 	if e.pipelineConfig != nil {
 		e.pipeline = newPipeline(e, *e.pipelineConfig)
 	}
@@ -169,6 +184,9 @@ func NewEngine(ruleSet []*rules.Rule, opts ...Option) (*Engine, error) {
 func (e *Engine) Close() error {
 	if e.pipeline != nil {
 		e.pipeline.close()
+	}
+	if e.spill != nil {
+		e.spill.close()
 	}
 	return nil
 }
@@ -191,6 +209,11 @@ func (e *Engine) SetRules(ruleSet []*rules.Rule) error {
 	e.rulesMu.Lock()
 	defer e.rulesMu.Unlock()
 	e.rules = append([]*rules.Rule(nil), ruleSet...)
+	byID := make(map[string]*rules.Rule, len(e.rules))
+	for _, r := range e.rules {
+		byID[r.ID] = r
+	}
+	e.rulesByID.Store(&byID)
 	e.rebuildAltHosts()
 	// A new generation changes every activation fingerprint, invalidating
 	// cached activation derivations and rewrite-cache entries in one step.
@@ -325,6 +348,9 @@ func (e *Engine) process(r *report.Report) (*AnalysisResult, error) {
 	// Likewise the population window tick: it locks shards one at a time to
 	// swap their sketches out.
 	e.popTickIfDue(now)
+	// And the residency cap: eviction re-takes the shard lock and may fsync
+	// a spill batch, neither of which belongs inside the critical section.
+	e.enforceResidency(sh, "")
 	return res, nil
 }
 
@@ -334,7 +360,7 @@ func (e *Engine) process(r *report.Report) (*AnalysisResult, error) {
 // the guard (from the pre-reconciliation activation state) and hands them
 // back for the caller to observe lock-free. Caller holds sh.mu for writing.
 func (e *Engine) analyzeLocked(sh *shard, r *report.Report, now time.Time, servers []*report.ServerPerf, violations []Violation, scriptURLs []string, activeRules []*rules.Rule) (*AnalysisResult, []providerOutcome) {
-	prof := sh.profileLocked(r.UserID)
+	prof := e.profileLocked(sh, r.UserID)
 	prof.lastReport = now
 	e.ledger.RecordUser(r.UserID)
 	if e.tracing() {
@@ -453,6 +479,10 @@ func (e *Engine) analyzeLocked(sh *shard, r *report.Report, now time.Time, serve
 	// now, without waiting for their personal violation count.
 	e.synthesizeLocked(sh, prof, r, now, servers, activeRules, res)
 
+	// The report may have grown the profile; keep the shard's resident-bytes
+	// estimate honest for the byte cap.
+	e.noteProfileSizeLocked(sh, prof)
+
 	return res, outcomes
 }
 
@@ -560,6 +590,11 @@ func (e *Engine) reconcileActiveRules(sh *shard, prof *Profile, v Violation, now
 func (e *Engine) ActiveRules(userID, path string) []rules.Activation {
 	sh := e.shardFor(userID)
 	sh.mu.RLock()
+	if e.spillPending(sh, userID) {
+		sh.mu.RUnlock()
+		e.rehydrateUser(sh, userID)
+		sh.mu.RLock()
+	}
 	defer sh.mu.RUnlock()
 	prof, ok := sh.profiles[userID]
 	if !ok {
@@ -580,6 +615,11 @@ func (e *Engine) ActiveRules(userID, path string) []rules.Activation {
 func (e *Engine) ActivationFingerprint(userID, path string) uint64 {
 	sh := e.shardFor(userID)
 	sh.mu.RLock()
+	if e.spillPending(sh, userID) {
+		sh.mu.RUnlock()
+		e.rehydrateUser(sh, userID)
+		sh.mu.RLock()
+	}
 	defer sh.mu.RUnlock()
 	prof, ok := sh.profiles[userID]
 	if !ok {
@@ -622,6 +662,13 @@ func (e *Engine) RewritePage(userID, path, page string) Rewrite {
 	start := time.Now()
 	sh := e.shardFor(userID)
 	sh.mu.RLock()
+	if e.spillPending(sh, userID) {
+		// Cold user: bring the profile back before rewriting, so a spilled
+		// user's activations survive eviction transparently.
+		sh.mu.RUnlock()
+		e.rehydrateUser(sh, userID)
+		sh.mu.RLock()
+	}
 	rw, _ := e.rewriteLocked(sh, userID, path, page, true)
 	sh.mu.RUnlock()
 	e.observeRewrite(userID, path, page, start, rw)
@@ -656,6 +703,11 @@ func (e *Engine) RewriteCached(userID, path, page string) (Rewrite, bool) {
 func (e *Engine) rewriteLocked(sh *shard, userID, path, page string, compute bool) (Rewrite, bool) {
 	prof, ok := sh.profiles[userID]
 	if !ok {
+		if !compute && e.spillPending(sh, userID) {
+			// The user's state is on disk; only the full path (which
+			// rehydrates first) may serve them.
+			return Rewrite{}, false
+		}
 		return Rewrite{HTML: page}, true
 	}
 	ent := prof.cachedActivations(path, e.now(), e.rulesGen.Load())
@@ -715,6 +767,11 @@ type ProfileSnapshot struct {
 func (e *Engine) Snapshot(userID string) (ProfileSnapshot, bool) {
 	sh := e.shardFor(userID)
 	sh.mu.RLock()
+	if e.spillPending(sh, userID) {
+		sh.mu.RUnlock()
+		e.rehydrateUser(sh, userID)
+		sh.mu.RLock()
+	}
 	defer sh.mu.RUnlock()
 	prof, ok := sh.profiles[userID]
 	if !ok {
@@ -741,6 +798,11 @@ func (e *Engine) Users() int {
 	total := int64(0)
 	for _, sh := range e.shards {
 		total += sh.users.Value()
+	}
+	if e.spill != nil {
+		// Spilled profiles are still the engine's users — they are served
+		// and counted; only their bytes live on disk.
+		total += e.spill.spilledUsers.Value()
 	}
 	return int(total)
 }
@@ -829,6 +891,9 @@ type LatencySnapshots struct {
 	IngestShards []obs.Snapshot
 	// Rewrite is per-page ModifyPage latency.
 	Rewrite obs.Snapshot
+	// Rehydrate is per-profile spill-rehydration latency (engines with a
+	// profile residency cap; empty otherwise).
+	Rehydrate obs.Snapshot
 }
 
 // Latencies snapshots the ingest (overall and per shard) and rewrite
@@ -837,6 +902,7 @@ func (e *Engine) Latencies() LatencySnapshots {
 	ls := LatencySnapshots{
 		IngestShards: make([]obs.Snapshot, len(e.shards)),
 		Rewrite:      e.rewriteHist.Snapshot(),
+		Rehydrate:    e.rehydrateHist.Snapshot(),
 	}
 	for i, sh := range e.shards {
 		ls.IngestShards[i] = sh.ingest.Snapshot()

@@ -70,6 +70,18 @@ type Metrics struct {
 	// PopulationSamplesDropped counts population samples discarded by the
 	// per-shard MaxProviders cap.
 	PopulationSamplesDropped uint64
+	// ProfileSpills counts profiles evicted from memory to the spill tier's
+	// segment files (WithProfileResidency).
+	ProfileSpills uint64
+	// Rehydrations counts spilled profiles brought back into memory by a
+	// report or page request.
+	Rehydrations uint64
+	// SegmentCompactions counts spill segments rewritten (or removed) by
+	// the ingest-driven compactor.
+	SegmentCompactions uint64
+	// SpillErrors counts spill-tier failures: I/O errors that degraded the
+	// store to memory-only mode and segments quarantined for damage.
+	SpillErrors uint64
 }
 
 // metrics is the engine-internal atomic representation.
@@ -97,6 +109,11 @@ type metrics struct {
 	synthesizedActivations obs.Counter
 	synthesisBlocked       obs.Counter
 	popSamplesDropped      obs.Counter
+
+	profileSpills      obs.Counter
+	rehydrations       obs.Counter
+	segmentCompactions obs.Counter
+	spillErrors        obs.Counter
 }
 
 // snapshot copies the counters.
@@ -125,6 +142,11 @@ func (m *metrics) snapshot() Metrics {
 		SynthesizedActivations:   m.synthesizedActivations.Value(),
 		SynthesisBlocked:         m.synthesisBlocked.Value(),
 		PopulationSamplesDropped: m.popSamplesDropped.Value(),
+
+		ProfileSpills:      m.profileSpills.Value(),
+		Rehydrations:       m.rehydrations.Value(),
+		SegmentCompactions: m.segmentCompactions.Value(),
+		SpillErrors:        m.spillErrors.Value(),
 	}
 }
 

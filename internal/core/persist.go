@@ -180,6 +180,36 @@ func (e *Engine) exportStateRange(r HashRange) ([]byte, error) {
 			}
 			st.Profiles = append(st.Profiles, snapshotProfile(prof))
 		}
+		// Spilled profiles are part of the engine's state: their records
+		// decode straight to the persisted form, so a mixed resident/spilled
+		// population exports byte-identically to an all-resident one. The
+		// OAKPROF1 time encoding preserves the wall clock and offset exactly
+		// for this reason.
+		for uid, ref := range sh.spilled {
+			if !r.Contains(userHash(uid)) {
+				continue
+			}
+			if ref.seg.quarantined.Load() {
+				continue // record lost with its segment; statefile covers it
+			}
+			pp, err := e.spill.readRecord(ref)
+			if err != nil {
+				if isSpillDamage(err) {
+					// Damaged record: that state is already lost and
+					// declared (quarantine accounting); an export cannot
+					// resurrect it.
+					e.metrics.spillErrors.Inc()
+					continue
+				}
+				// I/O failure: fail the export rather than install a
+				// snapshot silently missing acknowledged profiles — the
+				// previous good snapshot stays in place and the segment
+				// records remain recoverable at next boot.
+				sh.mu.RUnlock()
+				return nil, fmt.Errorf("engine: export spilled profile %q: %w", uid, err)
+			}
+			st.Profiles = append(st.Profiles, *pp)
+		}
 		sh.mu.RUnlock()
 	}
 	// Global ordering by user ID keeps the export deterministic and
@@ -233,6 +263,21 @@ func snapshotProfile(prof *Profile) persistedProfile {
 // any profile is touched — and incompatible format versions with
 // ErrStateVersion.
 func (e *Engine) ImportState(data []byte) error {
+	return e.importState(data, false)
+}
+
+// importState is ImportState with the spill-tier merge policy as a knob.
+// Authoritative (preserveNewerSpill false): every existing spill record is
+// dropped — the payload is the complete truth, as a node replacement or an
+// operator restore demands. Newer-wins (true, the LoadStateFile boot path):
+// a spill record with a last-report strictly after the payload's copy of
+// that user survives the import, and spilled users absent from the payload
+// survive too — that is what makes a crash between spill-fsync and the next
+// SaveStateFile lose nothing that was acknowledged.
+//
+// On engines with a residency cap the import ends by re-enforcing the cap,
+// so restoring a huge snapshot immediately evicts back under it.
+func (e *Engine) importState(data []byte, preserveNewerSpill bool) error {
 	st, err := decodeState(data)
 	if err != nil {
 		return err
@@ -245,10 +290,25 @@ func (e *Engine) ImportState(data []byte) error {
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 	}
+	spilledLive := int64(0)
 	for i, sh := range e.shards {
+		if sh.spilled != nil {
+			e.mergeSpillLocked(sh, fresh[i], freshIdx[i], preserveNewerSpill, HashRange{})
+			spilledLive += int64(len(sh.spilled))
+		}
 		sh.profiles = fresh[i]
 		sh.provIndex = freshIdx[i]
 		sh.users.Set(int64(len(fresh[i])))
+		if e.spill != nil {
+			bytes := int64(0)
+			for _, prof := range fresh[i] {
+				bytes += int64(prof.sizeEst)
+			}
+			sh.residentBytes.Store(bytes)
+		}
+	}
+	if e.spill != nil {
+		e.spill.spilledUsers.Set(spilledLive)
 	}
 	if e.guard != nil {
 		// Inside the all-locks window, so profiles and breaker states from
@@ -262,7 +322,49 @@ func (e *Engine) ImportState(data []byte) error {
 	for _, sh := range e.shards {
 		sh.mu.Unlock()
 	}
+	// A restored population can exceed the residency cap; evict back under
+	// it (outside the all-locks window — eviction takes one shard at a time).
+	if e.spill != nil {
+		for _, sh := range e.shards {
+			e.enforceResidency(sh, "")
+		}
+	}
 	return nil
+}
+
+// mergeSpillLocked reconciles one shard's spill index with an incoming
+// import limited to r (whole ring for full imports). Authoritative mode
+// drops every in-range spill record; newer-wins mode keeps records that are
+// strictly newer than the payload's copy of the same user (removing that
+// user from the incoming maps) and records for in-range users the payload
+// does not carry. Caller holds every shard lock (import's all-locks window).
+func (e *Engine) mergeSpillLocked(sh *shard, fresh map[string]*Profile,
+	freshIdx map[string]map[string]map[string]struct{}, preserveNewer bool, r HashRange) {
+	for uid, ref := range sh.spilled {
+		if !r.Contains(userHash(uid)) {
+			continue // outside the imported arc: untouched
+		}
+		if preserveNewer && !ref.seg.quarantined.Load() {
+			np, inPayload := fresh[uid]
+			if !inPayload {
+				continue // spilled-only user: survives a newer-wins import
+			}
+			if ref.last.After(np.lastReport) {
+				// The spill record post-dates the snapshot: the record wins
+				// and the payload's stale copy is discarded.
+				delete(fresh, uid)
+				for host, users := range freshIdx {
+					delete(users, uid)
+					if len(users) == 0 {
+						delete(freshIdx, host)
+					}
+				}
+				continue
+			}
+		}
+		delete(sh.spilled, uid)
+		ref.seg.dead.Add(1)
+	}
 }
 
 // decodeState unwraps (and, when the envelope is present, verifies) a
@@ -364,6 +466,7 @@ func (e *Engine) buildImport(st *persistedState, want HashRange) (fresh []map[st
 				}
 			}
 		}
+		prof.sizeEst = prof.estimateSize()
 		fresh[si][pp.UserID] = prof
 	}
 	return fresh, freshIdx, nil

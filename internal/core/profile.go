@@ -69,6 +69,12 @@ type Profile struct {
 	// actCache memoizes the per-path derived activation view (activation
 	// slice, fingerprint, compiled applier), keyed by page path.
 	actCache map[string]*actCacheEntry
+
+	// sizeEst is the profile's last heap-footprint estimate in bytes
+	// (estimateSize), the unit the residency byte cap counts in. Maintained
+	// only on engines with a residency cap, under the owning shard's write
+	// lock.
+	sizeEst int
 }
 
 // maxActCachePaths bounds the per-profile activation cache; a profile

@@ -127,13 +127,22 @@ func (e *Engine) ImportStateRange(r HashRange, data []byte) error {
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 	}
+	spilledLive := int64(0)
 	for i, sh := range e.shards {
-		// Evict the arc's current population: profiles and their
-		// provider-index entries.
-		for uid := range sh.profiles {
+		// Evict the arc's current population: profiles, their provider-index
+		// entries, and — the payload is authoritative for the arc — any
+		// spilled records of in-range users.
+		for uid, prof := range sh.profiles {
 			if r.Contains(userHash(uid)) {
 				delete(sh.profiles, uid)
+				if e.spill != nil {
+					sh.residentBytes.Add(-int64(prof.sizeEst))
+				}
 			}
+		}
+		if sh.spilled != nil {
+			e.mergeSpillLocked(sh, fresh[i], freshIdx[i], false, r)
+			spilledLive += int64(len(sh.spilled))
 		}
 		for host, users := range sh.provIndex {
 			for uid := range users {
@@ -148,6 +157,9 @@ func (e *Engine) ImportStateRange(r HashRange, data []byte) error {
 		// Install the payload's profiles (all verified in-range above).
 		for uid, prof := range fresh[i] {
 			sh.profiles[uid] = prof
+			if e.spill != nil {
+				sh.residentBytes.Add(int64(prof.sizeEst))
+			}
 		}
 		for host, users := range freshIdx[i] {
 			if sh.provIndex == nil {
@@ -170,8 +182,18 @@ func (e *Engine) ImportStateRange(r HashRange, data []byte) error {
 	if st.Population != nil {
 		e.importPop(st.Population)
 	}
+	if e.spill != nil {
+		e.spill.spilledUsers.Set(spilledLive)
+	}
 	for _, sh := range e.shards {
 		sh.mu.Unlock()
+	}
+	// The donated arc can push the node over its residency cap; evict back
+	// under it.
+	if e.spill != nil {
+		for _, sh := range e.shards {
+			e.enforceResidency(sh, "")
+		}
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"oak/internal/obs"
 	"oak/internal/stats"
@@ -48,6 +49,19 @@ type shard struct {
 	// ruleIDScratch is reconciliation's reusable active-rule-ID snapshot
 	// buffer; one per shard because it is only touched under mu (write).
 	ruleIDScratch []string
+	// spilled, allocated only on engines with a profile residency cap, maps
+	// user ID → the durable segment record holding the evicted profile. A
+	// user is in profiles or spilled, never both. Guarded by mu. See
+	// spill.go.
+	spilled map[string]spillRef
+	// spillSeg is this shard's current append-target segment (nil until the
+	// first eviction, and after a rotation). Guarded by mu.
+	spillSeg *spillSegment
+	// residentBytes estimates the heap bytes of this shard's resident
+	// profiles, maintained on engines with a residency cap; it is the
+	// quantity the byte cap watches. Atomic so the over-cap precheck stays
+	// lock-free.
+	residentBytes atomic.Int64
 }
 
 // shardPop is one shard's slice of the population aggregation window.
@@ -157,15 +171,3 @@ func (e *Engine) shardFor(userID string) *shard {
 
 // ShardCount returns how many shards partition the engine's per-user state.
 func (e *Engine) ShardCount() int { return len(e.shards) }
-
-// profileLocked returns the user's profile, creating it if absent. The
-// caller must hold sh.mu for writing.
-func (sh *shard) profileLocked(userID string) *Profile {
-	prof, ok := sh.profiles[userID]
-	if !ok {
-		prof = newProfile(userID)
-		sh.profiles[userID] = prof
-		sh.users.Add(1)
-	}
-	return prof
-}

@@ -1,0 +1,1193 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oak/internal/guard"
+	"oak/internal/obs"
+)
+
+// The spill tier bounds the engine's resident set. Profiles of users who
+// have not reported recently are evicted from their shard's map, encoded as
+// OAKPROF1 records (spillcodec.go) and appended — fsync before forget — to
+// segment files; the next report or page request for a spilled user
+// rehydrates the profile transparently. Everything is ingest-driven: there
+// is no background goroutine, so the tier works identically under virtual
+// clocks and never races a shutdown.
+//
+// Durability contract: a profile is only removed from memory after its
+// record is durable (write + fsync). A crash at any instant therefore loses
+// at most the purely-resident state since the last SaveStateFile — exactly
+// the guarantee the engine gave before the spill tier existed — and never a
+// spilled profile. Boot recovery replays the segment directory: later
+// records supersede earlier ones, a torn tail (crash mid-append) is
+// truncated away, and a segment that fails its checksums is quarantined and
+// skipped rather than aborting boot.
+//
+// Failure contract: any spill I/O failure (create, append, fsync) latches
+// the store into memory-only mode — evictions stop, resident state grows as
+// if the tier were disabled, healthz reports degraded, and serving
+// continues. Damaged segment bytes discovered at runtime quarantine that
+// segment the same way boot recovery would.
+
+// ResidencyConfig bounds the resident profile population (WithProfileResidency).
+type ResidencyConfig struct {
+	// Dir is the segment directory (required). Created if absent.
+	Dir string
+	// MaxProfiles caps resident profiles across the engine; 0 = no count cap.
+	MaxProfiles int
+	// MaxBytes caps estimated resident profile bytes across the engine;
+	// 0 = no byte cap. At least one cap must be set.
+	MaxBytes int64
+	// SegmentBytes rotates the append segment when it grows past this size
+	// (default 4 MiB).
+	SegmentBytes int64
+	// CompactRatio is the dead-record fraction at which the ingest-driven
+	// compactor rewrites a sealed segment (default 0.5).
+	CompactRatio float64
+}
+
+// spillDefaultSegmentBytes is the default segment rotation size.
+const spillDefaultSegmentBytes = 4 << 20
+
+// spillDefaultCompactRatio is the default dead-record compaction threshold.
+const spillDefaultCompactRatio = 0.5
+
+// withDefaults fills zero tuning fields.
+func (c ResidencyConfig) withDefaults() ResidencyConfig {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = spillDefaultSegmentBytes
+	}
+	if c.CompactRatio <= 0 || c.CompactRatio > 1 {
+		c.CompactRatio = spillDefaultCompactRatio
+	}
+	return c
+}
+
+// WithProfileResidency bounds the engine's resident profile set, spilling
+// cold profiles to crash-safe segment files under cfg.Dir and rehydrating
+// them lazily on the next report or page request. An invalid configuration
+// (no directory, no cap) fails engine construction, as does an unusable
+// directory; damaged segment files do not — they are quarantined.
+func WithProfileResidency(cfg ResidencyConfig) Option {
+	return func(e *Engine) { e.residencyCfg = &cfg }
+}
+
+// spillRef locates one user's durable record: segment, frame offset and
+// length, plus the profile's last-report time for cold-ranking, prune and
+// the newer-wins statefile merge. Guarded by the owning shard's mu.
+type spillRef struct {
+	seg  *spillSegment
+	off  int64
+	n    int
+	last time.Time
+}
+
+// spillSegment is one append-log file. A segment is the append target of at
+// most one shard at a time (active); sealed segments are immutable and only
+// read (ReadAt) or compacted away.
+type spillSegment struct {
+	seq  uint64
+	path string
+	f    *os.File
+	// size is the file length in bytes (header + frames).
+	size atomic.Int64
+	// total and dead count records written and records no longer referenced.
+	// dead/total is the compaction trigger.
+	total atomic.Int64
+	dead  atomic.Int64
+	// active marks the segment as some shard's current append target;
+	// compaction skips active segments.
+	active atomic.Bool
+	// quarantined marks the segment's bytes as untrustworthy; refs into it
+	// are dropped lazily on next touch.
+	quarantined atomic.Bool
+}
+
+// deadRatio returns the fraction of records no longer referenced.
+func (s *spillSegment) deadRatio() float64 {
+	t := s.total.Load()
+	if t <= 0 {
+		return 0
+	}
+	return float64(s.dead.Load()) / float64(t)
+}
+
+// spillStore is the engine-level segment table and degradation latch.
+type spillStore struct {
+	dir string
+	cfg ResidencyConfig
+	// perShardProfiles / perShardBytes are the engine caps divided across
+	// shards (0 = that cap unset). Residency is enforced per shard so
+	// eviction never takes more than one shard lock.
+	perShardProfiles int64
+	perShardBytes    int64
+
+	mu          sync.Mutex
+	segs        map[uint64]*spillSegment
+	nextSeq     uint64
+	quarantined []string // quarantined segment file names, in discovery order
+	closed      bool
+
+	// failed latches memory-only mode after a spill I/O failure.
+	failed atomic.Bool
+	// compacting serialises the ingest-driven compactor (CAS-elected).
+	compacting atomic.Bool
+
+	// spilledUsers counts live spill refs; spillBytes counts live segment
+	// file bytes. Lock-free for healthz and the over-cap precheck.
+	spilledUsers obs.Gauge
+	spillBytes   obs.Gauge
+}
+
+// spillFailpoint, when set, is consulted before every spill I/O operation
+// (ops: "create", "append", "sync", "read", "compact") and its non-nil error
+// is injected as that operation's failure. Tests only — the same idiom as
+// rules.SetApplyFailpoint.
+var spillFailpoint atomic.Pointer[func(op, path string) error]
+
+// SetSpillFailpoint installs fn as the spill I/O failpoint (nil uninstalls).
+// Deterministic disk-fault injection for the chaos suite.
+func SetSpillFailpoint(fn func(op, path string) error) {
+	if fn == nil {
+		spillFailpoint.Store(nil)
+		return
+	}
+	spillFailpoint.Store(&fn)
+}
+
+// spillFail consults the failpoint.
+func spillFail(op, path string) error {
+	if fp := spillFailpoint.Load(); fp != nil {
+		return (*fp)(op, path)
+	}
+	return nil
+}
+
+// spillSegPrefix/spillSegSuffix name segment files: seg-%016x.seg.
+const (
+	spillSegPrefix        = "seg-"
+	spillSegSuffix        = ".seg"
+	spillQuarantineSuffix = ".quarantined"
+)
+
+// spillSegPath names segment seq inside dir.
+func spillSegPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", spillSegPrefix, seq, spillSegSuffix))
+}
+
+// initSpill builds the spill store from WithProfileResidency's config and
+// replays the segment directory. Called once from NewEngine after the
+// shards exist; a config or directory error fails construction.
+func (e *Engine) initSpill() error {
+	if e.residencyCfg == nil {
+		return nil
+	}
+	cfg := e.residencyCfg.withDefaults()
+	if cfg.Dir == "" {
+		return errors.New("core: profile residency requires a spill directory")
+	}
+	if cfg.MaxProfiles <= 0 && cfg.MaxBytes <= 0 {
+		return errors.New("core: profile residency requires a profile or byte cap")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o700); err != nil {
+		return fmt.Errorf("core: create spill directory: %w", err)
+	}
+	st := &spillStore{
+		dir:  cfg.Dir,
+		cfg:  cfg,
+		segs: make(map[uint64]*spillSegment),
+	}
+	shards := int64(len(e.shards))
+	if cfg.MaxProfiles > 0 {
+		st.perShardProfiles = max64(1, int64(cfg.MaxProfiles)/shards)
+	}
+	if cfg.MaxBytes > 0 {
+		st.perShardBytes = max64(1, cfg.MaxBytes/shards)
+	}
+	for _, sh := range e.shards {
+		sh.spilled = make(map[string]spillRef)
+	}
+	e.spill = st
+	return e.recoverSpill()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// recoverSpill replays the segment directory into the shards' spill
+// indexes. Later records (higher segment seq, then higher offset) supersede
+// earlier ones for the same user. A torn tail is truncated to the last whole
+// frame; any other damage quarantines the whole segment — its earlier
+// records are no longer trusted either — and boot continues.
+func (e *Engine) recoverSpill() error {
+	st := e.spill
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		return fmt.Errorf("core: read spill directory: %w", err)
+	}
+	var seqs []uint64
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasPrefix(name, spillSegPrefix) || !strings.HasSuffix(name, spillSegSuffix) {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, spillSegPrefix+"%016x"+spillSegSuffix, &seq); err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+
+	type recovered struct {
+		ref      spillRef
+		shardIdx int
+	}
+	byUser := make(map[string]recovered)
+	for _, seq := range seqs {
+		path := spillSegPath(st.dir, seq)
+		if seq >= st.nextSeq {
+			st.nextSeq = seq + 1
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("core: read spill segment %s: %w", path, err)
+		}
+		if len(data) < len(spillSegMagic) {
+			// Crash between segment create and header write: the file holds
+			// no records, so nothing acknowledged is in it. Remove it.
+			os.Remove(path)
+			continue
+		}
+		if string(data[:len(spillSegMagic)]) != spillSegMagic {
+			st.quarantineFile(e, path, fmt.Errorf("%w: %s", ErrSpillMagic, filepath.Base(path)))
+			continue
+		}
+		seg := &spillSegment{seq: seq, path: path}
+		var segRefs []string // users whose latest record sits in this segment
+		off := int64(len(spillSegMagic))
+		damaged := false
+		for off < int64(len(data)) {
+			payload, frameLen, ferr := nextSpillFrame(data[off:])
+			if errors.Is(ferr, ErrSpillTruncated) {
+				// Crash mid-append: drop the torn tail, keep everything
+				// before it.
+				if terr := os.Truncate(path, off); terr != nil {
+					return fmt.Errorf("core: truncate torn spill segment %s: %w", path, terr)
+				}
+				data = data[:off]
+				break
+			}
+			if ferr != nil {
+				damaged = true
+				break
+			}
+			pp, derr := decodeSpillRecord(payload)
+			if derr != nil {
+				damaged = true
+				break
+			}
+			seg.total.Add(1)
+			if prev, ok := byUser[pp.UserID]; ok {
+				prev.ref.seg.dead.Add(1)
+			}
+			byUser[pp.UserID] = recovered{
+				ref:      spillRef{seg: seg, off: off, n: frameLen, last: pp.LastReport},
+				shardIdx: e.shardIndex(pp.UserID),
+			}
+			segRefs = append(segRefs, pp.UserID)
+			off += int64(frameLen)
+		}
+		if damaged {
+			for _, uid := range segRefs {
+				if byUser[uid].ref.seg == seg {
+					delete(byUser, uid)
+				}
+			}
+			st.quarantineFile(e, path, fmt.Errorf("%w: %s", ErrSpillCorrupt, filepath.Base(path)))
+			continue
+		}
+		seg.size.Store(int64(len(data)))
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			return fmt.Errorf("core: open spill segment %s: %w", path, err)
+		}
+		seg.f = f
+		st.segs[seg.seq] = seg
+		st.spillBytes.Add(seg.size.Load())
+	}
+
+	live := int64(0)
+	for uid, rec := range byUser {
+		if rec.ref.seg.quarantined.Load() {
+			continue
+		}
+		e.shards[rec.shardIdx].spilled[uid] = rec.ref
+		live++
+	}
+	st.spilledUsers.Set(live)
+
+	// Segments with no surviving records are garbage from previous runs;
+	// removing them now keeps restart loops from accreting files.
+	for seq, seg := range st.segs {
+		if seg.dead.Load() >= seg.total.Load() {
+			livingRef := false
+			for _, sh := range e.shards {
+				for _, ref := range sh.spilled {
+					if ref.seg == seg {
+						livingRef = true
+						break
+					}
+				}
+				if livingRef {
+					break
+				}
+			}
+			if !livingRef {
+				st.spillBytes.Add(-seg.size.Load())
+				seg.f.Close()
+				os.Remove(seg.path)
+				delete(st.segs, seq)
+			}
+		}
+	}
+	return nil
+}
+
+// quarantineFile quarantines a segment discovered damaged before it was
+// opened (boot path): renamed aside for the operator, recorded, counted.
+func (st *spillStore) quarantineFile(e *Engine, path string, err error) {
+	st.quarantined = append(st.quarantined, filepath.Base(path))
+	e.metrics.spillErrors.Inc()
+	if os.Rename(path, path+spillQuarantineSuffix) == nil {
+		syncDir(st.dir)
+	}
+	if e.logf != nil {
+		e.logf("core: spill segment quarantined: %v", err)
+	}
+}
+
+// quarantineSegment takes a live segment out of service after its bytes
+// failed validation at runtime. Refs into it are dropped lazily (next
+// touch); the file is renamed aside for the operator. Safe to call with the
+// owning shard's lock held (lock order is shard → store).
+func (st *spillStore) quarantineSegment(e *Engine, seg *spillSegment, err error) {
+	if seg.quarantined.Swap(true) {
+		return // already quarantined by a concurrent reader
+	}
+	st.mu.Lock()
+	delete(st.segs, seg.seq)
+	st.quarantined = append(st.quarantined, filepath.Base(seg.path))
+	st.mu.Unlock()
+	st.spillBytes.Add(-seg.size.Load())
+	e.metrics.spillErrors.Inc()
+	// The open handle keeps working for readers that raced the rename; new
+	// lookups drop their refs on the quarantined flag.
+	if os.Rename(seg.path, seg.path+spillQuarantineSuffix) == nil {
+		syncDir(st.dir)
+	}
+	if e.logf != nil {
+		e.logf("core: spill segment %s quarantined: %v", filepath.Base(seg.path), err)
+	}
+}
+
+// degrade latches memory-only mode after a spill I/O failure: evictions
+// stop, rehydration of already-spilled state is still attempted, serving
+// continues, healthz reports degraded.
+func (st *spillStore) degrade(e *Engine, op string, err error) {
+	e.metrics.spillErrors.Inc()
+	if st.failed.Swap(true) {
+		return
+	}
+	if e.logf != nil {
+		e.logf("core: spill %s failed, falling back to memory-only mode: %v", op, err)
+	}
+}
+
+// close closes every segment file handle. Called from Engine.Close.
+func (st *spillStore) close() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.closed = true
+	for _, seg := range st.segs {
+		if seg.f != nil {
+			seg.f.Close()
+		}
+	}
+}
+
+// overCap is the lock-free eviction precheck: does the shard exceed either
+// per-shard watermark?
+func (st *spillStore) overCap(sh *shard) bool {
+	if st.perShardProfiles > 0 && sh.users.Value() > st.perShardProfiles {
+		return true
+	}
+	if st.perShardBytes > 0 && sh.residentBytes.Load() > st.perShardBytes {
+		return true
+	}
+	return false
+}
+
+// enforceResidency evicts the shard's coldest profiles down to the low
+// watermark when it is over cap. Called after ingest (process) and after a
+// serve-path rehydration — the only two events that grow the resident set.
+// pin names a profile exempt from this pass: the user a serve-path
+// rehydration just brought back, who is often also the shard's coldest and
+// would otherwise be re-evicted before the caller can read them.
+func (e *Engine) enforceResidency(sh *shard, pin string) {
+	st := e.spill
+	if st == nil || st.failed.Load() || !st.overCap(sh) {
+		return
+	}
+	sh.mu.Lock()
+	e.evictColdLocked(sh, pin)
+	sh.mu.Unlock()
+	e.maybeCompact()
+}
+
+// evictColdLocked spills the shard's coldest profiles (oldest lastReport,
+// user ID as the deterministic tie-break) until the shard is below both
+// watermarks, with a batch floor so each fsync amortises over several
+// profiles. The records are durable — written and fsynced — before any
+// profile is removed from memory. Caller holds sh.mu for writing.
+func (e *Engine) evictColdLocked(sh *shard, pin string) {
+	st := e.spill
+	if st == nil || st.failed.Load() {
+		return
+	}
+	// Low watermarks: evict ~10% below cap so the next few ingests don't
+	// immediately re-trigger eviction.
+	targetProfiles := int64(-1)
+	if st.perShardProfiles > 0 {
+		targetProfiles = st.perShardProfiles - max64(st.perShardProfiles/10, 1)
+	}
+	targetBytes := int64(-1)
+	if st.perShardBytes > 0 {
+		targetBytes = st.perShardBytes - max64(st.perShardBytes/10, 1)
+	}
+	over := func(profiles, bytes int64) bool {
+		return (targetProfiles >= 0 && profiles > targetProfiles) ||
+			(targetBytes >= 0 && bytes > targetBytes)
+	}
+	profiles := int64(len(sh.profiles))
+	bytes := sh.residentBytes.Load()
+	if !over(profiles, bytes) {
+		return
+	}
+
+	type cand struct {
+		uid  string
+		last time.Time
+		size int64
+	}
+	cands := make([]cand, 0, len(sh.profiles))
+	for uid, prof := range sh.profiles {
+		if uid == pin {
+			continue
+		}
+		cands = append(cands, cand{uid: uid, last: prof.lastReport, size: int64(prof.sizeEst)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if !cands[i].last.Equal(cands[j].last) {
+			return cands[i].last.Before(cands[j].last)
+		}
+		return cands[i].uid < cands[j].uid
+	})
+	var victims []string
+	for _, c := range cands {
+		if !over(profiles, bytes) {
+			break
+		}
+		victims = append(victims, c.uid)
+		profiles--
+		bytes -= c.size
+	}
+	if len(victims) == 0 {
+		return
+	}
+	e.spillProfilesLocked(sh, victims)
+}
+
+// spillProfilesLocked encodes and durably appends the named resident
+// profiles, then — only after the fsync — forgets them from memory. On any
+// I/O failure nothing is forgotten and the store degrades to memory-only
+// mode. Caller holds sh.mu for writing.
+func (e *Engine) spillProfilesLocked(sh *shard, victims []string) {
+	st := e.spill
+	var buf []byte
+	type framePos struct {
+		uid  string
+		off  int64 // relative to the batch start
+		n    int
+		last time.Time
+	}
+	frames := make([]framePos, 0, len(victims))
+	var scratch []byte
+	for _, uid := range victims {
+		prof, ok := sh.profiles[uid]
+		if !ok {
+			continue
+		}
+		pp := snapshotProfile(prof)
+		scratch = encodeSpillRecord(scratch[:0], &pp)
+		start := int64(len(buf))
+		buf = appendSpillFrame(buf, scratch)
+		frames = append(frames, framePos{uid: uid, off: start, n: int(int64(len(buf)) - start), last: prof.lastReport})
+	}
+	if len(frames) == 0 {
+		return
+	}
+	seg, base, err := st.appendLocked(sh, buf)
+	if err != nil {
+		st.degrade(e, "append", err)
+		return
+	}
+	// Durable: now it is safe to forget.
+	for _, fr := range frames {
+		prof := sh.profiles[fr.uid]
+		for rid, a := range prof.active {
+			e.unindexActivation(sh, fr.uid, rid, a.AltIndex)
+		}
+		delete(sh.profiles, fr.uid)
+		sh.users.Add(-1)
+		sh.residentBytes.Add(-int64(prof.sizeEst))
+		if old, ok := sh.spilled[fr.uid]; ok {
+			old.seg.dead.Add(1)
+		} else {
+			st.spilledUsers.Add(1)
+		}
+		sh.spilled[fr.uid] = spillRef{seg: seg, off: base + fr.off, n: fr.n, last: fr.last}
+		seg.total.Add(1)
+		e.metrics.profileSpills.Inc()
+	}
+}
+
+// appendLocked durably appends buf to the shard's active segment (rotating
+// or creating one as needed) and returns the segment and the offset the
+// batch landed at. Caller holds sh.mu for writing; only the owning shard
+// appends to its active segment, so the offset arithmetic is single-writer.
+func (st *spillStore) appendLocked(sh *shard, buf []byte) (*spillSegment, int64, error) {
+	seg := sh.spillSeg
+	if seg != nil && (seg.quarantined.Load() ||
+		(seg.size.Load() > int64(len(spillSegMagic)) && seg.size.Load()+int64(len(buf)) > st.cfg.SegmentBytes)) {
+		seg.active.Store(false)
+		sh.spillSeg = nil
+		seg = nil
+	}
+	if seg == nil {
+		var err error
+		seg, err = st.newSegment()
+		if err != nil {
+			return nil, 0, err
+		}
+		sh.spillSeg = seg
+	}
+	base := seg.size.Load()
+	if err := spillFail("append", seg.path); err != nil {
+		return nil, 0, err
+	}
+	if _, err := seg.f.WriteAt(buf, base); err != nil {
+		return nil, 0, err
+	}
+	if err := spillFail("sync", seg.path); err != nil {
+		return nil, 0, err
+	}
+	if err := seg.f.Sync(); err != nil {
+		return nil, 0, err
+	}
+	seg.size.Add(int64(len(buf)))
+	st.spillBytes.Add(int64(len(buf)))
+	return seg, base, nil
+}
+
+// newSegment creates, registers and makes durable the next segment file.
+func (st *spillStore) newSegment() (*spillSegment, error) {
+	st.mu.Lock()
+	seq := st.nextSeq
+	st.nextSeq++
+	st.mu.Unlock()
+	path := spillSegPath(st.dir, seq)
+	if err := spillFail("create", path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.WriteAt([]byte(spillSegMagic), 0); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	seg := &spillSegment{seq: seq, path: path, f: f}
+	seg.size.Store(int64(len(spillSegMagic)))
+	seg.active.Store(true)
+	st.mu.Lock()
+	st.segs[seq] = seg
+	st.mu.Unlock()
+	st.spillBytes.Add(seg.size.Load())
+	// Make the directory entry durable so a crash cannot orphan frames in a
+	// file whose name never hit the disk.
+	syncDir(st.dir)
+	return seg, nil
+}
+
+// readRecord reads and decodes one spilled record.
+func (st *spillStore) readRecord(ref spillRef) (*persistedProfile, error) {
+	if err := spillFail("read", ref.seg.path); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, ref.n)
+	if err := st.segReadAt(ref.seg, buf, ref.off); err != nil {
+		return nil, err
+	}
+	payload, frameLen, err := nextSpillFrame(buf)
+	if err != nil {
+		return nil, err
+	}
+	if frameLen != ref.n {
+		return nil, fmt.Errorf("%w: frame length drifted: ref %d, parsed %d", ErrSpillCorrupt, ref.n, frameLen)
+	}
+	return decodeSpillRecord(payload)
+}
+
+// segReadAt reads from the segment's long-lived handle, falling back to a
+// one-shot read-only open when that handle has been closed. Engine.Close
+// releases segment descriptors, but the final SaveStateFile of a graceful
+// shutdown runs after Close (the pipeline must drain into the shards
+// first) and must still export spilled records — the bytes are durable on
+// disk; only the descriptor is gone.
+func (st *spillStore) segReadAt(seg *spillSegment, buf []byte, off int64) error {
+	if seg.f != nil {
+		_, err := seg.f.ReadAt(buf, off)
+		if err == nil || !errors.Is(err, os.ErrClosed) {
+			return err
+		}
+	}
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.ReadAt(buf, off)
+	return err
+}
+
+// rehydrateLocked brings a spilled user's profile back into memory. It
+// returns nil when the user has no spilled record, or when the record is
+// unreadable — in which case the ref is dropped (the segment is quarantined
+// for damage, the store degraded for I/O failures) and the caller proceeds
+// as if the user were unknown. Caller holds sh.mu for writing.
+func (e *Engine) rehydrateLocked(sh *shard, userID string) *Profile {
+	st := e.spill
+	if st == nil || sh.spilled == nil {
+		return nil
+	}
+	ref, ok := sh.spilled[userID]
+	if !ok {
+		return nil
+	}
+	start := time.Now()
+	delete(sh.spilled, userID)
+	st.spilledUsers.Add(-1)
+	ref.seg.dead.Add(1)
+	if ref.seg.quarantined.Load() {
+		// The segment's bytes are untrusted; the record is gone. Acked state
+		// is still covered by the statefile (LoadStateFile merges it back).
+		return nil
+	}
+	pp, err := st.readRecord(ref)
+	if err != nil {
+		if isSpillDamage(err) {
+			st.quarantineSegment(e, ref.seg, err)
+		} else {
+			st.degrade(e, "read", err)
+		}
+		return nil
+	}
+	prof := e.installRecordLocked(sh, pp)
+	e.metrics.rehydrations.Inc()
+	e.rehydrateHist.Observe(time.Since(start))
+	return prof
+}
+
+// installRecordLocked converts a decoded record into a live profile under
+// the current rule set — the same drops an ImportState applies: activations
+// of removed rules, activations that lapsed while spilled, and (new here)
+// activations whose target provider's breaker opened while the user was
+// spilled, which the trip's bulk rollback could not reach. Caller holds
+// sh.mu for writing.
+func (e *Engine) installRecordLocked(sh *shard, pp *persistedProfile) *Profile {
+	now := e.now()
+	prof := newProfile(pp.UserID)
+	prof.lastReport = pp.LastReport
+	for srv, n := range pp.Violations {
+		if n > 0 {
+			prof.violations[srv] = n
+		}
+	}
+	byID := e.rulesByID.Load()
+	for _, pa := range pp.Active {
+		if byID == nil {
+			break
+		}
+		rule, ok := (*byID)[pa.RuleID]
+		if !ok {
+			continue // rule removed while spilled
+		}
+		if !pa.ExpiresAt.IsZero() && now.After(pa.ExpiresAt) {
+			continue // lapsed while spilled
+		}
+		if e.spillActivationBarred(pa.RuleID, pa.AltIndex) {
+			// The provider was quarantined while this user was spilled; the
+			// bulk rollback missed the activation, so it is applied now.
+			e.metrics.bulkDeactivations.Inc()
+			continue
+		}
+		prof.active[pa.RuleID] = &ActiveRule{
+			Rule:            rule,
+			AltIndex:        pa.AltIndex,
+			ActivatedAt:     pa.ActivatedAt,
+			ExpiresAt:       pa.ExpiresAt,
+			TriggerServer:   pa.TriggerServer,
+			TriggerDistance: pa.TriggerDistance,
+			Activations:     pa.Activations,
+			Synthesized:     pa.Synthesized,
+		}
+		prof.noteExpiry(pa.ExpiresAt)
+		e.indexActivation(sh, pp.UserID, pa.RuleID, pa.AltIndex)
+	}
+	prof.sizeEst = prof.estimateSize()
+	sh.profiles[pp.UserID] = prof
+	sh.users.Add(1)
+	sh.residentBytes.Add(int64(prof.sizeEst))
+	return prof
+}
+
+// spillActivationBarred reports whether a rehydrating activation must be
+// dropped because the guard no longer admits its target: the rule is
+// quarantined, or a target provider's breaker is open/half-open (the trip's
+// bulk rollback would have removed the activation had it been resident).
+func (e *Engine) spillActivationBarred(ruleID string, altIdx int) bool {
+	if e.guard == nil {
+		return false
+	}
+	if e.guard.RuleQuarantined(ruleID) {
+		return true
+	}
+	for _, h := range e.altHostsFor(ruleID, altIdx) {
+		if e.guard.State(h) != guard.Closed {
+			return true
+		}
+	}
+	return false
+}
+
+// spillPending reports whether the user's profile is currently spilled (not
+// resident, durable record indexed). Caller holds sh.mu (read or write).
+func (e *Engine) spillPending(sh *shard, userID string) bool {
+	if e.spill == nil || sh.spilled == nil {
+		return false
+	}
+	if _, ok := sh.profiles[userID]; ok {
+		return false
+	}
+	_, ok := sh.spilled[userID]
+	return ok
+}
+
+// rehydrateUser upgrades to the shard's write lock and rehydrates the user
+// if still needed — the serve-path entry point (read paths hold RLock, drop
+// it, call this, and retake RLock). Rehydration grows the resident set, so
+// the residency cap is re-enforced afterwards.
+func (e *Engine) rehydrateUser(sh *shard, userID string) {
+	sh.mu.Lock()
+	if _, ok := sh.profiles[userID]; !ok {
+		e.rehydrateLocked(sh, userID)
+	}
+	sh.mu.Unlock()
+	e.enforceResidency(sh, userID)
+}
+
+// profileLocked returns the user's profile, rehydrating a spilled one or
+// creating a fresh one. The ingest-path replacement for the old
+// shard.profileLocked. Caller holds sh.mu for writing.
+func (e *Engine) profileLocked(sh *shard, userID string) *Profile {
+	if prof, ok := sh.profiles[userID]; ok {
+		return prof
+	}
+	if prof := e.rehydrateLocked(sh, userID); prof != nil {
+		return prof
+	}
+	prof := newProfile(userID)
+	sh.profiles[userID] = prof
+	sh.users.Add(1)
+	if e.spill != nil {
+		prof.sizeEst = prof.estimateSize()
+		sh.residentBytes.Add(int64(prof.sizeEst))
+	}
+	return prof
+}
+
+// maybeCompact runs one ingest-driven compaction round if a sealed segment
+// has crossed the dead-record threshold. CAS-elected so concurrent ingests
+// never stack compactions; callers hold no shard locks.
+func (e *Engine) maybeCompact() {
+	st := e.spill
+	if st == nil || st.failed.Load() {
+		return
+	}
+	if !st.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	defer st.compacting.Store(false)
+	victim := st.pickCompactionVictim()
+	if victim == nil {
+		return
+	}
+	e.compactSegment(victim)
+}
+
+// pickCompactionVictim returns the sealed, non-quarantined segment with the
+// highest dead-record ratio at or above the threshold, nil if none.
+func (st *spillStore) pickCompactionVictim() *spillSegment {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var victim *spillSegment
+	var worst float64
+	for _, seg := range st.segs {
+		if seg.active.Load() || seg.quarantined.Load() || seg.total.Load() == 0 {
+			continue
+		}
+		if r := seg.deadRatio(); r >= st.cfg.CompactRatio && (victim == nil || r > worst) {
+			victim = seg
+			worst = r
+		}
+	}
+	return victim
+}
+
+// compactSegment rewrites a sealed segment without its dead records: the
+// surviving frames are copied byte-for-byte into a new segment written with
+// the statefile discipline (tmp → fsync → rename → dir fsync), the refs are
+// swapped under every shard lock, and the victim is deleted. A victim whose
+// records are all dead is simply removed.
+func (e *Engine) compactSegment(victim *spillSegment) {
+	st := e.spill
+	if err := spillFail("compact", victim.path); err != nil {
+		st.degrade(e, "compact", err)
+		return
+	}
+	data := make([]byte, victim.size.Load())
+	if _, err := victim.f.ReadAt(data, 0); err != nil {
+		st.degrade(e, "compact", err)
+		return
+	}
+	type frame struct {
+		uid string
+		off int64
+		n   int
+	}
+	var frames []frame
+	off := int64(len(spillSegMagic))
+	for off < int64(len(data)) {
+		payload, frameLen, err := nextSpillFrame(data[off:])
+		if err != nil {
+			// The sealed bytes no longer parse: external damage. Quarantine
+			// instead of propagating it into a fresh segment.
+			st.quarantineSegment(e, victim, err)
+			return
+		}
+		pp, err := decodeSpillRecord(payload)
+		if err != nil {
+			st.quarantineSegment(e, victim, err)
+			return
+		}
+		frames = append(frames, frame{uid: pp.UserID, off: off, n: frameLen})
+		off += int64(frameLen)
+	}
+
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+	}
+	unlock := func() {
+		for _, sh := range e.shards {
+			sh.mu.Unlock()
+		}
+	}
+
+	// Keep only frames that are still some shard's live ref into the victim.
+	var live []frame
+	newSize := int64(len(spillSegMagic))
+	for _, fr := range frames {
+		sh := e.shardFor(fr.uid)
+		if ref, ok := sh.spilled[fr.uid]; ok && ref.seg == victim && ref.off == fr.off {
+			live = append(live, fr)
+			newSize += int64(fr.n)
+		}
+	}
+	if len(live) == 0 {
+		st.dropSegmentLocked(victim)
+		unlock()
+		victim.f.Close()
+		os.Remove(victim.path)
+		syncDir(st.dir)
+		e.metrics.segmentCompactions.Inc()
+		return
+	}
+
+	st.mu.Lock()
+	seq := st.nextSeq
+	st.nextSeq++
+	st.mu.Unlock()
+	path := spillSegPath(st.dir, seq)
+	out := make([]byte, 0, newSize)
+	out = append(out, spillSegMagic...)
+	type moved struct {
+		uid string
+		off int64
+		n   int
+	}
+	moves := make([]moved, 0, len(live))
+	for _, fr := range live {
+		moves = append(moves, moved{uid: fr.uid, off: int64(len(out)), n: fr.n})
+		out = append(out, data[fr.off:fr.off+int64(fr.n)]...)
+	}
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, out); err != nil {
+		os.Remove(tmp)
+		unlock()
+		st.degrade(e, "compact", err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		unlock()
+		st.degrade(e, "compact", err)
+		return
+	}
+	syncDir(st.dir)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		// The new segment is durable but unopenable — nothing was swapped
+		// yet, so the victim stays authoritative.
+		os.Remove(path)
+		unlock()
+		st.degrade(e, "compact", err)
+		return
+	}
+	seg := &spillSegment{seq: seq, path: path, f: f}
+	seg.size.Store(int64(len(out)))
+	seg.total.Store(int64(len(moves)))
+	for _, mv := range moves {
+		sh := e.shardFor(mv.uid)
+		old := sh.spilled[mv.uid]
+		sh.spilled[mv.uid] = spillRef{seg: seg, off: mv.off, n: mv.n, last: old.last}
+	}
+	st.mu.Lock()
+	st.segs[seq] = seg
+	st.mu.Unlock()
+	st.spillBytes.Add(seg.size.Load())
+	st.dropSegmentLocked(victim)
+	unlock()
+	victim.f.Close()
+	os.Remove(victim.path)
+	syncDir(st.dir)
+	e.metrics.segmentCompactions.Inc()
+}
+
+// dropSegmentLocked removes a segment from the table and the byte gauge.
+// Any shard it was the append target of rotates on next spill. Callers hold
+// every shard lock (so no reader holds a ref mid-read).
+func (st *spillStore) dropSegmentLocked(seg *spillSegment) {
+	st.mu.Lock()
+	delete(st.segs, seg.seq)
+	st.mu.Unlock()
+	st.spillBytes.Add(-seg.size.Load())
+	seg.active.Store(false)
+}
+
+// PruneProfiles removes every profile — resident or spilled — whose last
+// report is before cutoff, and returns how many were removed. Spilled
+// profiles are dropped by marking their records dead (the ingest-driven
+// compactor reclaims the bytes); resident removals unindex their guard
+// entries like any deactivation.
+func (e *Engine) PruneProfiles(cutoff time.Time) int {
+	removed := 0
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		for uid, prof := range sh.profiles {
+			if !prof.lastReport.Before(cutoff) {
+				continue
+			}
+			for rid, a := range prof.active {
+				e.unindexActivation(sh, uid, rid, a.AltIndex)
+			}
+			delete(sh.profiles, uid)
+			sh.users.Add(-1)
+			if e.spill != nil {
+				sh.residentBytes.Add(-int64(prof.sizeEst))
+			}
+			removed++
+		}
+		if sh.spilled != nil {
+			for uid, ref := range sh.spilled {
+				if !ref.last.Before(cutoff) {
+					continue
+				}
+				delete(sh.spilled, uid)
+				ref.seg.dead.Add(1)
+				e.spill.spilledUsers.Add(-1)
+				removed++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	e.maybeCompact()
+	return removed
+}
+
+// Residency reports where a user's profile currently lives: "resident",
+// "spilled", or "none". Diagnostic surface for tests and tooling.
+func (e *Engine) Residency(userID string) string {
+	sh := e.shardFor(userID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if _, ok := sh.profiles[userID]; ok {
+		return "resident"
+	}
+	if sh.spilled != nil {
+		if _, ok := sh.spilled[userID]; ok {
+			return "spilled"
+		}
+	}
+	return "none"
+}
+
+// SpillStatus is the spill tier's health and occupancy snapshot, exposed by
+// /oak/v1/metrics and oakreport -memory.
+type SpillStatus struct {
+	// Enabled is true on engines built WithProfileResidency.
+	Enabled bool `json:"enabled"`
+	// MemoryOnly is true after a spill I/O failure latched the store into
+	// memory-only degraded mode (evictions suspended, serving continues).
+	MemoryOnly bool `json:"memoryOnly"`
+	// ProfilesResident / ProfilesSpilled count where profiles live now.
+	ProfilesResident int64 `json:"profilesResident"`
+	ProfilesSpilled  int64 `json:"profilesSpilled"`
+	// ResidentBytes is the engine's running estimate of resident profile
+	// heap bytes (the quantity MaxBytes caps).
+	ResidentBytes int64 `json:"residentBytes"`
+	// SpillBytes is the live segment files' on-disk size.
+	SpillBytes int64 `json:"spillBytes"`
+	// Segments counts live segment files; QuarantinedSegments names the
+	// segments taken out of service for damage.
+	Segments            int      `json:"segments"`
+	QuarantinedSegments []string `json:"quarantinedSegments,omitempty"`
+	// Spills / Rehydrations / SegmentCompactions / SpillErrors are the
+	// tier's lifetime event counters.
+	Spills             uint64 `json:"spills"`
+	Rehydrations       uint64 `json:"rehydrations"`
+	SegmentCompactions uint64 `json:"segmentCompactions"`
+	SpillErrors        uint64 `json:"spillErrors"`
+	// MaxProfiles / MaxBytes echo the configured caps.
+	MaxProfiles int   `json:"maxProfiles,omitempty"`
+	MaxBytes    int64 `json:"maxBytes,omitempty"`
+}
+
+// SpillStatus reports the spill tier's current state; ok is false on
+// engines without one.
+func (e *Engine) SpillStatus() (SpillStatus, bool) {
+	st := e.spill
+	if st == nil {
+		return SpillStatus{}, false
+	}
+	s := SpillStatus{
+		Enabled:            true,
+		MemoryOnly:         st.failed.Load(),
+		ProfilesSpilled:    st.spilledUsers.Value(),
+		SpillBytes:         st.spillBytes.Value(),
+		Spills:             e.metrics.profileSpills.Value(),
+		Rehydrations:       e.metrics.rehydrations.Value(),
+		SegmentCompactions: e.metrics.segmentCompactions.Value(),
+		SpillErrors:        e.metrics.spillErrors.Value(),
+		MaxProfiles:        st.cfg.MaxProfiles,
+		MaxBytes:           st.cfg.MaxBytes,
+	}
+	for _, sh := range e.shards {
+		s.ProfilesResident += sh.users.Value()
+		s.ResidentBytes += sh.residentBytes.Load()
+	}
+	st.mu.Lock()
+	s.Segments = len(st.segs)
+	s.QuarantinedSegments = append([]string(nil), st.quarantined...)
+	st.mu.Unlock()
+	return s, true
+}
+
+// SpillDegraded reports whether the spill tier is in a degraded state that
+// healthz must surface: memory-only mode or quarantined segments.
+func (e *Engine) SpillDegraded() bool {
+	st := e.spill
+	if st == nil {
+		return false
+	}
+	if st.failed.Load() {
+		return true
+	}
+	st.mu.Lock()
+	q := len(st.quarantined)
+	st.mu.Unlock()
+	return q > 0
+}
+
+// Profile size estimation: the byte cap needs a cheap, allocation-free
+// approximation of a profile's heap footprint. The constants cover the map
+// headers, the Profile struct and per-entry overheads; they are estimates,
+// not measurements — the cap is a watermark, not an accounting identity.
+const (
+	profileBaseSize    = 256
+	violationEntrySize = 48
+	activeEntrySize    = 176
+)
+
+// estimateSize approximates the profile's heap footprint in bytes. Caller
+// holds the owning shard's lock.
+func (p *Profile) estimateSize() int {
+	n := profileBaseSize + len(p.UserID)
+	for srv := range p.violations {
+		n += violationEntrySize + len(srv)
+	}
+	for id, a := range p.active {
+		n += activeEntrySize + len(id) + len(a.TriggerServer)
+	}
+	return n
+}
+
+// noteProfileSizeLocked refreshes the reporting profile's size estimate and
+// the shard's resident-bytes gauge after ingest mutated it. Caller holds
+// sh.mu for writing.
+func (e *Engine) noteProfileSizeLocked(sh *shard, prof *Profile) {
+	if e.spill == nil {
+		return
+	}
+	est := prof.estimateSize()
+	sh.residentBytes.Add(int64(est - prof.sizeEst))
+	prof.sizeEst = est
+}

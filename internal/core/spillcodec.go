@@ -1,0 +1,315 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+	"time"
+)
+
+// OAKPROF1 is the spill tier's binary profile encoding, in the spirit of the
+// OAKRPT1 report wire format: length-prefixed strings and counts as uvarints,
+// float64s as raw IEEE-754 bits, and every record carried in a
+// length-prefixed frame closed by a CRC-32C of the payload, so a damaged
+// record is detected before a single field of it is trusted.
+//
+// Timestamps are encoded as RFC3339Nano strings rather than unix
+// nanoseconds: a profile's persisted JSON form carries the wall clock *and*
+// the UTC offset, and export byte-identity across resident and spilled
+// layouts (the spill tier's core invariant) requires the round trip through
+// a segment file to preserve exactly what encoding/json would have written.
+//
+// A segment file is the magic line followed by frames back to back:
+//
+//	OAKPROF1\n
+//	uvarint(len(payload)) | payload | crc32c(payload) LE
+//	uvarint(len(payload)) | payload | crc32c(payload) LE
+//	...
+//
+// Appends are fsynced before the in-memory profile is forgotten, so the tail
+// of a segment after a crash is at worst torn — recovery truncates it. Each
+// payload is one profile:
+//
+//	userID      string
+//	lastReport  time string
+//	violations  uvarint count, then per server (sorted): addr string, count uvarint
+//	actives     uvarint count, then per rule (sorted by ID):
+//	            ruleID string, altIndex uvarint, activatedAt time string,
+//	            expiresAt time string, triggerServer string,
+//	            triggerDistance float64 bits LE, activations uvarint,
+//	            flags byte (bit 0 = synthesized)
+
+// spillSegMagic is the first line of every segment file.
+const spillSegMagic = "OAKPROF1\n"
+
+const (
+	// maxSpillStringLen bounds any one string field, so a corrupted length
+	// prefix cannot demand a gigabyte allocation.
+	maxSpillStringLen = 1 << 20
+	// maxSpillRecordLen bounds a whole record frame.
+	maxSpillRecordLen = 1 << 24
+	// spillFrameOverhead is the fixed cost of framing a payload: the worst-
+	// case length prefix plus the checksum.
+	spillFrameOverhead = binary.MaxVarintLen32 + crc32.Size
+)
+
+// Typed spill-codec failures, mirroring the OAKRPT1 error taxonomy.
+// ErrSpillTruncated specifically means "the bytes end mid-frame" — at the
+// tail of a segment that is a torn write and recovery truncates to the last
+// whole frame; anywhere else it is corruption.
+var (
+	ErrSpillMagic     = errors.New("core: spill segment magic mismatch")
+	ErrSpillTruncated = errors.New("core: spill record truncated")
+	ErrSpillOversized = errors.New("core: spill record oversized")
+	ErrSpillCorrupt   = errors.New("core: spill record corrupt")
+)
+
+// isSpillDamage reports whether err is a codec-level rejection (as opposed
+// to an I/O failure): the segment's bytes are wrong, not the disk's
+// plumbing. Damage quarantines the segment; I/O failures degrade the store
+// to memory-only mode.
+func isSpillDamage(err error) bool {
+	return errors.Is(err, ErrSpillCorrupt) || errors.Is(err, ErrSpillTruncated) ||
+		errors.Is(err, ErrSpillOversized) || errors.Is(err, ErrSpillMagic)
+}
+
+// appendSpillUvarint appends v as a uvarint.
+func appendSpillUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// appendSpillString appends s as uvarint length + bytes.
+func appendSpillString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendSpillTime appends t in the RFC3339Nano form encoding/json uses, as a
+// spill string. The zero time round-trips through "0001-01-01T00:00:00Z".
+func appendSpillTime(b []byte, t time.Time) []byte {
+	b = binary.AppendUvarint(b, uint64(len(t.AppendFormat(nil, time.RFC3339Nano))))
+	return t.AppendFormat(b, time.RFC3339Nano)
+}
+
+// spillUvarint decodes a canonical (minimal-length) uvarint from b.
+func spillUvarint(b []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(b)
+	if n == 0 {
+		return 0, 0, fmt.Errorf("%w: uvarint cut short", ErrSpillTruncated)
+	}
+	if n < 0 {
+		return 0, 0, fmt.Errorf("%w: uvarint overflows 64 bits", ErrSpillCorrupt)
+	}
+	if n > 1 && b[n-1] == 0 {
+		return 0, 0, fmt.Errorf("%w: non-minimal uvarint", ErrSpillCorrupt)
+	}
+	return v, n, nil
+}
+
+// spillString decodes a length-prefixed string from b.
+func spillString(b []byte) (string, int, error) {
+	l, n, err := spillUvarint(b)
+	if err != nil {
+		return "", 0, err
+	}
+	if l > maxSpillStringLen {
+		return "", 0, fmt.Errorf("%w: string of %d bytes", ErrSpillOversized, l)
+	}
+	if uint64(len(b)-n) < l {
+		return "", 0, fmt.Errorf("%w: string cut short", ErrSpillTruncated)
+	}
+	return string(b[n : n+int(l)]), n + int(l), nil
+}
+
+// spillTime decodes a spill time string.
+func spillTime(b []byte) (time.Time, int, error) {
+	s, n, err := spillString(b)
+	if err != nil {
+		return time.Time{}, 0, err
+	}
+	t, err := time.Parse(time.RFC3339Nano, s)
+	if err != nil {
+		return time.Time{}, 0, fmt.Errorf("%w: bad timestamp %q", ErrSpillCorrupt, s)
+	}
+	return t, n, nil
+}
+
+// encodeSpillRecord appends the OAKPROF1 payload for one persisted profile.
+func encodeSpillRecord(b []byte, pp *persistedProfile) []byte {
+	b = appendSpillString(b, pp.UserID)
+	b = appendSpillTime(b, pp.LastReport)
+
+	b = appendSpillUvarint(b, uint64(len(pp.Violations)))
+	srvs := make([]string, 0, len(pp.Violations))
+	for srv := range pp.Violations {
+		srvs = append(srvs, srv)
+	}
+	sort.Strings(srvs)
+	for _, srv := range srvs {
+		b = appendSpillString(b, srv)
+		b = appendSpillUvarint(b, uint64(pp.Violations[srv]))
+	}
+
+	b = appendSpillUvarint(b, uint64(len(pp.Active)))
+	for i := range pp.Active {
+		pa := &pp.Active[i]
+		b = appendSpillString(b, pa.RuleID)
+		b = appendSpillUvarint(b, uint64(pa.AltIndex))
+		b = appendSpillTime(b, pa.ActivatedAt)
+		b = appendSpillTime(b, pa.ExpiresAt)
+		b = appendSpillString(b, pa.TriggerServer)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(pa.TriggerDistance))
+		b = appendSpillUvarint(b, uint64(pa.Activations))
+		var flags byte
+		if pa.Synthesized {
+			flags |= 1
+		}
+		b = append(b, flags)
+	}
+	return b
+}
+
+// decodeSpillRecord decodes one OAKPROF1 payload. The persisted form is the
+// same neutral shape ExportState emits and ImportState consumes, so export
+// uses the decoded record directly and rehydration resolves it against the
+// live rule set exactly like an import would.
+func decodeSpillRecord(payload []byte) (*persistedProfile, error) {
+	pp := &persistedProfile{}
+	b := payload
+	var n int
+	var err error
+
+	if pp.UserID, n, err = spillString(b); err != nil {
+		return nil, fmt.Errorf("user id: %w", err)
+	}
+	b = b[n:]
+	if pp.UserID == "" {
+		return nil, fmt.Errorf("%w: empty user id", ErrSpillCorrupt)
+	}
+	if pp.LastReport, n, err = spillTime(b); err != nil {
+		return nil, fmt.Errorf("last report: %w", err)
+	}
+	b = b[n:]
+
+	nv, n, err := spillUvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("violation count: %w", err)
+	}
+	b = b[n:]
+	if nv > uint64(len(b)) {
+		return nil, fmt.Errorf("%w: %d violations in %d bytes", ErrSpillCorrupt, nv, len(b))
+	}
+	pp.Violations = make(map[string]int, nv)
+	for i := uint64(0); i < nv; i++ {
+		srv, n, err := spillString(b)
+		if err != nil {
+			return nil, fmt.Errorf("violation server: %w", err)
+		}
+		b = b[n:]
+		cnt, n, err := spillUvarint(b)
+		if err != nil {
+			return nil, fmt.Errorf("violation count for %q: %w", srv, err)
+		}
+		b = b[n:]
+		pp.Violations[srv] = int(cnt)
+	}
+
+	na, n, err := spillUvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("activation count: %w", err)
+	}
+	b = b[n:]
+	if na > uint64(len(b)) {
+		return nil, fmt.Errorf("%w: %d activations in %d bytes", ErrSpillCorrupt, na, len(b))
+	}
+	if na > 0 {
+		pp.Active = make([]persistedActivation, 0, na)
+	}
+	for i := uint64(0); i < na; i++ {
+		var pa persistedActivation
+		if pa.RuleID, n, err = spillString(b); err != nil {
+			return nil, fmt.Errorf("rule id: %w", err)
+		}
+		b = b[n:]
+		alt, n, err := spillUvarint(b)
+		if err != nil {
+			return nil, fmt.Errorf("alt index: %w", err)
+		}
+		b = b[n:]
+		pa.AltIndex = int(alt)
+		if pa.ActivatedAt, n, err = spillTime(b); err != nil {
+			return nil, fmt.Errorf("activated at: %w", err)
+		}
+		b = b[n:]
+		if pa.ExpiresAt, n, err = spillTime(b); err != nil {
+			return nil, fmt.Errorf("expires at: %w", err)
+		}
+		b = b[n:]
+		if pa.TriggerServer, n, err = spillString(b); err != nil {
+			return nil, fmt.Errorf("trigger server: %w", err)
+		}
+		b = b[n:]
+		if len(b) < 8 {
+			return nil, fmt.Errorf("%w: trigger distance cut short", ErrSpillTruncated)
+		}
+		pa.TriggerDistance = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		acts, n, err := spillUvarint(b)
+		if err != nil {
+			return nil, fmt.Errorf("activation counter: %w", err)
+		}
+		b = b[n:]
+		pa.Activations = int(acts)
+		if len(b) < 1 {
+			return nil, fmt.Errorf("%w: flags cut short", ErrSpillTruncated)
+		}
+		pa.Synthesized = b[0]&1 != 0
+		b = b[1:]
+		pp.Active = append(pp.Active, pa)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after record", ErrSpillCorrupt, len(b))
+	}
+	return pp, nil
+}
+
+// appendSpillFrame wraps a record payload in the segment frame: uvarint
+// length, payload, CRC-32C (the snapshot envelope's Castagnoli table).
+func appendSpillFrame(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, snapshotCRC))
+}
+
+// nextSpillFrame parses one frame from the head of b, returning the payload
+// and the total frame length consumed. ErrSpillTruncated means b ends
+// mid-frame (a torn tail when b runs to the segment's end); a checksum
+// mismatch or an impossible length is ErrSpillCorrupt/ErrSpillOversized.
+func nextSpillFrame(b []byte) (payload []byte, frameLen int, err error) {
+	l, n, err := spillUvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if l == 0 {
+		// No record is empty (a user ID is mandatory); a zero length prefix
+		// is what zero-filled corruption (hole punches) looks like.
+		return nil, 0, fmt.Errorf("%w: empty frame", ErrSpillCorrupt)
+	}
+	if l > maxSpillRecordLen {
+		return nil, 0, fmt.Errorf("%w: frame of %d bytes", ErrSpillOversized, l)
+	}
+	total := n + int(l) + crc32.Size
+	if len(b) < total {
+		return nil, 0, fmt.Errorf("%w: frame needs %d bytes, have %d", ErrSpillTruncated, total, len(b))
+	}
+	payload = b[n : n+int(l)]
+	want := binary.LittleEndian.Uint32(b[n+int(l):])
+	if got := crc32.Checksum(payload, snapshotCRC); got != want {
+		return nil, 0, fmt.Errorf("%w: frame checksum mismatch: stored %08x, payload %08x",
+			ErrSpillCorrupt, want, got)
+	}
+	return payload, total, nil
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// spillTestProfile is a persisted profile exercising every field: multiple
+// violation counters, two activations (one synthesized), a fractional
+// trigger distance and sub-second timestamps.
+func spillTestProfile() persistedProfile {
+	base := time.Date(2026, 3, 14, 9, 26, 53, 589793000, time.UTC)
+	return persistedProfile{
+		UserID:     "user-α-42",
+		LastReport: base,
+		Violations: map[string]int{"ip-s1.com": 3, "ip-cdn.example": 1},
+		Active: []persistedActivation{
+			{
+				RuleID:          "jquery",
+				AltIndex:        1,
+				ActivatedAt:     base.Add(-time.Hour),
+				ExpiresAt:       base.Add(time.Hour),
+				TriggerServer:   "ip-s1.com",
+				TriggerDistance: 3.25,
+				Activations:     7,
+			},
+			{
+				RuleID:          "synth-cdn",
+				ActivatedAt:     base.Add(-time.Minute),
+				TriggerServer:   "ip-cdn.example",
+				TriggerDistance: 1.0,
+				Activations:     1,
+				Synthesized:     true,
+			},
+		},
+	}
+}
+
+func TestSpillRecordRoundTrip(t *testing.T) {
+	pp := spillTestProfile()
+	payload := encodeSpillRecord(nil, &pp)
+	got, err := decodeSpillRecord(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*got, pp) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", *got, pp)
+	}
+	// The spill tier's core invariant: the decoded record JSON-marshals
+	// byte-identically to the original, so an export never depends on which
+	// side of the residency cap a profile sits.
+	a, _ := json.Marshal(pp)
+	b, _ := json.Marshal(*got)
+	if string(a) != string(b) {
+		t.Errorf("JSON drift through spill codec:\n was %s\n now %s", a, b)
+	}
+}
+
+func TestSpillRecordRoundTripPreservesZoneOffset(t *testing.T) {
+	// encoding/json writes RFC3339Nano with the time's own offset; a codec
+	// that collapsed to unix nanos would silently rewrite +05:30 as Z and
+	// break export byte-identity.
+	loc := time.FixedZone("IST", 5*3600+1800)
+	pp := persistedProfile{
+		UserID:     "u-tz",
+		LastReport: time.Date(2026, 7, 1, 12, 0, 0, 0, loc),
+		Violations: map[string]int{},
+	}
+	got, err := decodeSpillRecord(encodeSpillRecord(nil, &pp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(pp.LastReport)
+	b, _ := json.Marshal(got.LastReport)
+	if string(a) != string(b) {
+		t.Errorf("zone offset lost: was %s, now %s", a, b)
+	}
+}
+
+func TestSpillFrameRoundTrip(t *testing.T) {
+	pp := spillTestProfile()
+	payload := encodeSpillRecord(nil, &pp)
+	frame := appendSpillFrame(nil, payload)
+	got, n, err := nextSpillFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frame) {
+		t.Errorf("frame length = %d, want %d", n, len(frame))
+	}
+	if string(got) != string(payload) {
+		t.Error("payload mutated by framing")
+	}
+	// Two frames back to back: the first parse must consume exactly one.
+	double := appendSpillFrame(append([]byte(nil), frame...), payload)
+	if _, n2, err := nextSpillFrame(double); err != nil || n2 != len(frame) {
+		t.Errorf("first of two frames: n=%d err=%v, want n=%d", n2, err, len(frame))
+	}
+}
+
+func TestSpillFrameRejectsDamage(t *testing.T) {
+	pp := spillTestProfile()
+	payload := encodeSpillRecord(nil, &pp)
+	frame := appendSpillFrame(nil, payload)
+
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty input", nil, ErrSpillTruncated},
+		{"torn mid-payload", frame[:len(frame)/2], ErrSpillTruncated},
+		{"torn in checksum", frame[:len(frame)-2], ErrSpillTruncated},
+		{"zero-length frame", []byte{0x00, 0x00, 0x00, 0x00, 0x00}, ErrSpillCorrupt},
+		{"oversized length", binary.AppendUvarint(nil, maxSpillRecordLen+1), ErrSpillOversized},
+		{"flipped payload byte", func() []byte {
+			b := append([]byte(nil), frame...)
+			b[len(b)/2] ^= 0x40
+			return b
+		}(), ErrSpillCorrupt},
+		{"flipped checksum byte", func() []byte {
+			b := append([]byte(nil), frame...)
+			b[len(b)-1] ^= 0x01
+			return b
+		}(), ErrSpillCorrupt},
+	}
+	for _, tc := range cases {
+		if _, _, err := nextSpillFrame(tc.b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		} else if !isSpillDamage(err) {
+			t.Errorf("%s: %v not classified as spill damage", tc.name, err)
+		}
+	}
+}
+
+func TestSpillDecodeRejectsHostileRecords(t *testing.T) {
+	pp := spillTestProfile()
+	good := encodeSpillRecord(nil, &pp)
+
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty payload", []byte{}},
+		{"empty user id", encodeSpillRecord(nil, &persistedProfile{})},
+		{"trailing bytes", append(append([]byte(nil), good...), 0xFF)},
+		{"truncated record", good[:len(good)-3]},
+		{"violation count beyond payload", func() []byte {
+			b := appendSpillString(nil, "u")
+			b = appendSpillTime(b, time.Time{})
+			return appendSpillUvarint(b, 1<<40) // claims a trillion violations
+		}()},
+		{"activation count beyond payload", func() []byte {
+			b := appendSpillString(nil, "u")
+			b = appendSpillTime(b, time.Time{})
+			b = appendSpillUvarint(b, 0)
+			return appendSpillUvarint(b, 1<<40)
+		}()},
+		{"oversized string", func() []byte {
+			return appendSpillUvarint(nil, maxSpillStringLen+1)
+		}()},
+		{"bad timestamp", func() []byte {
+			b := appendSpillString(nil, "u")
+			return appendSpillString(b, "not-a-time")
+		}()},
+	}
+	for _, tc := range cases {
+		rec, err := decodeSpillRecord(tc.b)
+		if err == nil {
+			t.Errorf("%s: decoded %+v, want error", tc.name, rec)
+			continue
+		}
+		if !isSpillDamage(err) {
+			t.Errorf("%s: %v not classified as spill damage", tc.name, err)
+		}
+	}
+}
+
+func TestSpillUvarintRejectsNonMinimal(t *testing.T) {
+	// 0x80 0x00 encodes zero in two bytes; canonical encoders never emit it,
+	// so it can only appear via corruption.
+	if _, _, err := spillUvarint([]byte{0x80, 0x00}); !errors.Is(err, ErrSpillCorrupt) {
+		t.Errorf("non-minimal uvarint: err = %v, want ErrSpillCorrupt", err)
+	}
+}
+
+func TestSpillSegmentMagicIsOneLine(t *testing.T) {
+	// Recovery scans line-structured headers; the magic must stay a single
+	// newline-terminated token (file(1)-friendly, like OAKSNAP2).
+	if !strings.HasSuffix(spillSegMagic, "\n") || strings.Count(spillSegMagic, "\n") != 1 {
+		t.Errorf("spillSegMagic = %q, want one newline-terminated line", spillSegMagic)
+	}
+}

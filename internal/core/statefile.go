@@ -93,7 +93,7 @@ func (e *Engine) LoadStateFile(path string) (StateSource, error) {
 		if berr != nil {
 			return "", fmt.Errorf("engine: read state backup: %w", berr)
 		}
-		if ierr := e.ImportState(bdata); ierr != nil {
+		if ierr := e.importState(bdata, true); ierr != nil {
 			return "", fmt.Errorf("engine: import state backup: %w", ierr)
 		}
 		e.metrics.stateRecoveries.Inc()
@@ -103,7 +103,11 @@ func (e *Engine) LoadStateFile(path string) (StateSource, error) {
 	if err != nil {
 		return "", fmt.Errorf("engine: read state: %w", err)
 	}
-	primaryErr := e.ImportState(data)
+	// Boot imports merge newer-wins with recovered spill records: a profile
+	// spilled (and fsynced) after the snapshot was saved survives the
+	// import, so a kill between spill and the next SaveStateFile loses no
+	// acknowledged state. See importState.
+	primaryErr := e.importState(data, true)
 	if primaryErr == nil {
 		e.stateSource.Store(StateSnapshot)
 		return StateSnapshot, nil
@@ -117,7 +121,7 @@ func (e *Engine) LoadStateFile(path string) (StateSource, error) {
 		// backup's absence.
 		return "", fmt.Errorf("engine: import state (no backup to recover from): %w", primaryErr)
 	}
-	if ierr := e.ImportState(bdata); ierr != nil {
+	if ierr := e.importState(bdata, true); ierr != nil {
 		return "", fmt.Errorf("engine: snapshot and backup both unusable: %w (backup: %v)", primaryErr, ierr)
 	}
 	e.metrics.stateRecoveries.Inc()

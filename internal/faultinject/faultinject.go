@@ -172,6 +172,11 @@ const (
 	FlipBytes
 	// Empty leaves a zero-byte file — a crash after create, before write.
 	Empty
+	// HolePunch zero-fills a seeded byte range in the middle of the file —
+	// what a filesystem hole punch (or a lost write over an allocated
+	// extent) looks like: the length is intact, a span of the content is
+	// zeros.
+	HolePunch
 )
 
 // String names the mode.
@@ -183,6 +188,8 @@ func (m CorruptMode) String() string {
 		return "flip-bytes"
 	case Empty:
 		return "empty"
+	case HolePunch:
+		return "hole-punch"
 	default:
 		return "unknown"
 	}
@@ -209,6 +216,18 @@ func CorruptFile(path string, seed int64, mode CorruptMode) error {
 		}
 	case Empty:
 		data = nil
+	case HolePunch:
+		if len(data) > 0 {
+			rng := rand.New(rand.NewSource(seed))
+			// Zero a span of up to a quarter of the file at a seeded
+			// offset in its back half, so leading magic survives and the
+			// damage lands in content.
+			n := 1 + rng.Intn(len(data)/4+1)
+			off := len(data)/2 + rng.Intn(len(data)-len(data)/2)
+			for i := 0; i < n && off+i < len(data); i++ {
+				data[off+i] = 0
+			}
+		}
 	default:
 		return fmt.Errorf("faultinject: unknown corrupt mode %d", mode)
 	}

@@ -77,6 +77,47 @@ type MetricsResponse struct {
 	// per-provider baselines, synthesis counters); absent on engines built
 	// without WithSynthesis.
 	Population *core.PopulationStatus `json:"population,omitempty"`
+	// Spill is the profile spill tier's state (residency counts, segment
+	// footprint, rehydration latency); absent on engines built without
+	// core.WithProfileResidency.
+	Spill *SpillSection `json:"spill,omitempty"`
+}
+
+// SpillSection is the spill-tier block of MetricsResponse: where the user
+// population currently lives (resident vs spilled to disk segments), the
+// tier's counters, and the rehydration latency digest.
+type SpillSection struct {
+	// MemoryOnly is true when a spill I/O failure latched the tier into
+	// memory-only degraded mode: evictions have stopped, serving continues
+	// with unbounded resident growth. Also reflected in healthz.
+	MemoryOnly bool `json:"memory_only"`
+	// ProfilesResident and ProfilesSpilled partition the known users by
+	// where each profile currently lives.
+	ProfilesResident int64 `json:"profiles_resident"`
+	ProfilesSpilled  int64 `json:"profiles_spilled"`
+	// ResidentBytes estimates the heap held by resident profiles (the
+	// quantity a byte cap bounds); SpillBytes is the on-disk segment
+	// footprint, dead records included until compaction.
+	ResidentBytes int64 `json:"resident_bytes"`
+	SpillBytes    int64 `json:"spill_bytes"`
+	// Segments counts live segment files; QuarantinedSegments names the
+	// files set aside after codec-level damage (see docs/OPERATIONS.md).
+	Segments            int      `json:"segments"`
+	QuarantinedSegments []string `json:"quarantined_segments,omitempty"`
+	// Monotone counters: profiles evicted to disk, profiles read back,
+	// segment rewrites, and spill-path failures of any kind.
+	Spills             uint64 `json:"spills"`
+	Rehydrations       uint64 `json:"rehydrations"`
+	SegmentCompactions uint64 `json:"segment_compactions"`
+	SpillErrors        uint64 `json:"spill_errors"`
+	// The configured caps; zero when that cap is not set.
+	MaxProfiles int   `json:"max_profiles,omitempty"`
+	MaxBytes    int64 `json:"max_bytes,omitempty"`
+	// Rehydrate summarises spill→memory rehydration latency in millisecond
+	// percentiles; RehydrateNs is the raw populated histogram (nanosecond
+	// bucket bounds), for operators who want more than percentiles.
+	Rehydrate   obs.Summary  `json:"rehydrate"`
+	RehydrateNs []obs.Bucket `json:"rehydrate_ns,omitempty"`
 }
 
 // ShardSummary is one shard's ingest latency digest.
@@ -114,6 +155,19 @@ type HealthzResponse struct {
 	// StateRecoveries counts restores from somewhere other than the
 	// primary snapshot file — backup fallbacks and shipped rehydrations.
 	StateRecoveries uint64 `json:"state_recoveries"`
+	// SpillDegraded is true when the profile spill tier is operating
+	// impaired: a spill I/O failure latched memory-only mode, or a damaged
+	// segment was quarantined. The process keeps serving either way; the
+	// flag (and the "degraded" status it forces) tells operators resident
+	// memory is no longer bounded or spilled profiles were set aside.
+	// Omitted on engines without a residency cap.
+	SpillDegraded bool `json:"spill_degraded,omitempty"`
+	// SpillMemoryOnly narrows SpillDegraded: true when evictions have
+	// stopped and the engine runs memory-only.
+	SpillMemoryOnly bool `json:"spill_memory_only,omitempty"`
+	// QuarantinedSegments counts spill segment files set aside after
+	// codec-level damage.
+	QuarantinedSegments int `json:"quarantined_segments,omitempty"`
 }
 
 // handleMetrics serves counters plus ingest/rewrite histograms.
@@ -151,6 +205,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if ps, ok := s.engine.PopulationStatus(); ok {
 		resp.Population = &ps
 	}
+	if ss, ok := s.engine.SpillStatus(); ok {
+		resp.Spill = &SpillSection{
+			MemoryOnly:          ss.MemoryOnly,
+			ProfilesResident:    ss.ProfilesResident,
+			ProfilesSpilled:     ss.ProfilesSpilled,
+			ResidentBytes:       ss.ResidentBytes,
+			SpillBytes:          ss.SpillBytes,
+			Segments:            ss.Segments,
+			QuarantinedSegments: ss.QuarantinedSegments,
+			Spills:              ss.Spills,
+			Rehydrations:        ss.Rehydrations,
+			SegmentCompactions:  ss.SegmentCompactions,
+			SpillErrors:         ss.SpillErrors,
+			MaxProfiles:         ss.MaxProfiles,
+			MaxBytes:            ss.MaxBytes,
+			Rehydrate:           lat.Rehydrate.Summary(),
+			RehydrateNs:         lat.Rehydrate.Buckets,
+		}
+	}
 	writeJSON(w, resp)
 }
 
@@ -181,18 +254,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if depth, capacity := s.engine.IngestQueue(); capacity > 0 && depth >= int64(capacity) {
 		status = "degraded"
 	}
-	src, recoveries := s.engine.StateStatus()
-	writeJSON(w, HealthzResponse{
-		Status:            status,
+	resp := HealthzResponse{
 		UptimeSeconds:     time.Since(s.started).Seconds(),
 		Rules:             len(s.engine.Rules()),
 		Users:             s.engine.Users(),
 		Reports:           s.engine.Metrics().ReportsHandled,
 		OpenBreakers:      s.engine.OpenBreakers(),
 		DegradedProviders: s.engine.DegradedProviders(),
-		StateSource:       string(src),
-		StateRecoveries:   recoveries,
-	})
+	}
+	if ss, ok := s.engine.SpillStatus(); ok {
+		resp.SpillDegraded = s.engine.SpillDegraded()
+		resp.SpillMemoryOnly = ss.MemoryOnly
+		resp.QuarantinedSegments = len(ss.QuarantinedSegments)
+		if resp.SpillDegraded {
+			status = "degraded"
+		}
+	}
+	src, recoveries := s.engine.StateStatus()
+	resp.Status = status
+	resp.StateSource = string(src)
+	resp.StateRecoveries = recoveries
+	writeJSON(w, resp)
 }
 
 // handleTrace serves the last n decision-trace events.

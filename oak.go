@@ -369,6 +369,29 @@ func WithRewriteCache(n int) EngineOption { return core.WithRewriteCache(n) }
 // counters (Engine.RewriteCacheStats; also surfaced in /oak/metrics).
 type RewriteCacheStats = core.RewriteCacheStats
 
+// ResidencyConfig enables and tunes the profile spill tier (see
+// WithProfileResidency): the segment directory, the resident caps
+// (MaxProfiles and/or MaxBytes — either alone works, both combine), the
+// segment rotation size and the dead-record ratio that triggers compaction.
+type ResidencyConfig = core.ResidencyConfig
+
+// WithProfileResidency bounds how much per-user state stays resident in
+// memory. Profiles beyond the cap are evicted coldest-first into compact
+// binary append-log segments (written and fsynced before the in-memory copy
+// is dropped, so an acknowledged report is never lost to a crash) and
+// rehydrated transparently on the user's next report or page request.
+// Spilled profiles participate fully in ExportState/ExportSnapshot — a
+// snapshot is byte-identical whichever side of the cap each profile is on.
+// Disk faults on the spill path degrade the engine to memory-only mode:
+// evictions stop, serving continues, and healthz reports "degraded". See
+// docs/OPERATIONS.md, "Memory & the spill tier".
+func WithProfileResidency(cfg ResidencyConfig) EngineOption { return core.WithProfileResidency(cfg) }
+
+// SpillStatus is the spill tier's externally visible state (residency
+// counts, segment footprint, quarantined segments, counters), returned by
+// Engine.SpillStatus and served under "spill" in /oak/v1/metrics.
+type SpillStatus = core.SpillStatus
+
 // GuardConfig enables and tunes the engine's population-level guardrails:
 // per-provider circuit breakers over alternate providers (closed → open →
 // half-open, fed by outcomes pooled across all users and by the optional

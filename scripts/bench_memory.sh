@@ -1,0 +1,79 @@
+#!/bin/sh
+# bench_memory.sh — run the spill-tier memory benchmarks and record the
+# results in BENCH_memory.json: the resident footprint per user under a
+# residency cap, the spill→rehydrate round-trip cost with rehydration
+# latency percentiles, and serve latency over a population that is 95%
+# cold (spilled) — whose p99 must sit far inside the page-delivery
+# rewrite budget (origin.DefaultRewriteBudget, 500ms).
+#
+# Usage: scripts/bench_memory.sh [benchtime]   (default 1s)
+set -e
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-1s}"
+out="BENCH_memory.json"
+
+echo "== go test -bench SpillRehydrate/ServeCold95/IngestCapped (benchtime $benchtime) =="
+raw=$(go test -run '^$' \
+	-bench 'BenchmarkSpillRehydrate$|BenchmarkServeCold95$|BenchmarkIngestCapped$' \
+	-benchmem -count 1 -benchtime "$benchtime" ./internal/core)
+echo "$raw"
+
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	iters = $2
+	ns = ""; allocs = ""
+	delete extra
+	nx = 0
+	for (i = 3; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+		if ($i ~ /^(rehydrate_p50_ms|rehydrate_p99_ms|serve_p50_ms|serve_p99_ms|bytes_per_resident_user|resident_profiles|total_profiles)$/) {
+			nx++
+			ekey[nx] = $i
+			eval[nx] = $(i - 1)
+		}
+	}
+	if (ns == "") next
+	n++
+	names[n] = name; iterations[n] = iters; nsop[n] = ns; allocsop[n] = allocs
+	line = ""
+	for (j = 1; j <= nx; j++)
+		line = line sprintf(", \"%s\": %s", ekey[j], eval[j])
+	extras[n] = line
+	for (j = 1; j <= nx; j++) {
+		if (names[n] == "BenchmarkServeCold95" && ekey[j] == "serve_p99_ms") servep99 = eval[j]
+		if (names[n] == "BenchmarkSpillRehydrate" && ekey[j] == "rehydrate_p99_ms") rehydratep99 = eval[j]
+		if (names[n] == "BenchmarkIngestCapped" && ekey[j] == "bytes_per_resident_user") bpu = eval[j]
+		if (names[n] == "BenchmarkIngestCapped" && ekey[j] == "resident_profiles") resident = eval[j]
+		if (names[n] == "BenchmarkIngestCapped" && ekey[j] == "total_profiles") total = eval[j]
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"rewrite_budget_ms\": 500,\n"
+	printf "  \"benchmarks\": [\n"
+	for (i = 1; i <= n; i++) {
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", \
+			names[i], iterations[i], nsop[i]
+		if (allocsop[i] != "") printf ", \"allocs_per_op\": %s", allocsop[i]
+		printf "%s}%s\n", extras[i], (i < n ? "," : "")
+	}
+	printf "  ]"
+	if (servep99 != "") {
+		printf ",\n  \"cold95_serve_p99_ms\": %s", servep99
+		printf ",\n  \"cold95_serve_p99_within_budget\": %s", (servep99 + 0 < 500 ? "true" : "false")
+	}
+	if (rehydratep99 != "") printf ",\n  \"rehydrate_p99_ms\": %s", rehydratep99
+	if (bpu != "") printf ",\n  \"bytes_per_resident_user\": %s", bpu
+	if (resident != "" && total != "" && total + 0 > 0)
+		printf ",\n  \"resident_fraction\": %.3f", resident / total
+	printf "\n}\n"
+}' >"$out"
+
+echo "wrote $out"

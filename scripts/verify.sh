@@ -29,7 +29,11 @@
 # passes. The nodeloss chaos smoke does the same for the cluster tier: it
 # kills a gateway backend mid-traffic and requires zero 5xx after the
 # probe window, snapshot-driven replacement, and a fleet-wide breaker
-# broadcast with recall 1.0.
+# broadcast with recall 1.0. The spill chaos smoke kills an engine
+# mid-spill (torn segment tail) and hole-punches a sealed segment under a
+# live engine, requiring recovery with no acknowledged state lost and
+# byte-identical exports across residency layouts; a one-iteration memory
+# benchmark run keeps BENCH_memory.json producible.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -77,6 +81,12 @@ go test -race -run 'TestChaosGuardKillsAlternateMidRun' -count=1 ./internal/faul
 
 echo "== nodeloss chaos smoke: gateway failover + snapshot replacement under -race =="
 go test -race -run 'TestNodeLossChaos' -count=1 ./internal/gateway
+
+echo "== spill chaos smoke: kill-mid-spill + hole-punch under -race =="
+go test -race -run 'TestSpillChaos' -count=1 ./internal/faultinject
+
+echo "== memory benchmark smoke (1 iteration) =="
+go test -run '^$' -bench 'BenchmarkSpillRehydrate$|BenchmarkServeCold95$|BenchmarkIngestCapped$' -benchtime 1x ./internal/core
 
 echo "== guard benchmark smoke (1 iteration) =="
 go test -run '^$' -bench 'BenchmarkActivationGuardOn|BenchmarkGuardRollback100$' -benchtime 1x ./internal/core
