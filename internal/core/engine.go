@@ -589,12 +589,7 @@ func (e *Engine) reconcileActiveRules(sh *shard, prof *Profile, v Violation, now
 // slice is the caller's to keep.
 func (e *Engine) ActiveRules(userID, path string) []rules.Activation {
 	sh := e.shardFor(userID)
-	sh.mu.RLock()
-	if e.spillPending(sh, userID) {
-		sh.mu.RUnlock()
-		e.rehydrateUser(sh, userID)
-		sh.mu.RLock()
-	}
+	e.rlockResident(sh, userID)
 	defer sh.mu.RUnlock()
 	prof, ok := sh.profiles[userID]
 	if !ok {
@@ -614,12 +609,7 @@ func (e *Engine) ActiveRules(userID, path string) []rules.Activation {
 // byte-identical rewrites of the same page.
 func (e *Engine) ActivationFingerprint(userID, path string) uint64 {
 	sh := e.shardFor(userID)
-	sh.mu.RLock()
-	if e.spillPending(sh, userID) {
-		sh.mu.RUnlock()
-		e.rehydrateUser(sh, userID)
-		sh.mu.RLock()
-	}
+	e.rlockResident(sh, userID)
 	defer sh.mu.RUnlock()
 	prof, ok := sh.profiles[userID]
 	if !ok {
@@ -661,14 +651,9 @@ func (e *Engine) ModifyPage(userID, path, page string) (string, []rules.Applied)
 func (e *Engine) RewritePage(userID, path, page string) Rewrite {
 	start := time.Now()
 	sh := e.shardFor(userID)
-	sh.mu.RLock()
-	if e.spillPending(sh, userID) {
-		// Cold user: bring the profile back before rewriting, so a spilled
-		// user's activations survive eviction transparently.
-		sh.mu.RUnlock()
-		e.rehydrateUser(sh, userID)
-		sh.mu.RLock()
-	}
+	// Cold user: rlockResident brings the profile back before rewriting, so
+	// a spilled user's activations survive eviction transparently.
+	e.rlockResident(sh, userID)
 	rw, _ := e.rewriteLocked(sh, userID, path, page, true)
 	sh.mu.RUnlock()
 	e.observeRewrite(userID, path, page, start, rw)
@@ -766,12 +751,7 @@ type ProfileSnapshot struct {
 // Snapshot returns the profile state for a user, or false if unknown.
 func (e *Engine) Snapshot(userID string) (ProfileSnapshot, bool) {
 	sh := e.shardFor(userID)
-	sh.mu.RLock()
-	if e.spillPending(sh, userID) {
-		sh.mu.RUnlock()
-		e.rehydrateUser(sh, userID)
-		sh.mu.RLock()
-	}
+	e.rlockResident(sh, userID)
 	defer sh.mu.RUnlock()
 	prof, ok := sh.profiles[userID]
 	if !ok {

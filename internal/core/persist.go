@@ -195,10 +195,14 @@ func (e *Engine) exportStateRange(r HashRange) ([]byte, error) {
 			pp, err := e.spill.readRecord(ref)
 			if err != nil {
 				if isSpillDamage(err) {
-					// Damaged record: that state is already lost and
-					// declared (quarantine accounting); an export cannot
-					// resurrect it.
-					e.metrics.spillErrors.Inc()
+					// Damaged record: the segment's bytes are proven bad, so
+					// quarantine it exactly as the rehydrate path would —
+					// healthz goes degraded and the loss shows up in the
+					// quarantine accounting instead of the export silently
+					// omitting a user still indexed as spilled. The ref
+					// itself is dropped lazily on next touch (we hold only
+					// the read lock here).
+					e.spill.quarantineSegment(e, ref.seg, err)
 					continue
 				}
 				// I/O failure: fail the export rather than install a

@@ -277,7 +277,18 @@ func (e *Engine) recoverSpill() error {
 			continue
 		}
 		seg := &spillSegment{seq: seq, path: path}
-		var segRefs []string // users whose latest record sits in this segment
+		// Two-phase replay: parse and validate the whole segment first,
+		// committing nothing. Only a segment that proved good end-to-end gets
+		// to supersede earlier records and bump their segments' dead counts —
+		// a quarantined segment must leave the previous (still valid) refs
+		// and counters exactly as they were, or the end-of-recovery GC would
+		// delete a healthy segment holding the newest surviving copy of a
+		// user's profile.
+		type segRec struct {
+			uid string
+			ref spillRef
+		}
+		var recs []segRec
 		off := int64(len(spillSegMagic))
 		damaged := false
 		for off < int64(len(data)) {
@@ -300,25 +311,23 @@ func (e *Engine) recoverSpill() error {
 				damaged = true
 				break
 			}
-			seg.total.Add(1)
-			if prev, ok := byUser[pp.UserID]; ok {
-				prev.ref.seg.dead.Add(1)
-			}
-			byUser[pp.UserID] = recovered{
-				ref:      spillRef{seg: seg, off: off, n: frameLen, last: pp.LastReport},
-				shardIdx: e.shardIndex(pp.UserID),
-			}
-			segRefs = append(segRefs, pp.UserID)
+			recs = append(recs, segRec{
+				uid: pp.UserID,
+				ref: spillRef{seg: seg, off: off, n: frameLen, last: pp.LastReport},
+			})
 			off += int64(frameLen)
 		}
 		if damaged {
-			for _, uid := range segRefs {
-				if byUser[uid].ref.seg == seg {
-					delete(byUser, uid)
-				}
-			}
 			st.quarantineFile(e, path, fmt.Errorf("%w: %s", ErrSpillCorrupt, filepath.Base(path)))
 			continue
+		}
+		// Validated: commit the segment's records in order.
+		for _, rec := range recs {
+			seg.total.Add(1)
+			if prev, ok := byUser[rec.uid]; ok {
+				prev.ref.seg.dead.Add(1)
+			}
+			byUser[rec.uid] = recovered{ref: rec.ref, shardIdx: e.shardIndex(rec.uid)}
 		}
 		seg.size.Store(int64(len(data)))
 		f, err := os.OpenFile(path, os.O_RDWR, 0)
@@ -825,6 +834,27 @@ func (e *Engine) rehydrateUser(sh *shard, userID string) {
 	e.enforceResidency(sh, userID)
 }
 
+// rehydrateRetries bounds the serve-path rehydrate loop: between dropping
+// the read lock after a rehydrate and retaking it, a concurrent ingest's
+// eviction pass can re-spill the user (the pin only covers rehydrateUser's
+// own residency pass), so readers retry a few times rather than serving a
+// stateful user as empty. The race needs an adversarial interleaving per
+// iteration, so a small bound is ample.
+const rehydrateRetries = 4
+
+// rlockResident takes sh.mu for reading with userID resident if the user
+// has a spilled record, rehydrating (bounded retries, see rehydrateRetries)
+// as needed. The caller must release sh.mu for reading; the profile lookup
+// can still miss for users the engine has never seen.
+func (e *Engine) rlockResident(sh *shard, userID string) {
+	sh.mu.RLock()
+	for i := 0; i < rehydrateRetries && e.spillPending(sh, userID); i++ {
+		sh.mu.RUnlock()
+		e.rehydrateUser(sh, userID)
+		sh.mu.RLock()
+	}
+}
+
 // profileLocked returns the user's profile, rehydrating a spilled one or
 // creating a fresh one. The ingest-path replacement for the old
 // shard.profileLocked. Caller holds sh.mu for writing.
@@ -888,6 +918,14 @@ func (st *spillStore) pickCompactionVictim() *spillSegment {
 // the statefile discipline (tmp → fsync → rename → dir fsync), the refs are
 // swapped under every shard lock, and the victim is deleted. A victim whose
 // records are all dead is simply removed.
+//
+// All disk I/O happens before any shard lock is taken, so ingest and
+// serving never stall behind a slow disk. That order is sound because a
+// sealed segment's bytes are immutable and refs into it only ever die (new
+// spills land in active segments; the CAS in maybeCompact keeps a second
+// compactor away): the candidate set snapshotted below is a superset of
+// whatever is still live at swap time, and a candidate that died in the
+// window simply becomes a dead record in the new segment.
 func (e *Engine) compactSegment(victim *spillSegment) {
 	st := e.spill
 	if err := spillFail("compact", victim.path); err != nil {
@@ -923,91 +961,100 @@ func (e *Engine) compactSegment(victim *spillSegment) {
 		off += int64(frameLen)
 	}
 
-	for _, sh := range e.shards {
-		sh.mu.Lock()
+	// Candidate frames: those that are some shard's live ref into the victim
+	// right now (weakly consistent, one shard read lock at a time).
+	type moved struct {
+		uid    string
+		oldOff int64
+		off    int64
+		n      int
 	}
-	unlock := func() {
-		for _, sh := range e.shards {
-			sh.mu.Unlock()
-		}
-	}
-
-	// Keep only frames that are still some shard's live ref into the victim.
-	var live []frame
+	var cands []moved
 	newSize := int64(len(spillSegMagic))
 	for _, fr := range frames {
 		sh := e.shardFor(fr.uid)
-		if ref, ok := sh.spilled[fr.uid]; ok && ref.seg == victim && ref.off == fr.off {
-			live = append(live, fr)
+		sh.mu.RLock()
+		ref, ok := sh.spilled[fr.uid]
+		sh.mu.RUnlock()
+		if ok && ref.seg == victim && ref.off == fr.off {
+			cands = append(cands, moved{uid: fr.uid, oldOff: fr.off, off: newSize, n: fr.n})
 			newSize += int64(fr.n)
 		}
 	}
-	if len(live) == 0 {
-		st.dropSegmentLocked(victim)
-		unlock()
-		victim.f.Close()
-		os.Remove(victim.path)
+
+	// Build and durably write the replacement segment — still lock-free.
+	var seg *spillSegment
+	if len(cands) > 0 {
+		st.mu.Lock()
+		seq := st.nextSeq
+		st.nextSeq++
+		st.mu.Unlock()
+		path := spillSegPath(st.dir, seq)
+		out := make([]byte, 0, newSize)
+		out = append(out, spillSegMagic...)
+		for _, mv := range cands {
+			out = append(out, data[mv.oldOff:mv.oldOff+int64(mv.n)]...)
+		}
+		tmp := path + ".tmp"
+		if err := writeFileSync(tmp, out); err != nil {
+			os.Remove(tmp)
+			st.degrade(e, "compact", err)
+			return
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
+			st.degrade(e, "compact", err)
+			return
+		}
 		syncDir(st.dir)
-		e.metrics.segmentCompactions.Inc()
-		return
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			// The new segment is durable but unopenable — nothing was
+			// swapped yet, so the victim stays authoritative.
+			os.Remove(path)
+			st.degrade(e, "compact", err)
+			return
+		}
+		seg = &spillSegment{seq: seq, path: path, f: f}
+		seg.size.Store(int64(len(out)))
 	}
 
-	st.mu.Lock()
-	seq := st.nextSeq
-	st.nextSeq++
-	st.mu.Unlock()
-	path := spillSegPath(st.dir, seq)
-	out := make([]byte, 0, newSize)
-	out = append(out, spillSegMagic...)
-	type moved struct {
-		uid string
-		off int64
-		n   int
+	// Swap refs under every shard lock: re-filter the candidates (some may
+	// have rehydrated or been pruned since the snapshot) and retire the
+	// victim. No disk I/O in this window.
+	for _, sh := range e.shards {
+		sh.mu.Lock()
 	}
-	moves := make([]moved, 0, len(live))
-	for _, fr := range live {
-		moves = append(moves, moved{uid: fr.uid, off: int64(len(out)), n: fr.n})
-		out = append(out, data[fr.off:fr.off+int64(fr.n)]...)
+	live := int64(0)
+	if seg != nil {
+		for _, mv := range cands {
+			sh := e.shardFor(mv.uid)
+			if ref, ok := sh.spilled[mv.uid]; ok && ref.seg == victim && ref.off == mv.oldOff {
+				sh.spilled[mv.uid] = spillRef{seg: seg, off: mv.off, n: mv.n, last: ref.last}
+				live++
+			}
+		}
+		seg.total.Store(int64(len(cands)))
+		seg.dead.Store(int64(len(cands)) - live)
+		if live > 0 {
+			st.mu.Lock()
+			st.segs[seg.seq] = seg
+			st.mu.Unlock()
+			st.spillBytes.Add(seg.size.Load())
+		}
 	}
-	tmp := path + ".tmp"
-	if err := writeFileSync(tmp, out); err != nil {
-		os.Remove(tmp)
-		unlock()
-		st.degrade(e, "compact", err)
-		return
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		unlock()
-		st.degrade(e, "compact", err)
-		return
-	}
-	syncDir(st.dir)
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
-	if err != nil {
-		// The new segment is durable but unopenable — nothing was swapped
-		// yet, so the victim stays authoritative.
-		os.Remove(path)
-		unlock()
-		st.degrade(e, "compact", err)
-		return
-	}
-	seg := &spillSegment{seq: seq, path: path, f: f}
-	seg.size.Store(int64(len(out)))
-	seg.total.Store(int64(len(moves)))
-	for _, mv := range moves {
-		sh := e.shardFor(mv.uid)
-		old := sh.spilled[mv.uid]
-		sh.spilled[mv.uid] = spillRef{seg: seg, off: mv.off, n: mv.n, last: old.last}
-	}
-	st.mu.Lock()
-	st.segs[seq] = seg
-	st.mu.Unlock()
-	st.spillBytes.Add(seg.size.Load())
 	st.dropSegmentLocked(victim)
-	unlock()
+	for _, sh := range e.shards {
+		sh.mu.Unlock()
+	}
 	victim.f.Close()
 	os.Remove(victim.path)
+	if seg != nil && live == 0 {
+		// Every candidate died between the write and the swap: the new
+		// segment holds only dead records and was never registered.
+		seg.f.Close()
+		os.Remove(seg.path)
+	}
 	syncDir(st.dir)
 	e.metrics.segmentCompactions.Inc()
 }

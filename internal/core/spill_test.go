@@ -755,3 +755,112 @@ func TestSpillExportFailsLoudOnReadError(t *testing.T) {
 		t.Error("ExportState succeeded with an unreadable spilled record; would silently lose acknowledged state")
 	}
 }
+
+// flipSegByte flips one payload byte well past the first frame's length
+// prefix, so the record CRC (and the whole segment with it) must reject.
+func flipSegByte(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 1)
+	off := int64(len(spillSegMagic)) + 10
+	if _, err := f.ReadAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0x40
+	if _, err := f.WriteAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpillRecoveryFallsBackToSupersededRecord(t *testing.T) {
+	// A user spilled twice lands in two segments: the older record in a
+	// sealed segment, superseded by the newer one. When recovery quarantines
+	// the segment holding the newer record, the older — still valid — copy
+	// must come back, and its healthy segment must not be garbage-collected.
+	clock := newTestClock()
+	dir := t.TempDir()
+	// SegmentBytes 1: each spill batch rotates, so the two copies of u1
+	// land in different segment files.
+	e := newSpillEngine(t, clock, ResidencyConfig{Dir: dir, MaxProfiles: 100, SegmentBytes: 1})
+	if _, err := e.HandleReport(slowS1Report("u1")); err != nil {
+		t.Fatal(err)
+	}
+	forceSpill(t, e, "u1") // older record: segment A
+	clock.Advance(time.Minute)
+	if _, err := e.HandleReport(slowS1Report("u1")); err != nil { // rehydrates
+		t.Fatal(err)
+	}
+	forceSpill(t, e, "u1") // newer record: segment B
+	e.Close()
+
+	segs := segFiles(t, dir)
+	if len(segs) != 2 {
+		t.Fatalf("segment files = %d, want 2 (no rotation between spills)", len(segs))
+	}
+	flipSegByte(t, segs[1]) // damage the segment holding the newer record
+
+	e2 := newSpillEngine(t, newTestClock(), ResidencyConfig{Dir: dir, MaxProfiles: 100})
+	if !e2.SpillDegraded() {
+		t.Fatal("corrupt segment did not mark the tier degraded")
+	}
+	if _, err := os.Stat(segs[0]); err != nil {
+		t.Fatalf("healthy segment holding the surviving copy was deleted: %v", err)
+	}
+	if got := e2.Residency("u1"); got != "spilled" {
+		t.Fatalf("Residency(u1) = %q, want spilled (older record survives)", got)
+	}
+	snap, ok := e2.Snapshot("u1")
+	if !ok {
+		t.Fatal("u1 lost: quarantining the newer record must fall back to the older one")
+	}
+	// The older record pre-dates the second report: one violation, not two.
+	if snap.Violations["ip-s1.com"] != 1 {
+		t.Errorf("violations = %v, want the first spill's state (1)", snap.Violations)
+	}
+}
+
+func TestSpillExportQuarantinesDamagedSegment(t *testing.T) {
+	// Export discovering a codec-damaged record must quarantine the segment
+	// like the rehydrate path would, so healthz surfaces the loss instead of
+	// the snapshot silently omitting a user still indexed as spilled.
+	clock := newTestClock()
+	dir := t.TempDir()
+	e := newSpillEngine(t, clock, ResidencyConfig{Dir: dir, MaxProfiles: 100})
+	if _, err := e.HandleReport(slowS1Report("u1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.HandleReport(slowS1Report("u2")); err != nil {
+		t.Fatal(err)
+	}
+	forceSpill(t, e, "u1")
+	segs := segFiles(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("segment files = %d, want 1", len(segs))
+	}
+	flipSegByte(t, segs[0])
+
+	out, err := e.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState: %v", err)
+	}
+	if bytes.Contains(out, []byte(`"u1"`)) {
+		t.Error("export contains the damaged record")
+	}
+	if !bytes.Contains(out, []byte(`"u2"`)) {
+		t.Error("export lost the resident profile")
+	}
+	if !e.SpillDegraded() {
+		t.Error("damaged segment discovered by export did not degrade healthz")
+	}
+	st, _ := e.SpillStatus()
+	if len(st.QuarantinedSegments) != 1 {
+		t.Errorf("QuarantinedSegments = %v, want one entry", st.QuarantinedSegments)
+	}
+	if st.SpillErrors == 0 {
+		t.Error("SpillErrors = 0 after export-path quarantine")
+	}
+}
